@@ -1,0 +1,29 @@
+//! # charm-apps — mini-apps for the elastic-scheduler evaluation
+//!
+//! The paper evaluates its runtime and scheduler with two Charm++
+//! applications (§4.1): **Jacobi2D**, a communication-intensive 2D
+//! steady-state heat solver, and **LeanMD**, a compute-intensive
+//! Lennard-Jones molecular-dynamics mini-app. This crate implements both
+//! against `charm-rt`, plus a tunable synthetic app used by scheduler
+//! tests where deterministic per-iteration cost matters more than
+//! realism.
+//!
+//! All three share the same *windowed* execution protocol implemented in
+//! [`driver`]: chares iterate asynchronously (message-driven, no global
+//! barrier per iteration) inside a window of `k` iterations, then
+//! contribute to a reduction. The window boundary is the application's
+//! *sync point* — the only place where load balancing and shrink/expand
+//! are allowed, exactly like Charm++'s `AtSync` discipline that the
+//! paper's rescale protocol relies on.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod jacobi;
+pub mod leanmd;
+pub mod synthetic;
+
+pub use driver::{IterativeDriver, WindowResult, M_START};
+pub use jacobi::{JacobiApp, JacobiConfig};
+pub use leanmd::{LeanMdApp, LeanMdConfig};
+pub use synthetic::{SyntheticApp, SyntheticConfig};

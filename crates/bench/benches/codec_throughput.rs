@@ -1,0 +1,32 @@
+//! Criterion benches: PUP codec throughput.
+//!
+//! Checkpoint and restore wall time (Fig. 5's `ckpt`/`restore` stages)
+//! are bounded by pack/unpack bandwidth; this bench tracks it.
+
+use charm_rt::codec::{Reader, Writer};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for &n in &[1usize << 10, 1 << 14, 1 << 18] {
+        let data: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        group.bench_with_input(BenchmarkId::new("pack_f64", n), &data, |b, d| {
+            b.iter(|| {
+                let mut w = Writer::with_capacity(d.len() * 8 + 8);
+                w.f64_slice(d);
+                w.into_vec()
+            })
+        });
+        let mut w = Writer::new();
+        w.f64_slice(&data);
+        let packed = w.into_vec();
+        group.bench_with_input(BenchmarkId::new("unpack_f64", n), &packed, |b, p| {
+            b.iter(|| Reader::new(p).f64_vec().expect("decode"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches: load-balancer assignment cost.
+//!
+//! The LB step is on the rescale critical path (Fig. 5's `lb` stage);
+//! these benches show assignment cost scales acceptably with chare
+//! count for all three strategies.
+
+use std::collections::HashSet;
+
+use charm_rt::lb::{ChareStat, GreedyLb, LbStrategy, RefineLb, RotateLb};
+use charm_rt::{ArrayId, ChareId, Index, PeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn make_stats(n: usize, pes: usize) -> Vec<ChareStat> {
+    (0..n)
+        .map(|i| ChareStat {
+            id: ChareId::new(ArrayId(0), Index::d1(i as u64)),
+            pe: PeId((i % pes) as u32),
+            // Deterministic skewed loads.
+            load: 1.0 + (i % 7) as f64 * 0.35,
+        })
+        .collect()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lb_assign");
+    for &n in &[64usize, 512, 4096] {
+        let stats = make_stats(n, 16);
+        let empty = HashSet::new();
+        let evac: HashSet<PeId> = (8..16).map(PeId).collect();
+        group.bench_with_input(BenchmarkId::new("greedy", n), &stats, |b, s| {
+            b.iter(|| GreedyLb.assign(s, 16, &empty))
+        });
+        group.bench_with_input(BenchmarkId::new("refine", n), &stats, |b, s| {
+            b.iter(|| RefineLb::default().assign(s, 16, &empty))
+        });
+        group.bench_with_input(BenchmarkId::new("rotate", n), &stats, |b, s| {
+            b.iter(|| RotateLb.assign(s, 16, &empty))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_evacuate_half", n), &stats, |b, s| {
+            b.iter(|| GreedyLb.assign(s, 16, &evac))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion benches: scheduling-decision latency.
+//!
+//! The paper claims the operator handles "a much larger number of jobs"
+//! than prior work; decision cost per submission/completion is the
+//! relevant scalability number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::{ClusterView, JobState, Policy, PolicyConfig, PolicyKind};
+use hpc_metrics::{Duration, SimTime};
+
+fn view_with_jobs(n: usize) -> ClusterView {
+    let mut jobs = Vec::with_capacity(n + 1);
+    for i in 0..n {
+        jobs.push(JobState {
+            name: format!("running{i}"),
+            min_replicas: 2,
+            max_replicas: 16,
+            priority: 1 + (i as u32) % 5,
+            submitted_at: SimTime::from_secs(i as f64),
+            replicas: 4,
+            last_action: SimTime::from_secs(i as f64),
+            running: true,
+        });
+    }
+    jobs.push(JobState {
+        name: "new".into(),
+        min_replicas: 8,
+        max_replicas: 32,
+        priority: 4,
+        submitted_at: SimTime::from_secs(1e6),
+        replicas: 0,
+        last_action: SimTime::NEG_INFINITY,
+        running: false,
+    });
+    ClusterView {
+        capacity: 4096,
+        free_slots: 4,
+        jobs,
+    }
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let cfg = PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    };
+    let now = SimTime::from_secs(2e6);
+    let mut group = c.benchmark_group("policy");
+    for &n in &[16usize, 128, 1024] {
+        let view = view_with_jobs(n);
+        for kind in PolicyKind::ALL {
+            let policy = Policy::of_kind(kind, cfg);
+            group.bench_with_input(
+                BenchmarkId::new(format!("on_submit/{kind}"), n),
+                &view,
+                |b, v| b.iter(|| policy.on_submit(v, "new", now)),
+            );
+        }
+        let policy = Policy::elastic(cfg);
+        group.bench_with_input(BenchmarkId::new("on_complete/elastic", n), &view, |b, v| {
+            b.iter(|| policy.on_complete(v, now))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decisions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches: charm-rt runtime operations.
+//!
+//! Covers the operations on the rescale path — checkpoint, LB
+//! migration, full shrink — plus steady-state window execution, on a
+//! small Jacobi problem so the bench suite stays fast.
+
+use std::collections::HashSet;
+
+use charm_apps::{JacobiApp, JacobiConfig};
+use charm_rt::{GreedyLb, RotateLb, RuntimeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("charm_rt");
+    group.sample_size(10);
+
+    group.bench_function("jacobi_window_256_4pe", |b| {
+        let mut app = JacobiApp::new(JacobiConfig::new(256, 4, 4), RuntimeConfig::new(4));
+        b.iter(|| app.run_window(10).expect("window"));
+    });
+
+    group.bench_function("checkpoint_256", |b| {
+        let mut app = JacobiApp::new(JacobiConfig::new(256, 4, 4), RuntimeConfig::new(4));
+        app.run_window(5).expect("warmup");
+        b.iter(|| app.driver.rt.checkpoint());
+    });
+
+    group.bench_function("rotate_lb_migrate_all_256", |b| {
+        let mut app = JacobiApp::new(JacobiConfig::new(256, 4, 4), RuntimeConfig::new(4));
+        app.run_window(5).expect("warmup");
+        b.iter(|| app.driver.rt.run_lb(&RotateLb, &HashSet::new()));
+    });
+
+    group.bench_function("full_shrink_expand_cycle_256", |b| {
+        let mut app = JacobiApp::new(JacobiConfig::new(256, 4, 4), RuntimeConfig::new(4));
+        app.run_window(5).expect("warmup");
+        b.iter(|| {
+            app.driver.rt.rescale(2, &GreedyLb);
+            app.driver.rt.rescale(4, &GreedyLb);
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

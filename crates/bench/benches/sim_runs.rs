@@ -1,0 +1,47 @@
+//! Criterion benches: full simulation throughput.
+//!
+//! One Fig. 7 sweep point = policies × seeds × 16-job simulations; this
+//! bench keeps a whole-run cost budget on the simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elastic_core::{Policy, PolicyConfig, PolicyKind};
+use hpc_metrics::Duration;
+use sched_sim::{generate_workload, simulate, SimConfig};
+
+fn bench_sim(c: &mut Criterion) {
+    let cfg_for = |kind: PolicyKind| {
+        SimConfig::paper_default(
+            Policy::of_kind(
+                kind,
+                PolicyConfig {
+                    rescale_gap: Duration::from_secs(180.0),
+                    launcher_slots: 1,
+                    shrink_spares_head: true,
+                },
+            ),
+            Duration::from_secs(90.0),
+        )
+    };
+    let mut group = c.benchmark_group("simulate_16_jobs");
+    for kind in PolicyKind::ALL {
+        let cfg = cfg_for(kind);
+        let wl = generate_workload(0, 16);
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &wl, |b, wl| {
+            b.iter(|| simulate(&cfg, wl))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("simulate_scaling");
+    for &jobs in &[16usize, 64, 256] {
+        let cfg = cfg_for(PolicyKind::Elastic);
+        let wl = generate_workload(0, jobs);
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &wl, |b, wl| {
+            b.iter(|| simulate(&cfg, wl))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

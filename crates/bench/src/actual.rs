@@ -1,0 +1,129 @@
+//! The "Actual" experimental campaign (Fig. 9 / Table 1 left columns).
+//!
+//! Runs the real stack end to end: the CharmJob operator on the
+//! simulated control plane, real `charm-rt` Jacobi2D jobs as worker
+//! threads, CCS-signalled rescaling — on a *time-compressed* wall clock
+//! so the paper's 90 s submission gap / 180 s `T_rescale_gap` campaign
+//! finishes in tens of seconds. Problem sizes and replica counts are
+//! scaled to the host per DESIGN.md (quick mode: a 16-slot cluster with
+//! class bounds divided by 4; `--full`: the paper's 64-slot bounds).
+
+use elastic_core::{
+    run_real, AppSpec, CharmExecutor, CharmJobSpec, CharmOperator, Policy, PolicyConfig,
+    PolicyKind, RunMetrics, Schedule,
+};
+use hpc_metrics::{Duration, RealClock, UtilizationRecorder};
+use kube_sim::{ControlPlane, EventLog, KubeletConfig};
+use sched_sim::{generate_workload, SizeClass};
+
+/// Scaled problem definition for one size class.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaledClass {
+    /// Minimum replicas.
+    pub min: u32,
+    /// Maximum replicas.
+    pub max: u32,
+    /// Jacobi grid dimension.
+    pub grid: usize,
+    /// Blocks per dimension (over-decomposition).
+    pub blocks: u64,
+    /// Total iterations.
+    pub iters: u64,
+    /// Iterations per sync window.
+    pub window: u64,
+}
+
+/// Scaled parameters for `class`. Quick mode divides the paper's
+/// replica bounds by 4 (16-slot cluster) and shrinks grids/iterations
+/// so each job runs seconds of wall time.
+pub fn scaled_class(class: SizeClass, full: bool) -> ScaledClass {
+    if full {
+        match class {
+            SizeClass::Small => ScaledClass { min: 2, max: 8, grid: 512, blocks: 8, iters: 40_000, window: 1_000 },
+            SizeClass::Medium => ScaledClass { min: 4, max: 16, grid: 1024, blocks: 8, iters: 30_000, window: 600 },
+            SizeClass::Large => ScaledClass { min: 8, max: 32, grid: 2048, blocks: 8, iters: 15_000, window: 300 },
+            SizeClass::XLarge => ScaledClass { min: 16, max: 64, grid: 4096, blocks: 8, iters: 4_000, window: 100 },
+        }
+    } else {
+        match class {
+            SizeClass::Small => ScaledClass { min: 1, max: 2, grid: 256, blocks: 4, iters: 24_000, window: 600 },
+            SizeClass::Medium => ScaledClass { min: 1, max: 4, grid: 512, blocks: 4, iters: 20_000, window: 500 },
+            SizeClass::Large => ScaledClass { min: 2, max: 8, grid: 1024, blocks: 8, iters: 10_000, window: 250 },
+            SizeClass::XLarge => ScaledClass { min: 4, max: 16, grid: 2048, blocks: 8, iters: 4_000, window: 100 },
+        }
+    }
+}
+
+/// The scaled job set for workload `seed` (16 jobs, same class and
+/// priority draws as the simulator's workload generator).
+pub fn scaled_jobs(seed: u64, full: bool) -> Vec<CharmJobSpec> {
+    generate_workload(seed, 16)
+        .into_iter()
+        .map(|j| {
+            let sc = scaled_class(j.class, full);
+            CharmJobSpec {
+                name: j.name,
+                min_replicas: sc.min,
+                max_replicas: sc.max,
+                priority: j.priority,
+                app: AppSpec::Jacobi {
+                    grid: sc.grid,
+                    blocks: sc.blocks,
+                    total_iters: sc.iters,
+                    window: sc.window,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Result of one campaign run.
+pub struct CampaignResult {
+    /// Table 1 metrics.
+    pub metrics: RunMetrics,
+    /// Per-job worker-slot allocation over time.
+    pub util: UtilizationRecorder,
+    /// Operator event log (rescale signals, etc.).
+    pub events: EventLog,
+    /// Cluster capacity used (for profile normalization).
+    pub capacity: u32,
+}
+
+/// Runs the full 16-job campaign under `kind`, wall-clock compressed by
+/// `compression` (experiment seconds per wall second).
+pub fn run_campaign(kind: PolicyKind, seed: u64, compression: f64, full: bool) -> CampaignResult {
+    let slots_per_node = if full { 16 } else { 4 };
+    let clock = std::sync::Arc::new(RealClock::with_compression(compression));
+    let plane = ControlPlane::with_nodes(
+        clock,
+        KubeletConfig {
+            startup_latency: Duration::from_secs(1.0),
+            termination_grace: Duration::from_secs(0.5),
+        },
+        4,
+        slots_per_node,
+    );
+    let capacity = plane.capacity();
+    let policy = Policy::of_kind(
+        kind,
+        PolicyConfig {
+            rescale_gap: Duration::from_secs(180.0),
+            launcher_slots: 1,
+            shrink_spares_head: true,
+        },
+    );
+    let mut op = CharmOperator::new(plane, policy, Box::new(CharmExecutor));
+    let schedule = Schedule::every(scaled_jobs(seed, full), Duration::from_secs(90.0));
+    let metrics = run_real(
+        &mut op,
+        &schedule,
+        Duration::from_secs(2.0),
+        Duration::from_secs(50_000.0),
+    );
+    CampaignResult {
+        metrics,
+        util: op.utilization().clone(),
+        events: op.events.clone(),
+        capacity,
+    }
+}

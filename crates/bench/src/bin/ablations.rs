@@ -1,0 +1,107 @@
+//! Ablations of the design choices called out in DESIGN.md §4.
+//!
+//! 1. **Head-job sparing** — Fig. 2 iterates `while index > 0`, never
+//!    shrinking the highest-priority running job. On vs off.
+//! 2. **Launcher slot accounting** — the `freeSlots − 1` term. 1 vs 0.
+//! 3. **Out-of-order backfill on completion** — measured indirectly by
+//!    comparing elastic with a large vs small rescale gap (the gap is
+//!    what blocks in-order expansion and forces backfill).
+//!
+//! Usage: `ablations [--seeds N]`
+
+use elastic_bench::{emit_csv, flag_u64, CsvTable};
+use elastic_core::{Policy, PolicyConfig, PolicyKind};
+use hpc_metrics::{Duration, Summary};
+use sched_sim::{generate_workload, simulate, SimConfig};
+
+struct Variant {
+    label: &'static str,
+    cfg: PolicyConfig,
+    /// Aging rate (priority points per queued second; §3.2.2).
+    aging: f64,
+}
+
+fn run_variant(v: &Variant, seeds: u64) -> (f64, f64, f64, f64) {
+    let mut util = Vec::new();
+    let mut total = Vec::new();
+    let mut resp = Vec::new();
+    let mut resc = Vec::new();
+    for seed in 0..seeds {
+        let wl = generate_workload(seed, 16);
+        let cfg = SimConfig::paper_default(
+            Policy::of_kind(PolicyKind::Elastic, v.cfg).with_aging(v.aging),
+            Duration::from_secs(90.0),
+        );
+        let out = simulate(&cfg, &wl);
+        util.push(out.metrics.utilization);
+        total.push(out.metrics.total_time);
+        resp.push(out.metrics.weighted_response);
+        resc.push(f64::from(out.rescales));
+    }
+    let mean = |v: &[f64]| Summary::of(v).expect("non-empty").mean;
+    (mean(&util), mean(&total), mean(&resp), mean(&resc))
+}
+
+fn main() {
+    let seeds = flag_u64("--seeds", 50);
+    let base = PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    };
+    let variants = [
+        Variant { label: "baseline(paper)", cfg: base, aging: 0.0 },
+        Variant {
+            label: "no-head-sparing",
+            cfg: PolicyConfig { shrink_spares_head: false, ..base },
+            aging: 0.0,
+        },
+        Variant {
+            label: "launcher=0",
+            cfg: PolicyConfig { launcher_slots: 0, ..base },
+            aging: 0.0,
+        },
+        Variant {
+            label: "gap=0s",
+            cfg: PolicyConfig { rescale_gap: Duration::from_secs(0.0), ..base },
+            aging: 0.0,
+        },
+        Variant {
+            label: "gap=600s",
+            cfg: PolicyConfig { rescale_gap: Duration::from_secs(600.0), ..base },
+            aging: 0.0,
+        },
+        Variant { label: "aging=0.01/s", cfg: base, aging: 0.01 },
+    ];
+
+    println!("== Elastic-policy ablations ({seeds} seeds, submission gap 90s) ==");
+    let mut table = CsvTable::new([
+        "variant",
+        "utilization",
+        "total_time_s",
+        "weighted_response_s",
+        "rescales",
+    ]);
+    let mut baseline_total = None;
+    for v in &variants {
+        let (util, total, resp, resc) = run_variant(v, seeds);
+        println!(
+            "  {:<18} util={util:.4} total={total:.1} wresp={resp:.2} rescales={resc:.1}",
+            v.label
+        );
+        table.row([
+            v.label.to_string(),
+            format!("{util:.4}"),
+            format!("{total:.2}"),
+            format!("{resp:.2}"),
+            format!("{resc:.1}"),
+        ]);
+        if v.label == "baseline(paper)" {
+            baseline_total = Some(total);
+        }
+    }
+    emit_csv(&table, "ablations.csv");
+    if let Some(base_total) = baseline_total {
+        println!("  (totals relative to baseline {base_total:.1}s)");
+    }
+}

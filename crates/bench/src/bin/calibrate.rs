@@ -1,0 +1,54 @@
+//! Calibration: measure strong-scaling anchors from real `charm-rt`
+//! runs and print them as `ScalingModel::from_anchors` input, closing
+//! the loop the paper describes (§4.3.1: the simulator is driven by
+//! measured scaling data).
+//!
+//! Usage: `calibrate [--windows N]`
+
+use charm_apps::{JacobiApp, JacobiConfig};
+use charm_rt::RuntimeConfig;
+use elastic_bench::{emit_csv, flag_u64, replica_ladder, CsvTable};
+
+fn measure(grid: usize, pes: usize, windows: u64) -> f64 {
+    let mut app = JacobiApp::new(JacobiConfig::new(grid, 8, 8), RuntimeConfig::new(pes));
+    app.run_window(5).expect("warmup");
+    let mut best = f64::INFINITY;
+    for _ in 0..windows {
+        best = best.min(app.run_window(10).expect("window").time_per_iter().as_secs());
+    }
+    app.shutdown();
+    best
+}
+
+fn main() {
+    let windows = flag_u64("--windows", 2);
+    // Host-scaled stand-ins for the paper's four classes.
+    let classes = [
+        ("small", 256usize),
+        ("medium", 512),
+        ("large", 1024),
+        ("xlarge", 2048),
+    ];
+    let ladder = replica_ladder(64);
+    println!("== Calibrating scaling anchors on this host (ladder {ladder:?}) ==");
+    let mut table = CsvTable::new(["class", "grid", "replicas", "time_per_iter_s"]);
+    let mut code = String::from("ScalingModel::from_anchors(\n");
+    for (name, grid) in classes {
+        let mut anchors = Vec::new();
+        for &p in &ladder {
+            let t = measure(grid, p, windows);
+            println!("  {name} ({grid}x{grid}) p={p:<3} t_iter={t:.6}s");
+            table.row([
+                name.to_string(),
+                grid.to_string(),
+                p.to_string(),
+                format!("{t:.9}"),
+            ]);
+            anchors.push(format!("({p}.0, {t:.6})"));
+        }
+        code.push_str(&format!("    vec![{}],\n", anchors.join(", ")));
+    }
+    code.push_str(")\n");
+    emit_csv(&table, "calibration_anchors.csv");
+    println!("\n// paste into sched_sim::ScalingModel::from_anchors:\n{code}");
+}

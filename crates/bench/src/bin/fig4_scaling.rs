@@ -1,0 +1,108 @@
+//! Fig. 4 — strong scaling of Charm++ applications on the cluster.
+//!
+//! Paper: Jacobi2D over grids {2048², 8192², 16384²} and LeanMD over
+//! cell grids {4×4×4, 4×4×8, 4×8×8}, 4–64 replicas on EKS. Here:
+//! the same apps on `charm-rt` PE threads, grids scaled to the host
+//! (defaults: Jacobi {512², 1024², 2048²}; `--full` uses the paper's),
+//! replicas = powers of two up to the core count.
+//!
+//! Usage: `fig4_scaling [jacobi|leanmd|all] [--full] [--windows N]`
+
+use charm_apps::{JacobiApp, JacobiConfig, LeanMdApp, LeanMdConfig};
+use charm_rt::RuntimeConfig;
+use elastic_bench::{emit_csv, flag_u64, has_flag, replica_ladder, CsvTable};
+use hpc_metrics::ascii;
+
+fn measure_jacobi(grid: usize, pes: usize, windows: u64, iters_per_window: u64) -> f64 {
+    let blocks = 8; // 64 chares: over-decomposed for any ladder rung
+    let mut app = JacobiApp::new(JacobiConfig::new(grid, blocks, blocks), RuntimeConfig::new(pes));
+    let mut best = f64::INFINITY;
+    app.run_window(iters_per_window).expect("warmup window");
+    for _ in 0..windows {
+        let wr = app.run_window(iters_per_window).expect("window");
+        best = best.min(wr.time_per_iter().as_secs());
+    }
+    app.shutdown();
+    best
+}
+
+fn measure_leanmd(cells: (u64, u64, u64), pes: usize, windows: u64, steps_per_window: u64) -> f64 {
+    let mut cfg = LeanMdConfig::new(cells, 24);
+    cfg.dt = 1e-5;
+    let mut app = LeanMdApp::new(cfg, RuntimeConfig::new(pes));
+    let mut best = f64::INFINITY;
+    app.run_window(steps_per_window).expect("warmup window");
+    for _ in 0..windows {
+        let wr = app.run_window(steps_per_window).expect("window");
+        best = best.min(wr.time_per_iter().as_secs());
+    }
+    app.shutdown();
+    best
+}
+
+fn run_jacobi(full: bool, windows: u64) {
+    println!("== Fig. 4a: Jacobi2D strong scaling ==");
+    let grids: Vec<usize> = if full {
+        vec![2048, 8192, 16_384]
+    } else {
+        vec![512, 1024, 2048]
+    };
+    let ladder = replica_ladder(64);
+    let mut table = CsvTable::new(["grid", "replicas", "time_per_iter_s"]);
+    let mut series = Vec::new();
+    for &grid in &grids {
+        let mut pts = Vec::new();
+        for &pes in &ladder {
+            let t = measure_jacobi(grid, pes, windows, 10);
+            println!("  jacobi {grid}x{grid}  p={pes:<3} t_iter={t:.6}s");
+            table.row([grid.to_string(), pes.to_string(), format!("{t:.9}")]);
+            pts.push((pes as f64, t));
+        }
+        series.push((format!("{grid}x{grid}"), pts));
+    }
+    let named: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
+    println!("{}", ascii::line_chart("time/iter vs replicas (log y)", &named, 60, 12, true));
+    emit_csv(&table, "fig4a_jacobi_scaling.csv");
+}
+
+fn run_leanmd(windows: u64) {
+    println!("== Fig. 4b: LeanMD strong scaling ==");
+    let cell_grids = [(4, 4, 4), (4, 4, 8), (4, 8, 8)];
+    let ladder = replica_ladder(64);
+    let mut table = CsvTable::new(["cells", "replicas", "time_per_step_s"]);
+    let mut series = Vec::new();
+    for &cells in &cell_grids {
+        let label = format!("{}x{}x{}", cells.0, cells.1, cells.2);
+        let mut pts = Vec::new();
+        for &pes in &ladder {
+            let t = measure_leanmd(cells, pes, windows, 3);
+            println!("  leanmd {label}  p={pes:<3} t_step={t:.6}s");
+            table.row([label.clone(), pes.to_string(), format!("{t:.9}")]);
+            pts.push((pes as f64, t));
+        }
+        series.push((label, pts));
+    }
+    let named: Vec<(&str, Vec<(f64, f64)>)> = series
+        .iter()
+        .map(|(n, p)| (n.as_str(), p.clone()))
+        .collect();
+    println!("{}", ascii::line_chart("time/step vs replicas (log y)", &named, 60, 12, true));
+    emit_csv(&table, "fig4b_leanmd_scaling.csv");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let full = has_flag("--full");
+    let windows = flag_u64("--windows", 2);
+    match which.as_str() {
+        "jacobi" => run_jacobi(full, windows),
+        "leanmd" => run_leanmd(windows),
+        _ => {
+            run_jacobi(full, windows);
+            run_leanmd(windows);
+        }
+    }
+}

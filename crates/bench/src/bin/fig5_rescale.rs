@@ -1,0 +1,125 @@
+//! Fig. 5 — contribution of each rescale stage to the total overhead.
+//!
+//! Paper: Jacobi2D on EKS, stages = load-balance / checkpoint / restart
+//! / restore. (a) shrink to half for varying replica counts; (b) expand
+//! to double; (c) shrink 32→16 for varying grid sizes. Restart time in
+//! the paper is dominated by MPI job launch, which grows with rank
+//! count; thread relaunch is microseconds, so the runtime charges a
+//! configurable per-PE startup surrogate (`--mpi-startup-ms`, default
+//! 25 ms — the substitution documented in DESIGN.md).
+//!
+//! Usage: `fig5_rescale [shrink|expand|gridsweep|all] [--full]
+//!         [--mpi-startup-ms N]`
+
+use charm_apps::{JacobiApp, JacobiConfig};
+use charm_rt::{RescaleReport, RuntimeConfig};
+use elastic_bench::{emit_csv, flag_f64, has_flag, replica_ladder, CsvTable};
+use hpc_metrics::ascii;
+
+fn rescale_once(grid: usize, blocks: u64, from: usize, to: usize, startup_ms: f64) -> RescaleReport {
+    let rt_cfg = RuntimeConfig::new(from)
+        .with_startup_delay(std::time::Duration::from_secs_f64(startup_ms / 1e3));
+    let mut app = JacobiApp::new(JacobiConfig::new(grid, blocks, blocks), rt_cfg);
+    app.run_window(5).expect("warmup");
+    let report = app.driver.rescale(to);
+    app.shutdown();
+    report
+}
+
+fn print_report(label: &str, r: &RescaleReport, table: &mut CsvTable, x: String) {
+    println!(
+        "  {label:<18} lb={:<8.4} ckpt={:<8.4} restart={:<8.4} restore={:<8.4} total={:<8.4}",
+        r.stages.lb.as_secs(),
+        r.stages.checkpoint.as_secs(),
+        r.stages.restart.as_secs(),
+        r.stages.restore.as_secs(),
+        r.total().as_secs()
+    );
+    table.row([
+        x,
+        format!("{:.6}", r.stages.lb.as_secs()),
+        format!("{:.6}", r.stages.checkpoint.as_secs()),
+        format!("{:.6}", r.stages.restart.as_secs()),
+        format!("{:.6}", r.stages.restore.as_secs()),
+        format!("{:.6}", r.total().as_secs()),
+    ]);
+}
+
+fn chart(rows: &[(f64, RescaleReport)], title: &str) {
+    let pick = |f: fn(&RescaleReport) -> f64| -> Vec<(f64, f64)> {
+        rows.iter().map(|(x, r)| (*x, f(r).max(1e-6))).collect()
+    };
+    let series = vec![
+        ("lb", pick(|r| r.stages.lb.as_secs())),
+        ("ckpt", pick(|r| r.stages.checkpoint.as_secs())),
+        ("restart", pick(|r| r.stages.restart.as_secs())),
+        ("restore", pick(|r| r.stages.restore.as_secs())),
+        ("total", pick(|r| r.total().as_secs())),
+    ];
+    println!("{}", ascii::line_chart(title, &series, 60, 12, true));
+}
+
+fn run_shrink(grid: usize, blocks: u64, startup_ms: f64) {
+    println!("== Fig. 5a: shrink to half, varying replicas (grid {grid}) ==");
+    let mut table = CsvTable::new(["replicas_before", "lb", "ckpt", "restart", "restore", "total"]);
+    let mut rows = Vec::new();
+    for &p in replica_ladder(64).iter().filter(|&&p| p >= 2) {
+        let r = rescale_once(grid, blocks, p, p / 2, startup_ms);
+        print_report(&format!("shrink {p}->{}", p / 2), &r, &mut table, p.to_string());
+        rows.push((p as f64, r));
+    }
+    chart(&rows, "Fig 5a: shrink overhead vs replicas (log y)");
+    emit_csv(&table, "fig5a_shrink_overhead.csv");
+}
+
+fn run_expand(grid: usize, blocks: u64, startup_ms: f64) {
+    println!("== Fig. 5b: expand to double, varying replicas (grid {grid}) ==");
+    let mut table = CsvTable::new(["replicas_before", "lb", "ckpt", "restart", "restore", "total"]);
+    let mut rows = Vec::new();
+    let cores = replica_ladder(64).last().copied().unwrap_or(2);
+    for &p in replica_ladder(64).iter().filter(|&&p| p * 2 <= cores.max(2)) {
+        let r = rescale_once(grid, blocks, p, p * 2, startup_ms);
+        print_report(&format!("expand {p}->{}", p * 2), &r, &mut table, p.to_string());
+        rows.push((p as f64, r));
+    }
+    chart(&rows, "Fig 5b: expand overhead vs replicas (log y)");
+    emit_csv(&table, "fig5b_expand_overhead.csv");
+}
+
+fn run_gridsweep(full: bool, startup_ms: f64) {
+    println!("== Fig. 5c: shrink (half) for varying grid sizes ==");
+    let grids: Vec<usize> = if full {
+        vec![512, 2048, 8192, 16_384]
+    } else {
+        vec![256, 512, 1024, 2048, 4096]
+    };
+    let ladder = replica_ladder(32);
+    let from = ladder.last().copied().unwrap_or(4).max(4);
+    let to = from / 2;
+    let mut table = CsvTable::new(["grid", "lb", "ckpt", "restart", "restore", "total"]);
+    let mut rows = Vec::new();
+    for &grid in &grids {
+        let r = rescale_once(grid, 8, from, to, startup_ms);
+        print_report(&format!("grid {grid} {from}->{to}"), &r, &mut table, grid.to_string());
+        rows.push((grid as f64, r));
+    }
+    chart(&rows, "Fig 5c: shrink overhead vs grid size (log y)");
+    emit_csv(&table, "fig5c_gridsize_overhead.csv");
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let full = has_flag("--full");
+    let startup_ms = flag_f64("--mpi-startup-ms", 25.0);
+    let (grid, blocks) = if full { (8192, 16) } else { (1024, 8) };
+    match which.as_str() {
+        "shrink" => run_shrink(grid, blocks, startup_ms),
+        "expand" => run_expand(grid, blocks, startup_ms),
+        "gridsweep" => run_gridsweep(full, startup_ms),
+        _ => {
+            run_shrink(grid, blocks, startup_ms);
+            run_expand(grid, blocks, startup_ms);
+            run_gridsweep(full, startup_ms);
+        }
+    }
+}

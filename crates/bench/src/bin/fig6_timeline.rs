@@ -1,0 +1,111 @@
+//! Fig. 6 — iteration timeline across a shrink and an expand.
+//!
+//! Paper: Jacobi2D 16 384², 3000 iterations; shrink 32→16 around
+//! iteration 1000, expand back 16→32 around 2000. Per-10-iteration
+//! times rise after the shrink and fall back after the expand; the
+//! timeline plot shows rescale overhead as gaps. Here the same protocol
+//! runs on scaled parameters (default 1024², 300 iterations, top PE
+//! count = host ladder max); `--full` uses 8192² and 3000 iterations.
+//!
+//! Usage: `fig6_timeline [--full]`
+
+use charm_apps::{JacobiApp, JacobiConfig};
+use charm_rt::RuntimeConfig;
+use elastic_bench::{emit_csv, has_flag, replica_ladder, CsvTable};
+use hpc_metrics::ascii;
+
+fn main() {
+    let full = has_flag("--full");
+    let (grid, total_iters, window) = if full {
+        (8192usize, 3000u64, 10u64)
+    } else {
+        (1024, 300, 10)
+    };
+    let high = replica_ladder(32).last().copied().unwrap_or(4).max(4);
+    let low = high / 2;
+    let shrink_at = total_iters / 3;
+    let expand_at = 2 * total_iters / 3;
+
+    println!("== Fig. 6: Jacobi2D {grid}x{grid}, {total_iters} iters, shrink {high}->{low} at {shrink_at}, expand back at {expand_at} ==");
+
+    let mut app = JacobiApp::new(
+        JacobiConfig::new(grid, 8, 8),
+        RuntimeConfig::new(high)
+            .with_startup_delay(std::time::Duration::from_millis(25)),
+    );
+    let started = std::time::Instant::now();
+    let mut per_window = Vec::new(); // (iteration, window seconds)
+    let mut timeline = Vec::new(); // (iteration, completion timestamp)
+    let mut marks = Vec::new();
+    let mut iter = 0u64;
+    while iter < total_iters {
+        if iter == shrink_at {
+            let r = app.driver.rescale(low);
+            println!("  shrink at iter {iter}: {r}");
+            marks.push(("shrink", started.elapsed().as_secs_f64()));
+        }
+        if iter == expand_at {
+            let r = app.driver.rescale(high);
+            println!("  expand at iter {iter}: {r}");
+            marks.push(("expand", started.elapsed().as_secs_f64()));
+        }
+        let wr = app.run_window(window).expect("window");
+        iter = wr.end_iter;
+        per_window.push((iter as f64, wr.duration.as_secs()));
+        timeline.push((iter as f64, started.elapsed().as_secs_f64()));
+    }
+    app.shutdown();
+
+    let mut t6a = CsvTable::new(["iteration", "window_seconds"]);
+    for &(i, s) in &per_window {
+        t6a.row_f64([i, s]);
+    }
+    emit_csv(&t6a, "fig6a_window_times.csv");
+
+    let mut t6b = CsvTable::new(["iteration", "timestamp_s"]);
+    for &(i, ts) in &timeline {
+        t6b.row_f64([i, ts]);
+    }
+    emit_csv(&t6b, "fig6b_timeline.csv");
+
+    println!(
+        "{}",
+        ascii::line_chart(
+            &format!("Fig 6a: time per {window} iterations (s)"),
+            &[("window time", per_window.clone())],
+            64,
+            12,
+            false,
+        )
+    );
+    println!(
+        "{}",
+        ascii::line_chart(
+            "Fig 6b: completion timestamp vs iteration",
+            &[("timestamp", timeline.clone())],
+            64,
+            12,
+            false,
+        )
+    );
+    for (kind, at) in &marks {
+        println!("  {kind} at t={at:.2}s");
+    }
+
+    // Quick shape check mirrored from the paper's narrative: windows
+    // during the shrunk phase are slower than before/after.
+    let phase_mean = |lo: u64, hi: u64| -> f64 {
+        let vals: Vec<f64> = per_window
+            .iter()
+            .filter(|(i, _)| (*i as u64) > lo && (*i as u64) <= hi)
+            .map(|(_, s)| *s)
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let before = phase_mean(0, shrink_at);
+    let during = phase_mean(shrink_at, expand_at);
+    let after = phase_mean(expand_at, total_iters);
+    println!(
+        "  mean window time: before={before:.4}s  shrunk={during:.4}s  after-expand={after:.4}s"
+    );
+}

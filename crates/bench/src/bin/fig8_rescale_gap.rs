@@ -1,0 +1,96 @@
+//! Fig. 8 — simulated scheduler metrics vs `T_rescale_gap`.
+//!
+//! Paper: submission gap fixed at 180 s, `T_rescale_gap` swept 0–1200 s.
+//! Elastic's metrics converge to moldable's as the gap grows (moldable
+//! *is* elastic-that-never-rescales), and the total time increases
+//! monotonically with the gap because overhead is cheap relative to the
+//! utilization recovered by rescaling.
+//!
+//! Usage: `fig8_rescale_gap [--seeds N] [--jobs N]`
+
+use elastic_bench::{emit_csv, flag_u64, CsvTable};
+use elastic_core::PolicyKind;
+use hpc_metrics::ascii;
+use sched_sim::{sweep_rescale_gap, SweepPoint};
+
+fn chart(points: &[SweepPoint], metric: fn(&SweepPoint) -> f64, title: &str) {
+    let series: Vec<(&str, Vec<(f64, f64)>)> = PolicyKind::ALL
+        .iter()
+        .map(|&kind| {
+            let name = match kind {
+                PolicyKind::Elastic => "elastic",
+                PolicyKind::Moldable => "moldable",
+                PolicyKind::RigidMin => "min_replicas",
+                PolicyKind::RigidMax => "max_replicas",
+            };
+            let pts: Vec<(f64, f64)> = points
+                .iter()
+                .filter(|p| p.policy == kind)
+                .map(|p| (p.x, metric(p)))
+                .collect();
+            (name, pts)
+        })
+        .collect();
+    println!("{}", ascii::line_chart(title, &series, 64, 12, false));
+}
+
+fn main() {
+    let seeds = flag_u64("--seeds", 100);
+    let jobs = flag_u64("--jobs", 16) as usize;
+    let gaps = [0.0, 60.0, 120.0, 180.0, 300.0, 450.0, 600.0, 900.0, 1200.0];
+    println!(
+        "== Fig. 8: sweep T_rescale_gap {:?} (submission gap 180s, {seeds} seeds, {jobs} jobs) ==",
+        gaps
+    );
+
+    let points = sweep_rescale_gap(&gaps, 180.0, seeds, jobs);
+
+    let mut table = CsvTable::new([
+        "rescale_gap_s",
+        "policy",
+        "utilization",
+        "total_time_s",
+        "weighted_response_s",
+        "weighted_completion_s",
+        "total_time_std",
+    ]);
+    for p in &points {
+        table.row([
+            format!("{}", p.x),
+            p.policy.to_string(),
+            format!("{:.4}", p.utilization),
+            format!("{:.2}", p.total_time),
+            format!("{:.2}", p.weighted_response),
+            format!("{:.2}", p.weighted_completion),
+            format!("{:.2}", p.total_time_std),
+        ]);
+    }
+    emit_csv(&table, "fig8_rescale_gap.csv");
+
+    chart(&points, |p| p.utilization, "Fig 8a: utilization vs T_rescale_gap");
+    chart(&points, |p| p.total_time, "Fig 8b: total time (s) vs T_rescale_gap");
+    chart(&points, |p| p.weighted_response, "Fig 8c: weighted mean response (s)");
+    chart(&points, |p| p.weighted_completion, "Fig 8d: weighted mean completion (s)");
+
+    let at = |x: f64, k: PolicyKind| points.iter().find(|p| p.x == x && p.policy == k).unwrap();
+    println!("shape checks:");
+    println!(
+        "  elastic utilization declines with gap: {:.3} (0s) -> {:.3} (1200s): {}",
+        at(0.0, PolicyKind::Elastic).utilization,
+        at(1200.0, PolicyKind::Elastic).utilization,
+        at(0.0, PolicyKind::Elastic).utilization >= at(1200.0, PolicyKind::Elastic).utilization
+    );
+    println!(
+        "  elastic total grows with gap: {:.0} (0s) -> {:.0} (1200s): {}",
+        at(0.0, PolicyKind::Elastic).total_time,
+        at(1200.0, PolicyKind::Elastic).total_time,
+        at(0.0, PolicyKind::Elastic).total_time <= at(1200.0, PolicyKind::Elastic).total_time
+    );
+    let e = at(1200.0, PolicyKind::Elastic);
+    let m = at(1200.0, PolicyKind::Moldable);
+    println!(
+        "  elastic -> moldable at large gap: |Δutil|={:.4} |Δtotal|={:.1}",
+        (e.utilization - m.utilization).abs(),
+        (e.total_time - m.total_time).abs()
+    );
+}

@@ -1,0 +1,110 @@
+//! Fig. 9 — measured cluster-utilization profiles for the four
+//! schedulers, plus the replica evolution of an xlarge job (elastic).
+//!
+//! Paper: the 16-job campaign on EKS (90 s submission gap,
+//! `T_rescale_gap` = 180 s), utilization tracked per pod. Here the same
+//! campaign runs the real operator + real Jacobi jobs under a
+//! compressed wall clock.
+//!
+//! Usage: `fig9_profiles [--seed N] [--compression N] [--full]
+//!         [--policy elastic|moldable|min|max|all]`
+
+use elastic_bench::actual::{run_campaign, scaled_jobs};
+use elastic_bench::{emit_csv, flag_f64, flag_u64, flag_value, has_flag, CsvTable};
+use elastic_core::PolicyKind;
+use hpc_metrics::ascii;
+use sched_sim::{generate_workload, SizeClass};
+
+fn main() {
+    let seed = flag_u64("--seed", 0);
+    let compression = flag_f64("--compression", 60.0);
+    let full = has_flag("--full");
+    let which = flag_value("--policy").unwrap_or_else(|| "all".into());
+    let kinds: Vec<PolicyKind> = match which.as_str() {
+        "elastic" => vec![PolicyKind::Elastic],
+        "moldable" => vec![PolicyKind::Moldable],
+        "min" => vec![PolicyKind::RigidMin],
+        "max" => vec![PolicyKind::RigidMax],
+        _ => PolicyKind::ALL.to_vec(),
+    };
+
+    println!(
+        "== Fig. 9: utilization profiles (seed {seed}, compression {compression}x, {} mode) ==",
+        if full { "full" } else { "quick" }
+    );
+    for spec in scaled_jobs(seed, full) {
+        println!(
+            "  {}: prio {} replicas [{}, {}]",
+            spec.name, spec.priority, spec.min_replicas, spec.max_replicas
+        );
+    }
+
+    let mut profile_csv = CsvTable::new(["policy", "time_s", "job", "worker_slots"]);
+    for kind in kinds {
+        println!("\n-- running {kind} campaign --");
+        let res = run_campaign(kind, seed, compression, full);
+        println!("  {}", res.metrics.table_row());
+
+        for ev in res.util.events() {
+            profile_csv.row([
+                kind.to_string(),
+                format!("{:.2}", ev.at.as_secs()),
+                ev.job.clone(),
+                ev.slots.to_string(),
+            ]);
+        }
+
+        // Fig. 9a quick-look: total occupancy sampled over the run.
+        let total: Vec<(f64, f64)> = res
+            .util
+            .total_series()
+            .iter()
+            .map(|&(t, v)| (t.as_secs(), f64::from(v)))
+            .collect();
+        if let (Some(first), Some(last)) = (total.first(), total.last()) {
+            println!(
+                "{}",
+                ascii::step_profile(
+                    &kind.to_string(),
+                    &total,
+                    first.0,
+                    last.0,
+                    f64::from(res.capacity),
+                    64,
+                )
+            );
+        }
+
+        // Fig. 9b: replica evolution of the first xlarge job (elastic).
+        if kind == PolicyKind::Elastic {
+            let xlarge = generate_workload(seed, 16)
+                .into_iter()
+                .find(|j| j.class == SizeClass::XLarge)
+                .map(|j| j.name);
+            if let Some(name) = xlarge {
+                if let Some(series) = res.util.per_job_series().get(&name) {
+                    let pts: Vec<(f64, f64)> = series
+                        .iter()
+                        .map(|&(t, v)| (t.as_secs(), f64::from(v)))
+                        .collect();
+                    println!(
+                        "{}",
+                        ascii::line_chart(
+                            &format!("Fig 9b: {name} replicas over time (elastic)"),
+                            &[("replicas", pts.clone())],
+                            64,
+                            10,
+                            false,
+                        )
+                    );
+                    let mut t9b = CsvTable::new(["time_s", "replicas"]);
+                    for (t, v) in pts {
+                        t9b.row_f64([t, v]);
+                    }
+                    emit_csv(&t9b, "fig9b_xlarge_replicas.csv");
+                }
+            }
+        }
+    }
+    emit_csv(&profile_csv, "fig9a_utilization_profiles.csv");
+}

@@ -1,0 +1,164 @@
+//! Converse Client-Server (CCS) style external control.
+//!
+//! The paper's operator signals a running Charm++ application to shrink
+//! or expand through the CCS interface (§2.2); the application applies
+//! the request at its next load-balancing step and acknowledges. Here
+//! the endpoint is an in-process queue: the operator holds a
+//! [`CcsClient`], the application driver polls the paired endpoint at
+//! sync boundaries, and the acknowledgement carries the full
+//! [`RescaleReport`] so the caller sees per-stage overhead.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::rescale::RescaleReport;
+
+/// A rescale request awaiting application.
+pub struct CcsRequest {
+    /// Desired PE count.
+    pub target_pes: usize,
+    /// Where to deliver the acknowledgement.
+    pub reply: Sender<RescaleReport>,
+}
+
+impl std::fmt::Debug for CcsRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CcsRequest(target_pes={})", self.target_pes)
+    }
+}
+
+#[derive(Default)]
+struct Shared {
+    queue: Mutex<VecDeque<CcsRequest>>,
+}
+
+/// Server side: owned by the runtime, polled by the driver.
+#[derive(Clone, Default)]
+pub struct CcsEndpoint {
+    shared: Arc<Shared>,
+}
+
+impl CcsEndpoint {
+    /// A fresh endpoint with no pending requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A client handle for external controllers.
+    pub fn client(&self) -> CcsClient {
+        CcsClient {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Removes the oldest pending request, if any.
+    pub fn take_pending(&self) -> Option<CcsRequest> {
+        self.shared.queue.lock().pop_front()
+    }
+
+    /// Removes all but the newest pending request and returns that one —
+    /// a controller that signalled twice before a boundary only wants
+    /// the latest target.
+    pub fn take_latest(&self) -> Option<CcsRequest> {
+        let mut q = self.shared.queue.lock();
+        let latest = q.pop_back();
+        q.clear();
+        latest
+    }
+
+    /// Number of requests waiting.
+    pub fn pending(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+}
+
+/// Client side: held by the operator / external controller.
+#[derive(Clone)]
+pub struct CcsClient {
+    shared: Arc<Shared>,
+}
+
+impl CcsClient {
+    /// Requests a rescale to `target_pes`; the returned receiver yields
+    /// the report once the application has applied the request at a
+    /// sync boundary.
+    pub fn request_rescale(&self, target_pes: usize) -> Receiver<RescaleReport> {
+        assert!(target_pes >= 1, "cannot rescale to zero PEs");
+        let (tx, rx) = bounded(1);
+        self.shared.queue.lock().push_back(CcsRequest {
+            target_pes,
+            reply: tx,
+        });
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_flows_to_endpoint_and_ack_flows_back() {
+        let ep = CcsEndpoint::new();
+        let client = ep.client();
+        let ack = client.request_rescale(8);
+        let req = ep.take_pending().expect("request queued");
+        assert_eq!(req.target_pes, 8);
+        req.reply.send(RescaleReport::noop(8)).unwrap();
+        let report = ack.recv().unwrap();
+        assert_eq!(report.to_pes, 8);
+    }
+
+    #[test]
+    fn requests_are_fifo() {
+        let ep = CcsEndpoint::new();
+        let client = ep.client();
+        let _a1 = client.request_rescale(4);
+        let _a2 = client.request_rescale(16);
+        assert_eq!(ep.pending(), 2);
+        assert_eq!(ep.take_pending().unwrap().target_pes, 4);
+        assert_eq!(ep.take_pending().unwrap().target_pes, 16);
+        assert!(ep.take_pending().is_none());
+    }
+
+    #[test]
+    fn take_latest_collapses_burst() {
+        let ep = CcsEndpoint::new();
+        let client = ep.client();
+        let _a1 = client.request_rescale(4);
+        let _a2 = client.request_rescale(16);
+        let _a3 = client.request_rescale(2);
+        assert_eq!(ep.take_latest().unwrap().target_pes, 2);
+        assert_eq!(ep.pending(), 0);
+    }
+
+    #[test]
+    fn dropped_ack_receiver_does_not_poison_reply() {
+        let ep = CcsEndpoint::new();
+        let client = ep.client();
+        drop(client.request_rescale(4));
+        let req = ep.take_pending().unwrap();
+        // Sending to a dropped receiver must be a clean error, not a panic.
+        assert!(req.reply.send(RescaleReport::noop(4)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero PEs")]
+    fn zero_target_rejected() {
+        let ep = CcsEndpoint::new();
+        let _ = ep.client().request_rescale(0);
+    }
+
+    #[test]
+    fn clients_are_cloneable_and_share_queue() {
+        let ep = CcsEndpoint::new();
+        let c1 = ep.client();
+        let c2 = c1.clone();
+        let _a = c1.request_rescale(2);
+        let _b = c2.request_rescale(3);
+        assert_eq!(ep.pending(), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Dynamic load balancing.
+//!
+//! Charm++'s measurement-based load balancers observe per-chare execution
+//! time and produce a new chare→PE assignment; the runtime migrates the
+//! difference. The same machinery drives rescaling: a *shrink* runs the
+//! balancer with the dying PEs in the evacuation set (mirroring Charm++
+//! disabling object assignment to PEs about to be removed, §2.2 of the
+//! paper), and an *expand* runs it right after restart to spread load
+//! onto the new PEs.
+
+mod greedy;
+mod refine;
+mod rotate;
+
+pub use greedy::GreedyLb;
+pub use refine::RefineLb;
+pub use rotate::RotateLb;
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::{ChareId, PeId};
+
+/// One chare's measured load, as reported by its hosting PE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChareStat {
+    /// The chare.
+    pub id: ChareId,
+    /// Where it currently lives.
+    pub pe: PeId,
+    /// Busy seconds accumulated since the last stats collection.
+    pub load: f64,
+}
+
+/// A chare→PE assignment produced by a strategy.
+pub type Assignment = HashMap<ChareId, PeId>;
+
+/// A load-balancing strategy.
+///
+/// Contract: the returned assignment must map **every** chare in `stats`
+/// to a PE in `0..num_pes` that is not in `evacuate`. The framework
+/// validates this (see [`validate_assignment`]) and panics on violation,
+/// since a dropped chare is unrecoverable.
+pub trait LbStrategy: Send + Sync {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes a full assignment.
+    fn assign(
+        &self,
+        stats: &[ChareStat],
+        num_pes: usize,
+        evacuate: &HashSet<PeId>,
+    ) -> Assignment;
+}
+
+/// Checks the [`LbStrategy`] contract; panics with a diagnostic on
+/// violation.
+pub fn validate_assignment(
+    assignment: &Assignment,
+    stats: &[ChareStat],
+    num_pes: usize,
+    evacuate: &HashSet<PeId>,
+) {
+    assert!(
+        num_pes > evacuate.len(),
+        "evacuating {} of {num_pes} PEs leaves nothing to run on",
+        evacuate.len()
+    );
+    for s in stats {
+        let pe = assignment
+            .get(&s.id)
+            .unwrap_or_else(|| panic!("LB dropped chare {}", s.id));
+        assert!(
+            pe.as_usize() < num_pes,
+            "LB assigned {} to nonexistent {pe}",
+            s.id
+        );
+        assert!(
+            !evacuate.contains(pe),
+            "LB assigned {} to evacuated {pe}",
+            s.id
+        );
+    }
+}
+
+/// Per-PE total load under an assignment.
+pub fn pe_loads(assignment: &Assignment, stats: &[ChareStat], num_pes: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; num_pes];
+    for s in stats {
+        if let Some(pe) = assignment.get(&s.id) {
+            loads[pe.as_usize()] += s.load;
+        }
+    }
+    loads
+}
+
+/// Max/average load ratio (1.0 = perfectly balanced); `None` if total
+/// load is zero.
+pub fn imbalance(assignment: &Assignment, stats: &[ChareStat], num_pes: usize) -> Option<f64> {
+    let loads = pe_loads(assignment, stats, num_pes);
+    let total: f64 = loads.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let avg = total / num_pes as f64;
+    let max = loads.iter().copied().fold(0.0, f64::max);
+    Some(max / avg)
+}
+
+/// The PEs allowed to receive chares: `0..num_pes` minus `evacuate`,
+/// sorted — shared by strategies for deterministic iteration order.
+pub(crate) fn allowed_pes(num_pes: usize, evacuate: &HashSet<PeId>) -> Vec<PeId> {
+    (0..num_pes as u32)
+        .map(PeId)
+        .filter(|pe| !evacuate.contains(pe))
+        .collect()
+}
+
+/// Sorts stats by descending load, tie-broken by id for determinism.
+pub(crate) fn by_descending_load(stats: &[ChareStat]) -> Vec<&ChareStat> {
+    let mut v: Vec<&ChareStat> = stats.iter().collect();
+    v.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.id.cmp(&b.id)));
+    v
+}
+
+/// Replaces missing load measurements with usable ones: if *no* chare
+/// has measured load (e.g. the LB step right after an expand-restart,
+/// when fresh PEs have empty accumulators), fall back to unit loads so
+/// strategies balance by chare count; otherwise give zero-load chares a
+/// tiny epsilon so they still spread instead of piling onto one PE.
+pub(crate) fn effective_stats(stats: &[ChareStat]) -> Vec<ChareStat> {
+    let total: f64 = stats.iter().map(|s| s.load).sum();
+    if total <= 0.0 {
+        return stats
+            .iter()
+            .map(|s| ChareStat { load: 1.0, ..*s })
+            .collect();
+    }
+    let min_pos = stats
+        .iter()
+        .map(|s| s.load)
+        .filter(|&l| l > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let eps = min_pos * 1e-3;
+    stats
+        .iter()
+        .map(|s| ChareStat {
+            load: if s.load > 0.0 { s.load } else { eps },
+            ..*s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::ids::{ArrayId, Index};
+
+    /// Builds stats: chare i on PE (i % pes) with the given load.
+    pub fn mk_stats(loads: &[f64], pes: usize) -> Vec<ChareStat> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(i, &load)| ChareStat {
+                id: ChareId::new(ArrayId(0), Index::d1(i as u64)),
+                pe: PeId((i % pes) as u32),
+                load,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::mk_stats;
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn helpers_compute_loads_and_imbalance() {
+        let stats = mk_stats(&[1.0, 2.0, 3.0, 6.0], 2);
+        let mut a = Assignment::new();
+        for s in &stats {
+            a.insert(s.id, s.pe);
+        }
+        // PE0: 1+3=4, PE1: 2+6=8; avg 6 -> imbalance 8/6.
+        assert_eq!(pe_loads(&a, &stats, 2), vec![4.0, 8.0]);
+        assert!((imbalance(&a, &stats, 2).unwrap() - 8.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_none_for_zero_load() {
+        let stats = mk_stats(&[0.0, 0.0], 2);
+        let mut a = Assignment::new();
+        for s in &stats {
+            a.insert(s.id, s.pe);
+        }
+        assert_eq!(imbalance(&a, &stats, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dropped chare")]
+    fn validate_catches_dropped_chare() {
+        let stats = mk_stats(&[1.0], 2);
+        validate_assignment(&Assignment::new(), &stats, 2, &HashSet::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "evacuated")]
+    fn validate_catches_evacuated_target() {
+        let stats = mk_stats(&[1.0], 2);
+        let mut a = Assignment::new();
+        a.insert(stats[0].id, PeId(1));
+        let evac: HashSet<PeId> = [PeId(1)].into_iter().collect();
+        validate_assignment(&a, &stats, 2, &evac);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent")]
+    fn validate_catches_out_of_range_pe() {
+        let stats = mk_stats(&[1.0], 2);
+        let mut a = Assignment::new();
+        a.insert(stats[0].id, PeId(7));
+        validate_assignment(&a, &stats, 2, &HashSet::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves nothing")]
+    fn validate_catches_total_evacuation() {
+        let evac: HashSet<PeId> = [PeId(0)].into_iter().collect();
+        validate_assignment(&Assignment::new(), &[], 1, &evac);
+    }
+
+    /// All three strategies must satisfy the framework contract on
+    /// arbitrary inputs — the single most important LB property.
+    fn strategies() -> Vec<Box<dyn LbStrategy>> {
+        vec![
+            Box::new(GreedyLb),
+            Box::new(RefineLb::default()),
+            Box::new(RotateLb),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn all_strategies_satisfy_contract(
+            loads in proptest::collection::vec(0.0f64..10.0, 1..64),
+            num_pes in 1usize..12,
+            evac_mask in any::<u16>(),
+        ) {
+            let evacuate: HashSet<PeId> = (0..num_pes as u32)
+                .filter(|i| evac_mask & (1 << (i % 16)) != 0)
+                .map(PeId)
+                .collect();
+            prop_assume!(evacuate.len() < num_pes);
+            let stats = mk_stats(&loads, num_pes);
+            for s in strategies() {
+                let a = s.assign(&stats, num_pes, &evacuate);
+                validate_assignment(&a, &stats, num_pes, &evacuate);
+            }
+        }
+
+        #[test]
+        fn greedy_imbalance_bounded(
+            loads in proptest::collection::vec(0.01f64..10.0, 8..64),
+            num_pes in 2usize..8,
+        ) {
+            // Greedy (LPT) guarantees max load <= (4/3 - 1/3m) * OPT, and
+            // OPT >= max(avg, largest item). Check the looser avg+max bound.
+            let stats = mk_stats(&loads, num_pes);
+            let a = GreedyLb.assign(&stats, num_pes, &HashSet::new());
+            let per_pe = pe_loads(&a, &stats, num_pes);
+            let total: f64 = loads.iter().sum();
+            let avg = total / num_pes as f64;
+            let lmax = loads.iter().copied().fold(0.0, f64::max);
+            let max = per_pe.iter().copied().fold(0.0, f64::max);
+            prop_assert!(max <= avg + lmax + 1e-9,
+                "greedy max {max} > avg {avg} + largest {lmax}");
+        }
+    }
+}

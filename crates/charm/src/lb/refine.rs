@@ -1,0 +1,208 @@
+//! RefineLB: migration-minimizing incremental balancer.
+//!
+//! Starts from the current placement and only moves chares off PEs whose
+//! load exceeds `tolerance ×` the average (plus everything on evacuated
+//! PEs). Charm++ uses RefineLB when migration cost matters more than
+//! perfect balance — our operator uses it for the periodic (non-rescale)
+//! LB steps.
+
+use std::collections::HashSet;
+
+use crate::ids::PeId;
+
+use super::{allowed_pes, effective_stats, Assignment, ChareStat, LbStrategy};
+
+/// Incremental balancer with bounded migrations.
+#[derive(Debug, Clone, Copy)]
+pub struct RefineLb {
+    /// Overload threshold as a multiple of the average PE load.
+    pub tolerance: f64,
+    /// Upper bound on refinement passes (safety valve).
+    pub max_moves: usize,
+}
+
+impl Default for RefineLb {
+    fn default() -> Self {
+        RefineLb {
+            tolerance: 1.05,
+            max_moves: 10_000,
+        }
+    }
+}
+
+impl LbStrategy for RefineLb {
+    fn name(&self) -> &'static str {
+        "refine"
+    }
+
+    fn assign(
+        &self,
+        stats: &[ChareStat],
+        num_pes: usize,
+        evacuate: &HashSet<PeId>,
+    ) -> Assignment {
+        let targets = allowed_pes(num_pes, evacuate);
+        assert!(!targets.is_empty(), "no PEs left after evacuation");
+        let stats = &effective_stats(stats)[..];
+
+        // Start from current placement, redirecting evacuees to the
+        // (currently) least-loaded allowed PE.
+        let mut out = Assignment::with_capacity(stats.len());
+        let mut loads = vec![0.0f64; num_pes];
+        // Seed loads with chares that stay.
+        for s in stats {
+            if !evacuate.contains(&s.pe) && s.pe.as_usize() < num_pes {
+                out.insert(s.id, s.pe);
+                loads[s.pe.as_usize()] += s.load;
+            }
+        }
+        let least_loaded = |loads: &[f64], targets: &[PeId]| -> PeId {
+            *targets
+                .iter()
+                .min_by(|a, b| {
+                    loads[a.as_usize()]
+                        .total_cmp(&loads[b.as_usize()])
+                        .then_with(|| a.cmp(b))
+                })
+                .expect("non-empty targets")
+        };
+        // Forced moves: evacuees (and chares on out-of-range PEs).
+        let mut evacuees: Vec<&ChareStat> = stats
+            .iter()
+            .filter(|s| evacuate.contains(&s.pe) || s.pe.as_usize() >= num_pes)
+            .collect();
+        evacuees.sort_by(|a, b| b.load.total_cmp(&a.load).then_with(|| a.id.cmp(&b.id)));
+        for s in evacuees {
+            let dest = least_loaded(&loads, &targets);
+            out.insert(s.id, dest);
+            loads[dest.as_usize()] += s.load;
+        }
+
+        // Refinement: move chares from overloaded PEs to the least
+        // loaded until within tolerance (or out of productive moves).
+        let total: f64 = stats.iter().map(|s| s.load).sum();
+        let avg = total / targets.len() as f64;
+        if avg <= 0.0 {
+            return out;
+        }
+        let threshold = avg * self.tolerance;
+        for _ in 0..self.max_moves {
+            let donor = *targets
+                .iter()
+                .max_by(|a, b| {
+                    loads[a.as_usize()]
+                        .total_cmp(&loads[b.as_usize()])
+                        .then_with(|| a.cmp(b))
+                })
+                .expect("non-empty targets");
+            if loads[donor.as_usize()] <= threshold {
+                break;
+            }
+            let recipient = least_loaded(&loads, &targets);
+            if recipient == donor {
+                break;
+            }
+            let gap = loads[donor.as_usize()] - loads[recipient.as_usize()];
+            // Best chare: largest load that still shrinks the gap (i.e.
+            // load < gap), preferring the biggest such move.
+            let candidate = stats
+                .iter()
+                .filter(|s| out.get(&s.id) == Some(&donor) && s.load > 0.0 && s.load < gap)
+                .max_by(|a, b| a.load.total_cmp(&b.load).then_with(|| b.id.cmp(&a.id)));
+            match candidate {
+                Some(s) => {
+                    out.insert(s.id, recipient);
+                    loads[donor.as_usize()] -= s.load;
+                    loads[recipient.as_usize()] += s.load;
+                }
+                None => break, // no productive move exists
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{imbalance, pe_loads, testutil::mk_stats, validate_assignment};
+    use super::*;
+
+    #[test]
+    fn leaves_balanced_placement_untouched() {
+        let stats = mk_stats(&[1.0, 1.0, 1.0, 1.0], 4); // one per PE
+        let a = RefineLb::default().assign(&stats, 4, &HashSet::new());
+        for s in &stats {
+            assert_eq!(a[&s.id], s.pe, "balanced chare should not move");
+        }
+    }
+
+    #[test]
+    fn drains_overloaded_pe() {
+        // 6 unit chares all on PE0 of 3: must end within tolerance.
+        let stats = mk_stats(&[1.0; 6], 1);
+        let a = RefineLb::default().assign(&stats, 3, &HashSet::new());
+        let imb = imbalance(&a, &stats, 3).unwrap();
+        assert!(imb <= 1.05 + 1e-9, "imbalance {imb} > tolerance");
+    }
+
+    #[test]
+    fn migrates_less_than_greedy() {
+        // Mildly imbalanced start: refine should move few chares.
+        let loads = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.5];
+        let stats = mk_stats(&loads, 4);
+        let a = RefineLb::default().assign(&stats, 4, &HashSet::new());
+        let moved = stats.iter().filter(|s| a[&s.id] != s.pe).count();
+        assert!(moved <= 2, "refine moved {moved} chares on mild imbalance");
+    }
+
+    #[test]
+    fn evacuation_forces_moves_and_respects_targets() {
+        let stats = mk_stats(&[2.0; 8], 4);
+        let evac: HashSet<PeId> = [PeId(3)].into_iter().collect();
+        let a = RefineLb::default().assign(&stats, 4, &evac);
+        validate_assignment(&a, &stats, 4, &evac);
+        let loads = pe_loads(&a, &stats, 4);
+        assert_eq!(loads[3], 0.0);
+        // 16 total over 3 PEs: within one chare of even.
+        assert!(loads.iter().take(3).all(|&l| l >= 4.0 && l <= 8.0));
+    }
+
+    #[test]
+    fn shrink_style_evacuation_of_upper_half() {
+        // The rescale path: evacuate PEs {2,3} of 4.
+        let stats = mk_stats(&[1.0; 16], 4);
+        let evac: HashSet<PeId> = [PeId(2), PeId(3)].into_iter().collect();
+        let a = RefineLb::default().assign(&stats, 4, &evac);
+        let loads = pe_loads(&a, &stats, 4);
+        assert_eq!(loads, vec![8.0, 8.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_total_load_keeps_placement() {
+        let stats = mk_stats(&[0.0; 4], 2);
+        let a = RefineLb::default().assign(&stats, 2, &HashSet::new());
+        for s in &stats {
+            assert_eq!(a[&s.id], s.pe);
+        }
+    }
+
+    #[test]
+    fn chares_on_out_of_range_pes_are_rescued() {
+        // Expand-restore leaves everything on PEs < old count; refine
+        // must also handle stats that reference PEs >= num_pes (defensive).
+        let mut stats = mk_stats(&[1.0; 4], 2);
+        stats[0].pe = PeId(9);
+        let a = RefineLb::default().assign(&stats, 2, &HashSet::new());
+        validate_assignment(&a, &stats, 2, &HashSet::new());
+    }
+
+    #[test]
+    fn one_huge_chare_cannot_be_split() {
+        // A single chare with all the load: imbalance is irreducible;
+        // refine must terminate and keep a full assignment.
+        let stats = mk_stats(&[100.0, 0.1, 0.1, 0.1], 2);
+        let a = RefineLb::default().assign(&stats, 2, &HashSet::new());
+        validate_assignment(&a, &stats, 2, &HashSet::new());
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -1,0 +1,87 @@
+//! RotateLB: move every chare to the next PE.
+//!
+//! A correctness-testing balancer (Charm++ ships the same): it forces
+//! maximal migration regardless of load, which exercises the migration
+//! machinery (pack → transfer → unpack → location update) end to end.
+
+use std::collections::HashSet;
+
+use crate::ids::PeId;
+
+use super::{allowed_pes, Assignment, ChareStat, LbStrategy};
+
+/// Shifts each chare to the next allowed PE (cyclically).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RotateLb;
+
+impl LbStrategy for RotateLb {
+    fn name(&self) -> &'static str {
+        "rotate"
+    }
+
+    fn assign(
+        &self,
+        stats: &[ChareStat],
+        num_pes: usize,
+        evacuate: &HashSet<PeId>,
+    ) -> Assignment {
+        let targets = allowed_pes(num_pes, evacuate);
+        assert!(!targets.is_empty(), "no PEs left after evacuation");
+        let mut out = Assignment::with_capacity(stats.len());
+        for s in stats {
+            // Position of the first allowed PE strictly after the
+            // current one (cyclic). Evacuated current PEs land on the
+            // next allowed PE as well.
+            let next = targets
+                .iter()
+                .position(|pe| pe.as_usize() > s.pe.as_usize())
+                .unwrap_or(0);
+            out.insert(s.id, targets[next]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::mk_stats;
+    use super::super::validate_assignment;
+    use super::*;
+
+    #[test]
+    fn rotates_every_chare() {
+        let stats = mk_stats(&[1.0; 8], 4);
+        let a = RotateLb.assign(&stats, 4, &HashSet::new());
+        for s in &stats {
+            assert_eq!(a[&s.id].as_usize(), (s.pe.as_usize() + 1) % 4);
+        }
+    }
+
+    #[test]
+    fn single_pe_maps_to_itself() {
+        let stats = mk_stats(&[1.0; 3], 1);
+        let a = RotateLb.assign(&stats, 1, &HashSet::new());
+        assert!(a.values().all(|&pe| pe == PeId(0)));
+    }
+
+    #[test]
+    fn skips_evacuated_pes() {
+        let stats = mk_stats(&[1.0; 4], 4); // one per PE 0..3
+        let evac: HashSet<PeId> = [PeId(1)].into_iter().collect();
+        let a = RotateLb.assign(&stats, 4, &evac);
+        validate_assignment(&a, &stats, 4, &evac);
+        // Chare on PE0 would rotate to PE1 (evacuated) -> lands on PE2.
+        assert_eq!(a[&stats[0].id], PeId(2));
+        // Chare on PE3 wraps to PE0.
+        assert_eq!(a[&stats[3].id], PeId(0));
+    }
+
+    #[test]
+    fn wraps_from_last_pe() {
+        let stats = mk_stats(&[1.0], 1); // chare on PE0
+        let mut stats = stats;
+        stats[0].pe = PeId(2);
+        let a = RotateLb.assign(&stats, 3, &HashSet::new());
+        assert_eq!(a[&stats[0].id], PeId(0));
+    }
+}

@@ -1,0 +1,148 @@
+//! Rescale protocol reports.
+//!
+//! The paper decomposes rescaling overhead into four stages (§4.2):
+//! load balance, checkpoint, restart, restore — ordered
+//! LB→ckpt→restart→restore for shrink and ckpt→restart→restore→LB for
+//! expand. [`RescaleReport`] carries exactly those measurements; the
+//! Fig. 5 benchmarks print them per stage.
+
+use hpc_metrics::Duration;
+
+/// Shrink or expand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RescaleKind {
+    /// PE count decreased.
+    Shrink,
+    /// PE count increased.
+    Expand,
+    /// Requested count equalled the current count; nothing happened.
+    NoOp,
+}
+
+impl std::fmt::Display for RescaleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RescaleKind::Shrink => write!(f, "shrink"),
+            RescaleKind::Expand => write!(f, "expand"),
+            RescaleKind::NoOp => write!(f, "noop"),
+        }
+    }
+}
+
+/// Wall-clock cost of each rescale stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Load-balance step (before checkpoint on shrink, after restore on
+    /// expand).
+    pub lb: Duration,
+    /// Serializing all chares into the in-memory store.
+    pub checkpoint: Duration,
+    /// Tearing down and relaunching the PE pool (the MPI-restart
+    /// analogue; includes the configured per-PE startup surrogate).
+    pub restart: Duration,
+    /// Deserializing chares out of the store onto their PEs.
+    pub restore: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.lb + self.checkpoint + self.restart + self.restore
+    }
+}
+
+/// The outcome of one rescale operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RescaleReport {
+    /// Shrink, expand or no-op.
+    pub kind: RescaleKind,
+    /// PE count before.
+    pub from_pes: usize,
+    /// PE count after.
+    pub to_pes: usize,
+    /// Per-stage costs.
+    pub stages: StageTimings,
+    /// Chares migrated by the LB stage.
+    pub migrated: usize,
+    /// Bytes written to the checkpoint store.
+    pub checkpoint_bytes: usize,
+}
+
+impl RescaleReport {
+    /// Total rescale overhead.
+    pub fn total(&self) -> Duration {
+        self.stages.total()
+    }
+
+    /// A zero-cost report for a no-op request.
+    pub fn noop(pes: usize) -> Self {
+        RescaleReport {
+            kind: RescaleKind::NoOp,
+            from_pes: pes,
+            to_pes: pes,
+            stages: StageTimings::default(),
+            migrated: 0,
+            checkpoint_bytes: 0,
+        }
+    }
+}
+
+impl std::fmt::Display for RescaleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}->{} pes: lb={} ckpt={} restart={} restore={} total={} ({} migrated, {} ckpt bytes)",
+            self.kind,
+            self.from_pes,
+            self.to_pes,
+            self.stages.lb,
+            self.stages.checkpoint,
+            self.stages.restart,
+            self.stages.restore,
+            self.total(),
+            self.migrated,
+            self.checkpoint_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_total_sums_components() {
+        let s = StageTimings {
+            lb: Duration::from_secs(1.0),
+            checkpoint: Duration::from_secs(2.0),
+            restart: Duration::from_secs(3.0),
+            restore: Duration::from_secs(4.0),
+        };
+        assert_eq!(s.total().as_secs(), 10.0);
+    }
+
+    #[test]
+    fn noop_report_is_zero_cost() {
+        let r = RescaleReport::noop(8);
+        assert_eq!(r.kind, RescaleKind::NoOp);
+        assert_eq!(r.from_pes, 8);
+        assert_eq!(r.to_pes, 8);
+        assert_eq!(r.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_mentions_all_stages() {
+        let r = RescaleReport {
+            kind: RescaleKind::Shrink,
+            from_pes: 4,
+            to_pes: 2,
+            stages: StageTimings::default(),
+            migrated: 7,
+            checkpoint_bytes: 1024,
+        };
+        let s = r.to_string();
+        for needle in ["shrink", "4->2", "lb=", "ckpt=", "restart=", "restore=", "7 migrated"] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! PE message routing.
+//!
+//! The router owns the send endpoints of every PE's message queue. It is
+//! the piece that gets *swapped out* on restart: shrink/expand replaces
+//! the endpoint table wholesale (a new generation), which models tearing
+//! down and relaunching the MPI job in the paper's checkpoint/restart
+//! rescale protocol.
+
+use crossbeam::channel::Sender;
+use parking_lot::RwLock;
+
+use crate::ids::PeId;
+use crate::msg::PeMsg;
+
+/// Routes messages to PE worker queues.
+#[derive(Default)]
+pub struct Router {
+    endpoints: RwLock<Endpoints>,
+}
+
+#[derive(Default)]
+struct Endpoints {
+    txs: Vec<Sender<PeMsg>>,
+    generation: u64,
+}
+
+impl Router {
+    /// An empty router (no PEs yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the endpoint table; called at startup and on restart.
+    /// Returns the new generation number.
+    pub fn set_endpoints(&self, txs: Vec<Sender<PeMsg>>) -> u64 {
+        let mut ep = self.endpoints.write();
+        ep.txs = txs;
+        ep.generation += 1;
+        ep.generation
+    }
+
+    /// Number of live PEs.
+    pub fn len(&self) -> usize {
+        self.endpoints.read().txs.len()
+    }
+
+    /// `true` when no endpoints are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current endpoint-table generation (bumps on every restart).
+    pub fn generation(&self) -> u64 {
+        self.endpoints.read().generation
+    }
+
+    /// Sends `msg` to `pe`. Returns `false` if the PE does not exist or
+    /// its queue is disconnected (e.g. mid-restart) — callers at sync
+    /// boundaries treat that as a protocol bug, in-flight app code treats
+    /// it as a drop.
+    pub fn send(&self, pe: PeId, msg: PeMsg) -> bool {
+        let ep = self.endpoints.read();
+        match ep.txs.get(pe.as_usize()) {
+            Some(tx) => tx.send(msg).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Sends `Stop` to every PE.
+    pub fn stop_all(&self) {
+        let ep = self.endpoints.read();
+        for tx in &ep.txs {
+            let _ = tx.send(PeMsg::Stop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn routes_to_correct_pe() {
+        let router = Router::new();
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        router.set_endpoints(vec![tx0, tx1]);
+        assert_eq!(router.len(), 2);
+        assert!(router.send(PeId(1), PeMsg::Stop));
+        assert!(rx1.try_recv().is_ok());
+        assert!(rx0.try_recv().is_err());
+    }
+
+    #[test]
+    fn unknown_pe_returns_false() {
+        let router = Router::new();
+        assert!(!router.send(PeId(0), PeMsg::Stop));
+        assert!(router.is_empty());
+    }
+
+    #[test]
+    fn generation_bumps_on_swap() {
+        let router = Router::new();
+        let g1 = router.set_endpoints(vec![]);
+        let g2 = router.set_endpoints(vec![]);
+        assert!(g2 > g1);
+        assert_eq!(router.generation(), g2);
+    }
+
+    #[test]
+    fn disconnected_queue_reports_failure() {
+        let router = Router::new();
+        let (tx, rx) = unbounded();
+        router.set_endpoints(vec![tx]);
+        drop(rx);
+        assert!(!router.send(PeId(0), PeMsg::Stop));
+    }
+
+    #[test]
+    fn stop_all_reaches_every_pe() {
+        let router = Router::new();
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        router.set_endpoints(vec![tx0, tx1]);
+        router.stop_all();
+        assert!(matches!(rx0.try_recv().unwrap(), PeMsg::Stop));
+        assert!(matches!(rx1.try_recv().unwrap(), PeMsg::Stop));
+    }
+}

@@ -1,0 +1,232 @@
+//! The CharmJob custom resource.
+//!
+//! The paper extends the MPI-operator CRD with `minReplicas`,
+//! `maxReplicas` and `priority` fields (§3.2.1). A CharmJob's spec also
+//! carries the application template (which mini-app to run and its
+//! problem size) so the operator can launch real work; status tracks the
+//! job's scheduling lifecycle and the timestamps the evaluation metrics
+//! are computed from.
+
+use hpc_metrics::SimTime;
+use kube_sim::Resource;
+
+/// Which application a job runs, with its problem parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppSpec {
+    /// Jacobi2D: `grid`×`grid` points in `blocks`×`blocks` chares,
+    /// `total_iters` iterations in windows of `window`.
+    Jacobi {
+        /// Grid dimension.
+        grid: usize,
+        /// Blocks per dimension.
+        blocks: u64,
+        /// Total iterations to run.
+        total_iters: u64,
+        /// Iterations per sync window.
+        window: u64,
+    },
+    /// Synthetic spin workload: `chares` chares × `total_iters`
+    /// iterations of `spin` work units, windows of `window`.
+    Synthetic {
+        /// Chare count.
+        chares: u64,
+        /// Spin units per iteration.
+        spin: u64,
+        /// Total iterations.
+        total_iters: u64,
+        /// Iterations per sync window.
+        window: u64,
+    },
+    /// No real execution: completion is driven by a runtime model
+    /// (virtual-time operator tests and the DES cross-validation).
+    Modeled {
+        /// Total iterations of modeled work.
+        total_iters: u64,
+    },
+}
+
+impl AppSpec {
+    /// Total iterations the job must execute to complete.
+    pub fn total_iters(&self) -> u64 {
+        match self {
+            AppSpec::Jacobi { total_iters, .. }
+            | AppSpec::Synthetic { total_iters, .. }
+            | AppSpec::Modeled { total_iters } => *total_iters,
+        }
+    }
+}
+
+/// The user-provided job specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharmJobSpec {
+    /// Unique job name.
+    pub name: String,
+    /// Smallest worker count the job can run with.
+    pub min_replicas: u32,
+    /// Largest worker count the job can use.
+    pub max_replicas: u32,
+    /// User priority; larger is more important (paper uses 1–5).
+    pub priority: u32,
+    /// The application to execute.
+    pub app: AppSpec,
+}
+
+impl CharmJobSpec {
+    /// Validates invariants (min ≤ max, min ≥ 1).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.min_replicas == 0 {
+            return Err(format!("{}: min_replicas must be >= 1", self.name));
+        }
+        if self.min_replicas > self.max_replicas {
+            return Err(format!(
+                "{}: min_replicas {} > max_replicas {}",
+                self.name, self.min_replicas, self.max_replicas
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Scheduling lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Submitted, waiting in the scheduler queue.
+    Queued,
+    /// Pods created; waiting for all of them to run.
+    Starting,
+    /// Application executing.
+    Running,
+    /// Application finished; resources released.
+    Completed,
+}
+
+/// Server-side job status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharmJobStatus {
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Current worker allocation (0 while queued).
+    pub replicas: u32,
+    /// Worker count the operator is converging toward (differs from
+    /// `replicas` while a rescale is in flight).
+    pub desired_replicas: u32,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Time of the last scheduling action on this job (creation,
+    /// shrink or expand) — the `lastAction` of the paper's `T_rescale_gap`
+    /// bookkeeping. `NEG_INFINITY` until the first action.
+    pub last_action: SimTime,
+    /// First time the application actually started.
+    pub started_at: Option<SimTime>,
+    /// Completion time.
+    pub completed_at: Option<SimTime>,
+}
+
+impl CharmJobStatus {
+    /// Fresh status for a job submitted at `t`.
+    pub fn submitted(t: SimTime) -> Self {
+        CharmJobStatus {
+            phase: JobPhase::Queued,
+            replicas: 0,
+            desired_replicas: 0,
+            submitted_at: t,
+            last_action: SimTime::NEG_INFINITY,
+            started_at: None,
+            completed_at: None,
+        }
+    }
+
+    /// Response time (start − submit), if started.
+    pub fn response_time(&self) -> Option<hpc_metrics::Duration> {
+        self.started_at.map(|s| s - self.submitted_at)
+    }
+
+    /// Completion time (complete − submit), if completed.
+    pub fn completion_time(&self) -> Option<hpc_metrics::Duration> {
+        self.completed_at.map(|c| c - self.submitted_at)
+    }
+}
+
+/// The stored custom resource: spec + status.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharmJob {
+    /// User spec.
+    pub spec: CharmJobSpec,
+    /// Controller-managed status.
+    pub status: CharmJobStatus,
+}
+
+impl CharmJob {
+    /// A freshly submitted job.
+    pub fn submitted(spec: CharmJobSpec, t: SimTime) -> Self {
+        CharmJob {
+            spec,
+            status: CharmJobStatus::submitted(t),
+        }
+    }
+}
+
+impl Resource for CharmJob {
+    fn name(&self) -> &str {
+        &self.spec.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str, min: u32, max: u32) -> CharmJobSpec {
+        CharmJobSpec {
+            name: name.into(),
+            min_replicas: min,
+            max_replicas: max,
+            priority: 3,
+            app: AppSpec::Modeled { total_iters: 100 },
+        }
+    }
+
+    #[test]
+    fn validation_rules() {
+        assert!(spec("a", 2, 8).validate().is_ok());
+        assert!(spec("a", 0, 8).validate().is_err());
+        assert!(spec("a", 9, 8).validate().is_err());
+        assert!(spec("a", 8, 8).validate().is_ok(), "rigid jobs allowed");
+    }
+
+    #[test]
+    fn status_lifecycle_metrics() {
+        let mut st = CharmJobStatus::submitted(SimTime::from_secs(10.0));
+        assert_eq!(st.phase, JobPhase::Queued);
+        assert_eq!(st.last_action, SimTime::NEG_INFINITY);
+        assert!(st.response_time().is_none());
+        st.started_at = Some(SimTime::from_secs(25.0));
+        st.completed_at = Some(SimTime::from_secs(100.0));
+        assert_eq!(st.response_time().unwrap().as_secs(), 15.0);
+        assert_eq!(st.completion_time().unwrap().as_secs(), 90.0);
+    }
+
+    #[test]
+    fn app_spec_total_iters() {
+        assert_eq!(AppSpec::Modeled { total_iters: 7 }.total_iters(), 7);
+        assert_eq!(
+            AppSpec::Jacobi {
+                grid: 64,
+                blocks: 4,
+                total_iters: 40,
+                window: 10
+            }
+            .total_iters(),
+            40
+        );
+    }
+
+    #[test]
+    fn job_is_a_resource() {
+        let job = CharmJob::submitted(spec("j1", 2, 8), SimTime::ZERO);
+        assert_eq!(Resource::name(&job), "j1");
+        let store: kube_sim::Store<CharmJob> = kube_sim::Store::new();
+        store.create(job).unwrap();
+        assert!(store.get("j1").is_some());
+    }
+}

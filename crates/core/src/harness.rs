@@ -1,0 +1,138 @@
+//! Experiment harnesses: submit a job schedule, drive the operator to
+//! completion, report metrics.
+//!
+//! Two drivers share the loop structure of the paper's experimental
+//! campaign (`generate_jobs.py submit` + operator, §9.1):
+//!
+//! * [`run_virtual`] — virtual clock, [`ModelExecutor`]-style jobs;
+//!   fully deterministic, used by tests and operator-vs-DES validation.
+//! * [`run_real`] — wall clock (optionally compressed), real
+//!   `charm-rt` jobs; used by the Fig. 9 / Table 1 "Actual" binaries.
+//!
+//! [`ModelExecutor`]: crate::executor::ModelExecutor
+
+use hpc_metrics::{Clock, Duration, VirtualClock};
+
+use crate::crd::CharmJobSpec;
+use crate::operator::CharmOperator;
+use crate::report::RunMetrics;
+
+/// Submission schedule: job `i` is submitted at `i × gap`.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Jobs in submission order.
+    pub jobs: Vec<CharmJobSpec>,
+    /// Gap between consecutive submissions.
+    pub gap: Duration,
+}
+
+impl Schedule {
+    /// A schedule submitting `jobs` every `gap`.
+    pub fn every(jobs: Vec<CharmJobSpec>, gap: Duration) -> Self {
+        assert!(!jobs.is_empty(), "schedule needs at least one job");
+        Schedule { jobs, gap }
+    }
+
+    /// Submission time of job `i`.
+    pub fn submit_at(&self, i: usize) -> Duration {
+        Duration::from_secs(self.gap.as_secs() * i as f64)
+    }
+}
+
+/// Drives `op` through `schedule` on a virtual clock, advancing in
+/// `tick` steps until all jobs complete (or `max_time` elapses, which
+/// panics — a hung schedule is a bug).
+pub fn run_virtual(
+    op: &mut CharmOperator,
+    clock: &VirtualClock,
+    schedule: &Schedule,
+    tick: Duration,
+    max_time: Duration,
+) -> RunMetrics {
+    assert!(tick.as_secs() > 0.0, "tick must be positive");
+    let start = clock.now();
+    let mut next_submit = 0usize;
+    loop {
+        let now = clock.now();
+        let elapsed = now - start;
+        while next_submit < schedule.jobs.len()
+            && elapsed >= schedule.submit_at(next_submit)
+        {
+            op.submit(schedule.jobs[next_submit].clone())
+                .expect("valid spec");
+            next_submit += 1;
+        }
+        op.tick();
+        if next_submit >= schedule.jobs.len() && op.all_complete() {
+            return op.metrics();
+        }
+        assert!(
+            elapsed <= max_time,
+            "schedule did not complete within {max_time}s (queued: {:?})",
+            op.queued_jobs()
+        );
+        clock.advance(tick);
+    }
+}
+
+/// Drives `op` through `schedule` on its own (real) clock, polling every
+/// `tick` of experiment time. Returns metrics when all jobs complete;
+/// panics after `max_time` experiment seconds.
+pub fn run_real(
+    op: &mut CharmOperator,
+    schedule: &Schedule,
+    tick: Duration,
+    max_time: Duration,
+) -> RunMetrics {
+    assert!(tick.as_secs() > 0.0, "tick must be positive");
+    let clock = op.plane.clock();
+    let start = clock.now();
+    let mut next_submit = 0usize;
+    loop {
+        let now = clock.now();
+        let elapsed = now - start;
+        while next_submit < schedule.jobs.len()
+            && elapsed >= schedule.submit_at(next_submit)
+        {
+            op.submit(schedule.jobs[next_submit].clone())
+                .expect("valid spec");
+            next_submit += 1;
+        }
+        op.tick();
+        if next_submit >= schedule.jobs.len() && op.all_complete() {
+            return op.metrics();
+        }
+        assert!(
+            elapsed <= max_time,
+            "schedule did not complete within {max_time}s (queued: {:?})",
+            op.queued_jobs()
+        );
+        clock.sleep(tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crd::AppSpec;
+
+    #[test]
+    fn schedule_submission_times() {
+        let spec = CharmJobSpec {
+            name: "a".into(),
+            min_replicas: 1,
+            max_replicas: 2,
+            priority: 1,
+            app: AppSpec::Modeled { total_iters: 1 },
+        };
+        let s = Schedule::every(vec![spec.clone(), spec], Duration::from_secs(90.0));
+        assert_eq!(s.submit_at(0).as_secs(), 0.0);
+        assert_eq!(s.submit_at(1).as_secs(), 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_schedule_rejected() {
+        let _ = Schedule::every(vec![], Duration::from_secs(1.0));
+    }
+}

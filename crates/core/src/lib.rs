@@ -1,0 +1,40 @@
+//! # elastic-core — the paper's primary contribution
+//!
+//! A CharmJob Kubernetes operator with a priority-based **elastic** job
+//! scheduling policy that rescales running jobs on the fly to maximize
+//! cluster utilization while minimizing response times for high-priority
+//! jobs, plus the three baselines it is evaluated against (rigid-min,
+//! rigid-max, moldable).
+//!
+//! Layering:
+//!
+//! * [`crd`] — the CharmJob custom resource (min/max replicas, priority,
+//!   app template, lifecycle status).
+//! * [`view`] — the [`ClusterView`]/[`Action`] interface: policies are
+//!   pure functions from views to actions, shared verbatim between the
+//!   live operator and the discrete-event simulator.
+//! * [`policy`] — the Fig. 2 / Fig. 3 algorithm and the four policy
+//!   kinds.
+//! * [`executor`] — real (`charm-rt`) and modeled job execution.
+//! * [`operator`] — the reconciler binding policies to the `kube-sim`
+//!   control plane, with the paper's shrink/expand pod sequences.
+//! * [`harness`] — schedule drivers for virtual- and wall-clock runs.
+//! * [`report`] — the Table 1 metrics.
+
+#![warn(missing_docs)]
+
+pub mod crd;
+pub mod executor;
+pub mod harness;
+pub mod operator;
+pub mod policy;
+pub mod report;
+pub mod view;
+
+pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
+pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
+pub use harness::{run_real, run_virtual, Schedule};
+pub use operator::CharmOperator;
+pub use policy::{Policy, PolicyConfig, PolicyKind};
+pub use report::{JobOutcome, RunMetrics};
+pub use view::{apply_action, Action, ClusterView, JobState};

@@ -1,0 +1,482 @@
+//! The CharmJob operator.
+//!
+//! The reconciler that turns policy decisions into cluster actions,
+//! mirroring the paper's modified MPI operator (§3.1–3.2):
+//!
+//! * **Create** — launcher pod + N worker pods + a nodelist ConfigMap;
+//!   the application launches once every pod is Running.
+//! * **Shrink** — CCS signal to the application first; *after the
+//!   acknowledgement* the excess pods are removed (paper §3.1's shrink
+//!   sequence).
+//! * **Expand** — new pods first, then the nodelist update, then the
+//!   CCS signal (paper §3.1's expand sequence).
+//!
+//! Scheduling state (who holds how many slots) is kept on the CharmJob
+//! CRDs; pods converge to it asynchronously, exactly like a Kubernetes
+//! controller. The policy is consulted on job submission and job
+//! completion, per Figs. 2 and 3.
+
+use std::collections::HashMap;
+
+use hpc_metrics::{SimTime, UtilizationRecorder};
+use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store};
+
+use crate::crd::{CharmJob, CharmJobSpec, JobPhase};
+use crate::executor::{ExecHandle, ExecStatus, Executor};
+use crate::policy::Policy;
+use crate::report::{JobOutcome, RunMetrics};
+use crate::view::{Action, ClusterView, JobState};
+
+/// In-flight rescale state machine per job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RescaleFlow {
+    /// Shrink signalled; waiting for the application's ack before
+    /// deleting pods.
+    AwaitAckShrink {
+        /// Target replica count.
+        target: u32,
+    },
+    /// Expand pods created; waiting for them to run before signalling.
+    AwaitPodsExpand {
+        /// Target replica count.
+        target: u32,
+    },
+    /// Expand signalled; waiting for the application's ack.
+    AwaitAckExpand {
+        /// Target replica count.
+        target: u32,
+    },
+}
+
+/// The operator.
+pub struct CharmOperator {
+    /// The cluster control plane.
+    pub plane: ControlPlane,
+    /// CharmJob CRD store.
+    pub jobs: Store<CharmJob>,
+    /// Operator event log.
+    pub events: EventLog,
+    policy: Policy,
+    executor: Box<dyn Executor>,
+    handles: HashMap<String, Box<dyn ExecHandle>>,
+    flows: HashMap<String, RescaleFlow>,
+    util: UtilizationRecorder,
+    rescale_count: u32,
+}
+
+impl CharmOperator {
+    /// An operator over `plane` scheduling with `policy` and running
+    /// jobs through `executor`.
+    pub fn new(plane: ControlPlane, policy: Policy, executor: Box<dyn Executor>) -> Self {
+        let capacity = plane.capacity().max(1);
+        CharmOperator {
+            plane,
+            jobs: Store::new(),
+            events: EventLog::new(),
+            policy,
+            executor,
+            handles: HashMap::new(),
+            flows: HashMap::new(),
+            util: UtilizationRecorder::new(capacity),
+            rescale_count: 0,
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Rescale actions issued so far.
+    pub fn rescales(&self) -> u32 {
+        self.rescale_count
+    }
+
+    /// The utilization recorder (worker slots per job over time).
+    pub fn utilization(&self) -> &UtilizationRecorder {
+        &self.util
+    }
+
+    /// Submits a job: stores the CRD and runs the Fig. 2 decision.
+    pub fn submit(&mut self, spec: CharmJobSpec) -> Result<(), String> {
+        spec.validate()?;
+        let now = self.plane.now();
+        let name = spec.name.clone();
+        self.jobs
+            .create(CharmJob::submitted(spec, now))
+            .map_err(|e| e.to_string())?;
+        self.events.record(now, &name, "Submitted", "");
+        let view = self.build_view();
+        let actions = self.policy.on_submit(&view, &name, now);
+        self.apply_actions(&actions, now);
+        Ok(())
+    }
+
+    /// The scheduler's bookkeeping view, built from CRD state (pods
+    /// converge to it asynchronously).
+    pub fn build_view(&self) -> ClusterView {
+        let capacity = self.plane.capacity();
+        let launcher = self.policy.cfg.launcher_slots;
+        let mut jobs = Vec::new();
+        let mut committed = 0u32;
+        for stored in self.jobs.list() {
+            let job = &stored.obj;
+            if job.status.phase == JobPhase::Completed {
+                continue;
+            }
+            let running = matches!(job.status.phase, JobPhase::Starting | JobPhase::Running);
+            if running {
+                committed += job.status.desired_replicas + launcher;
+            }
+            jobs.push(JobState {
+                name: job.spec.name.clone(),
+                min_replicas: job.spec.min_replicas,
+                max_replicas: job.spec.max_replicas,
+                priority: job.spec.priority,
+                submitted_at: job.status.submitted_at,
+                replicas: if running { job.status.desired_replicas } else { 0 },
+                last_action: job.status.last_action,
+                running,
+            });
+        }
+        ClusterView {
+            capacity,
+            free_slots: capacity.saturating_sub(committed),
+            jobs,
+        }
+    }
+
+    fn apply_actions(&mut self, actions: &[Action], now: SimTime) {
+        for action in actions {
+            match action {
+                Action::Create { job, replicas } => self.start_job(job, *replicas, now),
+                Action::Shrink { job, to_replicas } => self.start_shrink(job, *to_replicas, now),
+                Action::Expand { job, to_replicas } => self.start_expand(job, *to_replicas, now),
+                Action::Enqueue { job } => {
+                    self.events.record(now, job, "Enqueued", "no resources available");
+                }
+            }
+        }
+    }
+
+    fn worker_pods(&self, job: &str) -> Vec<Pod> {
+        let mut pods: Vec<Pod> = self
+            .plane
+            .pods_of_job(job)
+            .into_iter()
+            .filter(|p| p.role == PodRole::Worker)
+            .collect();
+        pods.sort_by(|a, b| a.name.cmp(&b.name));
+        pods
+    }
+
+    fn create_workers(&mut self, job: &str, count: u32, now: SimTime) {
+        let existing = self.worker_pods(job);
+        let mut next = existing
+            .last()
+            .and_then(|p| p.name.rsplit("-w").next())
+            .and_then(|s| s.parse::<u32>().ok())
+            .map(|n| n + 1)
+            .unwrap_or(0);
+        for _ in 0..count {
+            let name = format!("{job}-w{next:04}");
+            next += 1;
+            self.plane
+                .pods
+                .create(Pod::worker(name, job, now))
+                .expect("fresh worker pod");
+        }
+    }
+
+    fn update_nodelist(&mut self, job: &str) {
+        let hosts: Vec<String> = self.worker_pods(job).iter().map(|p| p.name.clone()).collect();
+        let cm_name = format!("{job}-nodelist");
+        let joined = hosts.join("\n");
+        if self.plane.configmaps.get(&cm_name).is_some() {
+            self.plane
+                .configmaps
+                .update(&cm_name, move |cm| {
+                    cm.data.insert("hosts".into(), joined);
+                })
+                .expect("configmap exists");
+        } else {
+            let mut cm = kube_sim::ConfigMap::new(cm_name);
+            cm.data.insert("hosts".into(), hosts.join("\n"));
+            self.plane.configmaps.create(cm).expect("fresh configmap");
+        }
+    }
+
+    fn start_job(&mut self, job: &str, replicas: u32, now: SimTime) {
+        self.jobs
+            .update(job, |j| {
+                j.status.phase = JobPhase::Starting;
+                j.status.desired_replicas = replicas;
+                j.status.replicas = replicas;
+                j.status.last_action = now;
+            })
+            .expect("job exists");
+        self.plane
+            .pods
+            .create(Pod::launcher(format!("{job}-launcher"), job, now))
+            .expect("fresh launcher pod");
+        self.create_workers(job, replicas, now);
+        self.update_nodelist(job);
+        self.util.set(now, job, replicas);
+        self.events
+            .record(now, job, "Created", format!("{replicas} replicas"));
+    }
+
+    fn start_shrink(&mut self, job: &str, target: u32, now: SimTime) {
+        self.rescale_count += 1;
+        self.jobs
+            .update(job, |j| {
+                j.status.desired_replicas = target;
+                j.status.last_action = now;
+            })
+            .expect("job exists");
+        if let Some(handle) = self.handles.get_mut(job) {
+            // Paper's shrink sequence: signal first, remove pods on ack.
+            handle.request_rescale(target);
+            self.flows
+                .insert(job.to_string(), RescaleFlow::AwaitAckShrink { target });
+            self.events
+                .record(now, job, "ShrinkSignalled", format!("-> {target}"));
+        } else {
+            // Job hasn't launched yet: adjust pods directly.
+            self.remove_excess_workers(job, target);
+            self.jobs
+                .update(job, |j| j.status.replicas = target)
+                .expect("job exists");
+            self.util.set(now, job, target);
+            self.events
+                .record(now, job, "Shrunk", format!("-> {target} (pre-launch)"));
+        }
+    }
+
+    fn start_expand(&mut self, job: &str, target: u32, now: SimTime) {
+        self.rescale_count += 1;
+        let current = self
+            .jobs
+            .get(job)
+            .map(|j| j.obj.status.replicas)
+            .unwrap_or(0);
+        self.jobs
+            .update(job, |j| {
+                j.status.desired_replicas = target;
+                j.status.last_action = now;
+            })
+            .expect("job exists");
+        // Paper's expand sequence: pods first, nodelist, then signal.
+        self.create_workers(job, target.saturating_sub(current), now);
+        self.util.set(now, job, target);
+        if self.handles.contains_key(job) {
+            self.flows
+                .insert(job.to_string(), RescaleFlow::AwaitPodsExpand { target });
+            self.events
+                .record(now, job, "ExpandStarted", format!("-> {target}"));
+        } else {
+            self.events
+                .record(now, job, "ExpandPreLaunch", format!("-> {target}"));
+        }
+    }
+
+    fn remove_excess_workers(&mut self, job: &str, target: u32) {
+        let pods = self.worker_pods(job);
+        for pod in pods.iter().skip(target as usize) {
+            self.plane.delete_pod(&pod.name);
+        }
+    }
+
+    /// One reconcile round: advance the control plane, launch ready
+    /// jobs, progress rescale flows, detect completions.
+    pub fn tick(&mut self) {
+        self.plane.tick();
+        let now = self.plane.now();
+
+        // Launch applications whose pods are all running.
+        for stored in self.jobs.list() {
+            let job = stored.obj;
+            if job.status.phase != JobPhase::Starting {
+                continue;
+            }
+            let name = &job.spec.name;
+            let desired = job.status.desired_replicas as usize;
+            if self.plane.job_pods_running(name, PodRole::Worker, desired)
+                && self.plane.job_pods_running(name, PodRole::Launcher, 1)
+            {
+                let handle = self.executor.launch(&job.spec, job.status.desired_replicas);
+                self.handles.insert(name.clone(), handle);
+                self.jobs
+                    .update(name, |j| {
+                        j.status.phase = JobPhase::Running;
+                        j.status.replicas = j.status.desired_replicas;
+                        if j.status.started_at.is_none() {
+                            j.status.started_at = Some(now);
+                        }
+                    })
+                    .expect("job exists");
+                self.events.record(now, name, "Started", "");
+            }
+        }
+
+        // Progress rescale flows.
+        let flow_jobs: Vec<String> = self.flows.keys().cloned().collect();
+        for name in flow_jobs {
+            let flow = self.flows[&name];
+            match flow {
+                RescaleFlow::AwaitAckShrink { target } => {
+                    let acked = self
+                        .handles
+                        .get_mut(&name)
+                        .and_then(|h| h.rescale_acked());
+                    if let Some(report) = acked {
+                        self.remove_excess_workers(&name, target);
+                        self.update_nodelist(&name);
+                        self.jobs
+                            .update(&name, |j| j.status.replicas = target)
+                            .expect("job exists");
+                        self.util.set(now, &name, target);
+                        self.flows.remove(&name);
+                        self.events.record(
+                            now,
+                            &name,
+                            "Shrunk",
+                            format!("-> {target} (overhead {})", report.total()),
+                        );
+                    }
+                }
+                RescaleFlow::AwaitPodsExpand { target } => {
+                    if self
+                        .plane
+                        .job_pods_running(&name, PodRole::Worker, target as usize)
+                    {
+                        self.update_nodelist(&name);
+                        if let Some(handle) = self.handles.get_mut(&name) {
+                            handle.request_rescale(target);
+                        }
+                        self.flows
+                            .insert(name.clone(), RescaleFlow::AwaitAckExpand { target });
+                        self.events
+                            .record(now, &name, "ExpandSignalled", format!("-> {target}"));
+                    }
+                }
+                RescaleFlow::AwaitAckExpand { target } => {
+                    let acked = self
+                        .handles
+                        .get_mut(&name)
+                        .and_then(|h| h.rescale_acked());
+                    if let Some(report) = acked {
+                        self.jobs
+                            .update(&name, |j| j.status.replicas = target)
+                            .expect("job exists");
+                        self.flows.remove(&name);
+                        self.events.record(
+                            now,
+                            &name,
+                            "Expanded",
+                            format!("-> {target} (overhead {})", report.total()),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Detect completions.
+        let running: Vec<String> = self
+            .jobs
+            .list()
+            .into_iter()
+            .filter(|s| s.obj.status.phase == JobPhase::Running)
+            .map(|s| s.obj.spec.name)
+            .collect();
+        for name in running {
+            let finished = self
+                .handles
+                .get_mut(&name)
+                .is_some_and(|h| h.status() == ExecStatus::Finished);
+            if finished {
+                self.complete_job(&name, now);
+            }
+        }
+
+        self.plane.reap_finished();
+    }
+
+    fn complete_job(&mut self, name: &str, now: SimTime) {
+        self.jobs
+            .update(name, |j| {
+                j.status.phase = JobPhase::Completed;
+                j.status.completed_at = Some(now);
+            })
+            .expect("job exists");
+        for pod in self.plane.pods_of_job(name) {
+            self.plane.delete_pod(&pod.name);
+        }
+        let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
+        if let Some(mut handle) = self.handles.remove(name) {
+            handle.stop();
+        }
+        self.flows.remove(name);
+        self.util.set(now, name, 0);
+        self.events.record(now, name, "Completed", "");
+
+        // Fig. 3: redistribute the freed slots.
+        let view = self.build_view();
+        let actions = self.policy.on_complete(&view, now);
+        self.apply_actions(&actions, now);
+    }
+
+    /// `true` once every submitted job has completed.
+    pub fn all_complete(&self) -> bool {
+        !self.jobs.is_empty()
+            && self
+                .jobs
+                .list()
+                .iter()
+                .all(|s| s.obj.status.phase == JobPhase::Completed)
+    }
+
+    /// Jobs currently queued (submitted but never started).
+    pub fn queued_jobs(&self) -> Vec<String> {
+        self.jobs
+            .list()
+            .into_iter()
+            .filter(|s| s.obj.status.phase == JobPhase::Queued)
+            .map(|s| s.obj.spec.name)
+            .collect()
+    }
+
+    /// Final run metrics; call after [`CharmOperator::all_complete`].
+    pub fn metrics(&self) -> RunMetrics {
+        let mut outcomes = Vec::new();
+        let mut last_complete = SimTime::ZERO;
+        for stored in self.jobs.list() {
+            let j = &stored.obj;
+            let (Some(started), Some(completed)) =
+                (j.status.started_at, j.status.completed_at)
+            else {
+                continue;
+            };
+            last_complete = last_complete.max(completed);
+            outcomes.push(JobOutcome {
+                name: j.spec.name.clone(),
+                priority: j.spec.priority,
+                submitted_at: j.status.submitted_at,
+                started_at: started,
+                completed_at: completed,
+            });
+        }
+        let first_submit = outcomes
+            .iter()
+            .map(|o| o.submitted_at)
+            .min()
+            .unwrap_or(SimTime::ZERO);
+        let util = self.util.average_utilization(first_submit, last_complete);
+        RunMetrics::from_outcomes(
+            self.policy.kind.to_string(),
+            outcomes,
+            util,
+            self.rescale_count,
+        )
+    }
+}

@@ -1,0 +1,735 @@
+//! The priority-based elastic scheduling algorithm.
+//!
+//! Direct transcriptions of the paper's Fig. 2 (`newJob`) and Fig. 3
+//! (`completeJob`) pseudocode, with the interpretation decisions listed
+//! in DESIGN.md §4:
+//!
+//! 1. A running job occupies `replicas + launcher_slots` slots; the
+//!    launcher term is the `−1`/`+1` in the paper's arithmetic.
+//! 2. The shrink loops iterate `while index > 0` over `runningJobs`
+//!    sorted by decreasing priority — sparing `runningJobs[0]` — kept
+//!    behind `shrink_spares_head`.
+//! 3. The priority break is *strict* (`j.priority > job.priority`):
+//!    equal-priority jobs may be shrunk, exactly as written.
+//! 4. Fig. 2 ends without an explicit create after the shrink pass; we
+//!    create at `min(free_after − launcher, max)`.
+//! 5. `completeJob` distributes all currently free slots rather than
+//!    only those the finishing job released (a strict improvement that
+//!    un-strands slots left by gap-blocked earlier passes; the paper
+//!    folds leftovers back into `freeSlots` with the same effect over
+//!    time).
+
+use hpc_metrics::SimTime;
+
+use crate::view::{Action, ClusterView, JobState};
+
+use super::Policy;
+
+/// The policy's replica bounds for `job`, clamped so that the job plus
+/// its launcher can physically fit the cluster. The clamp matters only
+/// for the rigid-max emulation: an XLarge job pinned to 64 replicas
+/// can never coexist with its launcher on a 64-slot cluster (on the
+/// paper's EKS testbed the launcher pod is not CPU-bound, so their
+/// emulation still fit; see DESIGN.md §4).
+fn effective_bounds(policy: &Policy, capacity: u32, job: &JobState) -> (u32, u32) {
+    let cap_workers = capacity
+        .saturating_sub(policy.cfg.launcher_slots)
+        .max(1);
+    match policy.kind {
+        // The rigid-max *emulation* pinned the minimum; clamping it is
+        // an emulation detail, not a spec violation.
+        super::PolicyKind::RigidMax => {
+            let m = job.max_replicas.min(cap_workers);
+            (m, m)
+        }
+        // A user-specified minimum is never silently lowered — a job
+        // whose spec minimum cannot fit stays queued (guarded below).
+        _ => {
+            let (mn, mx) = policy.bounds(job);
+            (mn, mx.min(cap_workers))
+        }
+    }
+}
+
+/// Fig. 2: decision for a newly submitted job.
+pub(super) fn plan_submit(
+    policy: &Policy,
+    view: &ClusterView,
+    job_name: &str,
+    now: SimTime,
+) -> Vec<Action> {
+    let job = view
+        .job(job_name)
+        .unwrap_or_else(|| panic!("on_submit for unknown job {job_name}"));
+    assert!(!job.running, "on_submit for already-running {job_name}");
+    let (jmin, jmax) = effective_bounds(policy, view.capacity, job);
+    let launcher = i64::from(policy.cfg.launcher_slots);
+    let free = i64::from(view.free_slots);
+
+    // Fast path: fits right now (possibly below max).
+    let replicas = (free - launcher).min(i64::from(jmax));
+    if replicas >= i64::from(jmin) {
+        return vec![Action::Create {
+            job: job_name.to_string(),
+            replicas: replicas as u32,
+        }];
+    }
+
+    // A job whose *spec* minimum footprint exceeds the cluster can
+    // never run (the effective bounds above are already clamped).
+    if i64::from(job.min_replicas) + launcher > i64::from(view.capacity) {
+        return vec![Action::Enqueue {
+            job: job_name.to_string(),
+        }];
+    }
+
+    let running = view.running_desc_priority();
+    let skip_head = usize::from(policy.cfg.shrink_spares_head);
+
+    // Pass 1 (dry run): can shrinking lower-priority jobs free enough
+    // slots to start at the *minimum* configuration?
+    let mut num_to_free = i64::from(jmin) + launcher - free;
+    debug_assert!(num_to_free > 0);
+    for j in running.iter().skip(skip_head).rev() {
+        if num_to_free <= 0 {
+            break;
+        }
+        if policy.gap_blocked(j, now) {
+            continue;
+        }
+        if j.priority > job.priority {
+            break;
+        }
+        let (mn, _) = effective_bounds(policy, view.capacity, j);
+        if j.replicas > mn {
+            let new_replicas = i64::from(mn).max(i64::from(j.replicas) - num_to_free);
+            num_to_free -= i64::from(j.replicas) - new_replicas;
+        }
+    }
+    if num_to_free > 0 {
+        return vec![Action::Enqueue {
+            job: job_name.to_string(),
+        }];
+    }
+
+    // Pass 2: shrink for real, aiming for the *maximum* configuration.
+    let mut actions = Vec::new();
+    let mut min_to_free = i64::from(jmin) + launcher - free;
+    let mut max_to_free = i64::from(jmax) + launcher - free;
+    let mut freed_total: i64 = 0;
+    for j in running.iter().skip(skip_head).rev() {
+        if max_to_free <= 0 {
+            break;
+        }
+        if policy.gap_blocked(j, now) {
+            continue;
+        }
+        if j.priority > job.priority {
+            break;
+        }
+        let (mn, _) = effective_bounds(policy, view.capacity, j);
+        if j.replicas > mn {
+            let new_replicas = i64::from(mn).max(i64::from(j.replicas) - max_to_free) as u32;
+            let freed = i64::from(j.replicas) - i64::from(new_replicas);
+            debug_assert!(freed > 0);
+            actions.push(Action::Shrink {
+                job: j.name.clone(),
+                to_replicas: new_replicas,
+            });
+            min_to_free -= freed;
+            max_to_free -= freed;
+            freed_total += freed;
+        }
+    }
+    if min_to_free > 0 {
+        // The paper's guard for failed shrinks; unreachable with our
+        // deterministic apply, but kept for structural fidelity.
+        actions.push(Action::Enqueue {
+            job: job_name.to_string(),
+        });
+        return actions;
+    }
+    let replicas = (free + freed_total - launcher).min(i64::from(jmax));
+    debug_assert!(replicas >= i64::from(jmin));
+    actions.push(Action::Create {
+        job: job_name.to_string(),
+        replicas: replicas as u32,
+    });
+    actions
+}
+
+/// Fig. 3: redistribution when slots free up (a job completed).
+///
+/// With aging enabled (`Policy::with_aging`), the priority order here
+/// uses *effective* priorities, so long-waiting queued jobs climb past
+/// fresher high-priority work — the paper's §3.2.2 starvation remedy.
+/// At the paper's default (rate 0) the order is exactly Fig. 3's.
+pub(super) fn plan_complete(policy: &Policy, view: &ClusterView, now: SimTime) -> Vec<Action> {
+    let launcher = i64::from(policy.cfg.launcher_slots);
+    let mut num_workers = i64::from(view.free_slots);
+    let mut actions = Vec::new();
+    let mut ordered: Vec<&crate::view::JobState> = view.jobs.iter().collect();
+    ordered.sort_by(|a, b| {
+        policy
+            .effective_priority(b, now)
+            .total_cmp(&policy.effective_priority(a, now))
+            .then_with(|| a.submitted_at.cmp(&b.submitted_at))
+    });
+    for j in ordered {
+        if num_workers <= 0 {
+            break;
+        }
+        if policy.gap_blocked(j, now) {
+            continue;
+        }
+        let (mn, mx) = effective_bounds(policy, view.capacity, j);
+        if j.running {
+            if j.replicas < mx {
+                let add = num_workers.min(i64::from(mx) - i64::from(j.replicas));
+                actions.push(Action::Expand {
+                    job: j.name.clone(),
+                    to_replicas: j.replicas + add as u32,
+                });
+                num_workers -= add;
+            }
+        } else {
+            // Queued job: needs its launcher slot plus >= min workers.
+            if num_workers <= launcher {
+                continue;
+            }
+            let add = (num_workers - launcher).min(i64::from(mx));
+            if add >= i64::from(mn) {
+                actions.push(Action::Create {
+                    job: j.name.clone(),
+                    replicas: add as u32,
+                });
+                num_workers -= add + launcher;
+            }
+        }
+    }
+    actions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, PolicyConfig};
+    use crate::view::{apply_action, JobState};
+    use hpc_metrics::Duration;
+    use proptest::prelude::*;
+
+    const CAP: u32 = 64;
+
+    fn cfg(gap_s: f64) -> PolicyConfig {
+        PolicyConfig {
+            rescale_gap: Duration::from_secs(gap_s),
+            launcher_slots: 1,
+            shrink_spares_head: true,
+        }
+    }
+
+    fn job(name: &str, prio: u32, submitted: f64, min: u32, max: u32) -> JobState {
+        JobState {
+            name: name.into(),
+            min_replicas: min,
+            max_replicas: max,
+            priority: prio,
+            submitted_at: SimTime::from_secs(submitted),
+            replicas: 0,
+            last_action: SimTime::NEG_INFINITY,
+            running: false,
+        }
+    }
+
+    fn running(mut j: JobState, replicas: u32, last_action: f64) -> JobState {
+        j.replicas = replicas;
+        j.running = true;
+        j.last_action = SimTime::from_secs(last_action);
+        j
+    }
+
+    fn view(free: u32, jobs: Vec<JobState>) -> ClusterView {
+        ClusterView {
+            capacity: CAP,
+            free_slots: free,
+            jobs,
+        }
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    // ---- Fig. 2: submission ------------------------------------------
+
+    #[test]
+    fn empty_cluster_creates_at_max() {
+        let pol = Policy::elastic(cfg(180.0));
+        let v = view(64, vec![job("new", 3, 0.0, 8, 32)]);
+        let actions = pol.on_submit(&v, "new", t(0.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create { job: "new".into(), replicas: 32 }]
+        );
+    }
+
+    #[test]
+    fn launcher_slot_is_reserved() {
+        // 33 free, max 32: only 32 fit after the launcher -> 32. With 32
+        // free, 31 workers fit.
+        let pol = Policy::elastic(cfg(180.0));
+        let v = view(32, vec![job("new", 3, 0.0, 8, 32)]);
+        let actions = pol.on_submit(&v, "new", t(0.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create { job: "new".into(), replicas: 31 }]
+        );
+    }
+
+    #[test]
+    fn partial_fit_between_min_and_max() {
+        let pol = Policy::elastic(cfg(180.0));
+        let v = view(10, vec![job("new", 3, 0.0, 4, 32)]);
+        let actions = pol.on_submit(&v, "new", t(0.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create { job: "new".into(), replicas: 9 }]
+        );
+    }
+
+    #[test]
+    fn shrinks_lower_priority_to_make_room() {
+        // Head job (high prio) + low-prio job at 30 of [4,30]; new
+        // high-prio job needs min 16. Free = 2.
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 8, 31), 31, 0.0);
+        let low = running(job("low", 1, 1.0, 4, 30), 30, 0.0);
+        let new = job("new", 4, 500.0, 16, 32);
+        let v = view(2, vec![head, low, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        // Shrink low to min (frees 26), create new at min(2+26-1, 32)=27.
+        assert_eq!(
+            actions,
+            vec![
+                Action::Shrink { job: "low".into(), to_replicas: 4 },
+                Action::Create { job: "new".into(), replicas: 27 },
+            ]
+        );
+    }
+
+    #[test]
+    fn shrink_only_as_much_as_needed_for_max() {
+        // low at 30 of [4,30]; new needs max 8 (min 2). Free = 3.
+        // max_to_free = 8 + 1 - 3 = 6 -> low shrinks 30 -> 24.
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 8, 31), 31, 0.0);
+        let low = running(job("low", 1, 1.0, 4, 30), 30, 0.0);
+        let new = job("new", 4, 500.0, 8, 8);
+        let v = view(3, vec![head, low, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert_eq!(
+            actions,
+            vec![
+                Action::Shrink { job: "low".into(), to_replicas: 24 },
+                Action::Create { job: "new".into(), replicas: 8 },
+            ]
+        );
+    }
+
+    #[test]
+    fn enqueues_when_higher_priority_blocks() {
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 4, 40), 40, 0.0);
+        let mid = running(job("mid", 4, 1.0, 4, 22), 22, 0.0);
+        let new = job("new", 3, 500.0, 16, 32);
+        let v = view(1, vec![head, mid, new]);
+        // Both running jobs outrank "new": break immediately -> enqueue.
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+    }
+
+    #[test]
+    fn gap_blocks_shrink_and_causes_enqueue() {
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 8, 32), 32, 0.0);
+        // Low-priority job acted on recently (t=400, now=500 < 400+180).
+        let low = running(job("low", 1, 1.0, 4, 30), 30, 400.0);
+        let new = job("new", 4, 500.0, 16, 32);
+        let v = view(1, vec![head, low, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+        // Once the gap expires the same submission shrinks.
+        let actions = pol.on_submit(&v, "new", t(600.0));
+        assert!(matches!(actions[0], Action::Shrink { .. }));
+    }
+
+    #[test]
+    fn head_job_is_spared_by_default() {
+        let pol = Policy::elastic(cfg(180.0));
+        // Only ONE running job — it is runningJobs[0] and spared, even
+        // though it is low priority and shrinkable.
+        let solo = running(job("solo", 1, 0.0, 4, 60), 60, 0.0);
+        let new = job("new", 5, 500.0, 16, 32);
+        let v = view(3, vec![solo, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+    }
+
+    #[test]
+    fn head_job_shrinkable_when_quirk_disabled() {
+        let mut c = cfg(180.0);
+        c.shrink_spares_head = false;
+        let pol = Policy::elastic(c);
+        let solo = running(job("solo", 1, 0.0, 4, 60), 60, 0.0);
+        let new = job("new", 5, 500.0, 16, 32);
+        let v = view(3, vec![solo, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert_eq!(
+            actions,
+            vec![
+                Action::Shrink { job: "solo".into(), to_replicas: 30 },
+                Action::Create { job: "new".into(), replicas: 32 },
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_priority_is_shrinkable_strict_break() {
+        // Paper's break is strictly `>`: an equal-priority job may be
+        // shrunk for the newcomer.
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 8, 32), 32, 0.0);
+        let peer = running(job("peer", 3, 1.0, 4, 30), 30, 0.0);
+        let new = job("new", 3, 500.0, 16, 32);
+        let v = view(1, vec![head, peer, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        assert!(
+            matches!(&actions[0], Action::Shrink { job, .. } if job == "peer"),
+            "expected shrink of equal-priority peer, got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn shrinks_lowest_priority_first() {
+        let pol = Policy::elastic(cfg(180.0));
+        let head = running(job("head", 5, 0.0, 4, 24), 24, 0.0);
+        let mid = running(job("mid", 3, 1.0, 4, 20), 20, 0.0);
+        let low = running(job("low", 1, 2.0, 4, 18), 18, 0.0);
+        let new = job("new", 4, 500.0, 16, 64);
+        let v = view(2, vec![head, mid, low, new]);
+        let actions = pol.on_submit(&v, "new", t(500.0));
+        // max_to_free = 64+1-2 = 63: low sheds 14, then mid sheds 16.
+        assert_eq!(
+            actions,
+            vec![
+                Action::Shrink { job: "low".into(), to_replicas: 4 },
+                Action::Shrink { job: "mid".into(), to_replicas: 4 },
+                Action::Create { job: "new".into(), replicas: 31 },
+            ]
+        );
+    }
+
+    #[test]
+    fn impossible_job_enqueued() {
+        let pol = Policy::elastic(cfg(180.0));
+        let new = job("new", 5, 0.0, 64, 64); // min 64 + launcher > 64
+        let v = view(64, vec![new]);
+        let actions = pol.on_submit(&v, "new", t(0.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+    }
+
+    // ---- Fig. 3: completion ------------------------------------------
+
+    #[test]
+    fn completion_expands_highest_priority_first() {
+        let pol = Policy::elastic(cfg(180.0));
+        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
+        let b = running(job("b", 3, 1.0, 4, 32), 8, 0.0);
+        let v = view(30, vec![a, b]);
+        let actions = pol.on_complete(&v, t(500.0));
+        assert_eq!(
+            actions,
+            vec![
+                Action::Expand { job: "a".into(), to_replicas: 32 },
+                Action::Expand { job: "b".into(), to_replicas: 14 },
+            ]
+        );
+    }
+
+    #[test]
+    fn completion_starts_queued_jobs_with_launcher_budget() {
+        let pol = Policy::elastic(cfg(180.0));
+        let q = job("q", 4, 0.0, 4, 16);
+        let v = view(10, vec![q]);
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create { job: "q".into(), replicas: 9 }]
+        );
+    }
+
+    #[test]
+    fn completion_backfills_out_of_order() {
+        // Improvement (b) of §3.2: a large queued high-priority job that
+        // doesn't fit is skipped; a smaller lower-priority one starts.
+        let pol = Policy::elastic(cfg(180.0));
+        let big = job("big", 5, 0.0, 32, 64);
+        let small = job("small", 1, 1.0, 4, 8);
+        let v = view(10, vec![big, small]);
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create { job: "small".into(), replicas: 8 }]
+        );
+    }
+
+    #[test]
+    fn completion_respects_gap_for_running_jobs() {
+        let pol = Policy::elastic(cfg(180.0));
+        let recent = running(job("recent", 5, 0.0, 4, 32), 8, 450.0);
+        let old = running(job("old", 3, 1.0, 4, 32), 8, 0.0);
+        let v = view(10, vec![recent, old]);
+        let actions = pol.on_complete(&v, t(500.0));
+        // "recent" is inside the gap; only "old" expands.
+        assert_eq!(
+            actions,
+            vec![Action::Expand { job: "old".into(), to_replicas: 18 }]
+        );
+    }
+
+    #[test]
+    fn completion_with_no_capacity_is_quiet() {
+        let pol = Policy::elastic(cfg(180.0));
+        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
+        let v = view(0, vec![a]);
+        assert!(pol.on_complete(&v, t(100.0)).is_empty());
+    }
+
+    #[test]
+    fn completion_single_free_slot_cannot_start_queued_job() {
+        let pol = Policy::elastic(cfg(180.0));
+        let q = job("q", 4, 0.0, 1, 8);
+        let v = view(1, vec![q]);
+        // 1 free == launcher budget: nothing can start.
+        assert!(pol.on_complete(&v, t(100.0)).is_empty());
+    }
+
+    // ---- Aging (paper §3.2.2 starvation remedy) ----------------------
+
+    #[test]
+    fn aging_zero_matches_fig3_order_exactly() {
+        // With the paper's default (no aging), the new sort must equal
+        // the static priority order for arbitrary views.
+        let pol = Policy::elastic(cfg(180.0));
+        let hi = job("hi", 5, 0.0, 4, 16);
+        let lo_old = job("lo_old", 1, 1.0, 4, 16);
+        let v = view(30, vec![lo_old, hi]);
+        let actions = pol.on_complete(&v, t(10_000.0));
+        // Without aging the priority-5 job is created first and takes
+        // the bigger allocation.
+        assert!(matches!(&actions[0], Action::Create { job, replicas } if job == "hi" && *replicas == 16));
+    }
+
+    #[test]
+    fn aging_promotes_starving_low_priority_job() {
+        // lo_old has waited ~10000s; at 0.001 prio/s it gains ~10
+        // points and outranks the fresh priority-5 job.
+        let pol = Policy::elastic(cfg(180.0)).with_aging(0.001);
+        let hi = job("hi", 5, 9_990.0, 4, 16);
+        let lo_old = job("lo_old", 1, 1.0, 4, 16);
+        let v = view(30, vec![lo_old, hi]);
+        let actions = pol.on_complete(&v, t(10_000.0));
+        assert!(
+            matches!(&actions[0], Action::Create { job, .. } if job == "lo_old"),
+            "aged job should be served first, got {actions:?}"
+        );
+    }
+
+    #[test]
+    fn running_jobs_do_not_age() {
+        let pol = Policy::elastic(cfg(180.0)).with_aging(1.0);
+        let r = running(job("r", 2, 0.0, 4, 16), 4, 0.0);
+        // Huge wait, but running: effective == base.
+        assert_eq!(pol.effective_priority(&r, t(1e6)), 2.0);
+        let q = job("q", 2, 0.0, 4, 16);
+        assert!(pol.effective_priority(&q, t(100.0)) > 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "aging rate")]
+    fn negative_aging_rejected() {
+        let _ = Policy::elastic(cfg(180.0)).with_aging(-1.0);
+    }
+
+    // ---- Baseline emulations ----------------------------------------
+
+    #[test]
+    fn rigid_max_all_or_nothing() {
+        let pol = Policy::rigid_max(cfg(180.0));
+        let new = job("new", 3, 0.0, 4, 16);
+        let fits = view(17, vec![new.clone()]);
+        assert_eq!(
+            pol.on_submit(&fits, "new", t(0.0)),
+            vec![Action::Create { job: "new".into(), replicas: 16 }]
+        );
+        let tight = view(16, vec![new]);
+        assert_eq!(
+            pol.on_submit(&tight, "new", t(0.0)),
+            vec![Action::Enqueue { job: "new".into() }]
+        );
+    }
+
+    #[test]
+    fn rigid_min_never_uses_extra_room() {
+        let pol = Policy::rigid_min(cfg(180.0));
+        let new = job("new", 3, 0.0, 4, 16);
+        let v = view(64, vec![new]);
+        assert_eq!(
+            pol.on_submit(&v, "new", t(0.0)),
+            vec![Action::Create { job: "new".into(), replicas: 4 }]
+        );
+    }
+
+    #[test]
+    fn rigid_jobs_never_rescale_on_completion() {
+        for pol in [Policy::rigid_min(cfg(180.0)), Policy::rigid_max(cfg(180.0))] {
+            let a = running(job("a", 5, 0.0, 8, 8), 8, 0.0);
+            let v = view(40, vec![a]);
+            assert!(
+                pol.on_complete(&v, t(500.0)).is_empty(),
+                "{} rescaled a rigid job",
+                pol.kind
+            );
+        }
+    }
+
+    #[test]
+    fn moldable_sizes_at_admission_but_never_rescales() {
+        let pol = Policy::moldable(cfg(180.0));
+        let new = job("new", 3, 0.0, 4, 16);
+        let v = view(10, vec![new.clone()]);
+        assert_eq!(
+            pol.on_submit(&v, "new", t(0.0)),
+            vec![Action::Create { job: "new".into(), replicas: 9 }]
+        );
+        // Never shrinks for a newcomer...
+        let lowrunning = running(job("low", 1, 0.0, 4, 30), 30, 0.0);
+        let newcomer = job("hot", 5, 500.0, 16, 32);
+        let v = view(1, vec![lowrunning, newcomer.clone()]);
+        assert_eq!(
+            pol.on_submit(&v, "hot", t(500.0)),
+            vec![Action::Enqueue { job: "hot".into() }]
+        );
+        // ...and never expands on completion, but starts queued jobs.
+        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
+        let q = job("q", 3, 1.0, 4, 8);
+        let v = view(12, vec![a, q]);
+        assert_eq!(
+            pol.on_complete(&v, t(500.0)),
+            vec![Action::Create { job: "q".into(), replicas: 8 }]
+        );
+    }
+
+    // ---- Property tests ----------------------------------------------
+
+    proptest! {
+        /// Applying every emitted action keeps all invariants: capacity
+        /// respected, replica bounds respected, no action on gap-blocked
+        /// jobs (except queued creation).
+        #[test]
+        fn submit_actions_are_always_applicable(
+            free in 0u32..=64,
+            njobs in 0usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut jobs = Vec::new();
+            let mut used = 0u32;
+            for i in 0..njobs {
+                let min = rng.gen_range(1..=8);
+                let max = rng.gen_range(min..=min + 24);
+                let reps = rng.gen_range(min..=max);
+                if used + reps + 1 > 64 {
+                    break;
+                }
+                used += reps + 1;
+                jobs.push(running(
+                    job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                    reps,
+                    rng.gen_range(0.0..400.0),
+                ));
+            }
+            let free = free.min(64 - used);
+            let nmin = rng.gen_range(1..=16);
+            let nmax = rng.gen_range(nmin..=nmin + 32);
+            jobs.push(job("new", rng.gen_range(1..=5), 999.0, nmin, nmax));
+            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let now = t(500.0);
+            for kind in super::super::PolicyKind::ALL {
+                let pol = Policy::of_kind(kind, cfg(180.0));
+                let mut view = v.clone();
+                let actions = pol.on_submit(&view, "new", now);
+                // apply_action panics on any invariant violation.
+                for a in &actions {
+                    apply_action(&mut view, a, now, 1);
+                    // Gap check: shrunk/expanded jobs must have been
+                    // actionable.
+                    if let Action::Shrink { job, .. } | Action::Expand { job, .. } = a {
+                        let before = v.job(job).unwrap();
+                        prop_assert!(!pol.gap_blocked(before, now));
+                    }
+                }
+                // At most one action per job.
+                let mut names: Vec<&str> = actions.iter().map(|a| a.job()).collect();
+                names.sort_unstable();
+                let len_before = names.len();
+                names.dedup();
+                prop_assert_eq!(names.len(), len_before, "duplicate action on one job");
+            }
+        }
+
+        /// Completion planning never over-allocates and never violates
+        /// max bounds, for all policy kinds.
+        #[test]
+        fn complete_actions_are_always_applicable(
+            free in 0u32..=64,
+            njobs in 0usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut jobs = Vec::new();
+            let mut used = 0u32;
+            for i in 0..njobs {
+                let min = rng.gen_range(1..=8);
+                let max = rng.gen_range(min..=min + 24);
+                let queued = rng.gen_bool(0.3);
+                if queued {
+                    jobs.push(job(&format!("q{i}"), rng.gen_range(1..=5), i as f64, min, max));
+                } else {
+                    let reps = rng.gen_range(min..=max);
+                    if used + reps + 1 > 64 {
+                        continue;
+                    }
+                    used += reps + 1;
+                    jobs.push(running(
+                        job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                        reps,
+                        rng.gen_range(0.0..400.0),
+                    ));
+                }
+            }
+            let free = free.min(64 - used);
+            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let now = t(500.0);
+            for kind in super::super::PolicyKind::ALL {
+                let pol = Policy::of_kind(kind, cfg(180.0));
+                let mut view = v.clone();
+                for a in pol.on_complete(&view, now) {
+                    apply_action(&mut view, &a, now, 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The four scheduling policies.
+//!
+//! One algorithm serves all four schedulers the paper compares (§4.3),
+//! exactly as the paper's own experiments emulate them:
+//!
+//! * **Elastic** — the full Fig. 2 / Fig. 3 priority-based algorithm.
+//! * **Moldable** — elastic with `T_rescale_gap = ∞`: jobs are sized at
+//!   admission to maximize utilization but never rescaled (§4.3.2).
+//! * **Rigid-min / Rigid-max** — elastic with `min = max = {min,max}`
+//!   replicas for every job (§4.3.2).
+//!
+//! Policies are *pure*: they read a [`ClusterView`] and emit
+//! [`Action`]s; the live operator and the discrete-event simulator apply
+//! them through the same `apply_action`, so policy behaviour cannot
+//! diverge between the Actual and Simulation columns of Table 1.
+
+mod elastic;
+
+use hpc_metrics::{Duration, SimTime};
+
+use crate::view::{Action, ClusterView, JobState};
+
+/// Knobs shared by all policy kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// Minimum gap between two scheduling actions on the same job
+    /// (`T_rescale_gap`, §3.2.1).
+    pub rescale_gap: Duration,
+    /// Slots consumed by a job's launcher pod (the `freeSlots − 1` term
+    /// of Fig. 2; see DESIGN.md §4.1).
+    pub launcher_slots: u32,
+    /// Faithful Fig. 2 quirk: the loops iterate `while index > 0`, so
+    /// the highest-priority running job is never shrunk. Disable to
+    /// ablate (bench `ablations`).
+    pub shrink_spares_head: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            rescale_gap: Duration::from_secs(180.0),
+            launcher_slots: 1,
+            shrink_spares_head: true,
+        }
+    }
+}
+
+/// Which scheduler variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Full elastic scheduling (Fig. 2 + Fig. 3).
+    Elastic,
+    /// Size-at-admission, never rescale.
+    Moldable,
+    /// Every job rigidly at `min_replicas`.
+    RigidMin,
+    /// Every job rigidly at `max_replicas`.
+    RigidMax,
+}
+
+impl PolicyKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [PolicyKind; 4] = [
+        PolicyKind::RigidMin,
+        PolicyKind::RigidMax,
+        PolicyKind::Moldable,
+        PolicyKind::Elastic,
+    ];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::Elastic => write!(f, "elastic"),
+            PolicyKind::Moldable => write!(f, "moldable"),
+            PolicyKind::RigidMin => write!(f, "min_replicas"),
+            PolicyKind::RigidMax => write!(f, "max_replicas"),
+        }
+    }
+}
+
+/// A configured scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Policy {
+    /// The variant.
+    pub kind: PolicyKind,
+    /// Shared knobs.
+    pub cfg: PolicyConfig,
+    /// Priority points granted per second a job waits in the queue —
+    /// the *aging* mechanism the paper discusses (§3.2.2) as the remedy
+    /// for low-priority starvation. `0.0` (the default) is the paper's
+    /// evaluated behaviour: no aging.
+    pub aging_rate: f64,
+}
+
+impl Policy {
+    /// The full elastic policy.
+    pub fn elastic(cfg: PolicyConfig) -> Policy {
+        Self::of_kind(PolicyKind::Elastic, cfg)
+    }
+
+    /// The moldable baseline.
+    pub fn moldable(cfg: PolicyConfig) -> Policy {
+        Self::of_kind(PolicyKind::Moldable, cfg)
+    }
+
+    /// The rigid `min_replicas` baseline.
+    pub fn rigid_min(cfg: PolicyConfig) -> Policy {
+        Self::of_kind(PolicyKind::RigidMin, cfg)
+    }
+
+    /// The rigid `max_replicas` baseline.
+    pub fn rigid_max(cfg: PolicyConfig) -> Policy {
+        Self::of_kind(PolicyKind::RigidMax, cfg)
+    }
+
+    /// A policy of `kind` with config `cfg`.
+    pub fn of_kind(kind: PolicyKind, cfg: PolicyConfig) -> Policy {
+        Policy {
+            kind,
+            cfg,
+            aging_rate: 0.0,
+        }
+    }
+
+    /// Enables queue-aging: a queued job's effective priority grows by
+    /// `per_second` priority points per second of waiting.
+    pub fn with_aging(mut self, per_second: f64) -> Policy {
+        assert!(
+            per_second >= 0.0 && per_second.is_finite(),
+            "aging rate must be finite and >= 0"
+        );
+        self.aging_rate = per_second;
+        self
+    }
+
+    /// The priority used in scheduling comparisons at `now`: the user
+    /// priority, plus the aging credit for time spent queued. Running
+    /// jobs keep their base priority (aging rewards *waiting*).
+    pub fn effective_priority(&self, job: &JobState, now: SimTime) -> f64 {
+        let base = f64::from(job.priority);
+        if self.aging_rate <= 0.0 || job.running {
+            return base;
+        }
+        let waited = (now - job.submitted_at).as_secs().max(0.0);
+        base + self.aging_rate * waited
+    }
+
+    /// The `(min, max)` replica bounds this policy treats `job` as
+    /// having — rigid variants pin both ends (paper §4.3.2).
+    pub fn bounds(&self, job: &JobState) -> (u32, u32) {
+        match self.kind {
+            PolicyKind::RigidMin => (job.min_replicas, job.min_replicas),
+            PolicyKind::RigidMax => (job.max_replicas, job.max_replicas),
+            _ => (job.min_replicas, job.max_replicas),
+        }
+    }
+
+    /// The effective rescale gap — infinite for moldable (§4.3.2).
+    pub fn gap(&self) -> Duration {
+        if self.kind == PolicyKind::Moldable {
+            Duration::INFINITY
+        } else {
+            self.cfg.rescale_gap
+        }
+    }
+
+    /// `true` if the `T_rescale_gap` criterion forbids acting on `job`
+    /// at `now`. Queued jobs carry `last_action = −∞` and are never
+    /// blocked (DESIGN.md §4.3).
+    pub fn gap_blocked(&self, job: &JobState, now: SimTime) -> bool {
+        now - job.last_action < self.gap()
+    }
+
+    /// Scheduling decision when `job_name` is submitted (Fig. 2).
+    /// The view must already contain the job as a queued entry.
+    pub fn on_submit(&self, view: &ClusterView, job_name: &str, now: SimTime) -> Vec<Action> {
+        elastic::plan_submit(self, view, job_name, now)
+    }
+
+    /// Scheduling decision after a job completes and its slots are
+    /// freed (Fig. 3). The view must no longer contain the completed
+    /// job.
+    pub fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        elastic::plan_complete(self, view, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(prio: u32) -> JobState {
+        JobState {
+            name: "j".into(),
+            min_replicas: 2,
+            max_replicas: 8,
+            priority: prio,
+            submitted_at: SimTime::ZERO,
+            replicas: 4,
+            last_action: SimTime::from_secs(100.0),
+            running: true,
+        }
+    }
+
+    #[test]
+    fn bounds_by_kind() {
+        let j = job(3);
+        let cfg = PolicyConfig::default();
+        assert_eq!(Policy::elastic(cfg).bounds(&j), (2, 8));
+        assert_eq!(Policy::moldable(cfg).bounds(&j), (2, 8));
+        assert_eq!(Policy::rigid_min(cfg).bounds(&j), (2, 2));
+        assert_eq!(Policy::rigid_max(cfg).bounds(&j), (8, 8));
+    }
+
+    #[test]
+    fn moldable_gap_is_infinite() {
+        let cfg = PolicyConfig {
+            rescale_gap: Duration::from_secs(10.0),
+            ..Default::default()
+        };
+        let mold = Policy::moldable(cfg);
+        let j = job(3);
+        // A running job is blocked forever under moldable...
+        assert!(mold.gap_blocked(&j, SimTime::from_secs(1e12)));
+        // ...but a queued job (last_action = -inf) never is.
+        let queued = JobState {
+            last_action: SimTime::NEG_INFINITY,
+            running: false,
+            replicas: 0,
+            ..j
+        };
+        assert!(!mold.gap_blocked(&queued, SimTime::from_secs(5.0)));
+    }
+
+    #[test]
+    fn elastic_gap_follows_config() {
+        let cfg = PolicyConfig {
+            rescale_gap: Duration::from_secs(10.0),
+            ..Default::default()
+        };
+        let pol = Policy::elastic(cfg);
+        let j = job(3); // last action at t=100
+        assert!(pol.gap_blocked(&j, SimTime::from_secs(105.0)));
+        assert!(!pol.gap_blocked(&j, SimTime::from_secs(110.0)));
+    }
+
+    #[test]
+    fn display_names_match_paper_tables() {
+        assert_eq!(PolicyKind::Elastic.to_string(), "elastic");
+        assert_eq!(PolicyKind::Moldable.to_string(), "moldable");
+        assert_eq!(PolicyKind::RigidMin.to_string(), "min_replicas");
+        assert_eq!(PolicyKind::RigidMax.to_string(), "max_replicas");
+        assert_eq!(PolicyKind::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Run metrics — the four columns of Table 1.
+//!
+//! Both the operator harness ("Actual") and the discrete-event simulator
+//! ("Simulation") reduce a finished run to the same [`RunMetrics`]:
+//! total time, average cluster utilization, and priority-weighted mean
+//! response/completion times (§4.3's metric definitions).
+
+use hpc_metrics::{SimTime, WeightedMean};
+
+/// Per-job outcome extracted at the end of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Job name.
+    pub name: String,
+    /// User priority (the metric weight).
+    pub priority: u32,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Application start time.
+    pub started_at: SimTime,
+    /// Completion time.
+    pub completed_at: SimTime,
+}
+
+/// Aggregate metrics for one scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Policy label (Table 1 row).
+    pub policy: String,
+    /// First submission → last completion, seconds.
+    pub total_time: f64,
+    /// Mean fraction of worker slots in use over the run.
+    pub utilization: f64,
+    /// Priority-weighted mean response time (start − submit), seconds.
+    pub weighted_response: f64,
+    /// Priority-weighted mean completion time (complete − submit), s.
+    pub weighted_completion: f64,
+    /// Scheduling actions that rescaled a running job.
+    pub rescales: u32,
+    /// Per-job detail.
+    pub jobs: Vec<JobOutcome>,
+}
+
+impl RunMetrics {
+    /// Computes the aggregate metrics from per-job outcomes plus the
+    /// externally integrated utilization (the recorder owns slot
+    /// accounting; see `hpc_metrics::UtilizationRecorder`).
+    pub fn from_outcomes(
+        policy: impl Into<String>,
+        jobs: Vec<JobOutcome>,
+        utilization: f64,
+        rescales: u32,
+    ) -> RunMetrics {
+        assert!(!jobs.is_empty(), "metrics need at least one job");
+        let first_submit = jobs.iter().map(|j| j.submitted_at).min().expect("non-empty");
+        let last_complete = jobs.iter().map(|j| j.completed_at).max().expect("non-empty");
+        let mut resp = WeightedMean::new();
+        let mut comp = WeightedMean::new();
+        for j in &jobs {
+            let w = f64::from(j.priority);
+            resp.add_duration(w, j.started_at - j.submitted_at);
+            comp.add_duration(w, j.completed_at - j.submitted_at);
+        }
+        RunMetrics {
+            policy: policy.into(),
+            total_time: (last_complete - first_submit).as_secs(),
+            utilization,
+            weighted_response: resp.mean_or_zero(),
+            weighted_completion: comp.mean_or_zero(),
+            rescales,
+            jobs,
+        }
+    }
+
+    /// One-line summary in the style of Table 1.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<14} total={:<9.1} util={:>6.2}% wresp={:<8.2} wcomp={:<8.2} rescales={}",
+            self.policy,
+            self.total_time,
+            self.utilization * 100.0,
+            self.weighted_response,
+            self.weighted_completion,
+            self.rescales
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, prio: u32, sub: f64, start: f64, done: f64) -> JobOutcome {
+        JobOutcome {
+            name: name.into(),
+            priority: prio,
+            submitted_at: SimTime::from_secs(sub),
+            started_at: SimTime::from_secs(start),
+            completed_at: SimTime::from_secs(done),
+        }
+    }
+
+    #[test]
+    fn metrics_match_hand_computation() {
+        let jobs = vec![
+            outcome("a", 5, 0.0, 10.0, 110.0),  // resp 10, comp 110
+            outcome("b", 1, 50.0, 250.0, 350.0), // resp 200, comp 300
+        ];
+        let m = RunMetrics::from_outcomes("elastic", jobs, 0.85, 3);
+        assert_eq!(m.total_time, 350.0);
+        // wresp = (5*10 + 1*200)/6 = 41.666…
+        assert!((m.weighted_response - 250.0 / 6.0).abs() < 1e-9);
+        // wcomp = (5*110 + 1*300)/6 = 141.666…
+        assert!((m.weighted_completion - 850.0 / 6.0).abs() < 1e-9);
+        assert_eq!(m.rescales, 3);
+        assert_eq!(m.utilization, 0.85);
+    }
+
+    #[test]
+    fn total_time_spans_first_submit_to_last_complete() {
+        let jobs = vec![
+            outcome("late-finisher", 1, 100.0, 110.0, 900.0),
+            outcome("first-submitted", 1, 10.0, 20.0, 50.0),
+        ];
+        let m = RunMetrics::from_outcomes("x", jobs, 0.5, 0);
+        assert_eq!(m.total_time, 890.0);
+    }
+
+    #[test]
+    fn table_row_is_readable() {
+        let m = RunMetrics::from_outcomes(
+            "moldable",
+            vec![outcome("a", 2, 0.0, 1.0, 2.0)],
+            0.715,
+            0,
+        );
+        let row = m.table_row();
+        assert!(row.contains("moldable"));
+        assert!(row.contains("71.50%"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_outcomes_rejected() {
+        let _ = RunMetrics::from_outcomes("x", vec![], 0.0, 0);
+    }
+}

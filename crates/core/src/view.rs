@@ -1,0 +1,357 @@
+//! The cluster view and scheduling actions.
+//!
+//! [`ClusterView`] is the *only* state the scheduling policies read, and
+//! [`Action`] the only thing they emit. Both the live operator and the
+//! discrete-event simulator build views and apply actions through this
+//! module, so a policy decision is — by construction — identical across
+//! the "Actual" and "Simulation" columns of Table 1.
+
+use hpc_metrics::SimTime;
+
+/// A job as the policy sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobState {
+    /// Job name.
+    pub name: String,
+    /// Spec minimum workers.
+    pub min_replicas: u32,
+    /// Spec maximum workers.
+    pub max_replicas: u32,
+    /// User priority (larger = more important).
+    pub priority: u32,
+    /// Submission time (tie-breaker).
+    pub submitted_at: SimTime,
+    /// Current workers (0 when queued).
+    pub replicas: u32,
+    /// Last scheduling action on this job; `NEG_INFINITY` if none yet.
+    pub last_action: SimTime,
+    /// `true` once the job holds resources.
+    pub running: bool,
+}
+
+impl JobState {
+    /// Priority ordering key: higher priority first, then earlier
+    /// submission (paper §3.2.1).
+    fn priority_key(&self) -> (std::cmp::Reverse<u32>, SimTime) {
+        (std::cmp::Reverse(self.priority), self.submitted_at)
+    }
+}
+
+/// Snapshot of schedulable cluster state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterView {
+    /// Total slots (the 64 vCPUs of the paper's testbed).
+    pub capacity: u32,
+    /// Slots not committed to any pod (worker or launcher).
+    pub free_slots: u32,
+    /// Every live job: running and queued.
+    pub jobs: Vec<JobState>,
+}
+
+impl ClusterView {
+    /// The named job, if present.
+    pub fn job(&self, name: &str) -> Option<&JobState> {
+        self.jobs.iter().find(|j| j.name == name)
+    }
+
+    /// Running jobs in *decreasing* priority order (the paper's
+    /// `runningJobs` list).
+    pub fn running_desc_priority(&self) -> Vec<&JobState> {
+        let mut v: Vec<&JobState> = self.jobs.iter().filter(|j| j.running).collect();
+        v.sort_by_key(|j| j.priority_key());
+        v
+    }
+
+    /// All jobs (running and queued) in decreasing priority order (the
+    /// paper's `allJobs` list).
+    pub fn all_desc_priority(&self) -> Vec<&JobState> {
+        let mut v: Vec<&JobState> = self.jobs.iter().collect();
+        v.sort_by_key(|j| j.priority_key());
+        v
+    }
+
+    /// Sanity invariant: committed slots (+launchers accounted by the
+    /// engine) never exceed capacity.
+    pub fn committed(&self) -> u32 {
+        self.capacity - self.free_slots
+    }
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Start `job` with `replicas` workers (plus its launcher).
+    Create {
+        /// Target job.
+        job: String,
+        /// Worker count to start with.
+        replicas: u32,
+    },
+    /// Grow `job` to `to_replicas` workers.
+    Expand {
+        /// Target job.
+        job: String,
+        /// New worker count.
+        to_replicas: u32,
+    },
+    /// Shrink `job` to `to_replicas` workers.
+    Shrink {
+        /// Target job.
+        job: String,
+        /// New worker count.
+        to_replicas: u32,
+    },
+    /// Leave `job` in the queue (no resources now).
+    Enqueue {
+        /// Target job.
+        job: String,
+    },
+}
+
+impl Action {
+    /// The job the action concerns.
+    pub fn job(&self) -> &str {
+        match self {
+            Action::Create { job, .. }
+            | Action::Expand { job, .. }
+            | Action::Shrink { job, .. }
+            | Action::Enqueue { job } => job,
+        }
+    }
+}
+
+/// Applies `action` to a view in place (used by engines to keep a
+/// consistent running view while applying a batch, and by tests).
+/// `launcher_slots` is the per-running-job launcher overhead.
+///
+/// Panics if the action violates capacity or job invariants — a policy
+/// emitting such an action is a bug, not a runtime condition.
+pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launcher_slots: u32) {
+    match action {
+        Action::Create { job, replicas } => {
+            let need = replicas + launcher_slots;
+            assert!(
+                view.free_slots >= need,
+                "create {job} needs {need} slots, only {} free",
+                view.free_slots
+            );
+            view.free_slots -= need;
+            let j = view
+                .jobs
+                .iter_mut()
+                .find(|j| j.name == *job)
+                .unwrap_or_else(|| panic!("create for unknown job {job}"));
+            assert!(!j.running, "create for already-running {job}");
+            assert!(
+                *replicas >= j.min_replicas && *replicas <= j.max_replicas,
+                "create {job} at {replicas} outside [{}, {}]",
+                j.min_replicas,
+                j.max_replicas
+            );
+            j.running = true;
+            j.replicas = *replicas;
+            j.last_action = now;
+        }
+        Action::Expand { job, to_replicas } => {
+            let j = view
+                .jobs
+                .iter_mut()
+                .find(|j| j.name == *job)
+                .unwrap_or_else(|| panic!("expand for unknown job {job}"));
+            assert!(j.running, "expand of non-running {job}");
+            assert!(
+                *to_replicas > j.replicas && *to_replicas <= j.max_replicas,
+                "expand {job} {} -> {to_replicas} invalid (max {})",
+                j.replicas,
+                j.max_replicas
+            );
+            let grow = *to_replicas - j.replicas;
+            assert!(
+                view.free_slots >= grow,
+                "expand {job} needs {grow}, only {} free",
+                view.free_slots
+            );
+            view.free_slots -= grow;
+            j.replicas = *to_replicas;
+            j.last_action = now;
+        }
+        Action::Shrink { job, to_replicas } => {
+            let j = view
+                .jobs
+                .iter_mut()
+                .find(|j| j.name == *job)
+                .unwrap_or_else(|| panic!("shrink for unknown job {job}"));
+            assert!(j.running, "shrink of non-running {job}");
+            assert!(
+                *to_replicas < j.replicas && *to_replicas >= j.min_replicas,
+                "shrink {job} {} -> {to_replicas} invalid (min {})",
+                j.replicas,
+                j.min_replicas
+            );
+            view.free_slots += j.replicas - *to_replicas;
+            j.replicas = *to_replicas;
+            j.last_action = now;
+        }
+        Action::Enqueue { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn job(name: &str, prio: u32, submitted: f64, replicas: u32) -> JobState {
+        JobState {
+            name: name.into(),
+            min_replicas: 2,
+            max_replicas: 16,
+            priority: prio,
+            submitted_at: SimTime::from_secs(submitted),
+            replicas,
+            last_action: SimTime::NEG_INFINITY,
+            running: replicas > 0,
+        }
+    }
+
+    #[test]
+    fn priority_ordering_matches_paper() {
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 0,
+            jobs: vec![
+                job("low-late", 1, 100.0, 4),
+                job("high", 5, 50.0, 4),
+                job("low-early", 1, 10.0, 4),
+                job("mid", 3, 0.0, 4),
+            ],
+        };
+        let order: Vec<&str> = view
+            .running_desc_priority()
+            .iter()
+            .map(|j| j.name.as_str())
+            .collect();
+        assert_eq!(order, vec!["high", "mid", "low-early", "low-late"]);
+    }
+
+    #[test]
+    fn all_desc_includes_queued() {
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 60,
+            jobs: vec![job("running", 1, 0.0, 4), job("queued", 5, 1.0, 0)],
+        };
+        let order: Vec<&str> = view
+            .all_desc_priority()
+            .iter()
+            .map(|j| j.name.as_str())
+            .collect();
+        assert_eq!(order, vec!["queued", "running"]);
+        assert_eq!(view.running_desc_priority().len(), 1);
+    }
+
+    #[test]
+    fn apply_create_expand_shrink_roundtrip() {
+        let mut view = ClusterView {
+            capacity: 32,
+            free_slots: 32,
+            jobs: vec![job("a", 3, 0.0, 0)],
+        };
+        let now = SimTime::from_secs(1.0);
+        apply_action(
+            &mut view,
+            &Action::Create { job: "a".into(), replicas: 8 },
+            now,
+            1,
+        );
+        assert_eq!(view.free_slots, 23); // 32 - 8 - 1 launcher
+        assert!(view.job("a").unwrap().running);
+        assert_eq!(view.job("a").unwrap().last_action, now);
+
+        apply_action(
+            &mut view,
+            &Action::Expand { job: "a".into(), to_replicas: 12 },
+            now,
+            1,
+        );
+        assert_eq!(view.free_slots, 19);
+
+        apply_action(
+            &mut view,
+            &Action::Shrink { job: "a".into(), to_replicas: 2 },
+            now,
+            1,
+        );
+        assert_eq!(view.free_slots, 29);
+        assert_eq!(view.job("a").unwrap().replicas, 2);
+        assert_eq!(view.committed(), 3); // 2 workers + launcher
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn apply_rejects_over_capacity_create() {
+        let mut view = ClusterView {
+            capacity: 4,
+            free_slots: 4,
+            jobs: vec![job("a", 3, 0.0, 0)],
+        };
+        apply_action(
+            &mut view,
+            &Action::Create { job: "a".into(), replicas: 8 },
+            SimTime::ZERO,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn apply_rejects_below_min_create() {
+        let mut view = ClusterView {
+            capacity: 64,
+            free_slots: 64,
+            jobs: vec![job("a", 3, 0.0, 0)],
+        };
+        apply_action(
+            &mut view,
+            &Action::Create { job: "a".into(), replicas: 1 },
+            SimTime::ZERO,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn apply_rejects_shrink_below_min() {
+        let mut view = ClusterView {
+            capacity: 64,
+            free_slots: 40,
+            jobs: vec![job("a", 3, 0.0, 8)],
+        };
+        apply_action(
+            &mut view,
+            &Action::Shrink { job: "a".into(), to_replicas: 1 },
+            SimTime::ZERO,
+            1,
+        );
+    }
+
+    #[test]
+    fn enqueue_is_a_noop_on_the_view() {
+        let mut view = ClusterView {
+            capacity: 8,
+            free_slots: 8,
+            jobs: vec![job("a", 3, 0.0, 0)],
+        };
+        let before = view.clone();
+        apply_action(&mut view, &Action::Enqueue { job: "a".into() }, SimTime::ZERO, 1);
+        assert_eq!(view, before);
+    }
+
+    #[test]
+    fn action_job_accessor() {
+        assert_eq!(Action::Enqueue { job: "x".into() }.job(), "x");
+        assert_eq!(
+            Action::Create { job: "y".into(), replicas: 1 }.job(),
+            "y"
+        );
+    }
+}

@@ -1,0 +1,303 @@
+//! The API object store.
+//!
+//! A minimal analogue of the Kubernetes API server: typed object stores
+//! with unique names, monotonically increasing resource versions, and
+//! watch streams delivering Added/Modified/Deleted events. Controllers
+//! (the pod scheduler, the kubelet, the CharmJob operator) interact with
+//! cluster state exclusively through this interface, which is what makes
+//! the in-process substitution behaviour-preserving: the policy code
+//! sees the same state-machine surface a real operator would.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// Anything storable: cloneable, named, sendable.
+pub trait Resource: Clone + Send + 'static {
+    /// The object's unique-within-store name.
+    fn name(&self) -> &str;
+}
+
+/// A stored object plus server-assigned metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stored<T> {
+    /// The object.
+    pub obj: T,
+    /// Server-assigned unique id (never reused).
+    pub uid: u64,
+    /// Bumped on every mutation.
+    pub resource_version: u64,
+}
+
+/// A watch stream event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchEvent<T> {
+    /// Object created.
+    Added(Stored<T>),
+    /// Object mutated.
+    Modified(Stored<T>),
+    /// Object removed.
+    Deleted(Stored<T>),
+}
+
+/// Errors returned by store operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiError {
+    /// Create of an existing name.
+    AlreadyExists(String),
+    /// Get/update/delete of a missing name.
+    NotFound(String),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::AlreadyExists(n) => write!(f, "object {n:?} already exists"),
+            ApiError::NotFound(n) => write!(f, "object {n:?} not found"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+struct StoreInner<T> {
+    objects: HashMap<String, Stored<T>>,
+    watchers: Vec<Sender<WatchEvent<T>>>,
+}
+
+/// A typed object store. Cloning shares the underlying state.
+pub struct Store<T: Resource> {
+    inner: Arc<Mutex<StoreInner<T>>>,
+    next_uid: Arc<AtomicU64>,
+    next_rv: Arc<AtomicU64>,
+}
+
+impl<T: Resource> Clone for Store<T> {
+    fn clone(&self) -> Self {
+        Store {
+            inner: Arc::clone(&self.inner),
+            next_uid: Arc::clone(&self.next_uid),
+            next_rv: Arc::clone(&self.next_rv),
+        }
+    }
+}
+
+impl<T: Resource> Default for Store<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Resource> Store<T> {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store {
+            inner: Arc::new(Mutex::new(StoreInner {
+                objects: HashMap::new(),
+                watchers: Vec::new(),
+            })),
+            next_uid: Arc::new(AtomicU64::new(1)),
+            next_rv: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    fn notify(inner: &mut StoreInner<T>, event: WatchEvent<T>) {
+        inner.watchers.retain(|w| w.send(event.clone()).is_ok());
+    }
+
+    /// Creates `obj`; fails if the name exists.
+    pub fn create(&self, obj: T) -> Result<Stored<T>, ApiError> {
+        let mut inner = self.inner.lock();
+        let name = obj.name().to_string();
+        if inner.objects.contains_key(&name) {
+            return Err(ApiError::AlreadyExists(name));
+        }
+        let stored = Stored {
+            obj,
+            uid: self.next_uid.fetch_add(1, Ordering::Relaxed),
+            resource_version: self.next_rv.fetch_add(1, Ordering::Relaxed),
+        };
+        inner.objects.insert(name, stored.clone());
+        Self::notify(&mut inner, WatchEvent::Added(stored.clone()));
+        Ok(stored)
+    }
+
+    /// Fetches by name.
+    pub fn get(&self, name: &str) -> Option<Stored<T>> {
+        self.inner.lock().objects.get(name).cloned()
+    }
+
+    /// All objects (unspecified order).
+    pub fn list(&self) -> Vec<Stored<T>> {
+        self.inner.lock().objects.values().cloned().collect()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().objects.len()
+    }
+
+    /// `true` when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Applies `mutate` to the named object under the store lock and
+    /// bumps its resource version.
+    pub fn update(
+        &self,
+        name: &str,
+        mutate: impl FnOnce(&mut T),
+    ) -> Result<Stored<T>, ApiError> {
+        let mut inner = self.inner.lock();
+        let stored = inner
+            .objects
+            .get_mut(name)
+            .ok_or_else(|| ApiError::NotFound(name.to_string()))?;
+        mutate(&mut stored.obj);
+        stored.resource_version = self.next_rv.fetch_add(1, Ordering::Relaxed);
+        let snapshot = stored.clone();
+        Self::notify(&mut inner, WatchEvent::Modified(snapshot.clone()));
+        Ok(snapshot)
+    }
+
+    /// Removes by name, returning the last state.
+    pub fn delete(&self, name: &str) -> Result<Stored<T>, ApiError> {
+        let mut inner = self.inner.lock();
+        let stored = inner
+            .objects
+            .remove(name)
+            .ok_or_else(|| ApiError::NotFound(name.to_string()))?;
+        Self::notify(&mut inner, WatchEvent::Deleted(stored.clone()));
+        Ok(stored)
+    }
+
+    /// Opens a watch stream; events for subsequent mutations are
+    /// delivered in order. (No replay of existing state — callers list
+    /// first, like informers do.)
+    pub fn watch(&self) -> Receiver<WatchEvent<T>> {
+        let (tx, rx) = unbounded();
+        self.inner.lock().watchers.push(tx);
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Obj {
+        name: String,
+        value: i64,
+    }
+
+    impl Resource for Obj {
+        fn name(&self) -> &str {
+            &self.name
+        }
+    }
+
+    fn obj(name: &str, value: i64) -> Obj {
+        Obj {
+            name: name.to_string(),
+            value,
+        }
+    }
+
+    #[test]
+    fn create_get_list_delete() {
+        let store: Store<Obj> = Store::new();
+        let a = store.create(obj("a", 1)).unwrap();
+        assert_eq!(a.uid, 1);
+        assert!(store.create(obj("a", 2)).is_err());
+        store.create(obj("b", 2)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get("a").unwrap().obj.value, 1);
+        assert!(store.get("zzz").is_none());
+        let deleted = store.delete("a").unwrap();
+        assert_eq!(deleted.obj.value, 1);
+        assert!(store.delete("a").is_err());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn update_bumps_resource_version() {
+        let store: Store<Obj> = Store::new();
+        let v1 = store.create(obj("a", 1)).unwrap();
+        let v2 = store.update("a", |o| o.value = 42).unwrap();
+        assert!(v2.resource_version > v1.resource_version);
+        assert_eq!(v2.uid, v1.uid, "uid stable across updates");
+        assert_eq!(store.get("a").unwrap().obj.value, 42);
+        assert!(matches!(
+            store.update("zzz", |_| {}),
+            Err(ApiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn uids_never_reused() {
+        let store: Store<Obj> = Store::new();
+        let a = store.create(obj("a", 1)).unwrap();
+        store.delete("a").unwrap();
+        let a2 = store.create(obj("a", 1)).unwrap();
+        assert_ne!(a.uid, a2.uid);
+    }
+
+    #[test]
+    fn watch_delivers_lifecycle_in_order() {
+        let store: Store<Obj> = Store::new();
+        let rx = store.watch();
+        store.create(obj("a", 1)).unwrap();
+        store.update("a", |o| o.value = 2).unwrap();
+        store.delete("a").unwrap();
+        assert!(matches!(rx.try_recv().unwrap(), WatchEvent::Added(s) if s.obj.value == 1));
+        assert!(matches!(rx.try_recv().unwrap(), WatchEvent::Modified(s) if s.obj.value == 2));
+        assert!(matches!(rx.try_recv().unwrap(), WatchEvent::Deleted(_)));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn dropped_watchers_are_pruned() {
+        let store: Store<Obj> = Store::new();
+        let rx = store.watch();
+        drop(rx);
+        // Must not error or leak.
+        store.create(obj("a", 1)).unwrap();
+        let rx2 = store.watch();
+        store.update("a", |o| o.value = 5).unwrap();
+        assert!(matches!(rx2.try_recv().unwrap(), WatchEvent::Modified(_)));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let store: Store<Obj> = Store::new();
+        let clone = store.clone();
+        store.create(obj("a", 1)).unwrap();
+        assert_eq!(clone.get("a").unwrap().obj.value, 1);
+    }
+
+    #[test]
+    fn concurrent_creates_unique_uids() {
+        let store: Store<Obj> = Store::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.create(obj(&format!("{t}-{i}"), 0)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut uids: Vec<u64> = store.list().iter().map(|s| s.uid).collect();
+        uids.sort_unstable();
+        uids.dedup();
+        assert_eq!(uids.len(), 800);
+    }
+}

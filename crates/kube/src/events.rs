@@ -1,0 +1,125 @@
+//! Cluster event log.
+//!
+//! A timestamped, append-only record of notable control-plane actions
+//! (job admitted, pods created, rescale issued, …). The operator writes
+//! to it; tests and the Fig. 9 profile regenerator read it back.
+
+use std::sync::Arc;
+
+use hpc_metrics::SimTime;
+use parking_lot::Mutex;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When it happened.
+    pub at: SimTime,
+    /// Subject (job or pod name).
+    pub subject: String,
+    /// What happened (free-form kind, e.g. "Created", "Shrink").
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// Shared append-only event log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    inner: Arc<Mutex<Vec<Event>>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &self,
+        at: SimTime,
+        subject: impl Into<String>,
+        kind: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.inner.lock().push(Event {
+            at,
+            subject: subject.into(),
+            kind: kind.into(),
+            message: message.into(),
+        });
+    }
+
+    /// A snapshot of all events in record order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner.lock().clone()
+    }
+
+    /// Events of a given kind.
+    pub fn of_kind(&self, kind: &str) -> Vec<Event> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|e| e.kind == kind)
+            .cloned()
+            .collect()
+    }
+
+    /// Events concerning a subject.
+    pub fn of_subject(&self, subject: &str) -> Vec<Event> {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|e| e.subject == subject)
+            .cloned()
+            .collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters() {
+        let log = EventLog::new();
+        log.record(SimTime::ZERO, "j1", "Created", "16 replicas");
+        log.record(SimTime::from_secs(5.0), "j1", "Shrink", "16 -> 8");
+        log.record(SimTime::from_secs(9.0), "j2", "Created", "4 replicas");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.of_kind("Created").len(), 2);
+        assert_eq!(log.of_subject("j1").len(), 2);
+        assert_eq!(log.of_subject("j1")[1].kind, "Shrink");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let log = EventLog::new();
+        let clone = log.clone();
+        log.record(SimTime::ZERO, "x", "K", "m");
+        assert_eq!(clone.len(), 1);
+        assert!(!clone.is_empty());
+    }
+
+    #[test]
+    fn snapshot_preserves_order() {
+        let log = EventLog::new();
+        for i in 0..10 {
+            log.record(SimTime::from_secs(i as f64), "s", "K", format!("{i}"));
+        }
+        let snap = log.snapshot();
+        for (i, e) in snap.iter().enumerate() {
+            assert_eq!(e.message, i.to_string());
+        }
+    }
+}

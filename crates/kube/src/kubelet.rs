@@ -1,0 +1,213 @@
+//! The kubelet model: pod start/stop latencies.
+//!
+//! Bound pods become `Running` after a configurable startup latency
+//! (container image pull + start), and deletion-requested pods become
+//! `Succeeded` after a grace period. Driven by explicit `process(now)`
+//! calls so the same code runs under real or virtual time.
+
+use hpc_metrics::{Duration, SimTime};
+
+use crate::api::Store;
+use crate::resources::{Pod, PodPhase};
+
+/// Kubelet timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KubeletConfig {
+    /// Bound → Running latency.
+    pub startup_latency: Duration,
+    /// Deletion request → Succeeded latency.
+    pub termination_grace: Duration,
+}
+
+impl Default for KubeletConfig {
+    fn default() -> Self {
+        KubeletConfig {
+            startup_latency: Duration::from_secs(1.0),
+            termination_grace: Duration::from_secs(0.5),
+        }
+    }
+}
+
+impl KubeletConfig {
+    /// A zero-latency kubelet (unit tests).
+    pub fn instant() -> Self {
+        KubeletConfig {
+            startup_latency: Duration::ZERO,
+            termination_grace: Duration::ZERO,
+        }
+    }
+}
+
+/// Per-pod transition bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Transition {
+    due: SimTime,
+    to_running: bool,
+}
+
+/// The kubelet controller (covers all nodes — per-node fidelity is not
+/// needed by anything above it).
+pub struct Kubelet {
+    pods: Store<Pod>,
+    cfg: KubeletConfig,
+    inflight: std::collections::HashMap<String, Transition>,
+}
+
+impl Kubelet {
+    /// A kubelet over the pod store.
+    pub fn new(pods: Store<Pod>, cfg: KubeletConfig) -> Self {
+        Kubelet {
+            pods,
+            cfg,
+            inflight: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Advances pod state machines to `now`. Returns the names of pods
+    /// that changed phase.
+    pub fn process(&mut self, now: SimTime) -> Vec<String> {
+        let mut changed = Vec::new();
+        for stored in self.pods.list() {
+            let pod = &stored.obj;
+            match (pod.phase, pod.node.is_some(), pod.deleting) {
+                // Bound pending pod: schedule its start.
+                (PodPhase::Pending, true, false) => {
+                    let t = self
+                        .inflight
+                        .entry(pod.name.clone())
+                        .or_insert(Transition {
+                            due: now + self.cfg.startup_latency,
+                            to_running: true,
+                        });
+                    if t.to_running && now >= t.due {
+                        let started = now;
+                        self.pods
+                            .update(&pod.name, move |p| {
+                                p.phase = PodPhase::Running;
+                                p.started_at = Some(started);
+                            })
+                            .expect("pod exists");
+                        self.inflight.remove(&pod.name);
+                        changed.push(pod.name.clone());
+                    }
+                }
+                // Deletion requested on a live pod: schedule termination.
+                (PodPhase::Pending | PodPhase::Running, _, true) => {
+                    let entry = self.inflight.entry(pod.name.clone()).or_insert(Transition {
+                        due: now + self.cfg.termination_grace,
+                        to_running: false,
+                    });
+                    // A start transition is overridden by deletion.
+                    if entry.to_running {
+                        *entry = Transition {
+                            due: now + self.cfg.termination_grace,
+                            to_running: false,
+                        };
+                    }
+                    if now >= entry.due {
+                        self.pods
+                            .update(&pod.name, |p| p.phase = PodPhase::Succeeded)
+                            .expect("pod exists");
+                        self.inflight.remove(&pod.name);
+                        changed.push(pod.name.clone());
+                    }
+                }
+                _ => {
+                    self.inflight.remove(&pod.name);
+                }
+            }
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pod_bound(pods: &Store<Pod>, name: &str) {
+        pods.create(Pod {
+            node: Some("n0".into()),
+            ..Pod::worker(name, "j", SimTime::ZERO)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn startup_latency_is_honored() {
+        let pods: Store<Pod> = Store::new();
+        pod_bound(&pods, "w");
+        let mut kubelet = Kubelet::new(
+            pods.clone(),
+            KubeletConfig {
+                startup_latency: Duration::from_secs(2.0),
+                termination_grace: Duration::ZERO,
+            },
+        );
+        assert!(kubelet.process(SimTime::from_secs(0.0)).is_empty());
+        assert!(kubelet.process(SimTime::from_secs(1.9)).is_empty());
+        let changed = kubelet.process(SimTime::from_secs(2.0));
+        assert_eq!(changed, vec!["w".to_string()]);
+        let pod = pods.get("w").unwrap().obj;
+        assert_eq!(pod.phase, PodPhase::Running);
+        assert_eq!(pod.started_at, Some(SimTime::from_secs(2.0)));
+    }
+
+    #[test]
+    fn instant_kubelet_starts_immediately() {
+        let pods: Store<Pod> = Store::new();
+        pod_bound(&pods, "w");
+        let mut kubelet = Kubelet::new(pods.clone(), KubeletConfig::instant());
+        let changed = kubelet.process(SimTime::ZERO);
+        assert_eq!(changed.len(), 1);
+        assert_eq!(pods.get("w").unwrap().obj.phase, PodPhase::Running);
+    }
+
+    #[test]
+    fn unbound_pods_never_start() {
+        let pods: Store<Pod> = Store::new();
+        pods.create(Pod::worker("w", "j", SimTime::ZERO)).unwrap();
+        let mut kubelet = Kubelet::new(pods.clone(), KubeletConfig::instant());
+        assert!(kubelet.process(SimTime::from_secs(100.0)).is_empty());
+        assert_eq!(pods.get("w").unwrap().obj.phase, PodPhase::Pending);
+    }
+
+    #[test]
+    fn deletion_terminates_after_grace() {
+        let pods: Store<Pod> = Store::new();
+        pod_bound(&pods, "w");
+        let mut kubelet = Kubelet::new(
+            pods.clone(),
+            KubeletConfig {
+                startup_latency: Duration::ZERO,
+                termination_grace: Duration::from_secs(1.0),
+            },
+        );
+        kubelet.process(SimTime::ZERO); // running
+        pods.update("w", |p| p.deleting = true).unwrap();
+        assert!(kubelet.process(SimTime::from_secs(0.5)).is_empty());
+        let changed = kubelet.process(SimTime::from_secs(1.5));
+        assert_eq!(changed, vec!["w".to_string()]);
+        assert_eq!(pods.get("w").unwrap().obj.phase, PodPhase::Succeeded);
+    }
+
+    #[test]
+    fn deletion_overrides_pending_start() {
+        let pods: Store<Pod> = Store::new();
+        pod_bound(&pods, "w");
+        let mut kubelet = Kubelet::new(
+            pods.clone(),
+            KubeletConfig {
+                startup_latency: Duration::from_secs(10.0),
+                termination_grace: Duration::ZERO,
+            },
+        );
+        kubelet.process(SimTime::ZERO); // start scheduled for t=10
+        pods.update("w", |p| p.deleting = true).unwrap();
+        kubelet.process(SimTime::from_secs(1.0));
+        // Terminated without ever running.
+        let pod = pods.get("w").unwrap().obj;
+        assert_eq!(pod.phase, PodPhase::Succeeded);
+        assert_eq!(pod.started_at, None);
+    }
+}

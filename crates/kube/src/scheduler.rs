@@ -1,0 +1,262 @@
+//! The pod scheduler: a filter/score binding loop.
+//!
+//! Models kube-scheduler's two phases for the features the paper uses
+//! (§3.1: default kube-scheduler plus pod affinity for locality-aware
+//! placement): *filter* keeps ready nodes with enough free CPU; *score*
+//! prefers nodes already hosting pods of the same affinity group
+//! (keeping a job's PEs close), breaking ties toward the most-allocated
+//! node (bin packing keeps large contiguous holes available for big
+//! jobs), then by name for determinism.
+
+use std::collections::HashMap;
+
+use crate::api::Store;
+use crate::resources::{Node, Pod};
+
+/// Pod scheduler over the node/pod stores.
+pub struct PodScheduler {
+    nodes: Store<Node>,
+    pods: Store<Pod>,
+}
+
+/// Outcome of one scheduling pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleOutcome {
+    /// Pods bound this pass, `(pod, node)`.
+    pub bound: Vec<(String, String)>,
+    /// Pods left pending for lack of a feasible node.
+    pub unschedulable: Vec<String>,
+}
+
+impl PodScheduler {
+    /// A scheduler reading from the given stores.
+    pub fn new(nodes: Store<Node>, pods: Store<Pod>) -> Self {
+        PodScheduler { nodes, pods }
+    }
+
+    /// CPUs committed per node (requests of resource-consuming pods).
+    fn allocations(&self) -> HashMap<String, u32> {
+        let mut alloc: HashMap<String, u32> = HashMap::new();
+        for pod in self.pods.list() {
+            if !pod.obj.consumes_resources() {
+                continue;
+            }
+            if let Some(node) = &pod.obj.node {
+                *alloc.entry(node.clone()).or_insert(0) += pod.obj.cpu_request;
+            }
+        }
+        alloc
+    }
+
+    /// Pods of each affinity group per node.
+    fn group_presence(&self) -> HashMap<(String, String), u32> {
+        let mut presence = HashMap::new();
+        for pod in self.pods.list() {
+            if !pod.obj.consumes_resources() {
+                continue;
+            }
+            if let (Some(node), Some(group)) = (&pod.obj.node, &pod.obj.affinity_group) {
+                *presence.entry((node.clone(), group.clone())).or_insert(0) += 1;
+            }
+        }
+        presence
+    }
+
+    /// Runs one scheduling pass: binds every schedulable pending pod.
+    ///
+    /// Pods are considered in creation order (FIFO, name tie-break),
+    /// like the default scheduler's queue.
+    pub fn schedule_once(&self) -> ScheduleOutcome {
+        let mut outcome = ScheduleOutcome::default();
+        let mut pending: Vec<Pod> = self
+            .pods
+            .list()
+            .into_iter()
+            .map(|s| s.obj)
+            .filter(|p| p.node.is_none() && p.consumes_resources() && !p.deleting)
+            .collect();
+        pending.sort_by(|a, b| {
+            a.created_at
+                .cmp(&b.created_at)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        if pending.is_empty() {
+            return outcome;
+        }
+
+        let nodes: Vec<Node> = self.nodes.list().into_iter().map(|s| s.obj).collect();
+        let mut alloc = self.allocations();
+        let mut presence = self.group_presence();
+
+        for pod in pending {
+            // Filter: ready nodes with room.
+            let feasible: Vec<&Node> = nodes
+                .iter()
+                .filter(|n| {
+                    n.ready
+                        && n.cpu_capacity
+                            .saturating_sub(alloc.get(&n.name).copied().unwrap_or(0))
+                            >= pod.cpu_request
+                })
+                .collect();
+            if feasible.is_empty() {
+                outcome.unschedulable.push(pod.name.clone());
+                continue;
+            }
+            // Score: affinity presence, then most-allocated, then name.
+            let best = feasible
+                .into_iter()
+                .max_by(|a, b| {
+                    let key = |n: &Node| {
+                        let aff = pod
+                            .affinity_group
+                            .as_ref()
+                            .and_then(|g| presence.get(&(n.name.clone(), g.clone())))
+                            .copied()
+                            .unwrap_or(0);
+                        let used = alloc.get(&n.name).copied().unwrap_or(0);
+                        (aff, used)
+                    };
+                    key(a).cmp(&key(b)).then_with(|| b.name.cmp(&a.name))
+                })
+                .expect("feasible non-empty");
+            let node_name = best.name.clone();
+            *alloc.entry(node_name.clone()).or_insert(0) += pod.cpu_request;
+            if let Some(group) = &pod.affinity_group {
+                *presence.entry((node_name.clone(), group.clone())).or_insert(0) += 1;
+            }
+            let bind_target = node_name.clone();
+            self.pods
+                .update(&pod.name, move |p| p.node = Some(bind_target))
+                .expect("pod exists");
+            outcome.bound.push((pod.name, node_name));
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::PodPhase;
+    use hpc_metrics::SimTime;
+
+    fn setup(nodes: &[(&str, u32)]) -> (Store<Node>, Store<Pod>, PodScheduler) {
+        let node_store: Store<Node> = Store::new();
+        let pod_store: Store<Pod> = Store::new();
+        for &(name, cap) in nodes {
+            node_store.create(Node::new(name, cap)).unwrap();
+        }
+        let sched = PodScheduler::new(node_store.clone(), pod_store.clone());
+        (node_store, pod_store, sched)
+    }
+
+    fn pod_at(pods: &Store<Pod>, name: &str, owner: &str, t: f64) {
+        pods.create(Pod::worker(name, owner, SimTime::from_secs(t)))
+            .unwrap();
+    }
+
+    #[test]
+    fn binds_pending_pods_to_feasible_nodes() {
+        let (_n, pods, sched) = setup(&[("n0", 2), ("n1", 2)]);
+        for i in 0..4 {
+            pod_at(&pods, &format!("w{i}"), "j1", i as f64);
+        }
+        let out = sched.schedule_once();
+        assert_eq!(out.bound.len(), 4);
+        assert!(out.unschedulable.is_empty());
+        for s in pods.list() {
+            assert!(s.obj.node.is_some());
+        }
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let (_n, pods, sched) = setup(&[("n0", 2)]);
+        for i in 0..3 {
+            pod_at(&pods, &format!("w{i}"), "j1", i as f64);
+        }
+        let out = sched.schedule_once();
+        assert_eq!(out.bound.len(), 2);
+        assert_eq!(out.unschedulable, vec!["w2".to_string()]);
+    }
+
+    #[test]
+    fn affinity_collocates_same_job() {
+        let (_n, pods, sched) = setup(&[("n0", 8), ("n1", 8)]);
+        // Seed: one j1 pod bound to n1.
+        pods.create(Pod {
+            node: Some("n1".into()),
+            phase: PodPhase::Running,
+            ..Pod::worker("seed", "j1", SimTime::ZERO)
+        })
+        .unwrap();
+        pod_at(&pods, "w1", "j1", 1.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.bound, vec![("w1".to_string(), "n1".to_string())]);
+    }
+
+    #[test]
+    fn bin_packing_prefers_fuller_node() {
+        let (_n, pods, sched) = setup(&[("n0", 8), ("n1", 8)]);
+        // n1 already hosts an unrelated pod: most-allocated wins.
+        pods.create(Pod {
+            node: Some("n1".into()),
+            phase: PodPhase::Running,
+            ..Pod::worker("other", "jX", SimTime::ZERO)
+        })
+        .unwrap();
+        pod_at(&pods, "w1", "j1", 1.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.bound[0].1, "n1");
+    }
+
+    #[test]
+    fn not_ready_nodes_filtered() {
+        let (nodes, pods, sched) = setup(&[("n0", 8)]);
+        nodes.update("n0", |n| n.ready = false).unwrap();
+        pod_at(&pods, "w1", "j1", 0.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.unschedulable, vec!["w1".to_string()]);
+    }
+
+    #[test]
+    fn finished_pods_release_capacity() {
+        let (_n, pods, sched) = setup(&[("n0", 1)]);
+        pods.create(Pod {
+            node: Some("n0".into()),
+            phase: PodPhase::Succeeded,
+            ..Pod::worker("done", "j0", SimTime::ZERO)
+        })
+        .unwrap();
+        pod_at(&pods, "w1", "j1", 1.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.bound.len(), 1);
+    }
+
+    #[test]
+    fn fifo_order_by_creation_time() {
+        let (_n, pods, sched) = setup(&[("n0", 1)]);
+        pod_at(&pods, "late", "j1", 10.0);
+        pod_at(&pods, "early", "j1", 1.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.bound[0].0, "early");
+        assert_eq!(out.unschedulable, vec!["late".to_string()]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_node_name() {
+        let (_n, pods, sched) = setup(&[("n1", 4), ("n0", 4)]);
+        pod_at(&pods, "w", "j1", 0.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.bound[0].1, "n0", "empty equal nodes: lowest name wins");
+    }
+
+    #[test]
+    fn empty_cluster_everything_unschedulable() {
+        let (_n, pods, sched) = setup(&[]);
+        pod_at(&pods, "w", "j1", 0.0);
+        let out = sched.schedule_once();
+        assert_eq!(out.unschedulable.len(), 1);
+    }
+}

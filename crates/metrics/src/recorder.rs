@@ -1,0 +1,303 @@
+//! Recording of allocation time-series and cluster utilization.
+//!
+//! The paper's `track_utilization.py` samples pod occupancy over an
+//! experiment and reports (a) the average cluster utilization metric of
+//! Table 1 and (b) the stacked per-job profiles of Fig. 9a. The
+//! [`UtilizationRecorder`] here is the exact-event equivalent: callers
+//! report every allocation change (job started / rescaled / finished) and
+//! the recorder integrates the step function instead of sampling it.
+
+use std::collections::BTreeMap;
+
+use crate::time::{Duration, SimTime};
+
+/// One allocation-change event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocEvent {
+    /// When the change took effect.
+    pub at: SimTime,
+    /// Which job changed.
+    pub job: String,
+    /// The job's slot count from `at` onward (0 = released).
+    pub slots: u32,
+}
+
+/// Integrates per-job slot allocations over time.
+#[derive(Debug, Clone)]
+pub struct UtilizationRecorder {
+    capacity: u32,
+    events: Vec<AllocEvent>,
+}
+
+impl UtilizationRecorder {
+    /// A recorder for a cluster with `capacity` total slots.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        UtilizationRecorder {
+            capacity,
+            events: Vec::new(),
+        }
+    }
+
+    /// Cluster capacity in slots.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Records that `job` holds `slots` slots from `at` onward.
+    ///
+    /// Events may be recorded out of order; they are sorted on read.
+    pub fn set(&mut self, at: SimTime, job: impl Into<String>, slots: u32) {
+        self.events.push(AllocEvent {
+            at,
+            job: job.into(),
+            slots,
+        });
+    }
+
+    /// All recorded events, sorted by time (stable for equal times).
+    pub fn events(&self) -> Vec<AllocEvent> {
+        let mut ev = self.events.clone();
+        ev.sort_by(|a, b| a.at.cmp(&b.at));
+        ev
+    }
+
+    /// The total-allocation step function: `(t, total_slots)` at every
+    /// change point, deduplicated to the last value per instant.
+    pub fn total_series(&self) -> Vec<(SimTime, u32)> {
+        let mut per_job: BTreeMap<String, u32> = BTreeMap::new();
+        let mut out: Vec<(SimTime, u32)> = Vec::new();
+        for ev in self.events() {
+            if ev.slots == 0 {
+                per_job.remove(&ev.job);
+            } else {
+                per_job.insert(ev.job.clone(), ev.slots);
+            }
+            let total: u32 = per_job.values().sum();
+            match out.last_mut() {
+                Some(last) if last.0 == ev.at => last.1 = total,
+                _ => out.push((ev.at, total)),
+            }
+        }
+        out
+    }
+
+    /// Per-job step functions, keyed by job name.
+    pub fn per_job_series(&self) -> BTreeMap<String, Vec<(SimTime, u32)>> {
+        let mut map: BTreeMap<String, Vec<(SimTime, u32)>> = BTreeMap::new();
+        for ev in self.events() {
+            let series = map.entry(ev.job.clone()).or_default();
+            match series.last_mut() {
+                Some(last) if last.0 == ev.at => last.1 = ev.slots,
+                _ => series.push((ev.at, ev.slots)),
+            }
+        }
+        map
+    }
+
+    /// Average utilization (fraction of capacity in use) over `[from, to]`.
+    ///
+    /// Returns 0 for an empty or zero-length window.
+    pub fn average_utilization(&self, from: SimTime, to: SimTime) -> f64 {
+        let window = (to - from).as_secs();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let series = self.total_series();
+        let mut used_slot_seconds = 0.0;
+        let mut current: u32 = 0;
+        let mut cursor = from;
+        for (t, total) in series {
+            if t <= from {
+                current = total;
+                continue;
+            }
+            if t >= to {
+                break;
+            }
+            used_slot_seconds += (t - cursor).as_secs() * f64::from(current);
+            cursor = t;
+            current = total;
+        }
+        used_slot_seconds += (to - cursor).as_secs() * f64::from(current);
+        used_slot_seconds / (window * f64::from(self.capacity))
+    }
+
+    /// Utilization over the natural window: first event to `end`.
+    pub fn utilization_until(&self, end: SimTime) -> f64 {
+        match self.events().first() {
+            Some(first) => self.average_utilization(first.at, end),
+            None => 0.0,
+        }
+    }
+
+    /// Maximum total allocation ever recorded.
+    pub fn peak(&self) -> u32 {
+        self.total_series().iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+}
+
+/// A plain `(t, value)` time series with helpers used by the figure
+/// regenerators (per-iteration times, replica-count evolution, …).
+#[derive(Debug, Clone, Default)]
+pub struct SeriesRecorder {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl SeriesRecorder {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Converts to `(seconds, value)` pairs for charting/CSV.
+    pub fn as_xy(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .map(|&(t, v)| (t.as_secs(), v))
+            .collect()
+    }
+
+    /// Largest gap between consecutive points — the Fig. 6b "rescale
+    /// gap" detector.
+    pub fn largest_gap(&self) -> Option<(SimTime, Duration)> {
+        self.points
+            .windows(2)
+            .map(|w| (w[0].0, w[1].0 - w[0].0))
+            .max_by(|a, b| a.1.cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn single_job_full_window() {
+        let mut r = UtilizationRecorder::new(10);
+        r.set(t(0.0), "a", 5);
+        r.set(t(10.0), "a", 0);
+        assert!((r.average_utilization(t(0.0), t(10.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescale_changes_integral() {
+        let mut r = UtilizationRecorder::new(10);
+        r.set(t(0.0), "a", 10);
+        r.set(t(5.0), "a", 2); // shrink at t=5
+        r.set(t(10.0), "a", 0);
+        // 5s at 10 slots + 5s at 2 slots = 60 slot-seconds of 100.
+        assert!((r.average_utilization(t(0.0), t(10.0)) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_jobs_sum() {
+        let mut r = UtilizationRecorder::new(4);
+        r.set(t(0.0), "a", 2);
+        r.set(t(2.0), "b", 2);
+        r.set(t(4.0), "a", 0);
+        r.set(t(6.0), "b", 0);
+        // [0,2): 2, [2,4): 4, [4,6): 2 => 16 slot-s of 24.
+        let u = r.average_utilization(t(0.0), t(6.0));
+        assert!((u - 16.0 / 24.0).abs() < 1e-12);
+        assert_eq!(r.peak(), 4);
+    }
+
+    #[test]
+    fn window_clips_events_outside() {
+        let mut r = UtilizationRecorder::new(2);
+        r.set(t(0.0), "a", 2);
+        r.set(t(100.0), "a", 0);
+        // Query a window strictly inside the allocation.
+        assert!((r.average_utilization(t(10.0), t(20.0)) - 1.0).abs() < 1e-12);
+        // Query a window after release.
+        assert_eq!(r.average_utilization(t(100.0), t(110.0)), 0.0);
+    }
+
+    #[test]
+    fn out_of_order_events_are_sorted() {
+        let mut r = UtilizationRecorder::new(4);
+        r.set(t(5.0), "a", 0);
+        r.set(t(0.0), "a", 4);
+        assert!((r.average_utilization(t(0.0), t(10.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_recorder_reports_zero() {
+        let r = UtilizationRecorder::new(8);
+        assert_eq!(r.average_utilization(t(0.0), t(1.0)), 0.0);
+        assert_eq!(r.utilization_until(t(5.0)), 0.0);
+        assert_eq!(r.peak(), 0);
+    }
+
+    #[test]
+    fn zero_length_window_is_zero() {
+        let mut r = UtilizationRecorder::new(8);
+        r.set(t(0.0), "a", 8);
+        assert_eq!(r.average_utilization(t(1.0), t(1.0)), 0.0);
+    }
+
+    #[test]
+    fn total_series_merges_same_instant() {
+        let mut r = UtilizationRecorder::new(8);
+        r.set(t(0.0), "a", 4);
+        r.set(t(0.0), "b", 2);
+        let s = r.total_series();
+        assert_eq!(s, vec![(t(0.0), 6)]);
+    }
+
+    #[test]
+    fn per_job_series_tracks_each_job() {
+        let mut r = UtilizationRecorder::new(8);
+        r.set(t(0.0), "a", 4);
+        r.set(t(1.0), "b", 2);
+        r.set(t(2.0), "a", 6);
+        let m = r.per_job_series();
+        assert_eq!(m["a"], vec![(t(0.0), 4), (t(2.0), 6)]);
+        assert_eq!(m["b"], vec![(t(1.0), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn rejects_zero_capacity() {
+        let _ = UtilizationRecorder::new(0);
+    }
+
+    #[test]
+    fn series_recorder_basics() {
+        let mut s = SeriesRecorder::new();
+        assert!(s.is_empty());
+        s.push(t(0.0), 1.0);
+        s.push(t(1.0), 2.0);
+        s.push(t(5.0), 3.0); // 4s gap
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_xy()[2], (5.0, 3.0));
+        let (at, gap) = s.largest_gap().unwrap();
+        assert_eq!(at, t(1.0));
+        assert_eq!(gap.as_secs(), 4.0);
+    }
+}

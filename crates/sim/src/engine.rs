@@ -1,0 +1,420 @@
+//! The discrete-event scheduling simulator.
+//!
+//! Drives the *same* policy code as the live operator
+//! (`elastic_core::Policy`) over an event timeline: job submissions
+//! arrive at a fixed gap; job progress integrates `rate(replicas)`
+//! between events; a rescale pauses progress for the modeled overhead
+//! window and re-schedules the job's completion. As in the paper's
+//! simulator, operator/Kubernetes pod-startup overhead is not modeled
+//! (§4.3.1).
+
+use elastic_core::{Action, ClusterView, JobOutcome, JobState, Policy, RunMetrics};
+use hpc_metrics::{Duration, SimTime, UtilizationRecorder};
+
+use crate::events::{Event, EventQueue};
+use crate::model::{OverheadModel, ScalingModel};
+use crate::workload::SimJobSpec;
+
+/// Simulation parameters.
+#[derive(Clone)]
+pub struct SimConfig {
+    /// Cluster slots (the paper's testbed: 64).
+    pub capacity: u32,
+    /// The scheduling policy under test.
+    pub policy: Policy,
+    /// Gap between consecutive job submissions.
+    pub submission_gap: Duration,
+    /// Strong-scaling model.
+    pub scaling: ScalingModel,
+    /// Rescale-overhead model.
+    pub overhead: OverheadModel,
+}
+
+impl SimConfig {
+    /// The paper's default setup: 64 slots, calibrated models.
+    pub fn paper_default(policy: Policy, submission_gap: Duration) -> Self {
+        SimConfig {
+            capacity: 64,
+            policy,
+            submission_gap,
+            scaling: ScalingModel::default(),
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+/// Full result of one simulation run.
+pub struct SimOutcome {
+    /// Aggregate metrics (Table 1 columns).
+    pub metrics: RunMetrics,
+    /// Per-job slot allocation over time (Fig. 9 profiles).
+    pub util: UtilizationRecorder,
+    /// Number of rescale actions applied.
+    pub rescales: u32,
+}
+
+struct JobRt {
+    spec: SimJobSpec,
+    submitted: bool,
+    submitted_at: SimTime,
+    running: bool,
+    completed: bool,
+    replicas: u32,
+    last_action: SimTime,
+    started_at: Option<SimTime>,
+    completed_at: Option<SimTime>,
+    steps_done: f64,
+    last_update: SimTime,
+    pause_until: SimTime,
+    generation: u64,
+}
+
+impl JobRt {
+    fn new(spec: SimJobSpec) -> JobRt {
+        JobRt {
+            spec,
+            submitted: false,
+            submitted_at: SimTime::ZERO,
+            running: false,
+            completed: false,
+            replicas: 0,
+            last_action: SimTime::NEG_INFINITY,
+            started_at: None,
+            completed_at: None,
+            steps_done: 0.0,
+            last_update: SimTime::ZERO,
+            pause_until: SimTime::NEG_INFINITY,
+            generation: 0,
+        }
+    }
+
+    /// Integrates progress up to `now` (no progress inside the rescale
+    /// pause window).
+    fn advance(&mut self, now: SimTime, scaling: &ScalingModel) {
+        if self.running && !self.completed {
+            let start = if self.pause_until > self.last_update {
+                self.pause_until.min(now)
+            } else {
+                self.last_update
+            };
+            if now > start {
+                self.steps_done +=
+                    scaling.rate(self.spec.class, self.replicas) * (now - start).as_secs();
+            }
+        }
+        self.last_update = now;
+    }
+
+    fn view_state(&self) -> JobState {
+        JobState {
+            name: self.spec.name.clone(),
+            min_replicas: self.spec.min_replicas,
+            max_replicas: self.spec.max_replicas,
+            priority: self.spec.priority,
+            submitted_at: self.submitted_at,
+            replicas: if self.running { self.replicas } else { 0 },
+            last_action: self.last_action,
+            running: self.running,
+        }
+    }
+}
+
+/// Runs one simulation to completion.
+pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
+    assert!(!workload.is_empty(), "workload must have jobs");
+    let launcher = cfg.policy.cfg.launcher_slots;
+    let mut jobs: Vec<JobRt> = workload.iter().cloned().map(JobRt::new).collect();
+    let mut queue = EventQueue::new();
+    let mut util = UtilizationRecorder::new(cfg.capacity);
+    let mut rescales = 0u32;
+
+    for i in 0..jobs.len() {
+        let at = SimTime::ZERO + Duration::from_secs(cfg.submission_gap.as_secs() * i as f64);
+        queue.push(at, Event::Submit { job: i });
+    }
+
+    let build_view = |jobs: &[JobRt]| -> ClusterView {
+        let mut states = Vec::new();
+        let mut committed = 0u32;
+        for j in jobs {
+            if j.completed || !j.submitted {
+                continue;
+            }
+            if j.running {
+                committed += j.replicas + launcher;
+            }
+            states.push(j.view_state());
+        }
+        ClusterView {
+            capacity: cfg.capacity,
+            free_slots: cfg.capacity.saturating_sub(committed),
+            jobs: states,
+        }
+    };
+
+    let index_of = |jobs: &[JobRt], name: &str| -> usize {
+        jobs.iter()
+            .position(|j| j.spec.name == name)
+            .unwrap_or_else(|| panic!("action for unknown job {name}"))
+    };
+
+    // Applies one policy action; returns the completion event to
+    // schedule, if any.
+    let apply = |jobs: &mut Vec<JobRt>,
+                     queue: &mut EventQueue,
+                     util: &mut UtilizationRecorder,
+                     rescales: &mut u32,
+                     action: &Action,
+                     now: SimTime| {
+        match action {
+            Action::Create { job, replicas } => {
+                let i = index_of(jobs, job);
+                let j = &mut jobs[i];
+                debug_assert!(!j.running && !j.completed);
+                j.running = true;
+                j.replicas = *replicas;
+                j.last_action = now;
+                j.started_at = Some(now);
+                j.last_update = now;
+                util.set(now, job.clone(), *replicas);
+                let rate = cfg.scaling.rate(j.spec.class, j.replicas);
+                let remaining = j.spec.class.steps() as f64 - j.steps_done;
+                let finish = now + Duration::from_secs(remaining / rate);
+                queue.push(finish, Event::Completion { job: i, generation: j.generation });
+            }
+            Action::Shrink { job, to_replicas } | Action::Expand { job, to_replicas } => {
+                let i = index_of(jobs, job);
+                let j = &mut jobs[i];
+                debug_assert!(j.running && !j.completed);
+                j.advance(now, &cfg.scaling);
+                let cost = cfg.overhead.total(j.spec.class, j.replicas, *to_replicas);
+                j.pause_until = now + cost;
+                j.replicas = *to_replicas;
+                j.last_action = now;
+                j.generation += 1;
+                *rescales += 1;
+                util.set(now, job.clone(), *to_replicas);
+                let rate = cfg.scaling.rate(j.spec.class, j.replicas);
+                let remaining = (j.spec.class.steps() as f64 - j.steps_done).max(0.0);
+                let finish = j.pause_until + Duration::from_secs(remaining / rate);
+                queue.push(finish, Event::Completion { job: i, generation: j.generation });
+            }
+            Action::Enqueue { .. } => {}
+        }
+    };
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Submit { job } => {
+                jobs[job].submitted = true;
+                jobs[job].submitted_at = now;
+                jobs[job].last_update = now;
+                let name = jobs[job].spec.name.clone();
+                let view = build_view(&jobs);
+                let actions = cfg.policy.on_submit(&view, &name, now);
+                for a in &actions {
+                    apply(&mut jobs, &mut queue, &mut util, &mut rescales, a, now);
+                }
+            }
+            Event::Completion { job, generation } => {
+                if jobs[job].generation != generation || jobs[job].completed {
+                    continue; // stale: the job was rescaled meanwhile
+                }
+                jobs[job].advance(now, &cfg.scaling);
+                debug_assert!(
+                    jobs[job].steps_done >= jobs[job].spec.class.steps() as f64 - 1e-3,
+                    "completion fired early for {}",
+                    jobs[job].spec.name
+                );
+                jobs[job].completed = true;
+                jobs[job].running = false;
+                jobs[job].completed_at = Some(now);
+                util.set(now, jobs[job].spec.name.clone(), 0);
+                let view = build_view(&jobs);
+                let actions = cfg.policy.on_complete(&view, now);
+                for a in &actions {
+                    apply(&mut jobs, &mut queue, &mut util, &mut rescales, a, now);
+                }
+            }
+        }
+    }
+
+    for j in &jobs {
+        assert!(
+            j.completed,
+            "job {} never completed (starved in queue)",
+            j.spec.name
+        );
+    }
+
+    let outcomes: Vec<JobOutcome> = jobs
+        .iter()
+        .map(|j| JobOutcome {
+            name: j.spec.name.clone(),
+            priority: j.spec.priority,
+            submitted_at: j.submitted_at,
+            started_at: j.started_at.expect("started"),
+            completed_at: j.completed_at.expect("completed"),
+        })
+        .collect();
+    let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
+    let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
+    let utilization = util.average_utilization(first_submit, last_complete);
+    let metrics = RunMetrics::from_outcomes(
+        cfg.policy.kind.to_string(),
+        outcomes,
+        utilization,
+        rescales,
+    );
+    SimOutcome {
+        metrics,
+        util,
+        rescales,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SizeClass;
+    use elastic_core::{PolicyConfig, PolicyKind};
+
+    fn policy(kind: PolicyKind, gap: f64) -> Policy {
+        Policy::of_kind(
+            kind,
+            PolicyConfig {
+                rescale_gap: Duration::from_secs(gap),
+                launcher_slots: 1,
+                shrink_spares_head: true,
+            },
+        )
+    }
+
+    fn one_job(class: SizeClass) -> Vec<SimJobSpec> {
+        vec![SimJobSpec::of_class("j0", class, 3)]
+    }
+
+    #[test]
+    fn single_job_runtime_matches_model() {
+        let cfg = SimConfig::paper_default(
+            policy(PolicyKind::Elastic, 180.0),
+            Duration::from_secs(90.0),
+        );
+        let out = simulate(&cfg, &one_job(SizeClass::Medium));
+        // Empty cluster: job runs at max replicas the whole time.
+        let expect = cfg.scaling.runtime(SizeClass::Medium, 16);
+        assert!(
+            (out.metrics.total_time - expect).abs() < 1e-6,
+            "total {} != model {expect}",
+            out.metrics.total_time
+        );
+        assert_eq!(out.rescales, 0);
+        assert_eq!(out.metrics.weighted_response, 0.0);
+    }
+
+    #[test]
+    fn rigid_min_runs_longer_than_rigid_max_for_one_job() {
+        let gap = Duration::from_secs(90.0);
+        let wl = one_job(SizeClass::Large);
+        let min = simulate(
+            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0), gap),
+            &wl,
+        );
+        let max = simulate(
+            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0), gap),
+            &wl,
+        );
+        assert!(min.metrics.total_time > max.metrics.total_time);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let wl = crate::workload::generate_workload(11, 16);
+        let cfg = SimConfig::paper_default(
+            policy(PolicyKind::Elastic, 180.0),
+            Duration::from_secs(90.0),
+        );
+        let a = simulate(&cfg, &wl);
+        let b = simulate(&cfg, &wl);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.rescales, b.rescales);
+    }
+
+    #[test]
+    fn elastic_rescales_under_contention() {
+        let wl = crate::workload::generate_workload(3, 16);
+        let cfg = SimConfig::paper_default(
+            policy(PolicyKind::Elastic, 180.0),
+            Duration::from_secs(30.0), // heavy traffic
+        );
+        let out = simulate(&cfg, &wl);
+        assert!(out.rescales > 0, "elastic never rescaled under load");
+        // Non-elastic policies never rescale.
+        for kind in [PolicyKind::Moldable, PolicyKind::RigidMin, PolicyKind::RigidMax] {
+            let out = simulate(
+                &SimConfig::paper_default(policy(kind, 180.0), Duration::from_secs(30.0)),
+                &wl,
+            );
+            assert_eq!(out.rescales, 0, "{kind} rescaled");
+        }
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        for seed in 0..5 {
+            let wl = crate::workload::generate_workload(seed, 16);
+            for kind in PolicyKind::ALL {
+                let cfg = SimConfig::paper_default(
+                    policy(kind, 60.0),
+                    Duration::from_secs(20.0),
+                );
+                let out = simulate(&cfg, &wl);
+                // Worker slots alone must fit under capacity minus one
+                // launcher per concurrently running job (>= 1).
+                assert!(
+                    out.util.peak() <= 64,
+                    "{kind} seed {seed}: peak worker slots {}",
+                    out.util.peak()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn utilization_in_unit_range_and_meaningful() {
+        let wl = crate::workload::generate_workload(9, 16);
+        let cfg = SimConfig::paper_default(
+            policy(PolicyKind::Elastic, 180.0),
+            Duration::from_secs(90.0),
+        );
+        let out = simulate(&cfg, &wl);
+        assert!(out.metrics.utilization > 0.3);
+        assert!(out.metrics.utilization <= 1.0);
+    }
+
+    #[test]
+    fn response_times_nonnegative_and_ordered_sanely() {
+        let wl = crate::workload::generate_workload(21, 16);
+        let gap = Duration::from_secs(90.0);
+        let min = simulate(
+            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0), gap),
+            &wl,
+        );
+        for j in &min.metrics.jobs {
+            assert!(j.started_at >= j.submitted_at);
+            assert!(j.completed_at >= j.started_at);
+        }
+        // min_replicas leaves more slack => its weighted response should
+        // be no worse than rigid-max's (paper Fig. 7c).
+        let max = simulate(
+            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0), gap),
+            &wl,
+        );
+        assert!(
+            min.metrics.weighted_response <= max.metrics.weighted_response + 1e-9,
+            "min {} > max {}",
+            min.metrics.weighted_response,
+            max.metrics.weighted_response
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! # sched-sim — the scheduling-policy simulator (paper artifact A2)
+//!
+//! A deterministic discrete-event simulator that evaluates the four
+//! scheduling policies (elastic, moldable, rigid-min, rigid-max) over
+//! randomized 16-job workloads, using piecewise-linear strong-scaling
+//! and rescale-overhead models exactly as described in §4.3.1 of the
+//! paper. Crucially, the policy implementation is **shared with the
+//! live operator** (`elastic_core::Policy`), so the Simulation and
+//! Actual columns of Table 1 exercise the same decision code.
+//!
+//! * [`events`] — deterministic event queue with stale-completion
+//!   invalidation.
+//! * [`model`] — size classes, strong-scaling curves, overhead stages.
+//! * [`workload`] — seeded random workload generation.
+//! * [`engine`] — the simulation loop.
+//! * [`experiments`] — the Fig. 7 / Fig. 8 sweeps and Table 1 rows.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod events;
+pub mod experiments;
+pub mod model;
+pub mod workload;
+
+pub use engine::{simulate, SimConfig, SimOutcome};
+pub use experiments::{
+    averaged_point, sweep_rescale_gap, sweep_submission_gap, table1_simulation, SweepPoint,
+    DEFAULT_JOBS, DEFAULT_SEEDS,
+};
+pub use model::{OverheadBreakdown, OverheadModel, ScalingModel, SizeClass};
+pub use workload::{generate_workload, SimJobSpec};

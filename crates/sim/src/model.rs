@@ -1,0 +1,377 @@
+//! Runtime and overhead models.
+//!
+//! The paper's simulator "use[s] strong scaling performance measurements
+//! for the 4 problem sizes to model the runtime of a job for a given
+//! number of replicas using a piecewise linear function", and models the
+//! rescaling overhead the same way (§4.3.1). This module provides both:
+//! per-class time-per-iteration curves interpolated log–log between
+//! anchor points, and a four-stage (lb / checkpoint / restart / restore)
+//! overhead model, with default constants calibrated so job durations
+//! land in the regime of Table 1 (hundreds of seconds per job, a ~30 min
+//! 16-job campaign).
+
+use hpc_metrics::{Duration, PiecewiseLinear};
+
+/// The four job size classes of §4.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// 512² grid, 40 000 steps, replicas ∈ [2, 8].
+    Small,
+    /// 2048² grid, 40 000 steps, replicas ∈ [4, 16].
+    Medium,
+    /// 8192² grid, 40 000 steps, replicas ∈ [8, 32].
+    Large,
+    /// 16 384² grid, 10 000 steps, replicas ∈ [16, 64].
+    XLarge,
+}
+
+impl SizeClass {
+    /// All classes.
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::XLarge,
+    ];
+
+    /// Grid dimension (one side of the square grid).
+    pub fn grid(self) -> u64 {
+        match self {
+            SizeClass::Small => 512,
+            SizeClass::Medium => 2048,
+            SizeClass::Large => 8192,
+            SizeClass::XLarge => 16_384,
+        }
+    }
+
+    /// Total timesteps.
+    pub fn steps(self) -> u64 {
+        match self {
+            SizeClass::XLarge => 10_000,
+            _ => 40_000,
+        }
+    }
+
+    /// `(min_replicas, max_replicas)` per the paper.
+    pub fn replica_bounds(self) -> (u32, u32) {
+        match self {
+            SizeClass::Small => (2, 8),
+            SizeClass::Medium => (4, 16),
+            SizeClass::Large => (8, 32),
+            SizeClass::XLarge => (16, 64),
+        }
+    }
+
+    /// Grid state size in bytes (f64 cells).
+    pub fn state_bytes(self) -> f64 {
+        let g = self.grid() as f64;
+        g * g * 8.0
+    }
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeClass::Small => write!(f, "small"),
+            SizeClass::Medium => write!(f, "medium"),
+            SizeClass::Large => write!(f, "large"),
+            SizeClass::XLarge => write!(f, "xlarge"),
+        }
+    }
+}
+
+/// Strong-scaling model: seconds per iteration as a function of replica
+/// count, one curve per size class.
+#[derive(Debug, Clone)]
+pub struct ScalingModel {
+    small: PiecewiseLinear,
+    medium: PiecewiseLinear,
+    large: PiecewiseLinear,
+    xlarge: PiecewiseLinear,
+}
+
+impl Default for ScalingModel {
+    fn default() -> Self {
+        Self::paper_calibrated()
+    }
+}
+
+impl ScalingModel {
+    /// The default calibration (see module docs). Anchor values mimic
+    /// Fig. 4a's shapes: small problems stop scaling early
+    /// (communication-bound), large ones scale near-linearly.
+    pub fn paper_calibrated() -> Self {
+        ScalingModel {
+            small: PiecewiseLinear::log_log(vec![
+                (2.0, 10.4e-3),
+                (4.0, 6.5e-3),
+                (8.0, 4.6e-3),
+            ]),
+            medium: PiecewiseLinear::log_log(vec![
+                (4.0, 13.0e-3),
+                (8.0, 7.2e-3),
+                (16.0, 4.2e-3),
+            ]),
+            large: PiecewiseLinear::log_log(vec![
+                (8.0, 18.2e-3),
+                (16.0, 9.8e-3),
+                (32.0, 5.5e-3),
+            ]),
+            xlarge: PiecewiseLinear::log_log(vec![
+                (16.0, 71.5e-3),
+                (32.0, 39.0e-3),
+                (64.0, 23.4e-3),
+            ]),
+        }
+    }
+
+    /// Builds a model from measured anchors (replicas, secs/iter) per
+    /// class — the path used when calibrating from real `charm-rt` runs.
+    pub fn from_anchors(
+        small: Vec<(f64, f64)>,
+        medium: Vec<(f64, f64)>,
+        large: Vec<(f64, f64)>,
+        xlarge: Vec<(f64, f64)>,
+    ) -> Self {
+        ScalingModel {
+            small: PiecewiseLinear::log_log(small),
+            medium: PiecewiseLinear::log_log(medium),
+            large: PiecewiseLinear::log_log(large),
+            xlarge: PiecewiseLinear::log_log(xlarge),
+        }
+    }
+
+    fn curve(&self, class: SizeClass) -> &PiecewiseLinear {
+        match class {
+            SizeClass::Small => &self.small,
+            SizeClass::Medium => &self.medium,
+            SizeClass::Large => &self.large,
+            SizeClass::XLarge => &self.xlarge,
+        }
+    }
+
+    /// Seconds per iteration of `class` on `replicas` PEs.
+    pub fn time_per_iter(&self, class: SizeClass, replicas: u32) -> f64 {
+        assert!(replicas >= 1);
+        self.curve(class).eval_clamped(f64::from(replicas), 1e-9)
+    }
+
+    /// Iteration rate (steps/second).
+    pub fn rate(&self, class: SizeClass, replicas: u32) -> f64 {
+        1.0 / self.time_per_iter(class, replicas)
+    }
+
+    /// Full-job runtime at a fixed replica count.
+    pub fn runtime(&self, class: SizeClass, replicas: u32) -> f64 {
+        class.steps() as f64 * self.time_per_iter(class, replicas)
+    }
+}
+
+/// Four-stage rescale overhead model (Fig. 5's decomposition).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Fixed restart cost (job relaunch).
+    pub restart_base: f64,
+    /// Restart cost per target PE (MPI startup scales with ranks).
+    pub restart_per_pe: f64,
+    /// In-memory checkpoint bandwidth per replica, bytes/s.
+    pub ckpt_bw_per_replica: f64,
+    /// Load-balance fixed cost.
+    pub lb_base: f64,
+    /// Load-balance cost per byte moved.
+    pub lb_per_byte: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            restart_base: 0.4,
+            restart_per_pe: 0.06,
+            ckpt_bw_per_replica: 5.0e8,
+            lb_base: 0.1,
+            lb_per_byte: 3.0e-10,
+        }
+    }
+}
+
+/// Overhead broken down by stage, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OverheadBreakdown {
+    /// Load-balance stage.
+    pub lb: f64,
+    /// Checkpoint stage.
+    pub checkpoint: f64,
+    /// Restart stage.
+    pub restart: f64,
+    /// Restore stage.
+    pub restore: f64,
+}
+
+impl OverheadBreakdown {
+    /// Total overhead.
+    pub fn total(&self) -> f64 {
+        self.lb + self.checkpoint + self.restart + self.restore
+    }
+}
+
+impl OverheadModel {
+    /// Overhead of rescaling a `class` job `from → to` replicas.
+    pub fn breakdown(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
+        if from == to {
+            return OverheadBreakdown::default();
+        }
+        let bytes = class.state_bytes();
+        // LB moves roughly the fraction of state that changes owners.
+        let moved_fraction =
+            f64::from(from.abs_diff(to)) / f64::from(from.max(to));
+        OverheadBreakdown {
+            lb: self.lb_base + self.lb_per_byte * bytes * moved_fraction,
+            checkpoint: bytes / (self.ckpt_bw_per_replica * f64::from(from)),
+            restart: self.restart_base + self.restart_per_pe * f64::from(to),
+            restore: bytes / (self.ckpt_bw_per_replica * f64::from(to)),
+        }
+    }
+
+    /// Total overhead as a [`Duration`].
+    pub fn total(&self, class: SizeClass, from: u32, to: u32) -> Duration {
+        Duration::from_secs(self.breakdown(class, from, to).total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parameters_match_paper() {
+        assert_eq!(SizeClass::Small.replica_bounds(), (2, 8));
+        assert_eq!(SizeClass::Medium.replica_bounds(), (4, 16));
+        assert_eq!(SizeClass::Large.replica_bounds(), (8, 32));
+        assert_eq!(SizeClass::XLarge.replica_bounds(), (16, 64));
+        assert_eq!(SizeClass::Small.steps(), 40_000);
+        assert_eq!(SizeClass::XLarge.steps(), 10_000);
+        assert_eq!(SizeClass::XLarge.grid(), 16_384);
+    }
+
+    #[test]
+    fn scaling_is_monotone_decreasing_in_replicas() {
+        let m = ScalingModel::default();
+        for class in SizeClass::ALL {
+            let (lo, hi) = class.replica_bounds();
+            let mut prev = f64::INFINITY;
+            for p in lo..=hi {
+                let t = m.time_per_iter(class, p);
+                assert!(t > 0.0);
+                assert!(t <= prev, "{class} t_iter not decreasing at p={p}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_is_sublinear_for_small_class() {
+        // Small problems scale poorly: doubling replicas from min to
+        // 2×min must give < 2× speedup.
+        let m = ScalingModel::default();
+        let t2 = m.time_per_iter(SizeClass::Small, 2);
+        let t4 = m.time_per_iter(SizeClass::Small, 4);
+        assert!(t2 / t4 < 2.0, "small class scales too well");
+        // XLarge scales much better than small over one doubling.
+        let x16 = m.time_per_iter(SizeClass::XLarge, 16);
+        let x32 = m.time_per_iter(SizeClass::XLarge, 32);
+        assert!(x16 / x32 > t2 / t4);
+    }
+
+    #[test]
+    fn runtimes_land_in_table1_regime() {
+        // Jobs take hundreds (not tens or thousands) of seconds at max
+        // replicas so a 16-job campaign lasts ~30 min like the paper's.
+        let m = ScalingModel::default();
+        for class in SizeClass::ALL {
+            let (lo, hi) = class.replica_bounds();
+            let at_max = m.runtime(class, hi);
+            let at_min = m.runtime(class, lo);
+            assert!(
+                (100.0..=800.0).contains(&at_max),
+                "{class} runtime at max = {at_max}"
+            );
+            assert!(at_min > at_max, "{class} min-replica runtime must be longer");
+        }
+    }
+
+    #[test]
+    fn rate_is_inverse_of_time() {
+        let m = ScalingModel::default();
+        let t = m.time_per_iter(SizeClass::Medium, 8);
+        assert!((m.rate(SizeClass::Medium, 8) * t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_restart_grows_with_target_pes() {
+        let o = OverheadModel::default();
+        let b8 = o.breakdown(SizeClass::Large, 16, 8);
+        let b32 = o.breakdown(SizeClass::Large, 16, 32);
+        assert!(b32.restart > b8.restart);
+    }
+
+    #[test]
+    fn overhead_ckpt_shrinks_with_more_source_replicas() {
+        // Fig. 5a: checkpoint time decreases as replicas grow (less
+        // data per replica, parallel writes).
+        let o = OverheadModel::default();
+        let few = o.breakdown(SizeClass::XLarge, 8, 4);
+        let many = o.breakdown(SizeClass::XLarge, 32, 16);
+        assert!(many.checkpoint < few.checkpoint);
+    }
+
+    #[test]
+    fn overhead_grows_with_problem_size() {
+        // Fig. 5c: lb/ckpt/restore grow with grid size, restart flat.
+        let o = OverheadModel::default();
+        let small = o.breakdown(SizeClass::Small, 32, 16);
+        let xl = o.breakdown(SizeClass::XLarge, 32, 16);
+        assert!(xl.checkpoint > small.checkpoint);
+        assert!(xl.restore > small.restore);
+        assert!(xl.lb > small.lb);
+        assert_eq!(xl.restart, small.restart);
+    }
+
+    #[test]
+    fn small_problem_overhead_dominated_by_restart() {
+        // Fig. 5c's left end: restart dominates for small grids.
+        let o = OverheadModel::default();
+        let b = o.breakdown(SizeClass::Small, 32, 16);
+        assert!(b.restart > b.checkpoint + b.restore + b.lb);
+    }
+
+    #[test]
+    fn noop_rescale_is_free() {
+        let o = OverheadModel::default();
+        assert_eq!(o.breakdown(SizeClass::Large, 16, 16).total(), 0.0);
+        assert_eq!(o.total(SizeClass::Large, 16, 16).as_secs(), 0.0);
+    }
+
+    #[test]
+    fn total_overhead_is_seconds_scale() {
+        // Rescale overhead must be small relative to the 180 s gap
+        // (the paper's conclusion that overhead matters little).
+        let o = OverheadModel::default();
+        for class in SizeClass::ALL {
+            let (lo, hi) = class.replica_bounds();
+            let t = o.total(class, hi, lo).as_secs();
+            assert!(t > 0.0 && t < 15.0, "{class} overhead {t}");
+        }
+    }
+
+    #[test]
+    fn from_anchors_builds_usable_model() {
+        let m = ScalingModel::from_anchors(
+            vec![(2.0, 1.0), (8.0, 0.5)],
+            vec![(4.0, 1.0), (16.0, 0.4)],
+            vec![(8.0, 1.0), (32.0, 0.3)],
+            vec![(16.0, 1.0), (64.0, 0.3)],
+        );
+        assert_eq!(m.time_per_iter(SizeClass::Small, 2), 1.0);
+        assert!(m.time_per_iter(SizeClass::Small, 4) < 1.0);
+    }
+}

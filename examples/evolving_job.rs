@@ -1,0 +1,60 @@
+//! An *evolving* job (paper §6, future work): instead of reacting to an
+//! external scheduler signal, the application rescales itself from
+//! internal criteria — here, measured parallel efficiency. The driver
+//! grows the PE count after each window while the marginal speedup
+//! stays above a threshold, and settles where it stops paying off —
+//! exactly the self-adaptive behaviour the paper sketches for
+//! dynamically refined solvers.
+//!
+//! Run with: `cargo run --release --example evolving_job`
+
+use elastic_hpc::apps::{JacobiApp, JacobiConfig};
+use elastic_hpc::charm::RuntimeConfig;
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let cfg = JacobiConfig::new(1024, 8, 8);
+    println!("evolving Jacobi2D {g}x{g}: starts on 1 PE, grows while it pays off", g = cfg.grid);
+
+    let mut app = JacobiApp::new(cfg, RuntimeConfig::new(1));
+    // Warm-up and baseline measurement.
+    app.run_window(10).expect("warmup");
+    let mut current_pes = 1usize;
+    let mut best_time = app.run_window(10).expect("window").time_per_iter().as_secs();
+    println!("  p={current_pes:<3} t_iter={best_time:.6}s (baseline)");
+
+    // Evolve: double the PEs while each doubling buys >= 25% speedup.
+    loop {
+        let target = (current_pes * 2).min(cores);
+        if target == current_pes {
+            break;
+        }
+        let report = app.driver.rescale(target);
+        let t = app.run_window(10).expect("window").time_per_iter().as_secs();
+        let gain = best_time / t;
+        println!(
+            "  p={target:<3} t_iter={t:.6}s speedup x{gain:.2} (rescale overhead {:.3}s)",
+            report.total().as_secs()
+        );
+        if gain < 1.25 {
+            // Not worth it: evolve back down and stop growing.
+            let back = app.driver.rescale(current_pes);
+            println!(
+                "  efficiency below threshold; settling at p={current_pes} (shrink overhead {:.3}s)",
+                back.total().as_secs()
+            );
+            break;
+        }
+        current_pes = target;
+        best_time = t;
+    }
+
+    // Finish the solve at the self-chosen width.
+    let final_window = app.run_window(50).expect("final window");
+    println!(
+        "finished at p={current_pes}: residual {:.3e}, checksum {:.6}",
+        final_window.values[0],
+        app.checksum().expect("checksum")
+    );
+    app.shutdown();
+}

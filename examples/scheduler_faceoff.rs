@@ -1,0 +1,46 @@
+//! Scheduler face-off: simulate the paper's four policies over the same
+//! random workload and print a Table-1-style comparison, plus the Fig.
+//! 9a-style utilization profiles — entirely in the discrete-event
+//! simulator, so it runs in milliseconds.
+//!
+//! Run with: `cargo run --release --example scheduler_faceoff [seed]`
+
+use elastic_hpc::metrics::ascii;
+use elastic_hpc::sim::table1_simulation;
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0u64);
+    println!("16 random jobs (seed {seed}), submission gap 90s, T_rescale_gap 180s\n");
+
+    let rows = table1_simulation(seed);
+    println!("{:-<78}", "");
+    for (metrics, outcome) in &rows {
+        println!("{}", metrics.table_row());
+        let total: Vec<(f64, f64)> = outcome
+            .util
+            .total_series()
+            .iter()
+            .map(|&(t, v)| (t.as_secs(), f64::from(v)))
+            .collect();
+        if let (Some(first), Some(last)) = (total.first(), total.last()) {
+            println!(
+                "{}",
+                ascii::step_profile(&metrics.policy, &total, first.0, last.0, 64.0, 60)
+            );
+        }
+    }
+    println!("{:-<78}", "");
+    println!("(block height = fraction of the 64 slots in use, like Fig. 9a)");
+
+    let elastic = rows.iter().find(|(m, _)| m.policy == "elastic").unwrap();
+    let moldable = rows.iter().find(|(m, _)| m.policy == "moldable").unwrap();
+    println!(
+        "\nelastic vs moldable: {:+.1}% utilization, {:+.1}s total time, {} rescales",
+        (elastic.0.utilization - moldable.0.utilization) * 100.0,
+        elastic.0.total_time - moldable.0.total_time,
+        elastic.1.rescales
+    );
+}

@@ -1,0 +1,28 @@
+//! # elastic-hpc
+//!
+//! A from-scratch Rust reproduction of *"An elastic job scheduler for HPC
+//! applications on the cloud"* (Bhosale, Chandrasekar, Kale,
+//! Kokkila-Schumacher — SC Workshops '25, arXiv:2510.15147).
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`charm`] — a Charm++-like migratable-objects runtime with dynamic
+//!   load balancing and shrink/expand (paper contribution C1).
+//! * [`apps`] — Jacobi2D and LeanMD mini-apps written against it.
+//! * [`kube`] — an in-process simulated Kubernetes control plane.
+//! * [`core`] — the CharmJob operator and the four scheduling policies
+//!   (elastic, moldable, rigid-min, rigid-max) — contribution C2.
+//! * [`sim`] — the discrete-event scheduling simulator — contribution C3.
+//! * [`metrics`] — clocks, interpolation and metric recording shared by
+//!   the "actual" and "simulated" experiment paths.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the architecture and
+//! substitution notes, and `EXPERIMENTS.md` for paper-vs-measured results
+//! for every figure and table.
+
+pub use charm_apps as apps;
+pub use charm_rt as charm;
+pub use elastic_core as core;
+pub use hpc_metrics as metrics;
+pub use kube_sim as kube;
+pub use sched_sim as sim;

@@ -1,0 +1,182 @@
+//! Operator-vs-simulator cross-validation.
+//!
+//! Table 1's credibility rests on the Actual and Simulation columns
+//! agreeing in shape. Here we make that a test: the same 16-job
+//! workload runs through (a) the live operator on a virtual clock with
+//! a modeled executor driven by the simulator's own scaling/overhead
+//! models, and (b) the discrete-event simulator — and the resulting
+//! metrics must agree closely. The policy code is shared by
+//! construction; this validates that the *engines* around it agree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use elastic_hpc::core::{
+    run_virtual, AppSpec, CharmJobSpec, CharmOperator, ModelExecutor, Policy, PolicyConfig,
+    PolicyKind, RunMetrics, Schedule,
+};
+use elastic_hpc::kube::{ControlPlane, KubeletConfig};
+use elastic_hpc::metrics::{Duration, VirtualClock};
+use elastic_hpc::sim::{
+    generate_workload, simulate, OverheadModel, ScalingModel, SimConfig, SizeClass,
+};
+
+/// Runs the operator path: virtual clock, ModelExecutor parameterized
+/// by the simulator's models.
+fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
+    let workload = generate_workload(seed, 16);
+    let class_of: HashMap<String, SizeClass> = workload
+        .iter()
+        .map(|j| (j.name.clone(), j.class))
+        .collect();
+    let scaling = ScalingModel::default();
+    let overhead = OverheadModel::default();
+
+    let clock = VirtualClock::new();
+    let plane = ControlPlane::with_nodes(
+        Arc::new(clock.clone()),
+        KubeletConfig::instant(),
+        4,
+        16,
+    );
+    let classes = class_of.clone();
+    let speed = {
+        let scaling = scaling.clone();
+        Arc::new(move |spec: &CharmJobSpec, replicas: u32| {
+            scaling.rate(classes[&spec.name], replicas)
+        })
+    };
+    let classes = class_of.clone();
+    let cost = Arc::new(move |spec: &CharmJobSpec, from: u32, to: u32| {
+        overhead.total(classes[&spec.name], from, to)
+    });
+    let executor = ModelExecutor::new(plane.clock(), speed, cost);
+    let policy = Policy::of_kind(
+        kind,
+        PolicyConfig {
+            rescale_gap: Duration::from_secs(180.0),
+            launcher_slots: 1,
+            shrink_spares_head: true,
+        },
+    );
+    let mut op = CharmOperator::new(plane, policy, Box::new(executor));
+    let jobs: Vec<CharmJobSpec> = workload
+        .iter()
+        .map(|j| CharmJobSpec {
+            name: j.name.clone(),
+            min_replicas: j.min_replicas,
+            max_replicas: j.max_replicas,
+            priority: j.priority,
+            app: AppSpec::Modeled {
+                total_iters: j.class.steps(),
+            },
+        })
+        .collect();
+    let schedule = Schedule::every(jobs, Duration::from_secs(submission_gap));
+    run_virtual(
+        &mut op,
+        &clock,
+        &schedule,
+        Duration::from_secs(1.0),
+        Duration::from_secs(200_000.0),
+    )
+}
+
+/// Runs the DES path on the identical workload and parameters.
+fn run_sim_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
+    let workload = generate_workload(seed, 16);
+    let cfg = SimConfig::paper_default(
+        Policy::of_kind(
+            kind,
+            PolicyConfig {
+                rescale_gap: Duration::from_secs(180.0),
+                launcher_slots: 1,
+                shrink_spares_head: true,
+            },
+        ),
+        Duration::from_secs(submission_gap),
+    );
+    simulate(&cfg, &workload).metrics
+}
+
+fn assert_close(label: &str, a: f64, b: f64, rel_tol: f64, abs_tol: f64) {
+    let diff = (a - b).abs();
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        diff <= abs_tol || diff / scale <= rel_tol,
+        "{label}: operator {a:.2} vs sim {b:.2} (diff {diff:.2})"
+    );
+}
+
+#[test]
+fn engines_agree_for_all_policies() {
+    for kind in PolicyKind::ALL {
+        let op = run_operator_path(kind, 0, 90.0);
+        let sim = run_sim_path(kind, 0, 90.0);
+        // The operator quantizes to 1 s ticks and rescales over a
+        // handful of reconcile rounds, so exact equality is impossible;
+        // agreement must be tight nonetheless.
+        assert_close(
+            &format!("{kind} total_time"),
+            op.total_time,
+            sim.total_time,
+            0.10,
+            30.0,
+        );
+        assert_close(
+            &format!("{kind} utilization"),
+            op.utilization,
+            sim.utilization,
+            0.12,
+            0.05,
+        );
+        assert_close(
+            &format!("{kind} weighted_completion"),
+            op.weighted_completion,
+            sim.weighted_completion,
+            0.15,
+            40.0,
+        );
+    }
+}
+
+#[test]
+fn engines_agree_on_policy_ordering() {
+    // The *ordering* claims of Table 1 must hold identically in both
+    // engines: elastic has the best utilization and total time.
+    let mut op_util = HashMap::new();
+    let mut sim_util = HashMap::new();
+    for kind in PolicyKind::ALL {
+        op_util.insert(kind, run_operator_path(kind, 7, 90.0).utilization);
+        sim_util.insert(kind, run_sim_path(kind, 7, 90.0).utilization);
+    }
+    for table in [&op_util, &sim_util] {
+        assert!(
+            PolicyKind::ALL
+                .iter()
+                .all(|k| table[&PolicyKind::Elastic] >= table[k] - 1e-9),
+            "elastic should lead utilization: {table:?}"
+        );
+        assert!(
+            PolicyKind::ALL
+                .iter()
+                .all(|k| table[&PolicyKind::RigidMin] <= table[k] + 1e-9),
+            "rigid-min should trail utilization: {table:?}"
+        );
+    }
+}
+
+#[test]
+fn rescale_counts_track_between_engines() {
+    let workload_seed = 3;
+    let op = run_operator_path(PolicyKind::Elastic, workload_seed, 45.0);
+    let sim = run_sim_path(PolicyKind::Elastic, workload_seed, 45.0);
+    // Both engines drive the same Fig. 2/3 code; rescale activity may
+    // differ slightly from timing quantization but not wildly.
+    let (a, b) = (f64::from(op.rescales), f64::from(sim.rescales));
+    assert!(
+        (a - b).abs() <= (a.max(b) * 0.5).max(3.0),
+        "rescale counts diverged: operator {a} vs sim {b}"
+    );
+    assert!(b > 0.0, "elastic under load should rescale in sim");
+}
