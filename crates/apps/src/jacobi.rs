@@ -154,12 +154,14 @@ impl Block {
     /// Sets the Dirichlet ghost cells on both buffers for edges with no
     /// neighbour. Interior-facing ghosts are refreshed by halos.
     fn apply_fixed_boundaries(&mut self) {
-        let top = if self.by == 0 { self.cfg.top_boundary } else { 0.0 };
+        let top = if self.by == 0 {
+            self.cfg.top_boundary
+        } else {
+            0.0
+        };
         for buf in [&mut self.u, &mut self.scratch] {
             if self.by == 0 {
-                for c in 0..self.w + 2 {
-                    buf[c] = top;
-                }
+                buf[..self.w + 2].fill(top);
             }
             // Bottom/left/right boundaries are zero, which the buffers
             // already hold; nothing to do for them.
@@ -202,7 +204,7 @@ impl Block {
             DIR_RIGHT => (1..=self.h).map(|r| self.u[self.at(r, self.w)]).collect(),
             DIR_UP => (1..=self.w).map(|c| self.u[self.at(1, c)]).collect(),
             DIR_DOWN => (1..=self.w).map(|c| self.u[self.at(self.h, c)]).collect(),
-        _ => unreachable!("bad direction"),
+            _ => unreachable!("bad direction"),
         }
     }
 
@@ -216,7 +218,9 @@ impl Block {
                 continue;
             }
             let mut w = Writer::new();
-            w.u64(self.iter).u8(OPPOSITE[dir as usize]).f64_slice(&self.edge(dir));
+            w.u64(self.iter)
+                .u8(OPPOSITE[dir as usize])
+                .f64_slice(&self.edge(dir));
             ctx.send(self.neighbor_index(dir), M_HALO, w.finish());
         }
     }
@@ -263,8 +267,8 @@ impl Block {
             let row = r * stride;
             for c in 1..=self.w {
                 let i = row + c;
-                let next =
-                    0.25 * (self.u[i - stride] + self.u[i + stride] + self.u[i - 1] + self.u[i + 1]);
+                let next = 0.25
+                    * (self.u[i - stride] + self.u[i + stride] + self.u[i - 1] + self.u[i + 1]);
                 max_diff = max_diff.max((next - self.u[i]).abs());
                 self.scratch[i] = next;
             }

@@ -113,9 +113,10 @@ impl CellChare {
     fn fresh(cfg: LeanMdConfig, cx: u64, cy: u64, cz: u64) -> CellChare {
         let n = cfg.atoms_per_cell;
         let mut rng = Splitmix(
-            (cx.wrapping_mul(73_856_093)) ^ (cy.wrapping_mul(19_349_663))
+            (cx.wrapping_mul(73_856_093))
+                ^ (cy.wrapping_mul(19_349_663))
                 ^ (cz.wrapping_mul(83_492_791))
-                ^ 0xC0FF_EE,
+                ^ 0x00C0_FFEE,
         );
         let mut pos = Vec::with_capacity(3 * n);
         let base = [
@@ -232,10 +233,10 @@ impl CellChare {
         // Leapfrog with unit mass; clamp forces to keep the toy system
         // numerically tame regardless of random initial placement.
         let dt = self.cfg.dt;
-        for k in 0..3 * n {
-            let f = forces[k].clamp(-1e6, 1e6);
-            self.vel[k] += f * dt;
-            self.pos[k] += self.vel[k] * dt;
+        for ((force, vel), pos) in forces.iter().zip(&mut self.vel).zip(&mut self.pos) {
+            let f = force.clamp(-1e6, 1e6);
+            *vel += f * dt;
+            *pos += *vel * dt;
         }
         self.neighbor_pos.clear();
     }

@@ -166,7 +166,10 @@ impl Chare for Worker {
 
     fn pack(&self, w: &mut Writer) {
         debug_assert!(!self.active, "packing mid-window");
-        w.u64(self.total_chares).u64(self.index).u64(self.spin).u64(self.iter);
+        w.u64(self.total_chares)
+            .u64(self.index)
+            .u64(self.spin)
+            .u64(self.iter);
     }
 }
 
@@ -267,10 +270,7 @@ mod tests {
 
     #[test]
     fn ring_runs_and_counts_all_chares() {
-        let mut app = SyntheticApp::new(
-            SyntheticConfig::uniform(8, 100),
-            RuntimeConfig::new(2),
-        );
+        let mut app = SyntheticApp::new(SyntheticConfig::uniform(8, 100), RuntimeConfig::new(2));
         let wr = app.run_window(5).unwrap();
         assert_eq!(wr.values[1], 8.0, "all chares contributed");
         assert_eq!(wr.end_iter, 5);
@@ -282,10 +282,8 @@ mod tests {
 
     #[test]
     fn survives_rescale_between_windows() {
-        let mut app = SyntheticApp::new(
-            SyntheticConfig::sawtooth(12, 200, 3),
-            RuntimeConfig::new(3),
-        );
+        let mut app =
+            SyntheticApp::new(SyntheticConfig::sawtooth(12, 200, 3), RuntimeConfig::new(3));
         app.run_window(4).unwrap();
         let report = app.driver.rescale(2);
         assert_eq!(report.to_pes, 2);

@@ -3,9 +3,9 @@
 //! whole paper rests on — rescaling mid-run must not perturb the
 //! computation at all.
 
-use charm_rt::{GreedyLb, RotateLb, RuntimeConfig};
 use charm_apps::jacobi::reference_jacobi;
 use charm_apps::{JacobiApp, JacobiConfig, LeanMdApp, LeanMdConfig};
+use charm_rt::{GreedyLb, RescaleMode, RotateLb, RuntimeConfig};
 
 /// Parallel Jacobi must match the serial reference bit-for-bit: the
 /// 5-point update reads each neighbour in a fixed order, so blocking
@@ -89,7 +89,10 @@ fn jacobi_residual_decreases() {
     let r1 = app.run_window(10).unwrap().values[0];
     let r2 = app.run_window(10).unwrap().values[0];
     let r3 = app.run_window(10).unwrap().values[0];
-    assert!(r1 > r2 && r2 > r3, "residuals not decreasing: {r1} {r2} {r3}");
+    assert!(
+        r1 > r2 && r2 > r3,
+        "residuals not decreasing: {r1} {r2} {r3}"
+    );
     app.shutdown();
 }
 
@@ -161,16 +164,38 @@ fn leanmd_kinetic_energy_evolves() {
     app.shutdown();
 }
 
-/// Rescale overhead stages are all populated for a real application.
+/// Rescale overhead stages are populated per protocol for a real
+/// application: full restart checkpoints the whole grid, incremental
+/// moves only the evacuated blocks and skips checkpoint/restore.
 #[test]
 fn jacobi_rescale_report_has_all_stages() {
     let cfg = JacobiConfig::new(64, 4, 4);
+    let mut app = JacobiApp::new(
+        cfg,
+        RuntimeConfig::new(4).with_rescale_mode(RescaleMode::FullRestart),
+    );
+    app.run_window(5).unwrap();
+    let report = app.driver.rescale(2);
+    assert!(
+        report.checkpoint_bytes > cfg.state_bytes() / 2,
+        "checkpoint should carry the grid"
+    );
+    assert!(report.stages.checkpoint.as_secs() > 0.0);
+    assert!(report.stages.restore.as_secs() > 0.0);
+    assert!(report.migrated > 0, "shrink must evacuate blocks");
+    app.shutdown();
+
     let mut app = JacobiApp::new(cfg, RuntimeConfig::new(4));
     app.run_window(5).unwrap();
     let report = app.driver.rescale(2);
-    assert!(report.checkpoint_bytes > cfg.state_bytes() / 2, "checkpoint should carry the grid");
-    assert!(report.stages.checkpoint.as_secs() > 0.0);
-    assert!(report.stages.restore.as_secs() > 0.0);
+    assert_eq!(report.mode, RescaleMode::Incremental);
+    assert_eq!(report.checkpoint_bytes, 0, "incremental never checkpoints");
+    assert!(
+        report.bytes_moved > 0 && report.bytes_moved < cfg.state_bytes(),
+        "incremental moves only evacuated blocks ({} of {} bytes)",
+        report.bytes_moved,
+        cfg.state_bytes()
+    );
     assert!(report.migrated > 0, "shrink must evacuate blocks");
     app.shutdown();
 }

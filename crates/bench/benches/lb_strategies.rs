@@ -36,9 +36,11 @@ fn bench_strategies(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rotate", n), &stats, |b, s| {
             b.iter(|| RotateLb.assign(s, 16, &empty))
         });
-        group.bench_with_input(BenchmarkId::new("greedy_evacuate_half", n), &stats, |b, s| {
-            b.iter(|| GreedyLb.assign(s, 16, &evac))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("greedy_evacuate_half", n),
+            &stats,
+            |b, s| b.iter(|| GreedyLb.assign(s, 16, &evac)),
+        );
     }
     group.finish();
 }

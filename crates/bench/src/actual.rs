@@ -39,17 +39,73 @@ pub struct ScaledClass {
 pub fn scaled_class(class: SizeClass, full: bool) -> ScaledClass {
     if full {
         match class {
-            SizeClass::Small => ScaledClass { min: 2, max: 8, grid: 512, blocks: 8, iters: 40_000, window: 1_000 },
-            SizeClass::Medium => ScaledClass { min: 4, max: 16, grid: 1024, blocks: 8, iters: 30_000, window: 600 },
-            SizeClass::Large => ScaledClass { min: 8, max: 32, grid: 2048, blocks: 8, iters: 15_000, window: 300 },
-            SizeClass::XLarge => ScaledClass { min: 16, max: 64, grid: 4096, blocks: 8, iters: 4_000, window: 100 },
+            SizeClass::Small => ScaledClass {
+                min: 2,
+                max: 8,
+                grid: 512,
+                blocks: 8,
+                iters: 40_000,
+                window: 1_000,
+            },
+            SizeClass::Medium => ScaledClass {
+                min: 4,
+                max: 16,
+                grid: 1024,
+                blocks: 8,
+                iters: 30_000,
+                window: 600,
+            },
+            SizeClass::Large => ScaledClass {
+                min: 8,
+                max: 32,
+                grid: 2048,
+                blocks: 8,
+                iters: 15_000,
+                window: 300,
+            },
+            SizeClass::XLarge => ScaledClass {
+                min: 16,
+                max: 64,
+                grid: 4096,
+                blocks: 8,
+                iters: 4_000,
+                window: 100,
+            },
         }
     } else {
         match class {
-            SizeClass::Small => ScaledClass { min: 1, max: 2, grid: 256, blocks: 4, iters: 24_000, window: 600 },
-            SizeClass::Medium => ScaledClass { min: 1, max: 4, grid: 512, blocks: 4, iters: 20_000, window: 500 },
-            SizeClass::Large => ScaledClass { min: 2, max: 8, grid: 1024, blocks: 8, iters: 10_000, window: 250 },
-            SizeClass::XLarge => ScaledClass { min: 4, max: 16, grid: 2048, blocks: 8, iters: 4_000, window: 100 },
+            SizeClass::Small => ScaledClass {
+                min: 1,
+                max: 2,
+                grid: 256,
+                blocks: 4,
+                iters: 24_000,
+                window: 600,
+            },
+            SizeClass::Medium => ScaledClass {
+                min: 1,
+                max: 4,
+                grid: 512,
+                blocks: 4,
+                iters: 20_000,
+                window: 500,
+            },
+            SizeClass::Large => ScaledClass {
+                min: 2,
+                max: 8,
+                grid: 1024,
+                blocks: 8,
+                iters: 10_000,
+                window: 250,
+            },
+            SizeClass::XLarge => ScaledClass {
+                min: 4,
+                max: 16,
+                grid: 2048,
+                blocks: 8,
+                iters: 4_000,
+                window: 100,
+            },
         }
     }
 }

@@ -50,28 +50,48 @@ fn main() {
         shrink_spares_head: true,
     };
     let variants = [
-        Variant { label: "baseline(paper)", cfg: base, aging: 0.0 },
+        Variant {
+            label: "baseline(paper)",
+            cfg: base,
+            aging: 0.0,
+        },
         Variant {
             label: "no-head-sparing",
-            cfg: PolicyConfig { shrink_spares_head: false, ..base },
+            cfg: PolicyConfig {
+                shrink_spares_head: false,
+                ..base
+            },
             aging: 0.0,
         },
         Variant {
             label: "launcher=0",
-            cfg: PolicyConfig { launcher_slots: 0, ..base },
+            cfg: PolicyConfig {
+                launcher_slots: 0,
+                ..base
+            },
             aging: 0.0,
         },
         Variant {
             label: "gap=0s",
-            cfg: PolicyConfig { rescale_gap: Duration::from_secs(0.0), ..base },
+            cfg: PolicyConfig {
+                rescale_gap: Duration::from_secs(0.0),
+                ..base
+            },
             aging: 0.0,
         },
         Variant {
             label: "gap=600s",
-            cfg: PolicyConfig { rescale_gap: Duration::from_secs(600.0), ..base },
+            cfg: PolicyConfig {
+                rescale_gap: Duration::from_secs(600.0),
+                ..base
+            },
             aging: 0.0,
         },
-        Variant { label: "aging=0.01/s", cfg: base, aging: 0.01 },
+        Variant {
+            label: "aging=0.01/s",
+            cfg: base,
+            aging: 0.01,
+        },
     ];
 
     println!("== Elastic-policy ablations ({seeds} seeds, submission gap 90s) ==");

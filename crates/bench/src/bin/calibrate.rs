@@ -14,7 +14,12 @@ fn measure(grid: usize, pes: usize, windows: u64) -> f64 {
     app.run_window(5).expect("warmup");
     let mut best = f64::INFINITY;
     for _ in 0..windows {
-        best = best.min(app.run_window(10).expect("window").time_per_iter().as_secs());
+        best = best.min(
+            app.run_window(10)
+                .expect("window")
+                .time_per_iter()
+                .as_secs(),
+        );
     }
     app.shutdown();
     best

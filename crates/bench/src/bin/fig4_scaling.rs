@@ -15,7 +15,10 @@ use hpc_metrics::ascii;
 
 fn measure_jacobi(grid: usize, pes: usize, windows: u64, iters_per_window: u64) -> f64 {
     let blocks = 8; // 64 chares: over-decomposed for any ladder rung
-    let mut app = JacobiApp::new(JacobiConfig::new(grid, blocks, blocks), RuntimeConfig::new(pes));
+    let mut app = JacobiApp::new(
+        JacobiConfig::new(grid, blocks, blocks),
+        RuntimeConfig::new(pes),
+    );
     let mut best = f64::INFINITY;
     app.run_window(iters_per_window).expect("warmup window");
     for _ in 0..windows {
@@ -64,7 +67,10 @@ fn run_jacobi(full: bool, windows: u64) {
         .iter()
         .map(|(n, p)| (n.as_str(), p.clone()))
         .collect();
-    println!("{}", ascii::line_chart("time/iter vs replicas (log y)", &named, 60, 12, true));
+    println!(
+        "{}",
+        ascii::line_chart("time/iter vs replicas (log y)", &named, 60, 12, true)
+    );
     emit_csv(&table, "fig4a_jacobi_scaling.csv");
 }
 
@@ -89,7 +95,10 @@ fn run_leanmd(windows: u64) {
         .iter()
         .map(|(n, p)| (n.as_str(), p.clone()))
         .collect();
-    println!("{}", ascii::line_chart("time/step vs replicas (log y)", &named, 60, 12, true));
+    println!(
+        "{}",
+        ascii::line_chart("time/step vs replicas (log y)", &named, 60, 12, true)
+    );
     emit_csv(&table, "fig4b_leanmd_scaling.csv");
 }
 

@@ -10,7 +10,7 @@
 //! Usage: `fig6_timeline [--full]`
 
 use charm_apps::{JacobiApp, JacobiConfig};
-use charm_rt::RuntimeConfig;
+use charm_rt::{RescaleMode, RuntimeConfig};
 use elastic_bench::{emit_csv, has_flag, replica_ladder, CsvTable};
 use hpc_metrics::ascii;
 
@@ -28,10 +28,14 @@ fn main() {
 
     println!("== Fig. 6: Jacobi2D {grid}x{grid}, {total_iters} iters, shrink {high}->{low} at {shrink_at}, expand back at {expand_at} ==");
 
+    // Paper fidelity: Fig. 6's gaps are the checkpoint/restart
+    // protocol's overhead, so pin FullRestart rather than inheriting
+    // the incremental default.
     let mut app = JacobiApp::new(
         JacobiConfig::new(grid, 8, 8),
         RuntimeConfig::new(high)
-            .with_startup_delay(std::time::Duration::from_millis(25)),
+            .with_startup_delay(std::time::Duration::from_millis(25))
+            .with_rescale_mode(RescaleMode::FullRestart),
     );
     let started = std::time::Instant::now();
     let mut per_window = Vec::new(); // (iteration, window seconds)

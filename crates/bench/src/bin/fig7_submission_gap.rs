@@ -37,7 +37,10 @@ fn main() {
     let seeds = flag_u64("--seeds", 100);
     let jobs = flag_u64("--jobs", 16) as usize;
     let gaps: Vec<f64> = (0..=10).map(|i| f64::from(i) * 30.0).collect();
-    println!("== Fig. 7: sweep submission gap {:?} (T_rescale_gap=180s, {seeds} seeds, {jobs} jobs) ==", gaps);
+    println!(
+        "== Fig. 7: sweep submission gap {:?} (T_rescale_gap=180s, {seeds} seeds, {jobs} jobs) ==",
+        gaps
+    );
 
     let points = sweep_submission_gap(&gaps, 180.0, seeds, jobs);
 
@@ -63,10 +66,26 @@ fn main() {
     }
     emit_csv(&table, "fig7_submission_gap.csv");
 
-    chart(&points, |p| p.utilization, "Fig 7a: utilization vs submission gap");
-    chart(&points, |p| p.total_time, "Fig 7b: total time (s) vs submission gap");
-    chart(&points, |p| p.weighted_response, "Fig 7c: weighted mean response (s)");
-    chart(&points, |p| p.weighted_completion, "Fig 7d: weighted mean completion (s)");
+    chart(
+        &points,
+        |p| p.utilization,
+        "Fig 7a: utilization vs submission gap",
+    );
+    chart(
+        &points,
+        |p| p.total_time,
+        "Fig 7b: total time (s) vs submission gap",
+    );
+    chart(
+        &points,
+        |p| p.weighted_response,
+        "Fig 7c: weighted mean response (s)",
+    );
+    chart(
+        &points,
+        |p| p.weighted_completion,
+        "Fig 7d: weighted mean completion (s)",
+    );
 
     // Narrative checks from §4.3.1, printed for EXPERIMENTS.md.
     let at = |x: f64, k: PolicyKind| points.iter().find(|p| p.x == x && p.policy == k).unwrap();
@@ -89,8 +108,7 @@ fn main() {
     println!(
         "  response: rigid-min lowest at gap 90: {}",
         PolicyKind::ALL.iter().all(|&k| {
-            at(90.0, PolicyKind::RigidMin).weighted_response
-                <= at(90.0, k).weighted_response + 1e-9
+            at(90.0, PolicyKind::RigidMin).weighted_response <= at(90.0, k).weighted_response + 1e-9
         })
     );
     println!(

@@ -67,10 +67,26 @@ fn main() {
     }
     emit_csv(&table, "fig8_rescale_gap.csv");
 
-    chart(&points, |p| p.utilization, "Fig 8a: utilization vs T_rescale_gap");
-    chart(&points, |p| p.total_time, "Fig 8b: total time (s) vs T_rescale_gap");
-    chart(&points, |p| p.weighted_response, "Fig 8c: weighted mean response (s)");
-    chart(&points, |p| p.weighted_completion, "Fig 8d: weighted mean completion (s)");
+    chart(
+        &points,
+        |p| p.utilization,
+        "Fig 8a: utilization vs T_rescale_gap",
+    );
+    chart(
+        &points,
+        |p| p.total_time,
+        "Fig 8b: total time (s) vs T_rescale_gap",
+    );
+    chart(
+        &points,
+        |p| p.weighted_response,
+        "Fig 8c: weighted mean response (s)",
+    );
+    chart(
+        &points,
+        |p| p.weighted_completion,
+        "Fig 8d: weighted mean completion (s)",
+    );
 
     let at = |x: f64, k: PolicyKind| points.iter().find(|p| p.x == x && p.policy == k).unwrap();
     println!("shape checks:");

@@ -75,12 +75,22 @@ pub fn emit_csv(table: &CsvTable, name: &str) {
 
 /// Replica counts `1, 2, 4, …` capped at both `limit` and the host's
 /// available parallelism (real-runtime experiments cannot strong-scale
-/// past physical cores; see DESIGN.md substitutions).
+/// past physical cores; see DESIGN.md substitutions). Set
+/// `ELASTIC_MAX_PES` to override the host-core cap — useful on small
+/// CI machines where PEs are threads and oversubscription is fine.
 pub fn replica_ladder(limit: usize) -> Vec<usize> {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
+    let cores = std::env::var("ELASTIC_MAX_PES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .or_else(|| std::thread::available_parallelism().ok().map(|n| n.get()))
         .unwrap_or(8);
-    let cap = limit.min(cores);
+    ladder_with_cap(limit, cores)
+}
+
+/// The doubling ladder `1, 2, 4, …` capped at `limit.min(cap)`, with
+/// the cap itself appended when it is not a power of two.
+pub fn ladder_with_cap(limit: usize, cap: usize) -> Vec<usize> {
+    let cap = limit.min(cap).max(1);
     let mut v = Vec::new();
     let mut p = 1;
     while p <= cap {
@@ -99,11 +109,12 @@ mod tests {
 
     #[test]
     fn ladder_is_doubling_and_capped() {
-        let v = replica_ladder(4);
-        assert_eq!(v, vec![1, 2, 4]);
-        let v = replica_ladder(1);
-        assert_eq!(v, vec![1]);
-        // Never exceeds the limit.
+        assert_eq!(ladder_with_cap(4, 8), vec![1, 2, 4]);
+        assert_eq!(ladder_with_cap(1, 8), vec![1]);
+        assert_eq!(ladder_with_cap(64, 1), vec![1]);
+        // A non-power-of-two cap is appended as the last rung.
+        assert_eq!(ladder_with_cap(64, 6), vec![1, 2, 4, 6]);
+        // The host-derived ladder never exceeds the limit.
         for p in replica_ladder(64) {
             assert!(p <= 64);
         }

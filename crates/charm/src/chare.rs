@@ -99,14 +99,9 @@ impl Ctx<'_> {
             .lookup(to)
             .unwrap_or_else(|| panic!("send to unknown chare {to}"));
         self.shared.stats.note_message(data.len());
-        self.shared.router.send(
-            dest,
-            PeMsg::Deliver {
-                to,
-                method,
-                data,
-            },
-        );
+        self.shared
+            .router
+            .send(dest, PeMsg::Deliver { to, method, data });
     }
 
     /// Contributes `vals` to reduction epoch `seq` of this chare's array.

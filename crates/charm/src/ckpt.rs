@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::ids::{ChareId, PeId};
@@ -19,8 +20,8 @@ pub struct CkptEntry {
     /// mapping (shrink runs LB *before* checkpointing, so this is always
     /// a surviving PE).
     pub pe: PeId,
-    /// Packed state bytes.
-    pub data: Vec<u8>,
+    /// Packed state bytes (shared, not copied, on the restore path).
+    pub data: Bytes,
 }
 
 /// Shared-memory checkpoint segment.
@@ -82,8 +83,20 @@ mod tests {
     fn batch_insert_and_take() {
         let store = CheckpointStore::new();
         store.insert_batch([
-            (cid(0), CkptEntry { pe: PeId(0), data: vec![1, 2] }),
-            (cid(1), CkptEntry { pe: PeId(1), data: vec![3] }),
+            (
+                cid(0),
+                CkptEntry {
+                    pe: PeId(0),
+                    data: Bytes::from(vec![1, 2]),
+                },
+            ),
+            (
+                cid(1),
+                CkptEntry {
+                    pe: PeId(1),
+                    data: Bytes::from(vec![3]),
+                },
+            ),
         ]);
         assert_eq!(store.len(), 2);
         assert_eq!(store.total_bytes(), 3);
@@ -96,18 +109,36 @@ mod tests {
     #[test]
     fn later_batch_overwrites_same_id() {
         let store = CheckpointStore::new();
-        store.insert_batch([(cid(0), CkptEntry { pe: PeId(0), data: vec![1] })]);
-        store.insert_batch([(cid(0), CkptEntry { pe: PeId(2), data: vec![9, 9] })]);
+        store.insert_batch([(
+            cid(0),
+            CkptEntry {
+                pe: PeId(0),
+                data: Bytes::from(vec![1]),
+            },
+        )]);
+        store.insert_batch([(
+            cid(0),
+            CkptEntry {
+                pe: PeId(2),
+                data: Bytes::from(vec![9, 9]),
+            },
+        )]);
         assert_eq!(store.len(), 1);
         let taken = store.take();
         assert_eq!(taken[&cid(0)].pe, PeId(2));
-        assert_eq!(taken[&cid(0)].data, vec![9, 9]);
+        assert_eq!(taken[&cid(0)].data.to_vec(), vec![9, 9]);
     }
 
     #[test]
     fn clear_discards_everything() {
         let store = CheckpointStore::new();
-        store.insert_batch([(cid(0), CkptEntry { pe: PeId(0), data: vec![1] })]);
+        store.insert_batch([(
+            cid(0),
+            CkptEntry {
+                pe: PeId(0),
+                data: Bytes::from(vec![1]),
+            },
+        )]);
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.total_bytes(), 0);
@@ -126,7 +157,7 @@ mod tests {
                             cid(u64::from(pe) * 1000 + i),
                             CkptEntry {
                                 pe: PeId(pe),
-                                data: vec![pe as u8; 16],
+                                data: Bytes::from(vec![pe as u8; 16]),
                             },
                         )
                     })

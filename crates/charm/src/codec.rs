@@ -116,21 +116,53 @@ impl Writer {
     }
 
     /// Appends a length-prefixed `f64` slice.
+    ///
+    /// On little-endian targets the slice is appended with one bulk
+    /// memcpy rather than a per-element encode loop — pack bandwidth
+    /// bounds the checkpoint/migration stages of rescale, so this is a
+    /// hot path.
     pub fn f64_slice(&mut self, v: &[f64]) -> &mut Self {
         self.u64(v.len() as u64);
-        self.buf.reserve(v.len() * 8);
-        for &x in v {
-            self.buf.put_f64_le(x);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: f64 has no padding and u8 has alignment 1, so any
+            // initialized &[f64] is readable as len*8 bytes; on a
+            // little-endian target the in-memory layout is exactly the
+            // wire encoding.
+            let raw = unsafe {
+                std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v))
+            };
+            self.buf.put_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            self.buf.reserve(v.len() * 8);
+            for &x in v {
+                self.buf.put_f64_le(x);
+            }
         }
         self
     }
 
-    /// Appends a length-prefixed `u64` slice.
+    /// Appends a length-prefixed `u64` slice (bulk memcpy on
+    /// little-endian targets; see [`Writer::f64_slice`]).
     pub fn u64_slice(&mut self, v: &[u64]) -> &mut Self {
         self.u64(v.len() as u64);
-        self.buf.reserve(v.len() * 8);
-        for &x in v {
-            self.buf.put_u64_le(x);
+        #[cfg(target_endian = "little")]
+        {
+            // SAFETY: as in f64_slice — u64 has no padding and the
+            // little-endian memory layout equals the wire encoding.
+            let raw = unsafe {
+                std::slice::from_raw_parts(v.as_ptr().cast::<u8>(), std::mem::size_of_val(v))
+            };
+            self.buf.put_slice(raw);
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            self.buf.reserve(v.len() * 8);
+            for &x in v {
+                self.buf.put_u64_le(x);
+            }
         }
         self
     }
@@ -309,6 +341,25 @@ mod tests {
     }
 
     #[test]
+    fn bulk_slice_path_matches_per_element_encoding() {
+        // The memcpy fast path must be byte-identical to put_*_le loops.
+        let fs: Vec<f64> = (0..257).map(|i| i as f64 * -1.37e3).collect();
+        let us: Vec<u64> = (0..257).map(|i| (i as u64) << 23).collect();
+        let mut fast = Writer::new();
+        fast.f64_slice(&fs).u64_slice(&us);
+        let mut slow = Writer::new();
+        slow.u64(fs.len() as u64);
+        for &x in &fs {
+            slow.f64(x);
+        }
+        slow.u64(us.len() as u64);
+        for &x in &us {
+            slow.u64(x);
+        }
+        assert_eq!(fast.finish().to_vec(), slow.finish().to_vec());
+    }
+
+    #[test]
     fn truncated_buffer_errors_cleanly() {
         let mut w = Writer::new();
         w.u64(5);
@@ -356,7 +407,10 @@ mod tests {
     fn error_display_is_informative() {
         let e = CodecError::UnexpectedEnd { what: "f64" };
         assert!(e.to_string().contains("f64"));
-        let e = CodecError::LengthOverflow { what: "bytes", len: 999 };
+        let e = CodecError::LengthOverflow {
+            what: "bytes",
+            len: 999,
+        };
         assert!(e.to_string().contains("999"));
     }
 

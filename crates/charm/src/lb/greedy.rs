@@ -45,12 +45,7 @@ impl LbStrategy for GreedyLb {
         "greedy"
     }
 
-    fn assign(
-        &self,
-        stats: &[ChareStat],
-        num_pes: usize,
-        evacuate: &HashSet<PeId>,
-    ) -> Assignment {
+    fn assign(&self, stats: &[ChareStat], num_pes: usize, evacuate: &HashSet<PeId>) -> Assignment {
         let targets = allowed_pes(num_pes, evacuate);
         assert!(!targets.is_empty(), "no PEs left after evacuation");
         let stats = effective_stats(stats);

@@ -35,12 +35,7 @@ impl LbStrategy for RefineLb {
         "refine"
     }
 
-    fn assign(
-        &self,
-        stats: &[ChareStat],
-        num_pes: usize,
-        evacuate: &HashSet<PeId>,
-    ) -> Assignment {
+    fn assign(&self, stats: &[ChareStat], num_pes: usize, evacuate: &HashSet<PeId>) -> Assignment {
         let targets = allowed_pes(num_pes, evacuate);
         assert!(!targets.is_empty(), "no PEs left after evacuation");
         let stats = &effective_stats(stats)[..];
@@ -164,7 +159,7 @@ mod tests {
         let loads = pe_loads(&a, &stats, 4);
         assert_eq!(loads[3], 0.0);
         // 16 total over 3 PEs: within one chare of even.
-        assert!(loads.iter().take(3).all(|&l| l >= 4.0 && l <= 8.0));
+        assert!(loads.iter().take(3).all(|&l| (4.0..=8.0).contains(&l)));
     }
 
     #[test]

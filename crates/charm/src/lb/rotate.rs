@@ -19,12 +19,7 @@ impl LbStrategy for RotateLb {
         "rotate"
     }
 
-    fn assign(
-        &self,
-        stats: &[ChareStat],
-        num_pes: usize,
-        evacuate: &HashSet<PeId>,
-    ) -> Assignment {
+    fn assign(&self, stats: &[ChareStat], num_pes: usize, evacuate: &HashSet<PeId>) -> Assignment {
         let targets = allowed_pes(num_pes, evacuate);
         assert!(!targets.is_empty(), "no PEs left after evacuation");
         let mut out = Assignment::with_capacity(stats.len());

@@ -19,6 +19,25 @@
 //! | shrink/expand with LB→ckpt→restart→restore staging | [`runtime`], [`rescale`] |
 //! | CCS external control signals | [`ccs`] |
 //!
+//! ## Rescale modes
+//!
+//! [`Runtime::rescale`](runtime::Runtime::rescale) supports two
+//! protocols, selected via
+//! [`RuntimeConfig::with_rescale_mode`](runtime::RuntimeConfig::with_rescale_mode):
+//!
+//! * [`RescaleMode::Incremental`] (**default**) — resize the live PE
+//!   pool in place. Shrink evacuates only the chares on dying PEs (via
+//!   the evacuation-aware LB assignment), retires exactly those threads
+//!   and compacts the router; expand spawns only the new PE threads and
+//!   moves just enough load onto them. Surviving PEs never tear down and
+//!   untouched chares never serialize, so overhead is proportional to
+//!   [`RescaleReport::bytes_moved`], not to total state.
+//! * [`RescaleMode::FullRestart`] — the paper's checkpoint → restart →
+//!   restore protocol, kept for the Fig. 5 MPI-relaunch reproductions.
+//!   `Runtime::rescale_with_mode` forces a specific protocol per call;
+//!   both report through the same [`StageTimings`] stages so their
+//!   costs compare directly.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -77,5 +96,5 @@ pub use ids::{ArrayId, ChareId, Index, MethodId, PeId};
 pub use lb::{ChareStat, GreedyLb, LbStrategy, RefineLb, RotateLb};
 pub use msg::MainEvent;
 pub use reduction::{ReduceOp, ReductionResult};
-pub use rescale::{RescaleKind, RescaleReport, StageTimings};
+pub use rescale::{RescaleKind, RescaleMode, RescaleReport, StageTimings};
 pub use runtime::{CkptReport, LbReport, Runtime, RuntimeConfig, WaitError};

@@ -106,6 +106,21 @@ impl LocationManager {
         out
     }
 
+    /// Number of chares recorded on PEs `floor..` — used by the
+    /// incremental shrink path to assert the evacuation drained every
+    /// dying PE before its thread retires.
+    pub fn count_at_or_above(&self, floor: usize) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .values()
+                    .filter(|pe| pe.as_usize() >= floor)
+                    .count()
+            })
+            .sum()
+    }
+
     /// Number of chares resident on each PE (index = PE number).
     pub fn occupancy(&self, num_pes: usize) -> Vec<usize> {
         let mut counts = vec![0usize; num_pes];
@@ -176,6 +191,17 @@ mod tests {
         assert_eq!(lm.occupancy(3), vec![2, 0, 1]);
         // Out-of-range PEs are ignored rather than panicking.
         assert_eq!(lm.occupancy(1), vec![2]);
+    }
+
+    #[test]
+    fn count_at_or_above_matches_occupancy_tail() {
+        let lm = LocationManager::default();
+        for i in 0..12 {
+            lm.update(cid(0, i), PeId((i % 4) as u32));
+        }
+        assert_eq!(lm.count_at_or_above(0), 12);
+        assert_eq!(lm.count_at_or_above(2), 6);
+        assert_eq!(lm.count_at_or_above(4), 0);
     }
 
     #[test]

@@ -32,9 +32,11 @@ pub enum PeMsg {
     },
     /// Install chares from packed bytes (migration / restore). The PE
     /// deserializes on its own thread, so restore cost parallelizes.
+    /// States travel as [`Bytes`] so forwarding a packed chare between
+    /// channels never copies the payload.
     InstallPacked {
         /// Packed chare states.
-        chares: Vec<(ChareId, Vec<u8>)>,
+        chares: Vec<(ChareId, Bytes)>,
         /// Acknowledged once all are resident.
         ack: Sender<()>,
     },
@@ -42,8 +44,8 @@ pub enum PeMsg {
     ExtractChares {
         /// Chares to remove (must be resident).
         ids: Vec<ChareId>,
-        /// Receives the packed states.
-        reply: Sender<Vec<(ChareId, Vec<u8>)>>,
+        /// Receives the packed states (zero-copy [`Bytes`]).
+        reply: Sender<Vec<(ChareId, Bytes)>>,
     },
     /// Report (and reset) measured per-chare loads.
     CollectStats {

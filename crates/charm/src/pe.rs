@@ -67,7 +67,10 @@ impl PeWorker {
                 PeMsg::Deliver { to, method, data } => self.on_deliver(to, method, data),
                 PeMsg::InstallLive { chares, ack } => {
                     for (id, chare) in chares {
-                        self.registry.entry(id.array).or_default().insert(id.index, chare);
+                        self.registry
+                            .entry(id.array)
+                            .or_default()
+                            .insert(id.index, chare);
                     }
                     let _ = ack.send(());
                     self.retry_limbo();
@@ -104,7 +107,9 @@ impl PeWorker {
             // or its install is still in flight (park in limbo).
             match self.shared.location.lookup(to) {
                 Some(dest) if dest != self.pe => {
-                    self.shared.router.send(dest, PeMsg::Deliver { to, method, data });
+                    self.shared
+                        .router
+                        .send(dest, PeMsg::Deliver { to, method, data });
                 }
                 _ => self.limbo.push((to, method, data)),
             }
@@ -175,7 +180,7 @@ impl PeWorker {
         }
     }
 
-    fn on_install_packed(&mut self, chares: Vec<(ChareId, Vec<u8>)>) {
+    fn on_install_packed(&mut self, chares: Vec<(ChareId, Bytes)>) {
         for (id, bytes) in chares {
             let factory = {
                 let arrays = self.shared.arrays.read();
@@ -187,11 +192,14 @@ impl PeWorker {
             };
             let mut reader = Reader::new(&bytes);
             let chare = factory(id.index, &mut reader);
-            self.registry.entry(id.array).or_default().insert(id.index, chare);
+            self.registry
+                .entry(id.array)
+                .or_default()
+                .insert(id.index, chare);
         }
     }
 
-    fn on_extract(&mut self, ids: &[ChareId]) -> Vec<(ChareId, Vec<u8>)> {
+    fn on_extract(&mut self, ids: &[ChareId]) -> Vec<(ChareId, Bytes)> {
         debug_assert!(
             self.partials.is_empty(),
             "extraction with reduction epochs in flight on {}",
@@ -206,14 +214,15 @@ impl PeWorker {
                 .unwrap_or_else(|| panic!("extract of non-resident chare {id} on {}", self.pe));
             let mut w = Writer::new();
             chare.pack(&mut w);
-            out.push((id, w.into_vec()));
+            out.push((id, w.finish()));
             self.loads.remove(&id);
         }
         out
     }
 
     fn on_collect_stats(&mut self) -> Vec<ChareStat> {
-        let mut stats = Vec::new();
+        let resident: usize = self.registry.values().map(|m| m.len()).sum();
+        let mut stats = Vec::with_capacity(resident);
         for (&array, members) in &self.registry {
             for &index in members.keys() {
                 let id = ChareId::new(array, index);
@@ -230,21 +239,16 @@ impl PeWorker {
     }
 
     fn on_checkpoint(&mut self) -> (usize, usize) {
-        let mut batch = Vec::new();
+        let resident: usize = self.registry.values().map(|m| m.len()).sum();
+        let mut batch = Vec::with_capacity(resident);
         let mut total_bytes = 0usize;
         for (&array, members) in &self.registry {
             for (&index, chare) in members {
                 let mut w = Writer::new();
                 chare.pack(&mut w);
-                let data = w.into_vec();
+                let data = w.finish();
                 total_bytes += data.len();
-                batch.push((
-                    ChareId::new(array, index),
-                    CkptEntry {
-                        pe: self.pe,
-                        data,
-                    },
-                ));
+                batch.push((ChareId::new(array, index), CkptEntry { pe: self.pe, data }));
             }
         }
         let count = batch.len();

@@ -1,12 +1,46 @@
-//! Rescale protocol reports.
+//! Rescale protocol modes and reports.
 //!
-//! The paper decomposes rescaling overhead into four stages (§4.2):
-//! load balance, checkpoint, restart, restore — ordered
-//! LB→ckpt→restart→restore for shrink and ckpt→restart→restore→LB for
-//! expand. [`RescaleReport`] carries exactly those measurements; the
-//! Fig. 5 benchmarks print them per stage.
+//! The runtime supports two shrink/expand protocols:
+//!
+//! * [`RescaleMode::FullRestart`] — the paper's checkpoint/restart
+//!   protocol (§2.2): LB→ckpt→restart→restore for shrink,
+//!   ckpt→restart→restore→LB for expand. Every chare serializes, every
+//!   PE thread dies and is relaunched. Overhead decomposes into the four
+//!   stages of Fig. 5 (§4.2).
+//! * [`RescaleMode::Incremental`] — the in-place protocol (the default):
+//!   surviving PEs keep running, only chares on dying PEs move (shrink)
+//!   or only the new PE threads start (expand). The `checkpoint` and
+//!   `restore` stages are structurally zero; `lb` covers the evacuation
+//!   or spreading migration and `restart` covers resizing the PE pool.
+//!
+//! [`RescaleReport`] carries the same four-stage decomposition for both
+//! modes, so full-vs-incremental comparisons (the new Fig. 5 companion
+//! benchmark) read stage-for-stage.
 
 use hpc_metrics::Duration;
+
+/// Which shrink/expand protocol a rescale uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum RescaleMode {
+    /// Resize the live PE pool in place: evacuate only dying PEs on
+    /// shrink, spawn only new PEs on expand. Overhead scales with the
+    /// bytes actually moved, not with total application state.
+    #[default]
+    Incremental,
+    /// Checkpoint everything, restart the whole PE pool, restore — the
+    /// paper-fidelity MPI-relaunch protocol used by the Fig. 5
+    /// reproductions.
+    FullRestart,
+}
+
+impl std::fmt::Display for RescaleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RescaleMode::Incremental => write!(f, "incremental"),
+            RescaleMode::FullRestart => write!(f, "full-restart"),
+        }
+    }
+}
 
 /// Shrink or expand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,17 +64,28 @@ impl std::fmt::Display for RescaleKind {
 }
 
 /// Wall-clock cost of each rescale stage.
+///
+/// Both modes report through the same four stages so their costs
+/// compare directly: under [`RescaleMode::Incremental`], `checkpoint`
+/// and `restore` are structurally zero, `lb` is the evacuation (shrink)
+/// or spreading (expand) migration, and `restart` is the PE-pool resize
+/// (thread retirement or spawn, including any startup surrogate).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageTimings {
-    /// Load-balance step (before checkpoint on shrink, after restore on
-    /// expand).
+    /// Load-balance / migration step (before checkpoint on full-restart
+    /// shrink, after restore on full-restart expand; the only
+    /// data-movement stage in incremental mode).
     pub lb: Duration,
-    /// Serializing all chares into the in-memory store.
+    /// Serializing all chares into the in-memory store (full-restart
+    /// only).
     pub checkpoint: Duration,
-    /// Tearing down and relaunching the PE pool (the MPI-restart
-    /// analogue; includes the configured per-PE startup surrogate).
+    /// Resizing the PE pool. Full restart: tearing down and relaunching
+    /// every PE thread (the MPI-restart analogue; includes the
+    /// configured per-PE startup surrogate for the whole pool).
+    /// Incremental: retiring dying threads or spawning new ones only.
     pub restart: Duration,
-    /// Deserializing chares out of the store onto their PEs.
+    /// Deserializing chares out of the store onto their PEs
+    /// (full-restart only).
     pub restore: Duration,
 }
 
@@ -56,6 +101,8 @@ impl StageTimings {
 pub struct RescaleReport {
     /// Shrink, expand or no-op.
     pub kind: RescaleKind,
+    /// The protocol that performed it.
+    pub mode: RescaleMode,
     /// PE count before.
     pub from_pes: usize,
     /// PE count after.
@@ -64,7 +111,12 @@ pub struct RescaleReport {
     pub stages: StageTimings,
     /// Chares migrated by the LB stage.
     pub migrated: usize,
-    /// Bytes written to the checkpoint store.
+    /// Serialized bytes of migrated chares — the data the rescale
+    /// actually moved between PEs. Incremental overhead should scale
+    /// with this, not with total state.
+    pub bytes_moved: usize,
+    /// Bytes written to the checkpoint store (zero in incremental mode,
+    /// which never checkpoints).
     pub checkpoint_bytes: usize,
 }
 
@@ -78,10 +130,12 @@ impl RescaleReport {
     pub fn noop(pes: usize) -> Self {
         RescaleReport {
             kind: RescaleKind::NoOp,
+            mode: RescaleMode::default(),
             from_pes: pes,
             to_pes: pes,
             stages: StageTimings::default(),
             migrated: 0,
+            bytes_moved: 0,
             checkpoint_bytes: 0,
         }
     }
@@ -91,7 +145,8 @@ impl std::fmt::Display for RescaleReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} {}->{} pes: lb={} ckpt={} restart={} restore={} total={} ({} migrated, {} ckpt bytes)",
+            "{} {} {}->{} pes: lb={} ckpt={} restart={} restore={} total={} ({} migrated, {} bytes moved, {} ckpt bytes)",
+            self.mode,
             self.kind,
             self.from_pes,
             self.to_pes,
@@ -101,6 +156,7 @@ impl std::fmt::Display for RescaleReport {
             self.stages.restore,
             self.total(),
             self.migrated,
+            self.bytes_moved,
             self.checkpoint_bytes,
         )
     }
@@ -128,21 +184,45 @@ mod tests {
         assert_eq!(r.from_pes, 8);
         assert_eq!(r.to_pes, 8);
         assert_eq!(r.total(), Duration::ZERO);
+        assert_eq!(r.bytes_moved, 0);
+    }
+
+    #[test]
+    fn default_mode_is_incremental() {
+        assert_eq!(RescaleMode::default(), RescaleMode::Incremental);
     }
 
     #[test]
     fn display_mentions_all_stages() {
         let r = RescaleReport {
             kind: RescaleKind::Shrink,
+            mode: RescaleMode::FullRestart,
             from_pes: 4,
             to_pes: 2,
             stages: StageTimings::default(),
             migrated: 7,
+            bytes_moved: 512,
             checkpoint_bytes: 1024,
         };
         let s = r.to_string();
-        for needle in ["shrink", "4->2", "lb=", "ckpt=", "restart=", "restore=", "7 migrated"] {
+        for needle in [
+            "full-restart",
+            "shrink",
+            "4->2",
+            "lb=",
+            "ckpt=",
+            "restart=",
+            "restore=",
+            "7 migrated",
+            "512 bytes moved",
+        ] {
             assert!(s.contains(needle), "missing {needle} in {s}");
         }
+    }
+
+    #[test]
+    fn mode_display_names() {
+        assert_eq!(RescaleMode::Incremental.to_string(), "incremental");
+        assert_eq!(RescaleMode::FullRestart.to_string(), "full-restart");
     }
 }

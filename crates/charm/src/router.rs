@@ -1,10 +1,13 @@
 //! PE message routing.
 //!
-//! The router owns the send endpoints of every PE's message queue. It is
-//! the piece that gets *swapped out* on restart: shrink/expand replaces
-//! the endpoint table wholesale (a new generation), which models tearing
-//! down and relaunching the MPI job in the paper's checkpoint/restart
-//! rescale protocol.
+//! The router owns the send endpoints of every PE's message queue. Under
+//! the full-restart rescale protocol it gets *swapped out*: shrink/expand
+//! replaces the endpoint table wholesale (a new generation), which models
+//! tearing down and relaunching the MPI job. Under the incremental
+//! protocol the live table is *resized in place* — [`Router::truncate`]
+//! retires the top endpoints on shrink and [`Router::extend`] appends new
+//! ones on expand — so surviving PEs keep their queues (and any queued
+//! messages) untouched.
 
 use crossbeam::channel::Sender;
 use parking_lot::RwLock;
@@ -49,9 +52,34 @@ impl Router {
         self.len() == 0
     }
 
-    /// The current endpoint-table generation (bumps on every restart).
+    /// The current endpoint-table generation (bumps on every restart or
+    /// in-place resize).
     pub fn generation(&self) -> u64 {
         self.endpoints.read().generation
+    }
+
+    /// Appends endpoints for newly spawned PEs (incremental expand),
+    /// keeping every existing endpoint live. Returns the new generation.
+    pub fn extend(&self, txs: Vec<Sender<PeMsg>>) -> u64 {
+        let mut ep = self.endpoints.write();
+        ep.txs.extend(txs);
+        ep.generation += 1;
+        ep.generation
+    }
+
+    /// Drops the endpoints of PEs `new_len..` (incremental shrink). The
+    /// retired queues disconnect once their workers drain and exit.
+    /// Returns the new generation.
+    pub fn truncate(&self, new_len: usize) -> u64 {
+        let mut ep = self.endpoints.write();
+        assert!(
+            new_len <= ep.txs.len(),
+            "truncate {new_len} beyond {} endpoints",
+            ep.txs.len()
+        );
+        ep.txs.truncate(new_len);
+        ep.generation += 1;
+        ep.generation
     }
 
     /// Sends `msg` to `pe`. Returns `false` if the PE does not exist or
@@ -115,6 +143,44 @@ mod tests {
         router.set_endpoints(vec![tx]);
         drop(rx);
         assert!(!router.send(PeId(0), PeMsg::Stop));
+    }
+
+    #[test]
+    fn extend_keeps_existing_endpoints_live() {
+        let router = Router::new();
+        let (tx0, rx0) = unbounded();
+        router.set_endpoints(vec![tx0]);
+        let g1 = router.generation();
+        let (tx1, rx1) = unbounded();
+        let g2 = router.extend(vec![tx1]);
+        assert!(g2 > g1);
+        assert_eq!(router.len(), 2);
+        assert!(router.send(PeId(0), PeMsg::Stop));
+        assert!(router.send(PeId(1), PeMsg::Stop));
+        assert!(rx0.try_recv().is_ok());
+        assert!(rx1.try_recv().is_ok());
+    }
+
+    #[test]
+    fn truncate_retires_top_endpoints_only() {
+        let router = Router::new();
+        let (tx0, rx0) = unbounded();
+        let (tx1, rx1) = unbounded();
+        router.set_endpoints(vec![tx0, tx1]);
+        router.truncate(1);
+        assert_eq!(router.len(), 1);
+        // The survivor still routes; the retired PE is gone.
+        assert!(router.send(PeId(0), PeMsg::Stop));
+        assert!(!router.send(PeId(1), PeMsg::Stop));
+        assert!(rx0.try_recv().is_ok());
+        assert!(rx1.try_recv().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond")]
+    fn truncate_beyond_len_is_a_bug() {
+        let router = Router::new();
+        router.truncate(1);
     }
 
     #[test]

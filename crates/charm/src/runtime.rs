@@ -1,15 +1,26 @@
 //! The runtime driver: PE pool lifecycle, arrays, reductions, load
-//! balancing, checkpoint/restart and the shrink/expand protocol.
+//! balancing, checkpoint/restart and the shrink/expand protocols.
 //!
 //! The thread calling into [`Runtime`] plays the role of the Charm++
 //! *main chare*: it creates arrays, broadcasts entry-method invocations,
 //! waits on reductions, and — at application sync boundaries — applies
-//! pending CCS rescale requests. Rescaling follows the paper's protocol
-//! exactly (§2.2): on **shrink**, the load balancer first evacuates the
-//! dying PEs, then state is checkpointed to the in-memory store, the PE
-//! pool is restarted at the new size, and state is restored; on
-//! **expand**, checkpoint → restart → restore happen first and a load
-//! balance step then spreads chares onto the new PEs.
+//! pending CCS rescale requests.
+//!
+//! Two rescale protocols are supported (selected by
+//! [`RescaleMode`], default incremental):
+//!
+//! * **Incremental (in-place)** — on shrink, the evacuation LB moves
+//!   exactly the chares living on dying PEs to survivors, the dying
+//!   threads retire, and the router compacts; on expand, only the new PE
+//!   threads spawn and an expansion LB moves just enough load onto them.
+//!   Surviving PEs never tear down, untouched chares never serialize,
+//!   and overhead scales with the bytes actually moved.
+//! * **Full restart** — the paper's checkpoint/restart protocol (§2.2):
+//!   on **shrink**, the load balancer first evacuates the dying PEs,
+//!   then state is checkpointed to the in-memory store, the PE pool is
+//!   restarted at the new size, and state is restored; on **expand**,
+//!   checkpoint → restart → restore happen first and a load balance step
+//!   then spreads chares onto the new PEs.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -30,7 +41,7 @@ use crate::location::LocationManager;
 use crate::msg::{MainEvent, PeMsg};
 use crate::pe::PeWorker;
 use crate::reduction::{ReductionCollector, ReductionResult};
-use crate::rescale::{RescaleKind, RescaleReport, StageTimings};
+use crate::rescale::{RescaleKind, RescaleMode, RescaleReport, StageTimings};
 use crate::router::Router;
 
 /// Runtime-wide counters (messages, migrations, checkpoints).
@@ -45,7 +56,8 @@ pub struct RtStats {
 impl RtStats {
     pub(crate) fn note_message(&self, bytes: usize) {
         self.messages.fetch_add(1, Ordering::Relaxed);
-        self.message_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.message_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Total entry-method messages sent.
@@ -68,6 +80,10 @@ impl RtStats {
         self.checkpoints.load(Ordering::Relaxed)
     }
 }
+
+/// Freshly constructed chares grouped by destination PE (initial
+/// placement batches).
+type LivePlacement = HashMap<PeId, Vec<(ChareId, Box<dyn Chare>)>>;
 
 /// Metadata for one chare array.
 pub(crate) struct ArrayMeta {
@@ -96,18 +112,27 @@ pub struct RuntimeConfig {
     /// Extra restart latency charged per PE — the surrogate for MPI
     /// job-launch time, which the paper observes growing with rank count
     /// (Fig. 5). Zero (the default) measures pure thread restart.
+    ///
+    /// A full restart relaunches every rank sequentially through the MPI
+    /// launcher, so it is charged `delay × new_pes`. An incremental
+    /// expand hot-adds workers whose containers start in parallel, so it
+    /// is charged `delay` once; an incremental shrink launches nothing.
     pub startup_delay_per_pe: std::time::Duration,
+    /// Which shrink/expand protocol [`Runtime::rescale`] uses.
+    pub rescale_mode: RescaleMode,
     /// A label for thread names and reports.
     pub name: String,
 }
 
 impl RuntimeConfig {
-    /// A config with `pes` PEs and no startup surrogate.
+    /// A config with `pes` PEs, no startup surrogate and the default
+    /// (incremental) rescale protocol.
     pub fn new(pes: usize) -> Self {
         assert!(pes >= 1, "need at least one PE");
         RuntimeConfig {
             pes,
             startup_delay_per_pe: std::time::Duration::ZERO,
+            rescale_mode: RescaleMode::default(),
             name: "charm".to_string(),
         }
     }
@@ -115,6 +140,12 @@ impl RuntimeConfig {
     /// Sets the per-PE restart surrogate delay.
     pub fn with_startup_delay(mut self, per_pe: std::time::Duration) -> Self {
         self.startup_delay_per_pe = per_pe;
+        self
+    }
+
+    /// Sets the rescale protocol.
+    pub fn with_rescale_mode(mut self, mode: RescaleMode) -> Self {
+        self.rescale_mode = mode;
         self
     }
 
@@ -130,6 +161,8 @@ impl RuntimeConfig {
 pub struct LbReport {
     /// Chares that changed PE.
     pub migrated: usize,
+    /// Serialized bytes of the migrated chares.
+    pub bytes: usize,
     /// Wall-clock cost of the step.
     pub duration: Duration,
 }
@@ -236,22 +269,35 @@ impl Runtime {
         self.shared.location.occupancy(self.num_pes())
     }
 
+    /// Spawns worker threads for PE ids `lo..hi`, returning their send
+    /// endpoints and pushing the join handles.
+    fn spawn_pe_range(&mut self, lo: usize, hi: usize) -> Vec<Sender<PeMsg>> {
+        let mut txs = Vec::with_capacity(hi - lo);
+        for i in lo..hi {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            self.handles.push(PeWorker::spawn(
+                PeId(i as u32),
+                rx,
+                Arc::clone(&self.shared),
+            ));
+        }
+        txs
+    }
+
+    /// (Re)launches the whole pool at size `n`, replacing the endpoint
+    /// table. `charge_startup` applies the sequential MPI-launch
+    /// surrogate (`delay × n`).
     fn spawn_pes(&mut self, n: usize, charge_startup: bool) {
         assert!(n >= 1, "need at least one PE");
         if charge_startup && !self.cfg.startup_delay_per_pe.is_zero() {
             // MPI-startup surrogate: launch cost grows with rank count.
             std::thread::sleep(self.cfg.startup_delay_per_pe * n as u32);
         }
-        let mut txs = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for i in 0..n {
-            let (tx, rx) = unbounded();
-            txs.push(tx);
-            handles.push(PeWorker::spawn(PeId(i as u32), rx, Arc::clone(&self.shared)));
-        }
+        debug_assert!(self.handles.is_empty(), "pool respawn with live workers");
+        let txs = self.spawn_pe_range(0, n);
         self.shared.router.set_endpoints(txs);
         self.shared.num_pes.store(n, Ordering::Release);
-        self.handles = handles;
     }
 
     fn stop_pes(&mut self) {
@@ -259,6 +305,40 @@ impl Runtime {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+
+    /// Retires PEs `new_pes..` in place: each dying worker drains its
+    /// queue (all evacuation installs are already acknowledged), stops,
+    /// and is joined; the router compacts to the surviving endpoints.
+    fn retire_pes(&mut self, new_pes: usize) {
+        let old = self.handles.len();
+        debug_assert!(new_pes <= old, "retire beyond pool");
+        for i in new_pes..old {
+            // A failed send would leave the worker running and the join
+            // below hanging — fail loudly instead, like the sibling
+            // driver-coordinated request paths.
+            let ok = self.shared.router.send(PeId(i as u32), PeMsg::Stop);
+            assert!(ok, "stop for retiring pe{i} failed");
+        }
+        self.shared.router.truncate(new_pes);
+        self.shared.num_pes.store(new_pes, Ordering::Release);
+        for h in self.handles.drain(new_pes..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Grows the pool in place to `new_pes`: fresh workers spawn (their
+    /// containers start in parallel, so the startup surrogate is charged
+    /// once, not per PE) and the router extends; survivors are untouched.
+    fn grow_pes(&mut self, new_pes: usize) {
+        let old = self.handles.len();
+        debug_assert!(new_pes >= old, "grow below pool");
+        if !self.cfg.startup_delay_per_pe.is_zero() {
+            std::thread::sleep(self.cfg.startup_delay_per_pe);
+        }
+        let txs = self.spawn_pe_range(old, new_pes);
+        self.shared.router.extend(txs);
+        self.shared.num_pes.store(new_pes, Ordering::Release);
     }
 
     /// Creates a chare array and block-maps its elements over the PEs
@@ -288,7 +368,7 @@ impl Runtime {
         }
         let npes = self.num_pes();
         let count = elements.len();
-        let mut per_pe: HashMap<PeId, Vec<(ChareId, Box<dyn Chare>)>> = HashMap::new();
+        let mut per_pe: LivePlacement = HashMap::new();
         for (rank, (index, chare)) in elements.into_iter().enumerate() {
             let pe = PeId((rank * npes / count) as u32);
             let cid = ChareId::new(id, index);
@@ -321,7 +401,10 @@ impl Runtime {
             .lookup(to)
             .unwrap_or_else(|| panic!("send to unknown chare {to}"));
         self.shared.stats.note_message(data.len());
-        let ok = self.shared.router.send(pe, PeMsg::Deliver { to, method, data });
+        let ok = self
+            .shared
+            .router
+            .send(pe, PeMsg::Deliver { to, method, data });
         debug_assert!(ok, "driver send to {to} failed");
     }
 
@@ -416,29 +499,28 @@ impl Runtime {
             assert!(ok, "stats request to pe{i} failed");
         }
         drop(tx);
-        let mut all = Vec::new();
+        let mut all = Vec::with_capacity(self.shared.location.len());
         for _ in 0..n {
             all.extend(rx.recv().expect("stats reply"));
         }
         all
     }
 
-    /// Runs one load-balance step: measure → assign → migrate.
-    ///
-    /// Chares on PEs in `evacuate` are guaranteed to move off them.
-    /// Must be called at a sync boundary (no application messages or
-    /// reduction epochs in flight).
-    pub fn run_lb(&mut self, strategy: &dyn LbStrategy, evacuate: &HashSet<PeId>) -> LbReport {
+    /// Executes the migrations implied by `assignment` (every chare
+    /// whose assigned PE differs from its current one): extract packed
+    /// state at the sources, update the directory, install at the
+    /// destinations. Packed state travels as [`Bytes`] end to end — the
+    /// reply channel, the directory update and the install message all
+    /// share one buffer per chare.
+    fn migrate_to(&mut self, stats: &[ChareStat], assignment: &HashMap<ChareId, PeId>) -> LbReport {
         let started = Instant::now();
+        // Plan moves. Sources/destinations are bounded by the PE count
+        // and moves by the chare count — size the maps up front so the
+        // hot path never rehashes.
         let num_pes = self.num_pes();
-        let stats = self.collect_stats();
-        let assignment = strategy.assign(&stats, num_pes, evacuate);
-        validate_assignment(&assignment, &stats, num_pes, evacuate);
-
-        // Plan moves.
-        let mut by_source: HashMap<PeId, Vec<ChareId>> = HashMap::new();
-        let mut dest_of: HashMap<ChareId, PeId> = HashMap::new();
-        for s in &stats {
+        let mut by_source: HashMap<PeId, Vec<ChareId>> = HashMap::with_capacity(num_pes);
+        let mut dest_of: HashMap<ChareId, PeId> = HashMap::with_capacity(stats.len());
+        for s in stats {
             let dest = assignment[&s.id];
             if dest != s.pe {
                 by_source.entry(s.pe).or_default().push(s.id);
@@ -461,9 +543,11 @@ impl Runtime {
             assert!(ok, "extract request to {pe} failed");
         }
         drop(tx);
-        let mut by_dest: HashMap<PeId, Vec<(ChareId, Vec<u8>)>> = HashMap::new();
+        let mut bytes_moved = 0usize;
+        let mut by_dest: HashMap<PeId, Vec<(ChareId, Bytes)>> = HashMap::with_capacity(num_pes);
         for _ in 0..sources {
             for (id, bytes) in rx.recv().expect("extract reply") {
+                bytes_moved += bytes.len();
                 by_dest.entry(dest_of[&id]).or_default().push((id, bytes));
             }
         }
@@ -495,7 +579,39 @@ impl Runtime {
             .fetch_add(migrated as u64, Ordering::Relaxed);
         LbReport {
             migrated,
+            bytes: bytes_moved,
             duration: Duration::from_secs(started.elapsed().as_secs_f64()),
+        }
+    }
+
+    /// Runs one load-balance step: measure → assign → migrate.
+    ///
+    /// Chares on PEs in `evacuate` are guaranteed to move off them.
+    /// Must be called at a sync boundary (no application messages or
+    /// reduction epochs in flight).
+    pub fn run_lb(&mut self, strategy: &dyn LbStrategy, evacuate: &HashSet<PeId>) -> LbReport {
+        self.lb_step(evacuate, |stats, num_pes| {
+            strategy.assign(stats, num_pes, evacuate)
+        })
+    }
+
+    /// The shared measure → assign → validate → migrate sequence, timed
+    /// as one step. `evacuate` is the validation constraint; `assign`
+    /// produces the placement (a strategy's full, evacuation or
+    /// expansion assignment).
+    fn lb_step<F>(&mut self, evacuate: &HashSet<PeId>, assign: F) -> LbReport
+    where
+        F: FnOnce(&[ChareStat], usize) -> HashMap<ChareId, PeId>,
+    {
+        let started = Instant::now();
+        let num_pes = self.num_pes();
+        let stats = self.collect_stats();
+        let assignment = assign(&stats, num_pes);
+        validate_assignment(&assignment, &stats, num_pes, evacuate);
+        let report = self.migrate_to(&stats, &assignment);
+        LbReport {
+            duration: Duration::from_secs(started.elapsed().as_secs_f64()),
+            ..report
         }
     }
 
@@ -521,7 +637,10 @@ impl Runtime {
             chares += c;
             bytes += b;
         }
-        self.shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .stats
+            .checkpoints
+            .fetch_add(1, Ordering::Relaxed);
         CkptReport {
             chares,
             bytes,
@@ -547,7 +666,7 @@ impl Runtime {
         let entries = self.shared.ckpt.take();
         let count = entries.len();
         let num_pes = self.num_pes();
-        let mut by_pe: HashMap<PeId, Vec<(ChareId, Vec<u8>)>> = HashMap::new();
+        let mut by_pe: HashMap<PeId, Vec<(ChareId, Bytes)>> = HashMap::with_capacity(num_pes);
         for (id, entry) in entries {
             assert!(
                 entry.pe.as_usize() < num_pes,
@@ -576,26 +695,51 @@ impl Runtime {
         (count, Duration::from_secs(started.elapsed().as_secs_f64()))
     }
 
-    /// Rescales the PE pool to `new_pes`, following the paper's
-    /// shrink/expand protocol, and reports per-stage timings.
+    /// Rescales the PE pool to `new_pes` using the configured
+    /// [`RescaleMode`], reporting per-stage timings.
     ///
     /// Must be called at a sync boundary.
     pub fn rescale(&mut self, new_pes: usize, lb: &dyn LbStrategy) -> RescaleReport {
+        self.rescale_with_mode(new_pes, lb, self.cfg.rescale_mode)
+    }
+
+    /// Rescales with an explicit protocol, regardless of the configured
+    /// default — used by mode-comparison benchmarks and the
+    /// full-vs-incremental equivalence tests.
+    pub fn rescale_with_mode(
+        &mut self,
+        new_pes: usize,
+        lb: &dyn LbStrategy,
+        mode: RescaleMode,
+    ) -> RescaleReport {
         assert!(new_pes >= 1, "cannot rescale to zero PEs");
         let old = self.num_pes();
         if new_pes == old {
-            return RescaleReport::noop(old);
+            let mut report = RescaleReport::noop(old);
+            report.mode = mode;
+            return report;
         }
+        match mode {
+            RescaleMode::Incremental => self.rescale_incremental(new_pes, lb),
+            RescaleMode::FullRestart => self.rescale_full_restart(new_pes, lb),
+        }
+    }
+
+    /// The paper's checkpoint/restart protocol: every chare serializes,
+    /// the whole PE pool restarts, everything restores.
+    fn rescale_full_restart(&mut self, new_pes: usize, lb: &dyn LbStrategy) -> RescaleReport {
+        let old = self.num_pes();
         let chare_total = self.shared.location.len();
         let mut stages = StageTimings::default();
         let mut migrated = 0usize;
+        let mut bytes_moved = 0usize;
         let kind = if new_pes < old {
             // Shrink: evacuate dying PEs, checkpoint, restart, restore.
-            let evacuate: HashSet<PeId> =
-                (new_pes..old).map(|i| PeId(i as u32)).collect();
+            let evacuate: HashSet<PeId> = (new_pes..old).map(|i| PeId(i as u32)).collect();
             let lbr = self.run_lb(lb, &evacuate);
             stages.lb = lbr.duration;
             migrated = lbr.migrated;
+            bytes_moved = lbr.bytes;
             RescaleKind::Shrink
         } else {
             RescaleKind::Expand
@@ -616,14 +760,66 @@ impl Runtime {
             let lbr = self.run_lb(lb, &HashSet::new());
             stages.lb = lbr.duration;
             migrated = lbr.migrated;
+            bytes_moved = lbr.bytes;
         }
         RescaleReport {
             kind,
+            mode: RescaleMode::FullRestart,
             from_pes: old,
             to_pes: new_pes,
             stages,
             migrated,
+            bytes_moved,
             checkpoint_bytes: ck.bytes,
+        }
+    }
+
+    /// The in-place protocol: resize the live pool, move only what must
+    /// move. No checkpoint, no restore, no surviving-thread teardown.
+    fn rescale_incremental(&mut self, new_pes: usize, lb: &dyn LbStrategy) -> RescaleReport {
+        let old = self.num_pes();
+        let mut stages = StageTimings::default();
+        let (kind, lbr) = if new_pes < old {
+            // Shrink: move exactly the chares on dying PEs to survivors,
+            // then retire those threads and compact the router.
+            let evacuate: HashSet<PeId> = (new_pes..old).map(|i| PeId(i as u32)).collect();
+            let lbr = self.lb_step(&evacuate, |stats, num_pes| {
+                lb.assign_evacuation(stats, num_pes, &evacuate)
+            });
+            stages.lb = lbr.duration;
+
+            let retire_started = Instant::now();
+            let stranded = self.shared.location.count_at_or_above(new_pes);
+            assert_eq!(
+                stranded, 0,
+                "evacuation left {stranded} chares on dying PEs"
+            );
+            self.retire_pes(new_pes);
+            stages.restart = Duration::from_secs(retire_started.elapsed().as_secs_f64());
+            (RescaleKind::Shrink, lbr)
+        } else {
+            // Expand: spawn only the new PE threads, then move just
+            // enough load onto them.
+            let grow_started = Instant::now();
+            self.grow_pes(new_pes);
+            stages.restart = Duration::from_secs(grow_started.elapsed().as_secs_f64());
+
+            let fresh: HashSet<PeId> = (old..new_pes).map(|i| PeId(i as u32)).collect();
+            let lbr = self.lb_step(&HashSet::new(), |stats, num_pes| {
+                lb.assign_expansion(stats, num_pes, &fresh)
+            });
+            stages.lb = lbr.duration;
+            (RescaleKind::Expand, lbr)
+        };
+        RescaleReport {
+            kind,
+            mode: RescaleMode::Incremental,
+            from_pes: old,
+            to_pes: new_pes,
+            stages,
+            migrated: lbr.migrated,
+            bytes_moved: lbr.bytes,
+            checkpoint_bytes: 0,
         }
     }
 

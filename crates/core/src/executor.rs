@@ -262,10 +262,14 @@ impl ModelHandle {
                     } else {
                         charm_rt::RescaleKind::Expand
                     },
+                    // The default OverheadModel curves model the
+                    // paper's checkpoint/restart protocol.
+                    mode: charm_rt::RescaleMode::FullRestart,
                     from_pes: from as usize,
                     to_pes: target as usize,
                     stages: charm_rt::StageTimings::default(),
                     migrated: 0,
+                    bytes_moved: 0,
                     checkpoint_bytes: 0,
                 });
             } else {

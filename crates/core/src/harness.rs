@@ -55,9 +55,7 @@ pub fn run_virtual(
     loop {
         let now = clock.now();
         let elapsed = now - start;
-        while next_submit < schedule.jobs.len()
-            && elapsed >= schedule.submit_at(next_submit)
-        {
+        while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
             op.submit(schedule.jobs[next_submit].clone())
                 .expect("valid spec");
             next_submit += 1;
@@ -91,9 +89,7 @@ pub fn run_real(
     loop {
         let now = clock.now();
         let elapsed = now - start;
-        while next_submit < schedule.jobs.len()
-            && elapsed >= schedule.submit_at(next_submit)
-        {
+        while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
             op.submit(schedule.jobs[next_submit].clone())
                 .expect("valid spec");
             next_submit += 1;

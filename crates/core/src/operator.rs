@@ -32,17 +32,17 @@ use crate::view::{Action, ClusterView, JobState};
 enum RescaleFlow {
     /// Shrink signalled; waiting for the application's ack before
     /// deleting pods.
-    AwaitAckShrink {
+    ShrinkSignalled {
         /// Target replica count.
         target: u32,
     },
     /// Expand pods created; waiting for them to run before signalling.
-    AwaitPodsExpand {
+    ExpandPodsPending {
         /// Target replica count.
         target: u32,
     },
     /// Expand signalled; waiting for the application's ack.
-    AwaitAckExpand {
+    ExpandSignalled {
         /// Target replica count.
         target: u32,
     },
@@ -134,7 +134,11 @@ impl CharmOperator {
                 max_replicas: job.spec.max_replicas,
                 priority: job.spec.priority,
                 submitted_at: job.status.submitted_at,
-                replicas: if running { job.status.desired_replicas } else { 0 },
+                replicas: if running {
+                    job.status.desired_replicas
+                } else {
+                    0
+                },
                 last_action: job.status.last_action,
                 running,
             });
@@ -153,7 +157,8 @@ impl CharmOperator {
                 Action::Shrink { job, to_replicas } => self.start_shrink(job, *to_replicas, now),
                 Action::Expand { job, to_replicas } => self.start_expand(job, *to_replicas, now),
                 Action::Enqueue { job } => {
-                    self.events.record(now, job, "Enqueued", "no resources available");
+                    self.events
+                        .record(now, job, "Enqueued", "no resources available");
                 }
             }
         }
@@ -172,15 +177,14 @@ impl CharmOperator {
 
     fn create_workers(&mut self, job: &str, count: u32, now: SimTime) {
         let existing = self.worker_pods(job);
-        let mut next = existing
+        let next = existing
             .last()
             .and_then(|p| p.name.rsplit("-w").next())
             .and_then(|s| s.parse::<u32>().ok())
             .map(|n| n + 1)
             .unwrap_or(0);
-        for _ in 0..count {
-            let name = format!("{job}-w{next:04}");
-            next += 1;
+        for serial in next..next + count {
+            let name = format!("{job}-w{serial:04}");
             self.plane
                 .pods
                 .create(Pod::worker(name, job, now))
@@ -189,7 +193,11 @@ impl CharmOperator {
     }
 
     fn update_nodelist(&mut self, job: &str) {
-        let hosts: Vec<String> = self.worker_pods(job).iter().map(|p| p.name.clone()).collect();
+        let hosts: Vec<String> = self
+            .worker_pods(job)
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
         let cm_name = format!("{job}-nodelist");
         let joined = hosts.join("\n");
         if self.plane.configmaps.get(&cm_name).is_some() {
@@ -238,7 +246,7 @@ impl CharmOperator {
             // Paper's shrink sequence: signal first, remove pods on ack.
             handle.request_rescale(target);
             self.flows
-                .insert(job.to_string(), RescaleFlow::AwaitAckShrink { target });
+                .insert(job.to_string(), RescaleFlow::ShrinkSignalled { target });
             self.events
                 .record(now, job, "ShrinkSignalled", format!("-> {target}"));
         } else {
@@ -271,7 +279,7 @@ impl CharmOperator {
         self.util.set(now, job, target);
         if self.handles.contains_key(job) {
             self.flows
-                .insert(job.to_string(), RescaleFlow::AwaitPodsExpand { target });
+                .insert(job.to_string(), RescaleFlow::ExpandPodsPending { target });
             self.events
                 .record(now, job, "ExpandStarted", format!("-> {target}"));
         } else {
@@ -324,11 +332,8 @@ impl CharmOperator {
         for name in flow_jobs {
             let flow = self.flows[&name];
             match flow {
-                RescaleFlow::AwaitAckShrink { target } => {
-                    let acked = self
-                        .handles
-                        .get_mut(&name)
-                        .and_then(|h| h.rescale_acked());
+                RescaleFlow::ShrinkSignalled { target } => {
+                    let acked = self.handles.get_mut(&name).and_then(|h| h.rescale_acked());
                     if let Some(report) = acked {
                         self.remove_excess_workers(&name, target);
                         self.update_nodelist(&name);
@@ -345,7 +350,7 @@ impl CharmOperator {
                         );
                     }
                 }
-                RescaleFlow::AwaitPodsExpand { target } => {
+                RescaleFlow::ExpandPodsPending { target } => {
                     if self
                         .plane
                         .job_pods_running(&name, PodRole::Worker, target as usize)
@@ -355,16 +360,13 @@ impl CharmOperator {
                             handle.request_rescale(target);
                         }
                         self.flows
-                            .insert(name.clone(), RescaleFlow::AwaitAckExpand { target });
+                            .insert(name.clone(), RescaleFlow::ExpandSignalled { target });
                         self.events
                             .record(now, &name, "ExpandSignalled", format!("-> {target}"));
                     }
                 }
-                RescaleFlow::AwaitAckExpand { target } => {
-                    let acked = self
-                        .handles
-                        .get_mut(&name)
-                        .and_then(|h| h.rescale_acked());
+                RescaleFlow::ExpandSignalled { target } => {
+                    let acked = self.handles.get_mut(&name).and_then(|h| h.rescale_acked());
                     if let Some(report) = acked {
                         self.jobs
                             .update(&name, |j| j.status.replicas = target)
@@ -452,8 +454,7 @@ impl CharmOperator {
         let mut last_complete = SimTime::ZERO;
         for stored in self.jobs.list() {
             let j = &stored.obj;
-            let (Some(started), Some(completed)) =
-                (j.status.started_at, j.status.completed_at)
+            let (Some(started), Some(completed)) = (j.status.started_at, j.status.completed_at)
             else {
                 continue;
             };

@@ -32,9 +32,7 @@ use super::Policy;
 /// paper's EKS testbed the launcher pod is not CPU-bound, so their
 /// emulation still fit; see DESIGN.md §4).
 fn effective_bounds(policy: &Policy, capacity: u32, job: &JobState) -> (u32, u32) {
-    let cap_workers = capacity
-        .saturating_sub(policy.cfg.launcher_slots)
-        .max(1);
+    let cap_workers = capacity.saturating_sub(policy.cfg.launcher_slots).max(1);
     match policy.kind {
         // The rigid-max *emulation* pinned the minimum; clamping it is
         // an emulation detail, not a spec violation.
@@ -269,7 +267,10 @@ mod tests {
         let actions = pol.on_submit(&v, "new", t(0.0));
         assert_eq!(
             actions,
-            vec![Action::Create { job: "new".into(), replicas: 32 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 32
+            }]
         );
     }
 
@@ -282,7 +283,10 @@ mod tests {
         let actions = pol.on_submit(&v, "new", t(0.0));
         assert_eq!(
             actions,
-            vec![Action::Create { job: "new".into(), replicas: 31 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 31
+            }]
         );
     }
 
@@ -293,7 +297,10 @@ mod tests {
         let actions = pol.on_submit(&v, "new", t(0.0));
         assert_eq!(
             actions,
-            vec![Action::Create { job: "new".into(), replicas: 9 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 9
+            }]
         );
     }
 
@@ -311,8 +318,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Shrink { job: "low".into(), to_replicas: 4 },
-                Action::Create { job: "new".into(), replicas: 27 },
+                Action::Shrink {
+                    job: "low".into(),
+                    to_replicas: 4
+                },
+                Action::Create {
+                    job: "new".into(),
+                    replicas: 27
+                },
             ]
         );
     }
@@ -330,8 +343,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Shrink { job: "low".into(), to_replicas: 24 },
-                Action::Create { job: "new".into(), replicas: 8 },
+                Action::Shrink {
+                    job: "low".into(),
+                    to_replicas: 24
+                },
+                Action::Create {
+                    job: "new".into(),
+                    replicas: 8
+                },
             ]
         );
     }
@@ -387,8 +406,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Shrink { job: "solo".into(), to_replicas: 30 },
-                Action::Create { job: "new".into(), replicas: 32 },
+                Action::Shrink {
+                    job: "solo".into(),
+                    to_replicas: 30
+                },
+                Action::Create {
+                    job: "new".into(),
+                    replicas: 32
+                },
             ]
         );
     }
@@ -422,9 +447,18 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Shrink { job: "low".into(), to_replicas: 4 },
-                Action::Shrink { job: "mid".into(), to_replicas: 4 },
-                Action::Create { job: "new".into(), replicas: 31 },
+                Action::Shrink {
+                    job: "low".into(),
+                    to_replicas: 4
+                },
+                Action::Shrink {
+                    job: "mid".into(),
+                    to_replicas: 4
+                },
+                Action::Create {
+                    job: "new".into(),
+                    replicas: 31
+                },
             ]
         );
     }
@@ -450,8 +484,14 @@ mod tests {
         assert_eq!(
             actions,
             vec![
-                Action::Expand { job: "a".into(), to_replicas: 32 },
-                Action::Expand { job: "b".into(), to_replicas: 14 },
+                Action::Expand {
+                    job: "a".into(),
+                    to_replicas: 32
+                },
+                Action::Expand {
+                    job: "b".into(),
+                    to_replicas: 14
+                },
             ]
         );
     }
@@ -464,7 +504,10 @@ mod tests {
         let actions = pol.on_complete(&v, t(100.0));
         assert_eq!(
             actions,
-            vec![Action::Create { job: "q".into(), replicas: 9 }]
+            vec![Action::Create {
+                job: "q".into(),
+                replicas: 9
+            }]
         );
     }
 
@@ -479,7 +522,10 @@ mod tests {
         let actions = pol.on_complete(&v, t(100.0));
         assert_eq!(
             actions,
-            vec![Action::Create { job: "small".into(), replicas: 8 }]
+            vec![Action::Create {
+                job: "small".into(),
+                replicas: 8
+            }]
         );
     }
 
@@ -493,7 +539,10 @@ mod tests {
         // "recent" is inside the gap; only "old" expands.
         assert_eq!(
             actions,
-            vec![Action::Expand { job: "old".into(), to_replicas: 18 }]
+            vec![Action::Expand {
+                job: "old".into(),
+                to_replicas: 18
+            }]
         );
     }
 
@@ -527,7 +576,9 @@ mod tests {
         let actions = pol.on_complete(&v, t(10_000.0));
         // Without aging the priority-5 job is created first and takes
         // the bigger allocation.
-        assert!(matches!(&actions[0], Action::Create { job, replicas } if job == "hi" && *replicas == 16));
+        assert!(
+            matches!(&actions[0], Action::Create { job, replicas } if job == "hi" && *replicas == 16)
+        );
     }
 
     #[test]
@@ -570,7 +621,10 @@ mod tests {
         let fits = view(17, vec![new.clone()]);
         assert_eq!(
             pol.on_submit(&fits, "new", t(0.0)),
-            vec![Action::Create { job: "new".into(), replicas: 16 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 16
+            }]
         );
         let tight = view(16, vec![new]);
         assert_eq!(
@@ -586,7 +640,10 @@ mod tests {
         let v = view(64, vec![new]);
         assert_eq!(
             pol.on_submit(&v, "new", t(0.0)),
-            vec![Action::Create { job: "new".into(), replicas: 4 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 4
+            }]
         );
     }
 
@@ -610,7 +667,10 @@ mod tests {
         let v = view(10, vec![new.clone()]);
         assert_eq!(
             pol.on_submit(&v, "new", t(0.0)),
-            vec![Action::Create { job: "new".into(), replicas: 9 }]
+            vec![Action::Create {
+                job: "new".into(),
+                replicas: 9
+            }]
         );
         // Never shrinks for a newcomer...
         let lowrunning = running(job("low", 1, 0.0, 4, 30), 30, 0.0);
@@ -626,7 +686,10 @@ mod tests {
         let v = view(12, vec![a, q]);
         assert_eq!(
             pol.on_complete(&v, t(500.0)),
-            vec![Action::Create { job: "q".into(), replicas: 8 }]
+            vec![Action::Create {
+                job: "q".into(),
+                replicas: 8
+            }]
         );
     }
 

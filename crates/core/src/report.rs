@@ -52,8 +52,16 @@ impl RunMetrics {
         rescales: u32,
     ) -> RunMetrics {
         assert!(!jobs.is_empty(), "metrics need at least one job");
-        let first_submit = jobs.iter().map(|j| j.submitted_at).min().expect("non-empty");
-        let last_complete = jobs.iter().map(|j| j.completed_at).max().expect("non-empty");
+        let first_submit = jobs
+            .iter()
+            .map(|j| j.submitted_at)
+            .min()
+            .expect("non-empty");
+        let last_complete = jobs
+            .iter()
+            .map(|j| j.completed_at)
+            .max()
+            .expect("non-empty");
         let mut resp = WeightedMean::new();
         let mut comp = WeightedMean::new();
         for j in &jobs {
@@ -103,7 +111,7 @@ mod tests {
     #[test]
     fn metrics_match_hand_computation() {
         let jobs = vec![
-            outcome("a", 5, 0.0, 10.0, 110.0),  // resp 10, comp 110
+            outcome("a", 5, 0.0, 10.0, 110.0),   // resp 10, comp 110
             outcome("b", 1, 50.0, 250.0, 350.0), // resp 200, comp 300
         ];
         let m = RunMetrics::from_outcomes("elastic", jobs, 0.85, 3);
@@ -128,12 +136,8 @@ mod tests {
 
     #[test]
     fn table_row_is_readable() {
-        let m = RunMetrics::from_outcomes(
-            "moldable",
-            vec![outcome("a", 2, 0.0, 1.0, 2.0)],
-            0.715,
-            0,
-        );
+        let m =
+            RunMetrics::from_outcomes("moldable", vec![outcome("a", 2, 0.0, 1.0, 2.0)], 0.715, 0);
         let row = m.table_row();
         assert!(row.contains("moldable"));
         assert!(row.contains("71.50%"));

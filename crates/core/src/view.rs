@@ -259,7 +259,10 @@ mod tests {
         let now = SimTime::from_secs(1.0);
         apply_action(
             &mut view,
-            &Action::Create { job: "a".into(), replicas: 8 },
+            &Action::Create {
+                job: "a".into(),
+                replicas: 8,
+            },
             now,
             1,
         );
@@ -269,7 +272,10 @@ mod tests {
 
         apply_action(
             &mut view,
-            &Action::Expand { job: "a".into(), to_replicas: 12 },
+            &Action::Expand {
+                job: "a".into(),
+                to_replicas: 12,
+            },
             now,
             1,
         );
@@ -277,7 +283,10 @@ mod tests {
 
         apply_action(
             &mut view,
-            &Action::Shrink { job: "a".into(), to_replicas: 2 },
+            &Action::Shrink {
+                job: "a".into(),
+                to_replicas: 2,
+            },
             now,
             1,
         );
@@ -296,7 +305,10 @@ mod tests {
         };
         apply_action(
             &mut view,
-            &Action::Create { job: "a".into(), replicas: 8 },
+            &Action::Create {
+                job: "a".into(),
+                replicas: 8,
+            },
             SimTime::ZERO,
             1,
         );
@@ -312,7 +324,10 @@ mod tests {
         };
         apply_action(
             &mut view,
-            &Action::Create { job: "a".into(), replicas: 1 },
+            &Action::Create {
+                job: "a".into(),
+                replicas: 1,
+            },
             SimTime::ZERO,
             1,
         );
@@ -328,7 +343,10 @@ mod tests {
         };
         apply_action(
             &mut view,
-            &Action::Shrink { job: "a".into(), to_replicas: 1 },
+            &Action::Shrink {
+                job: "a".into(),
+                to_replicas: 1,
+            },
             SimTime::ZERO,
             1,
         );
@@ -342,7 +360,12 @@ mod tests {
             jobs: vec![job("a", 3, 0.0, 0)],
         };
         let before = view.clone();
-        apply_action(&mut view, &Action::Enqueue { job: "a".into() }, SimTime::ZERO, 1);
+        apply_action(
+            &mut view,
+            &Action::Enqueue { job: "a".into() },
+            SimTime::ZERO,
+            1,
+        );
         assert_eq!(view, before);
     }
 
@@ -350,7 +373,11 @@ mod tests {
     fn action_job_accessor() {
         assert_eq!(Action::Enqueue { job: "x".into() }.job(), "x");
         assert_eq!(
-            Action::Create { job: "y".into(), replicas: 1 }.job(),
+            Action::Create {
+                job: "y".into(),
+                replicas: 1
+            }
+            .job(),
             "y"
         );
     }

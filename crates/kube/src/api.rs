@@ -147,11 +147,7 @@ impl<T: Resource> Store<T> {
 
     /// Applies `mutate` to the named object under the store lock and
     /// bumps its resource version.
-    pub fn update(
-        &self,
-        name: &str,
-        mutate: impl FnOnce(&mut T),
-    ) -> Result<Stored<T>, ApiError> {
+    pub fn update(&self, name: &str, mutate: impl FnOnce(&mut T)) -> Result<Stored<T>, ApiError> {
         let mut inner = self.inner.lock();
         let stored = inner
             .objects

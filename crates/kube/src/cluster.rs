@@ -150,7 +150,9 @@ impl ControlPlane {
             .list()
             .iter()
             .filter(|s| {
-                s.obj.owner == job && s.obj.role == role && s.obj.phase == PodPhase::Running
+                s.obj.owner == job
+                    && s.obj.role == role
+                    && s.obj.phase == PodPhase::Running
                     && !s.obj.deleting
             })
             .count();
@@ -183,12 +185,7 @@ mod tests {
 
     fn plane() -> (ControlPlane, VirtualClock) {
         let clock = VirtualClock::new();
-        let cp = ControlPlane::with_nodes(
-            Arc::new(clock.clone()),
-            KubeletConfig::instant(),
-            4,
-            16,
-        );
+        let cp = ControlPlane::with_nodes(Arc::new(clock.clone()), KubeletConfig::instant(), 4, 16);
         (cp, clock)
     }
 

@@ -72,13 +72,10 @@ impl Kubelet {
             match (pod.phase, pod.node.is_some(), pod.deleting) {
                 // Bound pending pod: schedule its start.
                 (PodPhase::Pending, true, false) => {
-                    let t = self
-                        .inflight
-                        .entry(pod.name.clone())
-                        .or_insert(Transition {
-                            due: now + self.cfg.startup_latency,
-                            to_running: true,
-                        });
+                    let t = self.inflight.entry(pod.name.clone()).or_insert(Transition {
+                        due: now + self.cfg.startup_latency,
+                        to_running: true,
+                    });
                     if t.to_running && now >= t.due {
                         let started = now;
                         self.pods

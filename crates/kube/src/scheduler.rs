@@ -123,7 +123,9 @@ impl PodScheduler {
             let node_name = best.name.clone();
             *alloc.entry(node_name.clone()).or_insert(0) += pod.cpu_request;
             if let Some(group) = &pod.affinity_group {
-                *presence.entry((node_name.clone(), group.clone())).or_insert(0) += 1;
+                *presence
+                    .entry((node_name.clone(), group.clone()))
+                    .or_insert(0) += 1;
             }
             let bind_target = node_name.clone();
             self.pods

@@ -73,7 +73,11 @@ pub fn line_chart(
 
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let _ = writeln!(out, "  y: [{ymin:.4}, {ymax:.4}]{}", if log_y { " (log)" } else { "" });
+    let _ = writeln!(
+        out,
+        "  y: [{ymin:.4}, {ymax:.4}]{}",
+        if log_y { " (log)" } else { "" }
+    );
     for row in &grid {
         let line: String = row.iter().collect();
         let _ = writeln!(out, "  |{line}|");
@@ -176,13 +180,7 @@ mod tests {
 
     #[test]
     fn log_chart_skips_nonpositive_points() {
-        let s = line_chart(
-            "t",
-            &[("a", vec![(0.0, 0.0), (1.0, 10.0)])],
-            40,
-            8,
-            true,
-        );
+        let s = line_chart("t", &[("a", vec![(0.0, 0.0), (1.0, 10.0)])], 40, 8, true);
         // Only one glyph plotted (the positive one).
         let stars = s.matches('*').count();
         assert_eq!(stars, 2); // one in grid, one in legend

@@ -76,10 +76,7 @@ impl PiecewiseLinear {
             }
         };
         // Pick the segment: clamp to the first/last for extrapolation.
-        let idx = match self
-            .points
-            .binary_search_by(|p| coord(*p).0.total_cmp(&tx))
-        {
+        let idx = match self.points.binary_search_by(|p| coord(*p).0.total_cmp(&tx)) {
             Ok(i) => return self.points[i].1,
             Err(0) => 0,
             Err(i) if i >= self.points.len() => self.points.len() - 2,

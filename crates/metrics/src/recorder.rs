@@ -58,7 +58,7 @@ impl UtilizationRecorder {
     /// All recorded events, sorted by time (stable for equal times).
     pub fn events(&self) -> Vec<AllocEvent> {
         let mut ev = self.events.clone();
-        ev.sort_by(|a, b| a.at.cmp(&b.at));
+        ev.sort_by_key(|a| a.at);
         ev
     }
 
@@ -133,7 +133,11 @@ impl UtilizationRecorder {
 
     /// Maximum total allocation ever recorded.
     pub fn peak(&self) -> u32 {
-        self.total_series().iter().map(|&(_, v)| v).max().unwrap_or(0)
+        self.total_series()
+            .iter()
+            .map(|&(_, v)| v)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -172,10 +176,7 @@ impl SeriesRecorder {
 
     /// Converts to `(seconds, value)` pairs for charting/CSV.
     pub fn as_xy(&self) -> Vec<(f64, f64)> {
-        self.points
-            .iter()
-            .map(|&(t, v)| (t.as_secs(), v))
-            .collect()
+        self.points.iter().map(|&(t, v)| (t.as_secs(), v)).collect()
     }
 
     /// Largest gap between consecutive points — the Fig. 6b "rescale

@@ -264,7 +264,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![
+        let mut v = [
             SimTime::from_secs(3.0),
             SimTime::NEG_INFINITY,
             SimTime::from_secs(-1.0),
@@ -297,7 +297,10 @@ mod tests {
     fn duration_conversions() {
         assert_eq!(Duration::from_millis(1500.0).as_secs(), 1.5);
         assert_eq!(Duration::from_secs(2.0).as_millis(), 2000.0);
-        assert_eq!(Duration::from_secs(-3.0).to_std(), std::time::Duration::ZERO);
+        assert_eq!(
+            Duration::from_secs(-3.0).to_std(),
+            std::time::Duration::ZERO
+        );
         assert_eq!(
             Duration::from_secs(0.25).to_std(),
             std::time::Duration::from_millis(250)

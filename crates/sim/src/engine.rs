@@ -161,11 +161,11 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
     // Applies one policy action; returns the completion event to
     // schedule, if any.
     let apply = |jobs: &mut Vec<JobRt>,
-                     queue: &mut EventQueue,
-                     util: &mut UtilizationRecorder,
-                     rescales: &mut u32,
-                     action: &Action,
-                     now: SimTime| {
+                 queue: &mut EventQueue,
+                 util: &mut UtilizationRecorder,
+                 rescales: &mut u32,
+                 action: &Action,
+                 now: SimTime| {
         match action {
             Action::Create { job, replicas } => {
                 let i = index_of(jobs, job);
@@ -180,7 +180,13 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 let rate = cfg.scaling.rate(j.spec.class, j.replicas);
                 let remaining = j.spec.class.steps() as f64 - j.steps_done;
                 let finish = now + Duration::from_secs(remaining / rate);
-                queue.push(finish, Event::Completion { job: i, generation: j.generation });
+                queue.push(
+                    finish,
+                    Event::Completion {
+                        job: i,
+                        generation: j.generation,
+                    },
+                );
             }
             Action::Shrink { job, to_replicas } | Action::Expand { job, to_replicas } => {
                 let i = index_of(jobs, job);
@@ -197,7 +203,13 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 let rate = cfg.scaling.rate(j.spec.class, j.replicas);
                 let remaining = (j.spec.class.steps() as f64 - j.steps_done).max(0.0);
                 let finish = j.pause_until + Duration::from_secs(remaining / rate);
-                queue.push(finish, Event::Completion { job: i, generation: j.generation });
+                queue.push(
+                    finish,
+                    Event::Completion {
+                        job: i,
+                        generation: j.generation,
+                    },
+                );
             }
             Action::Enqueue { .. } => {}
         }
@@ -260,12 +272,8 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
     let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
     let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
     let utilization = util.average_utilization(first_submit, last_complete);
-    let metrics = RunMetrics::from_outcomes(
-        cfg.policy.kind.to_string(),
-        outcomes,
-        utilization,
-        rescales,
-    );
+    let metrics =
+        RunMetrics::from_outcomes(cfg.policy.kind.to_string(), outcomes, utilization, rescales);
     SimOutcome {
         metrics,
         util,
@@ -350,7 +358,11 @@ mod tests {
         let out = simulate(&cfg, &wl);
         assert!(out.rescales > 0, "elastic never rescaled under load");
         // Non-elastic policies never rescale.
-        for kind in [PolicyKind::Moldable, PolicyKind::RigidMin, PolicyKind::RigidMax] {
+        for kind in [
+            PolicyKind::Moldable,
+            PolicyKind::RigidMin,
+            PolicyKind::RigidMax,
+        ] {
             let out = simulate(
                 &SimConfig::paper_default(policy(kind, 180.0), Duration::from_secs(30.0)),
                 &wl,
@@ -364,10 +376,7 @@ mod tests {
         for seed in 0..5 {
             let wl = crate::workload::generate_workload(seed, 16);
             for kind in PolicyKind::ALL {
-                let cfg = SimConfig::paper_default(
-                    policy(kind, 60.0),
-                    Duration::from_secs(20.0),
-                );
+                let cfg = SimConfig::paper_default(policy(kind, 60.0), Duration::from_secs(20.0));
                 let out = simulate(&cfg, &wl);
                 // Worker slots alone must fit under capacity minus one
                 // launcher per concurrently running job (>= 1).

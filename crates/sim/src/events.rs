@@ -44,7 +44,9 @@ impl PartialOrd for Entry {
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then_with(|| self.seq.cmp(&other.seq))
+        self.at
+            .cmp(&other.at)
+            .then_with(|| self.seq.cmp(&other.seq))
     }
 }
 
@@ -125,9 +127,21 @@ mod tests {
     #[test]
     fn completion_events_carry_generation() {
         let mut q = EventQueue::new();
-        q.push(t(1.0), Event::Completion { job: 0, generation: 2 });
+        q.push(
+            t(1.0),
+            Event::Completion {
+                job: 0,
+                generation: 2,
+            },
+        );
         let (_, e) = q.pop().unwrap();
-        assert_eq!(e, Event::Completion { job: 0, generation: 2 });
+        assert_eq!(
+            e,
+            Event::Completion {
+                job: 0,
+                generation: 2
+            }
+        );
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
     }

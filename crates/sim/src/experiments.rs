@@ -129,10 +129,7 @@ pub fn table1_simulation(seed: u64) -> Vec<(RunMetrics, SimOutcome)> {
     PolicyKind::ALL
         .iter()
         .map(|&kind| {
-            let cfg = SimConfig::paper_default(
-                policy_of(kind, 180.0),
-                Duration::from_secs(90.0),
-            );
+            let cfg = SimConfig::paper_default(policy_of(kind, 180.0), Duration::from_secs(90.0));
             let out = simulate(&cfg, &workload);
             (out.metrics.clone(), out)
         })
@@ -189,7 +186,11 @@ mod tests {
         let pts = sweep_submission_gap(&[90.0], 180.0, 8, DEFAULT_JOBS);
         let get = |k: PolicyKind| pts.iter().find(|p| p.policy == k).unwrap();
         let min = get(PolicyKind::RigidMin);
-        for other in [PolicyKind::Elastic, PolicyKind::Moldable, PolicyKind::RigidMax] {
+        for other in [
+            PolicyKind::Elastic,
+            PolicyKind::Moldable,
+            PolicyKind::RigidMax,
+        ] {
             assert!(
                 min.weighted_completion >= get(other).weighted_completion - 1e-9,
                 "min comp {} < {} comp {}",
@@ -216,9 +217,7 @@ mod tests {
             moldable.utilization
         );
         assert!((elastic.total_time - moldable.total_time).abs() < 1e-9);
-        assert!(
-            (elastic.weighted_completion - moldable.weighted_completion).abs() < 1e-9
-        );
+        assert!((elastic.weighted_completion - moldable.weighted_completion).abs() < 1e-9);
     }
 
     /// At very large submission gaps every scheduler converges: each

@@ -102,21 +102,9 @@ impl ScalingModel {
     /// (communication-bound), large ones scale near-linearly.
     pub fn paper_calibrated() -> Self {
         ScalingModel {
-            small: PiecewiseLinear::log_log(vec![
-                (2.0, 10.4e-3),
-                (4.0, 6.5e-3),
-                (8.0, 4.6e-3),
-            ]),
-            medium: PiecewiseLinear::log_log(vec![
-                (4.0, 13.0e-3),
-                (8.0, 7.2e-3),
-                (16.0, 4.2e-3),
-            ]),
-            large: PiecewiseLinear::log_log(vec![
-                (8.0, 18.2e-3),
-                (16.0, 9.8e-3),
-                (32.0, 5.5e-3),
-            ]),
+            small: PiecewiseLinear::log_log(vec![(2.0, 10.4e-3), (4.0, 6.5e-3), (8.0, 4.6e-3)]),
+            medium: PiecewiseLinear::log_log(vec![(4.0, 13.0e-3), (8.0, 7.2e-3), (16.0, 4.2e-3)]),
+            large: PiecewiseLinear::log_log(vec![(8.0, 18.2e-3), (16.0, 9.8e-3), (32.0, 5.5e-3)]),
             xlarge: PiecewiseLinear::log_log(vec![
                 (16.0, 71.5e-3),
                 (32.0, 39.0e-3),
@@ -168,6 +156,13 @@ impl ScalingModel {
 }
 
 /// Four-stage rescale overhead model (Fig. 5's decomposition).
+///
+/// Models the full-restart protocol by default (paper fidelity for the
+/// Fig. 7/8 sweeps). Setting [`OverheadModel::incremental`] switches to
+/// the in-place protocol's cost curve: no checkpoint/restore of total
+/// state, restart replaced by a fixed parallel spawn cost on expand
+/// (nothing on shrink), and the LB term driven by the bytes that
+/// actually change owners.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Fixed restart cost (job relaunch).
@@ -180,6 +175,8 @@ pub struct OverheadModel {
     pub lb_base: f64,
     /// Load-balance cost per byte moved.
     pub lb_per_byte: f64,
+    /// Model the incremental in-place protocol instead of full restart.
+    pub incremental: bool,
 }
 
 impl Default for OverheadModel {
@@ -190,6 +187,7 @@ impl Default for OverheadModel {
             ckpt_bw_per_replica: 5.0e8,
             lb_base: 0.1,
             lb_per_byte: 3.0e-10,
+            incremental: false,
         }
     }
 }
@@ -215,20 +213,52 @@ impl OverheadBreakdown {
 }
 
 impl OverheadModel {
+    /// The default model with the incremental protocol enabled.
+    pub fn incremental() -> Self {
+        OverheadModel {
+            incremental: true,
+            ..OverheadModel::default()
+        }
+    }
+
     /// Overhead of rescaling a `class` job `from → to` replicas.
     pub fn breakdown(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
         if from == to {
             return OverheadBreakdown::default();
         }
+        if self.incremental {
+            return self.breakdown_incremental(class, from, to);
+        }
         let bytes = class.state_bytes();
         // LB moves roughly the fraction of state that changes owners.
-        let moved_fraction =
-            f64::from(from.abs_diff(to)) / f64::from(from.max(to));
+        let moved_fraction = f64::from(from.abs_diff(to)) / f64::from(from.max(to));
         OverheadBreakdown {
             lb: self.lb_base + self.lb_per_byte * bytes * moved_fraction,
             checkpoint: bytes / (self.ckpt_bw_per_replica * f64::from(from)),
             restart: self.restart_base + self.restart_per_pe * f64::from(to),
             restore: bytes / (self.ckpt_bw_per_replica * f64::from(to)),
+        }
+    }
+
+    /// The in-place protocol's curve: only the moved fraction of state
+    /// pays serialization cost (as migration, charged to `lb`), expand
+    /// pays one parallel worker-spawn round, shrink pays none, and the
+    /// checkpoint/restore stages vanish.
+    fn breakdown_incremental(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
+        let bytes = class.state_bytes();
+        let moved_fraction = f64::from(from.abs_diff(to)) / f64::from(from.max(to));
+        let restart = if to > from {
+            // Fresh workers start concurrently: one per-PE quantum, not
+            // a full sequential relaunch.
+            self.restart_base * 0.25 + self.restart_per_pe
+        } else {
+            0.0
+        };
+        OverheadBreakdown {
+            lb: self.lb_base + self.lb_per_byte * bytes * moved_fraction,
+            checkpoint: 0.0,
+            restart,
+            restore: 0.0,
         }
     }
 
@@ -295,7 +325,10 @@ mod tests {
                 (100.0..=800.0).contains(&at_max),
                 "{class} runtime at max = {at_max}"
             );
-            assert!(at_min > at_max, "{class} min-replica runtime must be longer");
+            assert!(
+                at_min > at_max,
+                "{class} min-replica runtime must be longer"
+            );
         }
     }
 
@@ -361,6 +394,49 @@ mod tests {
             let t = o.total(class, hi, lo).as_secs();
             assert!(t > 0.0 && t < 15.0, "{class} overhead {t}");
         }
+    }
+
+    #[test]
+    fn incremental_overhead_beats_full_restart_everywhere() {
+        let full = OverheadModel::default();
+        let inc = OverheadModel::incremental();
+        for class in SizeClass::ALL {
+            let (lo, hi) = class.replica_bounds();
+            for (from, to) in [(hi, lo), (lo, hi), (hi, hi / 2), (hi / 2, hi)] {
+                if from == to {
+                    continue;
+                }
+                let f = full.total(class, from, to).as_secs();
+                let i = inc.total(class, from, to).as_secs();
+                assert!(i < f, "{class} {from}->{to}: incremental {i} >= full {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_shrink_has_no_restart_or_ckpt_stage() {
+        let inc = OverheadModel::incremental();
+        let b = inc.breakdown(SizeClass::Large, 32, 16);
+        assert_eq!(b.restart, 0.0);
+        assert_eq!(b.checkpoint, 0.0);
+        assert_eq!(b.restore, 0.0);
+        assert!(b.lb > 0.0);
+        // Expand pays one parallel spawn round, far below the full
+        // sequential relaunch.
+        let e = inc.breakdown(SizeClass::Large, 16, 32);
+        let full = OverheadModel::default().breakdown(SizeClass::Large, 16, 32);
+        assert!(e.restart > 0.0 && e.restart < full.restart / 4.0);
+    }
+
+    #[test]
+    fn incremental_overhead_scales_with_bytes_moved() {
+        // Halving moves ~half the state; dropping one replica of 32
+        // moves ~1/32nd. Overhead must reflect that.
+        let inc = OverheadModel::incremental();
+        let inc_base = inc.lb_base;
+        let big_move = inc.breakdown(SizeClass::XLarge, 32, 16).lb - inc_base;
+        let small_move = inc.breakdown(SizeClass::XLarge, 32, 31).lb - inc_base;
+        assert!(small_move < big_move / 4.0, "{small_move} vs {big_move}");
     }
 
     #[test]

@@ -13,7 +13,14 @@ use elastic_hpc::core::{
 use elastic_hpc::kube::{ControlPlane, KubeletConfig};
 use elastic_hpc::metrics::{Duration, RealClock};
 
-fn jacobi_job(name: &str, priority: u32, min: u32, max: u32, grid: usize, iters: u64) -> CharmJobSpec {
+fn jacobi_job(
+    name: &str,
+    priority: u32,
+    min: u32,
+    max: u32,
+    grid: usize,
+    iters: u64,
+) -> CharmJobSpec {
     CharmJobSpec {
         name: name.into(),
         min_replicas: min,

@@ -12,15 +12,24 @@ use elastic_hpc::apps::{JacobiApp, JacobiConfig};
 use elastic_hpc::charm::RuntimeConfig;
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
     let cfg = JacobiConfig::new(1024, 8, 8);
-    println!("evolving Jacobi2D {g}x{g}: starts on 1 PE, grows while it pays off", g = cfg.grid);
+    println!(
+        "evolving Jacobi2D {g}x{g}: starts on 1 PE, grows while it pays off",
+        g = cfg.grid
+    );
 
     let mut app = JacobiApp::new(cfg, RuntimeConfig::new(1));
     // Warm-up and baseline measurement.
     app.run_window(10).expect("warmup");
     let mut current_pes = 1usize;
-    let mut best_time = app.run_window(10).expect("window").time_per_iter().as_secs();
+    let mut best_time = app
+        .run_window(10)
+        .expect("window")
+        .time_per_iter()
+        .as_secs();
     println!("  p={current_pes:<3} t_iter={best_time:.6}s (baseline)");
 
     // Evolve: double the PEs while each doubling buys >= 25% speedup.
@@ -30,7 +39,11 @@ fn main() {
             break;
         }
         let report = app.driver.rescale(target);
-        let t = app.run_window(10).expect("window").time_per_iter().as_secs();
+        let t = app
+            .run_window(10)
+            .expect("window")
+            .time_per_iter()
+            .as_secs();
         let gain = best_time / t;
         println!(
             "  p={target:<3} t_iter={t:.6}s speedup x{gain:.2} (rescale overhead {:.3}s)",

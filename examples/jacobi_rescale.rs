@@ -9,8 +9,10 @@ use elastic_hpc::apps::{JacobiApp, JacobiConfig};
 use elastic_hpc::charm::{GreedyLb, RuntimeConfig};
 
 fn main() {
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
-    let high = cores.min(16).max(2);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let high = cores.clamp(2, 16);
     let low = (high / 2).max(1);
 
     let cfg = JacobiConfig::new(1024, 8, 8); // 64 blocks over-decomposed

@@ -26,12 +26,7 @@ fn main() {
     // A 4-node, 64-slot cluster — the paper's EKS testbed — on a
     // virtual clock, with jobs advanced by an ideal-speedup model.
     let clock = VirtualClock::new();
-    let plane = ControlPlane::with_nodes(
-        Arc::new(clock.clone()),
-        KubeletConfig::instant(),
-        4,
-        16,
-    );
+    let plane = ControlPlane::with_nodes(Arc::new(clock.clone()), KubeletConfig::instant(), 4, 16);
     let executor = ModelExecutor::ideal(plane.clock());
 
     // The paper's elastic policy: priority-based, rescaling running
@@ -65,7 +60,13 @@ fn main() {
 
     println!("scheduling events:");
     for ev in op.events.snapshot() {
-        println!("  t={:>8.1}s {:12} {:16} {}", ev.at.as_secs(), ev.subject, ev.kind, ev.message);
+        println!(
+            "  t={:>8.1}s {:12} {:16} {}",
+            ev.at.as_secs(),
+            ev.subject,
+            ev.kind,
+            ev.message
+        );
     }
     println!("\nrun metrics:\n  {}", metrics.table_row());
     println!("\nper-job outcomes:");

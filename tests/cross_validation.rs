@@ -25,20 +25,13 @@ use elastic_hpc::sim::{
 /// by the simulator's models.
 fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
     let workload = generate_workload(seed, 16);
-    let class_of: HashMap<String, SizeClass> = workload
-        .iter()
-        .map(|j| (j.name.clone(), j.class))
-        .collect();
+    let class_of: HashMap<String, SizeClass> =
+        workload.iter().map(|j| (j.name.clone(), j.class)).collect();
     let scaling = ScalingModel::default();
     let overhead = OverheadModel::default();
 
     let clock = VirtualClock::new();
-    let plane = ControlPlane::with_nodes(
-        Arc::new(clock.clone()),
-        KubeletConfig::instant(),
-        4,
-        16,
-    );
+    let plane = ControlPlane::with_nodes(Arc::new(clock.clone()), KubeletConfig::instant(), 4, 16);
     let classes = class_of.clone();
     let speed = {
         let scaling = scaling.clone();
@@ -164,6 +157,77 @@ fn engines_agree_on_policy_ordering() {
             "rigid-min should trail utilization: {table:?}"
         );
     }
+}
+
+/// The incremental in-place rescale must be *observationally identical*
+/// to the paper's checkpoint/restart protocol: same chare state
+/// bit-for-bit, same residuals, and a consistent location directory,
+/// through a shrink and an expand at different window boundaries.
+#[test]
+fn incremental_and_full_restart_rescales_are_equivalent() {
+    use elastic_hpc::apps::{JacobiApp, JacobiConfig};
+    use elastic_hpc::charm::{GreedyLb, RescaleMode, RuntimeConfig};
+
+    let cfg = JacobiConfig::new(48, 4, 4);
+    let blocks = cfg.num_blocks() as usize;
+    let mk = || JacobiApp::new(cfg, RuntimeConfig::new(3));
+    let mut inc = mk();
+    let mut full = mk();
+
+    // (window length, rescale target after the window; 0 = none)
+    let schedule = [(3u64, 2usize), (4, 5), (5, 0)];
+    for (iters, target) in schedule {
+        let r_inc = inc.run_window(iters).expect("incremental window");
+        let r_full = full.run_window(iters).expect("full-restart window");
+        // Residuals agree bit-for-bit: rescale never perturbed math.
+        assert_eq!(
+            r_inc.values[0].to_bits(),
+            r_full.values[0].to_bits(),
+            "residual diverged at window ending {}",
+            r_inc.end_iter
+        );
+        if target > 0 {
+            let a = inc
+                .driver
+                .rt
+                .rescale_with_mode(target, &GreedyLb, RescaleMode::Incremental);
+            let b = full
+                .driver
+                .rt
+                .rescale_with_mode(target, &GreedyLb, RescaleMode::FullRestart);
+            assert_eq!(a.to_pes, b.to_pes);
+            assert_eq!(inc.driver.num_pes(), target);
+            assert_eq!(full.driver.num_pes(), target);
+            // Location-manager consistency: every chare accounted for,
+            // nothing stranded beyond the new PE count.
+            for app in [&inc, &full] {
+                let occ = app.driver.rt.occupancy();
+                assert_eq!(occ.len(), target);
+                assert_eq!(occ.iter().sum::<usize>(), blocks);
+            }
+        }
+        // Checksums agree bit-for-bit after every phase.
+        let ci = inc.checksum().expect("inc checksum");
+        let cf = full.checksum().expect("full checksum");
+        assert_eq!(ci.to_bits(), cf.to_bits(), "checksum diverged");
+    }
+
+    // Full grids agree bit-for-bit with each other...
+    let gi = inc.gather_grid().expect("inc grid");
+    let gf = full.gather_grid().expect("full grid");
+    assert_eq!(gi.len(), gf.len());
+    for (i, (a, b)) in gi.iter().zip(&gf).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i} diverged");
+    }
+    // ...and with the serial reference, so both are *right*, not just
+    // identically wrong.
+    let total_iters: u64 = schedule.iter().map(|(w, _)| w).sum();
+    let reference = elastic_hpc::apps::jacobi::reference_jacobi(&cfg, total_iters);
+    for (i, (a, b)) in gi.iter().zip(&reference).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "cell {i} diverged from reference");
+    }
+    inc.shutdown();
+    full.shutdown();
 }
 
 #[test]

@@ -10,7 +10,7 @@ use elastic_hpc::core::{
 };
 use elastic_hpc::kube::{ControlPlane, KubeletConfig};
 use elastic_hpc::metrics::{Duration, RealClock};
-use elastic_hpc::sim::{SizeClass, generate_workload};
+use elastic_hpc::sim::{generate_workload, SizeClass};
 
 fn policy(gap_s: f64) -> Policy {
     Policy::elastic(PolicyConfig {

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the group/bencher API surface the workspace's benches use,
+//! measuring with plain wall-clock timing (median of a handful of
+//! samples) and printing one line per benchmark. No statistical
+//! analysis, plots or history — the numbers are for relative,
+//! same-machine comparison, which is all the repo's BENCH emitters use.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many measured samples each benchmark takes.
+const DEFAULT_SAMPLES: usize = 10;
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Registers a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{id}"), DEFAULT_SAMPLES, None, &mut f);
+        self
+    }
+
+    /// Criterion's post-run hook; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named set of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.clamp(2, 1000);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(label: &str, samples: usize, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let mut per_iter: Vec<f64> = bencher.samples.iter().map(|s| s.as_secs_f64()).collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+    match throughput {
+        Some(Throughput::Bytes(b)) if median > 0.0 => {
+            let gbps = b as f64 / median / 1e9;
+            println!(
+                "bench {label:<48} {:>12.3} us/iter  {gbps:>8.2} GB/s",
+                median * 1e6
+            );
+        }
+        Some(Throughput::Elements(e)) if median > 0.0 => {
+            let meps = e as f64 / median / 1e6;
+            println!(
+                "bench {label:<48} {:>12.3} us/iter  {meps:>8.2} Melem/s",
+                median * 1e6
+            );
+        }
+        _ => println!("bench {label:<48} {:>12.3} us/iter", median * 1e6),
+    }
+}
+
+/// Passed to bench closures; `iter` measures one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording mean time per call for this sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, then a batch sized to ~10ms or 10 calls.
+        let started = Instant::now();
+        let _ = black_box(routine());
+        let probe = started.elapsed();
+        let calls = if probe < Duration::from_millis(1) {
+            (Duration::from_millis(10).as_nanos() / probe.as_nanos().max(1)).clamp(1, 1000) as u32
+        } else {
+            1
+        };
+        let started = Instant::now();
+        for _ in 0..calls {
+            let _ = black_box(routine());
+        }
+        self.samples.push(started.elapsed() / calls);
+    }
+}
+
+/// An identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Units for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// An identity function the optimizer must assume is opaque.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("id", 4), &4u64, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("pack", 16).to_string(), "pack/16");
+        assert_eq!(
+            BenchmarkId::from_parameter("elastic").to_string(),
+            "elastic"
+        );
+    }
+}

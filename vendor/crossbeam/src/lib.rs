@@ -1,0 +1,221 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with the API subset this workspace
+//! uses — `unbounded`, `bounded`, `Sender`, `Receiver`, and the recv
+//! error types — implemented over `std::sync::mpsc`. The workspace only
+//! ever receives from one thread per channel, so mpsc semantics suffice.
+
+/// Multi-producer channels (std::sync::mpsc backed).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    // Unbounded and bounded senders have different std types; one
+    // wrapper enum keeps the public Sender type uniform.
+    enum SyncOrAsync<T> {
+        Async(mpsc::Sender<T>),
+        Sync(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SyncOrAsync<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SyncOrAsync::Async(s) => SyncOrAsync::Async(s.clone()),
+                SyncOrAsync::Sync(s) => SyncOrAsync::Sync(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: SyncOrAsync<T>,
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when all senders dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped and queue drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TryRecvError::Empty => write!(f, "receiving on an empty channel"),
+                TryRecvError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders dropped and queue drained.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => write!(f, "channel disconnected"),
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    impl<T> Sender<T> {
+        /// Sends `msg`, blocking if a bounded channel is full.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                SyncOrAsync::Async(s) => s.send(msg).map_err(|e| SendError(e.0)),
+                SyncOrAsync::Sync(s) => s.send(msg).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Returns a message if one is already queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// A blocking iterator over received messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: SyncOrAsync::Async(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: SyncOrAsync::Sync(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+
+    #[test]
+    fn unbounded_send_recv() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+    }
+
+    #[test]
+    fn disconnect_errors() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx, rx) = unbounded::<u32>();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_elapses() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn bounded_round_trip() {
+        let (tx, rx) = bounded(1);
+        tx.send("x").unwrap();
+        assert_eq!(rx.recv().unwrap(), "x");
+    }
+
+    #[test]
+    fn cloned_senders_share_channel() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(5).unwrap());
+        assert_eq!(rx.recv().unwrap(), 5);
+    }
+}

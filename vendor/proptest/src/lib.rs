@@ -1,0 +1,576 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A miniature property-testing framework with the same surface the
+//! workspace's tests use: the [`proptest!`] macro, [`Strategy`] values
+//! built from ranges / [`any`] / [`collection::vec`] /
+//! [`collection::btree_map`] / string literals, `prop_filter`, and the
+//! `prop_assert*` / `prop_assume!` macros. Unlike the registry crate it
+//! does no shrinking — a failing case panics with the assertion message
+//! — and runs a fixed 64 cases per property from a per-test
+//! deterministic seed.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! Deterministic RNG and case-level error plumbing.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure carrying `msg`.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError::Fail(msg)
+        }
+    }
+
+    /// The deterministic generator handed to strategies (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator seeded with `seed`.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The next random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Seeds the per-test generator from the test's name (stable across
+    /// runs — failures reproduce).
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Keeps only values satisfying `pred` (rejection sampling).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<F, U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter({}) rejected 10000 consecutive values",
+            self.reason
+        );
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + ((rng.next_u64() as u128) % span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((rng.next_u64() as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128) - (self.start as i128);
+                self.start + ((rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128) - (lo as i128) + 1;
+                lo + ((rng.next_u64() as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.next_unit()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        lo + (hi - lo) * rng.next_unit()
+    }
+}
+
+/// String strategies: a `&str` is treated as a generator of arbitrary
+/// short strings. (The registry crate interprets it as a regex; the
+/// workspace only ever uses the match-anything `".*"`, so arbitrary
+/// strings are a faithful substitution.)
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = rng.below(24);
+        let mut s = String::with_capacity(len);
+        while s.chars().count() < len {
+            // Bias towards ASCII but exercise multi-byte code points.
+            let c = if rng.below(4) == 0 {
+                char::from_u32(rng.next_u64() as u32 % 0x11_0000)
+            } else {
+                char::from_u32(0x20 + rng.next_u64() as u32 % 0x5f)
+            };
+            if let Some(c) = c {
+                s.push(c);
+            }
+        }
+        s
+    }
+}
+
+/// Types with a default "anything goes" strategy.
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod num {
+    //! Numeric strategies mirroring `proptest::num`.
+
+    pub mod f64 {
+        //! `f64` strategies.
+
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        /// Generates any bit pattern, including NaN and infinities.
+        pub struct AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                f64::from_bits(rng.next_u64())
+            }
+        }
+
+        /// Any `f64` whatsoever.
+        pub const ANY: AnyF64 = AnyF64;
+    }
+}
+
+/// A size specification for collection strategies: an exact count or a
+/// half-open range.
+pub trait SizeRange {
+    /// Picks a concrete size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        *self.start() + rng.below(self.end() - self.start() + 1)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies mirroring `proptest::collection`.
+
+    use std::collections::BTreeMap;
+
+    use crate::test_runner::TestRng;
+    use crate::{SizeRange, Strategy};
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// Generates vectors of `element` values with length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    /// Generates maps with `size` distinct keys.
+    pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            let mut attempts = 0usize;
+            while map.len() < n {
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+                attempts += 1;
+                assert!(
+                    attempts < 10_000,
+                    "btree_map key strategy cannot produce {n} distinct keys"
+                );
+            }
+            map
+        }
+    }
+}
+
+// Re-exported so `use proptest::prelude::*` pulls in everything tests
+// reference unqualified.
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Runs each contained `fn name(arg in strategy, ...) { body }` as a
+/// `#[test]` over 64 generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::TestRng::new(
+                    $crate::test_runner::seed_from_name(stringify!($name)),
+                );
+                let mut cases = 0u32;
+                let mut rejects = 0u32;
+                while cases < 64 {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => cases += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
+                            rejects += 1;
+                            assert!(rejects < 4096, "prop_assume rejected 4096 cases");
+                        }
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} falsified: {}", stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} == {:?}", l, r),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: {:?} != {:?}", l, r),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (inputs do not satisfy a precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let f = crate::Strategy::generate(&(-1.0f64..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+            let vec = crate::Strategy::generate(&crate::collection::vec(0u64..5, 2..4), &mut rng);
+            assert!(vec.len() == 2 || vec.len() == 3);
+            let map = crate::Strategy::generate(
+                &crate::collection::btree_map(0u32..1000, 0.0f64..1.0, 2..5),
+                &mut rng,
+            );
+            assert!((2..5).contains(&map.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn runner_executes_and_assumes(a in 0u64..100, b in any::<u64>()) {
+            prop_assume!(a != 50);
+            prop_assert!(a < 100);
+            prop_assert_ne!(a, 50);
+            let _ = b;
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the trait surface this workspace uses — [`RngCore`],
+//! [`SeedableRng`], [`Rng::gen_range`]/[`Rng::gen_bool`] and
+//! `seq::SliceRandom::shuffle` — with the same determinism contract
+//! (seeded generators reproduce bit-for-bit), but no claim of matching
+//! the registry crate's streams.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next random word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Generators constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A type that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` (inclusive) from `word`.
+    fn sample_inclusive(word: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(word: u64, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + ((word as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive(word: u64, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi);
+                let span = (hi as i128) - (lo as i128) + 1;
+                lo + ((word as i128).rem_euclid(span)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_signed!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive(word: u64, lo: Self, hi: Self) -> Self {
+        // 53-bit mantissa → uniform in [0, 1).
+        let unit = (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+/// A range a value can be drawn from (half-open or inclusive).
+pub trait SampleRange<T> {
+    /// Draws a value using `word`.
+    fn sample(self, word: u64) -> T;
+}
+
+impl<T: SampleUniform + One + std::ops::Sub<Output = T>> SampleRange<T> for Range<T> {
+    fn sample(self, word: u64) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(word, self.start, self.end - T::one())
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, word: u64) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        f64::sample_inclusive(word, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, word: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(word, lo, hi)
+    }
+}
+
+/// Unit value for computing inclusive upper bounds of half-open ranges.
+pub trait One {
+    /// The multiplicative identity.
+    fn one() -> Self;
+}
+
+macro_rules! impl_one {
+    ($($t:ty),*) => {$(impl One for $t { fn one() -> Self { 1 } })*};
+}
+
+impl_one!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related sampling.
+pub mod seq {
+    use super::RngCore;
+
+    /// Shuffling for slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Step(u64);
+
+    impl RngCore for Step {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Step(42);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&v));
+            let u: usize = rng.gen_range(0..4);
+            assert!(u < 4);
+            let f: f64 = rng.gen_range(0.0..400.0);
+            assert!((0.0..400.0).contains(&f));
+            let s: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Step(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        use seq::SliceRandom;
+        let mut v: Vec<u32> = (0..50).collect();
+        let mut rng = Step(3);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

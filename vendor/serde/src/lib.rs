@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as an
+//! annotation (no serialization is performed anywhere offline), so the
+//! derives expand to nothing. If a future PR needs real serialization,
+//! replace this shim with the registry crate.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
