@@ -5,7 +5,9 @@
 //! relevant scalability number.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use elastic_core::{ClusterView, JobState, Policy, PolicyConfig, PolicyKind};
+use elastic_core::{
+    ClusterView, FcfsBackfill, JobState, Policy, PolicyConfig, PolicyKind, SchedulingPolicy,
+};
 use hpc_metrics::{Duration, SimTime};
 
 fn view_with_jobs(n: usize) -> ClusterView {
@@ -49,15 +51,21 @@ fn bench_decisions(c: &mut Criterion) {
     let mut group = c.benchmark_group("policy");
     for &n in &[16usize, 128, 1024] {
         let view = view_with_jobs(n);
-        for kind in PolicyKind::ALL {
-            let policy = Policy::of_kind(kind, cfg);
+        // Every policy goes through the same trait surface the
+        // operator and the simulator use.
+        let mut policies: Vec<Box<dyn SchedulingPolicy>> = PolicyKind::ALL
+            .into_iter()
+            .map(|kind| Box::new(Policy::of_kind(kind, cfg)) as Box<dyn SchedulingPolicy>)
+            .collect();
+        policies.push(Box::new(FcfsBackfill::new()));
+        for policy in &policies {
             group.bench_with_input(
-                BenchmarkId::new(format!("on_submit/{kind}"), n),
+                BenchmarkId::new(format!("on_submit/{}", policy.name()), n),
                 &view,
                 |b, v| b.iter(|| policy.on_submit(v, "new", now)),
             );
         }
-        let policy = Policy::elastic(cfg);
+        let policy: Box<dyn SchedulingPolicy> = Box::new(Policy::elastic(cfg));
         group.bench_with_input(BenchmarkId::new("on_complete/elastic", n), &view, |b, v| {
             b.iter(|| policy.on_complete(v, now))
         });

@@ -4,29 +4,33 @@
 //! bench keeps a whole-run cost budget on the simulator.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use elastic_core::{Policy, PolicyConfig, PolicyKind};
+use elastic_core::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPolicy};
 use hpc_metrics::Duration;
 use sched_sim::{generate_workload, simulate, SimConfig};
 
 fn bench_sim(c: &mut Criterion) {
-    let cfg_for = |kind: PolicyKind| {
-        SimConfig::paper_default(
-            Policy::of_kind(
-                kind,
-                PolicyConfig {
-                    rescale_gap: Duration::from_secs(180.0),
-                    launcher_slots: 1,
-                    shrink_spares_head: true,
-                },
-            ),
-            Duration::from_secs(90.0),
-        )
+    let boxed = |kind: PolicyKind| -> Box<dyn SchedulingPolicy> {
+        Box::new(Policy::of_kind(
+            kind,
+            PolicyConfig {
+                rescale_gap: Duration::from_secs(180.0),
+                launcher_slots: 1,
+                shrink_spares_head: true,
+            },
+        ))
+    };
+    let cfg_for = |policy: Box<dyn SchedulingPolicy>| {
+        SimConfig::paper_default(policy, Duration::from_secs(90.0))
     };
     let mut group = c.benchmark_group("simulate_16_jobs");
-    for kind in PolicyKind::ALL {
-        let cfg = cfg_for(kind);
+    let mut policies: Vec<Box<dyn SchedulingPolicy>> =
+        PolicyKind::ALL.into_iter().map(boxed).collect();
+    policies.push(Box::new(FcfsBackfill::new()));
+    for policy in policies {
+        let name = policy.name();
+        let cfg = cfg_for(policy);
         let wl = generate_workload(0, 16);
-        group.bench_with_input(BenchmarkId::from_parameter(kind), &wl, |b, wl| {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &wl, |b, wl| {
             b.iter(|| simulate(&cfg, wl))
         });
     }
@@ -34,7 +38,7 @@ fn bench_sim(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("simulate_scaling");
     for &jobs in &[16usize, 64, 256] {
-        let cfg = cfg_for(PolicyKind::Elastic);
+        let cfg = cfg_for(boxed(PolicyKind::Elastic));
         let wl = generate_workload(0, jobs);
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &wl, |b, wl| {
             b.iter(|| simulate(&cfg, wl))

@@ -168,7 +168,7 @@ pub fn run_campaign(kind: PolicyKind, seed: u64, compression: f64, full: bool) -
             shrink_spares_head: true,
         },
     );
-    let mut op = CharmOperator::new(plane, policy, Box::new(CharmExecutor));
+    let mut op = CharmOperator::new(plane, Box::new(policy), Box::new(CharmExecutor));
     let schedule = Schedule::every(scaled_jobs(seed, full), Duration::from_secs(90.0));
     let metrics = run_real(
         &mut op,

@@ -29,7 +29,7 @@ fn run_variant(v: &Variant, seeds: u64) -> (f64, f64, f64, f64) {
     for seed in 0..seeds {
         let wl = generate_workload(seed, 16);
         let cfg = SimConfig::paper_default(
-            Policy::of_kind(PolicyKind::Elastic, v.cfg).with_aging(v.aging),
+            Box::new(Policy::of_kind(PolicyKind::Elastic, v.cfg).with_aging(v.aging)),
             Duration::from_secs(90.0),
         );
         let out = simulate(&cfg, &wl);

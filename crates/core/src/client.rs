@@ -1,0 +1,370 @@
+//! The typed scheduler client.
+//!
+//! [`SchedulerClient`] is the public control-plane API: everything a
+//! user-facing front end needs — submit, query, cancel, observe — and
+//! *nothing but the kube-style stores underneath*. The client never
+//! touches the operator in-process; it creates and mutates `CharmJob`
+//! objects, and the watch-driven reconciler reacts to the resulting
+//! store events exactly as a Kubernetes controller reacts to `kubectl`.
+//! That store-mediated indirection is what makes the surface safe to
+//! expose remotely later: the client is a thin handle over API calls,
+//! not a reference into scheduler internals.
+//!
+//! Obtain one with [`CharmOperator::client`]; handles are cheap to
+//! clone and thread-safe (they share the underlying store).
+//!
+//! [`CharmOperator::client`]: crate::operator::CharmOperator::client
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+use hpc_metrics::{Clock, SimTime};
+use kube_sim::{ApiError, Store, WatchEvent};
+
+use crate::crd::{CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
+
+/// A validated job identity returned by [`SchedulerClient::submit`]:
+/// the unique name plus the server-assigned uid (stable across status
+/// updates, never reused).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobId {
+    /// The job's unique name.
+    pub name: String,
+    /// Server-assigned uid.
+    pub uid: u64,
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.name, self.uid)
+    }
+}
+
+/// Errors surfaced by the client API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// The spec failed validation (bad replica bounds, …).
+    InvalidSpec(String),
+    /// A job with this name already exists.
+    AlreadyExists(String),
+    /// No such job.
+    NotFound(String),
+    /// The job already reached a terminal phase; cancelling it is
+    /// meaningless.
+    AlreadyTerminal(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+            ClientError::AlreadyExists(n) => write!(f, "job {n:?} already exists"),
+            ClientError::NotFound(n) => write!(f, "job {n:?} not found"),
+            ClientError::AlreadyTerminal(n) => write!(f, "job {n:?} already finished"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The typed client handle (see the module docs).
+#[derive(Clone)]
+pub struct SchedulerClient {
+    jobs: Store<CharmJob>,
+    clock: Arc<dyn Clock>,
+}
+
+impl SchedulerClient {
+    /// A client over `jobs`, timestamping submissions with `clock`.
+    pub fn new(jobs: Store<CharmJob>, clock: Arc<dyn Clock>) -> Self {
+        SchedulerClient { jobs, clock }
+    }
+
+    /// Submits `spec`: validates it, creates the CRD in the store, and
+    /// returns the job's identity. The reconciler picks the submission
+    /// up from the watch stream and runs the admission decision.
+    pub fn submit(&self, spec: CharmJobSpec) -> Result<JobId, ClientError> {
+        spec.validate().map_err(ClientError::InvalidSpec)?;
+        let name = spec.name.clone();
+        let stored = self
+            .jobs
+            .create(CharmJob::submitted(spec, self.clock.now()))
+            .map_err(|e| match e {
+                ApiError::AlreadyExists(n) => ClientError::AlreadyExists(n),
+                ApiError::NotFound(n) => ClientError::NotFound(n),
+            })?;
+        Ok(JobId {
+            name,
+            uid: stored.uid,
+        })
+    }
+
+    /// The job's current status, or `None` if it does not exist.
+    pub fn status(&self, name: &str) -> Option<CharmJobStatus> {
+        self.jobs.get(name).map(|s| s.obj.status)
+    }
+
+    /// The job's lifecycle phase, or `None` if it does not exist.
+    pub fn phase(&self, name: &str) -> Option<JobPhase> {
+        self.status(name).map(|s| s.phase)
+    }
+
+    /// Requests cancellation. The reconciler performs the actual
+    /// teardown (kill signal, pod deletion, slot reclaim) on its next
+    /// reconcile; observe completion via [`watch_events`] or
+    /// [`phase`] reaching [`JobPhase::Cancelled`].
+    ///
+    /// [`watch_events`]: SchedulerClient::watch_events
+    /// [`phase`]: SchedulerClient::phase
+    pub fn cancel(&self, name: &str) -> Result<(), ClientError> {
+        let stored = self
+            .jobs
+            .get(name)
+            .ok_or_else(|| ClientError::NotFound(name.to_string()))?;
+        if stored.obj.status.phase.is_terminal() {
+            return Err(ClientError::AlreadyTerminal(name.to_string()));
+        }
+        self.jobs
+            .update(name, |j| j.status.cancel_requested = true)
+            .map_err(|_| ClientError::NotFound(name.to_string()))?;
+        Ok(())
+    }
+
+    /// Opens a lifecycle event stream covering *future* transitions of
+    /// every job (submissions, starts, rescales, completions,
+    /// cancellations). Uses the store's atomic `list_watch`, so no
+    /// transition between "now" and the first poll can be missed.
+    pub fn watch_events(&self) -> JobEventStream {
+        let (snapshot, rx) = self.jobs.list_watch();
+        let known = snapshot
+            .into_iter()
+            .map(|s| {
+                let j = s.obj;
+                (j.spec.name.clone(), (j.status.phase, j.status.replicas))
+            })
+            .collect();
+        JobEventStream { rx, known }
+    }
+}
+
+/// What happened to a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEventKind {
+    /// Entered the queue.
+    Submitted,
+    /// The application launched.
+    Started,
+    /// The allocation changed to `replicas` workers.
+    Rescaled {
+        /// New worker count.
+        replicas: u32,
+    },
+    /// Finished normally.
+    Completed,
+    /// Torn down on client request.
+    Cancelled,
+}
+
+/// One lifecycle transition observed on the watch stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobEvent {
+    /// The job concerned.
+    pub job: String,
+    /// When the transition happened (from the job's status timestamps).
+    pub at: SimTime,
+    /// The transition.
+    pub kind: JobEventKind,
+}
+
+/// A pull-based lifecycle stream (see
+/// [`SchedulerClient::watch_events`]). Raw store events are folded into
+/// semantic transitions: phase changes become
+/// Submitted/Started/Completed/Cancelled, replica changes while running
+/// become [`JobEventKind::Rescaled`].
+pub struct JobEventStream {
+    rx: Receiver<WatchEvent<CharmJob>>,
+    known: HashMap<String, (JobPhase, u32)>,
+}
+
+impl JobEventStream {
+    /// The next pending lifecycle event, or `None` when the stream is
+    /// currently drained (more may arrive later).
+    pub fn try_next(&mut self) -> Option<JobEvent> {
+        while let Ok(ev) = self.rx.try_recv() {
+            let job = match ev {
+                WatchEvent::Added(s) | WatchEvent::Modified(s) => s.obj,
+                WatchEvent::Deleted(_) => continue,
+            };
+            let name = job.spec.name.clone();
+            let st = &job.status;
+            let prev = self.known.insert(name.clone(), (st.phase, st.replicas));
+            let kind = match (prev, st.phase) {
+                (None, JobPhase::Queued) => Some(JobEventKind::Submitted),
+                (Some((p, _)), JobPhase::Running) if p != JobPhase::Running => {
+                    Some(JobEventKind::Started)
+                }
+                (Some((p, _)), JobPhase::Completed) if p != JobPhase::Completed => {
+                    Some(JobEventKind::Completed)
+                }
+                (Some((p, _)), JobPhase::Cancelled) if p != JobPhase::Cancelled => {
+                    Some(JobEventKind::Cancelled)
+                }
+                (Some((JobPhase::Running, from)), JobPhase::Running) if from != st.replicas => {
+                    Some(JobEventKind::Rescaled {
+                        replicas: st.replicas,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                return Some(JobEvent {
+                    job: name,
+                    at: event_time(st, &kind),
+                    kind,
+                });
+            }
+        }
+        None
+    }
+
+    /// Drains every currently pending lifecycle event.
+    pub fn drain(&mut self) -> Vec<JobEvent> {
+        std::iter::from_fn(|| self.try_next()).collect()
+    }
+}
+
+fn event_time(st: &CharmJobStatus, kind: &JobEventKind) -> SimTime {
+    match kind {
+        JobEventKind::Submitted => st.submitted_at,
+        JobEventKind::Started => st.started_at.unwrap_or(st.submitted_at),
+        JobEventKind::Rescaled { .. } => st.last_action,
+        JobEventKind::Completed | JobEventKind::Cancelled => {
+            st.completed_at.unwrap_or(st.submitted_at)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crd::AppSpec;
+    use hpc_metrics::VirtualClock;
+
+    fn client() -> (SchedulerClient, Store<CharmJob>, VirtualClock) {
+        let clock = VirtualClock::new();
+        let jobs: Store<CharmJob> = Store::new();
+        (
+            SchedulerClient::new(jobs.clone(), Arc::new(clock.clone())),
+            jobs,
+            clock,
+        )
+    }
+
+    fn spec(name: &str, min: u32, max: u32) -> CharmJobSpec {
+        CharmJobSpec {
+            name: name.into(),
+            min_replicas: min,
+            max_replicas: max,
+            priority: 3,
+            app: AppSpec::Modeled { total_iters: 100 },
+        }
+    }
+
+    #[test]
+    fn submit_returns_validated_job_id() {
+        let (client, jobs, _) = client();
+        let id = client.submit(spec("j1", 2, 8)).unwrap();
+        assert_eq!(id.name, "j1");
+        assert_eq!(jobs.get("j1").unwrap().uid, id.uid);
+        assert_eq!(id.to_string(), format!("j1#{}", id.uid));
+        assert!(matches!(
+            client.submit(spec("j1", 2, 8)),
+            Err(ClientError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            client.submit(spec("bad", 8, 2)),
+            Err(ClientError::InvalidSpec(_))
+        ));
+        assert_eq!(client.phase("j1"), Some(JobPhase::Queued));
+        assert_eq!(client.phase("zzz"), None);
+    }
+
+    #[test]
+    fn cancel_marks_the_crd_and_rejects_terminal_jobs() {
+        let (client, jobs, _) = client();
+        assert!(matches!(
+            client.cancel("ghost"),
+            Err(ClientError::NotFound(_))
+        ));
+        client.submit(spec("j1", 2, 8)).unwrap();
+        client.cancel("j1").unwrap();
+        assert!(jobs.get("j1").unwrap().obj.status.cancel_requested);
+        jobs.update("j1", |j| j.status.phase = JobPhase::Cancelled)
+            .unwrap();
+        assert!(matches!(
+            client.cancel("j1"),
+            Err(ClientError::AlreadyTerminal(_))
+        ));
+    }
+
+    #[test]
+    fn watch_events_folds_store_events_into_lifecycle() {
+        let (client, jobs, clock) = client();
+        client.submit(spec("old", 1, 4)).unwrap();
+        let mut stream = client.watch_events();
+        // Pre-existing jobs produce no replayed events.
+        assert!(stream.try_next().is_none());
+
+        clock.advance(hpc_metrics::Duration::from_secs(5.0));
+        client.submit(spec("j1", 2, 8)).unwrap();
+        jobs.update("j1", |j| {
+            j.status.phase = JobPhase::Starting;
+            j.status.replicas = 8;
+        })
+        .unwrap();
+        jobs.update("j1", |j| {
+            j.status.phase = JobPhase::Running;
+            j.status.started_at = Some(SimTime::from_secs(6.0));
+        })
+        .unwrap();
+        jobs.update("j1", |j| {
+            j.status.replicas = 4;
+            j.status.last_action = SimTime::from_secs(9.0);
+        })
+        .unwrap();
+        jobs.update("j1", |j| {
+            j.status.phase = JobPhase::Completed;
+            j.status.completed_at = Some(SimTime::from_secs(20.0));
+        })
+        .unwrap();
+        let kinds: Vec<JobEventKind> = stream.drain().into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                JobEventKind::Submitted,
+                JobEventKind::Started,
+                JobEventKind::Rescaled { replicas: 4 },
+                JobEventKind::Completed,
+            ]
+        );
+    }
+
+    #[test]
+    fn cancellation_appears_on_the_stream() {
+        let (client, jobs, _) = client();
+        let mut stream = client.watch_events();
+        client.submit(spec("j1", 2, 8)).unwrap();
+        client.cancel("j1").unwrap();
+        jobs.update("j1", |j| {
+            j.status.phase = JobPhase::Cancelled;
+            j.status.completed_at = Some(SimTime::from_secs(3.0));
+        })
+        .unwrap();
+        let kinds: Vec<JobEventKind> = stream.drain().into_iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![JobEventKind::Submitted, JobEventKind::Cancelled]
+        );
+    }
+}

@@ -98,6 +98,15 @@ pub enum JobPhase {
     Running,
     /// Application finished; resources released.
     Completed,
+    /// Cancelled by the client before finishing; resources released.
+    Cancelled,
+}
+
+impl JobPhase {
+    /// `true` for the end-of-life phases a job never leaves.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobPhase::Completed | JobPhase::Cancelled)
+    }
 }
 
 /// Server-side job status.
@@ -118,8 +127,14 @@ pub struct CharmJobStatus {
     pub last_action: SimTime,
     /// First time the application actually started.
     pub started_at: Option<SimTime>,
-    /// Completion time.
+    /// Completion (or cancellation) time.
     pub completed_at: Option<SimTime>,
+    /// Set by [`SchedulerClient::cancel`]; the reconciler reacts to the
+    /// resulting watch event by tearing the job down (kill signal, pod
+    /// deletion, slot reclaim) and moving it to [`JobPhase::Cancelled`].
+    ///
+    /// [`SchedulerClient::cancel`]: crate::client::SchedulerClient::cancel
+    pub cancel_requested: bool,
 }
 
 impl CharmJobStatus {
@@ -133,6 +148,7 @@ impl CharmJobStatus {
             last_action: SimTime::NEG_INFINITY,
             started_at: None,
             completed_at: None,
+            cancel_requested: false,
         }
     }
 
@@ -204,6 +220,16 @@ mod tests {
         st.completed_at = Some(SimTime::from_secs(100.0));
         assert_eq!(st.response_time().unwrap().as_secs(), 15.0);
         assert_eq!(st.completion_time().unwrap().as_secs(), 90.0);
+    }
+
+    #[test]
+    fn terminal_phases() {
+        assert!(JobPhase::Completed.is_terminal());
+        assert!(JobPhase::Cancelled.is_terminal());
+        for phase in [JobPhase::Queued, JobPhase::Starting, JobPhase::Running] {
+            assert!(!phase.is_terminal());
+        }
+        assert!(!CharmJobStatus::submitted(SimTime::ZERO).cancel_requested);
     }
 
     #[test]

@@ -9,7 +9,13 @@
 //! * [`run_real`] — wall clock (optionally compressed), real
 //!   `charm-rt` jobs; used by the Fig. 9 / Table 1 "Actual" binaries.
 //!
+//! Both drivers submit through the public [`SchedulerClient`] — the
+//! store-mediated path every external consumer uses — so the bench
+//! binaries exercise the real control-plane API rather than an
+//! operator-internal shortcut.
+//!
 //! [`ModelExecutor`]: crate::executor::ModelExecutor
+//! [`SchedulerClient`]: crate::client::SchedulerClient
 
 use hpc_metrics::{Clock, Duration, VirtualClock};
 
@@ -50,13 +56,15 @@ pub fn run_virtual(
     max_time: Duration,
 ) -> RunMetrics {
     assert!(tick.as_secs() > 0.0, "tick must be positive");
+    let client = op.client();
     let start = clock.now();
     let mut next_submit = 0usize;
     loop {
         let now = clock.now();
         let elapsed = now - start;
         while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            op.submit(schedule.jobs[next_submit].clone())
+            client
+                .submit(schedule.jobs[next_submit].clone())
                 .expect("valid spec");
             next_submit += 1;
         }
@@ -83,6 +91,7 @@ pub fn run_real(
     max_time: Duration,
 ) -> RunMetrics {
     assert!(tick.as_secs() > 0.0, "tick must be positive");
+    let client = op.client();
     let clock = op.plane.clock();
     let start = clock.now();
     let mut next_submit = 0usize;
@@ -90,7 +99,8 @@ pub fn run_real(
         let now = clock.now();
         let elapsed = now - start;
         while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            op.submit(schedule.jobs[next_submit].clone())
+            client
+                .submit(schedule.jobs[next_submit].clone())
                 .expect("valid spec");
             next_submit += 1;
         }

@@ -2,27 +2,89 @@
 //!
 //! A CharmJob Kubernetes operator with a priority-based **elastic** job
 //! scheduling policy that rescales running jobs on the fly to maximize
-//! cluster utilization while minimizing response times for high-priority
-//! jobs, plus the three baselines it is evaluated against (rigid-min,
-//! rigid-max, moldable).
+//! cluster utilization while minimizing response times for
+//! high-priority jobs — plus the open control-plane API grown around
+//! it.
 //!
-//! Layering:
+//! ## The control-plane API
 //!
-//! * [`crd`] — the CharmJob custom resource (min/max replicas, priority,
-//!   app template, lifecycle status).
-//! * [`view`] — the [`ClusterView`]/[`Action`] interface: policies are
-//!   pure functions from views to actions, shared verbatim between the
-//!   live operator and the discrete-event simulator.
-//! * [`policy`] — the Fig. 2 / Fig. 3 algorithm and the four policy
-//!   kinds.
+//! Three typed surfaces compose the control plane; everything else in
+//! the workspace (DES simulator, bench binaries, examples) builds on
+//! them:
+//!
+//! * **[`SchedulingPolicy`]** — the open policy trait. A policy is a
+//!   pure function from a [`ClusterView`] to [`Action`]s, consulted on
+//!   submission (`on_submit`, paper Fig. 2), on freed slots
+//!   (`on_complete`, Fig. 3 — completions *and* cancellations), and
+//!   optionally on a periodic timer (`on_timer`). Built-ins: the
+//!   four-variant [`Policy`] (elastic / moldable / rigid-min /
+//!   rigid-max, §4.3) and [`FcfsBackfill`] (the FCFS+backfilling
+//!   baseline of the malleable-scheduling literature). The operator,
+//!   the simulator and the benches all take `Box<dyn SchedulingPolicy>`
+//!   — a fifth policy plugs in without touching any engine.
+//! * **[`CharmOperator`]** — the watch-driven reconciler. It subscribes
+//!   to the CharmJob and pod stores with the atomic
+//!   `Store::list_watch` and reconciles per event (admission on job
+//!   added, teardown on cancellation, launch progress on pod phase
+//!   changes) plus a timer pass for poll-only state (executor
+//!   acknowledgements, completions). `tick()` is a thin wrapper that
+//!   drains the event queues; `tick_polled()` keeps the legacy
+//!   full-scan drive so equivalence stays testable.
+//! * **[`SchedulerClient`]** — the typed client handle: `submit` →
+//!   validated [`JobId`], `status`/`phase`, `cancel`, and
+//!   `watch_events` (a lifecycle stream folded from raw store events).
+//!   The client talks *only* through the kube-style stores, exactly
+//!   like `kubectl` against a real API server, so the reconciler picks
+//!   its requests up from the same watch streams it already consumes.
+//!
+//! ## Plugging in a fifth policy
+//!
+//! ```
+//! use elastic_core::{Action, ClusterView, SchedulingPolicy};
+//! use hpc_metrics::SimTime;
+//!
+//! /// Admits every job at its minimum the moment it fits.
+//! struct MinFit;
+//!
+//! impl SchedulingPolicy for MinFit {
+//!     fn name(&self) -> String { "min_fit".into() }
+//!     fn launcher_slots(&self) -> u32 { 1 }
+//!     fn on_submit(&self, view: &ClusterView, job: &str, _now: SimTime) -> Vec<Action> {
+//!         let j = view.job(job).expect("submitted job is in the view");
+//!         if view.free_slots >= j.min_replicas + 1 {
+//!             vec![Action::Create { job: job.into(), replicas: j.min_replicas }]
+//!         } else {
+//!             vec![Action::Enqueue { job: job.into() }]
+//!         }
+//!     }
+//!     fn on_complete(&self, _view: &ClusterView, _now: SimTime) -> Vec<Action> {
+//!         Vec::new() // never redistributes
+//!     }
+//! }
+//! ```
+//!
+//! Pass `Box::new(MinFit)` to [`CharmOperator::new`] or
+//! `sched_sim::SimConfig` and both engines drive it through the same
+//! `apply_action` contract — behaviour cannot diverge between the
+//! Actual and Simulation columns of Table 1.
+//!
+//! ## Module layering
+//!
+//! * [`crd`] — the CharmJob custom resource (min/max replicas,
+//!   priority, app template, lifecycle status incl. cancellation).
+//! * [`view`] — the [`ClusterView`]/[`Action`] policy interface.
+//! * [`policy`] — [`SchedulingPolicy`] and the built-in policies.
+//! * [`client`] — [`SchedulerClient`], [`JobId`], lifecycle events.
 //! * [`executor`] — real (`charm-rt`) and modeled job execution.
-//! * [`operator`] — the reconciler binding policies to the `kube-sim`
-//!   control plane, with the paper's shrink/expand pod sequences.
-//! * [`harness`] — schedule drivers for virtual- and wall-clock runs.
+//! * [`operator`] — the watch-driven reconciler with the paper's
+//!   shrink/expand pod sequences.
+//! * [`harness`] — schedule drivers for virtual- and wall-clock runs
+//!   (submitting through the client API).
 //! * [`report`] — the Table 1 metrics.
 
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod crd;
 pub mod executor;
 pub mod harness;
@@ -31,10 +93,11 @@ pub mod policy;
 pub mod report;
 pub mod view;
 
+pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobId, SchedulerClient};
 pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
 pub use harness::{run_real, run_virtual, Schedule};
 pub use operator::CharmOperator;
-pub use policy::{Policy, PolicyConfig, PolicyKind};
+pub use policy::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPolicy};
 pub use report::{JobOutcome, RunMetrics};
 pub use view::{apply_action, Action, ClusterView, JobState};

@@ -1,29 +1,47 @@
 //! The CharmJob operator.
 //!
-//! The reconciler that turns policy decisions into cluster actions,
-//! mirroring the paper's modified MPI operator (§3.1–3.2):
+//! A *watch-driven* reconciler, mirroring the paper's modified MPI
+//! operator (§3.1–3.2) the way a real Kubernetes controller is built:
+//! the operator subscribes to the CharmJob store and the pod store with
+//! the atomic [`Store::list_watch`] and reacts to events —
 //!
-//! * **Create** — launcher pod + N worker pods + a nodelist ConfigMap;
-//!   the application launches once every pod is Running.
-//! * **Shrink** — CCS signal to the application first; *after the
-//!   acknowledgement* the excess pods are removed (paper §3.1's shrink
-//!   sequence).
-//! * **Expand** — new pods first, then the nodelist update, then the
-//!   CCS signal (paper §3.1's expand sequence).
+//! * **CharmJob added** — run the Fig. 2 admission decision.
+//! * **CharmJob modified with `cancel_requested`** — tear the job down
+//!   (kill signal, pod deletion, slot reclaim) and let the policy
+//!   redistribute the freed slots.
+//! * **Pod phase changed** — progress the owning job's launch or an
+//!   in-flight expand.
 //!
-//! Scheduling state (who holds how many slots) is kept on the CharmJob
-//! CRDs; pods converge to it asynchronously, exactly like a Kubernetes
-//! controller. The policy is consulted on job submission and job
-//! completion, per Figs. 2 and 3.
+//! plus a *timer pass* for the things only polling can observe (rescale
+//! acknowledgements and completions surface on executor handles, not in
+//! any store) and for policies that request periodic
+//! [`SchedulingPolicy::on_timer`] deadlines.
+//!
+//! Pod choreography follows the paper: **Create** is launcher pod +
+//! N worker pods + a nodelist ConfigMap; **Shrink** signals the
+//! application first and removes pods only after the acknowledgement;
+//! **Expand** creates pods first, updates the nodelist, then signals
+//! (§3.1's sequences). Scheduling state lives on the CharmJob CRDs; pods
+//! converge to it asynchronously.
+//!
+//! [`tick`](CharmOperator::tick) is a thin compatibility wrapper that
+//! drains the event queues once; [`tick_polled`](CharmOperator::tick_polled)
+//! preserves the legacy rebuild-the-world scan so the
+//! `watch_equivalence` test can prove the two drives produce identical
+//! [`RunMetrics`].
+//!
+//! [`Store::list_watch`]: kube_sim::Store::list_watch
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use crossbeam::channel::Receiver;
 use hpc_metrics::{SimTime, UtilizationRecorder};
-use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store};
+use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store, WatchEvent};
 
+use crate::client::SchedulerClient;
 use crate::crd::{CharmJob, CharmJobSpec, JobPhase};
 use crate::executor::{ExecHandle, ExecStatus, Executor};
-use crate::policy::Policy;
+use crate::policy::SchedulingPolicy;
 use crate::report::{JobOutcome, RunMetrics};
 use crate::view::{Action, ClusterView, JobState};
 
@@ -56,22 +74,45 @@ pub struct CharmOperator {
     pub jobs: Store<CharmJob>,
     /// Operator event log.
     pub events: EventLog,
-    policy: Policy,
+    policy: Box<dyn SchedulingPolicy>,
     executor: Box<dyn Executor>,
     handles: HashMap<String, Box<dyn ExecHandle>>,
     flows: HashMap<String, RescaleFlow>,
     util: UtilizationRecorder,
     rescale_count: u32,
+    cancel_count: u32,
+    /// Watch stream over the CharmJob store (admissions, cancellations).
+    jobs_rx: Receiver<WatchEvent<CharmJob>>,
+    /// Watch stream over the pod store (launch/expand progress).
+    pods_rx: Receiver<WatchEvent<Pod>>,
+    /// Jobs whose admission decision has already run — both drive modes
+    /// consult it so a submission is planned exactly once.
+    planned: HashSet<String>,
+    /// Next policy-timer deadline, if the policy requested one.
+    next_timer: Option<SimTime>,
 }
 
 impl CharmOperator {
     /// An operator over `plane` scheduling with `policy` and running
     /// jobs through `executor`.
-    pub fn new(plane: ControlPlane, policy: Policy, executor: Box<dyn Executor>) -> Self {
+    pub fn new(
+        plane: ControlPlane,
+        policy: Box<dyn SchedulingPolicy>,
+        executor: Box<dyn Executor>,
+    ) -> Self {
         let capacity = plane.capacity().max(1);
+        let jobs: Store<CharmJob> = Store::new();
+        // list+watch atomically: nothing submitted between "now" and the
+        // first reconcile can be missed (the jobs store is freshly
+        // created, so the snapshot is empty by construction; the pods
+        // snapshot is ignored because pods only exist once this operator
+        // creates them).
+        let (_, jobs_rx) = jobs.list_watch();
+        let (_, pods_rx) = plane.pods.list_watch();
+        let next_timer = policy.timer_interval().map(|iv| plane.now() + iv);
         CharmOperator {
             plane,
-            jobs: Store::new(),
+            jobs,
             events: EventLog::new(),
             policy,
             executor,
@@ -79,12 +120,17 @@ impl CharmOperator {
             flows: HashMap::new(),
             util: UtilizationRecorder::new(capacity),
             rescale_count: 0,
+            cancel_count: 0,
+            jobs_rx,
+            pods_rx,
+            planned: HashSet::new(),
+            next_timer,
         }
     }
 
     /// The active policy.
-    pub fn policy(&self) -> Policy {
-        self.policy
+    pub fn policy(&self) -> &dyn SchedulingPolicy {
+        self.policy.as_ref()
     }
 
     /// Rescale actions issued so far.
@@ -92,23 +138,30 @@ impl CharmOperator {
         self.rescale_count
     }
 
+    /// Jobs cancelled so far.
+    pub fn cancellations(&self) -> u32 {
+        self.cancel_count
+    }
+
     /// The utilization recorder (worker slots per job over time).
     pub fn utilization(&self) -> &UtilizationRecorder {
         &self.util
     }
 
-    /// Submits a job: stores the CRD and runs the Fig. 2 decision.
+    /// A typed client handle over this operator's job store. Clients
+    /// talk exclusively through the store; the reconciler reacts to the
+    /// watch events their calls generate.
+    pub fn client(&self) -> SchedulerClient {
+        SchedulerClient::new(self.jobs.clone(), self.plane.clock())
+    }
+
+    /// Submits a job through the client API and reconciles the
+    /// resulting watch event immediately, so the admission decision
+    /// runs at submission time (the behaviour scripts and tests relied
+    /// on before the client existed).
     pub fn submit(&mut self, spec: CharmJobSpec) -> Result<(), String> {
-        spec.validate()?;
-        let now = self.plane.now();
-        let name = spec.name.clone();
-        self.jobs
-            .create(CharmJob::submitted(spec, now))
-            .map_err(|e| e.to_string())?;
-        self.events.record(now, &name, "Submitted", "");
-        let view = self.build_view();
-        let actions = self.policy.on_submit(&view, &name, now);
-        self.apply_actions(&actions, now);
+        self.client().submit(spec).map_err(|e| e.to_string())?;
+        self.reconcile_job_events();
         Ok(())
     }
 
@@ -116,12 +169,12 @@ impl CharmOperator {
     /// converge to it asynchronously).
     pub fn build_view(&self) -> ClusterView {
         let capacity = self.plane.capacity();
-        let launcher = self.policy.cfg.launcher_slots;
+        let launcher = self.policy.launcher_slots();
         let mut jobs = Vec::new();
         let mut committed = 0u32;
         for stored in self.jobs.list() {
             let job = &stored.obj;
-            if job.status.phase == JobPhase::Completed {
+            if job.status.phase.is_terminal() {
                 continue;
             }
             let running = matches!(job.status.phase, JobPhase::Starting | JobPhase::Running);
@@ -160,6 +213,7 @@ impl CharmOperator {
                     self.events
                         .record(now, job, "Enqueued", "no resources available");
                 }
+                Action::Cancel { job } => self.cancel_job(job, now),
             }
         }
     }
@@ -295,40 +349,160 @@ impl CharmOperator {
         }
     }
 
-    /// One reconcile round: advance the control plane, launch ready
-    /// jobs, progress rescale flows, detect completions.
-    pub fn tick(&mut self) {
-        self.plane.tick();
-        let now = self.plane.now();
+    // -----------------------------------------------------------------
+    // Watch-driven reconciliation
+    // -----------------------------------------------------------------
 
-        // Launch applications whose pods are all running.
-        for stored in self.jobs.list() {
-            let job = stored.obj;
-            if job.status.phase != JobPhase::Starting {
-                continue;
-            }
-            let name = &job.spec.name;
-            let desired = job.status.desired_replicas as usize;
-            if self.plane.job_pods_running(name, PodRole::Worker, desired)
-                && self.plane.job_pods_running(name, PodRole::Launcher, 1)
-            {
-                let handle = self.executor.launch(&job.spec, job.status.desired_replicas);
-                self.handles.insert(name.clone(), handle);
-                self.jobs
-                    .update(name, |j| {
-                        j.status.phase = JobPhase::Running;
-                        j.status.replicas = j.status.desired_replicas;
-                        if j.status.started_at.is_none() {
-                            j.status.started_at = Some(now);
-                        }
-                    })
-                    .expect("job exists");
-                self.events.record(now, name, "Started", "");
+    /// Runs the admission decision for `name` exactly once.
+    fn plan_admission(&mut self, name: &str) {
+        if !self.planned.insert(name.to_string()) {
+            return;
+        }
+        let Some(stored) = self.jobs.get(name) else {
+            return;
+        };
+        if stored.obj.status.phase != JobPhase::Queued {
+            return;
+        }
+        let now = self.plane.now();
+        self.events.record(now, name, "Submitted", "");
+        if stored.obj.status.cancel_requested {
+            // Cancelled before the reconciler ever saw it.
+            self.cancel_job(name, now);
+            return;
+        }
+        let view = self.build_view();
+        let actions = self.policy.on_submit(&view, name, now);
+        self.apply_actions(&actions, now);
+    }
+
+    /// Tears `name` down: kill signal to the executor, pod and nodelist
+    /// deletion, slot reclaim — then lets the policy redistribute the
+    /// freed slots (cancellation frees capacity exactly like a
+    /// completion, so Fig. 3 applies).
+    fn cancel_job(&mut self, name: &str, now: SimTime) {
+        let Some(stored) = self.jobs.get(name) else {
+            return;
+        };
+        let phase = stored.obj.status.phase;
+        if phase.is_terminal() {
+            return;
+        }
+        self.cancel_count += 1;
+        if let Some(mut handle) = self.handles.remove(name) {
+            handle.stop(); // executor kill path
+        }
+        self.flows.remove(name);
+        for pod in self.plane.pods_of_job(name) {
+            self.plane.delete_pod(&pod.name);
+        }
+        let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
+        self.jobs
+            .update(name, |j| {
+                j.status.phase = JobPhase::Cancelled;
+                j.status.replicas = 0;
+                j.status.desired_replicas = 0;
+                j.status.completed_at = Some(now);
+            })
+            .expect("job exists");
+        self.planned.insert(name.to_string());
+        self.util.set(now, name, 0);
+        self.events.record(now, name, "Cancelled", "");
+        if phase != JobPhase::Queued {
+            // The job held slots: run the completion redistribution so
+            // the policy reassigns them in the same reconcile.
+            let view = self.build_view();
+            let actions = self.policy.on_complete(&view, now);
+            self.apply_actions(&actions, now);
+        }
+    }
+
+    /// Drains the CharmJob watch stream: plans new submissions (in
+    /// submission order) and executes cancellation requests.
+    fn reconcile_job_events(&mut self) {
+        let mut admissions: Vec<(SimTime, String)> = Vec::new();
+        let mut cancels: Vec<String> = Vec::new();
+        while let Ok(ev) = self.jobs_rx.try_recv() {
+            match ev {
+                WatchEvent::Added(s) => {
+                    if s.obj.status.phase == JobPhase::Queued {
+                        admissions.push((s.obj.status.submitted_at, s.obj.spec.name));
+                    }
+                }
+                WatchEvent::Modified(s) => {
+                    if s.obj.status.cancel_requested && !s.obj.status.phase.is_terminal() {
+                        cancels.push(s.obj.spec.name);
+                    }
+                }
+                WatchEvent::Deleted(_) => {}
             }
         }
+        admissions.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, name) in admissions {
+            self.plan_admission(&name);
+        }
+        let now = self.plane.now();
+        for name in cancels {
+            self.cancel_job(&name, now);
+        }
+    }
+
+    /// Drains the pod watch stream and progresses the *owning jobs*
+    /// only: launch checks for `Starting` jobs whose pods moved.
+    fn reconcile_pod_events(&mut self) {
+        let mut touched: Vec<String> = Vec::new();
+        while let Ok(ev) = self.pods_rx.try_recv() {
+            let pod = match ev {
+                WatchEvent::Added(s) | WatchEvent::Modified(s) | WatchEvent::Deleted(s) => s.obj,
+            };
+            if !touched.contains(&pod.owner) {
+                touched.push(pod.owner);
+            }
+        }
+        touched.sort();
+        for name in touched {
+            self.try_launch(&name);
+        }
+    }
+
+    /// Launches `name` if it is `Starting` and all its pods run.
+    fn try_launch(&mut self, name: &str) {
+        let Some(stored) = self.jobs.get(name) else {
+            return;
+        };
+        let job = stored.obj;
+        if job.status.phase != JobPhase::Starting {
+            return;
+        }
+        let desired = job.status.desired_replicas as usize;
+        if self.plane.job_pods_running(name, PodRole::Worker, desired)
+            && self.plane.job_pods_running(name, PodRole::Launcher, 1)
+        {
+            let now = self.plane.now();
+            let handle = self.executor.launch(&job.spec, job.status.desired_replicas);
+            self.handles.insert(name.to_string(), handle);
+            self.jobs
+                .update(name, |j| {
+                    j.status.phase = JobPhase::Running;
+                    j.status.replicas = j.status.desired_replicas;
+                    if j.status.started_at.is_none() {
+                        j.status.started_at = Some(now);
+                    }
+                })
+                .expect("job exists");
+            self.events.record(now, name, "Started", "");
+        }
+    }
+
+    /// The poll-only work no store event can deliver: rescale
+    /// acknowledgements, expand-pods-ready transitions, completions, and
+    /// the policy's periodic timer. Identical for both drive modes.
+    fn timer_pass(&mut self) {
+        let now = self.plane.now();
 
         // Progress rescale flows.
-        let flow_jobs: Vec<String> = self.flows.keys().cloned().collect();
+        let mut flow_jobs: Vec<String> = self.flows.keys().cloned().collect();
+        flow_jobs.sort();
         for name in flow_jobs {
             let flow = self.flows[&name];
             match flow {
@@ -383,14 +557,15 @@ impl CharmOperator {
             }
         }
 
-        // Detect completions.
-        let running: Vec<String> = self
+        // Detect completions (executor handles are poll-only).
+        let mut running: Vec<String> = self
             .jobs
             .list()
             .into_iter()
             .filter(|s| s.obj.status.phase == JobPhase::Running)
             .map(|s| s.obj.spec.name)
             .collect();
+        running.sort();
         for name in running {
             let finished = self
                 .handles
@@ -401,7 +576,84 @@ impl CharmOperator {
             }
         }
 
+        // Policy timer deadline.
+        if let Some(due) = self.next_timer {
+            if now >= due {
+                let interval = self.policy.timer_interval().expect("timer configured");
+                self.next_timer = Some(now + interval);
+                let view = self.build_view();
+                let actions = self.policy.on_timer(&view, now);
+                self.apply_actions(&actions, now);
+            }
+        }
+
         self.plane.reap_finished();
+    }
+
+    /// One reconcile round, watch-driven: drain job events (admissions,
+    /// cancellations), advance the control plane, drain pod events
+    /// (launch progress), then run the timer pass. This is the thin
+    /// compatibility wrapper the pre-watch `tick()` callers keep using.
+    pub fn tick(&mut self) {
+        self.reconcile_job_events();
+        self.plane.tick();
+        self.reconcile_pod_events();
+        self.timer_pass();
+    }
+
+    /// The legacy polled drive: ignores the watch streams entirely and
+    /// rebuilds the world by scanning the stores every round. Retained
+    /// so tests can assert the watch-driven path is observationally
+    /// identical (`watch_equivalence`).
+    pub fn tick_polled(&mut self) {
+        // Discard watch events — this drive mode rediscovers everything
+        // by scanning, and an unbounded queue would otherwise grow.
+        while self.jobs_rx.try_recv().is_ok() {}
+        while self.pods_rx.try_recv().is_ok() {}
+
+        // Full-store admission + cancellation scan.
+        let mut jobs: Vec<(SimTime, String, JobPhase, bool)> = self
+            .jobs
+            .list()
+            .into_iter()
+            .map(|s| {
+                (
+                    s.obj.status.submitted_at,
+                    s.obj.spec.name,
+                    s.obj.status.phase,
+                    s.obj.status.cancel_requested,
+                )
+            })
+            .collect();
+        jobs.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        for (_, name, phase, _) in &jobs {
+            if *phase == JobPhase::Queued && !self.planned.contains(name) {
+                self.plan_admission(name);
+            }
+        }
+        let now = self.plane.now();
+        for (_, name, phase, cancel) in &jobs {
+            if *cancel && !phase.is_terminal() {
+                self.cancel_job(name, now);
+            }
+        }
+
+        self.plane.tick();
+
+        // Full-store launch scan.
+        let mut starting: Vec<String> = self
+            .jobs
+            .list()
+            .into_iter()
+            .filter(|s| s.obj.status.phase == JobPhase::Starting)
+            .map(|s| s.obj.spec.name)
+            .collect();
+        starting.sort();
+        for name in starting {
+            self.try_launch(&name);
+        }
+
+        self.timer_pass();
     }
 
     fn complete_job(&mut self, name: &str, now: SimTime) {
@@ -428,14 +680,15 @@ impl CharmOperator {
         self.apply_actions(&actions, now);
     }
 
-    /// `true` once every submitted job has completed.
+    /// `true` once every submitted job reached a terminal phase
+    /// (completed or cancelled).
     pub fn all_complete(&self) -> bool {
         !self.jobs.is_empty()
             && self
                 .jobs
                 .list()
                 .iter()
-                .all(|s| s.obj.status.phase == JobPhase::Completed)
+                .all(|s| s.obj.status.phase.is_terminal())
     }
 
     /// Jobs currently queued (submitted but never started).
@@ -448,12 +701,17 @@ impl CharmOperator {
             .collect()
     }
 
-    /// Final run metrics; call after [`CharmOperator::all_complete`].
+    /// Final run metrics over the jobs that completed normally
+    /// (cancelled jobs hold no meaningful response/completion times);
+    /// call after [`CharmOperator::all_complete`].
     pub fn metrics(&self) -> RunMetrics {
         let mut outcomes = Vec::new();
         let mut last_complete = SimTime::ZERO;
         for stored in self.jobs.list() {
             let j = &stored.obj;
+            if j.status.phase != JobPhase::Completed {
+                continue;
+            }
             let (Some(started), Some(completed)) = (j.status.started_at, j.status.completed_at)
             else {
                 continue;
@@ -467,17 +725,24 @@ impl CharmOperator {
                 completed_at: completed,
             });
         }
+        if outcomes.is_empty() {
+            // Every job was cancelled: nothing completed, nothing to
+            // aggregate.
+            return RunMetrics::empty(self.policy.name(), self.rescale_count);
+        }
+        // The store lists in hash order; sort so metrics (and the float
+        // accumulation inside them) are reproducible run to run.
+        outcomes.sort_by(|a, b| {
+            a.submitted_at
+                .cmp(&b.submitted_at)
+                .then_with(|| a.name.cmp(&b.name))
+        });
         let first_submit = outcomes
             .iter()
             .map(|o| o.submitted_at)
             .min()
             .unwrap_or(SimTime::ZERO);
         let util = self.util.average_utilization(first_submit, last_complete);
-        RunMetrics::from_outcomes(
-            self.policy.kind.to_string(),
-            outcomes,
-            util,
-            self.rescale_count,
-        )
+        RunMetrics::from_outcomes(self.policy.name(), outcomes, util, self.rescale_count)
     }
 }

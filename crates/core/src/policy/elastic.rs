@@ -752,6 +752,62 @@ mod tests {
             }
         }
 
+        /// §4.3.2's equivalence, action for action: the moldable
+        /// scheduler IS the elastic scheduler with `T_rescale_gap = ∞`,
+        /// on arbitrary views, for both decision points.
+        #[test]
+        fn moldable_equals_elastic_with_infinite_gap(
+            free in 0u32..=64,
+            njobs in 0usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut jobs = Vec::new();
+            let mut used = 0u32;
+            for i in 0..njobs {
+                let min = rng.gen_range(1..=8);
+                let max = rng.gen_range(min..=min + 24);
+                let queued = rng.gen_bool(0.3);
+                if queued {
+                    jobs.push(job(&format!("q{i}"), rng.gen_range(1..=5), i as f64, min, max));
+                } else {
+                    let reps = rng.gen_range(min..=max);
+                    if used + reps + 1 > 64 {
+                        continue;
+                    }
+                    used += reps + 1;
+                    jobs.push(running(
+                        job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                        reps,
+                        rng.gen_range(0.0..400.0),
+                    ));
+                }
+            }
+            let free = free.min(64 - used);
+            let nmin = rng.gen_range(1..=16);
+            let nmax = rng.gen_range(nmin..=nmin + 32);
+            jobs.push(job("new", rng.gen_range(1..=5), 999.0, nmin, nmax));
+            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let now = t(rng.gen_range(0.0..2000.0));
+
+            let moldable = Policy::moldable(cfg(180.0));
+            let mut inf = cfg(180.0);
+            inf.rescale_gap = Duration::INFINITY;
+            let elastic_inf = Policy::elastic(inf);
+
+            prop_assert_eq!(
+                moldable.on_submit(&v, "new", now),
+                elastic_inf.on_submit(&v, "new", now),
+                "on_submit diverged"
+            );
+            prop_assert_eq!(
+                moldable.on_complete(&v, now),
+                elastic_inf.on_complete(&v, now),
+                "on_complete diverged"
+            );
+        }
+
         /// Completion planning never over-allocates and never violates
         /// max bounds, for all policy kinds.
         #[test]

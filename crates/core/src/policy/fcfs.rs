@@ -1,0 +1,330 @@
+//! First-come-first-served with min-footprint backfilling.
+//!
+//! The reference baseline of the batch-scheduling literature (the
+//! FCFS+backfilling configurations of Zojer et al. and the *Kub*
+//! elasticity comparison): jobs start strictly in submission order, and
+//! when the queue head does not fit, later jobs may *backfill* into the
+//! leftover slots at their minimum footprint. Without walltime
+//! estimates a true EASY/conservative reservation is impossible, so the
+//! backfill is reservation-less — and guarded against the starvation
+//! that implies: once the blocked head has waited longer than
+//! [`FcfsBackfill::backfill_patience`], backfilling pauses entirely
+//! until the head starts (every freed slot then accumulates for it).
+//! Unlike the paper's elastic policy this scheduler ignores priorities
+//! entirely and never rescales a running job.
+//!
+//! `FcfsBackfill` exists to prove the [`SchedulingPolicy`] surface is
+//! genuinely open: it shares no code with the Fig. 2 / Fig. 3 algorithm
+//! yet runs unmodified through the operator, the DES engine and the
+//! bench binaries.
+
+use hpc_metrics::{Duration, SimTime};
+
+use crate::view::{Action, ClusterView, JobState};
+
+use super::SchedulingPolicy;
+
+/// FCFS + min-footprint backfilling with a starvation guard (see the
+/// module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcfsBackfill {
+    /// Slots consumed by a job's launcher pod (same accounting as
+    /// [`PolicyConfig::launcher_slots`](super::PolicyConfig)).
+    pub launcher_slots: u32,
+    /// How long the blocked queue head may wait before backfilling is
+    /// suspended on its behalf. `Duration::INFINITY` disables the
+    /// guard (pure reservation-less backfill).
+    pub backfill_patience: Duration,
+}
+
+impl Default for FcfsBackfill {
+    fn default() -> Self {
+        FcfsBackfill {
+            launcher_slots: 1,
+            backfill_patience: Duration::from_secs(600.0),
+        }
+    }
+}
+
+impl FcfsBackfill {
+    /// The standard configuration (one launcher slot per job, 600 s of
+    /// backfill patience).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// One pass over the queue in submission order. Head-of-queue jobs
+    /// are sized greedily up to their maximum; once a job does not fit
+    /// the queue is *blocked* and later jobs only start at their
+    /// minimum footprint — unless the head has outwaited
+    /// `backfill_patience`, in which case nothing backfills and freed
+    /// slots drain toward the head.
+    fn schedule_pass(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        let launcher = i64::from(self.launcher_slots);
+        let cap_workers = i64::from(view.capacity.saturating_sub(self.launcher_slots).max(1));
+        let mut free = i64::from(view.free_slots);
+        let mut queued: Vec<&JobState> = view.jobs.iter().filter(|j| !j.running).collect();
+        queued.sort_by(|a, b| {
+            a.submitted_at
+                .cmp(&b.submitted_at)
+                .then_with(|| a.name.cmp(&b.name))
+        });
+        let mut actions = Vec::new();
+        let mut blocked = false;
+        for j in queued {
+            let mn = i64::from(j.min_replicas);
+            let mx = i64::from(j.max_replicas).min(cap_workers);
+            if mn > cap_workers {
+                // Can never run on this cluster; skipping keeps it from
+                // wedging the whole queue forever.
+                continue;
+            }
+            if !blocked && free - launcher >= mn {
+                let replicas = (free - launcher).min(mx);
+                actions.push(Action::Create {
+                    job: j.name.clone(),
+                    replicas: replicas as u32,
+                });
+                free -= replicas + launcher;
+            } else {
+                if !blocked && now - j.submitted_at > self.backfill_patience {
+                    // Starvation guard: the head has waited long
+                    // enough; stop backfilling so frees accumulate.
+                    break;
+                }
+                blocked = true;
+                if free - launcher >= mn {
+                    actions.push(Action::Create {
+                        job: j.name.clone(),
+                        replicas: j.min_replicas,
+                    });
+                    free -= mn + launcher;
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl SchedulingPolicy for FcfsBackfill {
+    fn name(&self) -> String {
+        "fcfs_backfill".to_string()
+    }
+
+    fn launcher_slots(&self) -> u32 {
+        self.launcher_slots
+    }
+
+    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action> {
+        let mut actions = self.schedule_pass(view, now);
+        if !actions
+            .iter()
+            .any(|a| matches!(a, Action::Create { job: j, .. } if j == job))
+        {
+            actions.push(Action::Enqueue {
+                job: job.to_string(),
+            });
+        }
+        actions
+    }
+
+    fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        self.schedule_pass(view, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::apply_action;
+
+    fn queued(name: &str, submitted: f64, min: u32, max: u32) -> JobState {
+        JobState {
+            name: name.into(),
+            min_replicas: min,
+            max_replicas: max,
+            priority: 3,
+            submitted_at: SimTime::from_secs(submitted),
+            replicas: 0,
+            last_action: SimTime::NEG_INFINITY,
+            running: false,
+        }
+    }
+
+    fn running(name: &str, submitted: f64, replicas: u32) -> JobState {
+        JobState {
+            replicas,
+            running: true,
+            last_action: SimTime::from_secs(submitted),
+            ..queued(name, submitted, 1, replicas)
+        }
+    }
+
+    fn t0() -> SimTime {
+        SimTime::ZERO
+    }
+
+    #[test]
+    fn head_of_queue_gets_greedy_sizing() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 64,
+            jobs: vec![queued("a", 0.0, 4, 32)],
+        };
+        assert_eq!(
+            pol.on_submit(&view, "a", t0()),
+            vec![Action::Create {
+                job: "a".into(),
+                replicas: 32
+            }]
+        );
+    }
+
+    #[test]
+    fn strict_submission_order_ignores_priority() {
+        let pol = FcfsBackfill::new();
+        let mut early = queued("late-name-early-submit", 1.0, 4, 8);
+        early.priority = 1;
+        let mut late = queued("a-high-prio", 2.0, 4, 8);
+        late.priority = 5;
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 10,
+            jobs: vec![late, early],
+        };
+        let actions = pol.on_complete(&view, t0());
+        // Only the earlier submission fits (10 free: 8+1 leaves 1);
+        // the higher-priority later job must wait.
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: "late-name-early-submit".into(),
+                replicas: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn blocked_head_limits_backfill_to_min_footprint() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 10,
+            jobs: vec![
+                running("r", 0.0, 53),
+                queued("big", 1.0, 16, 32), // head: needs 17, only 10 free
+                queued("small", 2.0, 2, 8), // backfills at min, not max
+            ],
+        };
+        let actions = pol.on_complete(&view, t0());
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: "small".into(),
+                replicas: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn starvation_guard_suspends_backfill_for_an_old_head() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 10,
+            jobs: vec![
+                running("r", 0.0, 53),
+                queued("big", 1.0, 16, 32), // blocked head
+                queued("small", 2.0, 2, 8), // would backfill
+            ],
+        };
+        // Within patience: the small job backfills.
+        let within = pol.on_complete(&view, SimTime::from_secs(100.0));
+        assert!(matches!(&within[0], Action::Create { job, .. } if job == "small"));
+        // Head has outwaited the 600 s patience: nothing backfills, the
+        // freed slots drain toward the head.
+        let beyond = pol.on_complete(&view, SimTime::from_secs(700.0));
+        assert!(
+            beyond.is_empty(),
+            "backfill must pause for the starving head, got {beyond:?}"
+        );
+        // Disabling the guard restores pure reservation-less backfill.
+        let pure = FcfsBackfill {
+            backfill_patience: Duration::INFINITY,
+            ..FcfsBackfill::new()
+        };
+        let still = pure.on_complete(&view, SimTime::from_secs(700.0));
+        assert!(matches!(&still[0], Action::Create { job, .. } if job == "small"));
+    }
+
+    #[test]
+    fn never_rescales_and_never_cancels() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 40,
+            jobs: vec![running("r", 0.0, 23)],
+        };
+        // Plenty of free room, but a running job is never touched.
+        assert!(pol.on_complete(&view, t0()).is_empty());
+    }
+
+    #[test]
+    fn impossible_job_is_skipped_without_wedging_the_queue() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 8,
+            free_slots: 8,
+            jobs: vec![queued("huge", 0.0, 64, 64), queued("ok", 1.0, 2, 4)],
+        };
+        let actions = pol.on_complete(&view, t0());
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: "ok".into(),
+                replicas: 4
+            }]
+        );
+    }
+
+    #[test]
+    fn submitted_job_that_cannot_start_is_enqueued() {
+        let pol = FcfsBackfill::new();
+        let view = ClusterView {
+            capacity: 64,
+            free_slots: 2,
+            jobs: vec![running("r", 0.0, 61), queued("new", 1.0, 4, 8)],
+        };
+        assert_eq!(
+            pol.on_submit(&view, "new", t0()),
+            vec![Action::Enqueue { job: "new".into() }]
+        );
+    }
+
+    #[test]
+    fn emitted_actions_are_always_applicable() {
+        // Greedy head + backfill bookkeeping must respect capacity and
+        // bounds for arbitrary queue shapes; apply_action panics if not.
+        let pol = FcfsBackfill::new();
+        for free in 0..=32u32 {
+            let mut jobs = vec![running("r", 0.0, 64 - 1 - free)];
+            for i in 0..6 {
+                jobs.push(queued(
+                    &format!("q{i}"),
+                    1.0 + f64::from(i),
+                    1 + i % 5,
+                    4 + i * 3,
+                ));
+            }
+            let mut view = ClusterView {
+                capacity: 64,
+                free_slots: free,
+                jobs,
+            };
+            for action in pol.on_complete(&view, t0()) {
+                apply_action(&mut view, &action, t0(), 1);
+            }
+        }
+    }
+}

@@ -1,24 +1,86 @@
-//! The four scheduling policies.
+//! Scheduling policies: the open [`SchedulingPolicy`] trait and its
+//! built-in implementations.
 //!
-//! One algorithm serves all four schedulers the paper compares (§4.3),
-//! exactly as the paper's own experiments emulate them:
+//! A policy is *pure*: it reads a [`ClusterView`] and emits [`Action`]s;
+//! the live operator and the discrete-event simulator apply them through
+//! the same `apply_action`, so policy behaviour cannot diverge between
+//! the Actual and Simulation columns of Table 1. Anything implementing
+//! [`SchedulingPolicy`] plugs into the operator, the simulator and the
+//! bench harnesses as a `Box<dyn SchedulingPolicy>`.
 //!
-//! * **Elastic** — the full Fig. 2 / Fig. 3 priority-based algorithm.
-//! * **Moldable** — elastic with `T_rescale_gap = ∞`: jobs are sized at
-//!   admission to maximize utilization but never rescaled (§4.3.2).
-//! * **Rigid-min / Rigid-max** — elastic with `min = max = {min,max}`
-//!   replicas for every job (§4.3.2).
+//! Built-ins:
 //!
-//! Policies are *pure*: they read a [`ClusterView`] and emit
-//! [`Action`]s; the live operator and the discrete-event simulator apply
-//! them through the same `apply_action`, so policy behaviour cannot
-//! diverge between the Actual and Simulation columns of Table 1.
+//! * [`Policy`] — one algorithm serving the four schedulers the paper
+//!   compares (§4.3), exactly as the paper's own experiments emulate
+//!   them: **Elastic** (the full Fig. 2 / Fig. 3 priority-based
+//!   algorithm), **Moldable** (elastic with `T_rescale_gap = ∞`,
+//!   §4.3.2), and **Rigid-min / Rigid-max** (elastic with
+//!   `min = max = {min,max}` replicas for every job, §4.3.2).
+//! * [`FcfsBackfill`] — the classic batch-queue baseline used by the
+//!   malleable-scheduling literature (Zojer et al.; Medeiros et al.,
+//!   *Kub*): strict submission order with conservative backfilling,
+//!   never a rescale.
 
 mod elastic;
+mod fcfs;
+
+pub use fcfs::FcfsBackfill;
 
 use hpc_metrics::{Duration, SimTime};
 
 use crate::view::{Action, ClusterView, JobState};
+
+/// A pluggable scheduling policy.
+///
+/// Implementations are consulted by the control plane at three points;
+/// each receives an immutable [`ClusterView`] (the *only* state a policy
+/// may read) and returns the [`Action`]s to apply, in order:
+///
+/// * [`on_submit`](SchedulingPolicy::on_submit) — a new job appeared in
+///   the queue (the view already contains it as a queued entry).
+/// * [`on_complete`](SchedulingPolicy::on_complete) — slots were freed
+///   (a job completed or was cancelled; the view no longer contains it).
+/// * [`on_timer`](SchedulingPolicy::on_timer) — a periodic deadline
+///   fired, if the policy asked for one via
+///   [`timer_interval`](SchedulingPolicy::timer_interval). This is how a
+///   policy acts without an external trigger (e.g. delayed promotion or
+///   aging sweeps).
+///
+/// Emitted actions must be *applicable*: respect the view's free slots,
+/// every job's replica bounds, and emit at most one action per job.
+/// `view::apply_action` panics on violations, and the property tests in
+/// this module enforce the contract for the built-ins.
+pub trait SchedulingPolicy: Send {
+    /// Label used for metrics rows and event logs (e.g. `"elastic"`).
+    fn name(&self) -> String;
+
+    /// Slots a running job's launcher pod consumes (the `−1` terms in
+    /// the paper's Fig. 2 arithmetic). Engines build their capacity
+    /// bookkeeping from this.
+    fn launcher_slots(&self) -> u32;
+
+    /// Scheduling decision when `job` is submitted (paper Fig. 2).
+    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action>;
+
+    /// Redistribution when slots free up — a job completed or was
+    /// cancelled (paper Fig. 3).
+    fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action>;
+
+    /// Periodic decision, fired every [`timer_interval`] by the
+    /// operator's timer. Default: no timer actions.
+    ///
+    /// [`timer_interval`]: SchedulingPolicy::timer_interval
+    fn on_timer(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        let _ = (view, now);
+        Vec::new()
+    }
+
+    /// How often [`on_timer`](SchedulingPolicy::on_timer) should fire;
+    /// `None` (the default) disables the timer entirely.
+    fn timer_interval(&self) -> Option<Duration> {
+        None
+    }
+}
 
 /// Knobs shared by all policy kinds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -183,6 +245,30 @@ impl Policy {
     /// job.
     pub fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
         elastic::plan_complete(self, view, now)
+    }
+}
+
+impl SchedulingPolicy for Policy {
+    fn name(&self) -> String {
+        self.kind.to_string()
+    }
+
+    fn launcher_slots(&self) -> u32 {
+        self.cfg.launcher_slots
+    }
+
+    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action> {
+        Policy::on_submit(self, view, job, now)
+    }
+
+    fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        Policy::on_complete(self, view, now)
+    }
+}
+
+impl From<Policy> for Box<dyn SchedulingPolicy> {
+    fn from(policy: Policy) -> Self {
+        Box::new(policy)
     }
 }
 

@@ -42,6 +42,21 @@ pub struct RunMetrics {
 }
 
 impl RunMetrics {
+    /// Metrics for a run in which no job completed normally (every job
+    /// was cancelled). All time aggregates are zero by definition;
+    /// `rescales` is still reported.
+    pub fn empty(policy: impl Into<String>, rescales: u32) -> RunMetrics {
+        RunMetrics {
+            policy: policy.into(),
+            total_time: 0.0,
+            utilization: 0.0,
+            weighted_response: 0.0,
+            weighted_completion: 0.0,
+            rescales,
+            jobs: Vec::new(),
+        }
+    }
+
     /// Computes the aggregate metrics from per-job outcomes plus the
     /// externally integrated utilization (the recorder owns slot
     /// accounting; see `hpc_metrics::UtilizationRecorder`).

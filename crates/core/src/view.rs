@@ -106,6 +106,12 @@ pub enum Action {
         /// Target job.
         job: String,
     },
+    /// Terminate `job` and release everything it holds (client
+    /// cancellation, or a policy evicting a job outright).
+    Cancel {
+        /// Target job.
+        job: String,
+    },
 }
 
 impl Action {
@@ -115,7 +121,8 @@ impl Action {
             Action::Create { job, .. }
             | Action::Expand { job, .. }
             | Action::Shrink { job, .. }
-            | Action::Enqueue { job } => job,
+            | Action::Enqueue { job }
+            | Action::Cancel { job } => job,
         }
     }
 }
@@ -193,6 +200,17 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
             j.last_action = now;
         }
         Action::Enqueue { .. } => {}
+        Action::Cancel { job } => {
+            let idx = view
+                .jobs
+                .iter()
+                .position(|j| j.name == *job)
+                .unwrap_or_else(|| panic!("cancel for unknown job {job}"));
+            let j = view.jobs.remove(idx);
+            if j.running {
+                view.free_slots += j.replicas + launcher_slots;
+            }
+        }
     }
 }
 
@@ -367,6 +385,35 @@ mod tests {
             1,
         );
         assert_eq!(view, before);
+    }
+
+    #[test]
+    fn cancel_frees_running_slots_and_removes_the_job() {
+        let mut view = ClusterView {
+            capacity: 32,
+            free_slots: 19,
+            jobs: vec![job("gone", 3, 0.0, 12), job("stays", 2, 1.0, 0)],
+        };
+        apply_action(
+            &mut view,
+            &Action::Cancel { job: "gone".into() },
+            SimTime::from_secs(5.0),
+            1,
+        );
+        assert_eq!(view.free_slots, 32, "12 workers + 1 launcher reclaimed");
+        assert!(view.job("gone").is_none());
+        assert!(view.job("stays").is_some());
+        // Cancelling a queued job frees nothing (it held nothing).
+        apply_action(
+            &mut view,
+            &Action::Cancel {
+                job: "stays".into(),
+            },
+            SimTime::from_secs(6.0),
+            1,
+        );
+        assert_eq!(view.free_slots, 32);
+        assert!(view.jobs.is_empty());
     }
 
     #[test]

@@ -33,7 +33,7 @@ fn cfg(gap_s: f64) -> PolicyConfig {
 fn make_operator(policy: Policy, clock: &VirtualClock) -> CharmOperator {
     let plane = ControlPlane::with_nodes(Arc::new(clock.clone()), KubeletConfig::instant(), 4, 16);
     let executor = ModelExecutor::ideal(plane.clock());
-    CharmOperator::new(plane, policy, Box::new(executor))
+    CharmOperator::new(plane, Box::new(policy), Box::new(executor))
 }
 
 fn tick() -> Duration {
@@ -241,7 +241,11 @@ fn real_jobs_through_operator_wall_clock() {
     use hpc_metrics::RealClock;
     let clock = Arc::new(RealClock::new());
     let plane = ControlPlane::with_nodes(clock, KubeletConfig::instant(), 1, 8);
-    let mut op = CharmOperator::new(plane, Policy::elastic(cfg(0.1)), Box::new(CharmExecutor));
+    let mut op = CharmOperator::new(
+        plane,
+        Box::new(Policy::elastic(cfg(0.1))),
+        Box::new(CharmExecutor),
+    );
     let mk = |name: &str| CharmJobSpec {
         name: name.into(),
         min_replicas: 1,

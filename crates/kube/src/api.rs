@@ -173,11 +173,26 @@ impl<T: Resource> Store<T> {
 
     /// Opens a watch stream; events for subsequent mutations are
     /// delivered in order. (No replay of existing state — callers list
-    /// first, like informers do.)
+    /// first, like informers do, or use [`Store::list_watch`] to get
+    /// both without a gap.)
     pub fn watch(&self) -> Receiver<WatchEvent<T>> {
         let (tx, rx) = unbounded();
         self.inner.lock().watchers.push(tx);
         rx
+    }
+
+    /// Returns the current state *and* a watch stream, atomically: every
+    /// mutation is either reflected in the snapshot or delivered on the
+    /// stream, never both and never neither. A separate `list()` +
+    /// `watch()` pair races — an object created between the two calls is
+    /// missing from the snapshot and produces no event. Informer-style
+    /// consumers (the CharmJob reconciler) must use this.
+    pub fn list_watch(&self) -> (Vec<Stored<T>>, Receiver<WatchEvent<T>>) {
+        let mut inner = self.inner.lock();
+        let snapshot = inner.objects.values().cloned().collect();
+        let (tx, rx) = unbounded();
+        inner.watchers.push(tx);
+        (snapshot, rx)
     }
 }
 
@@ -274,6 +289,63 @@ mod tests {
         let clone = store.clone();
         store.create(obj("a", 1)).unwrap();
         assert_eq!(clone.get("a").unwrap().obj.value, 1);
+    }
+
+    #[test]
+    fn list_watch_has_no_gap_and_no_overlap() {
+        let store: Store<Obj> = Store::new();
+        store.create(obj("a", 1)).unwrap();
+        store.create(obj("b", 2)).unwrap();
+        let (snapshot, rx) = store.list_watch();
+        store.create(obj("c", 3)).unwrap();
+        store.update("a", |o| o.value = 10).unwrap();
+        let mut seen: Vec<String> = snapshot.iter().map(|s| s.obj.name.clone()).collect();
+        seen.sort();
+        assert_eq!(seen, vec!["a", "b"], "snapshot is pre-watch state only");
+        assert!(matches!(rx.try_recv().unwrap(), WatchEvent::Added(s) if s.obj.name == "c"));
+        assert!(matches!(rx.try_recv().unwrap(), WatchEvent::Modified(s) if s.obj.value == 10));
+        assert!(rx.try_recv().is_err(), "no replay of snapshot objects");
+    }
+
+    #[test]
+    fn list_watch_atomic_under_concurrent_writes() {
+        // A writer thread creates 400 objects while the reader opens
+        // list_watch mid-stream: snapshot ∪ events must cover every
+        // object exactly once (the race a separate list()+watch() has).
+        let store: Store<Obj> = Store::new();
+        let writer = {
+            let store = store.clone();
+            std::thread::spawn(move || {
+                for i in 0..400 {
+                    store.create(obj(&format!("o{i}"), i)).unwrap();
+                    if i == 200 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        // Open mid-write (roughly); correctness does not depend on when.
+        std::thread::yield_now();
+        let (snapshot, rx) = store.list_watch();
+        writer.join().unwrap();
+        let mut names: Vec<String> = snapshot.iter().map(|s| s.obj.name.clone()).collect();
+        while let Ok(ev) = rx.try_recv() {
+            if let WatchEvent::Added(s) = ev {
+                names.push(s.obj.name.clone());
+            }
+        }
+        names.sort();
+        assert_eq!(
+            names.len(),
+            400,
+            "every object exactly once (no gap, no overlap)"
+        );
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            400,
+            "no duplicates between snapshot and stream"
+        );
     }
 
     #[test]

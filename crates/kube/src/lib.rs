@@ -12,7 +12,7 @@
 //! * [`scheduler`] — a filter/score pod scheduler with the pod-affinity
 //!   behaviour the paper adds to the MPI operator (§3.1).
 //! * [`kubelet`] — pod start/termination latency model.
-//! * [`cluster`] — the assembled [`ControlPlane`](cluster::ControlPlane)
+//! * [`cluster`] — the assembled [`ControlPlane`]
 //!   with the capacity arithmetic policies consume.
 //! * [`events`] — an event log for observability and tests.
 //!

@@ -11,11 +11,11 @@
 //!
 //! Contents:
 //!
-//! * [`time`] — [`SimTime`](time::SimTime) instants and durations in
+//! * [`time`] — [`SimTime`] instants and durations in
 //!   seconds, totally ordered and hashable.
-//! * [`clock`] — the [`Clock`](clock::Clock) trait with a wall-clock
-//!   implementation ([`RealClock`](clock::RealClock)) and a manually
-//!   advanced one ([`VirtualClock`](clock::VirtualClock)).
+//! * [`clock`] — the [`Clock`] trait with a wall-clock
+//!   implementation ([`RealClock`]) and a manually
+//!   advanced one ([`VirtualClock`]).
 //! * [`interp`] — piecewise-linear interpolation (linear and log–log),
 //!   used to model strong-scaling curves and rescale overheads the same
 //!   way the paper's simulator does (§4.3.1).

@@ -1,14 +1,16 @@
 //! The discrete-event scheduling simulator.
 //!
-//! Drives the *same* policy code as the live operator
-//! (`elastic_core::Policy`) over an event timeline: job submissions
-//! arrive at a fixed gap; job progress integrates `rate(replicas)`
-//! between events; a rescale pauses progress for the modeled overhead
-//! window and re-schedules the job's completion. As in the paper's
+//! Drives the *same* policy code as the live operator (anything
+//! implementing `elastic_core::SchedulingPolicy`) over an event
+//! timeline: job submissions arrive at a fixed gap; job progress
+//! integrates `rate(replicas)` between events; a rescale pauses
+//! progress for the modeled overhead window and re-schedules the job's
+//! completion; a cancellation tears the job down mid-flight and lets
+//! the policy redistribute the freed slots. As in the paper's
 //! simulator, operator/Kubernetes pod-startup overhead is not modeled
 //! (§4.3.1).
 
-use elastic_core::{Action, ClusterView, JobOutcome, JobState, Policy, RunMetrics};
+use elastic_core::{Action, ClusterView, JobOutcome, JobState, RunMetrics, SchedulingPolicy};
 use hpc_metrics::{Duration, SimTime, UtilizationRecorder};
 
 use crate::events::{Event, EventQueue};
@@ -16,41 +18,47 @@ use crate::model::{OverheadModel, ScalingModel};
 use crate::workload::SimJobSpec;
 
 /// Simulation parameters.
-#[derive(Clone)]
 pub struct SimConfig {
     /// Cluster slots (the paper's testbed: 64).
     pub capacity: u32,
     /// The scheduling policy under test.
-    pub policy: Policy,
+    pub policy: Box<dyn SchedulingPolicy>,
     /// Gap between consecutive job submissions.
     pub submission_gap: Duration,
     /// Strong-scaling model.
     pub scaling: ScalingModel,
     /// Rescale-overhead model.
     pub overhead: OverheadModel,
+    /// Client cancellations to inject: `(time, job name)` — the DES
+    /// analogue of `SchedulerClient::cancel` (ignored for jobs not yet
+    /// submitted or already terminal at that time).
+    pub cancellations: Vec<(Duration, String)>,
 }
 
 impl SimConfig {
     /// The paper's default setup: 64 slots, calibrated models.
-    pub fn paper_default(policy: Policy, submission_gap: Duration) -> Self {
+    pub fn paper_default(policy: Box<dyn SchedulingPolicy>, submission_gap: Duration) -> Self {
         SimConfig {
             capacity: 64,
             policy,
             submission_gap,
             scaling: ScalingModel::default(),
             overhead: OverheadModel::default(),
+            cancellations: Vec::new(),
         }
     }
 }
 
 /// Full result of one simulation run.
 pub struct SimOutcome {
-    /// Aggregate metrics (Table 1 columns).
+    /// Aggregate metrics (Table 1 columns; completed jobs only).
     pub metrics: RunMetrics,
     /// Per-job slot allocation over time (Fig. 9 profiles).
     pub util: UtilizationRecorder,
     /// Number of rescale actions applied.
     pub rescales: u32,
+    /// Number of jobs cancelled before completing.
+    pub cancelled: u32,
 }
 
 struct JobRt {
@@ -59,6 +67,7 @@ struct JobRt {
     submitted_at: SimTime,
     running: bool,
     completed: bool,
+    cancelled: bool,
     replicas: u32,
     last_action: SimTime,
     started_at: Option<SimTime>,
@@ -77,6 +86,7 @@ impl JobRt {
             submitted_at: SimTime::ZERO,
             running: false,
             completed: false,
+            cancelled: false,
             replicas: 0,
             last_action: SimTime::NEG_INFINITY,
             started_at: None,
@@ -122,22 +132,30 @@ impl JobRt {
 /// Runs one simulation to completion.
 pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
     assert!(!workload.is_empty(), "workload must have jobs");
-    let launcher = cfg.policy.cfg.launcher_slots;
+    let launcher = cfg.policy.launcher_slots();
     let mut jobs: Vec<JobRt> = workload.iter().cloned().map(JobRt::new).collect();
     let mut queue = EventQueue::new();
     let mut util = UtilizationRecorder::new(cfg.capacity);
     let mut rescales = 0u32;
+    let mut cancelled_count = 0u32;
 
     for i in 0..jobs.len() {
         let at = SimTime::ZERO + Duration::from_secs(cfg.submission_gap.as_secs() * i as f64);
         queue.push(at, Event::Submit { job: i });
+    }
+    for (at, name) in &cfg.cancellations {
+        let i = workload
+            .iter()
+            .position(|j| j.name == *name)
+            .unwrap_or_else(|| panic!("cancellation for unknown job {name}"));
+        queue.push(SimTime::ZERO + *at, Event::Cancel { job: i });
     }
 
     let build_view = |jobs: &[JobRt]| -> ClusterView {
         let mut states = Vec::new();
         let mut committed = 0u32;
         for j in jobs {
-            if j.completed || !j.submitted {
+            if j.completed || j.cancelled || !j.submitted {
                 continue;
             }
             if j.running {
@@ -164,6 +182,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                  queue: &mut EventQueue,
                  util: &mut UtilizationRecorder,
                  rescales: &mut u32,
+                 cancels: &mut u32,
                  action: &Action,
                  now: SimTime| {
         match action {
@@ -212,12 +231,29 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 );
             }
             Action::Enqueue { .. } => {}
+            Action::Cancel { job } => {
+                let i = index_of(jobs, job);
+                let j = &mut jobs[i];
+                if j.completed || j.cancelled || !j.submitted {
+                    return;
+                }
+                j.advance(now, &cfg.scaling);
+                j.cancelled = true;
+                j.running = false;
+                j.generation += 1; // invalidate any scheduled completion
+                j.completed_at = Some(now);
+                *cancels += 1;
+                util.set(now, job.clone(), 0);
+            }
         }
     };
 
     while let Some((now, event)) = queue.pop() {
         match event {
             Event::Submit { job } => {
+                if jobs[job].cancelled {
+                    continue; // cancelled before it was ever submitted
+                }
                 jobs[job].submitted = true;
                 jobs[job].submitted_at = now;
                 jobs[job].last_update = now;
@@ -225,12 +261,21 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 let view = build_view(&jobs);
                 let actions = cfg.policy.on_submit(&view, &name, now);
                 for a in &actions {
-                    apply(&mut jobs, &mut queue, &mut util, &mut rescales, a, now);
+                    apply(
+                        &mut jobs,
+                        &mut queue,
+                        &mut util,
+                        &mut rescales,
+                        &mut cancelled_count,
+                        a,
+                        now,
+                    );
                 }
             }
             Event::Completion { job, generation } => {
-                if jobs[job].generation != generation || jobs[job].completed {
-                    continue; // stale: the job was rescaled meanwhile
+                if jobs[job].generation != generation || jobs[job].completed || jobs[job].cancelled
+                {
+                    continue; // stale: the job was rescaled or cancelled meanwhile
                 }
                 jobs[job].advance(now, &cfg.scaling);
                 debug_assert!(
@@ -245,7 +290,48 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 let view = build_view(&jobs);
                 let actions = cfg.policy.on_complete(&view, now);
                 for a in &actions {
-                    apply(&mut jobs, &mut queue, &mut util, &mut rescales, a, now);
+                    apply(
+                        &mut jobs,
+                        &mut queue,
+                        &mut util,
+                        &mut rescales,
+                        &mut cancelled_count,
+                        a,
+                        now,
+                    );
+                }
+            }
+            Event::Cancel { job } => {
+                if jobs[job].completed || jobs[job].cancelled || !jobs[job].submitted {
+                    continue; // terminal already, or cancel-before-submit
+                }
+                let held_slots = jobs[job].running;
+                let name = jobs[job].spec.name.clone();
+                apply(
+                    &mut jobs,
+                    &mut queue,
+                    &mut util,
+                    &mut rescales,
+                    &mut cancelled_count,
+                    &Action::Cancel { job: name },
+                    now,
+                );
+                if held_slots {
+                    // Freed capacity: the policy redistributes exactly
+                    // as after a completion.
+                    let view = build_view(&jobs);
+                    let actions = cfg.policy.on_complete(&view, now);
+                    for a in &actions {
+                        apply(
+                            &mut jobs,
+                            &mut queue,
+                            &mut util,
+                            &mut rescales,
+                            &mut cancelled_count,
+                            a,
+                            now,
+                        );
+                    }
                 }
             }
         }
@@ -253,7 +339,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
 
     for j in &jobs {
         assert!(
-            j.completed,
+            j.completed || j.cancelled,
             "job {} never completed (starved in queue)",
             j.spec.name
         );
@@ -261,6 +347,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
 
     let outcomes: Vec<JobOutcome> = jobs
         .iter()
+        .filter(|j| j.completed)
         .map(|j| JobOutcome {
             name: j.spec.name.clone(),
             priority: j.spec.priority,
@@ -269,15 +356,21 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
             completed_at: j.completed_at.expect("completed"),
         })
         .collect();
-    let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
-    let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
-    let utilization = util.average_utilization(first_submit, last_complete);
-    let metrics =
-        RunMetrics::from_outcomes(cfg.policy.kind.to_string(), outcomes, utilization, rescales);
+    let metrics = if outcomes.is_empty() {
+        // Every job was cancelled: nothing completed, nothing to
+        // aggregate.
+        RunMetrics::empty(cfg.policy.name(), rescales)
+    } else {
+        let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
+        let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
+        let utilization = util.average_utilization(first_submit, last_complete);
+        RunMetrics::from_outcomes(cfg.policy.name(), outcomes, utilization, rescales)
+    };
     SimOutcome {
         metrics,
         util,
         rescales,
+        cancelled: cancelled_count,
     }
 }
 
@@ -285,17 +378,17 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
 mod tests {
     use super::*;
     use crate::model::SizeClass;
-    use elastic_core::{PolicyConfig, PolicyKind};
+    use elastic_core::{FcfsBackfill, Policy, PolicyConfig, PolicyKind};
 
-    fn policy(kind: PolicyKind, gap: f64) -> Policy {
-        Policy::of_kind(
+    fn policy(kind: PolicyKind, gap: f64) -> Box<dyn SchedulingPolicy> {
+        Box::new(Policy::of_kind(
             kind,
             PolicyConfig {
                 rescale_gap: Duration::from_secs(gap),
                 launcher_slots: 1,
                 shrink_spares_head: true,
             },
-        )
+        ))
     }
 
     fn one_job(class: SizeClass) -> Vec<SimJobSpec> {
@@ -399,6 +492,81 @@ mod tests {
         let out = simulate(&cfg, &wl);
         assert!(out.metrics.utilization > 0.3);
         assert!(out.metrics.utilization <= 1.0);
+    }
+
+    #[test]
+    fn fcfs_backfill_runs_through_the_simulator() {
+        let wl = crate::workload::generate_workload(11, 16);
+        let cfg = SimConfig::paper_default(
+            Box::new(FcfsBackfill::new()),
+            Duration::from_secs(30.0), // heavy traffic: the queue blocks
+        );
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.policy, "fcfs_backfill");
+        assert_eq!(out.metrics.jobs.len(), 16);
+        assert_eq!(out.rescales, 0, "FCFS never rescales");
+        assert!(out.metrics.utilization > 0.2 && out.metrics.utilization <= 1.0);
+        // Determinism holds for the new policy too.
+        let cfg2 =
+            SimConfig::paper_default(Box::new(FcfsBackfill::new()), Duration::from_secs(30.0));
+        assert_eq!(simulate(&cfg2, &wl).metrics, out.metrics);
+    }
+
+    #[test]
+    fn cancellation_frees_slots_the_policy_reassigns() {
+        // Three Large jobs on 64 slots: "a" takes 32+1, "b" 30+1, "c"
+        // finds the cluster full and queues. Cancelling "a" mid-run
+        // must make elastic reassign the freed slots *at the cancel
+        // timestamp*: "b" expands and "c" starts immediately.
+        use crate::workload::SimJobSpec;
+        let wl = vec![
+            SimJobSpec::of_class("a", SizeClass::Large, 3),
+            SimJobSpec::of_class("b", SizeClass::Large, 3),
+            SimJobSpec::of_class("c", SizeClass::Large, 3),
+        ];
+        let mut cfg =
+            SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0), Duration::from_secs(0.0));
+        cfg.cancellations = vec![(Duration::from_secs(100.0), "a".into())];
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.cancelled, 1);
+        assert_eq!(out.metrics.jobs.len(), 2, "victim excluded from outcomes");
+        assert!(out.metrics.jobs.iter().all(|j| j.name != "a"));
+        let c = out.metrics.jobs.iter().find(|j| j.name == "c").unwrap();
+        assert_eq!(
+            c.started_at,
+            SimTime::from_secs(100.0),
+            "queued job must start the instant the cancellation frees slots"
+        );
+        assert!(out.rescales >= 1, "survivor should expand into the hole");
+    }
+
+    #[test]
+    fn all_jobs_cancelled_yields_empty_metrics_without_panicking() {
+        let wl = vec![SimJobSpec::of_class("solo", SizeClass::Large, 3)];
+        let mut cfg =
+            SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0), Duration::from_secs(0.0));
+        cfg.cancellations = vec![(Duration::from_secs(50.0), "solo".into())];
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.cancelled, 1);
+        assert!(out.metrics.jobs.is_empty());
+        assert_eq!(out.metrics.policy, "elastic");
+        assert_eq!(out.metrics.total_time, 0.0);
+    }
+
+    #[test]
+    fn cancel_of_queued_job_just_removes_it() {
+        let wl = crate::workload::generate_workload(5, 6);
+        // Cancel the last job the moment it sits in the queue under
+        // heavy traffic (it is submitted at 5 * 10 = 50s).
+        let victim = wl[5].name.clone();
+        let mut cfg = SimConfig::paper_default(
+            policy(PolicyKind::RigidMax, 180.0),
+            Duration::from_secs(10.0),
+        );
+        cfg.cancellations = vec![(Duration::from_secs(55.0), victim)];
+        let out = simulate(&cfg, &wl);
+        assert!(out.cancelled <= 1, "at most the one requested cancel");
+        assert_eq!(out.metrics.jobs.len() + out.cancelled as usize, 6);
     }
 
     #[test]

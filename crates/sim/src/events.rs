@@ -27,6 +27,12 @@ pub enum Event {
         /// Generation at scheduling time.
         generation: u64,
     },
+    /// Client cancellation of a job (the DES analogue of
+    /// `SchedulerClient::cancel`).
+    Cancel {
+        /// Index into the workload.
+        job: usize,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]

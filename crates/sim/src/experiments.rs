@@ -61,7 +61,7 @@ pub fn averaged_point(
     for seed in 0..seeds {
         let workload = generate_workload(seed, n_jobs);
         let cfg = SimConfig::paper_default(
-            policy_of(kind, rescale_gap_s),
+            Box::new(policy_of(kind, rescale_gap_s)),
             Duration::from_secs(submission_gap_s),
         );
         let out = simulate(&cfg, &workload);
@@ -129,7 +129,10 @@ pub fn table1_simulation(seed: u64) -> Vec<(RunMetrics, SimOutcome)> {
     PolicyKind::ALL
         .iter()
         .map(|&kind| {
-            let cfg = SimConfig::paper_default(policy_of(kind, 180.0), Duration::from_secs(90.0));
+            let cfg = SimConfig::paper_default(
+                Box::new(policy_of(kind, 180.0)),
+                Duration::from_secs(90.0),
+            );
             let out = simulate(&cfg, &workload);
             (out.metrics.clone(), out)
         })

@@ -1,6 +1,6 @@
 //! Runtime and overhead models.
 //!
-//! The paper's simulator "use[s] strong scaling performance measurements
+//! The paper's simulator "use\[s\] strong scaling performance measurements
 //! for the 4 problem sizes to model the runtime of a job for a given
 //! number of replicas using a piecewise linear function", and models the
 //! rescaling overhead the same way (§4.3.1). This module provides both:

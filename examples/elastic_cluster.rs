@@ -52,7 +52,7 @@ fn main() {
         launcher_slots: 1,
         shrink_spares_head: true,
     });
-    let mut op = CharmOperator::new(plane, policy, Box::new(CharmExecutor));
+    let mut op = CharmOperator::new(plane, Box::new(policy), Box::new(CharmExecutor));
 
     let schedule = Schedule::every(
         vec![

@@ -36,7 +36,7 @@ fn main() {
         launcher_slots: 1,
         shrink_spares_head: true,
     });
-    let mut op = CharmOperator::new(plane, policy, Box::new(executor));
+    let mut op = CharmOperator::new(plane, Box::new(policy), Box::new(executor));
 
     // Four jobs, 60 s apart: a long low-priority job grabs the cluster,
     // then higher-priority arrivals force it to shrink.

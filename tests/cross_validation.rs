@@ -52,7 +52,7 @@ fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMet
             shrink_spares_head: true,
         },
     );
-    let mut op = CharmOperator::new(plane, policy, Box::new(executor));
+    let mut op = CharmOperator::new(plane, Box::new(policy), Box::new(executor));
     let jobs: Vec<CharmJobSpec> = workload
         .iter()
         .map(|j| CharmJobSpec {
@@ -79,14 +79,14 @@ fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMet
 fn run_sim_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
     let workload = generate_workload(seed, 16);
     let cfg = SimConfig::paper_default(
-        Policy::of_kind(
+        Box::new(Policy::of_kind(
             kind,
             PolicyConfig {
                 rescale_gap: Duration::from_secs(180.0),
                 launcher_slots: 1,
                 shrink_spares_head: true,
             },
-        ),
+        )),
         Duration::from_secs(submission_gap),
     );
     simulate(&cfg, &workload).metrics

@@ -36,7 +36,7 @@ fn mini_actual_campaign_with_real_jobs() {
         2,
         4, // 8 slots
     );
-    let mut op = CharmOperator::new(plane, policy(60.0), Box::new(CharmExecutor));
+    let mut op = CharmOperator::new(plane, Box::new(policy(60.0)), Box::new(CharmExecutor));
     let jacobi = |name: &str, prio: u32, min: u32, max: u32, iters: u64| CharmJobSpec {
         name: name.into(),
         min_replicas: min,
