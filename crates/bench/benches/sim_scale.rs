@@ -1,0 +1,281 @@
+//! Criterion bench: DES throughput at trace scale (1k/10k/100k jobs).
+//!
+//! The tentpole claim of the interned-id / incremental-view decision
+//! path is that per-event cost is O(log n) instead of O(n): no view
+//! rebuild, no `String` clone, no linear name scan anywhere between an
+//! event popping and its actions applying. This bench replays the
+//! heavy-traffic scale scenario (`sched_sim::heavy_traffic_run`:
+//! 4096 slots, 1.5 s submission gap, the paper's class/priority mix) at
+//! three workload sizes for the elastic and FCFS-backfill policies,
+//! emits `BENCH_sim_scale.json` at the workspace root, and *asserts*
+//! the acceptance criteria:
+//!
+//! * ≥10× events/sec at the 10k-job point versus the pre-refactor
+//!   engine (baseline measured on the reference host at commit
+//!   `53c0d36`, the last commit before the rewrite, hardcoded below
+//!   per case — a hard assert only under `SIM_SCALE_STRICT=1`, since
+//!   wall-clock baselines do not transfer across hosts; elsewhere a
+//!   shortfall prints a warning and lands in the JSON verdict);
+//! * near-flat per-event cost from 1k to 100k jobs (the O(log n)
+//!   check — host-independent, always asserted; the pre-refactor
+//!   engine degraded 38× over the same span). Timings take one warmup
+//!   plus median-of-3 at the small sizes so the gate is stable on
+//!   noisy shared runners.
+//!
+//! Set `SIM_SCALE_MAX_JOBS` (e.g. `10000` in CI) to cap the sweep; the
+//! JSON is only (re)written by a full run so a capped smoke pass never
+//! clobbers the tracked trajectory.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_core::{FcfsBackfill, Policy, PolicyConfig, SchedulingPolicy};
+use hpc_metrics::Duration;
+use sched_sim::experiments::{heavy_traffic_run, SCALE_CAPACITY, SCALE_SUBMISSION_GAP_S};
+
+/// Workload seed (same generator as every other experiment).
+const SEED: u64 = 0;
+/// Full sweep sizes.
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Pre-refactor engine numbers for the identical scenario, measured on
+/// this host immediately before the incremental-view rewrite (engine
+/// rebuilt the `ClusterView` — cloning every job name — per event, and
+/// resolved actions by linear name scan).
+fn baseline(policy: &str, n: usize) -> (f64, f64) {
+    // (wall seconds, events/sec)
+    match (policy, n) {
+        ("elastic", 1_000) => (0.036, 78_712.0),
+        ("elastic", 10_000) => (1.179, 26_573.0),
+        ("elastic", 100_000) => (155.755, 2_047.0),
+        ("fcfs_backfill", 1_000) => (0.017, 119_027.0),
+        ("fcfs_backfill", 10_000) => (0.613, 32_635.0),
+        ("fcfs_backfill", 100_000) => (118.726, 1_685.0),
+        _ => (f64::NAN, f64::NAN),
+    }
+}
+
+fn elastic() -> Box<dyn SchedulingPolicy> {
+    Box::new(Policy::elastic(PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    }))
+}
+
+fn fcfs() -> Box<dyn SchedulingPolicy> {
+    Box::new(FcfsBackfill::new())
+}
+
+struct Case {
+    policy: &'static str,
+    n_jobs: usize,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    rescales: u32,
+    peak_queue_len: usize,
+    utilization: f64,
+    baseline_wall_secs: f64,
+    baseline_events_per_sec: f64,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.events_per_sec / self.baseline_events_per_sec
+    }
+
+    fn per_event_us(&self) -> f64 {
+        self.wall_secs * 1e6 / self.events as f64
+    }
+}
+
+fn run_case(policy_name: &'static str, n: usize) -> Case {
+    let make = || match policy_name {
+        "elastic" => elastic(),
+        _ => fcfs(),
+    };
+    // One warmup replay, then median-of-3 for the small sizes (a 1k
+    // replay is a handful of milliseconds — a single cold sample would
+    // make the O(log n) ratio gate flaky on shared CI runners); the
+    // 100k point amortizes noise over ~half a second on its own.
+    let reps = if n <= 10_000 { 3 } else { 1 };
+    let _ = heavy_traffic_run(make(), SEED, n);
+    let mut walls = Vec::with_capacity(reps);
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let o = heavy_traffic_run(make(), SEED, n);
+        walls.push(started.elapsed().as_secs_f64());
+        out = Some(o);
+    }
+    walls.sort_by(f64::total_cmp);
+    let wall_secs = walls[walls.len() / 2];
+    let out = out.expect("at least one rep");
+    assert_eq!(
+        out.metrics.jobs.len(),
+        n,
+        "every job of the trace must complete"
+    );
+    // Submissions + completions + one extra completion event per rescale.
+    let events = 2 * n as u64 + u64::from(out.rescales);
+    let (baseline_wall_secs, baseline_events_per_sec) = baseline(policy_name, n);
+    Case {
+        policy: policy_name,
+        n_jobs: n,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        rescales: out.rescales,
+        peak_queue_len: out.peak_queue_len,
+        utilization: out.metrics.utilization,
+        baseline_wall_secs,
+        baseline_events_per_sec,
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn emit_json(cases: &[Case], per_event_ratio: f64) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"capacity\": {SCALE_CAPACITY},\n  \"submission_gap_s\": {SCALE_SUBMISSION_GAP_S},\n  \"workload_seed\": {SEED},\n"
+    ));
+    body.push_str(
+        "  \"baseline\": \"pre-refactor engine (per-event view rebuild + linear name scans), same host & scenario\",\n",
+    );
+    body.push_str(&format!(
+        "  \"per_event_cost_ratio_100k_vs_1k_elastic\": {per_event_ratio:.2},\n  \"meets_olog_per_event\": {},\n  \"cases\": [\n",
+        per_event_ratio <= 4.0
+    ));
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        body.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"policy\": \"{}\",\n",
+                "      \"n_jobs\": {},\n",
+                "      \"events\": {},\n",
+                "      \"wall_secs\": {:.4},\n",
+                "      \"events_per_sec\": {:.0},\n",
+                "      \"per_event_us\": {:.3},\n",
+                "      \"rescales\": {},\n",
+                "      \"peak_queue_len\": {},\n",
+                "      \"utilization\": {:.4},\n",
+                "      \"baseline_wall_secs\": {:.4},\n",
+                "      \"baseline_events_per_sec\": {:.0},\n",
+                "      \"speedup\": {:.1},\n",
+                "      \"meets_10x_at_10k\": {}\n",
+                "    }}{}\n",
+            ),
+            c.policy,
+            c.n_jobs,
+            c.events,
+            c.wall_secs,
+            c.events_per_sec,
+            c.per_event_us(),
+            c.rescales,
+            c.peak_queue_len,
+            c.utilization,
+            c.baseline_wall_secs,
+            c.baseline_events_per_sec,
+            c.speedup(),
+            c.n_jobs != 10_000 || c.speedup() >= 10.0,
+            comma,
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = workspace_root().join("BENCH_sim_scale.json");
+    std::fs::write(&path, body).expect("write BENCH_sim_scale.json");
+    println!("wrote {}", path.display());
+}
+
+fn bench_sim_scale(c: &mut Criterion) {
+    let cap: Option<usize> = std::env::var("SIM_SCALE_MAX_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let sizes: Vec<usize> = SIZES
+        .into_iter()
+        .filter(|&n| cap.is_none_or(|cap| n <= cap))
+        .collect();
+
+    let mut cases = Vec::new();
+    for &n in &sizes {
+        for policy in ["elastic", "fcfs_backfill"] {
+            let case = run_case(policy, n);
+            println!(
+                "sim_scale {:<14} n={:<7} wall={:>8.3}s  {:>9.0} ev/s ({:.2} us/event, {:.1}x over baseline, peak queue {})",
+                case.policy,
+                case.n_jobs,
+                case.wall_secs,
+                case.events_per_sec,
+                case.per_event_us(),
+                case.speedup(),
+                case.peak_queue_len,
+            );
+            cases.push(case);
+        }
+    }
+
+    // Acceptance: >= 10x events/sec at the 10k point, both policies.
+    // The baseline is a wall-clock number from the benchmarking host,
+    // so the hard gate only arms under SIM_SCALE_STRICT=1 (set on the
+    // host that recorded the baseline); elsewhere a shortfall is
+    // reported, not a panic — cross-host wall-clock comparisons are
+    // not a code property. The JSON records the verdict either way.
+    let strict = std::env::var("SIM_SCALE_STRICT").is_ok_and(|v| v == "1");
+    for c in cases.iter().filter(|c| c.n_jobs == 10_000) {
+        if c.speedup() < 10.0 {
+            let msg = format!(
+                "{} at 10k jobs: {:.1}x < the 10x acceptance mark over the pre-refactor engine \
+                 (baseline host-specific; rerun with SIM_SCALE_STRICT=1 on the reference host)",
+                c.policy,
+                c.speedup()
+            );
+            assert!(!strict, "{msg}");
+            println!("WARNING: {msg}");
+        }
+    }
+
+    // Acceptance: per-event cost is O(log n) — from 1k to the largest
+    // size run it may grow by a small constant (cache pressure +
+    // log-depth index ops), nowhere near the pre-refactor linear blowup
+    // (38x over the same span).
+    let per_event = |n: usize| {
+        cases
+            .iter()
+            .find(|c| c.policy == "elastic" && c.n_jobs == n)
+            .map(Case::per_event_us)
+    };
+    let largest = *sizes.last().expect("at least one size");
+    if let (Some(small), Some(big)) = (per_event(1_000), per_event(largest)) {
+        let ratio = big / small;
+        assert!(
+            ratio <= 4.0,
+            "per-event cost grew {ratio:.1}x from 1k to {largest} jobs — not O(log n)"
+        );
+        if largest == *SIZES.last().unwrap() {
+            emit_json(&cases, ratio);
+        } else {
+            println!("capped run (SIM_SCALE_MAX_JOBS): skipping BENCH_sim_scale.json");
+        }
+    }
+
+    // Conventional criterion tracking of the 1k-job replay.
+    let mut group = c.benchmark_group("sim_scale");
+    group.sample_size(10);
+    group.bench_function("heavy_traffic_1k_elastic", |b| {
+        b.iter(|| heavy_traffic_run(elastic(), SEED, 1_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_scale);
+criterion_main!(benches);

@@ -9,8 +9,8 @@
 //! class bounds divided by 4; `--full`: the paper's 64-slot bounds).
 
 use elastic_core::{
-    run_real, AppSpec, CharmExecutor, CharmJobSpec, CharmOperator, Policy, PolicyConfig,
-    PolicyKind, RunMetrics, Schedule,
+    run_real, AppSpec, CharmExecutor, CharmJobSpec, CharmOperator, JobRegistry, Policy,
+    PolicyConfig, PolicyKind, RunMetrics, Schedule,
 };
 use hpc_metrics::{Duration, RealClock, UtilizationRecorder};
 use kube_sim::{ControlPlane, EventLog, KubeletConfig};
@@ -137,8 +137,11 @@ pub fn scaled_jobs(seed: u64, full: bool) -> Vec<CharmJobSpec> {
 pub struct CampaignResult {
     /// Table 1 metrics.
     pub metrics: RunMetrics,
-    /// Per-job worker-slot allocation over time.
+    /// Per-job worker-slot allocation over time (keyed by `JobId`;
+    /// resolve names through [`CampaignResult::registry`]).
     pub util: UtilizationRecorder,
+    /// The run's name ↔ id interning table (the reporting edge).
+    pub registry: JobRegistry,
     /// Operator event log (rescale signals, etc.).
     pub events: EventLog,
     /// Cluster capacity used (for profile normalization).
@@ -179,6 +182,7 @@ pub fn run_campaign(kind: PolicyKind, seed: u64, compression: f64, full: bool) -
     CampaignResult {
         metrics,
         util: op.utilization().clone(),
+        registry: op.registry().clone(),
         events: op.events.clone(),
         capacity,
     }

@@ -49,7 +49,7 @@ fn main() {
             profile_csv.row([
                 kind.to_string(),
                 format!("{:.2}", ev.at.as_secs()),
-                ev.job.clone(),
+                res.registry.name(ev.job).to_string(),
                 ev.slots.to_string(),
             ]);
         }
@@ -82,7 +82,11 @@ fn main() {
                 .find(|j| j.class == SizeClass::XLarge)
                 .map(|j| j.name);
             if let Some(name) = xlarge {
-                if let Some(series) = res.util.per_job_series().get(&name) {
+                if let Some(series) = res
+                    .registry
+                    .id(&name)
+                    .and_then(|id| res.util.per_job_series().remove(&id))
+                {
                     let pts: Vec<(f64, f64)> = series
                         .iter()
                         .map(|&(t, v)| (t.as_secs(), f64::from(v)))

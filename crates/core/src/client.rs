@@ -24,18 +24,23 @@ use kube_sim::{ApiError, Store, WatchEvent};
 
 use crate::crd::{CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
 
-/// A validated job identity returned by [`SchedulerClient::submit`]:
-/// the unique name plus the server-assigned uid (stable across status
-/// updates, never reused).
+/// A validated submission receipt returned by
+/// [`SchedulerClient::submit`]: the unique name plus the
+/// server-assigned uid (stable across status updates, never reused).
+///
+/// Not to be confused with the scheduler-internal interned
+/// [`JobId`](hpc_metrics::JobId): the ticket is the *client-facing*
+/// identity (names are the client's vocabulary); the interned id exists
+/// only inside an engine's decision path.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-pub struct JobId {
+pub struct JobTicket {
     /// The job's unique name.
     pub name: String,
     /// Server-assigned uid.
     pub uid: u64,
 }
 
-impl std::fmt::Display for JobId {
+impl std::fmt::Display for JobTicket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}#{}", self.name, self.uid)
     }
@@ -84,7 +89,7 @@ impl SchedulerClient {
     /// Submits `spec`: validates it, creates the CRD in the store, and
     /// returns the job's identity. The reconciler picks the submission
     /// up from the watch stream and runs the admission decision.
-    pub fn submit(&self, spec: CharmJobSpec) -> Result<JobId, ClientError> {
+    pub fn submit(&self, spec: CharmJobSpec) -> Result<JobTicket, ClientError> {
         spec.validate().map_err(ClientError::InvalidSpec)?;
         let name = spec.name.clone();
         let stored = self
@@ -94,7 +99,7 @@ impl SchedulerClient {
                 ApiError::AlreadyExists(n) => ClientError::AlreadyExists(n),
                 ApiError::NotFound(n) => ClientError::NotFound(n),
             })?;
-        Ok(JobId {
+        Ok(JobTicket {
             name,
             uid: stored.uid,
         })
@@ -272,7 +277,7 @@ mod tests {
     }
 
     #[test]
-    fn submit_returns_validated_job_id() {
+    fn submit_returns_validated_ticket() {
         let (client, jobs, _) = client();
         let id = client.submit(spec("j1", 2, 8)).unwrap();
         assert_eq!(id.name, "j1");

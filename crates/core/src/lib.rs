@@ -31,16 +31,47 @@
 //!   drains the event queues; `tick_polled()` keeps the legacy
 //!   full-scan drive so equivalence stays testable.
 //! * **[`SchedulerClient`]** — the typed client handle: `submit` →
-//!   validated [`JobId`], `status`/`phase`, `cancel`, and
+//!   validated [`JobTicket`], `status`/`phase`, `cancel`, and
 //!   `watch_events` (a lifecycle stream folded from raw store events).
 //!   The client talks *only* through the kube-style stores, exactly
 //!   like `kubectl` against a real API server, so the reconciler picks
 //!   its requests up from the same watch streams it already consumes.
 //!
+//! ## The hot path: interned ids, incremental view
+//!
+//! The per-event decision path is allocation-free and never rebuilds
+//! state:
+//!
+//! * Job names are interned into dense **[`JobId`]s** by the engine's
+//!   **[`JobRegistry`]** at admission; [`Action`], [`JobState`],
+//!   utilization samples and all engine-side bookkeeping are keyed by
+//!   id. Names survive only at the edges — client submissions
+//!   ([`JobTicket`]), pod/store objects, and final reports. Ids are
+//!   issued in admission order, so ascending `JobId` doubles as the
+//!   submission-order tie-breaker that keeps operator and simulator
+//!   ordering identical even for equal `(priority, submitted_at)`.
+//! * The **[`ClusterView`]** is *persistent and incrementally
+//!   maintained*: a dense `Vec<JobState>` indexed by id, a carried
+//!   `free_slots` counter, and `BTreeSet` indexes over
+//!   `(Reverse(priority), submitted_at, JobId)` serving
+//!   `running_desc_priority` / `all_desc_priority` /
+//!   `queued_submission_order` in O(k) and `job(id)` in O(1). Engines
+//!   mutate it through `insert` / `remove` / [`apply_action`]
+//!   (O(log n) each) — one view per run, zero rebuilds, zero `String`s.
+//!   A property test (`view_equivalence`) proves any event sequence
+//!   leaves the incremental view equal to a from-scratch rebuild, and
+//!   [`CharmOperator::rebuild_view`] keeps the reference construction
+//!   alive for the operator-side assertion.
+//! * Submissions are **batched**: the operator drains its watch queue
+//!   once and decides every pending admission against the shared
+//!   maintained view; the DES coalesces same-timestamp submit events
+//!   into one batch event. A burst of n submissions costs n O(log n)
+//!   decisions, not n view rebuilds.
+//!
 //! ## Plugging in a fifth policy
 //!
 //! ```
-//! use elastic_core::{Action, ClusterView, SchedulingPolicy};
+//! use elastic_core::{Action, ClusterView, JobId, SchedulingPolicy};
 //! use hpc_metrics::SimTime;
 //!
 //! /// Admits every job at its minimum the moment it fits.
@@ -49,12 +80,12 @@
 //! impl SchedulingPolicy for MinFit {
 //!     fn name(&self) -> String { "min_fit".into() }
 //!     fn launcher_slots(&self) -> u32 { 1 }
-//!     fn on_submit(&self, view: &ClusterView, job: &str, _now: SimTime) -> Vec<Action> {
+//!     fn on_submit(&self, view: &ClusterView, job: JobId, _now: SimTime) -> Vec<Action> {
 //!         let j = view.job(job).expect("submitted job is in the view");
-//!         if view.free_slots >= j.min_replicas + 1 {
-//!             vec![Action::Create { job: job.into(), replicas: j.min_replicas }]
+//!         if view.free_slots() >= j.min_replicas + 1 {
+//!             vec![Action::Create { job, replicas: j.min_replicas }]
 //!         } else {
-//!             vec![Action::Enqueue { job: job.into() }]
+//!             vec![Action::Enqueue { job }]
 //!         }
 //!     }
 //!     fn on_complete(&self, _view: &ClusterView, _now: SimTime) -> Vec<Action> {
@@ -73,8 +104,9 @@
 //! * [`crd`] — the CharmJob custom resource (min/max replicas,
 //!   priority, app template, lifecycle status incl. cancellation).
 //! * [`view`] — the [`ClusterView`]/[`Action`] policy interface.
+//! * [`registry`] — the [`JobRegistry`] name ↔ [`JobId`] interner.
 //! * [`policy`] — [`SchedulingPolicy`] and the built-in policies.
-//! * [`client`] — [`SchedulerClient`], [`JobId`], lifecycle events.
+//! * [`client`] — [`SchedulerClient`], [`JobTicket`], lifecycle events.
 //! * [`executor`] — real (`charm-rt`) and modeled job execution.
 //! * [`operator`] — the watch-driven reconciler with the paper's
 //!   shrink/expand pod sequences.
@@ -90,14 +122,17 @@ pub mod executor;
 pub mod harness;
 pub mod operator;
 pub mod policy;
+pub mod registry;
 pub mod report;
 pub mod view;
 
-pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobId, SchedulerClient};
+pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient};
 pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
 pub use harness::{run_real, run_virtual, Schedule};
+pub use hpc_metrics::JobId;
 pub use operator::CharmOperator;
 pub use policy::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPolicy};
+pub use registry::JobRegistry;
 pub use report::{JobOutcome, RunMetrics};
 pub use view::{apply_action, Action, ClusterView, JobState};

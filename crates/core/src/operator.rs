@@ -17,12 +17,31 @@
 //! any store) and for policies that request periodic
 //! [`SchedulingPolicy::on_timer`] deadlines.
 //!
+//! ## The hot path is allocation-free and incrementally maintained
+//!
+//! Names are interned into dense [`JobId`]s by the operator's
+//! [`JobRegistry`] at admission, and *everything* the scheduler touches
+//! per event — the persistent [`ClusterView`], the policy's
+//! [`Action`]s, utilization samples, rescale flows, executor handles —
+//! is keyed by id. The view is never rebuilt: admissions insert into
+//! it, completions/cancellations remove from it, and every action is
+//! folded in by `view::apply_action` in O(log n)
+//! ([`CharmOperator::rebuild_view`] keeps the old full-scan
+//! construction as the equivalence reference for tests). Admissions are
+//! *batched*: one watch-drain collects every pending submission, sorts
+//! once by submission time, and runs the decisions back-to-back against
+//! the shared maintained view — a burst of n submissions costs n
+//! O(log n) decisions, not n store scans. Names resurface only at the
+//! edges: pod/store objects, event logs and final reports.
+//!
 //! Pod choreography follows the paper: **Create** is launcher pod +
 //! N worker pods + a nodelist ConfigMap; **Shrink** signals the
 //! application first and removes pods only after the acknowledgement;
 //! **Expand** creates pods first, updates the nodelist, then signals
 //! (§3.1's sequences). Scheduling state lives on the CharmJob CRDs; pods
-//! converge to it asynchronously.
+//! converge to it asynchronously. Worker pod serials come from a
+//! per-job counter (never from re-parsing existing pod names), so
+//! creating workers is O(count).
 //!
 //! [`tick`](CharmOperator::tick) is a thin compatibility wrapper that
 //! drains the event queues once; [`tick_polled`](CharmOperator::tick_polled)
@@ -31,19 +50,21 @@
 //! [`RunMetrics`].
 //!
 //! [`Store::list_watch`]: kube_sim::Store::list_watch
+//! [`JobRegistry`]: crate::registry::JobRegistry
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use crossbeam::channel::Receiver;
-use hpc_metrics::{SimTime, UtilizationRecorder};
+use hpc_metrics::{JobId, SimTime, UtilizationRecorder};
 use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store, WatchEvent};
 
 use crate::client::SchedulerClient;
 use crate::crd::{CharmJob, CharmJobSpec, JobPhase};
 use crate::executor::{ExecHandle, ExecStatus, Executor};
 use crate::policy::SchedulingPolicy;
+use crate::registry::JobRegistry;
 use crate::report::{JobOutcome, RunMetrics};
-use crate::view::{Action, ClusterView, JobState};
+use crate::view::{self, Action, ClusterView, JobState};
 
 /// In-flight rescale state machine per job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,9 +97,15 @@ pub struct CharmOperator {
     pub events: EventLog,
     policy: Box<dyn SchedulingPolicy>,
     executor: Box<dyn Executor>,
-    handles: HashMap<String, Box<dyn ExecHandle>>,
-    flows: HashMap<String, RescaleFlow>,
+    handles: HashMap<JobId, Box<dyn ExecHandle>>,
+    flows: BTreeMap<JobId, RescaleFlow>,
     util: UtilizationRecorder,
+    /// Name ↔ id interning (admission order).
+    registry: JobRegistry,
+    /// The persistent, incrementally-maintained scheduler view.
+    view: ClusterView,
+    /// Next worker-pod serial per job (indexed by `JobId`).
+    next_serial: Vec<u32>,
     rescale_count: u32,
     cancel_count: u32,
     /// Watch stream over the CharmJob store (admissions, cancellations).
@@ -87,7 +114,7 @@ pub struct CharmOperator {
     pods_rx: Receiver<WatchEvent<Pod>>,
     /// Jobs whose admission decision has already run — both drive modes
     /// consult it so a submission is planned exactly once.
-    planned: HashSet<String>,
+    planned: HashSet<JobId>,
     /// Next policy-timer deadline, if the policy requested one.
     next_timer: Option<SimTime>,
 }
@@ -111,14 +138,17 @@ impl CharmOperator {
         let (_, pods_rx) = plane.pods.list_watch();
         let next_timer = policy.timer_interval().map(|iv| plane.now() + iv);
         CharmOperator {
+            view: ClusterView::new(plane.capacity()),
             plane,
             jobs,
             events: EventLog::new(),
             policy,
             executor,
             handles: HashMap::new(),
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             util: UtilizationRecorder::new(capacity),
+            registry: JobRegistry::new(),
+            next_serial: Vec::new(),
             rescale_count: 0,
             cancel_count: 0,
             jobs_rx,
@@ -143,9 +173,21 @@ impl CharmOperator {
         self.cancel_count
     }
 
-    /// The utilization recorder (worker slots per job over time).
+    /// The utilization recorder (worker slots per job over time, keyed
+    /// by [`JobId`]; resolve names via [`CharmOperator::registry`]).
     pub fn utilization(&self) -> &UtilizationRecorder {
         &self.util
+    }
+
+    /// The name ↔ id interning table for this run.
+    pub fn registry(&self) -> &JobRegistry {
+        &self.registry
+    }
+
+    /// The persistent scheduler view, maintained incrementally across
+    /// reconciles (never rebuilt).
+    pub fn view(&self) -> &ClusterView {
+        &self.view
     }
 
     /// A typed client handle over this operator's job store. Clients
@@ -165,55 +207,79 @@ impl CharmOperator {
         Ok(())
     }
 
-    /// The scheduler's bookkeeping view, built from CRD state (pods
-    /// converge to it asynchronously).
-    pub fn build_view(&self) -> ClusterView {
+    /// Rebuilds the scheduler view from CRD state by scanning the
+    /// store — the *reference* construction. The hot path never calls
+    /// this; it exists so tests can assert the incrementally maintained
+    /// [`CharmOperator::view`] stays equal to a from-scratch rebuild.
+    pub fn rebuild_view(&self) -> ClusterView {
         let capacity = self.plane.capacity();
         let launcher = self.policy.launcher_slots();
-        let mut jobs = Vec::new();
+        let mut view = ClusterView::new(capacity);
         let mut committed = 0u32;
         for stored in self.jobs.list() {
             let job = &stored.obj;
             if job.status.phase.is_terminal() {
                 continue;
             }
+            // Jobs the reconciler has not admitted yet are not part of
+            // the scheduler's world (the maintained view adds them at
+            // admission time).
+            let Some(id) = self.registry.id(&job.spec.name) else {
+                continue;
+            };
             let running = matches!(job.status.phase, JobPhase::Starting | JobPhase::Running);
             if running {
                 committed += job.status.desired_replicas + launcher;
             }
-            jobs.push(JobState {
-                name: job.spec.name.clone(),
-                min_replicas: job.spec.min_replicas,
-                max_replicas: job.spec.max_replicas,
-                priority: job.spec.priority,
-                submitted_at: job.status.submitted_at,
-                replicas: if running {
-                    job.status.desired_replicas
-                } else {
-                    0
+            view.insert(
+                JobState {
+                    id,
+                    min_replicas: job.spec.min_replicas,
+                    max_replicas: job.spec.max_replicas,
+                    priority: job.spec.priority,
+                    submitted_at: job.status.submitted_at,
+                    replicas: if running {
+                        job.status.desired_replicas
+                    } else {
+                        0
+                    },
+                    last_action: job.status.last_action,
+                    running,
                 },
-                last_action: job.status.last_action,
-                running,
-            });
+                launcher,
+            );
         }
-        ClusterView {
-            capacity,
-            free_slots: capacity.saturating_sub(committed),
-            jobs,
-        }
+        view.set_free_slots(capacity.saturating_sub(committed));
+        view
     }
 
     fn apply_actions(&mut self, actions: &[Action], now: SimTime) {
+        let launcher = self.policy.launcher_slots();
         for action in actions {
-            match action {
-                Action::Create { job, replicas } => self.start_job(job, *replicas, now),
-                Action::Shrink { job, to_replicas } => self.start_shrink(job, *to_replicas, now),
-                Action::Expand { job, to_replicas } => self.start_expand(job, *to_replicas, now),
-                Action::Enqueue { job } => {
-                    self.events
-                        .record(now, job, "Enqueued", "no resources available");
+            match *action {
+                Action::Create { job, replicas } => {
+                    view::apply_action(&mut self.view, action, now, launcher);
+                    self.start_job(job, replicas, now);
                 }
-                Action::Cancel { job } => self.cancel_job(job, now),
+                Action::Shrink { job, to_replicas } => {
+                    view::apply_action(&mut self.view, action, now, launcher);
+                    self.start_shrink(job, to_replicas, now);
+                }
+                Action::Expand { job, to_replicas } => {
+                    view::apply_action(&mut self.view, action, now, launcher);
+                    self.start_expand(job, to_replicas, now);
+                }
+                Action::Enqueue { job } => {
+                    let name = self.registry.name(job).to_string();
+                    self.events
+                        .record(now, &name, "Enqueued", "no resources available");
+                }
+                // `cancel_job` owns the view removal (it also serves
+                // client cancellations arriving outside any action).
+                Action::Cancel { job } => {
+                    let name = self.registry.name(job).to_string();
+                    self.cancel_job(&name, now);
+                }
             }
         }
     }
@@ -229,21 +295,24 @@ impl CharmOperator {
         pods
     }
 
-    fn create_workers(&mut self, job: &str, count: u32, now: SimTime) {
-        let existing = self.worker_pods(job);
-        let next = existing
-            .last()
-            .and_then(|p| p.name.rsplit("-w").next())
-            .and_then(|s| s.parse::<u32>().ok())
-            .map(|n| n + 1)
-            .unwrap_or(0);
-        for serial in next..next + count {
-            let name = format!("{job}-w{serial:04}");
+    /// Creates `count` fresh worker pods for `job`. Serials come from
+    /// the per-job counter — pod names are identical to the historical
+    /// scheme (`{job}-w{serial:04}`, monotonically increasing across
+    /// expands) without listing or re-parsing existing pods.
+    fn create_workers(&mut self, job: JobId, count: u32, now: SimTime) {
+        let name = self.registry.name(job).to_string();
+        if job.index() >= self.next_serial.len() {
+            self.next_serial.resize(job.index() + 1, 0);
+        }
+        let start = self.next_serial[job.index()];
+        for serial in start..start + count {
+            let pod_name = format!("{name}-w{serial:04}");
             self.plane
                 .pods
-                .create(Pod::worker(name, job, now))
+                .create(Pod::worker(pod_name, &name, now))
                 .expect("fresh worker pod");
         }
+        self.next_serial[job.index()] = start + count;
     }
 
     fn update_nodelist(&mut self, job: &str) {
@@ -268,9 +337,10 @@ impl CharmOperator {
         }
     }
 
-    fn start_job(&mut self, job: &str, replicas: u32, now: SimTime) {
+    fn start_job(&mut self, job: JobId, replicas: u32, now: SimTime) {
+        let name = self.registry.name(job).to_string();
         self.jobs
-            .update(job, |j| {
+            .update(&name, |j| {
                 j.status.phase = JobPhase::Starting;
                 j.status.desired_replicas = replicas;
                 j.status.replicas = replicas;
@@ -279,51 +349,53 @@ impl CharmOperator {
             .expect("job exists");
         self.plane
             .pods
-            .create(Pod::launcher(format!("{job}-launcher"), job, now))
+            .create(Pod::launcher(format!("{name}-launcher"), &name, now))
             .expect("fresh launcher pod");
         self.create_workers(job, replicas, now);
-        self.update_nodelist(job);
+        self.update_nodelist(&name);
         self.util.set(now, job, replicas);
         self.events
-            .record(now, job, "Created", format!("{replicas} replicas"));
+            .record(now, &name, "Created", format!("{replicas} replicas"));
     }
 
-    fn start_shrink(&mut self, job: &str, target: u32, now: SimTime) {
+    fn start_shrink(&mut self, job: JobId, target: u32, now: SimTime) {
+        let name = self.registry.name(job).to_string();
         self.rescale_count += 1;
         self.jobs
-            .update(job, |j| {
+            .update(&name, |j| {
                 j.status.desired_replicas = target;
                 j.status.last_action = now;
             })
             .expect("job exists");
-        if let Some(handle) = self.handles.get_mut(job) {
+        if let Some(handle) = self.handles.get_mut(&job) {
             // Paper's shrink sequence: signal first, remove pods on ack.
             handle.request_rescale(target);
             self.flows
-                .insert(job.to_string(), RescaleFlow::ShrinkSignalled { target });
+                .insert(job, RescaleFlow::ShrinkSignalled { target });
             self.events
-                .record(now, job, "ShrinkSignalled", format!("-> {target}"));
+                .record(now, &name, "ShrinkSignalled", format!("-> {target}"));
         } else {
             // Job hasn't launched yet: adjust pods directly.
-            self.remove_excess_workers(job, target);
+            self.remove_excess_workers(&name, target);
             self.jobs
-                .update(job, |j| j.status.replicas = target)
+                .update(&name, |j| j.status.replicas = target)
                 .expect("job exists");
             self.util.set(now, job, target);
             self.events
-                .record(now, job, "Shrunk", format!("-> {target} (pre-launch)"));
+                .record(now, &name, "Shrunk", format!("-> {target} (pre-launch)"));
         }
     }
 
-    fn start_expand(&mut self, job: &str, target: u32, now: SimTime) {
+    fn start_expand(&mut self, job: JobId, target: u32, now: SimTime) {
+        let name = self.registry.name(job).to_string();
         self.rescale_count += 1;
         let current = self
             .jobs
-            .get(job)
+            .get(&name)
             .map(|j| j.obj.status.replicas)
             .unwrap_or(0);
         self.jobs
-            .update(job, |j| {
+            .update(&name, |j| {
                 j.status.desired_replicas = target;
                 j.status.last_action = now;
             })
@@ -331,14 +403,14 @@ impl CharmOperator {
         // Paper's expand sequence: pods first, nodelist, then signal.
         self.create_workers(job, target.saturating_sub(current), now);
         self.util.set(now, job, target);
-        if self.handles.contains_key(job) {
+        if self.handles.contains_key(&job) {
             self.flows
-                .insert(job.to_string(), RescaleFlow::ExpandPodsPending { target });
+                .insert(job, RescaleFlow::ExpandPodsPending { target });
             self.events
-                .record(now, job, "ExpandStarted", format!("-> {target}"));
+                .record(now, &name, "ExpandStarted", format!("-> {target}"));
         } else {
             self.events
-                .record(now, job, "ExpandPreLaunch", format!("-> {target}"));
+                .record(now, &name, "ExpandPreLaunch", format!("-> {target}"));
         }
     }
 
@@ -353,9 +425,12 @@ impl CharmOperator {
     // Watch-driven reconciliation
     // -----------------------------------------------------------------
 
-    /// Runs the admission decision for `name` exactly once.
+    /// Runs the admission decision for `name` exactly once: interns the
+    /// id, inserts the queued job into the maintained view, and asks
+    /// the policy.
     fn plan_admission(&mut self, name: &str) {
-        if !self.planned.insert(name.to_string()) {
+        let id = self.registry.intern(name);
+        if !self.planned.insert(id) {
             return;
         }
         let Some(stored) = self.jobs.get(name) else {
@@ -365,14 +440,26 @@ impl CharmOperator {
             return;
         }
         let now = self.plane.now();
+        self.view.insert(
+            JobState {
+                id,
+                min_replicas: stored.obj.spec.min_replicas,
+                max_replicas: stored.obj.spec.max_replicas,
+                priority: stored.obj.spec.priority,
+                submitted_at: stored.obj.status.submitted_at,
+                replicas: 0,
+                last_action: stored.obj.status.last_action,
+                running: false,
+            },
+            self.policy.launcher_slots(),
+        );
         self.events.record(now, name, "Submitted", "");
         if stored.obj.status.cancel_requested {
             // Cancelled before the reconciler ever saw it.
             self.cancel_job(name, now);
             return;
         }
-        let view = self.build_view();
-        let actions = self.policy.on_submit(&view, name, now);
+        let actions = self.policy.on_submit(&self.view, id, now);
         self.apply_actions(&actions, now);
     }
 
@@ -388,11 +475,13 @@ impl CharmOperator {
         if phase.is_terminal() {
             return;
         }
+        let id = self.registry.intern(name);
         self.cancel_count += 1;
-        if let Some(mut handle) = self.handles.remove(name) {
+        if let Some(mut handle) = self.handles.remove(&id) {
             handle.stop(); // executor kill path
         }
-        self.flows.remove(name);
+        self.flows.remove(&id);
+        self.view.remove(id, self.policy.launcher_slots());
         for pod in self.plane.pods_of_job(name) {
             self.plane.delete_pod(&pod.name);
         }
@@ -405,20 +494,22 @@ impl CharmOperator {
                 j.status.completed_at = Some(now);
             })
             .expect("job exists");
-        self.planned.insert(name.to_string());
-        self.util.set(now, name, 0);
+        self.planned.insert(id);
+        self.util.set(now, id, 0);
         self.events.record(now, name, "Cancelled", "");
         if phase != JobPhase::Queued {
             // The job held slots: run the completion redistribution so
             // the policy reassigns them in the same reconcile.
-            let view = self.build_view();
-            let actions = self.policy.on_complete(&view, now);
+            let actions = self.policy.on_complete(&self.view, now);
             self.apply_actions(&actions, now);
         }
     }
 
     /// Drains the CharmJob watch stream: plans new submissions (in
-    /// submission order) and executes cancellation requests.
+    /// submission order) and executes cancellation requests. This is
+    /// the *batched admission* path: a burst of submissions is
+    /// collected in one drain, sorted once, and decided back-to-back
+    /// against the shared maintained view.
     fn reconcile_job_events(&mut self) {
         let mut admissions: Vec<(SimTime, String)> = Vec::new();
         let mut cancels: Vec<String> = Vec::new();
@@ -479,8 +570,9 @@ impl CharmOperator {
             && self.plane.job_pods_running(name, PodRole::Launcher, 1)
         {
             let now = self.plane.now();
+            let id = self.registry.id(name).expect("starting job was admitted");
             let handle = self.executor.launch(&job.spec, job.status.desired_replicas);
-            self.handles.insert(name.to_string(), handle);
+            self.handles.insert(id, handle);
             self.jobs
                 .update(name, |j| {
                     j.status.phase = JobPhase::Running;
@@ -500,22 +592,22 @@ impl CharmOperator {
     fn timer_pass(&mut self) {
         let now = self.plane.now();
 
-        // Progress rescale flows.
-        let mut flow_jobs: Vec<String> = self.flows.keys().cloned().collect();
-        flow_jobs.sort();
-        for name in flow_jobs {
-            let flow = self.flows[&name];
+        // Progress rescale flows (BTreeMap: deterministic id order).
+        let flow_jobs: Vec<JobId> = self.flows.keys().copied().collect();
+        for id in flow_jobs {
+            let flow = self.flows[&id];
+            let name = self.registry.name(id).to_string();
             match flow {
                 RescaleFlow::ShrinkSignalled { target } => {
-                    let acked = self.handles.get_mut(&name).and_then(|h| h.rescale_acked());
+                    let acked = self.handles.get_mut(&id).and_then(|h| h.rescale_acked());
                     if let Some(report) = acked {
                         self.remove_excess_workers(&name, target);
                         self.update_nodelist(&name);
                         self.jobs
                             .update(&name, |j| j.status.replicas = target)
                             .expect("job exists");
-                        self.util.set(now, &name, target);
-                        self.flows.remove(&name);
+                        self.util.set(now, id, target);
+                        self.flows.remove(&id);
                         self.events.record(
                             now,
                             &name,
@@ -530,22 +622,22 @@ impl CharmOperator {
                         .job_pods_running(&name, PodRole::Worker, target as usize)
                     {
                         self.update_nodelist(&name);
-                        if let Some(handle) = self.handles.get_mut(&name) {
+                        if let Some(handle) = self.handles.get_mut(&id) {
                             handle.request_rescale(target);
                         }
                         self.flows
-                            .insert(name.clone(), RescaleFlow::ExpandSignalled { target });
+                            .insert(id, RescaleFlow::ExpandSignalled { target });
                         self.events
                             .record(now, &name, "ExpandSignalled", format!("-> {target}"));
                     }
                 }
                 RescaleFlow::ExpandSignalled { target } => {
-                    let acked = self.handles.get_mut(&name).and_then(|h| h.rescale_acked());
+                    let acked = self.handles.get_mut(&id).and_then(|h| h.rescale_acked());
                     if let Some(report) = acked {
                         self.jobs
                             .update(&name, |j| j.status.replicas = target)
                             .expect("job exists");
-                        self.flows.remove(&name);
+                        self.flows.remove(&id);
                         self.events.record(
                             now,
                             &name,
@@ -557,19 +649,24 @@ impl CharmOperator {
             }
         }
 
-        // Detect completions (executor handles are poll-only).
-        let mut running: Vec<String> = self
+        // Detect completions (executor handles are poll-only). Id order
+        // = admission order, deterministic in both drive modes.
+        let mut running: Vec<(JobId, String)> = self
             .jobs
             .list()
             .into_iter()
             .filter(|s| s.obj.status.phase == JobPhase::Running)
-            .map(|s| s.obj.spec.name)
+            .map(|s| {
+                let name = s.obj.spec.name;
+                let id = self.registry.id(&name).expect("running job was admitted");
+                (id, name)
+            })
             .collect();
-        running.sort();
-        for name in running {
+        running.sort_by_key(|&(id, _)| id);
+        for (id, name) in running {
             let finished = self
                 .handles
-                .get_mut(&name)
+                .get_mut(&id)
                 .is_some_and(|h| h.status() == ExecStatus::Finished);
             if finished {
                 self.complete_job(&name, now);
@@ -581,8 +678,7 @@ impl CharmOperator {
             if now >= due {
                 let interval = self.policy.timer_interval().expect("timer configured");
                 self.next_timer = Some(now + interval);
-                let view = self.build_view();
-                let actions = self.policy.on_timer(&view, now);
+                let actions = self.policy.on_timer(&self.view, now);
                 self.apply_actions(&actions, now);
             }
         }
@@ -602,9 +698,11 @@ impl CharmOperator {
     }
 
     /// The legacy polled drive: ignores the watch streams entirely and
-    /// rebuilds the world by scanning the stores every round. Retained
-    /// so tests can assert the watch-driven path is observationally
-    /// identical (`watch_equivalence`).
+    /// rediscovers admissions and cancellations by scanning the stores
+    /// every round. Retained so tests can assert the watch-driven path
+    /// is observationally identical (`watch_equivalence`). Note the
+    /// *view* is still the maintained one — the equivalence proof
+    /// covers it in both drive modes.
     pub fn tick_polled(&mut self) {
         // Discard watch events — this drive mode rediscovers everything
         // by scanning, and an unbounded queue would otherwise grow.
@@ -627,7 +725,12 @@ impl CharmOperator {
             .collect();
         jobs.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
         for (_, name, phase, _) in &jobs {
-            if *phase == JobPhase::Queued && !self.planned.contains(name) {
+            if *phase == JobPhase::Queued
+                && !self
+                    .registry
+                    .id(name)
+                    .is_some_and(|id| self.planned.contains(&id))
+            {
                 self.plan_admission(name);
             }
         }
@@ -657,6 +760,7 @@ impl CharmOperator {
     }
 
     fn complete_job(&mut self, name: &str, now: SimTime) {
+        let id = self.registry.id(name).expect("completing job was admitted");
         self.jobs
             .update(name, |j| {
                 j.status.phase = JobPhase::Completed;
@@ -667,16 +771,16 @@ impl CharmOperator {
             self.plane.delete_pod(&pod.name);
         }
         let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
-        if let Some(mut handle) = self.handles.remove(name) {
+        if let Some(mut handle) = self.handles.remove(&id) {
             handle.stop();
         }
-        self.flows.remove(name);
-        self.util.set(now, name, 0);
+        self.flows.remove(&id);
+        self.view.remove(id, self.policy.launcher_slots());
+        self.util.set(now, id, 0);
         self.events.record(now, name, "Completed", "");
 
         // Fig. 3: redistribute the freed slots.
-        let view = self.build_view();
-        let actions = self.policy.on_complete(&view, now);
+        let actions = self.policy.on_complete(&self.view, now);
         self.apply_actions(&actions, now);
     }
 

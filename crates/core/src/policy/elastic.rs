@@ -18,8 +18,14 @@
 //!    un-strands slots left by gap-blocked earlier passes; the paper
 //!    folds leftovers back into `freeSlots` with the same effect over
 //!    time).
+//!
+//! Priority orders are *read off the view's maintained indexes* — no
+//! sort, no allocation beyond the returned actions. The only sorting
+//! path left is the aging slow path of [`plan_complete`], where
+//! effective priorities depend on `now` and a static index cannot
+//! exist.
 
-use hpc_metrics::SimTime;
+use hpc_metrics::{JobId, SimTime};
 
 use crate::view::{Action, ClusterView, JobState};
 
@@ -53,42 +59,45 @@ fn effective_bounds(policy: &Policy, capacity: u32, job: &JobState) -> (u32, u32
 pub(super) fn plan_submit(
     policy: &Policy,
     view: &ClusterView,
-    job_name: &str,
+    job_id: JobId,
     now: SimTime,
 ) -> Vec<Action> {
     let job = view
-        .job(job_name)
-        .unwrap_or_else(|| panic!("on_submit for unknown job {job_name}"));
-    assert!(!job.running, "on_submit for already-running {job_name}");
-    let (jmin, jmax) = effective_bounds(policy, view.capacity, job);
+        .job(job_id)
+        .unwrap_or_else(|| panic!("on_submit for unknown job {job_id}"));
+    assert!(!job.running, "on_submit for already-running {job_id}");
+    let (jmin, jmax) = effective_bounds(policy, view.capacity(), job);
     let launcher = i64::from(policy.cfg.launcher_slots);
-    let free = i64::from(view.free_slots);
+    let free = i64::from(view.free_slots());
 
     // Fast path: fits right now (possibly below max).
     let replicas = (free - launcher).min(i64::from(jmax));
     if replicas >= i64::from(jmin) {
         return vec![Action::Create {
-            job: job_name.to_string(),
+            job: job_id,
             replicas: replicas as u32,
         }];
     }
 
     // A job whose *spec* minimum footprint exceeds the cluster can
     // never run (the effective bounds above are already clamped).
-    if i64::from(job.min_replicas) + launcher > i64::from(view.capacity) {
-        return vec![Action::Enqueue {
-            job: job_name.to_string(),
-        }];
+    if i64::from(job.min_replicas) + launcher > i64::from(view.capacity()) {
+        return vec![Action::Enqueue { job: job_id }];
     }
 
-    let running = view.running_desc_priority();
+    // The shrink scans walk `runningJobs` from the *lowest* priority
+    // upward, sparing the head: ascending iteration over the maintained
+    // index, truncated so the top `skip_head` entries are never
+    // reached — identical order to the paper's `.skip(head).rev()`
+    // over the descending list, without materializing it.
     let skip_head = usize::from(policy.cfg.shrink_spares_head);
+    let shrinkable = view.running_count().saturating_sub(skip_head);
 
     // Pass 1 (dry run): can shrinking lower-priority jobs free enough
     // slots to start at the *minimum* configuration?
     let mut num_to_free = i64::from(jmin) + launcher - free;
     debug_assert!(num_to_free > 0);
-    for j in running.iter().skip(skip_head).rev() {
+    for j in view.running_desc_priority().rev().take(shrinkable) {
         if num_to_free <= 0 {
             break;
         }
@@ -98,16 +107,14 @@ pub(super) fn plan_submit(
         if j.priority > job.priority {
             break;
         }
-        let (mn, _) = effective_bounds(policy, view.capacity, j);
+        let (mn, _) = effective_bounds(policy, view.capacity(), j);
         if j.replicas > mn {
             let new_replicas = i64::from(mn).max(i64::from(j.replicas) - num_to_free);
             num_to_free -= i64::from(j.replicas) - new_replicas;
         }
     }
     if num_to_free > 0 {
-        return vec![Action::Enqueue {
-            job: job_name.to_string(),
-        }];
+        return vec![Action::Enqueue { job: job_id }];
     }
 
     // Pass 2: shrink for real, aiming for the *maximum* configuration.
@@ -115,7 +122,7 @@ pub(super) fn plan_submit(
     let mut min_to_free = i64::from(jmin) + launcher - free;
     let mut max_to_free = i64::from(jmax) + launcher - free;
     let mut freed_total: i64 = 0;
-    for j in running.iter().skip(skip_head).rev() {
+    for j in view.running_desc_priority().rev().take(shrinkable) {
         if max_to_free <= 0 {
             break;
         }
@@ -125,13 +132,13 @@ pub(super) fn plan_submit(
         if j.priority > job.priority {
             break;
         }
-        let (mn, _) = effective_bounds(policy, view.capacity, j);
+        let (mn, _) = effective_bounds(policy, view.capacity(), j);
         if j.replicas > mn {
             let new_replicas = i64::from(mn).max(i64::from(j.replicas) - max_to_free) as u32;
             let freed = i64::from(j.replicas) - i64::from(new_replicas);
             debug_assert!(freed > 0);
             actions.push(Action::Shrink {
-                job: j.name.clone(),
+                job: j.id,
                 to_replicas: new_replicas,
             });
             min_to_free -= freed;
@@ -142,18 +149,56 @@ pub(super) fn plan_submit(
     if min_to_free > 0 {
         // The paper's guard for failed shrinks; unreachable with our
         // deterministic apply, but kept for structural fidelity.
-        actions.push(Action::Enqueue {
-            job: job_name.to_string(),
-        });
+        actions.push(Action::Enqueue { job: job_id });
         return actions;
     }
     let replicas = (free + freed_total - launcher).min(i64::from(jmax));
     debug_assert!(replicas >= i64::from(jmin));
     actions.push(Action::Create {
-        job: job_name.to_string(),
+        job: job_id,
         replicas: replicas as u32,
     });
     actions
+}
+
+/// One Fig. 3 distribution step for `j`; updates the remaining-worker
+/// budget and the action list.
+fn distribute_to(
+    policy: &Policy,
+    capacity: u32,
+    launcher: i64,
+    j: &JobState,
+    now: SimTime,
+    num_workers: &mut i64,
+    actions: &mut Vec<Action>,
+) {
+    if policy.gap_blocked(j, now) {
+        return;
+    }
+    let (mn, mx) = effective_bounds(policy, capacity, j);
+    if j.running {
+        if j.replicas < mx {
+            let add = (*num_workers).min(i64::from(mx) - i64::from(j.replicas));
+            actions.push(Action::Expand {
+                job: j.id,
+                to_replicas: j.replicas + add as u32,
+            });
+            *num_workers -= add;
+        }
+    } else {
+        // Queued job: needs its launcher slot plus >= min workers.
+        if *num_workers <= launcher {
+            return;
+        }
+        let add = (*num_workers - launcher).min(i64::from(mx));
+        if add >= i64::from(mn) {
+            actions.push(Action::Create {
+                job: j.id,
+                replicas: add as u32,
+            });
+            *num_workers -= add + launcher;
+        }
+    }
 }
 
 /// Fig. 3: redistribution when slots free up (a job completed).
@@ -161,48 +206,54 @@ pub(super) fn plan_submit(
 /// With aging enabled (`Policy::with_aging`), the priority order here
 /// uses *effective* priorities, so long-waiting queued jobs climb past
 /// fresher high-priority work — the paper's §3.2.2 starvation remedy.
-/// At the paper's default (rate 0) the order is exactly Fig. 3's.
+/// At the paper's default (rate 0) the order is exactly Fig. 3's, read
+/// straight off the view's maintained priority index.
 pub(super) fn plan_complete(policy: &Policy, view: &ClusterView, now: SimTime) -> Vec<Action> {
     let launcher = i64::from(policy.cfg.launcher_slots);
-    let mut num_workers = i64::from(view.free_slots);
+    let mut num_workers = i64::from(view.free_slots());
     let mut actions = Vec::new();
-    let mut ordered: Vec<&crate::view::JobState> = view.jobs.iter().collect();
-    ordered.sort_by(|a, b| {
-        policy
-            .effective_priority(b, now)
-            .total_cmp(&policy.effective_priority(a, now))
-            .then_with(|| a.submitted_at.cmp(&b.submitted_at))
-    });
-    for j in ordered {
-        if num_workers <= 0 {
-            break;
+    if num_workers <= 0 {
+        return actions;
+    }
+    if policy.aging_rate > 0.0 {
+        // Aging slow path: effective priorities depend on `now`, so no
+        // static index can serve this order.
+        let mut ordered: Vec<&JobState> = view.jobs().collect();
+        ordered.sort_by(|a, b| {
+            policy
+                .effective_priority(b, now)
+                .total_cmp(&policy.effective_priority(a, now))
+                .then_with(|| a.submitted_at.cmp(&b.submitted_at))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        for j in ordered {
+            if num_workers <= 0 {
+                break;
+            }
+            distribute_to(
+                policy,
+                view.capacity(),
+                launcher,
+                j,
+                now,
+                &mut num_workers,
+                &mut actions,
+            );
         }
-        if policy.gap_blocked(j, now) {
-            continue;
-        }
-        let (mn, mx) = effective_bounds(policy, view.capacity, j);
-        if j.running {
-            if j.replicas < mx {
-                let add = num_workers.min(i64::from(mx) - i64::from(j.replicas));
-                actions.push(Action::Expand {
-                    job: j.name.clone(),
-                    to_replicas: j.replicas + add as u32,
-                });
-                num_workers -= add;
+    } else {
+        for j in view.all_desc_priority() {
+            if num_workers <= 0 {
+                break;
             }
-        } else {
-            // Queued job: needs its launcher slot plus >= min workers.
-            if num_workers <= launcher {
-                continue;
-            }
-            let add = (num_workers - launcher).min(i64::from(mx));
-            if add >= i64::from(mn) {
-                actions.push(Action::Create {
-                    job: j.name.clone(),
-                    replicas: add as u32,
-                });
-                num_workers -= add + launcher;
-            }
+            distribute_to(
+                policy,
+                view.capacity(),
+                launcher,
+                j,
+                now,
+                &mut num_workers,
+                &mut actions,
+            );
         }
     }
     actions
@@ -226,9 +277,9 @@ mod tests {
         }
     }
 
-    fn job(name: &str, prio: u32, submitted: f64, min: u32, max: u32) -> JobState {
+    fn job(id: u32, prio: u32, submitted: f64, min: u32, max: u32) -> JobState {
         JobState {
-            name: name.into(),
+            id: JobId(id),
             min_replicas: min,
             max_replicas: max,
             priority: prio,
@@ -247,11 +298,7 @@ mod tests {
     }
 
     fn view(free: u32, jobs: Vec<JobState>) -> ClusterView {
-        ClusterView {
-            capacity: CAP,
-            free_slots: free,
-            jobs,
-        }
+        crate::view::tests::view_of(CAP, free, jobs)
     }
 
     fn t(s: f64) -> SimTime {
@@ -263,12 +310,12 @@ mod tests {
     #[test]
     fn empty_cluster_creates_at_max() {
         let pol = Policy::elastic(cfg(180.0));
-        let v = view(64, vec![job("new", 3, 0.0, 8, 32)]);
-        let actions = pol.on_submit(&v, "new", t(0.0));
+        let v = view(64, vec![job(0, 3, 0.0, 8, 32)]);
+        let actions = pol.on_submit(&v, JobId(0), t(0.0));
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 32
             }]
         );
@@ -279,12 +326,12 @@ mod tests {
         // 33 free, max 32: only 32 fit after the launcher -> 32. With 32
         // free, 31 workers fit.
         let pol = Policy::elastic(cfg(180.0));
-        let v = view(32, vec![job("new", 3, 0.0, 8, 32)]);
-        let actions = pol.on_submit(&v, "new", t(0.0));
+        let v = view(32, vec![job(0, 3, 0.0, 8, 32)]);
+        let actions = pol.on_submit(&v, JobId(0), t(0.0));
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 31
             }]
         );
@@ -293,12 +340,12 @@ mod tests {
     #[test]
     fn partial_fit_between_min_and_max() {
         let pol = Policy::elastic(cfg(180.0));
-        let v = view(10, vec![job("new", 3, 0.0, 4, 32)]);
-        let actions = pol.on_submit(&v, "new", t(0.0));
+        let v = view(10, vec![job(0, 3, 0.0, 4, 32)]);
+        let actions = pol.on_submit(&v, JobId(0), t(0.0));
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 9
             }]
         );
@@ -306,24 +353,24 @@ mod tests {
 
     #[test]
     fn shrinks_lower_priority_to_make_room() {
-        // Head job (high prio) + low-prio job at 30 of [4,30]; new
-        // high-prio job needs min 16. Free = 2.
+        // Head job (high prio, id 0) + low-prio job (id 1) at 30 of
+        // [4,30]; new high-prio job (id 2) needs min 16. Free = 2.
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 8, 31), 31, 0.0);
-        let low = running(job("low", 1, 1.0, 4, 30), 30, 0.0);
-        let new = job("new", 4, 500.0, 16, 32);
+        let head = running(job(0, 5, 0.0, 8, 31), 31, 0.0);
+        let low = running(job(1, 1, 1.0, 4, 30), 30, 0.0);
+        let new = job(2, 4, 500.0, 16, 32);
         let v = view(2, vec![head, low, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
+        let actions = pol.on_submit(&v, JobId(2), t(500.0));
         // Shrink low to min (frees 26), create new at min(2+26-1, 32)=27.
         assert_eq!(
             actions,
             vec![
                 Action::Shrink {
-                    job: "low".into(),
+                    job: JobId(1),
                     to_replicas: 4
                 },
                 Action::Create {
-                    job: "new".into(),
+                    job: JobId(2),
                     replicas: 27
                 },
             ]
@@ -335,20 +382,20 @@ mod tests {
         // low at 30 of [4,30]; new needs max 8 (min 2). Free = 3.
         // max_to_free = 8 + 1 - 3 = 6 -> low shrinks 30 -> 24.
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 8, 31), 31, 0.0);
-        let low = running(job("low", 1, 1.0, 4, 30), 30, 0.0);
-        let new = job("new", 4, 500.0, 8, 8);
+        let head = running(job(0, 5, 0.0, 8, 31), 31, 0.0);
+        let low = running(job(1, 1, 1.0, 4, 30), 30, 0.0);
+        let new = job(2, 4, 500.0, 8, 8);
         let v = view(3, vec![head, low, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
+        let actions = pol.on_submit(&v, JobId(2), t(500.0));
         assert_eq!(
             actions,
             vec![
                 Action::Shrink {
-                    job: "low".into(),
+                    job: JobId(1),
                     to_replicas: 24
                 },
                 Action::Create {
-                    job: "new".into(),
+                    job: JobId(2),
                     replicas: 8
                 },
             ]
@@ -358,27 +405,27 @@ mod tests {
     #[test]
     fn enqueues_when_higher_priority_blocks() {
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 4, 40), 40, 0.0);
-        let mid = running(job("mid", 4, 1.0, 4, 22), 22, 0.0);
-        let new = job("new", 3, 500.0, 16, 32);
+        let head = running(job(0, 5, 0.0, 4, 40), 40, 0.0);
+        let mid = running(job(1, 4, 1.0, 4, 22), 22, 0.0);
+        let new = job(2, 3, 500.0, 16, 32);
         let v = view(1, vec![head, mid, new]);
         // Both running jobs outrank "new": break immediately -> enqueue.
-        let actions = pol.on_submit(&v, "new", t(500.0));
-        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+        let actions = pol.on_submit(&v, JobId(2), t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: JobId(2) }]);
     }
 
     #[test]
     fn gap_blocks_shrink_and_causes_enqueue() {
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 8, 32), 32, 0.0);
+        let head = running(job(0, 5, 0.0, 8, 32), 32, 0.0);
         // Low-priority job acted on recently (t=400, now=500 < 400+180).
-        let low = running(job("low", 1, 1.0, 4, 30), 30, 400.0);
-        let new = job("new", 4, 500.0, 16, 32);
+        let low = running(job(1, 1, 1.0, 4, 30), 30, 400.0);
+        let new = job(2, 4, 500.0, 16, 32);
         let v = view(1, vec![head, low, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
-        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+        let actions = pol.on_submit(&v, JobId(2), t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: JobId(2) }]);
         // Once the gap expires the same submission shrinks.
-        let actions = pol.on_submit(&v, "new", t(600.0));
+        let actions = pol.on_submit(&v, JobId(2), t(600.0));
         assert!(matches!(actions[0], Action::Shrink { .. }));
     }
 
@@ -387,11 +434,11 @@ mod tests {
         let pol = Policy::elastic(cfg(180.0));
         // Only ONE running job — it is runningJobs[0] and spared, even
         // though it is low priority and shrinkable.
-        let solo = running(job("solo", 1, 0.0, 4, 60), 60, 0.0);
-        let new = job("new", 5, 500.0, 16, 32);
+        let solo = running(job(0, 1, 0.0, 4, 60), 60, 0.0);
+        let new = job(1, 5, 500.0, 16, 32);
         let v = view(3, vec![solo, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
-        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+        let actions = pol.on_submit(&v, JobId(1), t(500.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: JobId(1) }]);
     }
 
     #[test]
@@ -399,19 +446,19 @@ mod tests {
         let mut c = cfg(180.0);
         c.shrink_spares_head = false;
         let pol = Policy::elastic(c);
-        let solo = running(job("solo", 1, 0.0, 4, 60), 60, 0.0);
-        let new = job("new", 5, 500.0, 16, 32);
+        let solo = running(job(0, 1, 0.0, 4, 60), 60, 0.0);
+        let new = job(1, 5, 500.0, 16, 32);
         let v = view(3, vec![solo, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
+        let actions = pol.on_submit(&v, JobId(1), t(500.0));
         assert_eq!(
             actions,
             vec![
                 Action::Shrink {
-                    job: "solo".into(),
+                    job: JobId(0),
                     to_replicas: 30
                 },
                 Action::Create {
-                    job: "new".into(),
+                    job: JobId(1),
                     replicas: 32
                 },
             ]
@@ -423,13 +470,13 @@ mod tests {
         // Paper's break is strictly `>`: an equal-priority job may be
         // shrunk for the newcomer.
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 8, 32), 32, 0.0);
-        let peer = running(job("peer", 3, 1.0, 4, 30), 30, 0.0);
-        let new = job("new", 3, 500.0, 16, 32);
+        let head = running(job(0, 5, 0.0, 8, 32), 32, 0.0);
+        let peer = running(job(1, 3, 1.0, 4, 30), 30, 0.0);
+        let new = job(2, 3, 500.0, 16, 32);
         let v = view(1, vec![head, peer, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
+        let actions = pol.on_submit(&v, JobId(2), t(500.0));
         assert!(
-            matches!(&actions[0], Action::Shrink { job, .. } if job == "peer"),
+            matches!(&actions[0], Action::Shrink { job, .. } if *job == JobId(1)),
             "expected shrink of equal-priority peer, got {actions:?}"
         );
     }
@@ -437,26 +484,26 @@ mod tests {
     #[test]
     fn shrinks_lowest_priority_first() {
         let pol = Policy::elastic(cfg(180.0));
-        let head = running(job("head", 5, 0.0, 4, 24), 24, 0.0);
-        let mid = running(job("mid", 3, 1.0, 4, 20), 20, 0.0);
-        let low = running(job("low", 1, 2.0, 4, 18), 18, 0.0);
-        let new = job("new", 4, 500.0, 16, 64);
+        let head = running(job(0, 5, 0.0, 4, 24), 24, 0.0);
+        let mid = running(job(1, 3, 1.0, 4, 20), 20, 0.0);
+        let low = running(job(2, 1, 2.0, 4, 18), 18, 0.0);
+        let new = job(3, 4, 500.0, 16, 64);
         let v = view(2, vec![head, mid, low, new]);
-        let actions = pol.on_submit(&v, "new", t(500.0));
+        let actions = pol.on_submit(&v, JobId(3), t(500.0));
         // max_to_free = 64+1-2 = 63: low sheds 14, then mid sheds 16.
         assert_eq!(
             actions,
             vec![
                 Action::Shrink {
-                    job: "low".into(),
+                    job: JobId(2),
                     to_replicas: 4
                 },
                 Action::Shrink {
-                    job: "mid".into(),
+                    job: JobId(1),
                     to_replicas: 4
                 },
                 Action::Create {
-                    job: "new".into(),
+                    job: JobId(3),
                     replicas: 31
                 },
             ]
@@ -466,10 +513,10 @@ mod tests {
     #[test]
     fn impossible_job_enqueued() {
         let pol = Policy::elastic(cfg(180.0));
-        let new = job("new", 5, 0.0, 64, 64); // min 64 + launcher > 64
+        let new = job(0, 5, 0.0, 64, 64); // min 64 + launcher > 64
         let v = view(64, vec![new]);
-        let actions = pol.on_submit(&v, "new", t(0.0));
-        assert_eq!(actions, vec![Action::Enqueue { job: "new".into() }]);
+        let actions = pol.on_submit(&v, JobId(0), t(0.0));
+        assert_eq!(actions, vec![Action::Enqueue { job: JobId(0) }]);
     }
 
     // ---- Fig. 3: completion ------------------------------------------
@@ -477,19 +524,19 @@ mod tests {
     #[test]
     fn completion_expands_highest_priority_first() {
         let pol = Policy::elastic(cfg(180.0));
-        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
-        let b = running(job("b", 3, 1.0, 4, 32), 8, 0.0);
+        let a = running(job(0, 5, 0.0, 4, 32), 8, 0.0);
+        let b = running(job(1, 3, 1.0, 4, 32), 8, 0.0);
         let v = view(30, vec![a, b]);
         let actions = pol.on_complete(&v, t(500.0));
         assert_eq!(
             actions,
             vec![
                 Action::Expand {
-                    job: "a".into(),
+                    job: JobId(0),
                     to_replicas: 32
                 },
                 Action::Expand {
-                    job: "b".into(),
+                    job: JobId(1),
                     to_replicas: 14
                 },
             ]
@@ -499,13 +546,13 @@ mod tests {
     #[test]
     fn completion_starts_queued_jobs_with_launcher_budget() {
         let pol = Policy::elastic(cfg(180.0));
-        let q = job("q", 4, 0.0, 4, 16);
+        let q = job(0, 4, 0.0, 4, 16);
         let v = view(10, vec![q]);
         let actions = pol.on_complete(&v, t(100.0));
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "q".into(),
+                job: JobId(0),
                 replicas: 9
             }]
         );
@@ -516,14 +563,14 @@ mod tests {
         // Improvement (b) of §3.2: a large queued high-priority job that
         // doesn't fit is skipped; a smaller lower-priority one starts.
         let pol = Policy::elastic(cfg(180.0));
-        let big = job("big", 5, 0.0, 32, 64);
-        let small = job("small", 1, 1.0, 4, 8);
+        let big = job(0, 5, 0.0, 32, 64);
+        let small = job(1, 1, 1.0, 4, 8);
         let v = view(10, vec![big, small]);
         let actions = pol.on_complete(&v, t(100.0));
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "small".into(),
+                job: JobId(1),
                 replicas: 8
             }]
         );
@@ -532,15 +579,15 @@ mod tests {
     #[test]
     fn completion_respects_gap_for_running_jobs() {
         let pol = Policy::elastic(cfg(180.0));
-        let recent = running(job("recent", 5, 0.0, 4, 32), 8, 450.0);
-        let old = running(job("old", 3, 1.0, 4, 32), 8, 0.0);
+        let recent = running(job(0, 5, 0.0, 4, 32), 8, 450.0);
+        let old = running(job(1, 3, 1.0, 4, 32), 8, 0.0);
         let v = view(10, vec![recent, old]);
         let actions = pol.on_complete(&v, t(500.0));
         // "recent" is inside the gap; only "old" expands.
         assert_eq!(
             actions,
             vec![Action::Expand {
-                job: "old".into(),
+                job: JobId(1),
                 to_replicas: 18
             }]
         );
@@ -549,7 +596,7 @@ mod tests {
     #[test]
     fn completion_with_no_capacity_is_quiet() {
         let pol = Policy::elastic(cfg(180.0));
-        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
+        let a = running(job(0, 5, 0.0, 4, 32), 8, 0.0);
         let v = view(0, vec![a]);
         assert!(pol.on_complete(&v, t(100.0)).is_empty());
     }
@@ -557,7 +604,7 @@ mod tests {
     #[test]
     fn completion_single_free_slot_cannot_start_queued_job() {
         let pol = Policy::elastic(cfg(180.0));
-        let q = job("q", 4, 0.0, 1, 8);
+        let q = job(0, 4, 0.0, 1, 8);
         let v = view(1, vec![q]);
         // 1 free == launcher budget: nothing can start.
         assert!(pol.on_complete(&v, t(100.0)).is_empty());
@@ -567,17 +614,17 @@ mod tests {
 
     #[test]
     fn aging_zero_matches_fig3_order_exactly() {
-        // With the paper's default (no aging), the new sort must equal
-        // the static priority order for arbitrary views.
+        // With the paper's default (no aging), the indexed order must
+        // equal the static priority order for arbitrary views.
         let pol = Policy::elastic(cfg(180.0));
-        let hi = job("hi", 5, 0.0, 4, 16);
-        let lo_old = job("lo_old", 1, 1.0, 4, 16);
+        let hi = job(1, 5, 0.0, 4, 16);
+        let lo_old = job(0, 1, 1.0, 4, 16);
         let v = view(30, vec![lo_old, hi]);
         let actions = pol.on_complete(&v, t(10_000.0));
         // Without aging the priority-5 job is created first and takes
         // the bigger allocation.
         assert!(
-            matches!(&actions[0], Action::Create { job, replicas } if job == "hi" && *replicas == 16)
+            matches!(&actions[0], Action::Create { job, replicas } if *job == JobId(1) && *replicas == 16)
         );
     }
 
@@ -586,12 +633,12 @@ mod tests {
         // lo_old has waited ~10000s; at 0.001 prio/s it gains ~10
         // points and outranks the fresh priority-5 job.
         let pol = Policy::elastic(cfg(180.0)).with_aging(0.001);
-        let hi = job("hi", 5, 9_990.0, 4, 16);
-        let lo_old = job("lo_old", 1, 1.0, 4, 16);
+        let hi = job(1, 5, 9_990.0, 4, 16);
+        let lo_old = job(0, 1, 1.0, 4, 16);
         let v = view(30, vec![lo_old, hi]);
         let actions = pol.on_complete(&v, t(10_000.0));
         assert!(
-            matches!(&actions[0], Action::Create { job, .. } if job == "lo_old"),
+            matches!(&actions[0], Action::Create { job, .. } if *job == JobId(0)),
             "aged job should be served first, got {actions:?}"
         );
     }
@@ -599,10 +646,10 @@ mod tests {
     #[test]
     fn running_jobs_do_not_age() {
         let pol = Policy::elastic(cfg(180.0)).with_aging(1.0);
-        let r = running(job("r", 2, 0.0, 4, 16), 4, 0.0);
+        let r = running(job(0, 2, 0.0, 4, 16), 4, 0.0);
         // Huge wait, but running: effective == base.
         assert_eq!(pol.effective_priority(&r, t(1e6)), 2.0);
-        let q = job("q", 2, 0.0, 4, 16);
+        let q = job(1, 2, 0.0, 4, 16);
         assert!(pol.effective_priority(&q, t(100.0)) > 2.0);
     }
 
@@ -617,31 +664,31 @@ mod tests {
     #[test]
     fn rigid_max_all_or_nothing() {
         let pol = Policy::rigid_max(cfg(180.0));
-        let new = job("new", 3, 0.0, 4, 16);
+        let new = job(0, 3, 0.0, 4, 16);
         let fits = view(17, vec![new.clone()]);
         assert_eq!(
-            pol.on_submit(&fits, "new", t(0.0)),
+            pol.on_submit(&fits, JobId(0), t(0.0)),
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 16
             }]
         );
         let tight = view(16, vec![new]);
         assert_eq!(
-            pol.on_submit(&tight, "new", t(0.0)),
-            vec![Action::Enqueue { job: "new".into() }]
+            pol.on_submit(&tight, JobId(0), t(0.0)),
+            vec![Action::Enqueue { job: JobId(0) }]
         );
     }
 
     #[test]
     fn rigid_min_never_uses_extra_room() {
         let pol = Policy::rigid_min(cfg(180.0));
-        let new = job("new", 3, 0.0, 4, 16);
+        let new = job(0, 3, 0.0, 4, 16);
         let v = view(64, vec![new]);
         assert_eq!(
-            pol.on_submit(&v, "new", t(0.0)),
+            pol.on_submit(&v, JobId(0), t(0.0)),
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 4
             }]
         );
@@ -650,7 +697,7 @@ mod tests {
     #[test]
     fn rigid_jobs_never_rescale_on_completion() {
         for pol in [Policy::rigid_min(cfg(180.0)), Policy::rigid_max(cfg(180.0))] {
-            let a = running(job("a", 5, 0.0, 8, 8), 8, 0.0);
+            let a = running(job(0, 5, 0.0, 8, 8), 8, 0.0);
             let v = view(40, vec![a]);
             assert!(
                 pol.on_complete(&v, t(500.0)).is_empty(),
@@ -663,31 +710,31 @@ mod tests {
     #[test]
     fn moldable_sizes_at_admission_but_never_rescales() {
         let pol = Policy::moldable(cfg(180.0));
-        let new = job("new", 3, 0.0, 4, 16);
+        let new = job(0, 3, 0.0, 4, 16);
         let v = view(10, vec![new.clone()]);
         assert_eq!(
-            pol.on_submit(&v, "new", t(0.0)),
+            pol.on_submit(&v, JobId(0), t(0.0)),
             vec![Action::Create {
-                job: "new".into(),
+                job: JobId(0),
                 replicas: 9
             }]
         );
         // Never shrinks for a newcomer...
-        let lowrunning = running(job("low", 1, 0.0, 4, 30), 30, 0.0);
-        let newcomer = job("hot", 5, 500.0, 16, 32);
-        let v = view(1, vec![lowrunning, newcomer.clone()]);
+        let lowrunning = running(job(0, 1, 0.0, 4, 30), 30, 0.0);
+        let newcomer = job(1, 5, 500.0, 16, 32);
+        let v = view(1, vec![lowrunning, newcomer]);
         assert_eq!(
-            pol.on_submit(&v, "hot", t(500.0)),
-            vec![Action::Enqueue { job: "hot".into() }]
+            pol.on_submit(&v, JobId(1), t(500.0)),
+            vec![Action::Enqueue { job: JobId(1) }]
         );
         // ...and never expands on completion, but starts queued jobs.
-        let a = running(job("a", 5, 0.0, 4, 32), 8, 0.0);
-        let q = job("q", 3, 1.0, 4, 8);
+        let a = running(job(0, 5, 0.0, 4, 32), 8, 0.0);
+        let q = job(1, 3, 1.0, 4, 8);
         let v = view(12, vec![a, q]);
         assert_eq!(
             pol.on_complete(&v, t(500.0)),
             vec![Action::Create {
-                job: "q".into(),
+                job: JobId(1),
                 replicas: 8
             }]
         );
@@ -718,7 +765,7 @@ mod tests {
                 }
                 used += reps + 1;
                 jobs.push(running(
-                    job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                    job(i as u32, rng.gen_range(1..=5), i as f64, min, max),
                     reps,
                     rng.gen_range(0.0..400.0),
                 ));
@@ -726,29 +773,30 @@ mod tests {
             let free = free.min(64 - used);
             let nmin = rng.gen_range(1..=16);
             let nmax = rng.gen_range(nmin..=nmin + 32);
-            jobs.push(job("new", rng.gen_range(1..=5), 999.0, nmin, nmax));
-            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let new_id = JobId(jobs.len() as u32);
+            jobs.push(job(new_id.0, rng.gen_range(1..=5), 999.0, nmin, nmax));
+            let v = view(free, jobs);
             let now = t(500.0);
             for kind in super::super::PolicyKind::ALL {
                 let pol = Policy::of_kind(kind, cfg(180.0));
-                let mut view = v.clone();
-                let actions = pol.on_submit(&view, "new", now);
+                let mut scratch = v.clone();
+                let actions = pol.on_submit(&scratch, new_id, now);
                 // apply_action panics on any invariant violation.
                 for a in &actions {
-                    apply_action(&mut view, a, now, 1);
+                    apply_action(&mut scratch, a, now, 1);
                     // Gap check: shrunk/expanded jobs must have been
                     // actionable.
                     if let Action::Shrink { job, .. } | Action::Expand { job, .. } = a {
-                        let before = v.job(job).unwrap();
+                        let before = v.job(*job).unwrap();
                         prop_assert!(!pol.gap_blocked(before, now));
                     }
                 }
                 // At most one action per job.
-                let mut names: Vec<&str> = actions.iter().map(|a| a.job()).collect();
-                names.sort_unstable();
-                let len_before = names.len();
-                names.dedup();
-                prop_assert_eq!(names.len(), len_before, "duplicate action on one job");
+                let mut ids: Vec<JobId> = actions.iter().map(|a| a.job()).collect();
+                ids.sort_unstable();
+                let len_before = ids.len();
+                ids.dedup();
+                prop_assert_eq!(ids.len(), len_before, "duplicate action on one job");
             }
         }
 
@@ -762,6 +810,7 @@ mod tests {
             seed in any::<u64>(),
         ) {
             use rand::{Rng, SeedableRng};
+            use hpc_metrics::Duration;
             let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
             let mut jobs = Vec::new();
             let mut used = 0u32;
@@ -770,7 +819,7 @@ mod tests {
                 let max = rng.gen_range(min..=min + 24);
                 let queued = rng.gen_bool(0.3);
                 if queued {
-                    jobs.push(job(&format!("q{i}"), rng.gen_range(1..=5), i as f64, min, max));
+                    jobs.push(job(jobs.len() as u32, rng.gen_range(1..=5), i as f64, min, max));
                 } else {
                     let reps = rng.gen_range(min..=max);
                     if used + reps + 1 > 64 {
@@ -778,7 +827,7 @@ mod tests {
                     }
                     used += reps + 1;
                     jobs.push(running(
-                        job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                        job(jobs.len() as u32, rng.gen_range(1..=5), i as f64, min, max),
                         reps,
                         rng.gen_range(0.0..400.0),
                     ));
@@ -787,8 +836,9 @@ mod tests {
             let free = free.min(64 - used);
             let nmin = rng.gen_range(1..=16);
             let nmax = rng.gen_range(nmin..=nmin + 32);
-            jobs.push(job("new", rng.gen_range(1..=5), 999.0, nmin, nmax));
-            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let new_id = JobId(jobs.len() as u32);
+            jobs.push(job(new_id.0, rng.gen_range(1..=5), 999.0, nmin, nmax));
+            let v = view(free, jobs);
             let now = t(rng.gen_range(0.0..2000.0));
 
             let moldable = Policy::moldable(cfg(180.0));
@@ -797,8 +847,8 @@ mod tests {
             let elastic_inf = Policy::elastic(inf);
 
             prop_assert_eq!(
-                moldable.on_submit(&v, "new", now),
-                elastic_inf.on_submit(&v, "new", now),
+                moldable.on_submit(&v, new_id, now),
+                elastic_inf.on_submit(&v, new_id, now),
                 "on_submit diverged"
             );
             prop_assert_eq!(
@@ -825,7 +875,7 @@ mod tests {
                 let max = rng.gen_range(min..=min + 24);
                 let queued = rng.gen_bool(0.3);
                 if queued {
-                    jobs.push(job(&format!("q{i}"), rng.gen_range(1..=5), i as f64, min, max));
+                    jobs.push(job(jobs.len() as u32, rng.gen_range(1..=5), i as f64, min, max));
                 } else {
                     let reps = rng.gen_range(min..=max);
                     if used + reps + 1 > 64 {
@@ -833,20 +883,20 @@ mod tests {
                     }
                     used += reps + 1;
                     jobs.push(running(
-                        job(&format!("r{i}"), rng.gen_range(1..=5), i as f64, min, max),
+                        job(jobs.len() as u32, rng.gen_range(1..=5), i as f64, min, max),
                         reps,
                         rng.gen_range(0.0..400.0),
                     ));
                 }
             }
             let free = free.min(64 - used);
-            let v = ClusterView { capacity: 64, free_slots: free, jobs };
+            let v = view(free, jobs);
             let now = t(500.0);
             for kind in super::super::PolicyKind::ALL {
                 let pol = Policy::of_kind(kind, cfg(180.0));
-                let mut view = v.clone();
-                for a in pol.on_complete(&view, now) {
-                    apply_action(&mut view, &a, now, 1);
+                let mut scratch = v.clone();
+                for a in pol.on_complete(&scratch, now) {
+                    apply_action(&mut scratch, &a, now, 1);
                 }
             }
         }

@@ -13,14 +13,19 @@
 //! Unlike the paper's elastic policy this scheduler ignores priorities
 //! entirely and never rescales a running job.
 //!
+//! The queue is read straight off the view's maintained
+//! submission-order index
+//! ([`ClusterView::queued_submission_order`]) — one O(q) walk per
+//! decision, no sort, no allocation.
+//!
 //! `FcfsBackfill` exists to prove the [`SchedulingPolicy`] surface is
 //! genuinely open: it shares no code with the Fig. 2 / Fig. 3 algorithm
 //! yet runs unmodified through the operator, the DES engine and the
 //! bench binaries.
 
-use hpc_metrics::{Duration, SimTime};
+use hpc_metrics::{Duration, JobId, SimTime};
 
-use crate::view::{Action, ClusterView, JobState};
+use crate::view::{Action, ClusterView};
 
 use super::SchedulingPolicy;
 
@@ -61,17 +66,11 @@ impl FcfsBackfill {
     /// slots drain toward the head.
     fn schedule_pass(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
         let launcher = i64::from(self.launcher_slots);
-        let cap_workers = i64::from(view.capacity.saturating_sub(self.launcher_slots).max(1));
-        let mut free = i64::from(view.free_slots);
-        let mut queued: Vec<&JobState> = view.jobs.iter().filter(|j| !j.running).collect();
-        queued.sort_by(|a, b| {
-            a.submitted_at
-                .cmp(&b.submitted_at)
-                .then_with(|| a.name.cmp(&b.name))
-        });
+        let cap_workers = i64::from(view.capacity().saturating_sub(self.launcher_slots).max(1));
+        let mut free = i64::from(view.free_slots());
         let mut actions = Vec::new();
         let mut blocked = false;
-        for j in queued {
+        for j in view.queued_submission_order() {
             let mn = i64::from(j.min_replicas);
             let mx = i64::from(j.max_replicas).min(cap_workers);
             if mn > cap_workers {
@@ -82,7 +81,7 @@ impl FcfsBackfill {
             if !blocked && free - launcher >= mn {
                 let replicas = (free - launcher).min(mx);
                 actions.push(Action::Create {
-                    job: j.name.clone(),
+                    job: j.id,
                     replicas: replicas as u32,
                 });
                 free -= replicas + launcher;
@@ -95,7 +94,7 @@ impl FcfsBackfill {
                 blocked = true;
                 if free - launcher >= mn {
                     actions.push(Action::Create {
-                        job: j.name.clone(),
+                        job: j.id,
                         replicas: j.min_replicas,
                     });
                     free -= mn + launcher;
@@ -115,15 +114,13 @@ impl SchedulingPolicy for FcfsBackfill {
         self.launcher_slots
     }
 
-    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action> {
+    fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action> {
         let mut actions = self.schedule_pass(view, now);
         if !actions
             .iter()
-            .any(|a| matches!(a, Action::Create { job: j, .. } if j == job))
+            .any(|a| matches!(a, Action::Create { job: j, .. } if *j == job))
         {
-            actions.push(Action::Enqueue {
-                job: job.to_string(),
-            });
+            actions.push(Action::Enqueue { job });
         }
         actions
     }
@@ -136,11 +133,11 @@ impl SchedulingPolicy for FcfsBackfill {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::view::apply_action;
+    use crate::view::{apply_action, JobState};
 
-    fn queued(name: &str, submitted: f64, min: u32, max: u32) -> JobState {
+    fn queued(id: u32, submitted: f64, min: u32, max: u32) -> JobState {
         JobState {
-            name: name.into(),
+            id: JobId(id),
             min_replicas: min,
             max_replicas: max,
             priority: 3,
@@ -151,13 +148,17 @@ mod tests {
         }
     }
 
-    fn running(name: &str, submitted: f64, replicas: u32) -> JobState {
+    fn running(id: u32, submitted: f64, replicas: u32) -> JobState {
         JobState {
             replicas,
             running: true,
             last_action: SimTime::from_secs(submitted),
-            ..queued(name, submitted, 1, replicas)
+            ..queued(id, submitted, 1, replicas)
         }
+    }
+
+    fn view(capacity: u32, free: u32, jobs: Vec<JobState>) -> ClusterView {
+        crate::view::tests::view_of(capacity, free, jobs)
     }
 
     fn t0() -> SimTime {
@@ -167,15 +168,11 @@ mod tests {
     #[test]
     fn head_of_queue_gets_greedy_sizing() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 64,
-            jobs: vec![queued("a", 0.0, 4, 32)],
-        };
+        let v = view(64, 64, vec![queued(0, 0.0, 4, 32)]);
         assert_eq!(
-            pol.on_submit(&view, "a", t0()),
+            pol.on_submit(&v, JobId(0), t0()),
             vec![Action::Create {
-                job: "a".into(),
+                job: JobId(0),
                 replicas: 32
             }]
         );
@@ -184,22 +181,20 @@ mod tests {
     #[test]
     fn strict_submission_order_ignores_priority() {
         let pol = FcfsBackfill::new();
-        let mut early = queued("late-name-early-submit", 1.0, 4, 8);
+        // The *earlier submission* must win even though the later one
+        // has higher priority and a smaller id.
+        let mut early = queued(1, 1.0, 4, 8);
         early.priority = 1;
-        let mut late = queued("a-high-prio", 2.0, 4, 8);
+        let mut late = queued(0, 2.0, 4, 8);
         late.priority = 5;
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 10,
-            jobs: vec![late, early],
-        };
-        let actions = pol.on_complete(&view, t0());
+        let v = view(64, 10, vec![late, early]);
+        let actions = pol.on_complete(&v, t0());
         // Only the earlier submission fits (10 free: 8+1 leaves 1);
         // the higher-priority later job must wait.
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "late-name-early-submit".into(),
+                job: JobId(1),
                 replicas: 8
             }]
         );
@@ -208,20 +203,20 @@ mod tests {
     #[test]
     fn blocked_head_limits_backfill_to_min_footprint() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 10,
-            jobs: vec![
-                running("r", 0.0, 53),
-                queued("big", 1.0, 16, 32), // head: needs 17, only 10 free
-                queued("small", 2.0, 2, 8), // backfills at min, not max
+        let v = view(
+            64,
+            10,
+            vec![
+                running(0, 0.0, 53),
+                queued(1, 1.0, 16, 32), // head: needs 17, only 10 free
+                queued(2, 2.0, 2, 8),   // backfills at min, not max
             ],
-        };
-        let actions = pol.on_complete(&view, t0());
+        );
+        let actions = pol.on_complete(&v, t0());
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "small".into(),
+                job: JobId(2),
                 replicas: 2
             }]
         );
@@ -230,21 +225,21 @@ mod tests {
     #[test]
     fn starvation_guard_suspends_backfill_for_an_old_head() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 10,
-            jobs: vec![
-                running("r", 0.0, 53),
-                queued("big", 1.0, 16, 32), // blocked head
-                queued("small", 2.0, 2, 8), // would backfill
+        let v = view(
+            64,
+            10,
+            vec![
+                running(0, 0.0, 53),
+                queued(1, 1.0, 16, 32), // blocked head
+                queued(2, 2.0, 2, 8),   // would backfill
             ],
-        };
+        );
         // Within patience: the small job backfills.
-        let within = pol.on_complete(&view, SimTime::from_secs(100.0));
-        assert!(matches!(&within[0], Action::Create { job, .. } if job == "small"));
+        let within = pol.on_complete(&v, SimTime::from_secs(100.0));
+        assert!(matches!(&within[0], Action::Create { job, .. } if *job == JobId(2)));
         // Head has outwaited the 600 s patience: nothing backfills, the
         // freed slots drain toward the head.
-        let beyond = pol.on_complete(&view, SimTime::from_secs(700.0));
+        let beyond = pol.on_complete(&v, SimTime::from_secs(700.0));
         assert!(
             beyond.is_empty(),
             "backfill must pause for the starving head, got {beyond:?}"
@@ -254,35 +249,27 @@ mod tests {
             backfill_patience: Duration::INFINITY,
             ..FcfsBackfill::new()
         };
-        let still = pure.on_complete(&view, SimTime::from_secs(700.0));
-        assert!(matches!(&still[0], Action::Create { job, .. } if job == "small"));
+        let still = pure.on_complete(&v, SimTime::from_secs(700.0));
+        assert!(matches!(&still[0], Action::Create { job, .. } if *job == JobId(2)));
     }
 
     #[test]
     fn never_rescales_and_never_cancels() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 40,
-            jobs: vec![running("r", 0.0, 23)],
-        };
+        let v = view(64, 40, vec![running(0, 0.0, 23)]);
         // Plenty of free room, but a running job is never touched.
-        assert!(pol.on_complete(&view, t0()).is_empty());
+        assert!(pol.on_complete(&v, t0()).is_empty());
     }
 
     #[test]
     fn impossible_job_is_skipped_without_wedging_the_queue() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 8,
-            free_slots: 8,
-            jobs: vec![queued("huge", 0.0, 64, 64), queued("ok", 1.0, 2, 4)],
-        };
-        let actions = pol.on_complete(&view, t0());
+        let v = view(8, 8, vec![queued(0, 0.0, 64, 64), queued(1, 1.0, 2, 4)]);
+        let actions = pol.on_complete(&v, t0());
         assert_eq!(
             actions,
             vec![Action::Create {
-                job: "ok".into(),
+                job: JobId(1),
                 replicas: 4
             }]
         );
@@ -291,14 +278,10 @@ mod tests {
     #[test]
     fn submitted_job_that_cannot_start_is_enqueued() {
         let pol = FcfsBackfill::new();
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 2,
-            jobs: vec![running("r", 0.0, 61), queued("new", 1.0, 4, 8)],
-        };
+        let v = view(64, 2, vec![running(0, 0.0, 61), queued(1, 1.0, 4, 8)]);
         assert_eq!(
-            pol.on_submit(&view, "new", t0()),
-            vec![Action::Enqueue { job: "new".into() }]
+            pol.on_submit(&v, JobId(1), t0()),
+            vec![Action::Enqueue { job: JobId(1) }]
         );
     }
 
@@ -308,22 +291,13 @@ mod tests {
         // bounds for arbitrary queue shapes; apply_action panics if not.
         let pol = FcfsBackfill::new();
         for free in 0..=32u32 {
-            let mut jobs = vec![running("r", 0.0, 64 - 1 - free)];
-            for i in 0..6 {
-                jobs.push(queued(
-                    &format!("q{i}"),
-                    1.0 + f64::from(i),
-                    1 + i % 5,
-                    4 + i * 3,
-                ));
+            let mut jobs = vec![running(0, 0.0, 64 - 1 - free)];
+            for i in 0..6u32 {
+                jobs.push(queued(1 + i, 1.0 + f64::from(i), 1 + i % 5, 4 + i * 3));
             }
-            let mut view = ClusterView {
-                capacity: 64,
-                free_slots: free,
-                jobs,
-            };
-            for action in pol.on_complete(&view, t0()) {
-                apply_action(&mut view, &action, t0(), 1);
+            let mut v = view(64, free, jobs);
+            for action in pol.on_complete(&v, t0()) {
+                apply_action(&mut v, &action, t0(), 1);
             }
         }
     }

@@ -26,7 +26,7 @@ mod fcfs;
 
 pub use fcfs::FcfsBackfill;
 
-use hpc_metrics::{Duration, SimTime};
+use hpc_metrics::{Duration, JobId, SimTime};
 
 use crate::view::{Action, ClusterView, JobState};
 
@@ -60,7 +60,9 @@ pub trait SchedulingPolicy: Send {
     fn launcher_slots(&self) -> u32;
 
     /// Scheduling decision when `job` is submitted (paper Fig. 2).
-    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action>;
+    /// The view already contains the job as a queued entry under its
+    /// interned id.
+    fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action>;
 
     /// Redistribution when slots free up — a job completed or was
     /// cancelled (paper Fig. 3).
@@ -234,10 +236,10 @@ impl Policy {
         now - job.last_action < self.gap()
     }
 
-    /// Scheduling decision when `job_name` is submitted (Fig. 2).
+    /// Scheduling decision when `job` is submitted (Fig. 2).
     /// The view must already contain the job as a queued entry.
-    pub fn on_submit(&self, view: &ClusterView, job_name: &str, now: SimTime) -> Vec<Action> {
-        elastic::plan_submit(self, view, job_name, now)
+    pub fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action> {
+        elastic::plan_submit(self, view, job, now)
     }
 
     /// Scheduling decision after a job completes and its slots are
@@ -257,7 +259,7 @@ impl SchedulingPolicy for Policy {
         self.cfg.launcher_slots
     }
 
-    fn on_submit(&self, view: &ClusterView, job: &str, now: SimTime) -> Vec<Action> {
+    fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action> {
         Policy::on_submit(self, view, job, now)
     }
 
@@ -278,7 +280,7 @@ mod tests {
 
     fn job(prio: u32) -> JobState {
         JobState {
-            name: "j".into(),
+            id: JobId(0),
             min_replicas: 2,
             max_replicas: 8,
             priority: prio,

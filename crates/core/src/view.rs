@@ -5,14 +5,36 @@
 //! discrete-event simulator build views and apply actions through this
 //! module, so a policy decision is — by construction — identical across
 //! the "Actual" and "Simulation" columns of Table 1.
+//!
+//! The view is *incrementally maintained*: engines create it once per
+//! run and mutate it through [`ClusterView::insert`],
+//! [`ClusterView::remove`] and [`apply_action`], never rebuilding it.
+//! Jobs live in a dense `Vec` indexed by their interned
+//! [`JobId`], the `free_slots` counter is carried across events, and
+//! three ordered indexes (all jobs and running jobs by descending
+//! priority, queued jobs by submission) are kept in `BTreeSet`s keyed
+//! by `(Reverse(priority), submitted_at, JobId)` — so a policy reads
+//! its priority order in O(k) and resolves a job in O(1), with zero
+//! `String`s anywhere on the path. Every mutation is O(log n).
 
-use hpc_metrics::SimTime;
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+
+use hpc_metrics::{JobId, SimTime};
+
+/// Priority ordering key: higher priority first, then earlier
+/// submission (paper §3.2.1), then the interned id — the final
+/// tie-breaker that makes equal-`(priority, submitted_at)` jobs order
+/// identically in the operator and the simulator (ids are assigned in
+/// admission order in both).
+type OrderKey = (Reverse<u32>, SimTime, JobId);
 
 /// A job as the policy sees it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobState {
-    /// Job name.
-    pub name: String,
+    /// Interned job identity (resolve to a name via the engine's
+    /// `JobRegistry` — only ever needed at the reporting edges).
+    pub id: JobId,
     /// Spec minimum workers.
     pub min_replicas: u32,
     /// Spec maximum workers.
@@ -30,44 +52,58 @@ pub struct JobState {
 }
 
 impl JobState {
-    /// Priority ordering key: higher priority first, then earlier
-    /// submission (paper §3.2.1).
-    fn priority_key(&self) -> (std::cmp::Reverse<u32>, SimTime) {
-        (std::cmp::Reverse(self.priority), self.submitted_at)
+    fn order_key(&self) -> OrderKey {
+        (Reverse(self.priority), self.submitted_at, self.id)
     }
 }
 
-/// Snapshot of schedulable cluster state.
-#[derive(Debug, Clone, PartialEq)]
+/// Schedulable cluster state, incrementally maintained (see the module
+/// docs for the data-structure layout and complexity contract).
+#[derive(Debug, Clone)]
 pub struct ClusterView {
-    /// Total slots (the 64 vCPUs of the paper's testbed).
-    pub capacity: u32,
-    /// Slots not committed to any pod (worker or launcher).
-    pub free_slots: u32,
-    /// Every live job: running and queued.
-    pub jobs: Vec<JobState>,
+    capacity: u32,
+    free_slots: u32,
+    /// Dense job storage indexed by `JobId`; `None` marks jobs that
+    /// completed or were cancelled.
+    slots: Vec<Option<JobState>>,
+    all_order: BTreeSet<OrderKey>,
+    running_order: BTreeSet<OrderKey>,
+    queued_order: BTreeSet<(SimTime, JobId)>,
+    live: usize,
 }
 
 impl ClusterView {
-    /// The named job, if present.
-    pub fn job(&self, name: &str) -> Option<&JobState> {
-        self.jobs.iter().find(|j| j.name == name)
+    /// An empty view of a cluster with `capacity` slots, all free.
+    pub fn new(capacity: u32) -> Self {
+        ClusterView {
+            capacity,
+            free_slots: capacity,
+            slots: Vec::new(),
+            all_order: BTreeSet::new(),
+            running_order: BTreeSet::new(),
+            queued_order: BTreeSet::new(),
+            live: 0,
+        }
     }
 
-    /// Running jobs in *decreasing* priority order (the paper's
-    /// `runningJobs` list).
-    pub fn running_desc_priority(&self) -> Vec<&JobState> {
-        let mut v: Vec<&JobState> = self.jobs.iter().filter(|j| j.running).collect();
-        v.sort_by_key(|j| j.priority_key());
-        v
+    /// Total slots (the 64 vCPUs of the paper's testbed).
+    pub fn capacity(&self) -> u32 {
+        self.capacity
     }
 
-    /// All jobs (running and queued) in decreasing priority order (the
-    /// paper's `allJobs` list).
-    pub fn all_desc_priority(&self) -> Vec<&JobState> {
-        let mut v: Vec<&JobState> = self.jobs.iter().collect();
-        v.sort_by_key(|j| j.priority_key());
-        v
+    /// Slots not committed to any pod (worker or launcher).
+    pub fn free_slots(&self) -> u32 {
+        self.free_slots
+    }
+
+    /// Overrides the free-slot counter. For engines whose slot
+    /// accounting lives outside the view (bench/test setup of arbitrary
+    /// states); the incremental maintenance in [`apply_action`],
+    /// [`ClusterView::insert`] and [`ClusterView::remove`] keeps the
+    /// counter correct on its own otherwise.
+    pub fn set_free_slots(&mut self, free: u32) {
+        assert!(free <= self.capacity, "free {free} > capacity");
+        self.free_slots = free;
     }
 
     /// Sanity invariant: committed slots (+launchers accounted by the
@@ -75,49 +111,163 @@ impl ClusterView {
     pub fn committed(&self) -> u32 {
         self.capacity - self.free_slots
     }
+
+    /// Live jobs (running + queued).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` when no job is live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Number of running jobs.
+    pub fn running_count(&self) -> usize {
+        self.running_order.len()
+    }
+
+    /// The job behind `id`, if live. O(1).
+    pub fn job(&self, id: JobId) -> Option<&JobState> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Adds a job to the view. A running job debits
+    /// `replicas + launcher_slots` from the free counter; a queued job
+    /// holds nothing.
+    ///
+    /// Panics if the id is already live or a running insert exceeds the
+    /// free slots.
+    pub fn insert(&mut self, job: JobState, launcher_slots: u32) {
+        let idx = job.id.index();
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        assert!(self.slots[idx].is_none(), "job {} already live", job.id);
+        if job.running {
+            let need = job.replicas + launcher_slots;
+            assert!(
+                self.free_slots >= need,
+                "insert of running {} needs {need} slots, only {} free",
+                job.id,
+                self.free_slots
+            );
+            self.free_slots -= need;
+            self.running_order.insert(job.order_key());
+        } else {
+            self.queued_order.insert((job.submitted_at, job.id));
+        }
+        self.all_order.insert(job.order_key());
+        self.live += 1;
+        self.slots[idx] = Some(job);
+    }
+
+    /// Removes a job (completion or cancellation), crediting
+    /// `replicas + launcher_slots` back if it was running. Returns the
+    /// removed state, or `None` if the id is not live.
+    pub fn remove(&mut self, id: JobId, launcher_slots: u32) -> Option<JobState> {
+        let job = self.slots.get_mut(id.index())?.take()?;
+        self.all_order.remove(&job.order_key());
+        if job.running {
+            self.running_order.remove(&job.order_key());
+            self.free_slots += job.replicas + launcher_slots;
+        } else {
+            self.queued_order.remove(&(job.submitted_at, id));
+        }
+        self.live -= 1;
+        Some(job)
+    }
+
+    /// Live jobs in dense id (= admission) order.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobState> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Running jobs in *decreasing* priority order (the paper's
+    /// `runningJobs` list). O(k) — read straight off the maintained
+    /// index, no sort.
+    pub fn running_desc_priority(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+        self.running_order
+            .iter()
+            .map(|&(_, _, id)| self.job(id).expect("running index entry is live"))
+    }
+
+    /// All jobs (running and queued) in decreasing priority order (the
+    /// paper's `allJobs` list). O(k), no sort.
+    pub fn all_desc_priority(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+        self.all_order
+            .iter()
+            .map(|&(_, _, id)| self.job(id).expect("priority index entry is live"))
+    }
+
+    /// Queued jobs in submission order (earliest first, id-tie-broken) —
+    /// the FCFS queue. O(k), no sort.
+    pub fn queued_submission_order(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+        self.queued_order
+            .iter()
+            .map(|&(_, id)| self.job(id).expect("queue index entry is live"))
+    }
 }
 
-/// A scheduling decision.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Two views are equal when they describe the same schedulable state:
+/// same capacity and free counter, and the same live jobs field for
+/// field (the ordered indexes are implied but compared too — the
+/// incremental-vs-rebuilt property test leans on this).
+impl PartialEq for ClusterView {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity
+            && self.free_slots == other.free_slots
+            && self.live == other.live
+            && self.all_order == other.all_order
+            && self.running_order == other.running_order
+            && self.queued_order == other.queued_order
+            && self.jobs().eq(other.jobs())
+    }
+}
+
+/// A scheduling decision. Keyed by interned [`JobId`]s — actions are
+/// `Copy`, and resolving their target in a view or an engine-side dense
+/// table is O(1), never a name scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
     /// Start `job` with `replicas` workers (plus its launcher).
     Create {
         /// Target job.
-        job: String,
+        job: JobId,
         /// Worker count to start with.
         replicas: u32,
     },
     /// Grow `job` to `to_replicas` workers.
     Expand {
         /// Target job.
-        job: String,
+        job: JobId,
         /// New worker count.
         to_replicas: u32,
     },
     /// Shrink `job` to `to_replicas` workers.
     Shrink {
         /// Target job.
-        job: String,
+        job: JobId,
         /// New worker count.
         to_replicas: u32,
     },
     /// Leave `job` in the queue (no resources now).
     Enqueue {
         /// Target job.
-        job: String,
+        job: JobId,
     },
     /// Terminate `job` and release everything it holds (client
     /// cancellation, or a policy evicting a job outright).
     Cancel {
         /// Target job.
-        job: String,
+        job: JobId,
     },
 }
 
 impl Action {
     /// The job the action concerns.
-    pub fn job(&self) -> &str {
-        match self {
+    pub fn job(&self) -> JobId {
+        match *self {
             Action::Create { job, .. }
             | Action::Expand { job, .. }
             | Action::Shrink { job, .. }
@@ -127,14 +277,15 @@ impl Action {
     }
 }
 
-/// Applies `action` to a view in place (used by engines to keep a
-/// consistent running view while applying a batch, and by tests).
+/// Applies `action` to a view in place — this is how engines carry the
+/// persistent view across events (and how tests replay decision
+/// sequences). O(log n): index maintenance only, no rebuild.
 /// `launcher_slots` is the per-running-job launcher overhead.
 ///
 /// Panics if the action violates capacity or job invariants — a policy
 /// emitting such an action is a bug, not a runtime condition.
 pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launcher_slots: u32) {
-    match action {
+    match *action {
         Action::Create { job, replicas } => {
             let need = replicas + launcher_slots;
             assert!(
@@ -142,85 +293,74 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
                 "create {job} needs {need} slots, only {} free",
                 view.free_slots
             );
-            view.free_slots -= need;
-            let j = view
-                .jobs
-                .iter_mut()
-                .find(|j| j.name == *job)
+            let j = view.slots[job.index()]
+                .as_mut()
                 .unwrap_or_else(|| panic!("create for unknown job {job}"));
             assert!(!j.running, "create for already-running {job}");
             assert!(
-                *replicas >= j.min_replicas && *replicas <= j.max_replicas,
+                replicas >= j.min_replicas && replicas <= j.max_replicas,
                 "create {job} at {replicas} outside [{}, {}]",
                 j.min_replicas,
                 j.max_replicas
             );
             j.running = true;
-            j.replicas = *replicas;
+            j.replicas = replicas;
             j.last_action = now;
+            let key = j.order_key();
+            let submitted_at = j.submitted_at;
+            view.free_slots -= need;
+            view.queued_order.remove(&(submitted_at, job));
+            view.running_order.insert(key);
         }
         Action::Expand { job, to_replicas } => {
-            let j = view
-                .jobs
-                .iter_mut()
-                .find(|j| j.name == *job)
+            let free = view.free_slots;
+            let j = view.slots[job.index()]
+                .as_mut()
                 .unwrap_or_else(|| panic!("expand for unknown job {job}"));
             assert!(j.running, "expand of non-running {job}");
             assert!(
-                *to_replicas > j.replicas && *to_replicas <= j.max_replicas,
+                to_replicas > j.replicas && to_replicas <= j.max_replicas,
                 "expand {job} {} -> {to_replicas} invalid (max {})",
                 j.replicas,
                 j.max_replicas
             );
-            let grow = *to_replicas - j.replicas;
-            assert!(
-                view.free_slots >= grow,
-                "expand {job} needs {grow}, only {} free",
-                view.free_slots
-            );
-            view.free_slots -= grow;
-            j.replicas = *to_replicas;
+            let grow = to_replicas - j.replicas;
+            assert!(free >= grow, "expand {job} needs {grow}, only {free} free");
+            j.replicas = to_replicas;
             j.last_action = now;
+            view.free_slots -= grow;
         }
         Action::Shrink { job, to_replicas } => {
-            let j = view
-                .jobs
-                .iter_mut()
-                .find(|j| j.name == *job)
+            let j = view.slots[job.index()]
+                .as_mut()
                 .unwrap_or_else(|| panic!("shrink for unknown job {job}"));
             assert!(j.running, "shrink of non-running {job}");
             assert!(
-                *to_replicas < j.replicas && *to_replicas >= j.min_replicas,
+                to_replicas < j.replicas && to_replicas >= j.min_replicas,
                 "shrink {job} {} -> {to_replicas} invalid (min {})",
                 j.replicas,
                 j.min_replicas
             );
-            view.free_slots += j.replicas - *to_replicas;
-            j.replicas = *to_replicas;
+            let freed = j.replicas - to_replicas;
+            j.replicas = to_replicas;
             j.last_action = now;
+            view.free_slots += freed;
         }
         Action::Enqueue { .. } => {}
         Action::Cancel { job } => {
-            let idx = view
-                .jobs
-                .iter()
-                .position(|j| j.name == *job)
+            view.remove(job, launcher_slots)
                 .unwrap_or_else(|| panic!("cancel for unknown job {job}"));
-            let j = view.jobs.remove(idx);
-            if j.running {
-                view.free_slots += j.replicas + launcher_slots;
-            }
         }
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    pub(crate) fn job(name: &str, prio: u32, submitted: f64, replicas: u32) -> JobState {
+    pub(crate) fn job(id: u32, prio: u32, submitted: f64, replicas: u32) -> JobState {
         JobState {
-            name: name.into(),
+            id: JobId(id),
             min_replicas: 2,
             max_replicas: 16,
             priority: prio,
@@ -231,100 +371,136 @@ mod tests {
         }
     }
 
-    #[test]
-    fn priority_ordering_matches_paper() {
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 0,
-            jobs: vec![
-                job("low-late", 1, 100.0, 4),
-                job("high", 5, 50.0, 4),
-                job("low-early", 1, 10.0, 4),
-                job("mid", 3, 0.0, 4),
-            ],
-        };
-        let order: Vec<&str> = view
-            .running_desc_priority()
-            .iter()
-            .map(|j| j.name.as_str())
-            .collect();
-        assert_eq!(order, vec!["high", "mid", "low-early", "low-late"]);
+    /// The canonical test view builder (also used by the policy test
+    /// modules): inserts `jobs` with a 1-slot launcher, then pins
+    /// `free_slots` to the caller's choice. `free` is independent of
+    /// the inserted jobs — tests may describe over-committed states —
+    /// so the counter is reset before each insert to keep the capacity
+    /// assert out of the way.
+    pub(crate) fn view_of(capacity: u32, free: u32, jobs: Vec<JobState>) -> ClusterView {
+        let mut v = ClusterView::new(capacity);
+        for j in jobs {
+            v.set_free_slots(capacity);
+            v.insert(j, 1);
+        }
+        v.set_free_slots(free);
+        v
     }
 
     #[test]
-    fn all_desc_includes_queued() {
-        let view = ClusterView {
-            capacity: 64,
-            free_slots: 60,
-            jobs: vec![job("running", 1, 0.0, 4), job("queued", 5, 1.0, 0)],
-        };
-        let order: Vec<&str> = view
-            .all_desc_priority()
-            .iter()
-            .map(|j| j.name.as_str())
-            .collect();
-        assert_eq!(order, vec!["queued", "running"]);
-        assert_eq!(view.running_desc_priority().len(), 1);
+    fn priority_ordering_matches_paper() {
+        // ids deliberately scrambled relative to priority.
+        let view = view_of(
+            64,
+            0,
+            vec![
+                job(0, 1, 100.0, 4), // low-late
+                job(1, 5, 50.0, 4),  // high
+                job(2, 1, 10.0, 4),  // low-early
+                job(3, 3, 0.0, 4),   // mid
+            ],
+        );
+        let order: Vec<JobId> = view.running_desc_priority().map(|j| j.id).collect();
+        assert_eq!(order, vec![JobId(1), JobId(3), JobId(2), JobId(0)]);
+    }
+
+    #[test]
+    fn equal_priority_and_time_breaks_by_id() {
+        // The satellite fix: identical (priority, submitted_at) must
+        // order deterministically by id in every engine.
+        let view = view_of(
+            64,
+            52,
+            vec![job(2, 3, 7.0, 4), job(0, 3, 7.0, 4), job(1, 3, 7.0, 4)],
+        );
+        let order: Vec<JobId> = view.all_desc_priority().map(|j| j.id).collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+    }
+
+    #[test]
+    fn all_desc_includes_queued_and_queue_orders_by_submission() {
+        let view = view_of(
+            64,
+            60,
+            vec![job(0, 1, 0.0, 4), job(1, 5, 1.0, 0), job(2, 2, 0.5, 0)],
+        );
+        let order: Vec<JobId> = view.all_desc_priority().map(|j| j.id).collect();
+        assert_eq!(order, vec![JobId(1), JobId(2), JobId(0)]);
+        assert_eq!(view.running_desc_priority().count(), 1);
+        assert_eq!(view.running_count(), 1);
+        // FCFS order ignores priority entirely.
+        let fcfs: Vec<JobId> = view.queued_submission_order().map(|j| j.id).collect();
+        assert_eq!(fcfs, vec![JobId(2), JobId(1)]);
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_free_slots() {
+        let mut view = ClusterView::new(32);
+        view.insert(job(0, 3, 0.0, 8), 1);
+        assert_eq!(view.free_slots(), 23, "8 workers + 1 launcher debited");
+        view.insert(job(1, 2, 1.0, 0), 1);
+        assert_eq!(view.free_slots(), 23, "queued job holds nothing");
+        assert_eq!(view.len(), 2);
+        let gone = view.remove(JobId(0), 1).expect("live");
+        assert_eq!(gone.replicas, 8);
+        assert_eq!(view.free_slots(), 32);
+        assert!(view.remove(JobId(0), 1).is_none(), "double remove is None");
+        assert_eq!(view.len(), 1);
     }
 
     #[test]
     fn apply_create_expand_shrink_roundtrip() {
-        let mut view = ClusterView {
-            capacity: 32,
-            free_slots: 32,
-            jobs: vec![job("a", 3, 0.0, 0)],
-        };
+        let mut view = view_of(32, 32, vec![job(0, 3, 0.0, 0)]);
+        let a = JobId(0);
         let now = SimTime::from_secs(1.0);
         apply_action(
             &mut view,
             &Action::Create {
-                job: "a".into(),
+                job: a,
                 replicas: 8,
             },
             now,
             1,
         );
-        assert_eq!(view.free_slots, 23); // 32 - 8 - 1 launcher
-        assert!(view.job("a").unwrap().running);
-        assert_eq!(view.job("a").unwrap().last_action, now);
+        assert_eq!(view.free_slots(), 23); // 32 - 8 - 1 launcher
+        assert!(view.job(a).unwrap().running);
+        assert_eq!(view.job(a).unwrap().last_action, now);
+        assert_eq!(view.running_count(), 1);
+        assert_eq!(view.queued_submission_order().count(), 0);
 
         apply_action(
             &mut view,
             &Action::Expand {
-                job: "a".into(),
+                job: a,
                 to_replicas: 12,
             },
             now,
             1,
         );
-        assert_eq!(view.free_slots, 19);
+        assert_eq!(view.free_slots(), 19);
 
         apply_action(
             &mut view,
             &Action::Shrink {
-                job: "a".into(),
+                job: a,
                 to_replicas: 2,
             },
             now,
             1,
         );
-        assert_eq!(view.free_slots, 29);
-        assert_eq!(view.job("a").unwrap().replicas, 2);
+        assert_eq!(view.free_slots(), 29);
+        assert_eq!(view.job(a).unwrap().replicas, 2);
         assert_eq!(view.committed(), 3); // 2 workers + launcher
     }
 
     #[test]
     #[should_panic(expected = "needs")]
     fn apply_rejects_over_capacity_create() {
-        let mut view = ClusterView {
-            capacity: 4,
-            free_slots: 4,
-            jobs: vec![job("a", 3, 0.0, 0)],
-        };
+        let mut view = view_of(4, 4, vec![job(0, 3, 0.0, 0)]);
         apply_action(
             &mut view,
             &Action::Create {
-                job: "a".into(),
+                job: JobId(0),
                 replicas: 8,
             },
             SimTime::ZERO,
@@ -335,15 +511,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside")]
     fn apply_rejects_below_min_create() {
-        let mut view = ClusterView {
-            capacity: 64,
-            free_slots: 64,
-            jobs: vec![job("a", 3, 0.0, 0)],
-        };
+        let mut view = view_of(64, 64, vec![job(0, 3, 0.0, 0)]);
         apply_action(
             &mut view,
             &Action::Create {
-                job: "a".into(),
+                job: JobId(0),
                 replicas: 1,
             },
             SimTime::ZERO,
@@ -354,15 +526,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid")]
     fn apply_rejects_shrink_below_min() {
-        let mut view = ClusterView {
-            capacity: 64,
-            free_slots: 40,
-            jobs: vec![job("a", 3, 0.0, 8)],
-        };
+        let mut view = view_of(64, 40, vec![job(0, 3, 0.0, 8)]);
         apply_action(
             &mut view,
             &Action::Shrink {
-                job: "a".into(),
+                job: JobId(0),
                 to_replicas: 1,
             },
             SimTime::ZERO,
@@ -372,15 +540,11 @@ mod tests {
 
     #[test]
     fn enqueue_is_a_noop_on_the_view() {
-        let mut view = ClusterView {
-            capacity: 8,
-            free_slots: 8,
-            jobs: vec![job("a", 3, 0.0, 0)],
-        };
+        let mut view = view_of(8, 8, vec![job(0, 3, 0.0, 0)]);
         let before = view.clone();
         apply_action(
             &mut view,
-            &Action::Enqueue { job: "a".into() },
+            &Action::Enqueue { job: JobId(0) },
             SimTime::ZERO,
             1,
         );
@@ -389,43 +553,48 @@ mod tests {
 
     #[test]
     fn cancel_frees_running_slots_and_removes_the_job() {
-        let mut view = ClusterView {
-            capacity: 32,
-            free_slots: 19,
-            jobs: vec![job("gone", 3, 0.0, 12), job("stays", 2, 1.0, 0)],
-        };
+        let mut view = view_of(32, 19, vec![job(0, 3, 0.0, 12), job(1, 2, 1.0, 0)]);
         apply_action(
             &mut view,
-            &Action::Cancel { job: "gone".into() },
+            &Action::Cancel { job: JobId(0) },
             SimTime::from_secs(5.0),
             1,
         );
-        assert_eq!(view.free_slots, 32, "12 workers + 1 launcher reclaimed");
-        assert!(view.job("gone").is_none());
-        assert!(view.job("stays").is_some());
+        assert_eq!(view.free_slots(), 32, "12 workers + 1 launcher reclaimed");
+        assert!(view.job(JobId(0)).is_none());
+        assert!(view.job(JobId(1)).is_some());
         // Cancelling a queued job frees nothing (it held nothing).
         apply_action(
             &mut view,
-            &Action::Cancel {
-                job: "stays".into(),
-            },
+            &Action::Cancel { job: JobId(1) },
             SimTime::from_secs(6.0),
             1,
         );
-        assert_eq!(view.free_slots, 32);
-        assert!(view.jobs.is_empty());
+        assert_eq!(view.free_slots(), 32);
+        assert!(view.is_empty());
+        assert_eq!(view.all_desc_priority().count(), 0);
     }
 
     #[test]
     fn action_job_accessor() {
-        assert_eq!(Action::Enqueue { job: "x".into() }.job(), "x");
+        assert_eq!(Action::Enqueue { job: JobId(7) }.job(), JobId(7));
         assert_eq!(
             Action::Create {
-                job: "y".into(),
+                job: JobId(9),
                 replicas: 1
             }
             .job(),
-            "y"
+            JobId(9)
         );
+    }
+
+    #[test]
+    fn equality_ignores_tombstone_tails() {
+        // A view that lost its high-id jobs equals one that never had
+        // them: trailing tombstones are not observable state.
+        let mut a = view_of(16, 10, vec![job(0, 3, 0.0, 4), job(5, 2, 1.0, 0)]);
+        a.remove(JobId(5), 1);
+        let b = view_of(16, 10, vec![job(0, 3, 0.0, 4)]);
+        assert_eq!(a, b);
     }
 }

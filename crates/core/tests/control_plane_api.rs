@@ -6,17 +6,19 @@
 //! * a policy implemented outside the classic four-variant `Policy`
 //!   ([`FcfsBackfill`], plus an `on_timer`-based fifth policy) runs
 //!   through the operator unmodified,
-//! * the [`SchedulerClient`] lifecycle: submit → validated `JobId`,
+//! * the [`SchedulerClient`] lifecycle: submit → validated `JobTicket`,
 //!   status, `watch_events`, and cancellation that frees slots the
 //!   policy reassigns in the same run — including cancels landing in
-//!   the middle of shrink/expand flows.
+//!   the middle of shrink/expand flows,
+//! * the incrementally maintained operator view staying equal to a
+//!   from-scratch store rebuild at every reconcile.
 
 use std::sync::Arc;
 
 use elastic_core::{
     run_virtual, Action, AppSpec, CharmJobSpec, CharmOperator, ClusterView, FcfsBackfill,
-    JobEventKind, JobPhase, ModelExecutor, Policy, PolicyConfig, PolicyKind, RunMetrics, Schedule,
-    SchedulingPolicy,
+    JobEventKind, JobId, JobPhase, ModelExecutor, Policy, PolicyConfig, PolicyKind, RunMetrics,
+    Schedule, SchedulingPolicy,
 };
 use hpc_metrics::{Clock, Duration, SimTime, VirtualClock};
 use kube_sim::{ControlPlane, KubeletConfig};
@@ -122,6 +124,50 @@ fn watch_and_polled_drives_produce_identical_metrics() {
     }
 }
 
+/// The operator's persistent view is *never* rebuilt on the hot path;
+/// this drive proves the incremental maintenance matches the reference
+/// store-scan construction after every single reconcile, cancellations
+/// included.
+#[test]
+fn maintained_view_equals_store_rebuild_every_tick() {
+    let clock = VirtualClock::new();
+    let mut op = make_operator(Box::new(Policy::elastic(cfg(30.0))), &clock);
+    let client = op.client();
+    let schedule = mixed_schedule();
+    let start = clock.now();
+    let mut next_submit = 0usize;
+    let mut cancelled = false;
+    let mut rounds = 0u64;
+    loop {
+        let elapsed = clock.now() - start;
+        while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
+            client
+                .submit(schedule.jobs[next_submit].clone())
+                .expect("valid spec");
+            next_submit += 1;
+        }
+        if !cancelled && elapsed >= Duration::from_secs(200.0) {
+            // A mid-run cancel exercises the removal path too.
+            client.cancel("j3").ok();
+            cancelled = true;
+        }
+        op.tick();
+        assert_eq!(
+            *op.view(),
+            op.rebuild_view(),
+            "incremental view diverged from store rebuild at t={elapsed}"
+        );
+        if next_submit >= schedule.jobs.len() && op.all_complete() {
+            break;
+        }
+        rounds += 1;
+        assert!(rounds < 100_000, "schedule never completed");
+        clock.advance(Duration::from_secs(1.0));
+    }
+    assert!(op.view().is_empty(), "all-terminal run must drain the view");
+    assert_eq!(op.view().free_slots(), 64);
+}
+
 // ---------------------------------------------------------------------
 // FcfsBackfill through the operator
 // ---------------------------------------------------------------------
@@ -181,19 +227,19 @@ impl SchedulingPolicy for TimerBatcher {
     fn launcher_slots(&self) -> u32 {
         1
     }
-    fn on_submit(&self, _view: &ClusterView, job: &str, _now: SimTime) -> Vec<Action> {
-        vec![Action::Enqueue { job: job.into() }]
+    fn on_submit(&self, _view: &ClusterView, job: JobId, _now: SimTime) -> Vec<Action> {
+        vec![Action::Enqueue { job }]
     }
     fn on_complete(&self, _view: &ClusterView, _now: SimTime) -> Vec<Action> {
         Vec::new()
     }
     fn on_timer(&self, view: &ClusterView, _now: SimTime) -> Vec<Action> {
-        let mut free = view.free_slots;
+        let mut free = view.free_slots();
         let mut actions = Vec::new();
-        for j in &view.jobs {
+        for j in view.jobs() {
             if !j.running && free > j.min_replicas {
                 actions.push(Action::Create {
-                    job: j.name.clone(),
+                    job: j.id,
                     replicas: j.min_replicas,
                 });
                 free -= j.min_replicas + 1;

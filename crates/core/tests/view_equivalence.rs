@@ -1,0 +1,172 @@
+//! The incremental-view equivalence property.
+//!
+//! The scheduler's hot path never rebuilds its [`ClusterView`]; it
+//! folds every event in incrementally (insert / remove /
+//! `apply_action`). That is only sound if, after *any* event sequence,
+//! the maintained view is field-for-field equal — `free_slots`, the
+//! dense job table, and all three priority/queue indexes — to a view
+//! rebuilt from scratch out of the surviving job states. This test
+//! drives long random sequences of submit / create / expand / shrink /
+//! complete / cancel operations against both representations and
+//! asserts exactly that, after every single step.
+
+use elastic_core::{apply_action, Action, ClusterView, JobId, JobState};
+use hpc_metrics::SimTime;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const CAPACITY: u32 = 64;
+const LAUNCHER: u32 = 1;
+
+/// The trivially-correct model: a flat list of live job states.
+#[derive(Default)]
+struct Shadow {
+    jobs: Vec<JobState>,
+}
+
+impl Shadow {
+    fn committed(&self) -> u32 {
+        self.jobs
+            .iter()
+            .filter(|j| j.running)
+            .map(|j| j.replicas + LAUNCHER)
+            .sum()
+    }
+
+    /// A from-scratch view of the current model state.
+    fn rebuild(&self) -> ClusterView {
+        let mut v = ClusterView::new(CAPACITY);
+        for j in &self.jobs {
+            v.insert(j.clone(), LAUNCHER);
+        }
+        v.set_free_slots(CAPACITY - self.committed());
+        v
+    }
+
+    fn pick<'a>(&'a self, rng: &mut ChaCha8Rng, running: bool) -> Option<&'a JobState> {
+        let candidates: Vec<&JobState> =
+            self.jobs.iter().filter(|j| j.running == running).collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+}
+
+proptest! {
+    /// After any random sequence of submit/create/expand/shrink/
+    /// complete/cancel events, the incrementally maintained view equals
+    /// one rebuilt from scratch — including `free_slots` and the
+    /// priority/queue orders (covered by `ClusterView::eq`).
+    #[test]
+    fn incremental_view_equals_scratch_rebuild(
+        seed in any::<u64>(),
+        steps in 1usize..120,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut view = ClusterView::new(CAPACITY);
+        let mut shadow = Shadow::default();
+        let mut next_id = 0u32;
+
+        for step in 0..steps {
+            let now = SimTime::from_secs(step as f64);
+            let free = CAPACITY - shadow.committed();
+            let op = rng.gen_range(0..6u32);
+            match op {
+                // Submit: a fresh queued job enters both worlds.
+                0 => {
+                    let min = rng.gen_range(1..=8);
+                    let job = JobState {
+                        id: JobId(next_id),
+                        min_replicas: min,
+                        max_replicas: rng.gen_range(min..=min + 24),
+                        priority: rng.gen_range(1..=5),
+                        // Deliberately collide timestamps sometimes so the
+                        // id tie-breaker is exercised.
+                        submitted_at: SimTime::from_secs(rng.gen_range(0..8) as f64),
+                        replicas: 0,
+                        last_action: SimTime::NEG_INFINITY,
+                        running: false,
+                    };
+                    next_id += 1;
+                    view.insert(job.clone(), LAUNCHER);
+                    shadow.jobs.push(job);
+                }
+                // Create a queued job at a fitting size.
+                1 => {
+                    if let Some(j) = shadow.pick(&mut rng, false) {
+                        if free > LAUNCHER && free - LAUNCHER >= j.min_replicas {
+                            let hi = j.max_replicas.min(free - LAUNCHER);
+                            let replicas = rng.gen_range(j.min_replicas..=hi);
+                            let action = Action::Create { job: j.id, replicas };
+                            let id = j.id;
+                            apply_action(&mut view, &action, now, LAUNCHER);
+                            let s = shadow.jobs.iter_mut().find(|s| s.id == id).unwrap();
+                            s.running = true;
+                            s.replicas = replicas;
+                            s.last_action = now;
+                        }
+                    }
+                }
+                // Expand a running job within free capacity.
+                2 => {
+                    if let Some(j) = shadow.pick(&mut rng, true) {
+                        let headroom = j.max_replicas.saturating_sub(j.replicas).min(free);
+                        if headroom > 0 {
+                            let to = j.replicas + rng.gen_range(1..=headroom);
+                            let action = Action::Expand { job: j.id, to_replicas: to };
+                            let id = j.id;
+                            apply_action(&mut view, &action, now, LAUNCHER);
+                            let s = shadow.jobs.iter_mut().find(|s| s.id == id).unwrap();
+                            s.replicas = to;
+                            s.last_action = now;
+                        }
+                    }
+                }
+                // Shrink a running job toward its minimum.
+                3 => {
+                    if let Some(j) = shadow.pick(&mut rng, true) {
+                        if j.replicas > j.min_replicas {
+                            let to = rng.gen_range(j.min_replicas..j.replicas);
+                            let action = Action::Shrink { job: j.id, to_replicas: to };
+                            let id = j.id;
+                            apply_action(&mut view, &action, now, LAUNCHER);
+                            let s = shadow.jobs.iter_mut().find(|s| s.id == id).unwrap();
+                            s.replicas = to;
+                            s.last_action = now;
+                        }
+                    }
+                }
+                // Complete a running job (engine-style removal).
+                4 => {
+                    if let Some(j) = shadow.pick(&mut rng, true) {
+                        let id = j.id;
+                        let removed = view.remove(id, LAUNCHER).expect("running job is live");
+                        prop_assert!(removed.running);
+                        shadow.jobs.retain(|s| s.id != id);
+                    }
+                }
+                // Cancel any live job (action-style removal).
+                _ => {
+                    let any: Vec<JobId> = shadow.jobs.iter().map(|j| j.id).collect();
+                    if !any.is_empty() {
+                        let id = any[rng.gen_range(0..any.len())];
+                        apply_action(&mut view, &Action::Cancel { job: id }, now, LAUNCHER);
+                        shadow.jobs.retain(|s| s.id != id);
+                    }
+                }
+            }
+
+            // The property: maintained == rebuilt, after every step.
+            let rebuilt = shadow.rebuild();
+            prop_assert_eq!(
+                &view, &rebuilt,
+                "diverged after step {} (op {})", step, op
+            );
+            prop_assert_eq!(view.free_slots(), CAPACITY - shadow.committed());
+            prop_assert_eq!(view.len(), shadow.jobs.len());
+        }
+    }
+}

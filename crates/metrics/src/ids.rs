@@ -1,0 +1,70 @@
+//! Interned job identities.
+//!
+//! The scheduling hot path (policy decisions, view maintenance,
+//! utilization samples) never touches job *names*: jobs are keyed by a
+//! dense interned [`JobId`], assigned in admission order by whichever
+//! engine owns the run (the DES uses the workload index, the operator
+//! interns on admission). Names survive only at the edges — client
+//! submissions, pod/store objects, and final reports — via the
+//! registry kept by the engine (`elastic_core::JobRegistry`).
+
+use std::fmt;
+
+/// A dense, interned job identity.
+///
+/// `JobId`s are assigned contiguously from 0 **in admission order**, so
+/// ascending `JobId` is also submission order (ties at one timestamp
+/// are interned in deterministic name order). Engines index per-job
+/// state with plain `Vec`s keyed by [`JobId::index`], and the final
+/// component of every priority ordering key is the `JobId`, which makes
+/// scheduling order fully deterministic even for jobs with equal
+/// `(priority, submitted_at)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The id as a `Vec` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The id for dense-vector slot `index`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        JobId(u32::try_from(index).expect("job index fits u32"))
+    }
+}
+
+impl fmt::Debug for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JobId({})", self.0)
+    }
+}
+
+/// Renders the raw number (ids are only human-meaningful next to a
+/// registry, which formats `name#id` itself).
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_index() {
+        let id = JobId::from_index(42);
+        assert_eq!(id, JobId(42));
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "42");
+        assert_eq!(format!("{id:?}"), "JobId(42)");
+    }
+
+    #[test]
+    fn orders_numerically() {
+        assert!(JobId(2) < JobId(10));
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`clock`] — the [`Clock`] trait with a wall-clock
 //!   implementation ([`RealClock`]) and a manually
 //!   advanced one ([`VirtualClock`]).
+//! * [`ids`] — the interned [`JobId`] every hot-path structure is
+//!   keyed by (names live only at the engines' edges).
 //! * [`interp`] — piecewise-linear interpolation (linear and log–log),
 //!   used to model strong-scaling curves and rescale overheads the same
 //!   way the paper's simulator does (§4.3.1).
@@ -32,12 +34,14 @@
 pub mod ascii;
 pub mod clock;
 pub mod csv;
+pub mod ids;
 pub mod interp;
 pub mod recorder;
 pub mod stats;
 pub mod time;
 
 pub use clock::{Clock, ClockRef, RealClock, VirtualClock};
+pub use ids::JobId;
 pub use interp::PiecewiseLinear;
 pub use recorder::{SeriesRecorder, UtilizationRecorder};
 pub use stats::{Summary, WeightedMean};

@@ -6,18 +6,25 @@
 //! [`UtilizationRecorder`] here is the exact-event equivalent: callers
 //! report every allocation change (job started / rescaled / finished) and
 //! the recorder integrates the step function instead of sampling it.
+//!
+//! Jobs are identified by interned [`JobId`]s — recording a sample is a
+//! `Copy`, never a `String` clone, so the recorder sits on the
+//! scheduling hot path for free. Callers that need names (the Fig. 9
+//! CSV emitters) map ids back through their engine's registry at the
+//! reporting edge.
 
 use std::collections::BTreeMap;
 
+use crate::ids::JobId;
 use crate::time::{Duration, SimTime};
 
 /// One allocation-change event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AllocEvent {
     /// When the change took effect.
     pub at: SimTime,
     /// Which job changed.
-    pub job: String,
+    pub job: JobId,
     /// The job's slot count from `at` onward (0 = released).
     pub slots: u32,
 }
@@ -47,12 +54,9 @@ impl UtilizationRecorder {
     /// Records that `job` holds `slots` slots from `at` onward.
     ///
     /// Events may be recorded out of order; they are sorted on read.
-    pub fn set(&mut self, at: SimTime, job: impl Into<String>, slots: u32) {
-        self.events.push(AllocEvent {
-            at,
-            job: job.into(),
-            slots,
-        });
+    #[inline]
+    pub fn set(&mut self, at: SimTime, job: JobId, slots: u32) {
+        self.events.push(AllocEvent { at, job, slots });
     }
 
     /// All recorded events, sorted by time (stable for equal times).
@@ -65,15 +69,17 @@ impl UtilizationRecorder {
     /// The total-allocation step function: `(t, total_slots)` at every
     /// change point, deduplicated to the last value per instant.
     pub fn total_series(&self) -> Vec<(SimTime, u32)> {
-        let mut per_job: BTreeMap<String, u32> = BTreeMap::new();
+        let mut per_job: Vec<u32> = Vec::new();
+        let mut running_total: u64 = 0;
         let mut out: Vec<(SimTime, u32)> = Vec::new();
         for ev in self.events() {
-            if ev.slots == 0 {
-                per_job.remove(&ev.job);
-            } else {
-                per_job.insert(ev.job.clone(), ev.slots);
+            if ev.job.index() >= per_job.len() {
+                per_job.resize(ev.job.index() + 1, 0);
             }
-            let total: u32 = per_job.values().sum();
+            let prev = &mut per_job[ev.job.index()];
+            running_total = running_total - u64::from(*prev) + u64::from(ev.slots);
+            *prev = ev.slots;
+            let total = u32::try_from(running_total).expect("total slots fit u32");
             match out.last_mut() {
                 Some(last) if last.0 == ev.at => last.1 = total,
                 _ => out.push((ev.at, total)),
@@ -82,11 +88,11 @@ impl UtilizationRecorder {
         out
     }
 
-    /// Per-job step functions, keyed by job name.
-    pub fn per_job_series(&self) -> BTreeMap<String, Vec<(SimTime, u32)>> {
-        let mut map: BTreeMap<String, Vec<(SimTime, u32)>> = BTreeMap::new();
+    /// Per-job step functions, keyed by job id.
+    pub fn per_job_series(&self) -> BTreeMap<JobId, Vec<(SimTime, u32)>> {
+        let mut map: BTreeMap<JobId, Vec<(SimTime, u32)>> = BTreeMap::new();
         for ev in self.events() {
-            let series = map.entry(ev.job.clone()).or_default();
+            let series = map.entry(ev.job).or_default();
             match series.last_mut() {
                 Some(last) if last.0 == ev.at => last.1 = ev.slots,
                 _ => series.push((ev.at, ev.slots)),
@@ -197,20 +203,23 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    const A: JobId = JobId(0);
+    const B: JobId = JobId(1);
+
     #[test]
     fn single_job_full_window() {
         let mut r = UtilizationRecorder::new(10);
-        r.set(t(0.0), "a", 5);
-        r.set(t(10.0), "a", 0);
+        r.set(t(0.0), A, 5);
+        r.set(t(10.0), A, 0);
         assert!((r.average_utilization(t(0.0), t(10.0)) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn rescale_changes_integral() {
         let mut r = UtilizationRecorder::new(10);
-        r.set(t(0.0), "a", 10);
-        r.set(t(5.0), "a", 2); // shrink at t=5
-        r.set(t(10.0), "a", 0);
+        r.set(t(0.0), A, 10);
+        r.set(t(5.0), A, 2); // shrink at t=5
+        r.set(t(10.0), A, 0);
         // 5s at 10 slots + 5s at 2 slots = 60 slot-seconds of 100.
         assert!((r.average_utilization(t(0.0), t(10.0)) - 0.6).abs() < 1e-12);
     }
@@ -218,10 +227,10 @@ mod tests {
     #[test]
     fn overlapping_jobs_sum() {
         let mut r = UtilizationRecorder::new(4);
-        r.set(t(0.0), "a", 2);
-        r.set(t(2.0), "b", 2);
-        r.set(t(4.0), "a", 0);
-        r.set(t(6.0), "b", 0);
+        r.set(t(0.0), A, 2);
+        r.set(t(2.0), B, 2);
+        r.set(t(4.0), A, 0);
+        r.set(t(6.0), B, 0);
         // [0,2): 2, [2,4): 4, [4,6): 2 => 16 slot-s of 24.
         let u = r.average_utilization(t(0.0), t(6.0));
         assert!((u - 16.0 / 24.0).abs() < 1e-12);
@@ -231,8 +240,8 @@ mod tests {
     #[test]
     fn window_clips_events_outside() {
         let mut r = UtilizationRecorder::new(2);
-        r.set(t(0.0), "a", 2);
-        r.set(t(100.0), "a", 0);
+        r.set(t(0.0), A, 2);
+        r.set(t(100.0), A, 0);
         // Query a window strictly inside the allocation.
         assert!((r.average_utilization(t(10.0), t(20.0)) - 1.0).abs() < 1e-12);
         // Query a window after release.
@@ -242,8 +251,8 @@ mod tests {
     #[test]
     fn out_of_order_events_are_sorted() {
         let mut r = UtilizationRecorder::new(4);
-        r.set(t(5.0), "a", 0);
-        r.set(t(0.0), "a", 4);
+        r.set(t(5.0), A, 0);
+        r.set(t(0.0), A, 4);
         assert!((r.average_utilization(t(0.0), t(10.0)) - 0.5).abs() < 1e-12);
     }
 
@@ -258,15 +267,15 @@ mod tests {
     #[test]
     fn zero_length_window_is_zero() {
         let mut r = UtilizationRecorder::new(8);
-        r.set(t(0.0), "a", 8);
+        r.set(t(0.0), A, 8);
         assert_eq!(r.average_utilization(t(1.0), t(1.0)), 0.0);
     }
 
     #[test]
     fn total_series_merges_same_instant() {
         let mut r = UtilizationRecorder::new(8);
-        r.set(t(0.0), "a", 4);
-        r.set(t(0.0), "b", 2);
+        r.set(t(0.0), A, 4);
+        r.set(t(0.0), B, 2);
         let s = r.total_series();
         assert_eq!(s, vec![(t(0.0), 6)]);
     }
@@ -274,12 +283,22 @@ mod tests {
     #[test]
     fn per_job_series_tracks_each_job() {
         let mut r = UtilizationRecorder::new(8);
-        r.set(t(0.0), "a", 4);
-        r.set(t(1.0), "b", 2);
-        r.set(t(2.0), "a", 6);
+        r.set(t(0.0), A, 4);
+        r.set(t(1.0), B, 2);
+        r.set(t(2.0), A, 6);
         let m = r.per_job_series();
-        assert_eq!(m["a"], vec![(t(0.0), 4), (t(2.0), 6)]);
-        assert_eq!(m["b"], vec![(t(1.0), 2)]);
+        assert_eq!(m[&A], vec![(t(0.0), 4), (t(2.0), 6)]);
+        assert_eq!(m[&B], vec![(t(1.0), 2)]);
+    }
+
+    #[test]
+    fn sparse_job_ids_are_fine() {
+        // Ids need not be contiguous from the recorder's point of view.
+        let mut r = UtilizationRecorder::new(8);
+        r.set(t(0.0), JobId(7), 3);
+        r.set(t(2.0), JobId(7), 0);
+        assert_eq!(r.peak(), 3);
+        assert!((r.average_utilization(t(0.0), t(4.0)) - 3.0 / 16.0).abs() < 1e-12);
     }
 
     #[test]

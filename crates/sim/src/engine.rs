@@ -9,9 +9,29 @@
 //! the policy redistribute the freed slots. As in the paper's
 //! simulator, operator/Kubernetes pod-startup overhead is not modeled
 //! (§4.3.1).
+//!
+//! ## Trace-scale throughput
+//!
+//! The engine replays multi-thousand-job traces (the Zojer et al.
+//! regime) because its per-event cost is O(log n), not O(n):
+//!
+//! * One persistent [`ClusterView`] is maintained across the whole run
+//!   — submissions insert, completions/cancellations remove, and every
+//!   policy action folds in via `apply_action`. No per-event rebuild,
+//!   no `String` ever touches the loop (jobs are dense [`JobId`]s; the
+//!   workload's names surface only in [`SimOutcome::names`]).
+//! * Same-timestamp submission bursts are *coalesced* into a single
+//!   [`Event::Submit`] carrying an id range: one heap entry, one pop,
+//!   n policy decisions.
+//! * Invalidated completions are counted and the heap is *compacted*
+//!   once they exceed half of it, so rescale-heavy runs keep the queue
+//!   O(live jobs) ([`SimOutcome::peak_queue_len`] exposes the
+//!   high-water mark).
 
-use elastic_core::{Action, ClusterView, JobOutcome, JobState, RunMetrics, SchedulingPolicy};
-use hpc_metrics::{Duration, SimTime, UtilizationRecorder};
+use elastic_core::{
+    apply_action, Action, ClusterView, JobOutcome, JobState, RunMetrics, SchedulingPolicy,
+};
+use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
 
 use crate::events::{Event, EventQueue};
 use crate::model::{OverheadModel, ScalingModel};
@@ -53,12 +73,19 @@ impl SimConfig {
 pub struct SimOutcome {
     /// Aggregate metrics (Table 1 columns; completed jobs only).
     pub metrics: RunMetrics,
-    /// Per-job slot allocation over time (Fig. 9 profiles).
+    /// Per-job slot allocation over time (Fig. 9 profiles), keyed by
+    /// [`JobId`]; resolve names through [`SimOutcome::names`].
     pub util: UtilizationRecorder,
     /// Number of rescale actions applied.
     pub rescales: u32,
     /// Number of jobs cancelled before completing.
     pub cancelled: u32,
+    /// Job names indexed by [`JobId`] (= workload order) — the
+    /// reporting edge of the id-keyed run.
+    pub names: Vec<String>,
+    /// Event-queue high-water mark: with stale compaction this stays
+    /// O(live jobs) even on rescale-heavy runs.
+    pub peak_queue_len: usize,
 }
 
 struct JobRt {
@@ -115,9 +142,9 @@ impl JobRt {
         self.last_update = now;
     }
 
-    fn view_state(&self) -> JobState {
+    fn view_state(&self, id: JobId) -> JobState {
         JobState {
-            name: self.spec.name.clone(),
+            id,
             min_replicas: self.spec.min_replicas,
             max_replicas: self.spec.max_replicas,
             priority: self.spec.priority,
@@ -129,213 +156,230 @@ impl JobRt {
     }
 }
 
+/// Applies one policy action to the job runtimes and the event queue
+/// (the caller has already folded it into the persistent view).
+#[allow(clippy::too_many_arguments)]
+fn apply_runtime(
+    cfg: &SimConfig,
+    jobs: &mut [JobRt],
+    queue: &mut EventQueue,
+    util: &mut UtilizationRecorder,
+    rescales: &mut u32,
+    cancels: &mut u32,
+    action: &Action,
+    now: SimTime,
+) {
+    match *action {
+        Action::Create { job, replicas } => {
+            let j = &mut jobs[job.index()];
+            debug_assert!(!j.running && !j.completed);
+            j.running = true;
+            j.replicas = replicas;
+            j.last_action = now;
+            j.started_at = Some(now);
+            j.last_update = now;
+            util.set(now, job, replicas);
+            let rate = cfg.scaling.rate(j.spec.class, j.replicas);
+            let remaining = j.spec.class.steps() as f64 - j.steps_done;
+            let finish = now + Duration::from_secs(remaining / rate);
+            queue.push(
+                finish,
+                Event::Completion {
+                    job,
+                    generation: j.generation,
+                },
+            );
+        }
+        Action::Shrink { job, to_replicas } | Action::Expand { job, to_replicas } => {
+            let j = &mut jobs[job.index()];
+            debug_assert!(j.running && !j.completed);
+            j.advance(now, &cfg.scaling);
+            let cost = cfg.overhead.total(j.spec.class, j.replicas, to_replicas);
+            j.pause_until = now + cost;
+            j.replicas = to_replicas;
+            j.last_action = now;
+            j.generation += 1;
+            queue.mark_stale(); // the previously scheduled completion died
+            *rescales += 1;
+            util.set(now, job, to_replicas);
+            let rate = cfg.scaling.rate(j.spec.class, j.replicas);
+            let remaining = (j.spec.class.steps() as f64 - j.steps_done).max(0.0);
+            let finish = j.pause_until + Duration::from_secs(remaining / rate);
+            queue.push(
+                finish,
+                Event::Completion {
+                    job,
+                    generation: j.generation,
+                },
+            );
+        }
+        Action::Enqueue { .. } => {}
+        Action::Cancel { job } => {
+            let j = &mut jobs[job.index()];
+            if j.completed || j.cancelled || !j.submitted {
+                return;
+            }
+            j.advance(now, &cfg.scaling);
+            if j.running {
+                queue.mark_stale(); // its scheduled completion died
+            }
+            j.cancelled = true;
+            j.running = false;
+            j.generation += 1; // invalidate any scheduled completion
+            j.completed_at = Some(now);
+            *cancels += 1;
+            util.set(now, job, 0);
+        }
+    }
+}
+
 /// Runs one simulation to completion.
 pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
     assert!(!workload.is_empty(), "workload must have jobs");
     let launcher = cfg.policy.launcher_slots();
     let mut jobs: Vec<JobRt> = workload.iter().cloned().map(JobRt::new).collect();
     let mut queue = EventQueue::new();
+    let mut view = ClusterView::new(cfg.capacity);
     let mut util = UtilizationRecorder::new(cfg.capacity);
     let mut rescales = 0u32;
     let mut cancelled_count = 0u32;
+    let mut peak_queue_len = 0usize;
 
-    for i in 0..jobs.len() {
-        let at = SimTime::ZERO + Duration::from_secs(cfg.submission_gap.as_secs() * i as f64);
-        queue.push(at, Event::Submit { job: i });
+    // Submit coalescing: consecutive jobs whose submission instants
+    // coincide (gap 0, or gaps below the f64 resolution of `i × gap`)
+    // share one Submit event.
+    let gap = cfg.submission_gap.as_secs();
+    let submit_at = |i: usize| SimTime::ZERO + Duration::from_secs(gap * i as f64);
+    let mut i = 0usize;
+    while i < jobs.len() {
+        let at = submit_at(i);
+        let mut count = 1usize;
+        while i + count < jobs.len() && submit_at(i + count) == at {
+            count += 1;
+        }
+        queue.push(
+            at,
+            Event::Submit {
+                first: JobId::from_index(i),
+                count: count as u32,
+            },
+        );
+        i += count;
     }
     for (at, name) in &cfg.cancellations {
         let i = workload
             .iter()
             .position(|j| j.name == *name)
             .unwrap_or_else(|| panic!("cancellation for unknown job {name}"));
-        queue.push(SimTime::ZERO + *at, Event::Cancel { job: i });
+        queue.push(
+            SimTime::ZERO + *at,
+            Event::Cancel {
+                job: JobId::from_index(i),
+            },
+        );
     }
 
-    let build_view = |jobs: &[JobRt]| -> ClusterView {
-        let mut states = Vec::new();
-        let mut committed = 0u32;
-        for j in jobs {
-            if j.completed || j.cancelled || !j.submitted {
-                continue;
-            }
-            if j.running {
-                committed += j.replicas + launcher;
-            }
-            states.push(j.view_state());
-        }
-        ClusterView {
-            capacity: cfg.capacity,
-            free_slots: cfg.capacity.saturating_sub(committed),
-            jobs: states,
-        }
-    };
-
-    let index_of = |jobs: &[JobRt], name: &str| -> usize {
-        jobs.iter()
-            .position(|j| j.spec.name == name)
-            .unwrap_or_else(|| panic!("action for unknown job {name}"))
-    };
-
-    // Applies one policy action; returns the completion event to
-    // schedule, if any.
-    let apply = |jobs: &mut Vec<JobRt>,
-                 queue: &mut EventQueue,
-                 util: &mut UtilizationRecorder,
-                 rescales: &mut u32,
-                 cancels: &mut u32,
-                 action: &Action,
-                 now: SimTime| {
-        match action {
-            Action::Create { job, replicas } => {
-                let i = index_of(jobs, job);
-                let j = &mut jobs[i];
-                debug_assert!(!j.running && !j.completed);
-                j.running = true;
-                j.replicas = *replicas;
-                j.last_action = now;
-                j.started_at = Some(now);
-                j.last_update = now;
-                util.set(now, job.clone(), *replicas);
-                let rate = cfg.scaling.rate(j.spec.class, j.replicas);
-                let remaining = j.spec.class.steps() as f64 - j.steps_done;
-                let finish = now + Duration::from_secs(remaining / rate);
-                queue.push(
-                    finish,
-                    Event::Completion {
-                        job: i,
-                        generation: j.generation,
-                    },
-                );
-            }
-            Action::Shrink { job, to_replicas } | Action::Expand { job, to_replicas } => {
-                let i = index_of(jobs, job);
-                let j = &mut jobs[i];
-                debug_assert!(j.running && !j.completed);
-                j.advance(now, &cfg.scaling);
-                let cost = cfg.overhead.total(j.spec.class, j.replicas, *to_replicas);
-                j.pause_until = now + cost;
-                j.replicas = *to_replicas;
-                j.last_action = now;
-                j.generation += 1;
-                *rescales += 1;
-                util.set(now, job.clone(), *to_replicas);
-                let rate = cfg.scaling.rate(j.spec.class, j.replicas);
-                let remaining = (j.spec.class.steps() as f64 - j.steps_done).max(0.0);
-                let finish = j.pause_until + Duration::from_secs(remaining / rate);
-                queue.push(
-                    finish,
-                    Event::Completion {
-                        job: i,
-                        generation: j.generation,
-                    },
-                );
-            }
-            Action::Enqueue { .. } => {}
-            Action::Cancel { job } => {
-                let i = index_of(jobs, job);
-                let j = &mut jobs[i];
-                if j.completed || j.cancelled || !j.submitted {
-                    return;
-                }
-                j.advance(now, &cfg.scaling);
-                j.cancelled = true;
-                j.running = false;
-                j.generation += 1; // invalidate any scheduled completion
-                j.completed_at = Some(now);
-                *cancels += 1;
-                util.set(now, job.clone(), 0);
-            }
-        }
-    };
-
-    while let Some((now, event)) = queue.pop() {
-        match event {
-            Event::Submit { job } => {
-                if jobs[job].cancelled {
-                    continue; // cancelled before it was ever submitted
-                }
-                jobs[job].submitted = true;
-                jobs[job].submitted_at = now;
-                jobs[job].last_update = now;
-                let name = jobs[job].spec.name.clone();
-                let view = build_view(&jobs);
-                let actions = cfg.policy.on_submit(&view, &name, now);
-                for a in &actions {
-                    apply(
-                        &mut jobs,
-                        &mut queue,
-                        &mut util,
-                        &mut rescales,
-                        &mut cancelled_count,
-                        a,
-                        now,
-                    );
-                }
-            }
-            Event::Completion { job, generation } => {
-                if jobs[job].generation != generation || jobs[job].completed || jobs[job].cancelled
-                {
-                    continue; // stale: the job was rescaled or cancelled meanwhile
-                }
-                jobs[job].advance(now, &cfg.scaling);
-                debug_assert!(
-                    jobs[job].steps_done >= jobs[job].spec.class.steps() as f64 - 1e-3,
-                    "completion fired early for {}",
-                    jobs[job].spec.name
-                );
-                jobs[job].completed = true;
-                jobs[job].running = false;
-                jobs[job].completed_at = Some(now);
-                util.set(now, jobs[job].spec.name.clone(), 0);
-                let view = build_view(&jobs);
-                let actions = cfg.policy.on_complete(&view, now);
-                for a in &actions {
-                    apply(
-                        &mut jobs,
-                        &mut queue,
-                        &mut util,
-                        &mut rescales,
-                        &mut cancelled_count,
-                        a,
-                        now,
-                    );
-                }
-            }
-            Event::Cancel { job } => {
-                if jobs[job].completed || jobs[job].cancelled || !jobs[job].submitted {
-                    continue; // terminal already, or cancel-before-submit
-                }
-                let held_slots = jobs[job].running;
-                let name = jobs[job].spec.name.clone();
-                apply(
+    macro_rules! apply_all {
+        ($actions:expr, $now:expr) => {
+            for a in &$actions {
+                apply_action(&mut view, a, $now, launcher);
+                apply_runtime(
+                    cfg,
                     &mut jobs,
                     &mut queue,
                     &mut util,
                     &mut rescales,
                     &mut cancelled_count,
-                    &Action::Cancel { job: name },
+                    a,
+                    $now,
+                );
+            }
+        };
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Submit { first, count } => {
+                // One pop admits the whole same-timestamp burst; each
+                // job is inserted and decided in submission order, so
+                // decisions are identical to n singleton events.
+                for k in 0..count as usize {
+                    let idx = first.index() + k;
+                    let id = JobId::from_index(idx);
+                    if jobs[idx].cancelled {
+                        continue; // cancelled before it was ever submitted
+                    }
+                    jobs[idx].submitted = true;
+                    jobs[idx].submitted_at = now;
+                    jobs[idx].last_update = now;
+                    view.insert(jobs[idx].view_state(id), launcher);
+                    let actions = cfg.policy.on_submit(&view, id, now);
+                    apply_all!(actions, now);
+                }
+            }
+            Event::Completion { job, generation } => {
+                let idx = job.index();
+                if jobs[idx].generation != generation || jobs[idx].completed || jobs[idx].cancelled
+                {
+                    queue.note_stale_popped();
+                    continue; // stale: the job was rescaled or cancelled meanwhile
+                }
+                jobs[idx].advance(now, &cfg.scaling);
+                debug_assert!(
+                    jobs[idx].steps_done >= jobs[idx].spec.class.steps() as f64 - 1e-3,
+                    "completion fired early for {}",
+                    jobs[idx].spec.name
+                );
+                jobs[idx].completed = true;
+                jobs[idx].running = false;
+                jobs[idx].completed_at = Some(now);
+                util.set(now, job, 0);
+                view.remove(job, launcher);
+                let actions = cfg.policy.on_complete(&view, now);
+                apply_all!(actions, now);
+            }
+            Event::Cancel { job } => {
+                let idx = job.index();
+                if jobs[idx].completed || jobs[idx].cancelled || !jobs[idx].submitted {
+                    continue; // terminal already, or cancel-before-submit
+                }
+                let held_slots = jobs[idx].running;
+                let cancel = Action::Cancel { job };
+                apply_action(&mut view, &cancel, now, launcher);
+                apply_runtime(
+                    cfg,
+                    &mut jobs,
+                    &mut queue,
+                    &mut util,
+                    &mut rescales,
+                    &mut cancelled_count,
+                    &cancel,
                     now,
                 );
                 if held_slots {
                     // Freed capacity: the policy redistributes exactly
                     // as after a completion.
-                    let view = build_view(&jobs);
                     let actions = cfg.policy.on_complete(&view, now);
-                    for a in &actions {
-                        apply(
-                            &mut jobs,
-                            &mut queue,
-                            &mut util,
-                            &mut rescales,
-                            &mut cancelled_count,
-                            a,
-                            now,
-                        );
-                    }
+                    apply_all!(actions, now);
                 }
             }
         }
+        peak_queue_len = peak_queue_len.max(queue.len());
+        if queue.should_compact() {
+            queue.compact(|e| match e {
+                Event::Completion { job, generation } => {
+                    let j = &jobs[job.index()];
+                    !j.completed && !j.cancelled && j.generation == *generation
+                }
+                _ => true,
+            });
+        }
     }
+
+    debug_assert!(
+        view.is_empty() && view.free_slots() == cfg.capacity,
+        "incremental view must drain to empty when every job is terminal"
+    );
 
     for j in &jobs {
         assert!(
@@ -371,6 +415,8 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
         util,
         rescales,
         cancelled: cancelled_count,
+        names: workload.iter().map(|j| j.name.clone()).collect(),
+        peak_queue_len,
     }
 }
 
@@ -411,6 +457,7 @@ mod tests {
         );
         assert_eq!(out.rescales, 0);
         assert_eq!(out.metrics.weighted_response, 0.0);
+        assert_eq!(out.names, vec!["j0".to_string()]);
     }
 
     #[test]
@@ -439,6 +486,28 @@ mod tests {
         let b = simulate(&cfg, &wl);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.rescales, b.rescales);
+    }
+
+    #[test]
+    fn zero_gap_coalesced_burst_matches_singleton_semantics() {
+        // All 8 jobs submitted at t=0 through ONE coalesced Submit
+        // event: decisions must equal the historical one-event-per-job
+        // behaviour (each job decided with only its predecessors in
+        // view), which the determinism of the metrics pins down.
+        let wl = crate::workload::generate_workload(3, 8);
+        let cfg =
+            SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0), Duration::from_secs(0.0));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 8);
+        // Every job shares the submission instant.
+        assert!(out
+            .metrics
+            .jobs
+            .iter()
+            .all(|j| j.submitted_at == SimTime::ZERO));
+        // Deterministic across runs.
+        let again = simulate(&cfg, &wl);
+        assert_eq!(out.metrics, again.metrics);
     }
 
     #[test]
@@ -592,6 +661,35 @@ mod tests {
             "min {} > max {}",
             min.metrics.weighted_response,
             max.metrics.weighted_response
+        );
+    }
+
+    #[test]
+    fn queue_stays_bounded_under_rescale_heavy_load() {
+        // A tiny rescale gap under heavy traffic makes elastic rescale
+        // aggressively; every rescale strands a stale completion in the
+        // heap. Compaction must keep the queue O(live jobs) instead of
+        // O(submits + rescales).
+        let n = 64usize;
+        let wl = crate::workload::generate_workload(1, n);
+        let cfg =
+            SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0), Duration::from_secs(15.0));
+        let out = simulate(&cfg, &wl);
+        assert!(
+            out.rescales as usize > n,
+            "scenario must be rescale-heavy (got {} rescales)",
+            out.rescales
+        );
+        // Without compaction the peak would be >= initial submits plus
+        // every stale completion (n + rescales). With it, the queue
+        // never holds more than the pending submits + live completions
+        // + the <=50% stale allowance.
+        let bound = 2 * (n + 2);
+        assert!(
+            out.peak_queue_len <= bound,
+            "peak queue {} exceeds O(live) bound {bound} (rescales {})",
+            out.peak_queue_len,
+            out.rescales
         );
     }
 }

@@ -5,33 +5,48 @@
 //! events carry a per-job generation number; rescaling a job bumps its
 //! generation, turning any previously scheduled completion into a
 //! harmless stale event (the standard DES invalidation idiom).
+//!
+//! Two scale features keep the queue O(live jobs) on trace-scale runs:
+//!
+//! * **Submit coalescing** — a burst of submissions at one timestamp is
+//!   a single [`Event::Submit`] carrying a contiguous id range, not n
+//!   heap entries.
+//! * **Stale compaction** — the engine reports each invalidated
+//!   completion via [`EventQueue::mark_stale`]; once more than half the
+//!   heap is stale the engine sweeps it with
+//!   [`EventQueue::compact`], so rescale-heavy runs cannot accumulate
+//!   dead entries without bound.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hpc_metrics::SimTime;
+use hpc_metrics::{JobId, SimTime};
 
 /// A scheduled simulation event.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    /// Job submission.
+    /// Submission of `count` jobs with contiguous ids starting at
+    /// `first`, all at this timestamp (count > 1 when the workload's
+    /// submission gap puts several arrivals on one instant).
     Submit {
-        /// Index into the workload.
-        job: usize,
+        /// First job of the batch.
+        first: JobId,
+        /// Number of jobs submitted together.
+        count: u32,
     },
     /// Predicted job completion (valid only if the job's generation
     /// still equals `generation`).
     Completion {
-        /// Index into the workload.
-        job: usize,
+        /// The job.
+        job: JobId,
         /// Generation at scheduling time.
         generation: u64,
     },
     /// Client cancellation of a job (the DES analogue of
     /// `SchedulerClient::cancel`).
     Cancel {
-        /// Index into the workload.
-        job: usize,
+        /// The job.
+        job: JobId,
     },
 }
 
@@ -56,11 +71,19 @@ impl Ord for Entry {
     }
 }
 
-/// Deterministic event queue.
+/// How full of stale entries the heap may get (numerator/denominator)
+/// before [`EventQueue::should_compact`] asks for a sweep.
+const COMPACT_STALE_FRACTION: (usize, usize) = (1, 2);
+/// No compaction below this heap size — sweeping a tiny heap is more
+/// work than letting the stale entries pop out naturally.
+const COMPACT_MIN_LEN: usize = 64;
+
+/// Deterministic event queue with stale-entry accounting.
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Entry>>,
     next_seq: u64,
+    stale: usize,
 }
 
 impl EventQueue {
@@ -90,6 +113,42 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Records that one pending completion was invalidated (its job
+    /// rescaled or cancelled). The engine calls this exactly once per
+    /// invalidation; the counter drives [`EventQueue::should_compact`].
+    pub fn mark_stale(&mut self) {
+        self.stale += 1;
+    }
+
+    /// Records that a stale entry left the heap by being popped (the
+    /// engine noticed its generation mismatch).
+    pub fn note_stale_popped(&mut self) {
+        self.stale = self.stale.saturating_sub(1);
+    }
+
+    /// Known-stale entries still in the heap.
+    pub fn stale_len(&self) -> usize {
+        self.stale
+    }
+
+    /// `true` once more than half the (non-trivial) heap is stale.
+    pub fn should_compact(&self) -> bool {
+        let (num, den) = COMPACT_STALE_FRACTION;
+        self.heap.len() >= COMPACT_MIN_LEN && self.stale * den > self.heap.len() * num
+    }
+
+    /// Sweeps the heap, keeping only entries for which `is_live`
+    /// returns true. Entries keep their insertion sequence, so the
+    /// deterministic pop order is unchanged. Resets the stale counter.
+    pub fn compact(&mut self, mut is_live: impl FnMut(&Event) -> bool) {
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        self.heap = entries
+            .into_iter()
+            .filter(|Reverse(e)| is_live(&e.event))
+            .collect();
+        self.stale = 0;
+    }
 }
 
 #[cfg(test)]
@@ -100,17 +159,28 @@ mod tests {
         SimTime::from_secs(s)
     }
 
+    fn submit(job: u32) -> Event {
+        Event::Submit {
+            first: JobId(job),
+            count: 1,
+        }
+    }
+
+    fn first_of(e: Event) -> u32 {
+        match e {
+            Event::Submit { first, .. } => first.0,
+            _ => unreachable!(),
+        }
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.push(t(5.0), Event::Submit { job: 1 });
-        q.push(t(1.0), Event::Submit { job: 0 });
-        q.push(t(3.0), Event::Submit { job: 2 });
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Submit { job } => job,
-                _ => unreachable!(),
-            })
+        q.push(t(5.0), submit(1));
+        q.push(t(1.0), submit(0));
+        q.push(t(3.0), submit(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| first_of(e))
             .collect();
         assert_eq!(order, vec![0, 2, 1]);
     }
@@ -119,13 +189,10 @@ mod tests {
     fn equal_times_pop_in_insertion_order() {
         let mut q = EventQueue::new();
         for job in 0..10 {
-            q.push(t(7.0), Event::Submit { job });
+            q.push(t(7.0), submit(job));
         }
-        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::Submit { job } => job,
-                _ => unreachable!(),
-            })
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| first_of(e))
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
@@ -136,7 +203,7 @@ mod tests {
         q.push(
             t(1.0),
             Event::Completion {
-                job: 0,
+                job: JobId(0),
                 generation: 2,
             },
         );
@@ -144,11 +211,89 @@ mod tests {
         assert_eq!(
             e,
             Event::Completion {
-                job: 0,
+                job: JobId(0),
                 generation: 2
             }
         );
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn compaction_trigger_respects_threshold_and_min_len() {
+        let mut q = EventQueue::new();
+        for g in 0..10 {
+            q.push(
+                t(1.0),
+                Event::Completion {
+                    job: JobId(0),
+                    generation: g,
+                },
+            );
+            q.mark_stale();
+        }
+        // 100% stale but below COMPACT_MIN_LEN: no sweep requested.
+        assert!(!q.should_compact());
+        for g in 0..COMPACT_MIN_LEN as u64 {
+            q.push(
+                t(2.0),
+                Event::Completion {
+                    job: JobId(1),
+                    generation: g,
+                },
+            );
+        }
+        // 10 stale of 74: under half.
+        assert!(!q.should_compact());
+        for _ in 0..28 {
+            q.mark_stale();
+        }
+        assert_eq!(q.stale_len(), 38);
+        assert!(q.should_compact(), "38 of 74 stale crosses the half mark");
+    }
+
+    #[test]
+    fn compact_drops_dead_entries_and_preserves_order() {
+        let mut q = EventQueue::new();
+        // Interleave live submits with stale completions.
+        for i in 0..40u32 {
+            q.push(t(f64::from(i)), submit(i));
+            q.push(
+                t(f64::from(i)),
+                Event::Completion {
+                    job: JobId(i),
+                    generation: 0, // all invalidated below
+                },
+            );
+            q.mark_stale();
+        }
+        assert_eq!(q.len(), 80);
+        q.compact(|e| !matches!(e, Event::Completion { generation: 0, .. }));
+        assert_eq!(q.len(), 40, "all stale completions swept");
+        assert_eq!(q.stale_len(), 0);
+        // Pop order of the survivors is unchanged.
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| first_of(e))
+            .collect();
+        assert_eq!(order, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn popped_stale_entries_decrement_the_counter() {
+        let mut q = EventQueue::new();
+        q.push(
+            t(1.0),
+            Event::Completion {
+                job: JobId(0),
+                generation: 0,
+            },
+        );
+        q.mark_stale();
+        assert_eq!(q.stale_len(), 1);
+        let _ = q.pop();
+        q.note_stale_popped();
+        assert_eq!(q.stale_len(), 0);
+        q.note_stale_popped(); // saturates, never underflows
+        assert_eq!(q.stale_len(), 0);
     }
 }

@@ -4,10 +4,11 @@
 //! and averages the four metrics, exactly like the paper's §4.3.1
 //! methodology (16 jobs, 100 repetitions).
 
-use elastic_core::{Policy, PolicyConfig, PolicyKind, RunMetrics};
+use elastic_core::{Policy, PolicyConfig, PolicyKind, RunMetrics, SchedulingPolicy};
 use hpc_metrics::{Duration, Summary};
 
 use crate::engine::{simulate, SimConfig, SimOutcome};
+use crate::model::{OverheadModel, ScalingModel};
 use crate::workload::generate_workload;
 
 /// Paper defaults.
@@ -119,6 +120,38 @@ pub fn sweep_rescale_gap(
         }
     }
     out
+}
+
+/// Cluster capacity of the heavy-traffic scale scenario (a trace-scale
+/// cloud pool rather than the paper's 64-vCPU testbed).
+pub const SCALE_CAPACITY: u32 = 4096;
+/// Submission gap (s) of the heavy-traffic scale scenario, chosen so
+/// arrivals roughly match the service rate of a [`SCALE_CAPACITY`]
+/// cluster: the queue stays bounded (steady heavy traffic) instead of
+/// growing without limit.
+pub const SCALE_SUBMISSION_GAP_S: f64 = 1.5;
+
+/// The heavy-traffic scale scenario: `n_jobs` random jobs (same class /
+/// priority draws as the paper's generator) replayed through a
+/// [`SCALE_CAPACITY`]-slot cluster at [`SCALE_SUBMISSION_GAP_S`] —
+/// the multi-thousand-job trace-replay regime of Zojer et al. rather
+/// than the paper's 10-job testbed. Used by the `sim_scale` bench
+/// (`BENCH_sim_scale.json`) to track decision-path throughput.
+pub fn heavy_traffic_run(
+    policy: Box<dyn SchedulingPolicy>,
+    seed: u64,
+    n_jobs: usize,
+) -> SimOutcome {
+    let workload = generate_workload(seed, n_jobs);
+    let cfg = SimConfig {
+        capacity: SCALE_CAPACITY,
+        policy,
+        submission_gap: Duration::from_secs(SCALE_SUBMISSION_GAP_S),
+        scaling: ScalingModel::default(),
+        overhead: OverheadModel::default(),
+        cancellations: Vec::new(),
+    };
+    simulate(&cfg, &workload)
 }
 
 /// Table 1 simulation column: one fixed workload (seed selectable),
@@ -241,6 +274,31 @@ mod tests {
             mn > e + 100.0,
             "rigid-min {mn} should lag elastic {e} by the last job's slowdown"
         );
+    }
+
+    /// The trace-scale scenario behind `BENCH_sim_scale.json`: every
+    /// job of a large heavy-traffic replay completes, utilization is
+    /// production-like, and the event queue stays bounded.
+    #[test]
+    fn heavy_traffic_run_replays_trace_scale_workloads() {
+        let n = 500;
+        let out = heavy_traffic_run(Box::new(policy_of(PolicyKind::Elastic, 180.0)), 0, n);
+        assert_eq!(out.metrics.jobs.len(), n, "every job completes");
+        assert!(
+            out.metrics.utilization > 0.5 && out.metrics.utilization <= 1.0,
+            "scale scenario should keep the pool busy (util {})",
+            out.metrics.utilization
+        );
+        assert!(out.rescales > 0, "elastic should rescale under load");
+        assert!(
+            out.peak_queue_len <= 2 * (n + 2),
+            "queue must stay O(live jobs), peak {}",
+            out.peak_queue_len
+        );
+        // FCFS drives the identical trace through the same engine.
+        let fcfs = heavy_traffic_run(Box::new(elastic_core::FcfsBackfill::new()), 0, n);
+        assert_eq!(fcfs.metrics.jobs.len(), n);
+        assert_eq!(fcfs.rescales, 0);
     }
 
     #[test]
