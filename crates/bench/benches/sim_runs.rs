@@ -8,6 +8,8 @@ use elastic_core::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPol
 use hpc_metrics::Duration;
 use sched_sim::{generate_workload, simulate, SimConfig};
 
+const GAP: f64 = 90.0;
+
 fn bench_sim(c: &mut Criterion) {
     let boxed = |kind: PolicyKind| -> Box<dyn SchedulingPolicy> {
         Box::new(Policy::of_kind(
@@ -19,9 +21,7 @@ fn bench_sim(c: &mut Criterion) {
             },
         ))
     };
-    let cfg_for = |policy: Box<dyn SchedulingPolicy>| {
-        SimConfig::paper_default(policy, Duration::from_secs(90.0))
-    };
+    let cfg_for = SimConfig::paper_default;
     let mut group = c.benchmark_group("simulate_16_jobs");
     let mut policies: Vec<Box<dyn SchedulingPolicy>> =
         PolicyKind::ALL.into_iter().map(boxed).collect();
@@ -29,7 +29,7 @@ fn bench_sim(c: &mut Criterion) {
     for policy in policies {
         let name = policy.name();
         let cfg = cfg_for(policy);
-        let wl = generate_workload(0, 16);
+        let wl = generate_workload(0, 16).spaced_every(Duration::from_secs(GAP));
         group.bench_with_input(BenchmarkId::from_parameter(name), &wl, |b, wl| {
             b.iter(|| simulate(&cfg, wl))
         });
@@ -39,7 +39,7 @@ fn bench_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_scaling");
     for &jobs in &[16usize, 64, 256] {
         let cfg = cfg_for(boxed(PolicyKind::Elastic));
-        let wl = generate_workload(0, jobs);
+        let wl = generate_workload(0, jobs).spaced_every(Duration::from_secs(GAP));
         group.bench_with_input(BenchmarkId::from_parameter(jobs), &wl, |b, wl| {
             b.iter(|| simulate(&cfg, wl))
         });

@@ -32,7 +32,10 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, Criterion};
 use elastic_core::{FcfsBackfill, Policy, PolicyConfig, SchedulingPolicy};
 use hpc_metrics::Duration;
-use sched_sim::experiments::{heavy_traffic_run, SCALE_CAPACITY, SCALE_SUBMISSION_GAP_S};
+use sched_sim::experiments::{
+    heavy_traffic_replay, heavy_traffic_run, SCALE_CAPACITY, SCALE_SUBMISSION_GAP_S,
+};
+use sched_sim::poisson_workload;
 
 /// Workload seed (same generator as every other experiment).
 const SEED: u64 = 0;
@@ -266,6 +269,31 @@ fn bench_sim_scale(c: &mut Criterion) {
         } else {
             println!("capped run (SIM_SCALE_MAX_JOBS): skipping BENCH_sim_scale.json");
         }
+    }
+
+    // Acceptance: per-event cost stays flat under *trace-shaped*
+    // (Poisson) arrivals too — bursty interarrivals change the queue
+    // and coalescing behaviour, and must not reintroduce a linear
+    // component. Compared against the fixed-gap point of the same size.
+    let n_trace = largest.min(10_000);
+    if let Some(fixed) = per_event(n_trace) {
+        let wl = poisson_workload(SEED, n_trace, Duration::from_secs(SCALE_SUBMISSION_GAP_S));
+        let _ = heavy_traffic_replay(elastic(), &wl); // warmup
+        let started = Instant::now();
+        let out = heavy_traffic_replay(elastic(), &wl);
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(out.metrics.jobs.len(), n_trace);
+        let events = 2 * n_trace as u64 + u64::from(out.rescales);
+        let us = wall * 1e6 / events as f64;
+        println!(
+            "sim_scale elastic        n={n_trace:<7} wall={wall:>8.3}s  {:>9.0} ev/s ({us:.2} us/event, poisson arrivals)",
+            events as f64 / wall,
+        );
+        assert!(
+            us <= fixed * 4.0,
+            "poisson-arrival per-event cost {us:.2}us vs fixed-gap {fixed:.2}us — \
+             trace-shaped arrivals broke the O(log n) path"
+        );
     }
 
     // Conventional criterion tracking of the 1k-job replay.

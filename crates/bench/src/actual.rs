@@ -114,9 +114,10 @@ pub fn scaled_class(class: SizeClass, full: bool) -> ScaledClass {
 /// priority draws as the simulator's workload generator).
 pub fn scaled_jobs(seed: u64, full: bool) -> Vec<CharmJobSpec> {
     generate_workload(seed, 16)
+        .jobs
         .into_iter()
         .map(|j| {
-            let sc = scaled_class(j.class, full);
+            let sc = scaled_class(j.class().expect("paper generator emits class jobs"), full);
             CharmJobSpec {
                 name: j.name,
                 min_replicas: sc.min,

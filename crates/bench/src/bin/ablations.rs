@@ -27,11 +27,10 @@ fn run_variant(v: &Variant, seeds: u64) -> (f64, f64, f64, f64) {
     let mut resp = Vec::new();
     let mut resc = Vec::new();
     for seed in 0..seeds {
-        let wl = generate_workload(seed, 16);
-        let cfg = SimConfig::paper_default(
-            Box::new(Policy::of_kind(PolicyKind::Elastic, v.cfg).with_aging(v.aging)),
-            Duration::from_secs(90.0),
-        );
+        let wl = generate_workload(seed, 16).spaced_every(Duration::from_secs(90.0));
+        let cfg = SimConfig::paper_default(Box::new(
+            Policy::of_kind(PolicyKind::Elastic, v.cfg).with_aging(v.aging),
+        ));
         let out = simulate(&cfg, &wl);
         util.push(out.metrics.utilization);
         total.push(out.metrics.total_time);

@@ -51,6 +51,7 @@ fn main() {
         "total_time_s",
         "weighted_response_s",
         "weighted_completion_s",
+        "bounded_slowdown",
         "total_time_std",
     ]);
     for p in &points {
@@ -61,6 +62,7 @@ fn main() {
             format!("{:.2}", p.total_time),
             format!("{:.2}", p.weighted_response),
             format!("{:.2}", p.weighted_completion),
+            format!("{:.3}", p.bounded_slowdown),
             format!("{:.2}", p.total_time_std),
         ]);
     }
@@ -85,6 +87,11 @@ fn main() {
         &points,
         |p| p.weighted_completion,
         "Fig 7d: weighted mean completion (s)",
+    );
+    chart(
+        &points,
+        |p| p.bounded_slowdown,
+        "Companion: mean bounded slowdown (tau=10s)",
     );
 
     // Narrative checks from §4.3.1, printed for EXPERIMENTS.md.

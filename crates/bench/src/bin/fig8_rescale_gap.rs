@@ -52,6 +52,7 @@ fn main() {
         "total_time_s",
         "weighted_response_s",
         "weighted_completion_s",
+        "bounded_slowdown",
         "total_time_std",
     ]);
     for p in &points {
@@ -62,6 +63,7 @@ fn main() {
             format!("{:.2}", p.total_time),
             format!("{:.2}", p.weighted_response),
             format!("{:.2}", p.weighted_completion),
+            format!("{:.3}", p.bounded_slowdown),
             format!("{:.2}", p.total_time_std),
         ]);
     }

@@ -78,8 +78,9 @@ fn main() {
         // Fig. 9b: replica evolution of the first xlarge job (elastic).
         if kind == PolicyKind::Elastic {
             let xlarge = generate_workload(seed, 16)
+                .jobs
                 .into_iter()
-                .find(|j| j.class == SizeClass::XLarge)
+                .find(|j| j.class() == Some(SizeClass::XLarge))
                 .map(|j| j.name);
             if let Some(name) = xlarge {
                 if let Some(series) = res

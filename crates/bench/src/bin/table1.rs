@@ -48,6 +48,8 @@ fn main() {
         "weighted_response_sim_s",
         "weighted_completion_actual_s",
         "weighted_completion_sim_s",
+        "bounded_slowdown_actual",
+        "bounded_slowdown_sim",
     ]);
     for (sim, _) in &sim_rows {
         let actual = actual_rows.iter().find(|a| a.policy == sim.policy);
@@ -62,6 +64,8 @@ fn main() {
             format!("{:.2}", sim.weighted_response),
             cell(actual.map(|a| a.weighted_completion)),
             format!("{:.2}", sim.weighted_completion),
+            cell(actual.map(|a| a.mean_bounded_slowdown)),
+            format!("{:.2}", sim.mean_bounded_slowdown),
         ]);
     }
     emit_csv(&table, "table1.csv");

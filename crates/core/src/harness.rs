@@ -1,47 +1,162 @@
 //! Experiment harnesses: submit a job schedule, drive the operator to
 //! completion, report metrics.
 //!
-//! Two drivers share the loop structure of the paper's experimental
+//! A [`Schedule`] carries *per-job submission times* (plus optional
+//! client cancellations). It can be built three ways: the classic fixed
+//! gap ([`Schedule::every`]), explicit arrival times
+//! ([`Schedule::at_times`]), or straight from a unified
+//! [`WorkloadSpec`] ([`Schedule::from_workload`]) — the same struct the
+//! DES replays, so one trace drives both engines.
+//!
+//! Three drivers share the loop structure of the paper's experimental
 //! campaign (`generate_jobs.py submit` + operator, §9.1):
 //!
 //! * [`run_virtual`] — virtual clock, [`ModelExecutor`]-style jobs;
 //!   fully deterministic, used by tests and operator-vs-DES validation.
+//! * [`run_workload_virtual`] — [`run_virtual`] for a [`WorkloadSpec`]:
+//!   same virtual clock, but each round drains the operator *three
+//!   times* so that a completion→free→admit→launch chain settles within
+//!   one instant (see the function docs for what each drain resolves).
+//!   With integer-second arrivals/runtimes and a linear speed model
+//!   this makes the operator replay *timestamp-identical* to the DES
+//!   replay — the trace cross-validation test asserts exactly that.
 //! * [`run_real`] — wall clock (optionally compressed), real
 //!   `charm-rt` jobs; used by the Fig. 9 / Table 1 "Actual" binaries.
 //!
-//! Both drivers submit through the public [`SchedulerClient`] — the
-//! store-mediated path every external consumer uses — so the bench
-//! binaries exercise the real control-plane API rather than an
-//! operator-internal shortcut.
+//! All drivers submit (and cancel) through the public
+//! [`SchedulerClient`] — the store-mediated path every external
+//! consumer uses — so the bench binaries exercise the real
+//! control-plane API rather than an operator-internal shortcut.
 //!
 //! [`ModelExecutor`]: crate::executor::ModelExecutor
 //! [`SchedulerClient`]: crate::client::SchedulerClient
 
 use hpc_metrics::{Clock, Duration, VirtualClock};
+use hpc_workload::WorkloadSpec;
 
-use crate::crd::CharmJobSpec;
+use crate::client::SchedulerClient;
+use crate::crd::{AppSpec, CharmJobSpec};
 use crate::operator::CharmOperator;
 use crate::report::RunMetrics;
 
-/// Submission schedule: job `i` is submitted at `i × gap`.
+/// Submission schedule: per-job submission times plus optional client
+/// cancellations.
 #[derive(Debug, Clone)]
 pub struct Schedule {
     /// Jobs in submission order.
     pub jobs: Vec<CharmJobSpec>,
-    /// Gap between consecutive submissions.
-    pub gap: Duration,
+    /// Submission time of each job (same order as `jobs`, nondecreasing).
+    arrivals: Vec<Duration>,
+    /// Client cancellations to inject, sorted by time: `(time, job name)`.
+    pub cancellations: Vec<(Duration, String)>,
 }
 
 impl Schedule {
-    /// A schedule submitting `jobs` every `gap`.
+    /// A schedule submitting `jobs` every `gap` (job `i` at `i × gap`).
     pub fn every(jobs: Vec<CharmJobSpec>, gap: Duration) -> Self {
+        let gap_s = gap.as_secs();
+        let arrivals = (0..jobs.len())
+            .map(|i| Duration::from_secs(gap_s * i as f64))
+            .collect();
+        Self::build(jobs, arrivals, Vec::new())
+    }
+
+    /// A schedule with explicit per-job submission times (nondecreasing).
+    pub fn at_times(entries: Vec<(Duration, CharmJobSpec)>) -> Self {
+        let mut jobs = Vec::with_capacity(entries.len());
+        let mut arrivals = Vec::with_capacity(entries.len());
+        for (at, job) in entries {
+            arrivals.push(at);
+            jobs.push(job);
+        }
+        Self::build(jobs, arrivals, Vec::new())
+    }
+
+    /// The operator-side rendering of a unified [`WorkloadSpec`]: every
+    /// job becomes a [`CharmJobSpec`] with an [`AppSpec::Modeled`] app
+    /// of `work` iterations (rounded; drive it with a
+    /// `ModelExecutor` whose speed model matches the workload's shape —
+    /// for malleable trace jobs that is the linear
+    /// `ModelExecutor::ideal`), and per-job `cancel_at`s become client
+    /// cancellations.
+    pub fn from_workload(workload: &WorkloadSpec) -> Self {
+        workload.validate().expect("replayable workload");
+        let mut jobs = Vec::with_capacity(workload.len());
+        let mut arrivals = Vec::with_capacity(workload.len());
+        let mut cancellations = Vec::new();
+        for job in &workload.jobs {
+            if let Some(t) = job.cancel_at {
+                cancellations.push((t, job.name.clone()));
+            }
+            arrivals.push(job.arrival);
+            jobs.push(CharmJobSpec {
+                name: job.name.clone(),
+                min_replicas: job.min_replicas(),
+                max_replicas: job.max_replicas(),
+                priority: job.priority,
+                app: AppSpec::Modeled {
+                    total_iters: job.work().round().max(1.0) as u64,
+                },
+            });
+        }
+        Self::build(jobs, arrivals, cancellations)
+    }
+
+    /// Builder: adds client cancellations (`(time, job name)`).
+    pub fn with_cancellations(mut self, cancellations: Vec<(Duration, String)>) -> Self {
+        self.cancellations.extend(cancellations);
+        self.cancellations
+            .sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        self
+    }
+
+    fn build(
+        jobs: Vec<CharmJobSpec>,
+        arrivals: Vec<Duration>,
+        mut cancellations: Vec<(Duration, String)>,
+    ) -> Self {
         assert!(!jobs.is_empty(), "schedule needs at least one job");
-        Schedule { jobs, gap }
+        assert!(
+            arrivals.windows(2).all(|w| w[0] <= w[1]),
+            "submission times must be nondecreasing"
+        );
+        cancellations.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        Schedule {
+            jobs,
+            arrivals,
+            cancellations,
+        }
     }
 
     /// Submission time of job `i`.
     pub fn submit_at(&self, i: usize) -> Duration {
-        Duration::from_secs(self.gap.as_secs() * i as f64)
+        self.arrivals[i]
+    }
+}
+
+/// Per-loop submission/cancellation pump shared by the drivers: submits
+/// every job due by `elapsed` and issues every cancellation due by
+/// `elapsed`, advancing the cursors.
+fn pump_due(
+    client: &SchedulerClient,
+    schedule: &Schedule,
+    elapsed: Duration,
+    next_submit: &mut usize,
+    next_cancel: &mut usize,
+) {
+    while *next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(*next_submit) {
+        client
+            .submit(schedule.jobs[*next_submit].clone())
+            .expect("valid spec");
+        *next_submit += 1;
+    }
+    while *next_cancel < schedule.cancellations.len()
+        && elapsed >= schedule.cancellations[*next_cancel].0
+    {
+        // A cancellation may target a job already terminal (or, with a
+        // too-coarse tick, not yet submitted); both are client no-ops.
+        let _ = client.cancel(&schedule.cancellations[*next_cancel].1);
+        *next_cancel += 1;
     }
 }
 
@@ -59,15 +174,17 @@ pub fn run_virtual(
     let client = op.client();
     let start = clock.now();
     let mut next_submit = 0usize;
+    let mut next_cancel = 0usize;
     loop {
         let now = clock.now();
         let elapsed = now - start;
-        while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            client
-                .submit(schedule.jobs[next_submit].clone())
-                .expect("valid spec");
-            next_submit += 1;
-        }
+        pump_due(
+            &client,
+            schedule,
+            elapsed,
+            &mut next_submit,
+            &mut next_cancel,
+        );
         op.tick();
         if next_submit >= schedule.jobs.len() && op.all_complete() {
             return op.metrics();
@@ -75,6 +192,62 @@ pub fn run_virtual(
         assert!(
             elapsed <= max_time,
             "schedule did not complete within {max_time}s (queued: {:?})",
+            op.queued_jobs()
+        );
+        clock.advance(tick);
+    }
+}
+
+/// Replays a unified [`WorkloadSpec`] through the operator on a virtual
+/// clock: per-job arrivals and cancellations from the workload itself,
+/// submissions through the [`SchedulerClient`].
+///
+/// Each round drains the operator three times, so a completion chain
+/// resolves *within one instant* exactly like the DES (where a
+/// completion frees slots instantaneously): drain 1 detects the
+/// completion and lets the policy admit a queued job (creating its
+/// pods), drain 2 lets the kubelet terminate the completed job's
+/// deleting pods (they hold node capacity until then), and drain 3
+/// binds and starts the admitted job's pods so it launches at the
+/// completion timestamp — not one to two ticks later. `tick` must
+/// divide the workload's arrival times for the submission timestamps
+/// to be exact.
+///
+/// [`SchedulerClient`]: crate::client::SchedulerClient
+pub fn run_workload_virtual(
+    op: &mut CharmOperator,
+    clock: &VirtualClock,
+    workload: &WorkloadSpec,
+    tick: Duration,
+    max_time: Duration,
+) -> RunMetrics {
+    assert!(tick.as_secs() > 0.0, "tick must be positive");
+    let schedule = Schedule::from_workload(workload);
+    let client = op.client();
+    let start = clock.now();
+    let mut next_submit = 0usize;
+    let mut next_cancel = 0usize;
+    loop {
+        let now = clock.now();
+        let elapsed = now - start;
+        pump_due(
+            &client,
+            &schedule,
+            elapsed,
+            &mut next_submit,
+            &mut next_cancel,
+        );
+        // Same-instant resolution of completion → free → admit → launch
+        // chains (see the function docs for what each drain settles).
+        op.tick();
+        op.tick();
+        op.tick();
+        if next_submit >= schedule.jobs.len() && op.all_complete() {
+            return op.metrics();
+        }
+        assert!(
+            elapsed <= max_time,
+            "workload did not complete within {max_time}s (queued: {:?})",
             op.queued_jobs()
         );
         clock.advance(tick);
@@ -95,15 +268,17 @@ pub fn run_real(
     let clock = op.plane.clock();
     let start = clock.now();
     let mut next_submit = 0usize;
+    let mut next_cancel = 0usize;
     loop {
         let now = clock.now();
         let elapsed = now - start;
-        while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            client
-                .submit(schedule.jobs[next_submit].clone())
-                .expect("valid spec");
-            next_submit += 1;
-        }
+        pump_due(
+            &client,
+            schedule,
+            elapsed,
+            &mut next_submit,
+            &mut next_cancel,
+        );
         op.tick();
         if next_submit >= schedule.jobs.len() && op.all_complete() {
             return op.metrics();
@@ -121,19 +296,68 @@ pub fn run_real(
 mod tests {
     use super::*;
     use crate::crd::AppSpec;
+    use hpc_workload::JobSpec;
 
-    #[test]
-    fn schedule_submission_times() {
-        let spec = CharmJobSpec {
-            name: "a".into(),
+    fn spec(name: &str) -> CharmJobSpec {
+        CharmJobSpec {
+            name: name.into(),
             min_replicas: 1,
             max_replicas: 2,
             priority: 1,
             app: AppSpec::Modeled { total_iters: 1 },
-        };
-        let s = Schedule::every(vec![spec.clone(), spec], Duration::from_secs(90.0));
+        }
+    }
+
+    #[test]
+    fn schedule_submission_times() {
+        let s = Schedule::every(vec![spec("a"), spec("b")], Duration::from_secs(90.0));
         assert_eq!(s.submit_at(0).as_secs(), 0.0);
         assert_eq!(s.submit_at(1).as_secs(), 90.0);
+    }
+
+    #[test]
+    fn at_times_keeps_explicit_arrivals() {
+        let s = Schedule::at_times(vec![
+            (Duration::from_secs(5.0), spec("a")),
+            (Duration::from_secs(5.0), spec("b")),
+            (Duration::from_secs(42.0), spec("c")),
+        ]);
+        assert_eq!(s.submit_at(0).as_secs(), 5.0);
+        assert_eq!(s.submit_at(1).as_secs(), 5.0);
+        assert_eq!(s.submit_at(2).as_secs(), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn at_times_rejects_unsorted_arrivals() {
+        let _ = Schedule::at_times(vec![
+            (Duration::from_secs(9.0), spec("a")),
+            (Duration::from_secs(5.0), spec("b")),
+        ]);
+    }
+
+    #[test]
+    fn from_workload_maps_jobs_and_cancellations() {
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("t0", 2, 4, 100.0, 3).at(Duration::from_secs(0.0)),
+            JobSpec::malleable("t1", 1, 8, 400.0, 5)
+                .at(Duration::from_secs(30.0))
+                .cancelled_at(Duration::from_secs(60.0)),
+        ]);
+        let s = Schedule::from_workload(&wl);
+        assert_eq!(s.jobs.len(), 2);
+        assert_eq!(s.submit_at(1).as_secs(), 30.0);
+        assert_eq!(s.jobs[0].min_replicas, 2);
+        assert_eq!(s.jobs[1].priority, 5);
+        assert_eq!(
+            s.jobs[1].app,
+            AppSpec::Modeled { total_iters: 400 },
+            "work becomes modeled iterations"
+        );
+        assert_eq!(
+            s.cancellations,
+            vec![(Duration::from_secs(60.0), "t1".into())]
+        );
     }
 
     #[test]

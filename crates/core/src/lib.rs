@@ -111,8 +111,11 @@
 //! * [`operator`] — the watch-driven reconciler with the paper's
 //!   shrink/expand pod sequences.
 //! * [`harness`] — schedule drivers for virtual- and wall-clock runs
-//!   (submitting through the client API).
-//! * [`report`] — the Table 1 metrics.
+//!   (submitting through the client API), including the
+//!   [`run_workload_virtual`] replay of a unified
+//!   `hpc_workload::WorkloadSpec`.
+//! * [`report`] — the Table 1 metrics plus the trace-replay bounded
+//!   slowdown.
 
 #![warn(missing_docs)]
 
@@ -129,10 +132,10 @@ pub mod view;
 pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient};
 pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
-pub use harness::{run_real, run_virtual, Schedule};
+pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;
 pub use operator::CharmOperator;
 pub use policy::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPolicy};
 pub use registry::JobRegistry;
-pub use report::{JobOutcome, RunMetrics};
+pub use report::{JobOutcome, RunMetrics, BSLD_TAU_S};
 pub use view::{apply_action, Action, ClusterView, JobState};

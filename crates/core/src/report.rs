@@ -7,6 +7,10 @@
 
 use hpc_metrics::{SimTime, WeightedMean};
 
+/// Bounded-slowdown threshold τ in seconds (the standard trace-replay
+/// guard against very short jobs dominating the slowdown mean).
+pub const BSLD_TAU_S: f64 = 10.0;
+
 /// Per-job outcome extracted at the end of a run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
@@ -22,6 +26,19 @@ pub struct JobOutcome {
     pub completed_at: SimTime,
 }
 
+impl JobOutcome {
+    /// Bounded slowdown: `max(1, (wait + run) / max(run, τ))` with
+    /// τ = [`BSLD_TAU_S`] — the standard per-job stretch metric of the
+    /// trace-replay literature. Computed from the same three timestamps
+    /// in both engines, so DES and operator replays agree by
+    /// construction.
+    pub fn bounded_slowdown(&self) -> f64 {
+        let wait = (self.started_at - self.submitted_at).as_secs();
+        let run = (self.completed_at - self.started_at).as_secs();
+        ((wait + run) / run.max(BSLD_TAU_S)).max(1.0)
+    }
+}
+
 /// Aggregate metrics for one scheduler run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
@@ -35,6 +52,9 @@ pub struct RunMetrics {
     pub weighted_response: f64,
     /// Priority-weighted mean completion time (complete − submit), s.
     pub weighted_completion: f64,
+    /// Mean bounded slowdown over completed jobs (τ = [`BSLD_TAU_S`];
+    /// see [`JobOutcome::bounded_slowdown`]).
+    pub mean_bounded_slowdown: f64,
     /// Scheduling actions that rescaled a running job.
     pub rescales: u32,
     /// Per-job detail.
@@ -52,6 +72,7 @@ impl RunMetrics {
             utilization: 0.0,
             weighted_response: 0.0,
             weighted_completion: 0.0,
+            mean_bounded_slowdown: 0.0,
             rescales,
             jobs: Vec::new(),
         }
@@ -79,10 +100,12 @@ impl RunMetrics {
             .expect("non-empty");
         let mut resp = WeightedMean::new();
         let mut comp = WeightedMean::new();
+        let mut bsld = 0.0;
         for j in &jobs {
             let w = f64::from(j.priority);
             resp.add_duration(w, j.started_at - j.submitted_at);
             comp.add_duration(w, j.completed_at - j.submitted_at);
+            bsld += j.bounded_slowdown();
         }
         RunMetrics {
             policy: policy.into(),
@@ -90,6 +113,7 @@ impl RunMetrics {
             utilization,
             weighted_response: resp.mean_or_zero(),
             weighted_completion: comp.mean_or_zero(),
+            mean_bounded_slowdown: bsld / jobs.len() as f64,
             rescales,
             jobs,
         }
@@ -98,12 +122,13 @@ impl RunMetrics {
     /// One-line summary in the style of Table 1.
     pub fn table_row(&self) -> String {
         format!(
-            "{:<14} total={:<9.1} util={:>6.2}% wresp={:<8.2} wcomp={:<8.2} rescales={}",
+            "{:<14} total={:<9.1} util={:>6.2}% wresp={:<8.2} wcomp={:<8.2} bsld={:<6.2} rescales={}",
             self.policy,
             self.total_time,
             self.utilization * 100.0,
             self.weighted_response,
             self.weighted_completion,
+            self.mean_bounded_slowdown,
             self.rescales
         )
     }
@@ -147,6 +172,23 @@ mod tests {
         ];
         let m = RunMetrics::from_outcomes("x", jobs, 0.5, 0);
         assert_eq!(m.total_time, 890.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_matches_hand_computation() {
+        // Long job: wait 100, run 400 → (100+400)/max(400,10) = 1.25.
+        let long = outcome("long", 1, 0.0, 100.0, 500.0);
+        assert!((long.bounded_slowdown() - 1.25).abs() < 1e-12);
+        // Short job: wait 18, run 2 → bounded by τ=10: (18+2)/10 = 2,
+        // NOT the raw slowdown (18+2)/2 = 10.
+        let short = outcome("short", 1, 0.0, 18.0, 20.0);
+        assert!((short.bounded_slowdown() - 2.0).abs() < 1e-12);
+        // No wait, short run: clamps to 1 from below.
+        let instant = outcome("instant", 1, 0.0, 0.0, 1.0);
+        assert_eq!(instant.bounded_slowdown(), 1.0);
+        // The run mean averages the per-job values, priority-unweighted.
+        let m = RunMetrics::from_outcomes("x", vec![long, short, instant], 0.5, 0);
+        assert!((m.mean_bounded_slowdown - (1.25 + 2.0 + 1.0) / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //!
 //! Drives the *same* policy code as the live operator (anything
 //! implementing `elastic_core::SchedulingPolicy`) over an event
-//! timeline: job submissions arrive at a fixed gap; job progress
-//! integrates `rate(replicas)` between events; a rescale pauses
-//! progress for the modeled overhead window and re-schedules the job's
-//! completion; a cancellation tears the job down mid-flight and lets
-//! the policy redistribute the freed slots. As in the paper's
-//! simulator, operator/Kubernetes pod-startup overhead is not modeled
-//! (§4.3.1).
+//! timeline: job submissions fire at the *per-job arrival times* of the
+//! [`WorkloadSpec`] (fixed gaps, Poisson bursts and SWF trace replays
+//! are all just workloads); job progress integrates the shape's
+//! `rate(replicas)` between events; a rescale pauses progress for the
+//! modeled overhead window and re-schedules the job's completion; a
+//! cancellation (per-job `cancel_at` or [`SimConfig::cancellations`])
+//! tears the job down mid-flight and lets the policy redistribute the
+//! freed slots. As in the paper's simulator, operator/Kubernetes
+//! pod-startup overhead is not modeled (§4.3.1).
 //!
 //! ## Trace-scale throughput
 //!
@@ -35,33 +37,33 @@ use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
 
 use crate::events::{Event, EventQueue};
 use crate::model::{OverheadModel, ScalingModel};
-use crate::workload::SimJobSpec;
+use crate::workload::{JobSpec, WorkloadSpec};
 
-/// Simulation parameters.
+/// Simulation parameters. Submission times are *not* here: every job
+/// of the replayed [`WorkloadSpec`] carries its own arrival time
+/// (build fixed-gap schedules with `WorkloadSpec::spaced_every`).
 pub struct SimConfig {
     /// Cluster slots (the paper's testbed: 64).
     pub capacity: u32,
     /// The scheduling policy under test.
     pub policy: Box<dyn SchedulingPolicy>,
-    /// Gap between consecutive job submissions.
-    pub submission_gap: Duration,
     /// Strong-scaling model.
     pub scaling: ScalingModel,
     /// Rescale-overhead model.
     pub overhead: OverheadModel,
-    /// Client cancellations to inject: `(time, job name)` — the DES
-    /// analogue of `SchedulerClient::cancel` (ignored for jobs not yet
-    /// submitted or already terminal at that time).
+    /// Extra client cancellations to inject: `(time, job name)` — the
+    /// DES analogue of `SchedulerClient::cancel` (ignored for jobs not
+    /// yet submitted or already terminal at that time). Per-job
+    /// `cancel_at` times in the workload are injected as well.
     pub cancellations: Vec<(Duration, String)>,
 }
 
 impl SimConfig {
     /// The paper's default setup: 64 slots, calibrated models.
-    pub fn paper_default(policy: Box<dyn SchedulingPolicy>, submission_gap: Duration) -> Self {
+    pub fn paper_default(policy: Box<dyn SchedulingPolicy>) -> Self {
         SimConfig {
             capacity: 64,
             policy,
-            submission_gap,
             scaling: ScalingModel::default(),
             overhead: OverheadModel::default(),
             cancellations: Vec::new(),
@@ -89,7 +91,7 @@ pub struct SimOutcome {
 }
 
 struct JobRt {
-    spec: SimJobSpec,
+    spec: JobSpec,
     submitted: bool,
     submitted_at: SimTime,
     running: bool,
@@ -106,7 +108,7 @@ struct JobRt {
 }
 
 impl JobRt {
-    fn new(spec: SimJobSpec) -> JobRt {
+    fn new(spec: JobSpec) -> JobRt {
         JobRt {
             spec,
             submitted: false,
@@ -136,7 +138,7 @@ impl JobRt {
             };
             if now > start {
                 self.steps_done +=
-                    scaling.rate(self.spec.class, self.replicas) * (now - start).as_secs();
+                    scaling.job_rate(&self.spec.shape, self.replicas) * (now - start).as_secs();
             }
         }
         self.last_update = now;
@@ -145,8 +147,8 @@ impl JobRt {
     fn view_state(&self, id: JobId) -> JobState {
         JobState {
             id,
-            min_replicas: self.spec.min_replicas,
-            max_replicas: self.spec.max_replicas,
+            min_replicas: self.spec.min_replicas(),
+            max_replicas: self.spec.max_replicas(),
             priority: self.spec.priority,
             submitted_at: self.submitted_at,
             replicas: if self.running { self.replicas } else { 0 },
@@ -179,8 +181,8 @@ fn apply_runtime(
             j.started_at = Some(now);
             j.last_update = now;
             util.set(now, job, replicas);
-            let rate = cfg.scaling.rate(j.spec.class, j.replicas);
-            let remaining = j.spec.class.steps() as f64 - j.steps_done;
+            let rate = cfg.scaling.job_rate(&j.spec.shape, j.replicas);
+            let remaining = j.spec.work() - j.steps_done;
             let finish = now + Duration::from_secs(remaining / rate);
             queue.push(
                 finish,
@@ -194,7 +196,9 @@ fn apply_runtime(
             let j = &mut jobs[job.index()];
             debug_assert!(j.running && !j.completed);
             j.advance(now, &cfg.scaling);
-            let cost = cfg.overhead.total(j.spec.class, j.replicas, to_replicas);
+            let cost = cfg
+                .overhead
+                .job_total(&j.spec.shape, j.replicas, to_replicas);
             j.pause_until = now + cost;
             j.replicas = to_replicas;
             j.last_action = now;
@@ -202,8 +206,8 @@ fn apply_runtime(
             queue.mark_stale(); // the previously scheduled completion died
             *rescales += 1;
             util.set(now, job, to_replicas);
-            let rate = cfg.scaling.rate(j.spec.class, j.replicas);
-            let remaining = (j.spec.class.steps() as f64 - j.steps_done).max(0.0);
+            let rate = cfg.scaling.job_rate(&j.spec.shape, j.replicas);
+            let remaining = (j.spec.work() - j.steps_done).max(0.0);
             let finish = j.pause_until + Duration::from_secs(remaining / rate);
             queue.push(
                 finish,
@@ -233,11 +237,14 @@ fn apply_runtime(
     }
 }
 
-/// Runs one simulation to completion.
-pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
-    assert!(!workload.is_empty(), "workload must have jobs");
+/// Runs one simulation to completion, replaying the workload's own
+/// arrival (and cancellation) times.
+pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
+    workload
+        .validate()
+        .unwrap_or_else(|e| panic!("workload not replayable: {e}"));
     let launcher = cfg.policy.launcher_slots();
-    let mut jobs: Vec<JobRt> = workload.iter().cloned().map(JobRt::new).collect();
+    let mut jobs: Vec<JobRt> = workload.jobs.iter().cloned().map(JobRt::new).collect();
     let mut queue = EventQueue::new();
     let mut view = ClusterView::new(cfg.capacity);
     let mut util = UtilizationRecorder::new(cfg.capacity);
@@ -245,11 +252,9 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
     let mut cancelled_count = 0u32;
     let mut peak_queue_len = 0usize;
 
-    // Submit coalescing: consecutive jobs whose submission instants
-    // coincide (gap 0, or gaps below the f64 resolution of `i × gap`)
-    // share one Submit event.
-    let gap = cfg.submission_gap.as_secs();
-    let submit_at = |i: usize| SimTime::ZERO + Duration::from_secs(gap * i as f64);
+    // Submit coalescing: consecutive jobs whose arrival instants
+    // coincide (zero gaps, or trace bursts) share one Submit event.
+    let submit_at = |i: usize| SimTime::ZERO + workload.jobs[i].arrival;
     let mut i = 0usize;
     while i < jobs.len() {
         let at = submit_at(i);
@@ -266,8 +271,19 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
         );
         i += count;
     }
+    for (i, job) in workload.jobs.iter().enumerate() {
+        if let Some(at) = job.cancel_at {
+            queue.push(
+                SimTime::ZERO + at,
+                Event::Cancel {
+                    job: JobId::from_index(i),
+                },
+            );
+        }
+    }
     for (at, name) in &cfg.cancellations {
         let i = workload
+            .jobs
             .iter()
             .position(|j| j.name == *name)
             .unwrap_or_else(|| panic!("cancellation for unknown job {name}"));
@@ -306,9 +322,6 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 for k in 0..count as usize {
                     let idx = first.index() + k;
                     let id = JobId::from_index(idx);
-                    if jobs[idx].cancelled {
-                        continue; // cancelled before it was ever submitted
-                    }
                     jobs[idx].submitted = true;
                     jobs[idx].submitted_at = now;
                     jobs[idx].last_update = now;
@@ -326,7 +339,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
                 }
                 jobs[idx].advance(now, &cfg.scaling);
                 debug_assert!(
-                    jobs[idx].steps_done >= jobs[idx].spec.class.steps() as f64 - 1e-3,
+                    jobs[idx].steps_done >= jobs[idx].spec.work() - 1e-3,
                     "completion fired early for {}",
                     jobs[idx].spec.name
                 );
@@ -341,7 +354,10 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
             Event::Cancel { job } => {
                 let idx = job.index();
                 if jobs[idx].completed || jobs[idx].cancelled || !jobs[idx].submitted {
-                    continue; // terminal already, or cancel-before-submit
+                    // Terminal already, or a cancel timed before the
+                    // job's arrival — a no-op, exactly like the client
+                    // cancel of an unknown name in the operator path.
+                    continue;
                 }
                 let held_slots = jobs[idx].running;
                 let cancel = Action::Cancel { job };
@@ -415,7 +431,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
         util,
         rescales,
         cancelled: cancelled_count,
-        names: workload.iter().map(|j| j.name.clone()).collect(),
+        names: workload.jobs.iter().map(|j| j.name.clone()).collect(),
         peak_queue_len,
     }
 }
@@ -424,6 +440,7 @@ pub fn simulate(cfg: &SimConfig, workload: &[SimJobSpec]) -> SimOutcome {
 mod tests {
     use super::*;
     use crate::model::SizeClass;
+    use crate::workload::generate_workload;
     use elastic_core::{FcfsBackfill, Policy, PolicyConfig, PolicyKind};
 
     fn policy(kind: PolicyKind, gap: f64) -> Box<dyn SchedulingPolicy> {
@@ -437,16 +454,17 @@ mod tests {
         ))
     }
 
-    fn one_job(class: SizeClass) -> Vec<SimJobSpec> {
-        vec![SimJobSpec::of_class("j0", class, 3)]
+    fn spaced(wl: WorkloadSpec, gap_s: f64) -> WorkloadSpec {
+        wl.spaced_every(Duration::from_secs(gap_s))
+    }
+
+    fn one_job(class: SizeClass) -> WorkloadSpec {
+        WorkloadSpec::new(vec![JobSpec::of_class("j0", class, 3)])
     }
 
     #[test]
     fn single_job_runtime_matches_model() {
-        let cfg = SimConfig::paper_default(
-            policy(PolicyKind::Elastic, 180.0),
-            Duration::from_secs(90.0),
-        );
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         let out = simulate(&cfg, &one_job(SizeClass::Medium));
         // Empty cluster: job runs at max replicas the whole time.
         let expect = cfg.scaling.runtime(SizeClass::Medium, 16);
@@ -462,14 +480,13 @@ mod tests {
 
     #[test]
     fn rigid_min_runs_longer_than_rigid_max_for_one_job() {
-        let gap = Duration::from_secs(90.0);
         let wl = one_job(SizeClass::Large);
         let min = simulate(
-            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0), gap),
+            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0)),
             &wl,
         );
         let max = simulate(
-            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0), gap),
+            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0)),
             &wl,
         );
         assert!(min.metrics.total_time > max.metrics.total_time);
@@ -477,11 +494,8 @@ mod tests {
 
     #[test]
     fn simulation_is_deterministic() {
-        let wl = crate::workload::generate_workload(11, 16);
-        let cfg = SimConfig::paper_default(
-            policy(PolicyKind::Elastic, 180.0),
-            Duration::from_secs(90.0),
-        );
+        let wl = spaced(generate_workload(11, 16), 90.0);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         let a = simulate(&cfg, &wl);
         let b = simulate(&cfg, &wl);
         assert_eq!(a.metrics, b.metrics);
@@ -494,9 +508,8 @@ mod tests {
         // event: decisions must equal the historical one-event-per-job
         // behaviour (each job decided with only its predecessors in
         // view), which the determinism of the metrics pins down.
-        let wl = crate::workload::generate_workload(3, 8);
-        let cfg =
-            SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0), Duration::from_secs(0.0));
+        let wl = generate_workload(3, 8); // arrivals default to t = 0
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         let out = simulate(&cfg, &wl);
         assert_eq!(out.metrics.jobs.len(), 8);
         // Every job shares the submission instant.
@@ -512,11 +525,8 @@ mod tests {
 
     #[test]
     fn elastic_rescales_under_contention() {
-        let wl = crate::workload::generate_workload(3, 16);
-        let cfg = SimConfig::paper_default(
-            policy(PolicyKind::Elastic, 180.0),
-            Duration::from_secs(30.0), // heavy traffic
-        );
+        let wl = spaced(generate_workload(3, 16), 30.0); // heavy traffic
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         let out = simulate(&cfg, &wl);
         assert!(out.rescales > 0, "elastic never rescaled under load");
         // Non-elastic policies never rescale.
@@ -525,10 +535,7 @@ mod tests {
             PolicyKind::RigidMin,
             PolicyKind::RigidMax,
         ] {
-            let out = simulate(
-                &SimConfig::paper_default(policy(kind, 180.0), Duration::from_secs(30.0)),
-                &wl,
-            );
+            let out = simulate(&SimConfig::paper_default(policy(kind, 180.0)), &wl);
             assert_eq!(out.rescales, 0, "{kind} rescaled");
         }
     }
@@ -536,9 +543,9 @@ mod tests {
     #[test]
     fn capacity_never_exceeded() {
         for seed in 0..5 {
-            let wl = crate::workload::generate_workload(seed, 16);
+            let wl = spaced(generate_workload(seed, 16), 20.0);
             for kind in PolicyKind::ALL {
-                let cfg = SimConfig::paper_default(policy(kind, 60.0), Duration::from_secs(20.0));
+                let cfg = SimConfig::paper_default(policy(kind, 60.0));
                 let out = simulate(&cfg, &wl);
                 // Worker slots alone must fit under capacity minus one
                 // launcher per concurrently running job (>= 1).
@@ -553,11 +560,8 @@ mod tests {
 
     #[test]
     fn utilization_in_unit_range_and_meaningful() {
-        let wl = crate::workload::generate_workload(9, 16);
-        let cfg = SimConfig::paper_default(
-            policy(PolicyKind::Elastic, 180.0),
-            Duration::from_secs(90.0),
-        );
+        let wl = spaced(generate_workload(9, 16), 90.0);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         let out = simulate(&cfg, &wl);
         assert!(out.metrics.utilization > 0.3);
         assert!(out.metrics.utilization <= 1.0);
@@ -565,19 +569,16 @@ mod tests {
 
     #[test]
     fn fcfs_backfill_runs_through_the_simulator() {
-        let wl = crate::workload::generate_workload(11, 16);
-        let cfg = SimConfig::paper_default(
-            Box::new(FcfsBackfill::new()),
-            Duration::from_secs(30.0), // heavy traffic: the queue blocks
-        );
+        // Heavy traffic: the queue blocks.
+        let wl = spaced(generate_workload(11, 16), 30.0);
+        let cfg = SimConfig::paper_default(Box::new(FcfsBackfill::new()));
         let out = simulate(&cfg, &wl);
         assert_eq!(out.metrics.policy, "fcfs_backfill");
         assert_eq!(out.metrics.jobs.len(), 16);
         assert_eq!(out.rescales, 0, "FCFS never rescales");
         assert!(out.metrics.utilization > 0.2 && out.metrics.utilization <= 1.0);
         // Determinism holds for the new policy too.
-        let cfg2 =
-            SimConfig::paper_default(Box::new(FcfsBackfill::new()), Duration::from_secs(30.0));
+        let cfg2 = SimConfig::paper_default(Box::new(FcfsBackfill::new()));
         assert_eq!(simulate(&cfg2, &wl).metrics, out.metrics);
     }
 
@@ -587,14 +588,12 @@ mod tests {
         // finds the cluster full and queues. Cancelling "a" mid-run
         // must make elastic reassign the freed slots *at the cancel
         // timestamp*: "b" expands and "c" starts immediately.
-        use crate::workload::SimJobSpec;
-        let wl = vec![
-            SimJobSpec::of_class("a", SizeClass::Large, 3),
-            SimJobSpec::of_class("b", SizeClass::Large, 3),
-            SimJobSpec::of_class("c", SizeClass::Large, 3),
-        ];
-        let mut cfg =
-            SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0), Duration::from_secs(0.0));
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::of_class("a", SizeClass::Large, 3),
+            JobSpec::of_class("b", SizeClass::Large, 3),
+            JobSpec::of_class("c", SizeClass::Large, 3),
+        ]);
+        let mut cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0));
         cfg.cancellations = vec![(Duration::from_secs(100.0), "a".into())];
         let out = simulate(&cfg, &wl);
         assert_eq!(out.cancelled, 1);
@@ -611,9 +610,8 @@ mod tests {
 
     #[test]
     fn all_jobs_cancelled_yields_empty_metrics_without_panicking() {
-        let wl = vec![SimJobSpec::of_class("solo", SizeClass::Large, 3)];
-        let mut cfg =
-            SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0), Duration::from_secs(0.0));
+        let wl = WorkloadSpec::new(vec![JobSpec::of_class("solo", SizeClass::Large, 3)]);
+        let mut cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
         cfg.cancellations = vec![(Duration::from_secs(50.0), "solo".into())];
         let out = simulate(&cfg, &wl);
         assert_eq!(out.cancelled, 1);
@@ -624,14 +622,11 @@ mod tests {
 
     #[test]
     fn cancel_of_queued_job_just_removes_it() {
-        let wl = crate::workload::generate_workload(5, 6);
+        let wl = spaced(generate_workload(5, 6), 10.0);
         // Cancel the last job the moment it sits in the queue under
         // heavy traffic (it is submitted at 5 * 10 = 50s).
-        let victim = wl[5].name.clone();
-        let mut cfg = SimConfig::paper_default(
-            policy(PolicyKind::RigidMax, 180.0),
-            Duration::from_secs(10.0),
-        );
+        let victim = wl.jobs[5].name.clone();
+        let mut cfg = SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0));
         cfg.cancellations = vec![(Duration::from_secs(55.0), victim)];
         let out = simulate(&cfg, &wl);
         assert!(out.cancelled <= 1, "at most the one requested cancel");
@@ -640,10 +635,9 @@ mod tests {
 
     #[test]
     fn response_times_nonnegative_and_ordered_sanely() {
-        let wl = crate::workload::generate_workload(21, 16);
-        let gap = Duration::from_secs(90.0);
+        let wl = spaced(generate_workload(21, 16), 90.0);
         let min = simulate(
-            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0), gap),
+            &SimConfig::paper_default(policy(PolicyKind::RigidMin, 180.0)),
             &wl,
         );
         for j in &min.metrics.jobs {
@@ -653,7 +647,7 @@ mod tests {
         // min_replicas leaves more slack => its weighted response should
         // be no worse than rigid-max's (paper Fig. 7c).
         let max = simulate(
-            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0), gap),
+            &SimConfig::paper_default(policy(PolicyKind::RigidMax, 180.0)),
             &wl,
         );
         assert!(
@@ -665,15 +659,92 @@ mod tests {
     }
 
     #[test]
+    fn per_job_arrival_times_drive_submission() {
+        // Trace-shaped arrivals: a burst of two at t=0, one at t=7.5,
+        // one at t=7.5 (coalesced burst), one late at t=1000.
+        let arrivals = [0.0, 0.0, 7.5, 7.5, 1000.0];
+        let wl = WorkloadSpec::new(
+            arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &at)| {
+                    JobSpec::of_class(format!("t{i}"), SizeClass::Small, 3)
+                        .at(Duration::from_secs(at))
+                })
+                .collect(),
+        );
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 5);
+        for (j, &at) in out.metrics.jobs.iter().zip(&arrivals) {
+            assert_eq!(
+                j.submitted_at,
+                SimTime::from_secs(at),
+                "{} submitted at the workload's arrival time",
+                j.name
+            );
+        }
+        // Small jobs at 64 slots: the empty cluster at t=1000 starts the
+        // straggler immediately.
+        let late = &out.metrics.jobs[4];
+        assert_eq!(late.started_at, SimTime::from_secs(1000.0));
+    }
+
+    #[test]
+    fn workload_cancel_at_tears_the_job_down() {
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::of_class("keep", SizeClass::Large, 3),
+            JobSpec::of_class("drop", SizeClass::Large, 3).cancelled_at(Duration::from_secs(80.0)),
+        ]);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.cancelled, 1);
+        assert_eq!(out.metrics.jobs.len(), 1);
+        assert_eq!(out.metrics.jobs[0].name, "keep");
+    }
+
+    #[test]
+    fn malleable_jobs_run_at_linear_speed() {
+        // 1200 core-seconds on exactly 4 replicas (rigid annotation):
+        // 300 s of runtime, bit-exact.
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("m0", 4, 4, 1200.0, 1)]);
+        let cfg = SimConfig::paper_default(Box::new(FcfsBackfill::new()));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 1);
+        assert_eq!(out.metrics.total_time, 300.0);
+        assert_eq!(out.metrics.mean_bounded_slowdown, 1.0);
+    }
+
+    #[test]
+    fn elastic_policy_rescales_malleable_trace_jobs() {
+        // Two malleable jobs whose max bounds exceed the cluster: the
+        // first grabs everything, the second forces a shrink, and when
+        // one completes the survivor expands — exercising the
+        // job_total overhead path for class-less jobs.
+        // "head" (16+1) and "bulk" (46+1) fill all 64 slots; "late"
+        // needs 8+1, so the policy must shrink "bulk" (the head is
+        // spared) to admit it, and expands survivors on completions.
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("head", 8, 16, 16_000.0, 5),
+            JobSpec::malleable("bulk", 8, 56, 48_000.0, 1),
+            JobSpec::malleable("late", 8, 56, 48_000.0, 3).at(Duration::from_secs(100.0)),
+        ]);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 3);
+        assert!(out.rescales >= 2, "expected shrink + expand rescales");
+        assert!(out.metrics.mean_bounded_slowdown >= 1.0);
+    }
+
+    #[test]
     fn queue_stays_bounded_under_rescale_heavy_load() {
         // A tiny rescale gap under heavy traffic makes elastic rescale
         // aggressively; every rescale strands a stale completion in the
         // heap. Compaction must keep the queue O(live jobs) instead of
         // O(submits + rescales).
         let n = 64usize;
-        let wl = crate::workload::generate_workload(1, n);
-        let cfg =
-            SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0), Duration::from_secs(15.0));
+        let wl = spaced(generate_workload(1, n), 15.0);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 10.0));
         let out = simulate(&cfg, &wl);
         assert!(
             out.rescales as usize > n,

@@ -9,7 +9,7 @@ use hpc_metrics::{Duration, Summary};
 
 use crate::engine::{simulate, SimConfig, SimOutcome};
 use crate::model::{OverheadModel, ScalingModel};
-use crate::workload::generate_workload;
+use crate::workload::{generate_workload, WorkloadSpec};
 
 /// Paper defaults.
 pub const DEFAULT_JOBS: usize = 16;
@@ -31,6 +31,8 @@ pub struct SweepPoint {
     pub weighted_response: f64,
     /// Mean weighted completion time (s).
     pub weighted_completion: f64,
+    /// Mean bounded slowdown (τ = 10 s) across seeds.
+    pub bounded_slowdown: f64,
     /// Std-dev of total time across seeds (reported for error bars).
     pub total_time_std: f64,
 }
@@ -59,17 +61,17 @@ pub fn averaged_point(
     let mut total = Vec::with_capacity(seeds as usize);
     let mut resp = Vec::with_capacity(seeds as usize);
     let mut comp = Vec::with_capacity(seeds as usize);
+    let mut bsld = Vec::with_capacity(seeds as usize);
     for seed in 0..seeds {
-        let workload = generate_workload(seed, n_jobs);
-        let cfg = SimConfig::paper_default(
-            Box::new(policy_of(kind, rescale_gap_s)),
-            Duration::from_secs(submission_gap_s),
-        );
+        let workload =
+            generate_workload(seed, n_jobs).spaced_every(Duration::from_secs(submission_gap_s));
+        let cfg = SimConfig::paper_default(Box::new(policy_of(kind, rescale_gap_s)));
         let out = simulate(&cfg, &workload);
         util.push(out.metrics.utilization);
         total.push(out.metrics.total_time);
         resp.push(out.metrics.weighted_response);
         comp.push(out.metrics.weighted_completion);
+        bsld.push(out.metrics.mean_bounded_slowdown);
     }
     let mean = |v: &[f64]| Summary::of(v).expect("non-empty").mean;
     SweepPoint {
@@ -79,6 +81,7 @@ pub fn averaged_point(
         total_time: mean(&total),
         weighted_response: mean(&resp),
         weighted_completion: mean(&comp),
+        bounded_slowdown: mean(&bsld),
         total_time_std: Summary::of(&total).expect("non-empty").std_dev,
     }
 }
@@ -131,41 +134,53 @@ pub const SCALE_CAPACITY: u32 = 4096;
 /// growing without limit.
 pub const SCALE_SUBMISSION_GAP_S: f64 = 1.5;
 
-/// The heavy-traffic scale scenario: `n_jobs` random jobs (same class /
-/// priority draws as the paper's generator) replayed through a
-/// [`SCALE_CAPACITY`]-slot cluster at [`SCALE_SUBMISSION_GAP_S`] —
-/// the multi-thousand-job trace-replay regime of Zojer et al. rather
-/// than the paper's 10-job testbed. Used by the `sim_scale` bench
-/// (`BENCH_sim_scale.json`) to track decision-path throughput.
+/// The heavy-traffic scale scenario's classic workload: `n_jobs`
+/// random jobs (paper class/priority mix) at the fixed
+/// [`SCALE_SUBMISSION_GAP_S`] gap.
+pub fn heavy_traffic_workload(seed: u64, n_jobs: usize) -> WorkloadSpec {
+    generate_workload(seed, n_jobs).spaced_every(Duration::from_secs(SCALE_SUBMISSION_GAP_S))
+}
+
+/// Replays *any* [`WorkloadSpec`] through the heavy-traffic scale
+/// cluster ([`SCALE_CAPACITY`] slots, default models) — the
+/// multi-thousand-job trace-replay regime of Zojer et al. rather than
+/// the paper's 16-job testbed. SWF traces, Poisson workloads and the
+/// classic fixed-gap scenario all come through here; the `sim_scale`
+/// bench (`BENCH_sim_scale.json`) uses it to track decision-path
+/// throughput.
+pub fn heavy_traffic_replay(
+    policy: Box<dyn SchedulingPolicy>,
+    workload: &WorkloadSpec,
+) -> SimOutcome {
+    let cfg = SimConfig {
+        capacity: SCALE_CAPACITY,
+        policy,
+        scaling: ScalingModel::default(),
+        overhead: OverheadModel::default(),
+        cancellations: Vec::new(),
+    };
+    simulate(&cfg, workload)
+}
+
+/// [`heavy_traffic_replay`] of the classic fixed-gap scenario
+/// ([`heavy_traffic_workload`]).
 pub fn heavy_traffic_run(
     policy: Box<dyn SchedulingPolicy>,
     seed: u64,
     n_jobs: usize,
 ) -> SimOutcome {
-    let workload = generate_workload(seed, n_jobs);
-    let cfg = SimConfig {
-        capacity: SCALE_CAPACITY,
-        policy,
-        submission_gap: Duration::from_secs(SCALE_SUBMISSION_GAP_S),
-        scaling: ScalingModel::default(),
-        overhead: OverheadModel::default(),
-        cancellations: Vec::new(),
-    };
-    simulate(&cfg, &workload)
+    heavy_traffic_replay(policy, &heavy_traffic_workload(seed, n_jobs))
 }
 
 /// Table 1 simulation column: one fixed workload (seed selectable),
 /// gap = 90 s, `T_rescale_gap` = 180 s — returns the four rows plus the
 /// full outcome for profile plotting.
 pub fn table1_simulation(seed: u64) -> Vec<(RunMetrics, SimOutcome)> {
-    let workload = generate_workload(seed, DEFAULT_JOBS);
+    let workload = generate_workload(seed, DEFAULT_JOBS).spaced_every(Duration::from_secs(90.0));
     PolicyKind::ALL
         .iter()
         .map(|&kind| {
-            let cfg = SimConfig::paper_default(
-                Box::new(policy_of(kind, 180.0)),
-                Duration::from_secs(90.0),
-            );
+            let cfg = SimConfig::paper_default(Box::new(policy_of(kind, 180.0)));
             let out = simulate(&cfg, &workload);
             (out.metrics.clone(), out)
         })
@@ -299,6 +314,30 @@ mod tests {
         let fcfs = heavy_traffic_run(Box::new(elastic_core::FcfsBackfill::new()), 0, n);
         assert_eq!(fcfs.metrics.jobs.len(), n);
         assert_eq!(fcfs.rescales, 0);
+    }
+
+    /// The parameterized replay path: a Poisson (trace-shaped) arrival
+    /// process drives the identical scale cluster through the same
+    /// entry point as the fixed-gap scenario.
+    #[test]
+    fn heavy_traffic_replay_takes_arbitrary_workloads() {
+        use crate::workload::poisson_workload;
+        let n = 400;
+        let wl = poisson_workload(0, n, Duration::from_secs(SCALE_SUBMISSION_GAP_S));
+        let out = heavy_traffic_replay(Box::new(policy_of(PolicyKind::Elastic, 180.0)), &wl);
+        assert_eq!(out.metrics.jobs.len(), n, "every job completes");
+        assert!(out.metrics.utilization > 0.3 && out.metrics.utilization <= 1.0);
+        assert!(out.metrics.mean_bounded_slowdown >= 1.0);
+        // Determinism across replays of the same workload.
+        let again = heavy_traffic_replay(Box::new(policy_of(PolicyKind::Elastic, 180.0)), &wl);
+        assert_eq!(out.metrics, again.metrics);
+        // The fixed-gap wrapper is the same path.
+        let fixed = heavy_traffic_run(Box::new(policy_of(PolicyKind::Elastic, 180.0)), 0, n);
+        let direct = heavy_traffic_replay(
+            Box::new(policy_of(PolicyKind::Elastic, 180.0)),
+            &heavy_traffic_workload(0, n),
+        );
+        assert_eq!(fixed.metrics, direct.metrics);
     }
 
     #[test]

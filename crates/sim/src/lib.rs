@@ -10,10 +10,14 @@
 //!
 //! * [`events`] — deterministic event queue with stale-completion
 //!   invalidation.
-//! * [`model`] — size classes, strong-scaling curves, overhead stages.
-//! * [`workload`] — seeded random workload generation.
-//! * [`engine`] — the simulation loop.
-//! * [`experiments`] — the Fig. 7 / Fig. 8 sweeps and Table 1 rows.
+//! * [`model`] — strong-scaling curves and overhead stages over the
+//!   workload layer's size classes and job shapes.
+//! * [`workload`] — re-exports of the unified `hpc-workload` layer
+//!   (the paper generator, SWF trace replay, Poisson arrivals).
+//! * [`engine`] — the simulation loop, replaying a `WorkloadSpec`'s
+//!   own per-job arrival and cancellation times.
+//! * [`experiments`] — the Fig. 7 / Fig. 8 sweeps, Table 1 rows and
+//!   the parameterized heavy-traffic replay.
 
 #![warn(missing_docs)]
 
@@ -25,8 +29,12 @@ pub mod workload;
 
 pub use engine::{simulate, SimConfig, SimOutcome};
 pub use experiments::{
-    averaged_point, sweep_rescale_gap, sweep_submission_gap, table1_simulation, SweepPoint,
-    DEFAULT_JOBS, DEFAULT_SEEDS,
+    averaged_point, heavy_traffic_replay, heavy_traffic_run, heavy_traffic_workload,
+    sweep_rescale_gap, sweep_submission_gap, table1_simulation, SweepPoint, DEFAULT_JOBS,
+    DEFAULT_SEEDS,
 };
-pub use model::{OverheadBreakdown, OverheadModel, ScalingModel, SizeClass};
-pub use workload::{generate_workload, SimJobSpec};
+pub use model::{JobShape, OverheadBreakdown, OverheadModel, ScalingModel, SizeClass};
+pub use workload::{
+    generate_workload, load_workload, poisson_workload, JobSpec, MalleabilityModel, SwfError,
+    SwfLoadConfig, WorkloadError, WorkloadSpec,
+};

@@ -11,74 +11,10 @@
 //! 16-job campaign).
 
 use hpc_metrics::{Duration, PiecewiseLinear};
-
-/// The four job size classes of §4.3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum SizeClass {
-    /// 512² grid, 40 000 steps, replicas ∈ [2, 8].
-    Small,
-    /// 2048² grid, 40 000 steps, replicas ∈ [4, 16].
-    Medium,
-    /// 8192² grid, 40 000 steps, replicas ∈ [8, 32].
-    Large,
-    /// 16 384² grid, 10 000 steps, replicas ∈ [16, 64].
-    XLarge,
-}
-
-impl SizeClass {
-    /// All classes.
-    pub const ALL: [SizeClass; 4] = [
-        SizeClass::Small,
-        SizeClass::Medium,
-        SizeClass::Large,
-        SizeClass::XLarge,
-    ];
-
-    /// Grid dimension (one side of the square grid).
-    pub fn grid(self) -> u64 {
-        match self {
-            SizeClass::Small => 512,
-            SizeClass::Medium => 2048,
-            SizeClass::Large => 8192,
-            SizeClass::XLarge => 16_384,
-        }
-    }
-
-    /// Total timesteps.
-    pub fn steps(self) -> u64 {
-        match self {
-            SizeClass::XLarge => 10_000,
-            _ => 40_000,
-        }
-    }
-
-    /// `(min_replicas, max_replicas)` per the paper.
-    pub fn replica_bounds(self) -> (u32, u32) {
-        match self {
-            SizeClass::Small => (2, 8),
-            SizeClass::Medium => (4, 16),
-            SizeClass::Large => (8, 32),
-            SizeClass::XLarge => (16, 64),
-        }
-    }
-
-    /// Grid state size in bytes (f64 cells).
-    pub fn state_bytes(self) -> f64 {
-        let g = self.grid() as f64;
-        g * g * 8.0
-    }
-}
-
-impl std::fmt::Display for SizeClass {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SizeClass::Small => write!(f, "small"),
-            SizeClass::Medium => write!(f, "medium"),
-            SizeClass::Large => write!(f, "large"),
-            SizeClass::XLarge => write!(f, "xlarge"),
-        }
-    }
-}
+// The class definitions themselves live in the workload layer (every
+// producer and consumer shares them); the *models* over those classes
+// stay here with the engine.
+pub use hpc_workload::{JobShape, SizeClass};
 
 /// Strong-scaling model: seconds per iteration as a function of replica
 /// count, one curve per size class.
@@ -153,6 +89,17 @@ impl ScalingModel {
     pub fn runtime(&self, class: SizeClass, replicas: u32) -> f64 {
         class.steps() as f64 * self.time_per_iter(class, replicas)
     }
+
+    /// Work rate of a job in its own work units per second:
+    /// iterations/s off the class curve for class-shaped jobs,
+    /// `replicas` core-seconds/s (linear speedup, the trace-annotation
+    /// model) for malleable ones.
+    pub fn job_rate(&self, shape: &JobShape, replicas: u32) -> f64 {
+        match shape {
+            JobShape::Class(c) => self.rate(*c, replicas),
+            JobShape::Malleable { .. } => f64::from(replicas),
+        }
+    }
 }
 
 /// Four-stage rescale overhead model (Fig. 5's decomposition).
@@ -223,13 +170,20 @@ impl OverheadModel {
 
     /// Overhead of rescaling a `class` job `from → to` replicas.
     pub fn breakdown(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
+        self.breakdown_bytes(class.state_bytes(), from, to)
+    }
+
+    /// Overhead of rescaling a job with `bytes` of serializable state
+    /// `from → to` replicas — the shape-independent core both
+    /// [`OverheadModel::breakdown`] and [`OverheadModel::job_breakdown`]
+    /// reduce to.
+    pub fn breakdown_bytes(&self, bytes: f64, from: u32, to: u32) -> OverheadBreakdown {
         if from == to {
             return OverheadBreakdown::default();
         }
         if self.incremental {
-            return self.breakdown_incremental(class, from, to);
+            return self.breakdown_bytes_incremental(bytes, from, to);
         }
-        let bytes = class.state_bytes();
         // LB moves roughly the fraction of state that changes owners.
         let moved_fraction = f64::from(from.abs_diff(to)) / f64::from(from.max(to));
         OverheadBreakdown {
@@ -244,8 +198,7 @@ impl OverheadModel {
     /// pays serialization cost (as migration, charged to `lb`), expand
     /// pays one parallel worker-spawn round, shrink pays none, and the
     /// checkpoint/restore stages vanish.
-    fn breakdown_incremental(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
-        let bytes = class.state_bytes();
+    fn breakdown_bytes_incremental(&self, bytes: f64, from: u32, to: u32) -> OverheadBreakdown {
         let moved_fraction = f64::from(from.abs_diff(to)) / f64::from(from.max(to));
         let restart = if to > from {
             // Fresh workers start concurrently: one per-PE quantum, not
@@ -262,9 +215,21 @@ impl OverheadModel {
         }
     }
 
+    /// Overhead of rescaling a job of the given shape (class jobs use
+    /// the class's grid-state bytes, malleable trace jobs the
+    /// work-proportional surrogate of `JobShape::state_bytes`).
+    pub fn job_breakdown(&self, shape: &JobShape, from: u32, to: u32) -> OverheadBreakdown {
+        self.breakdown_bytes(shape.state_bytes(), from, to)
+    }
+
     /// Total overhead as a [`Duration`].
     pub fn total(&self, class: SizeClass, from: u32, to: u32) -> Duration {
         Duration::from_secs(self.breakdown(class, from, to).total())
+    }
+
+    /// Total shape-dispatched overhead as a [`Duration`].
+    pub fn job_total(&self, shape: &JobShape, from: u32, to: u32) -> Duration {
+        Duration::from_secs(self.job_breakdown(shape, from, to).total())
     }
 }
 
@@ -437,6 +402,51 @@ mod tests {
         let big_move = inc.breakdown(SizeClass::XLarge, 32, 16).lb - inc_base;
         let small_move = inc.breakdown(SizeClass::XLarge, 32, 31).lb - inc_base;
         assert!(small_move < big_move / 4.0, "{small_move} vs {big_move}");
+    }
+
+    #[test]
+    fn job_rate_dispatches_on_shape() {
+        let m = ScalingModel::default();
+        // Class shapes go through the strong-scaling curve.
+        assert_eq!(
+            m.job_rate(&JobShape::Class(SizeClass::Medium), 8),
+            m.rate(SizeClass::Medium, 8)
+        );
+        // Malleable shapes are linear: replicas work-units per second,
+        // so a job of `work` core-seconds runs in work/replicas seconds.
+        let shape = JobShape::Malleable {
+            min_replicas: 2,
+            max_replicas: 16,
+            work: 3200.0,
+        };
+        assert_eq!(m.job_rate(&shape, 4), 4.0);
+        assert_eq!(m.job_rate(&shape, 16), 16.0);
+    }
+
+    #[test]
+    fn job_overhead_dispatches_on_shape() {
+        let o = OverheadModel::default();
+        // Class shapes reproduce the class breakdown exactly.
+        assert_eq!(
+            o.job_breakdown(&JobShape::Class(SizeClass::Large), 16, 8),
+            o.breakdown(SizeClass::Large, 16, 8)
+        );
+        // Malleable overhead is positive, grows with work, and no-ops
+        // on from == to.
+        let small = JobShape::Malleable {
+            min_replicas: 2,
+            max_replicas: 8,
+            work: 1000.0,
+        };
+        let big = JobShape::Malleable {
+            min_replicas: 2,
+            max_replicas: 8,
+            work: 1_000_000.0,
+        };
+        assert_eq!(o.job_total(&small, 4, 4).as_secs(), 0.0);
+        let ts = o.job_total(&small, 8, 4).as_secs();
+        let tb = o.job_total(&big, 8, 4).as_secs();
+        assert!(ts > 0.0 && tb > ts, "{ts} vs {tb}");
     }
 
     #[test]

@@ -1,100 +1,14 @@
-//! Random workload generation.
+//! Workload access for the simulator.
 //!
-//! §4.3.1: "We pick 16 jobs randomly out of these 4 sizes with random
-//! priorities between 1 and 5. We repeat this experiment 100 times and
-//! report the average metrics across all runs." Generation is seeded
-//! (ChaCha8) so every experiment is reproducible bit-for-bit.
+//! The actual workload layer lives in the `hpc-workload` crate — one
+//! unified [`WorkloadSpec`] model shared by the DES, the operator
+//! harness and the benches, with producers for the paper's seeded
+//! random generator (§4.3.1), SWF trace replay and Poisson
+//! heavy-traffic arrivals. This module re-exports the pieces the
+//! simulator's callers use so `sched_sim::generate_workload` et al.
+//! keep working.
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-
-use crate::model::SizeClass;
-
-/// One job of a simulated workload.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SimJobSpec {
-    /// Job name (`job00`, `job01`, …).
-    pub name: String,
-    /// Size class (grid, steps, replica bounds).
-    pub class: SizeClass,
-    /// Priority in 1..=5 (larger = more important).
-    pub priority: u32,
-    /// Minimum replicas (from the class).
-    pub min_replicas: u32,
-    /// Maximum replicas (from the class).
-    pub max_replicas: u32,
-}
-
-impl SimJobSpec {
-    /// A job of `class` with the class's replica bounds.
-    pub fn of_class(name: impl Into<String>, class: SizeClass, priority: u32) -> Self {
-        let (min_replicas, max_replicas) = class.replica_bounds();
-        SimJobSpec {
-            name: name.into(),
-            class,
-            priority,
-            min_replicas,
-            max_replicas,
-        }
-    }
-}
-
-/// Generates the paper's random 16-job workload for `seed`.
-pub fn generate_workload(seed: u64, n_jobs: usize) -> Vec<SimJobSpec> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n_jobs)
-        .map(|i| {
-            let class = SizeClass::ALL[rng.gen_range(0..SizeClass::ALL.len())];
-            let priority = rng.gen_range(1..=5);
-            SimJobSpec::of_class(format!("job{i:02}"), class, priority)
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn workload_is_seed_deterministic() {
-        let a = generate_workload(42, 16);
-        let b = generate_workload(42, 16);
-        assert_eq!(a, b);
-        let c = generate_workload(43, 16);
-        assert_ne!(a, c);
-        assert_eq!(a.len(), 16);
-    }
-
-    #[test]
-    fn bounds_come_from_the_class() {
-        for job in generate_workload(7, 64) {
-            assert_eq!(
-                (job.min_replicas, job.max_replicas),
-                job.class.replica_bounds()
-            );
-            assert!((1..=5).contains(&job.priority));
-        }
-    }
-
-    #[test]
-    fn all_classes_appear_over_many_draws() {
-        let jobs = generate_workload(1, 200);
-        for class in SizeClass::ALL {
-            assert!(
-                jobs.iter().any(|j| j.class == class),
-                "{class} never generated"
-            );
-        }
-    }
-
-    #[test]
-    fn names_are_ordered_and_unique() {
-        let jobs = generate_workload(5, 16);
-        let names: Vec<&str> = jobs.iter().map(|j| j.name.as_str()).collect();
-        assert_eq!(names[0], "job00");
-        assert_eq!(names[15], "job15");
-        let mut dedup = names.clone();
-        dedup.dedup();
-        assert_eq!(dedup.len(), names.len());
-    }
-}
+pub use hpc_workload::{
+    generate_workload, load_workload, poisson_workload, JobShape, JobSpec, MalleabilityModel,
+    SwfError, SwfLoadConfig, WorkloadError, WorkloadSpec,
+};

@@ -1,0 +1,113 @@
+//! Synthetic malleability annotation for rigid trace jobs.
+//!
+//! SWF records request one processor count; malleable schedulers need a
+//! `[min, max]` envelope. Following the trace-annotation methodology of
+//! Zojer, Posner & Özden (*Evaluating Malleable Job Scheduling in HPC
+//! Clusters using Real-World Workloads*), the [`MalleabilityModel`]
+//! scales the requested count into bounds and the job's work is taken
+//! as `runtime × requested` core-seconds under a linear speedup model —
+//! so the rigid annotation replays the trace bit-for-bit while elastic
+//! annotations open a shrink/expand envelope around it.
+
+/// Maps an SWF requested-processor count to scheduler replica bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MalleabilityModel {
+    /// `min_replicas = clamp(ceil(requested × min_factor), 1, cap)`.
+    pub min_factor: f64,
+    /// `max_replicas = clamp(ceil(requested × max_factor), min, cap)`.
+    pub max_factor: f64,
+    /// Cluster-size clamp applied to both bounds (a trace from a bigger
+    /// machine must still fit the replay cluster).
+    pub cap: u32,
+}
+
+impl MalleabilityModel {
+    /// Rigid annotation: `min = max = requested` (clamped to `cap`) —
+    /// the unannotated replay baseline.
+    pub fn rigid(cap: u32) -> Self {
+        MalleabilityModel {
+            min_factor: 1.0,
+            max_factor: 1.0,
+            cap,
+        }
+    }
+
+    /// The elastic annotation of the malleable-scheduling literature:
+    /// jobs may shrink to half and grow to double their requested size.
+    pub fn elastic(cap: u32) -> Self {
+        MalleabilityModel {
+            min_factor: 0.5,
+            max_factor: 2.0,
+            cap,
+        }
+    }
+
+    /// `(min_replicas, max_replicas)` for a job requesting `requested`
+    /// processors.
+    ///
+    /// # Panics
+    /// If the model is malformed (`cap == 0`, non-positive or inverted
+    /// factors).
+    pub fn bounds(&self, requested: u32) -> (u32, u32) {
+        assert!(self.cap >= 1, "cap must be at least 1");
+        assert!(
+            self.min_factor > 0.0 && self.max_factor >= self.min_factor,
+            "factors must satisfy 0 < min_factor <= max_factor"
+        );
+        let scale = |f: f64| (f64::from(requested) * f).ceil() as u32;
+        let min = scale(self.min_factor).clamp(1, self.cap);
+        let max = scale(self.max_factor).clamp(min, self.cap);
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rigid_annotation_is_identity_under_cap() {
+        let m = MalleabilityModel::rigid(64);
+        assert_eq!(m.bounds(1), (1, 1));
+        assert_eq!(m.bounds(32), (32, 32));
+        assert_eq!(m.bounds(64), (64, 64));
+        // Clamped to the replay cluster.
+        assert_eq!(m.bounds(128), (64, 64));
+    }
+
+    #[test]
+    fn elastic_annotation_opens_an_envelope() {
+        let m = MalleabilityModel::elastic(64);
+        assert_eq!(m.bounds(8), (4, 16));
+        assert_eq!(m.bounds(32), (16, 64));
+        // max clamps to the cluster, min stays.
+        assert_eq!(m.bounds(48), (24, 64));
+        // Odd counts round the half up (a 1-proc job stays runnable).
+        assert_eq!(m.bounds(1), (1, 2));
+        assert_eq!(m.bounds(5), (3, 10));
+    }
+
+    #[test]
+    fn min_never_exceeds_max_or_cap() {
+        let m = MalleabilityModel {
+            min_factor: 1.5,
+            max_factor: 1.5,
+            cap: 16,
+        };
+        for req in 1..=64 {
+            let (lo, hi) = m.bounds(req);
+            assert!(lo >= 1 && lo <= hi && hi <= 16, "req {req}: [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "factors")]
+    fn inverted_factors_rejected() {
+        let m = MalleabilityModel {
+            min_factor: 2.0,
+            max_factor: 1.0,
+            cap: 8,
+        };
+        let _ = m.bounds(4);
+    }
+}

@@ -1,0 +1,455 @@
+//! The unified workload model.
+//!
+//! A [`WorkloadSpec`] is an ordered list of [`JobSpec`]s — each with its
+//! own arrival time, replica bounds, work estimate, priority and
+//! optional cancellation time. Every engine (DES, operator harness,
+//! benches) replays the same struct; producers (SWF traces, the paper
+//! generator, the Poisson generator) only ever build it.
+
+use hpc_metrics::Duration;
+
+/// The four job size classes of the paper's §4.3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// 512² grid, 40 000 steps, replicas ∈ [2, 8].
+    Small,
+    /// 2048² grid, 40 000 steps, replicas ∈ [4, 16].
+    Medium,
+    /// 8192² grid, 40 000 steps, replicas ∈ [8, 32].
+    Large,
+    /// 16 384² grid, 10 000 steps, replicas ∈ [16, 64].
+    XLarge,
+}
+
+impl SizeClass {
+    /// All classes.
+    pub const ALL: [SizeClass; 4] = [
+        SizeClass::Small,
+        SizeClass::Medium,
+        SizeClass::Large,
+        SizeClass::XLarge,
+    ];
+
+    /// Grid dimension (one side of the square grid).
+    pub fn grid(self) -> u64 {
+        match self {
+            SizeClass::Small => 512,
+            SizeClass::Medium => 2048,
+            SizeClass::Large => 8192,
+            SizeClass::XLarge => 16_384,
+        }
+    }
+
+    /// Total timesteps.
+    pub fn steps(self) -> u64 {
+        match self {
+            SizeClass::XLarge => 10_000,
+            _ => 40_000,
+        }
+    }
+
+    /// `(min_replicas, max_replicas)` per the paper.
+    pub fn replica_bounds(self) -> (u32, u32) {
+        match self {
+            SizeClass::Small => (2, 8),
+            SizeClass::Medium => (4, 16),
+            SizeClass::Large => (8, 32),
+            SizeClass::XLarge => (16, 64),
+        }
+    }
+
+    /// Grid state size in bytes (f64 cells).
+    pub fn state_bytes(self) -> f64 {
+        let g = self.grid() as f64;
+        g * g * 8.0
+    }
+}
+
+impl std::fmt::Display for SizeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizeClass::Small => write!(f, "small"),
+            SizeClass::Medium => write!(f, "medium"),
+            SizeClass::Large => write!(f, "large"),
+            SizeClass::XLarge => write!(f, "xlarge"),
+        }
+    }
+}
+
+/// Surrogate state bytes per core-second of work for [`JobShape::Malleable`]
+/// jobs (traces carry no grid geometry; rescale-overhead models need a
+/// byte count, so malleable jobs charge this much serializable state per
+/// unit of work).
+pub const MALLEABLE_STATE_BYTES_PER_WORK: f64 = 1.0e4;
+
+/// How a job scales: a paper size class (bounds, work and strong-scaling
+/// curve all come from the class) or explicit malleable bounds with a
+/// linear speedup model (the trace-replay annotation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobShape {
+    /// Paper §4.3.1 size class.
+    Class(SizeClass),
+    /// Synthetic-malleability annotation: linear speedup, `work` in
+    /// core-seconds (`work / replicas` seconds of runtime at any
+    /// replica count within bounds).
+    Malleable {
+        /// Smallest worker count the job can run with.
+        min_replicas: u32,
+        /// Largest worker count the job can use.
+        max_replicas: u32,
+        /// Total work in core-seconds.
+        work: f64,
+    },
+}
+
+impl JobShape {
+    /// Minimum replicas.
+    pub fn min_replicas(&self) -> u32 {
+        match self {
+            JobShape::Class(c) => c.replica_bounds().0,
+            JobShape::Malleable { min_replicas, .. } => *min_replicas,
+        }
+    }
+
+    /// Maximum replicas.
+    pub fn max_replicas(&self) -> u32 {
+        match self {
+            JobShape::Class(c) => c.replica_bounds().1,
+            JobShape::Malleable { max_replicas, .. } => *max_replicas,
+        }
+    }
+
+    /// Total work: timesteps for a class job, core-seconds for a
+    /// malleable one (the unit only has to agree with the rate model —
+    /// see `sched_sim::ScalingModel::job_rate`).
+    pub fn work(&self) -> f64 {
+        match self {
+            JobShape::Class(c) => c.steps() as f64,
+            JobShape::Malleable { work, .. } => *work,
+        }
+    }
+
+    /// Serializable state in bytes (drives rescale-overhead models).
+    pub fn state_bytes(&self) -> f64 {
+        match self {
+            JobShape::Class(c) => c.state_bytes(),
+            JobShape::Malleable { work, .. } => work * MALLEABLE_STATE_BYTES_PER_WORK,
+        }
+    }
+
+    /// The size class, for class-shaped jobs.
+    pub fn class(&self) -> Option<SizeClass> {
+        match self {
+            JobShape::Class(c) => Some(*c),
+            JobShape::Malleable { .. } => None,
+        }
+    }
+}
+
+/// One job of a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Unique job name. Producers pad numeric suffixes so that
+    /// lexicographic order equals submission order (the engines use
+    /// names as the final deterministic tie-breaker at the report edge).
+    pub name: String,
+    /// Arrival (submission) time relative to the workload epoch.
+    pub arrival: Duration,
+    /// Priority, larger = more important (the paper uses 1–5).
+    pub priority: u32,
+    /// Replica bounds + work model.
+    pub shape: JobShape,
+    /// If set, a client cancellation is injected at this time (relative
+    /// to the epoch, like `arrival`). A time before `arrival` is a
+    /// no-op in both engines — exactly like a real client cancelling a
+    /// job name that has not been submitted yet.
+    pub cancel_at: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job of `class` with the class's replica bounds, arriving at
+    /// the epoch.
+    pub fn of_class(name: impl Into<String>, class: SizeClass, priority: u32) -> Self {
+        JobSpec {
+            name: name.into(),
+            arrival: Duration::ZERO,
+            priority,
+            shape: JobShape::Class(class),
+            cancel_at: None,
+        }
+    }
+
+    /// A malleable job with explicit bounds and `work` core-seconds,
+    /// arriving at the epoch.
+    pub fn malleable(
+        name: impl Into<String>,
+        min_replicas: u32,
+        max_replicas: u32,
+        work: f64,
+        priority: u32,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            arrival: Duration::ZERO,
+            priority,
+            shape: JobShape::Malleable {
+                min_replicas,
+                max_replicas,
+                work,
+            },
+            cancel_at: None,
+        }
+    }
+
+    /// Builder: sets the arrival time.
+    pub fn at(mut self, arrival: Duration) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Builder: injects a cancellation at `t`.
+    pub fn cancelled_at(mut self, t: Duration) -> Self {
+        self.cancel_at = Some(t);
+        self
+    }
+
+    /// Minimum replicas.
+    pub fn min_replicas(&self) -> u32 {
+        self.shape.min_replicas()
+    }
+
+    /// Maximum replicas.
+    pub fn max_replicas(&self) -> u32 {
+        self.shape.max_replicas()
+    }
+
+    /// Total work (see [`JobShape::work`]).
+    pub fn work(&self) -> f64 {
+        self.shape.work()
+    }
+
+    /// The size class, for class-shaped jobs.
+    pub fn class(&self) -> Option<SizeClass> {
+        self.shape.class()
+    }
+}
+
+/// Why a [`WorkloadSpec`] is not replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// No jobs at all.
+    Empty,
+    /// Two jobs share a name.
+    DuplicateName(String),
+    /// A job violates `1 <= min <= max`.
+    BadBounds {
+        /// Offending job.
+        name: String,
+        /// Its minimum replicas.
+        min: u32,
+        /// Its maximum replicas.
+        max: u32,
+    },
+    /// A job's work is zero, negative or non-finite.
+    BadWork {
+        /// Offending job.
+        name: String,
+        /// Its work value.
+        work: f64,
+    },
+    /// Arrivals are not nondecreasing in job order.
+    UnsortedArrivals {
+        /// First job observed out of order.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Empty => write!(f, "workload has no jobs"),
+            WorkloadError::DuplicateName(n) => write!(f, "duplicate job name {n}"),
+            WorkloadError::BadBounds { name, min, max } => {
+                write!(f, "{name}: bad replica bounds [{min}, {max}]")
+            }
+            WorkloadError::BadWork { name, work } => {
+                write!(f, "{name}: bad work {work}")
+            }
+            WorkloadError::UnsortedArrivals { name } => {
+                write!(f, "{name}: arrival earlier than its predecessor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A replayable workload: jobs in submission order with their own
+/// arrival times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WorkloadSpec {
+    /// Jobs in submission (arrival) order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl WorkloadSpec {
+    /// A workload over `jobs` (assumed already in arrival order; call
+    /// [`WorkloadSpec::validate`] to check).
+    pub fn new(jobs: Vec<JobSpec>) -> Self {
+        WorkloadSpec { jobs }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when there are no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Builder: job `i` arrives at `i × gap` (the classic fixed
+    /// submission-gap schedule), overwriting any prior arrivals.
+    pub fn spaced_every(mut self, gap: Duration) -> Self {
+        let gap_s = gap.as_secs();
+        for (i, job) in self.jobs.iter_mut().enumerate() {
+            job.arrival = Duration::from_secs(gap_s * i as f64);
+        }
+        self
+    }
+
+    /// Checks the engine contract: at least one job, unique names, sane
+    /// bounds and work, nondecreasing arrivals.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.jobs.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        let mut names: Vec<&str> = self.jobs.iter().map(|j| j.name.as_str()).collect();
+        names.sort_unstable();
+        if let Some(w) = names.windows(2).find(|w| w[0] == w[1]) {
+            return Err(WorkloadError::DuplicateName(w[0].to_string()));
+        }
+        let mut prev = Duration::ZERO;
+        for job in &self.jobs {
+            let (min, max) = (job.min_replicas(), job.max_replicas());
+            if min == 0 || min > max {
+                return Err(WorkloadError::BadBounds {
+                    name: job.name.clone(),
+                    min,
+                    max,
+                });
+            }
+            let work = job.work();
+            if !(work.is_finite() && work > 0.0) {
+                return Err(WorkloadError::BadWork {
+                    name: job.name.clone(),
+                    work,
+                });
+            }
+            if job.arrival < prev {
+                return Err(WorkloadError::UnsortedArrivals {
+                    name: job.name.clone(),
+                });
+            }
+            prev = job.arrival;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parameters_match_paper() {
+        assert_eq!(SizeClass::Small.replica_bounds(), (2, 8));
+        assert_eq!(SizeClass::Medium.replica_bounds(), (4, 16));
+        assert_eq!(SizeClass::Large.replica_bounds(), (8, 32));
+        assert_eq!(SizeClass::XLarge.replica_bounds(), (16, 64));
+        assert_eq!(SizeClass::Small.steps(), 40_000);
+        assert_eq!(SizeClass::XLarge.steps(), 10_000);
+        assert_eq!(SizeClass::XLarge.grid(), 16_384);
+    }
+
+    #[test]
+    fn shapes_expose_bounds_and_work() {
+        let c = JobSpec::of_class("a", SizeClass::Medium, 3);
+        assert_eq!((c.min_replicas(), c.max_replicas()), (4, 16));
+        assert_eq!(c.work(), 40_000.0);
+        assert_eq!(c.class(), Some(SizeClass::Medium));
+
+        let m = JobSpec::malleable("b", 2, 8, 1600.0, 1);
+        assert_eq!((m.min_replicas(), m.max_replicas()), (2, 8));
+        assert_eq!(m.work(), 1600.0);
+        assert_eq!(m.class(), None);
+        assert!(m.shape.state_bytes() > 0.0);
+    }
+
+    #[test]
+    fn spaced_every_sets_linear_arrivals() {
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::of_class("a", SizeClass::Small, 1),
+            JobSpec::of_class("b", SizeClass::Small, 1),
+            JobSpec::of_class("c", SizeClass::Small, 1),
+        ])
+        .spaced_every(Duration::from_secs(90.0));
+        let arrivals: Vec<f64> = wl.jobs.iter().map(|j| j.arrival.as_secs()).collect();
+        assert_eq!(arrivals, vec![0.0, 90.0, 180.0]);
+        assert!(wl.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_each_contract_violation() {
+        assert_eq!(
+            WorkloadSpec::new(vec![]).validate(),
+            Err(WorkloadError::Empty)
+        );
+
+        let dup = WorkloadSpec::new(vec![
+            JobSpec::of_class("a", SizeClass::Small, 1),
+            JobSpec::of_class("a", SizeClass::Large, 1),
+        ]);
+        assert!(matches!(
+            dup.validate(),
+            Err(WorkloadError::DuplicateName(_))
+        ));
+
+        let bounds = WorkloadSpec::new(vec![JobSpec::malleable("z", 8, 4, 100.0, 1)]);
+        assert!(matches!(
+            bounds.validate(),
+            Err(WorkloadError::BadBounds { .. })
+        ));
+        let zero_min = WorkloadSpec::new(vec![JobSpec::malleable("z", 0, 4, 100.0, 1)]);
+        assert!(matches!(
+            zero_min.validate(),
+            Err(WorkloadError::BadBounds { .. })
+        ));
+
+        let work = WorkloadSpec::new(vec![JobSpec::malleable("w", 1, 4, 0.0, 1)]);
+        assert!(matches!(
+            work.validate(),
+            Err(WorkloadError::BadWork { .. })
+        ));
+
+        let unsorted = WorkloadSpec::new(vec![
+            JobSpec::of_class("a", SizeClass::Small, 1).at(Duration::from_secs(10.0)),
+            JobSpec::of_class("b", SizeClass::Small, 1).at(Duration::from_secs(5.0)),
+        ]);
+        assert!(matches!(
+            unsorted.validate(),
+            Err(WorkloadError::UnsortedArrivals { .. })
+        ));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let j = JobSpec::malleable("j", 2, 4, 50.0, 3)
+            .at(Duration::from_secs(7.0))
+            .cancelled_at(Duration::from_secs(30.0));
+        assert_eq!(j.arrival.as_secs(), 7.0);
+        assert_eq!(j.cancel_at.unwrap().as_secs(), 30.0);
+        assert_eq!(j.priority, 3);
+    }
+}

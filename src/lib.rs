@@ -13,6 +13,10 @@
 //! * [`core`] — the CharmJob operator and the four scheduling policies
 //!   (elastic, moldable, rigid-min, rigid-max) — contribution C2.
 //! * [`sim`] — the discrete-event scheduling simulator — contribution C3.
+//! * [`workload`] — the unified workload layer: one `WorkloadSpec`
+//!   model with SWF trace replay, the paper's seeded generator and
+//!   Poisson heavy-traffic arrivals, consumed identically by the DES
+//!   and the operator harness.
 //! * [`metrics`] — clocks, interpolation and metric recording shared by
 //!   the "actual" and "simulated" experiment paths.
 //!
@@ -24,5 +28,6 @@ pub use charm_apps as apps;
 pub use charm_rt as charm;
 pub use elastic_core as core;
 pub use hpc_metrics as metrics;
+pub use hpc_workload as workload;
 pub use kube_sim as kube;
 pub use sched_sim as sim;

@@ -12,8 +12,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use elastic_hpc::core::{
-    run_virtual, AppSpec, CharmJobSpec, CharmOperator, ModelExecutor, Policy, PolicyConfig,
-    PolicyKind, RunMetrics, Schedule,
+    run_virtual, CharmJobSpec, CharmOperator, ModelExecutor, Policy, PolicyConfig, PolicyKind,
+    RunMetrics, Schedule,
 };
 use elastic_hpc::kube::{ControlPlane, KubeletConfig};
 use elastic_hpc::metrics::{Duration, VirtualClock};
@@ -24,9 +24,17 @@ use elastic_hpc::sim::{
 /// Runs the operator path: virtual clock, ModelExecutor parameterized
 /// by the simulator's models.
 fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
-    let workload = generate_workload(seed, 16);
-    let class_of: HashMap<String, SizeClass> =
-        workload.iter().map(|j| (j.name.clone(), j.class)).collect();
+    let workload = generate_workload(seed, 16).spaced_every(Duration::from_secs(submission_gap));
+    let class_of: HashMap<String, SizeClass> = workload
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                j.name.clone(),
+                j.class().expect("paper generator emits class jobs"),
+            )
+        })
+        .collect();
     let scaling = ScalingModel::default();
     let overhead = OverheadModel::default();
 
@@ -53,19 +61,9 @@ fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMet
         },
     );
     let mut op = CharmOperator::new(plane, Box::new(policy), Box::new(executor));
-    let jobs: Vec<CharmJobSpec> = workload
-        .iter()
-        .map(|j| CharmJobSpec {
-            name: j.name.clone(),
-            min_replicas: j.min_replicas,
-            max_replicas: j.max_replicas,
-            priority: j.priority,
-            app: AppSpec::Modeled {
-                total_iters: j.class.steps(),
-            },
-        })
-        .collect();
-    let schedule = Schedule::every(jobs, Duration::from_secs(submission_gap));
+    // The unified pipeline: the same WorkloadSpec the DES replays,
+    // rendered to CharmJobSpecs + arrivals by the harness itself.
+    let schedule = Schedule::from_workload(&workload);
     run_virtual(
         &mut op,
         &clock,
@@ -77,18 +75,15 @@ fn run_operator_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMet
 
 /// Runs the DES path on the identical workload and parameters.
 fn run_sim_path(kind: PolicyKind, seed: u64, submission_gap: f64) -> RunMetrics {
-    let workload = generate_workload(seed, 16);
-    let cfg = SimConfig::paper_default(
-        Box::new(Policy::of_kind(
-            kind,
-            PolicyConfig {
-                rescale_gap: Duration::from_secs(180.0),
-                launcher_slots: 1,
-                shrink_spares_head: true,
-            },
-        )),
-        Duration::from_secs(submission_gap),
-    );
+    let workload = generate_workload(seed, 16).spaced_every(Duration::from_secs(submission_gap));
+    let cfg = SimConfig::paper_default(Box::new(Policy::of_kind(
+        kind,
+        PolicyConfig {
+            rescale_gap: Duration::from_secs(180.0),
+            launcher_slots: 1,
+            shrink_spares_head: true,
+        },
+    )));
     simulate(&cfg, &workload).metrics
 }
 

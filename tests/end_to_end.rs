@@ -86,11 +86,12 @@ fn mini_actual_campaign_with_real_jobs() {
 fn workload_and_model_are_consistent() {
     use elastic_hpc::sim::ScalingModel;
     let model = ScalingModel::default();
-    for job in generate_workload(123, 64) {
-        let (lo, hi) = job.class.replica_bounds();
-        assert_eq!((job.min_replicas, job.max_replicas), (lo, hi));
+    for job in generate_workload(123, 64).jobs {
+        let class = job.class().expect("paper generator emits class jobs");
+        let (lo, hi) = class.replica_bounds();
+        assert_eq!((job.min_replicas(), job.max_replicas()), (lo, hi));
         // Runtime at min must exceed runtime at max (strong scaling).
-        assert!(model.runtime(job.class, lo) > model.runtime(job.class, hi));
+        assert!(model.runtime(class, lo) > model.runtime(class, hi));
     }
     // Classes are ordered by work: small jobs are shorter than xlarge
     // at their respective max configurations... not necessarily, but
