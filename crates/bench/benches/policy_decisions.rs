@@ -30,6 +30,7 @@ fn view_with_jobs(n: usize) -> (ClusterView, JobId) {
                 replicas: 4,
                 last_action: SimTime::from_secs(i as f64),
                 running: true,
+                walltime_estimate: None,
             },
             1,
         );
@@ -45,6 +46,7 @@ fn view_with_jobs(n: usize) -> (ClusterView, JobId) {
             replicas: 0,
             last_action: SimTime::NEG_INFINITY,
             running: false,
+            walltime_estimate: None,
         },
         1,
     );

@@ -11,7 +11,12 @@
 //! PEs are OS threads, so running 64 of them on a small CI host is
 //! oversubscription, not a problem: the compared costs are dominated by
 //! the protocol (startup surrogate, serialization, migration), which is
-//! exactly what the comparison isolates.
+//! exactly what the comparison isolates. If even thread oversubscription
+//! blows a CI timeout, set `RESCALE_MAX_PES` (the rescale-latency
+//! sibling of `SIM_SCALE_MAX_JOBS`) to cap the measured scale — a
+//! capped run never overwrites the tracked `BENCH_rescale.json`
+//! trajectory, but it always emits a fresh copy under
+//! `target/bench_fresh/` for the CI bench gate.
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -21,7 +26,16 @@ use charm_rt::{GreedyLb, RescaleMode, RescaleReport, RuntimeConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 /// PE count the acceptance criterion is stated at.
-const PES: usize = 64;
+const FULL_PES: usize = 64;
+
+/// The measured PE count: [`FULL_PES`], capped by `RESCALE_MAX_PES`
+/// (kept even so the shrink case halves cleanly).
+fn pes() -> usize {
+    std::env::var("RESCALE_MAX_PES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or(FULL_PES, |cap| cap.clamp(2, FULL_PES) / 2 * 2)
+}
 /// Per-PE MPI-startup surrogate (nonzero, per the bench contract).
 const STARTUP_MS: u64 = 5;
 /// Median-of-N repetitions.
@@ -68,7 +82,8 @@ impl Case {
 }
 
 fn measure_cases() -> Vec<Case> {
-    [("shrink", PES, PES / 2), ("expand", PES / 2, PES)]
+    let pes = pes();
+    [("shrink", pes, pes / 2), ("expand", pes / 2, pes)]
         .into_iter()
         .map(|(name, from, to)| Case {
             name,
@@ -89,9 +104,10 @@ fn workspace_root() -> PathBuf {
 }
 
 fn emit_json(cases: &[Case]) {
+    let pes = pes();
     let mut body = String::from("{\n");
     body.push_str(&format!(
-        "  \"pes\": {PES},\n  \"startup_ms_per_pe\": {STARTUP_MS},\n  \"reps\": {REPS},\n  \"grid\": 256,\n  \"blocks\": 256,\n  \"cases\": [\n"
+        "  \"pes\": {pes},\n  \"startup_ms_per_pe\": {STARTUP_MS},\n  \"reps\": {REPS},\n  \"grid\": 256,\n  \"blocks\": 256,\n  \"cases\": [\n"
     ));
     for (i, c) in cases.iter().enumerate() {
         let comma = if i + 1 < cases.len() { "," } else { "" };
@@ -126,9 +142,22 @@ fn emit_json(cases: &[Case]) {
         ));
     }
     body.push_str("  ]\n}\n");
-    let path = workspace_root().join("BENCH_rescale.json");
-    std::fs::write(&path, body).expect("write BENCH_rescale.json");
-    println!("wrote {}", path.display());
+    // Fresh copy for the CI bench gate (compared against the committed
+    // baseline), written on every run — capped or not.
+    let fresh_dir = workspace_root().join("target/bench_fresh");
+    std::fs::create_dir_all(&fresh_dir).expect("create bench_fresh dir");
+    let fresh = fresh_dir.join("BENCH_rescale.json");
+    std::fs::write(&fresh, &body).expect("write fresh BENCH_rescale.json");
+    println!("wrote {}", fresh.display());
+    // The tracked trajectory only updates from a full-scale run, so a
+    // capped smoke pass never clobbers it.
+    if pes == FULL_PES {
+        let path = workspace_root().join("BENCH_rescale.json");
+        std::fs::write(&path, body).expect("write BENCH_rescale.json");
+        println!("wrote {}", path.display());
+    } else {
+        println!("capped run (RESCALE_MAX_PES={pes}): skipping BENCH_rescale.json");
+    }
 }
 
 fn bench_rescale(c: &mut Criterion) {

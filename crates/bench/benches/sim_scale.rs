@@ -23,8 +23,11 @@
 //!   noisy shared runners.
 //!
 //! Set `SIM_SCALE_MAX_JOBS` (e.g. `10000` in CI) to cap the sweep; the
-//! JSON is only (re)written by a full run so a capped smoke pass never
-//! clobbers the tracked trajectory.
+//! workspace-root JSON is only (re)written by a full run so a capped
+//! smoke pass never clobbers the tracked trajectory, but *every* run
+//! emits the cases it measured to `target/bench_fresh/` for the CI
+//! bench gate (`bench_gate` compares them — matching cases only —
+//! against the committed baseline).
 
 use std::path::PathBuf;
 use std::time::Instant;
@@ -146,7 +149,7 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root resolves")
 }
 
-fn emit_json(cases: &[Case], per_event_ratio: f64) {
+fn emit_json(cases: &[Case], per_event_ratio: f64, full_run: bool) {
     let mut body = String::from("{\n");
     body.push_str(&format!(
         "  \"capacity\": {SCALE_CAPACITY},\n  \"submission_gap_s\": {SCALE_SUBMISSION_GAP_S},\n  \"workload_seed\": {SEED},\n"
@@ -195,9 +198,20 @@ fn emit_json(cases: &[Case], per_event_ratio: f64) {
         ));
     }
     body.push_str("  ]\n}\n");
-    let path = workspace_root().join("BENCH_sim_scale.json");
-    std::fs::write(&path, body).expect("write BENCH_sim_scale.json");
-    println!("wrote {}", path.display());
+    // Fresh copy for the CI bench gate: always written, with whatever
+    // cases this (possibly capped) run measured.
+    let fresh_dir = workspace_root().join("target/bench_fresh");
+    std::fs::create_dir_all(&fresh_dir).expect("create bench_fresh dir");
+    let fresh = fresh_dir.join("BENCH_sim_scale.json");
+    std::fs::write(&fresh, &body).expect("write fresh BENCH_sim_scale.json");
+    println!("wrote {}", fresh.display());
+    if full_run {
+        let path = workspace_root().join("BENCH_sim_scale.json");
+        std::fs::write(&path, body).expect("write BENCH_sim_scale.json");
+        println!("wrote {}", path.display());
+    } else {
+        println!("capped run (SIM_SCALE_MAX_JOBS): skipping BENCH_sim_scale.json");
+    }
 }
 
 fn bench_sim_scale(c: &mut Criterion) {
@@ -264,11 +278,7 @@ fn bench_sim_scale(c: &mut Criterion) {
             ratio <= 4.0,
             "per-event cost grew {ratio:.1}x from 1k to {largest} jobs — not O(log n)"
         );
-        if largest == *SIZES.last().unwrap() {
-            emit_json(&cases, ratio);
-        } else {
-            println!("capped run (SIM_SCALE_MAX_JOBS): skipping BENCH_sim_scale.json");
-        }
+        emit_json(&cases, ratio, largest == *SIZES.last().unwrap());
     }
 
     // Acceptance: per-event cost stays flat under *trace-shaped*

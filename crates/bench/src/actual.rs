@@ -123,6 +123,7 @@ pub fn scaled_jobs(seed: u64, full: bool) -> Vec<CharmJobSpec> {
                 min_replicas: sc.min,
                 max_replicas: sc.max,
                 priority: j.priority,
+                walltime_estimate: None,
                 app: AppSpec::Jacobi {
                     grid: sc.grid,
                     blocks: sc.blocks,

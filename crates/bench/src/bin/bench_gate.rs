@@ -1,0 +1,560 @@
+//! CI bench-regression gate.
+//!
+//! Compares freshly-emitted benchmark JSONs against the committed
+//! baselines and **fails the build** when a tracked performance win
+//! regresses:
+//!
+//! * `BENCH_sim_scale.json` — any matching `(policy, n_jobs)` case
+//!   whose `events_per_sec` dropped more than the tolerance (default
+//!   25%, `BENCH_GATE_TOLERANCE` to override) fails. Cases are matched
+//!   by key, so a capped CI run (fewer sizes) gates only what it
+//!   measured.
+//! * `BENCH_rescale.json` — the incremental-vs-full-restart `speedup`
+//!   per direction must neither collapse versus the baseline (less
+//!   than `tolerance × baseline`) nor fall below the absolute 5×
+//!   acceptance floor the bench has carried since PR 1.
+//!
+//! Usage: `bench_gate [baseline_dir] [fresh_dir]` — defaults to the
+//! workspace root (the committed files) and `target/bench_fresh` (what
+//! the benches emit on every run, capped or not). CI snapshots the
+//! committed files *before* the bench step so a full local run that
+//! overwrites them cannot blind the comparison.
+//!
+//! The comparison is wall-clock based, so it assumes baseline and
+//! fresh numbers come from comparable hosts — true in CI (same runner
+//! class re-measures every push) and for local full runs. The 25%
+//! default absorbs runner jitter; loosen per-invocation rather than
+//! weakening the default.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+// ---------------------------------------------------------------------
+// Minimal JSON parsing (the vendored workspace has no serde_json; the
+// bench files are machine-written, so a small strict parser suffices).
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (ordered for determinism).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self, key: &str) -> &[Json] {
+        match self.get(key) {
+            Some(Json::Arr(v)) => v,
+            _ => &[],
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// The gate itself.
+// ---------------------------------------------------------------------
+
+fn load(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match parse_json(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("bench_gate: {} does not parse: {e}", path.display());
+            exit(2);
+        }
+    }
+}
+
+/// Sim-scale gate: per matching `(policy, n_jobs)` case, fresh
+/// `events_per_sec` must be at least `(1 - tolerance) × baseline`.
+fn gate_sim_scale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    let mut matched = 0;
+    for b in baseline.arr("cases") {
+        let (Some(policy), Some(n)) = (b.str_of("policy"), b.num("n_jobs")) else {
+            continue;
+        };
+        let Some(f) = fresh
+            .arr("cases")
+            .iter()
+            .find(|f| f.str_of("policy") == Some(policy) && f.num("n_jobs") == Some(n))
+        else {
+            continue; // capped fresh run: only gate what was measured
+        };
+        matched += 1;
+        let (Some(base_eps), Some(fresh_eps)) = (b.num("events_per_sec"), f.num("events_per_sec"))
+        else {
+            continue;
+        };
+        let floor = base_eps * (1.0 - tolerance);
+        println!(
+            "sim_scale  {policy:<14} n={:<7} baseline {base_eps:>10.0} ev/s  fresh {fresh_eps:>10.0} ev/s  (floor {floor:.0})",
+            n as u64
+        );
+        if fresh_eps < floor {
+            failures.push(format!(
+                "sim_scale {policy} at {} jobs: {fresh_eps:.0} ev/s is a >{:.0}% regression from {base_eps:.0} ev/s",
+                n as u64,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("sim_scale: no matching cases between baseline and fresh JSON".into());
+    }
+}
+
+/// Rescale gate: per direction, fresh incremental-vs-full speedup must
+/// stay above both `tolerance × baseline speedup` (collapse check) and
+/// the absolute 5× acceptance floor. Speedups are host-local ratios but
+/// *scale-dependent* (the per-PE startup surrogate dominates
+/// differently at 8 vs 64 PEs), so the collapse check only arms when
+/// both files measured the same PE count; a capped `RESCALE_MAX_PES`
+/// run is still held to the absolute floor.
+fn gate_rescale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    let mut matched = 0;
+    let same_scale = match (baseline.num("pes"), fresh.num("pes")) {
+        (Some(b), Some(f)) => b == f,
+        _ => true, // legacy files without the field: assume comparable
+    };
+    if !same_scale {
+        println!(
+            "rescale: baseline at {} PEs vs fresh at {} PEs — collapse check skipped, absolute floor still gated",
+            baseline.num("pes").unwrap_or(f64::NAN),
+            fresh.num("pes").unwrap_or(f64::NAN)
+        );
+    }
+    for b in baseline.arr("cases") {
+        let Some(direction) = b.str_of("direction") else {
+            continue;
+        };
+        let Some(f) = fresh
+            .arr("cases")
+            .iter()
+            .find(|f| f.str_of("direction") == Some(direction))
+        else {
+            continue;
+        };
+        matched += 1;
+        let (Some(base_speedup), Some(fresh_speedup)) = (b.num("speedup"), f.num("speedup")) else {
+            continue;
+        };
+        println!(
+            "rescale    {direction:<14} baseline {base_speedup:>6.1}x  fresh {fresh_speedup:>6.1}x"
+        );
+        if fresh_speedup < 5.0 {
+            failures.push(format!(
+                "rescale {direction}: incremental speedup {fresh_speedup:.1}x fell below the 5x acceptance floor"
+            ));
+        } else if same_scale && fresh_speedup < base_speedup * tolerance {
+            failures.push(format!(
+                "rescale {direction}: incremental speedup collapsed {base_speedup:.1}x -> {fresh_speedup:.1}x"
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("rescale: no matching cases between baseline and fresh JSON".into());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let baseline_dir = args
+        .get(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let fresh_dir = args
+        .get(2)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/bench_fresh"));
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    assert!(
+        (0.0..1.0).contains(&tolerance),
+        "BENCH_GATE_TOLERANCE must be in [0, 1)"
+    );
+
+    println!(
+        "bench_gate: baseline {}  fresh {}  tolerance {:.0}%",
+        baseline_dir.display(),
+        fresh_dir.display(),
+        tolerance * 100.0
+    );
+    let mut failures = Vec::new();
+    let mut compared = 0;
+    for (file, gate) in [
+        (
+            "BENCH_sim_scale.json",
+            gate_sim_scale as fn(&Json, &Json, f64, &mut Vec<String>),
+        ),
+        ("BENCH_rescale.json", gate_rescale),
+    ] {
+        let baseline = load(&baseline_dir.join(file));
+        let fresh = load(&fresh_dir.join(file));
+        match (baseline, fresh) {
+            (Some(b), Some(f)) => {
+                gate(&b, &f, tolerance, &mut failures);
+                compared += 1;
+            }
+            (None, _) => println!("bench_gate: no baseline {file}; skipping"),
+            (_, None) => failures.push(format!(
+                "fresh {file} missing under {} — did the bench step run?",
+                fresh_dir.display()
+            )),
+        }
+    }
+    if compared == 0 {
+        failures.push("no benchmark pairs compared at all".into());
+    }
+
+    if failures.is_empty() {
+        println!("bench_gate: OK ({compared} file(s) gated)");
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL: {f}");
+        }
+        exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_json_shape() {
+        let text = r#"{
+  "capacity": 4096,
+  "baseline": "pre-refactor engine, same host",
+  "meets_olog_per_event": true,
+  "cases": [
+    { "policy": "elastic", "n_jobs": 1000, "events_per_sec": 929000, "wall_secs": 0.01 },
+    { "policy": "fcfs_backfill", "n_jobs": 1000, "events_per_sec": 1680000.5, "wall_secs": -0.5 }
+  ]
+}"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(v.num("capacity"), Some(4096.0));
+        assert_eq!(v.get("meets_olog_per_event"), Some(&Json::Bool(true)));
+        assert_eq!(v.arr("cases").len(), 2);
+        assert_eq!(v.arr("cases")[0].str_of("policy"), Some("elastic"));
+        assert_eq!(v.arr("cases")[1].num("events_per_sec"), Some(1_680_000.5));
+        assert_eq!(v.arr("cases")[1].num("wall_secs"), Some(-0.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    fn scale(cases: &[(&str, f64, f64)]) -> Json {
+        let arr = cases
+            .iter()
+            .map(|(p, n, eps)| {
+                let mut m = BTreeMap::new();
+                m.insert("policy".into(), Json::Str(p.to_string()));
+                m.insert("n_jobs".into(), Json::Num(*n));
+                m.insert("events_per_sec".into(), Json::Num(*eps));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("cases".into(), Json::Arr(arr));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn sim_scale_gate_flags_large_regressions_only() {
+        let baseline = scale(&[
+            ("elastic", 1000.0, 100_000.0),
+            ("elastic", 10_000.0, 90_000.0),
+        ]);
+        // 10% slower at 1k (fine), 40% slower at 10k (regression).
+        let fresh = scale(&[
+            ("elastic", 1000.0, 90_000.0),
+            ("elastic", 10_000.0, 54_000.0),
+        ]);
+        let mut failures = Vec::new();
+        gate_sim_scale(&baseline, &fresh, 0.25, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("10000 jobs"));
+    }
+
+    #[test]
+    fn sim_scale_gate_matches_capped_fresh_runs_by_case() {
+        let baseline = scale(&[
+            ("elastic", 1000.0, 100_000.0),
+            ("elastic", 100_000.0, 80_000.0),
+        ]);
+        // Capped fresh run measured only the 1k point.
+        let fresh = scale(&[("elastic", 1000.0, 99_000.0)]);
+        let mut failures = Vec::new();
+        gate_sim_scale(&baseline, &fresh, 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    fn rescale(cases: &[(&str, f64)]) -> Json {
+        let arr = cases
+            .iter()
+            .map(|(d, s)| {
+                let mut m = BTreeMap::new();
+                m.insert("direction".into(), Json::Str(d.to_string()));
+                m.insert("speedup".into(), Json::Num(*s));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("cases".into(), Json::Arr(arr));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn rescale_gate_flags_collapse_and_absolute_floor() {
+        let baseline = rescale(&[("shrink", 80.0), ("expand", 48.0)]);
+        // shrink collapsed to 12x (< 0.25 * 80 = 20), expand below 5x.
+        let fresh = rescale(&[("shrink", 12.0), ("expand", 4.0)]);
+        let mut failures = Vec::new();
+        gate_rescale(&baseline, &fresh, 0.25, &mut failures);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        // Healthy numbers pass even when well below baseline.
+        let ok = rescale(&[("shrink", 25.0), ("expand", 13.0)]);
+        let mut failures = Vec::new();
+        gate_rescale(&baseline, &ok, 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn rescale_collapse_check_disarms_across_pe_scales() {
+        let with_pes = |pes: f64, cases: Json| {
+            let mut root = BTreeMap::new();
+            root.insert("pes".into(), Json::Num(pes));
+            root.insert(
+                "cases".into(),
+                match cases {
+                    Json::Obj(mut m) => m.remove("cases").unwrap(),
+                    _ => unreachable!(),
+                },
+            );
+            Json::Obj(root)
+        };
+        let baseline = with_pes(64.0, rescale(&[("shrink", 100.0)]));
+        // A capped 8-PE fresh run at 8x: would "collapse" vs 100x, but
+        // scales differ — only the absolute floor applies, and 8 >= 5.
+        let fresh = with_pes(8.0, rescale(&[("shrink", 8.0)]));
+        let mut failures = Vec::new();
+        gate_rescale(&baseline, &fresh, 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+        // The absolute floor still arms across scales.
+        let too_slow = with_pes(8.0, rescale(&[("shrink", 3.0)]));
+        let mut failures = Vec::new();
+        gate_rescale(&baseline, &too_slow, 0.25, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    #[test]
+    fn missing_overlap_is_a_failure() {
+        let baseline = scale(&[("elastic", 1000.0, 1.0)]);
+        let fresh = scale(&[("fcfs_backfill", 500.0, 1.0)]);
+        let mut failures = Vec::new();
+        gate_sim_scale(&baseline, &fresh, 0.25, &mut failures);
+        assert_eq!(failures.len(), 1);
+    }
+}

@@ -272,6 +272,7 @@ mod tests {
             min_replicas: min,
             max_replicas: max,
             priority: 3,
+            walltime_estimate: None,
             app: AppSpec::Modeled { total_iters: 100 },
         }
     }

@@ -7,7 +7,7 @@
 //! job's scheduling lifecycle and the timestamps the evaluation metrics
 //! are computed from.
 
-use hpc_metrics::SimTime;
+use hpc_metrics::{Duration, SimTime};
 use kube_sim::Resource;
 
 /// Which application a job runs, with its problem parameters.
@@ -67,12 +67,17 @@ pub struct CharmJobSpec {
     pub max_replicas: u32,
     /// User priority; larger is more important (paper uses 1–5).
     pub priority: u32,
+    /// User walltime estimate — how long the job claims to run at its
+    /// requested size (the SWF requested-time field). Feeds
+    /// reservation-based backfilling (`EasyBackfill`); `None` means the
+    /// user gave no estimate.
+    pub walltime_estimate: Option<Duration>,
     /// The application to execute.
     pub app: AppSpec,
 }
 
 impl CharmJobSpec {
-    /// Validates invariants (min ≤ max, min ≥ 1).
+    /// Validates invariants (min ≤ max, min ≥ 1, positive estimate).
     pub fn validate(&self) -> Result<(), String> {
         if self.min_replicas == 0 {
             return Err(format!("{}: min_replicas must be >= 1", self.name));
@@ -82,6 +87,15 @@ impl CharmJobSpec {
                 "{}: min_replicas {} > max_replicas {}",
                 self.name, self.min_replicas, self.max_replicas
             ));
+        }
+        if let Some(est) = self.walltime_estimate {
+            let s = est.as_secs();
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!(
+                    "{}: walltime_estimate must be finite and positive, got {s}s",
+                    self.name
+                ));
+            }
         }
         Ok(())
     }
@@ -198,6 +212,7 @@ mod tests {
             min_replicas: min,
             max_replicas: max,
             priority: 3,
+            walltime_estimate: None,
             app: AppSpec::Modeled { total_iters: 100 },
         }
     }

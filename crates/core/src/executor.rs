@@ -346,6 +346,7 @@ mod tests {
             min_replicas: 2,
             max_replicas: 8,
             priority: 3,
+            walltime_estimate: None,
             app: AppSpec::Modeled { total_iters: total },
         }
     }
@@ -398,6 +399,7 @@ mod tests {
             min_replicas: 1,
             max_replicas: 4,
             priority: 1,
+            walltime_estimate: None,
             app: AppSpec::Synthetic {
                 chares: 8,
                 spin: 50,
@@ -424,6 +426,7 @@ mod tests {
             min_replicas: 1,
             max_replicas: 4,
             priority: 1,
+            walltime_estimate: None,
             app: AppSpec::Synthetic {
                 chares: 8,
                 spin: 2000,

@@ -94,6 +94,7 @@ impl Schedule {
                 min_replicas: job.min_replicas(),
                 max_replicas: job.max_replicas(),
                 priority: job.priority,
+                walltime_estimate: job.walltime_estimate,
                 app: AppSpec::Modeled {
                     total_iters: job.work().round().max(1.0) as u64,
                 },
@@ -304,6 +305,7 @@ mod tests {
             min_replicas: 1,
             max_replicas: 2,
             priority: 1,
+            walltime_estimate: None,
             app: AppSpec::Modeled { total_iters: 1 },
         }
     }

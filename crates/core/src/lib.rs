@@ -16,12 +16,16 @@
 //!   pure function from a [`ClusterView`] to [`Action`]s, consulted on
 //!   submission (`on_submit`, paper Fig. 2), on freed slots
 //!   (`on_complete`, Fig. 3 — completions *and* cancellations), and
-//!   optionally on a periodic timer (`on_timer`). Built-ins: the
-//!   four-variant [`Policy`] (elastic / moldable / rigid-min /
-//!   rigid-max, §4.3) and [`FcfsBackfill`] (the FCFS+backfilling
-//!   baseline of the malleable-scheduling literature). The operator,
-//!   the simulator and the benches all take `Box<dyn SchedulingPolicy>`
-//!   — a fifth policy plugs in without touching any engine.
+//!   optionally on a periodic timer (`on_timer` — the DES schedules
+//!   timer events and the operator runs a timer pass, so timer-driven
+//!   policies replay in both engines). Built-ins: the four-variant
+//!   [`Policy`] (elastic / moldable / rigid-min / rigid-max, §4.3),
+//!   [`FcfsBackfill`] (conservative, estimate-free backfilling),
+//!   [`EasyBackfill`] (EASY backfilling on walltime estimates — see
+//!   the worked example below) and the [`AgingSweep`] timer decorator.
+//!   The operator, the simulator and the benches all take
+//!   `Box<dyn SchedulingPolicy>` — a new policy plugs in without
+//!   touching any engine.
 //! * **[`CharmOperator`]** — the watch-driven reconciler. It subscribes
 //!   to the CharmJob and pod stores with the atomic
 //!   `Store::list_watch` and reconciles per event (admission on job
@@ -68,36 +72,58 @@
 //!   into one batch event. A burst of n submissions costs n O(log n)
 //!   decisions, not n view rebuilds.
 //!
-//! ## Plugging in a fifth policy
+//! ## Plugging in a fifth policy: how `EasyBackfill` was built
+//!
+//! [`EasyBackfill`] is the worked example of the open surface: true
+//! EASY backfilling — a shadow reservation for the blocked queue head,
+//! planned from the running jobs' walltime estimates — implemented
+//! purely against the [`ClusterView`]/[`Action`] contract. It reads
+//! three maintained indexes (`queued_submission_order`, `free_slots`,
+//! and [`ClusterView::running_by_estimated_end`], the completion
+//! frontier added for it) and emits ordinary `Create`/`Enqueue`
+//! actions; neither engine changed to run it:
 //!
 //! ```
-//! use elastic_core::{Action, ClusterView, JobId, SchedulingPolicy};
-//! use hpc_metrics::SimTime;
+//! use elastic_core::{Action, ClusterView, EasyBackfill, JobState, SchedulingPolicy};
+//! use hpc_metrics::{Duration, JobId, SimTime};
 //!
-//! /// Admits every job at its minimum the moment it fits.
-//! struct MinFit;
+//! let mut view = ClusterView::new(32);
+//! let job = |id: u32, min: u32, replicas: u32, est_s: f64, submitted: f64| JobState {
+//!     id: JobId(id),
+//!     min_replicas: min,
+//!     max_replicas: min,
+//!     priority: 3,
+//!     submitted_at: SimTime::from_secs(submitted),
+//!     replicas,
+//!     last_action: if replicas > 0 { SimTime::ZERO } else { SimTime::NEG_INFINITY },
+//!     running: replicas > 0,
+//!     walltime_estimate: Some(Duration::from_secs(est_s)),
+//! };
+//! // 26 workers + 1 launcher running, estimated to vacate at t = 1000.
+//! view.insert(job(0, 26, 26, 1000.0, 0.0), 1);
+//! // The queue head needs 20+1 of the 5 free slots: blocked, so EASY
+//! // reserves its start at the t = 1000 completion frontier…
+//! view.insert(job(1, 20, 0, 500.0, 10.0), 1);
+//! // …and a short job (estimated done by t = 300 < 1000) may backfill.
+//! view.insert(job(2, 4, 0, 200.0, 20.0), 1);
 //!
-//! impl SchedulingPolicy for MinFit {
-//!     fn name(&self) -> String { "min_fit".into() }
-//!     fn launcher_slots(&self) -> u32 { 1 }
-//!     fn on_submit(&self, view: &ClusterView, job: JobId, _now: SimTime) -> Vec<Action> {
-//!         let j = view.job(job).expect("submitted job is in the view");
-//!         if view.free_slots() >= j.min_replicas + 1 {
-//!             vec![Action::Create { job, replicas: j.min_replicas }]
-//!         } else {
-//!             vec![Action::Enqueue { job }]
-//!         }
-//!     }
-//!     fn on_complete(&self, _view: &ClusterView, _now: SimTime) -> Vec<Action> {
-//!         Vec::new() // never redistributes
-//!     }
-//! }
+//! let policy = EasyBackfill::new();
+//! let now = SimTime::from_secs(100.0);
+//! let reservation = policy.shadow_start(&view, now).expect("head is blocked");
+//! assert_eq!(reservation.shadow_start, SimTime::from_secs(1000.0));
+//! let actions = policy.on_complete(&view, now);
+//! assert_eq!(actions, vec![Action::Create { job: JobId(2), replicas: 4 }]);
 //! ```
 //!
-//! Pass `Box::new(MinFit)` to [`CharmOperator::new`] or
-//! `sched_sim::SimConfig` and both engines drive it through the same
-//! `apply_action` contract — behaviour cannot diverge between the
-//! Actual and Simulation columns of Table 1.
+//! Pass `Box::new(EasyBackfill::new())` (or your own impl) to
+//! [`CharmOperator::new`] or `sched_sim::SimConfig` and both engines
+//! drive it through the same `apply_action` contract — behaviour
+//! cannot diverge between the Actual and Simulation columns of
+//! Table 1 (the trace cross-validation asserts the replays are
+//! bit-identical). Policies that need to act without an external
+//! trigger implement `on_timer`/`timer_interval` — see [`AgingSweep`],
+//! which wraps any inner policy with a periodic starvation-aging
+//! sweep.
 //!
 //! ## Module layering
 //!
@@ -135,7 +161,10 @@ pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecuto
 pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;
 pub use operator::CharmOperator;
-pub use policy::{FcfsBackfill, Policy, PolicyConfig, PolicyKind, SchedulingPolicy};
+pub use policy::{
+    AgingSweep, EasyBackfill, FcfsBackfill, Policy, PolicyConfig, PolicyKind, Reservation,
+    SchedulingPolicy,
+};
 pub use registry::JobRegistry;
 pub use report::{JobOutcome, RunMetrics, BSLD_TAU_S};
 pub use view::{apply_action, Action, ClusterView, JobState};

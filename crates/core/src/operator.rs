@@ -245,6 +245,7 @@ impl CharmOperator {
                     },
                     last_action: job.status.last_action,
                     running,
+                    walltime_estimate: job.spec.walltime_estimate,
                 },
                 launcher,
             );
@@ -450,6 +451,7 @@ impl CharmOperator {
                 replicas: 0,
                 last_action: stored.obj.status.last_action,
                 running: false,
+                walltime_estimate: stored.obj.spec.walltime_estimate,
             },
             self.policy.launcher_slots(),
         );

@@ -1,0 +1,574 @@
+//! EASY backfilling on user walltime estimates.
+//!
+//! The field-standard rigid baseline of the batch-scheduling literature
+//! (Lifka's EASY scheduler, the configuration Zojer et al. evaluate
+//! malleable policies against): jobs start strictly in submission
+//! order; when the queue head does not fit, the scheduler makes a
+//! **shadow reservation** for it — the earliest instant the completion
+//! frontier of running jobs (by their walltime estimates) frees enough
+//! slots — and later jobs may backfill *only if they cannot delay that
+//! reservation*: either they are estimated to finish before the shadow
+//! start, or they fit into the surplus slots the reservation will not
+//! need.
+//!
+//! This replaces the patience-counter heuristic of [`FcfsBackfill`]
+//! (kept as the conservative, estimate-free variant): EASY never pauses
+//! backfilling wholesale, yet the head's start time is provably never
+//! pushed back by a backfill (see the property test at the bottom —
+//! the classic EASY invariant).
+//!
+//! The completion frontier is read straight off the view's maintained
+//! estimated-end index ([`ClusterView::running_by_estimated_end`]) —
+//! one ordered walk per decision, O(log n) maintenance per event, no
+//! sort. Jobs without an estimate key at infinity: they never free
+//! slots as far as the reservation arithmetic is concerned, and as
+//! backfill candidates they only qualify for the reservation's surplus.
+//!
+//! [`FcfsBackfill`]: super::FcfsBackfill
+
+use hpc_metrics::{JobId, SimTime};
+
+use crate::view::{Action, ClusterView, JobState};
+
+use super::SchedulingPolicy;
+
+/// EASY backfilling (aggressive backfilling with one shadow
+/// reservation) on walltime estimates. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EasyBackfill {
+    /// Slots consumed by a job's launcher pod (same accounting as
+    /// [`PolicyConfig::launcher_slots`](super::PolicyConfig)).
+    pub launcher_slots: u32,
+}
+
+impl Default for EasyBackfill {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The shadow reservation for a blocked queue head.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Reservation {
+    /// The reserved job (the first queued job that does not fit now).
+    pub job: JobId,
+    /// Earliest instant the completion frontier frees the head's
+    /// minimum footprint — the head's guaranteed start time.
+    /// `INFINITY` when running jobs without estimates hold slots the
+    /// head needs (no reservation can be planned; backfilling is then
+    /// unrestricted, since no guarantee exists to protect).
+    pub shadow_start: SimTime,
+    /// Slots still available at `shadow_start` *beyond* the head's
+    /// footprint: a backfill running past the shadow start may take at
+    /// most this many.
+    pub surplus: i64,
+}
+
+impl EasyBackfill {
+    /// The standard configuration (one launcher slot per job).
+    pub fn new() -> Self {
+        EasyBackfill { launcher_slots: 1 }
+    }
+
+    /// Plans the shadow reservation for the first queued job that does
+    /// not fit in the current free slots, walking the estimated
+    /// completion frontier until the head's minimum footprint
+    /// accumulates. Returns `None` when the queue is empty, every
+    /// queued job fits right now, or no queued job can ever run on this
+    /// cluster.
+    pub fn shadow_start(&self, view: &ClusterView, _now: SimTime) -> Option<Reservation> {
+        let launcher = i64::from(self.launcher_slots);
+        let cap_workers = i64::from(view.capacity().saturating_sub(self.launcher_slots).max(1));
+        let mut free = i64::from(view.free_slots());
+        for j in view.queued_submission_order() {
+            let mn = i64::from(j.min_replicas);
+            if mn > cap_workers {
+                continue; // can never run here; does not block the queue
+            }
+            if free - launcher >= mn {
+                // Fits now (the schedule pass will start it); account
+                // its greedy footprint and keep looking for the head.
+                let mx = i64::from(j.max_replicas).min(cap_workers);
+                free -= (free - launcher).min(mx) + launcher;
+                continue;
+            }
+            return Some(self.plan_reservation(view, j, free));
+        }
+        None
+    }
+
+    /// Walks the frontier for `head`, starting from `free` available
+    /// slots, and returns its reservation.
+    fn plan_reservation(&self, view: &ClusterView, head: &JobState, free: i64) -> Reservation {
+        let launcher = i64::from(self.launcher_slots);
+        let needed = i64::from(head.min_replicas) + launcher;
+        let mut avail = free;
+        for r in view.running_by_estimated_end() {
+            let end = r.estimated_end();
+            if !end.is_finite() {
+                // Estimate-less jobs never release slots: the frontier
+                // ends here. If the head still lacks slots its shadow
+                // start is unknowable.
+                break;
+            }
+            avail += i64::from(r.replicas) + launcher;
+            if avail >= needed {
+                return Reservation {
+                    job: head.id,
+                    shadow_start: end,
+                    surplus: avail - needed,
+                };
+            }
+        }
+        Reservation {
+            job: head.id,
+            shadow_start: SimTime::INFINITY,
+            surplus: i64::MAX,
+        }
+    }
+
+    /// One pass over the queue in submission order: jobs start greedily
+    /// (up to their maximum) while they fit; the first job that does
+    /// not fit becomes the reserved head, and every later job is a
+    /// backfill candidate admitted at its minimum footprint only if it
+    /// cannot delay the reservation.
+    fn schedule_pass(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        let launcher = i64::from(self.launcher_slots);
+        let cap_workers = i64::from(view.capacity().saturating_sub(self.launcher_slots).max(1));
+        let mut free = i64::from(view.free_slots());
+        let mut actions = Vec::new();
+        let mut reservation: Option<Reservation> = None;
+        for j in view.queued_submission_order() {
+            let mn = i64::from(j.min_replicas);
+            let mx = i64::from(j.max_replicas).min(cap_workers);
+            if mn > cap_workers {
+                // Can never run on this cluster; skipping keeps it from
+                // wedging the whole queue forever (same guard as the
+                // conservative variant).
+                continue;
+            }
+            let Some(res) = reservation.as_mut() else {
+                if free - launcher >= mn {
+                    let replicas = (free - launcher).min(mx);
+                    actions.push(Action::Create {
+                        job: j.id,
+                        replicas: replicas as u32,
+                    });
+                    free -= replicas + launcher;
+                } else {
+                    // The head blocks: plan its shadow reservation from
+                    // the *current* frontier (jobs started above are
+                    // irrelevant — they only consumed slots that were
+                    // free now, which `free` already reflects, and the
+                    // frontier walk needs only additional releases).
+                    reservation = Some(self.plan_reservation(view, j, free));
+                }
+                continue;
+            };
+            // Backfill candidate behind the reservation.
+            if free - launcher < mn {
+                continue;
+            }
+            let finishes_before = j
+                .walltime_estimate
+                .is_some_and(|est| now + est <= res.shadow_start);
+            let fits_surplus = mn + launcher <= res.surplus;
+            if finishes_before || fits_surplus {
+                actions.push(Action::Create {
+                    job: j.id,
+                    replicas: j.min_replicas,
+                });
+                free -= mn + launcher;
+                if !finishes_before {
+                    // Runs past the shadow start: it consumes surplus
+                    // the reservation was not counting on.
+                    res.surplus -= mn + launcher;
+                }
+            }
+        }
+        actions
+    }
+}
+
+impl SchedulingPolicy for EasyBackfill {
+    fn name(&self) -> String {
+        "easy_backfill".to_string()
+    }
+
+    fn launcher_slots(&self) -> u32 {
+        self.launcher_slots
+    }
+
+    fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action> {
+        let mut actions = self.schedule_pass(view, now);
+        if !actions
+            .iter()
+            .any(|a| matches!(a, Action::Create { job: j, .. } if *j == job))
+        {
+            actions.push(Action::Enqueue { job });
+        }
+        actions
+    }
+
+    fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
+        self.schedule_pass(view, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::apply_action;
+    use hpc_metrics::Duration;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn queued(id: u32, submitted: f64, min: u32, max: u32, est: Option<f64>) -> JobState {
+        JobState {
+            id: JobId(id),
+            min_replicas: min,
+            max_replicas: max,
+            priority: 3,
+            submitted_at: SimTime::from_secs(submitted),
+            replicas: 0,
+            last_action: SimTime::NEG_INFINITY,
+            running: false,
+            walltime_estimate: est.map(Duration::from_secs),
+        }
+    }
+
+    fn running(id: u32, started: f64, replicas: u32, est: Option<f64>) -> JobState {
+        JobState {
+            replicas,
+            running: true,
+            last_action: SimTime::from_secs(started),
+            ..queued(id, started, 1, replicas, est)
+        }
+    }
+
+    fn view(capacity: u32, free: u32, jobs: Vec<JobState>) -> ClusterView {
+        crate::view::tests::view_of(capacity, free, jobs)
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn head_of_queue_gets_greedy_sizing() {
+        let pol = EasyBackfill::new();
+        let v = view(64, 64, vec![queued(0, 0.0, 4, 32, Some(100.0))]);
+        assert_eq!(
+            pol.on_submit(&v, JobId(0), t(0.0)),
+            vec![Action::Create {
+                job: JobId(0),
+                replicas: 32
+            }]
+        );
+    }
+
+    #[test]
+    fn backfill_admitted_when_it_finishes_before_the_shadow_start() {
+        let pol = EasyBackfill::new();
+        // One running job holds 53+1; ends at t=1000. Head needs 16+1
+        // of the 10 free -> blocked, shadow start 1000 with surplus
+        // 64 - 17 = 47.
+        let v = view(
+            64,
+            10,
+            vec![
+                running(0, 0.0, 53, Some(1000.0)),
+                queued(1, 1.0, 16, 32, Some(500.0)), // reserved head
+                queued(2, 2.0, 2, 8, Some(800.0)),   // ends 900 < 1000: ok
+                queued(3, 3.0, 2, 8, Some(2000.0)),  // past shadow, but 3 <= surplus
+            ],
+        );
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![
+                Action::Create {
+                    job: JobId(2),
+                    replicas: 2
+                },
+                Action::Create {
+                    job: JobId(3),
+                    replicas: 2
+                },
+            ]
+        );
+        let res = pol.shadow_start(&v, t(100.0)).expect("head is blocked");
+        assert_eq!(res.job, JobId(1));
+        assert_eq!(res.shadow_start, t(1000.0));
+        assert_eq!(res.surplus, 64 - 17);
+    }
+
+    #[test]
+    fn backfill_into_surplus_may_run_past_the_shadow_start() {
+        let pol = EasyBackfill::new();
+        // Running job (30+1) ends at 1000, freeing 31; head needs 19+1
+        // of 15 free -> blocked. At the shadow start: 15 + 31 = 46
+        // available, 20 needed -> surplus 26. A practically-endless job
+        // at min 4 (+1 launcher = 5 <= 26) backfills even though it
+        // runs far past the shadow.
+        let v = view(
+            64,
+            15,
+            vec![
+                running(0, 0.0, 30, Some(1000.0)),
+                queued(1, 1.0, 19, 32, Some(500.0)),
+                queued(2, 2.0, 4, 8, Some(1_000_000.0)),
+            ],
+        );
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: JobId(2),
+                replicas: 4
+            }]
+        );
+        let res = pol.shadow_start(&v, t(100.0)).expect("blocked");
+        assert_eq!(res.shadow_start, t(1000.0));
+        assert_eq!(res.surplus, 26);
+    }
+
+    #[test]
+    fn backfill_denied_when_it_would_delay_the_reservation() {
+        let pol = EasyBackfill::new();
+        // Tight surplus: head needs 48+1 of 12 free; the frontier frees
+        // 41 at t=1000 (avail 53, surplus 4). A past-shadow candidate
+        // needing 4+1 = 5 > 4 would delay the reservation -> denied,
+        // even though 11 slots are free right now. A candidate that
+        // finishes before the shadow start is still welcome.
+        let v = view(
+            64,
+            12,
+            vec![
+                running(0, 0.0, 40, Some(1000.0)),
+                queued(1, 1.0, 48, 60, Some(500.0)),
+                queued(2, 2.0, 4, 4, Some(2000.0)), // past shadow, > surplus
+                queued(3, 3.0, 4, 4, Some(500.0)),  // ends 600 <= 1000
+            ],
+        );
+        let res = pol.shadow_start(&v, t(100.0)).expect("blocked");
+        assert_eq!((res.shadow_start, res.surplus), (t(1000.0), 4));
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: JobId(3),
+                replicas: 4
+            }],
+            "only the finishes-before candidate may start"
+        );
+    }
+
+    #[test]
+    fn estimate_less_running_jobs_block_the_frontier() {
+        let pol = EasyBackfill::new();
+        // The running job has no estimate: the head's shadow start is
+        // unknowable (INFINITY), so there is no guarantee to protect
+        // and backfilling is unrestricted.
+        let v = view(
+            64,
+            10,
+            vec![
+                running(0, 0.0, 53, None),
+                queued(1, 1.0, 16, 32, Some(500.0)),
+                queued(2, 2.0, 2, 8, None),
+            ],
+        );
+        let res = pol.shadow_start(&v, t(100.0)).expect("blocked");
+        assert_eq!(res.shadow_start, SimTime::INFINITY);
+        let actions = pol.on_complete(&v, t(100.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: JobId(2),
+                replicas: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn estimate_less_backfill_candidate_needs_surplus() {
+        let pol = EasyBackfill::new();
+        // Finite shadow start, tight surplus: an estimate-less
+        // candidate (end unknowable) cannot promise to finish before
+        // the shadow, so it must fit the surplus — and does not
+        // (avail at shadow = 10 + 27 = 37, needed 31, surplus 6 < the
+        // candidate's 9-slot footprint, though 9 slots are free now).
+        let v = view(
+            32,
+            10,
+            vec![
+                running(0, 0.0, 26, Some(1000.0)),
+                queued(1, 1.0, 30, 31, Some(500.0)),
+                queued(2, 2.0, 8, 8, None),
+            ],
+        );
+        assert!(pol.on_complete(&v, t(100.0)).is_empty());
+        // With a finite estimate ending before the shadow it starts.
+        let v2 = view(
+            32,
+            10,
+            vec![
+                running(0, 0.0, 26, Some(1000.0)),
+                queued(1, 1.0, 30, 31, Some(500.0)),
+                queued(2, 2.0, 8, 8, Some(100.0)),
+            ],
+        );
+        assert_eq!(
+            pol.on_complete(&v2, t(100.0)),
+            vec![Action::Create {
+                job: JobId(2),
+                replicas: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn strict_submission_order_ignores_priority() {
+        let pol = EasyBackfill::new();
+        let mut early = queued(1, 1.0, 4, 8, Some(100.0));
+        early.priority = 1;
+        let mut late = queued(0, 2.0, 4, 8, Some(100.0));
+        late.priority = 5;
+        let v = view(64, 10, vec![late, early]);
+        let actions = pol.on_complete(&v, t(0.0));
+        assert_eq!(
+            actions,
+            vec![Action::Create {
+                job: JobId(1),
+                replicas: 8
+            }]
+        );
+    }
+
+    #[test]
+    fn never_rescales_and_enqueues_unstartable_submissions() {
+        let pol = EasyBackfill::new();
+        let v = view(64, 40, vec![running(0, 0.0, 23, Some(100.0))]);
+        assert!(pol.on_complete(&v, t(0.0)).is_empty());
+        let v = view(
+            64,
+            2,
+            vec![
+                running(0, 0.0, 61, Some(100.0)),
+                queued(1, 1.0, 4, 8, Some(50.0)),
+            ],
+        );
+        assert_eq!(
+            pol.on_submit(&v, JobId(1), t(0.0)),
+            vec![Action::Enqueue { job: JobId(1) }]
+        );
+    }
+
+    #[test]
+    fn impossible_job_is_skipped_without_wedging_the_queue() {
+        let pol = EasyBackfill::new();
+        let v = view(
+            8,
+            8,
+            vec![
+                queued(0, 0.0, 64, 64, Some(10.0)),
+                queued(1, 1.0, 2, 4, Some(10.0)),
+            ],
+        );
+        assert_eq!(
+            pol.on_complete(&v, t(0.0)),
+            vec![Action::Create {
+                job: JobId(1),
+                replicas: 4
+            }]
+        );
+    }
+
+    /// Builds a random mixed view: running jobs with (mostly) finite
+    /// estimates, queued jobs of varied footprints.
+    fn random_view(seed: u64, capacity: u32) -> ClusterView {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut jobs = Vec::new();
+        let mut used = 0u32;
+        let mut id = 0u32;
+        for _ in 0..rng.gen_range(0..5) {
+            let reps = rng.gen_range(1..=capacity / 3);
+            if used + reps + 1 > capacity {
+                break;
+            }
+            used += reps + 1;
+            let est = if rng.gen_bool(0.85) {
+                Some(rng.gen_range(10.0..2000.0))
+            } else {
+                None
+            };
+            jobs.push(running(id, rng.gen_range(0.0..100.0), reps, est));
+            id += 1;
+        }
+        for q in 0..rng.gen_range(1..6) {
+            let mn = rng.gen_range(1..=capacity / 2);
+            let mx = rng.gen_range(mn..=capacity);
+            let est = if rng.gen_bool(0.8) {
+                Some(rng.gen_range(10.0..3000.0))
+            } else {
+                None
+            };
+            jobs.push(queued(id, 100.0 + f64::from(q), mn, mx, est));
+            id += 1;
+        }
+        let free = capacity - used;
+        view(capacity, free, jobs)
+    }
+
+    proptest! {
+        /// THE EASY invariant: backfilling never delays the reserved
+        /// queue head past its shadow start time. Formally: plan the
+        /// reservation, apply every emitted action, and re-plan — the
+        /// same head's shadow start must not move later (assuming, as
+        /// EASY does, that every running job vacates at its estimated
+        /// end).
+        #[test]
+        fn backfill_never_delays_the_reserved_head(seed in proptest::any::<u64>()) {
+            let pol = EasyBackfill::new();
+            let now = t(150.0);
+            let v = random_view(seed, 32);
+            let before = pol.shadow_start(&v, now);
+            let mut after_view = v.clone();
+            for a in pol.on_complete(&v, now) {
+                apply_action(&mut after_view, &a, now, 1);
+            }
+            let after = pol.shadow_start(&after_view, now);
+            if let (Some(b), Some(a)) = (before, after) {
+                if a.job == b.job {
+                    prop_assert!(
+                        a.shadow_start <= b.shadow_start,
+                        "head {} delayed: shadow {} -> {}",
+                        b.job,
+                        b.shadow_start.as_secs(),
+                        a.shadow_start.as_secs()
+                    );
+                }
+            }
+        }
+
+        /// Emitted actions are always applicable (capacity, bounds, at
+        /// most one action per job) — the SchedulingPolicy contract.
+        #[test]
+        fn emitted_actions_are_always_applicable(seed in proptest::any::<u64>()) {
+            let pol = EasyBackfill::new();
+            let now = t(150.0);
+            let mut v = random_view(seed, 32);
+            let actions = pol.on_complete(&v, now);
+            let mut ids: Vec<JobId> = actions.iter().map(|a| a.job()).collect();
+            ids.sort_unstable();
+            let len = ids.len();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), len, "duplicate action on one job");
+            for a in actions {
+                apply_action(&mut v, &a, now, 1);
+            }
+        }
+    }
+}

@@ -287,6 +287,7 @@ mod tests {
             replicas: 0,
             last_action: SimTime::NEG_INFINITY,
             running: false,
+            walltime_estimate: None,
         }
     }
 

@@ -4,12 +4,15 @@
 //! FCFS+backfilling configurations of Zojer et al. and the *Kub*
 //! elasticity comparison): jobs start strictly in submission order, and
 //! when the queue head does not fit, later jobs may *backfill* into the
-//! leftover slots at their minimum footprint. Without walltime
-//! estimates a true EASY/conservative reservation is impossible, so the
-//! backfill is reservation-less — and guarded against the starvation
+//! leftover slots at their minimum footprint. This variant ignores
+//! walltime estimates entirely, so no reservation can be planned and
+//! the backfill is reservation-less — guarded against the starvation
 //! that implies: once the blocked head has waited longer than
 //! [`FcfsBackfill::backfill_patience`], backfilling pauses entirely
 //! until the head starts (every freed slot then accumulates for it).
+//! The estimate-aware sibling, [`EasyBackfill`](super::EasyBackfill),
+//! replaces the patience heuristic with a true EASY shadow
+//! reservation.
 //! Unlike the paper's elastic policy this scheduler ignores priorities
 //! entirely and never rescales a running job.
 //!
@@ -145,6 +148,7 @@ mod tests {
             replicas: 0,
             last_action: SimTime::NEG_INFINITY,
             running: false,
+            walltime_estimate: None,
         }
     }
 

@@ -16,14 +16,26 @@
 //!   algorithm), **Moldable** (elastic with `T_rescale_gap = ∞`,
 //!   §4.3.2), and **Rigid-min / Rigid-max** (elastic with
 //!   `min = max = {min,max}` replicas for every job, §4.3.2).
-//! * [`FcfsBackfill`] — the classic batch-queue baseline used by the
-//!   malleable-scheduling literature (Zojer et al.; Medeiros et al.,
-//!   *Kub*): strict submission order with conservative backfilling,
-//!   never a rescale.
+//! * [`FcfsBackfill`] — strict submission order with conservative,
+//!   estimate-free backfilling (plus a patience-based starvation
+//!   guard), the reservation-less baseline.
+//! * [`EasyBackfill`] — **EASY backfilling** on user walltime
+//!   estimates, the field-standard rigid baseline of the
+//!   batch-scheduling literature (Zojer et al.; Medeiros et al.,
+//!   *Kub*): a shadow reservation for the blocked queue head, computed
+//!   from the running jobs' estimated completion frontier, with
+//!   backfilling that provably never delays the reservation.
+//! * [`AgingSweep`] — a decorator that wraps any policy with a
+//!   timer-driven starvation-aging sweep (queued priorities double per
+//!   configured half-life of waiting).
 
+mod aging;
+mod easy;
 mod elastic;
 mod fcfs;
 
+pub use aging::AgingSweep;
+pub use easy::{EasyBackfill, Reservation};
 pub use fcfs::FcfsBackfill;
 
 use hpc_metrics::{Duration, JobId, SimTime};
@@ -288,6 +300,7 @@ mod tests {
             replicas: 4,
             last_action: SimTime::from_secs(100.0),
             running: true,
+            walltime_estimate: None,
         }
     }
 

@@ -20,7 +20,7 @@
 use std::cmp::Reverse;
 use std::collections::BTreeSet;
 
-use hpc_metrics::{JobId, SimTime};
+use hpc_metrics::{Duration, JobId, SimTime};
 
 /// Priority ordering key: higher priority first, then earlier
 /// submission (paper §3.2.1), then the interned id — the final
@@ -49,11 +49,34 @@ pub struct JobState {
     pub last_action: SimTime,
     /// `true` once the job holds resources.
     pub running: bool,
+    /// User walltime estimate (how long the job says it runs), if the
+    /// workload carried one. Reservation-based backfilling plans the
+    /// completion frontier from these; `None` reads as "unbounded".
+    pub walltime_estimate: Option<Duration>,
 }
 
 impl JobState {
     fn order_key(&self) -> OrderKey {
         (Reverse(self.priority), self.submitted_at, self.id)
+    }
+
+    /// When this job is *estimated* to release its slots: the time of
+    /// its last scheduling action plus its walltime estimate. The
+    /// estimate is the user's claim for the requested size, taken
+    /// as-is regardless of the granted replica count (granting more
+    /// replicas under linear speedup only finishes sooner, so the
+    /// frontier stays conservative). `INFINITY` for queued jobs and for
+    /// running jobs without an estimate — they never release slots as
+    /// far as reservation arithmetic is concerned.
+    pub fn estimated_end(&self) -> SimTime {
+        match (self.running, self.walltime_estimate) {
+            (true, Some(est)) => self.last_action + est,
+            _ => SimTime::INFINITY,
+        }
+    }
+
+    fn end_key(&self) -> (SimTime, JobId) {
+        (self.estimated_end(), self.id)
     }
 }
 
@@ -69,6 +92,9 @@ pub struct ClusterView {
     all_order: BTreeSet<OrderKey>,
     running_order: BTreeSet<OrderKey>,
     queued_order: BTreeSet<(SimTime, JobId)>,
+    /// Running jobs by estimated completion — the frontier EASY-style
+    /// reservations walk. Jobs without an estimate key at `INFINITY`.
+    running_end_order: BTreeSet<(SimTime, JobId)>,
     live: usize,
 }
 
@@ -82,6 +108,7 @@ impl ClusterView {
             all_order: BTreeSet::new(),
             running_order: BTreeSet::new(),
             queued_order: BTreeSet::new(),
+            running_end_order: BTreeSet::new(),
             live: 0,
         }
     }
@@ -154,6 +181,7 @@ impl ClusterView {
             );
             self.free_slots -= need;
             self.running_order.insert(job.order_key());
+            self.running_end_order.insert(job.end_key());
         } else {
             self.queued_order.insert((job.submitted_at, job.id));
         }
@@ -170,6 +198,7 @@ impl ClusterView {
         self.all_order.remove(&job.order_key());
         if job.running {
             self.running_order.remove(&job.order_key());
+            self.running_end_order.remove(&job.end_key());
             self.free_slots += job.replicas + launcher_slots;
         } else {
             self.queued_order.remove(&(job.submitted_at, id));
@@ -207,6 +236,17 @@ impl ClusterView {
             .iter()
             .map(|&(_, id)| self.job(id).expect("queue index entry is live"))
     }
+
+    /// Running jobs by increasing [`JobState::estimated_end`] — the
+    /// completion frontier reservation-based backfilling (EASY) walks
+    /// to find the queue head's shadow start time. Jobs without a
+    /// walltime estimate sort last (their end is `INFINITY`). O(k), no
+    /// sort: read straight off a maintained index.
+    pub fn running_by_estimated_end(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+        self.running_end_order
+            .iter()
+            .map(|&(_, id)| self.job(id).expect("end index entry is live"))
+    }
 }
 
 /// Two views are equal when they describe the same schedulable state:
@@ -221,6 +261,7 @@ impl PartialEq for ClusterView {
             && self.all_order == other.all_order
             && self.running_order == other.running_order
             && self.queued_order == other.queued_order
+            && self.running_end_order == other.running_end_order
             && self.jobs().eq(other.jobs())
     }
 }
@@ -307,10 +348,12 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
             j.replicas = replicas;
             j.last_action = now;
             let key = j.order_key();
+            let end_key = j.end_key();
             let submitted_at = j.submitted_at;
             view.free_slots -= need;
             view.queued_order.remove(&(submitted_at, job));
             view.running_order.insert(key);
+            view.running_end_order.insert(end_key);
         }
         Action::Expand { job, to_replicas } => {
             let free = view.free_slots;
@@ -326,9 +369,14 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
             );
             let grow = to_replicas - j.replicas;
             assert!(free >= grow, "expand {job} needs {grow}, only {free} free");
+            let old_end = j.end_key();
             j.replicas = to_replicas;
             j.last_action = now;
+            let new_end = j.end_key();
             view.free_slots -= grow;
+            // A rescale restarts the estimate clock (last_action moved).
+            view.running_end_order.remove(&old_end);
+            view.running_end_order.insert(new_end);
         }
         Action::Shrink { job, to_replicas } => {
             let j = view.slots[job.index()]
@@ -342,9 +390,13 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
                 j.min_replicas
             );
             let freed = j.replicas - to_replicas;
+            let old_end = j.end_key();
             j.replicas = to_replicas;
             j.last_action = now;
+            let new_end = j.end_key();
             view.free_slots += freed;
+            view.running_end_order.remove(&old_end);
+            view.running_end_order.insert(new_end);
         }
         Action::Enqueue { .. } => {}
         Action::Cancel { job } => {
@@ -368,6 +420,7 @@ pub(crate) mod tests {
             replicas,
             last_action: SimTime::NEG_INFINITY,
             running: replicas > 0,
+            walltime_estimate: None,
         }
     }
 
@@ -573,6 +626,58 @@ pub(crate) mod tests {
         assert_eq!(view.free_slots(), 32);
         assert!(view.is_empty());
         assert_eq!(view.all_desc_priority().count(), 0);
+    }
+
+    #[test]
+    fn estimated_end_index_orders_running_jobs_and_tracks_rescales() {
+        let est = |mut j: JobState, started: f64, secs: f64| {
+            j.last_action = SimTime::from_secs(started);
+            j.walltime_estimate = Some(Duration::from_secs(secs));
+            j
+        };
+        let view = view_of(
+            64,
+            20,
+            vec![
+                est(job(0, 3, 0.0, 8), 0.0, 500.0),  // ends ~500
+                est(job(1, 3, 1.0, 8), 100.0, 50.0), // ends ~150
+                job(2, 3, 2.0, 8),                   // no estimate: last
+                est(job(3, 3, 3.0, 0), 0.0, 10.0),   // queued: not listed
+            ],
+        );
+        let order: Vec<JobId> = view.running_by_estimated_end().map(|j| j.id).collect();
+        assert_eq!(order, vec![JobId(1), JobId(0), JobId(2)]);
+        assert_eq!(
+            view.job(JobId(2)).unwrap().estimated_end(),
+            SimTime::INFINITY
+        );
+        assert_eq!(
+            view.job(JobId(3)).unwrap().estimated_end(),
+            SimTime::INFINITY
+        );
+
+        // A rescale restarts the estimate clock: shrink job 1 at t=490
+        // and its estimated end jumps past job 0's.
+        let mut view = view;
+        apply_action(
+            &mut view,
+            &Action::Shrink {
+                job: JobId(1),
+                to_replicas: 2,
+            },
+            SimTime::from_secs(490.0),
+            1,
+        );
+        let order: Vec<JobId> = view.running_by_estimated_end().map(|j| j.id).collect();
+        assert_eq!(order, vec![JobId(0), JobId(1), JobId(2)]);
+        assert_eq!(
+            view.job(JobId(1)).unwrap().estimated_end(),
+            SimTime::from_secs(540.0)
+        );
+
+        // Removal drops the index entry.
+        view.remove(JobId(0), 1);
+        assert_eq!(view.running_by_estimated_end().count(), 2);
     }
 
     #[test]

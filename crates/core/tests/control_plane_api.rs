@@ -29,6 +29,7 @@ fn spec(name: &str, prio: u32, min: u32, max: u32, iters: u64) -> CharmJobSpec {
         min_replicas: min,
         max_replicas: max,
         priority: prio,
+        walltime_estimate: None,
         app: AppSpec::Modeled { total_iters: iters },
     }
 }

@@ -17,6 +17,7 @@ fn spec(name: &str, prio: u32, min: u32, max: u32, iters: u64) -> CharmJobSpec {
         min_replicas: min,
         max_replicas: max,
         priority: prio,
+        walltime_estimate: None,
         app: AppSpec::Modeled { total_iters: iters },
     }
 }
@@ -251,6 +252,7 @@ fn real_jobs_through_operator_wall_clock() {
         min_replicas: 1,
         max_replicas: 3,
         priority: 3,
+        walltime_estimate: None,
         app: AppSpec::Synthetic {
             chares: 6,
             spin: 100,

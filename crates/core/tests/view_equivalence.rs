@@ -11,7 +11,7 @@
 //! asserts exactly that, after every single step.
 
 use elastic_core::{apply_action, Action, ClusterView, JobId, JobState};
-use hpc_metrics::SimTime;
+use hpc_metrics::{Duration, SimTime};
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -89,6 +89,14 @@ proptest! {
                         replicas: 0,
                         last_action: SimTime::NEG_INFINITY,
                         running: false,
+                        // Mix estimates and their absence so the
+                        // estimated-end index is part of the
+                        // incremental == rebuilt equivalence.
+                        walltime_estimate: if rng.gen_bool(0.5) {
+                            Some(Duration::from_secs(rng.gen_range(1..=2000) as f64))
+                        } else {
+                            None
+                        },
                     };
                     next_id += 1;
                     view.insert(job.clone(), LAUNCHER);

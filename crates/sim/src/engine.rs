@@ -9,8 +9,12 @@
 //! modeled overhead window and re-schedules the job's completion; a
 //! cancellation (per-job `cancel_at` or [`SimConfig::cancellations`])
 //! tears the job down mid-flight and lets the policy redistribute the
-//! freed slots. As in the paper's simulator, operator/Kubernetes
-//! pod-startup overhead is not modeled (§4.3.1).
+//! freed slots; and a policy that requests a
+//! `SchedulingPolicy::timer_interval` gets periodic [`Event::Timer`]s
+//! (the DES analogue of the operator's timer pass — aging sweeps and
+//! other trigger-less decisions replay in both engines). As in the
+//! paper's simulator, operator/Kubernetes pod-startup overhead is not
+//! modeled (§4.3.1).
 //!
 //! ## Trace-scale throughput
 //!
@@ -154,6 +158,7 @@ impl JobRt {
             replicas: if self.running { self.replicas } else { 0 },
             last_action: self.last_action,
             running: self.running,
+            walltime_estimate: self.spec.walltime_estimate,
         }
     }
 }
@@ -281,6 +286,17 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
             );
         }
     }
+    // Policy timer: the DES analogue of the operator's periodic timer
+    // pass. First firing one interval past the epoch; each firing
+    // reschedules the next while any job is still non-terminal.
+    let timer_interval = cfg.policy.timer_interval();
+    if let Some(iv) = timer_interval {
+        assert!(
+            iv.as_secs().is_finite() && iv.as_secs() > 0.0,
+            "timer_interval must be finite and positive"
+        );
+        queue.push(SimTime::ZERO + iv, Event::Timer);
+    }
     for (at, name) in &cfg.cancellations {
         let i = workload
             .jobs
@@ -379,6 +395,26 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                     apply_all!(actions, now);
                 }
             }
+            Event::Timer => {
+                // Stop the clock once every job is terminal — the run
+                // is over; an armed timer must not keep it alive.
+                if jobs.iter().all(|j| j.completed || j.cancelled) {
+                    continue;
+                }
+                let actions = cfg.policy.on_timer(&view, now);
+                apply_all!(actions, now);
+                // Re-arm only while some *other* event is pending: a
+                // policy is a pure function of the view, so with no
+                // submissions/completions/cancellations left, every
+                // future firing would see the same view and decide the
+                // same nothing — re-arming would hang the simulation
+                // forever on a permanently starved job instead of
+                // letting it reach the diagnostic assert below.
+                if !queue.is_empty() {
+                    let iv = timer_interval.expect("timer event implies an interval");
+                    queue.push(now + iv, Event::Timer);
+                }
+            }
         }
         peak_queue_len = peak_queue_len.max(queue.len());
         if queue.should_compact() {
@@ -392,11 +428,9 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
         }
     }
 
-    debug_assert!(
-        view.is_empty() && view.free_slots() == cfg.capacity,
-        "incremental view must drain to empty when every job is terminal"
-    );
-
+    // Starvation first: it is the *cause* of a non-drained view, so it
+    // must own the diagnostic (the drain assert below would otherwise
+    // mask it in debug builds).
     for j in &jobs {
         assert!(
             j.completed || j.cancelled,
@@ -404,6 +438,11 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
             j.spec.name
         );
     }
+
+    debug_assert!(
+        view.is_empty() && view.free_slots() == cfg.capacity,
+        "incremental view must drain to empty when every job is terminal"
+    );
 
     let outcomes: Vec<JobOutcome> = jobs
         .iter()
@@ -441,7 +480,7 @@ mod tests {
     use super::*;
     use crate::model::SizeClass;
     use crate::workload::generate_workload;
-    use elastic_core::{FcfsBackfill, Policy, PolicyConfig, PolicyKind};
+    use elastic_core::{AgingSweep, FcfsBackfill, Policy, PolicyConfig, PolicyKind};
 
     fn policy(kind: PolicyKind, gap: f64) -> Box<dyn SchedulingPolicy> {
         Box::new(Policy::of_kind(
@@ -734,6 +773,27 @@ mod tests {
         assert_eq!(out.metrics.jobs.len(), 3);
         assert!(out.rescales >= 2, "expected shrink + expand rescales");
         assert!(out.metrics.mean_bounded_slowdown >= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "never completed")]
+    fn timer_policy_cannot_keep_a_starved_run_alive_forever() {
+        // A job whose minimum footprint can never fit stays queued for
+        // good. With a timer-driven policy the engine must still
+        // terminate (the timer only re-arms while other events are
+        // pending) and reach the diagnostic starvation assert instead
+        // of spinning on timer firings against a frozen view.
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("ok", 2, 4, 100.0, 3),
+            JobSpec::malleable("impossible", 128, 128, 100.0, 1).at(Duration::from_secs(1.0)),
+        ]);
+        let policy = AgingSweep::new(
+            Box::new(FcfsBackfill::new()),
+            Duration::from_secs(50.0),
+            Duration::from_secs(30.0),
+        );
+        let cfg = SimConfig::paper_default(Box::new(policy));
+        let _ = simulate(&cfg, &wl);
     }
 
     #[test]

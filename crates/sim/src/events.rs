@@ -48,6 +48,11 @@ pub enum Event {
         /// The job.
         job: JobId,
     },
+    /// Periodic policy-timer deadline (the DES analogue of the
+    /// operator's timer pass): the engine calls
+    /// `SchedulingPolicy::on_timer` and reschedules the next firing one
+    /// `timer_interval` later while non-terminal jobs remain.
+    Timer,
 }
 
 #[derive(Debug, PartialEq, Eq)]

@@ -9,6 +9,7 @@
 //! keep working.
 
 pub use hpc_workload::{
-    generate_workload, load_workload, poisson_workload, JobShape, JobSpec, MalleabilityModel,
-    SwfError, SwfLoadConfig, WorkloadError, WorkloadSpec,
+    generate_workload, load_workload, poisson_workload, workload_records, write_swf,
+    write_workload, JobShape, JobSpec, MalleabilityModel, SwfError, SwfLoadConfig, WorkloadError,
+    WorkloadSpec,
 };

@@ -5,21 +5,35 @@
 //! operator harness (`elastic_core::run_workload_virtual`) and the
 //! bench binaries. A job carries its own **arrival time**, replica
 //! bounds (a paper [`SizeClass`] *or* explicit malleable bounds), a
-//! work estimate, a priority and an optional cancellation time — so a
-//! workload is a self-contained replayable trace, not a job list plus
-//! out-of-band submission-gap conventions.
+//! work estimate, a **walltime estimate** (the user's claimed runtime,
+//! SWF field 9 — what reservation-based backfilling like
+//! `elastic_core::EasyBackfill` plans from), a priority and an
+//! optional cancellation time — so a workload is a self-contained
+//! replayable trace, not a job list plus out-of-band submission-gap
+//! conventions.
 //!
-//! Three producers ship with the crate:
+//! Three producers ship with the crate, plus the export side:
 //!
 //! * [`swf`] — a streaming parser for the Standard Workload Format
 //!   (Feitelson's SWF, the archive format of the malleable-scheduling
 //!   literature), with a configurable malleability annotation à la
-//!   Zojer, Posner & Özden.
+//!   Zojer, Posner & Özden. Walltime estimates load with a
+//!   requested→actual fallback, so every loadable record carries one.
+//! * [`swf::write_workload`] — the SWF *writer*: any `WorkloadSpec`
+//!   (generated, annotated, or programmatic) exports as an SWF stream
+//!   that round-trips through the parser (proptested, including the
+//!   walltime field and its `-1` sentinel).
 //! * [`generator::generate_workload`] — the paper's seeded random
 //!   16-job/4-class generator (§4.3.1).
 //! * [`generator::poisson_workload`] — a heavy-traffic synthetic
 //!   generator with exponential (Poisson-process) interarrivals, the
 //!   trace-shaped alternative to a fixed submission gap.
+//!
+//! Multi-week archives replay in bounded simulation time via the
+//! timeline knobs: [`WorkloadSpec::compress_arrivals`] divides every
+//! arrival/cancellation instant by a factor (preserving relative
+//! order), and [`WorkloadSpec::scale_work`] scales runtimes to match
+//! when the load factor should stay constant.
 //!
 //! ## Plugging a new trace format
 //!
@@ -54,4 +68,6 @@ pub mod swf;
 pub use generator::{generate_workload, poisson_workload};
 pub use malleability::MalleabilityModel;
 pub use spec::{JobShape, JobSpec, SizeClass, WorkloadError, WorkloadSpec};
-pub use swf::{load_workload, SwfError, SwfLoadConfig, SwfRecord};
+pub use swf::{
+    load_workload, workload_records, write_swf, write_workload, SwfError, SwfLoadConfig, SwfRecord,
+};

@@ -164,6 +164,13 @@ pub struct JobSpec {
     /// no-op in both engines — exactly like a real client cancelling a
     /// job name that has not been submitted yet.
     pub cancel_at: Option<Duration>,
+    /// User walltime estimate: how long the job is expected to run at
+    /// its requested size (SWF field 9, falling back to the actual run
+    /// time). Reservation-based backfilling (`EasyBackfill`) plans the
+    /// queue-head shadow start from these; `None` means "no estimate" —
+    /// such a job is treated as unbounded by reservation arithmetic and
+    /// can only backfill into slots no reservation will ever need.
+    pub walltime_estimate: Option<Duration>,
 }
 
 impl JobSpec {
@@ -176,6 +183,7 @@ impl JobSpec {
             priority,
             shape: JobShape::Class(class),
             cancel_at: None,
+            walltime_estimate: None,
         }
     }
 
@@ -198,6 +206,7 @@ impl JobSpec {
                 work,
             },
             cancel_at: None,
+            walltime_estimate: None,
         }
     }
 
@@ -210,6 +219,12 @@ impl JobSpec {
     /// Builder: injects a cancellation at `t`.
     pub fn cancelled_at(mut self, t: Duration) -> Self {
         self.cancel_at = Some(t);
+        self
+    }
+
+    /// Builder: sets the user walltime estimate.
+    pub fn with_walltime_estimate(mut self, estimate: Duration) -> Self {
+        self.walltime_estimate = Some(estimate);
         self
     }
 
@@ -257,6 +272,13 @@ pub enum WorkloadError {
         /// Its work value.
         work: f64,
     },
+    /// A job's walltime estimate is zero, negative or non-finite.
+    BadWalltime {
+        /// Offending job.
+        name: String,
+        /// Its estimate in seconds.
+        estimate_s: f64,
+    },
     /// Arrivals are not nondecreasing in job order.
     UnsortedArrivals {
         /// First job observed out of order.
@@ -274,6 +296,9 @@ impl std::fmt::Display for WorkloadError {
             }
             WorkloadError::BadWork { name, work } => {
                 write!(f, "{name}: bad work {work}")
+            }
+            WorkloadError::BadWalltime { name, estimate_s } => {
+                write!(f, "{name}: bad walltime estimate {estimate_s}s")
             }
             WorkloadError::UnsortedArrivals { name } => {
                 write!(f, "{name}: arrival earlier than its predecessor")
@@ -319,8 +344,60 @@ impl WorkloadSpec {
         self
     }
 
+    /// Builder: compresses the arrival timeline by `factor` — every
+    /// arrival *and* cancellation instant is divided by it, so a
+    /// multi-week archive trace replays in bounded simulation time
+    /// while the relative order of all timeline events (and each job's
+    /// cancellation offset, proportionally) is preserved. A factor
+    /// below 1 dilates instead. Work and walltime estimates are left
+    /// untouched — compressing only arrivals *raises* the offered load;
+    /// pair with [`WorkloadSpec::scale_work`] to keep the load factor
+    /// constant.
+    ///
+    /// # Panics
+    /// If `factor` is not finite and positive.
+    pub fn compress_arrivals(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression factor must be finite and > 0, got {factor}"
+        );
+        for job in &mut self.jobs {
+            job.arrival = Duration::from_secs(job.arrival.as_secs() / factor);
+            if let Some(c) = job.cancel_at {
+                job.cancel_at = Some(Duration::from_secs(c.as_secs() / factor));
+            }
+        }
+        self
+    }
+
+    /// Builder: scales every malleable job's work — and its walltime
+    /// estimate, which tracks runtime — by `factor` (class-shaped jobs
+    /// keep their class-defined step count; only their estimate
+    /// scales). Combined with
+    /// [`WorkloadSpec::compress_arrivals`] at the same factor this
+    /// replays a long trace faster at an unchanged load factor
+    /// (runtime/interarrival ratio).
+    ///
+    /// # Panics
+    /// If `factor` is not finite and positive.
+    pub fn scale_work(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "work scale factor must be finite and > 0, got {factor}"
+        );
+        for job in &mut self.jobs {
+            if let JobShape::Malleable { work, .. } = &mut job.shape {
+                *work *= factor;
+            }
+            if let Some(est) = job.walltime_estimate {
+                job.walltime_estimate = Some(Duration::from_secs(est.as_secs() * factor));
+            }
+        }
+        self
+    }
+
     /// Checks the engine contract: at least one job, unique names, sane
-    /// bounds and work, nondecreasing arrivals.
+    /// bounds, work and walltime estimates, nondecreasing arrivals.
     pub fn validate(&self) -> Result<(), WorkloadError> {
         if self.jobs.is_empty() {
             return Err(WorkloadError::Empty);
@@ -346,6 +423,15 @@ impl WorkloadSpec {
                     name: job.name.clone(),
                     work,
                 });
+            }
+            if let Some(est) = job.walltime_estimate {
+                let estimate_s = est.as_secs();
+                if !(estimate_s.is_finite() && estimate_s > 0.0) {
+                    return Err(WorkloadError::BadWalltime {
+                        name: job.name.clone(),
+                        estimate_s,
+                    });
+                }
             }
             if job.arrival < prev {
                 return Err(WorkloadError::UnsortedArrivals {
@@ -447,9 +533,70 @@ mod tests {
     fn builders_compose() {
         let j = JobSpec::malleable("j", 2, 4, 50.0, 3)
             .at(Duration::from_secs(7.0))
-            .cancelled_at(Duration::from_secs(30.0));
+            .cancelled_at(Duration::from_secs(30.0))
+            .with_walltime_estimate(Duration::from_secs(25.0));
         assert_eq!(j.arrival.as_secs(), 7.0);
         assert_eq!(j.cancel_at.unwrap().as_secs(), 30.0);
+        assert_eq!(j.walltime_estimate.unwrap().as_secs(), 25.0);
         assert_eq!(j.priority, 3);
+    }
+
+    #[test]
+    fn validate_rejects_bad_walltime_estimates() {
+        for bad in [0.0, -5.0, f64::INFINITY] {
+            let wl = WorkloadSpec::new(vec![JobSpec::malleable("w", 1, 4, 100.0, 1)
+                .with_walltime_estimate(Duration::from_secs(bad))]);
+            assert!(
+                matches!(wl.validate(), Err(WorkloadError::BadWalltime { .. })),
+                "estimate {bad} accepted"
+            );
+        }
+        let ok = WorkloadSpec::new(vec![JobSpec::malleable("w", 1, 4, 100.0, 1)
+            .with_walltime_estimate(Duration::from_secs(1.0))]);
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn compress_arrivals_preserves_order_and_cancellation_offsets() {
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("a", 1, 4, 100.0, 1).at(Duration::from_secs(0.0)),
+            JobSpec::malleable("b", 1, 4, 100.0, 1)
+                .at(Duration::from_secs(600.0))
+                .cancelled_at(Duration::from_secs(900.0)),
+            JobSpec::malleable("c", 1, 4, 100.0, 1).at(Duration::from_secs(1200.0)),
+        ])
+        .compress_arrivals(10.0);
+        let arrivals: Vec<f64> = wl.jobs.iter().map(|j| j.arrival.as_secs()).collect();
+        assert_eq!(arrivals, vec![0.0, 60.0, 120.0]);
+        // The cancellation instant compresses with the timeline, so its
+        // offset past the arrival scales by the same factor.
+        let b = &wl.jobs[1];
+        assert_eq!(b.cancel_at.unwrap().as_secs(), 90.0);
+        assert_eq!((b.cancel_at.unwrap() - b.arrival).as_secs(), 30.0);
+        assert!(wl.validate().is_ok());
+    }
+
+    #[test]
+    fn scale_work_scales_malleable_work_and_estimates() {
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("m", 2, 4, 400.0, 1)
+                .with_walltime_estimate(Duration::from_secs(100.0)),
+            JobSpec::of_class("c", SizeClass::Small, 1)
+                .with_walltime_estimate(Duration::from_secs(50.0)),
+        ])
+        .scale_work(0.5);
+        assert_eq!(wl.jobs[0].work(), 200.0);
+        assert_eq!(wl.jobs[0].walltime_estimate.unwrap().as_secs(), 50.0);
+        // Class jobs keep their class-defined steps; only the estimate
+        // scales.
+        assert_eq!(wl.jobs[1].work(), 40_000.0);
+        assert_eq!(wl.jobs[1].walltime_estimate.unwrap().as_secs(), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression factor")]
+    fn compress_rejects_nonpositive_factor() {
+        let _ =
+            WorkloadSpec::new(vec![JobSpec::malleable("a", 1, 2, 10.0, 1)]).compress_arrivals(0.0);
     }
 }

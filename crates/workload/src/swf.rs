@@ -412,6 +412,16 @@ pub fn load_workload<R: BufRead>(reader: R, cfg: &SwfLoadConfig) -> Result<Workl
                 job_id: r.job_id,
             });
         }
+        // Walltime estimate: the user's requested time (field 9), with
+        // the opposite fallback to the runtime pair — an archived record
+        // missing its estimate borrows the actual run time, so every
+        // loadable record carries an estimate for reservation-based
+        // backfilling (EASY).
+        let walltime_s = if r.requested_s > 0.0 && r.requested_s.is_finite() {
+            r.requested_s
+        } else {
+            runtime_s
+        };
         // Clamp to the *schedulable* worker capacity (cluster minus the
         // per-job reserved launcher slots) before computing work, so
         // the rigid annotation reproduces the (clamped) runtime exactly
@@ -431,7 +441,8 @@ pub fn load_workload<R: BufRead>(reader: R, cfg: &SwfLoadConfig) -> Result<Workl
                 runtime_s * f64::from(procs),
                 priority_of(&r),
             )
-            .at(Duration::from_secs(r.submit_s)),
+            .at(Duration::from_secs(r.submit_s))
+            .with_walltime_estimate(Duration::from_secs(walltime_s)),
         );
     }
     Ok(WorkloadSpec::new(jobs))
@@ -449,6 +460,80 @@ pub fn write_swf<W: std::io::Write>(
         writeln!(w, "{}", r.to_line())?;
     }
     Ok(())
+}
+
+/// Renders a [`WorkloadSpec`] as SWF records — the export side of the
+/// trace pipeline, so generated or annotated scenarios can be archived
+/// and replayed by any SWF consumer.
+///
+/// The mapping inverts [`load_workload`]'s rigid annotation: each job's
+/// processor count is its `max_replicas`, its run time is
+/// `work / processors` (exact for the linear-speedup annotation), and
+/// its walltime estimate becomes the requested time (field 9, `-1` when
+/// the job has none). When *every* job name parses as `swf{N}` with
+/// distinct `N`s (the loader's own naming), those ids are written back
+/// so a load → write → load round trip preserves names; any other
+/// naming uses 1-based positions throughout — mixing the two schemes
+/// could collide ids and produce a stream the loader rejects.
+/// Priorities 1–5 round-trip through the queue field; cancellations
+/// have no SWF field and are dropped.
+pub fn workload_records(workload: &WorkloadSpec) -> Vec<SwfRecord> {
+    let parsed_ids: Option<Vec<u64>> = workload
+        .jobs
+        .iter()
+        .map(|job| {
+            job.name
+                .strip_prefix("swf")
+                .and_then(|digits| digits.parse::<u64>().ok())
+        })
+        .collect();
+    let parsed_ids = parsed_ids.filter(|ids| {
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.windows(2).all(|w| w[0] != w[1])
+    });
+    workload
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, job)| {
+            let job_id = parsed_ids.as_ref().map_or(i as u64 + 1, |ids| ids[i]);
+            let procs = i64::from(job.max_replicas());
+            let run_s = job.work() / procs as f64;
+            SwfRecord {
+                job_id,
+                submit_s: job.arrival.as_secs(),
+                wait_s: -1.0,
+                run_s,
+                allocated_procs: procs,
+                avg_cpu_s: -1.0,
+                used_memory_kb: -1.0,
+                requested_procs: procs,
+                requested_s: job.walltime_estimate.map_or(-1.0, |d| d.as_secs()),
+                requested_memory_kb: -1.0,
+                status: 1,
+                user: -1,
+                group: -1,
+                executable: -1,
+                queue: i64::from(job.priority),
+                partition: -1,
+                preceding_job: -1,
+                think_s: -1.0,
+            }
+        })
+        .collect()
+}
+
+/// Writes a [`WorkloadSpec`] as an SWF stream (see [`workload_records`]
+/// for the field mapping). The inverse of [`load_workload`] for
+/// rigid-annotated workloads: loading the written stream with
+/// [`SwfLoadConfig::rigid`] at a sufficient cap reproduces the workload
+/// (modulo the walltime fallback for jobs that carried no estimate).
+pub fn write_workload<W: std::io::Write>(
+    w: &mut W,
+    workload: &WorkloadSpec,
+) -> std::io::Result<()> {
+    write_swf(w, workload_records(workload))
 }
 
 #[cfg(test)]
@@ -499,7 +584,23 @@ mod tests {
         );
         assert_eq!(wl.jobs[1].arrival.as_secs(), 30.0);
         assert_eq!(wl.jobs[1].priority, 2); // queue 2 → priority 2
+                                            // Field 9 (requested time) is the walltime estimate.
+        assert_eq!(wl.jobs[0].walltime_estimate.unwrap().as_secs(), 120.0);
+        assert_eq!(wl.jobs[1].walltime_estimate.unwrap().as_secs(), 240.0);
         assert!(wl.validate().is_ok());
+    }
+
+    #[test]
+    fn walltime_estimate_falls_back_to_actual_runtime() {
+        // requested_s = -1: the estimate borrows the actual run time.
+        let text = "1 0 -1 100 4 -1 -1 4 -1 -1 1 -1 -1 -1 1 -1 -1 -1\n";
+        let wl = load_workload(text.as_bytes(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(wl.jobs[0].walltime_estimate.unwrap().as_secs(), 100.0);
+        // run_s = -1: runtime AND estimate both come from requested_s.
+        let text = "1 0 -1 -1 4 -1 -1 4 300 -1 1 -1 -1 -1 1 -1 -1 -1\n";
+        let wl = load_workload(text.as_bytes(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(wl.jobs[0].work(), 300.0 * 4.0);
+        assert_eq!(wl.jobs[0].walltime_estimate.unwrap().as_secs(), 300.0);
     }
 
     #[test]
@@ -662,6 +763,62 @@ mod tests {
         assert_eq!(parsed, original);
     }
 
+    #[test]
+    fn workload_writer_round_trips_through_the_loader() {
+        let original = WorkloadSpec::new(vec![
+            JobSpec::malleable("swf0000003", 4, 4, 400.0, 2)
+                .at(Duration::from_secs(0.0))
+                .with_walltime_estimate(Duration::from_secs(150.0)),
+            JobSpec::malleable("swf0000007", 8, 8, 1600.0, 5).at(Duration::from_secs(60.0)),
+        ]);
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &original).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(loaded.jobs[0].name, "swf0000003");
+        assert_eq!(loaded.jobs[0].work(), 400.0);
+        assert_eq!(loaded.jobs[0].priority, 2);
+        assert_eq!(
+            loaded.jobs[0].walltime_estimate.unwrap().as_secs(),
+            150.0,
+            "explicit estimate survives via field 9"
+        );
+        // The estimate-less job wrote -1 into field 9; the loader's
+        // fallback fills it with the actual runtime (400 s at 8 procs
+        // on 1600 core-seconds = 200 s).
+        assert_eq!(loaded.jobs[1].walltime_estimate.unwrap().as_secs(), 200.0);
+        assert!(loaded.validate().is_ok());
+    }
+
+    #[test]
+    fn workload_writer_never_emits_colliding_ids_for_mixed_names() {
+        // "custom" would fall back to position 1 while "swf1" parses to
+        // id 1 — the writer must notice the mixed naming and use
+        // positions throughout, so its own output stays loadable.
+        let mixed = WorkloadSpec::new(vec![
+            JobSpec::malleable("custom", 2, 2, 100.0, 1),
+            JobSpec::malleable("swf0000001", 2, 2, 100.0, 1).at(Duration::from_secs(5.0)),
+        ]);
+        let recs = workload_records(&mixed);
+        assert_eq!(
+            recs.iter().map(|r| r.job_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &mixed).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(8)).unwrap();
+        assert_eq!(loaded.len(), 2);
+        // Same guard for duplicate parsed ids under different padding.
+        let dup = WorkloadSpec::new(vec![
+            JobSpec::malleable("swf1", 2, 2, 100.0, 1),
+            JobSpec::malleable("swf01", 2, 2, 100.0, 1).at(Duration::from_secs(5.0)),
+        ]);
+        let recs = workload_records(&dup);
+        assert_eq!(
+            recs.iter().map(|r| r.job_id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
     proptest::proptest! {
         /// parse(serialize(parse(serialize(r)))) == parse(serialize(r)):
         /// the textual form is a fixed point after one round trip, for
@@ -691,6 +848,86 @@ mod tests {
             write_swf(&mut buf2, [once]).unwrap();
             let (_, twice) = records(buf2.as_slice()).next().unwrap().unwrap();
             proptest::prop_assert_eq!(twice, once);
+        }
+
+        /// Record-level round trip for the walltime pair specifically:
+        /// the requested-time field survives serialization whether it is
+        /// a real estimate or the `-1` missing sentinel, and the loaded
+        /// workload's estimate follows the requested→actual fallback.
+        #[test]
+        fn walltime_fields_and_sentinels_round_trip(
+            run in 1u64..100_000,
+            procs in 1i64..64,
+            has_estimate in proptest::any::<bool>(),
+            estimate in 1u64..200_000,
+        ) {
+            let requested_s = if has_estimate { estimate as f64 } else { -1.0 };
+            let r = SwfRecord { requested_s, ..rec(1, 0.0, run as f64, procs) };
+            let mut buf = Vec::new();
+            write_swf(&mut buf, [r]).unwrap();
+            let (_, parsed) = records(buf.as_slice()).next().unwrap().unwrap();
+            proptest::prop_assert_eq!(parsed, r);
+            let wl = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+            let expect = if has_estimate { estimate as f64 } else { run as f64 };
+            proptest::prop_assert_eq!(
+                wl.jobs[0].walltime_estimate.unwrap().as_secs(),
+                expect
+            );
+        }
+
+        /// Workload-level round trip: write → load under a rigid config
+        /// reproduces every field of a rigid workload exactly (the only
+        /// non-identity is the documented walltime fallback for jobs
+        /// written without an estimate).
+        #[test]
+        fn workload_write_then_load_is_identity_for_rigid_workloads(
+            n in 1usize..12,
+            seed in proptest::any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut at = 0u64;
+            let jobs: Vec<JobSpec> = (0..n).map(|i| {
+                at += rng.gen_range(0..600);
+                let procs = rng.gen_range(1..=31u32);
+                let runtime = rng.gen_range(1..=10_000u64) as f64;
+                let mut j = JobSpec::malleable(
+                    format!("swf{:07}", i + 1),
+                    procs,
+                    procs,
+                    runtime * f64::from(procs),
+                    rng.gen_range(1..=5),
+                )
+                .at(Duration::from_secs(at as f64));
+                if rng.gen_bool(0.7) {
+                    j = j.with_walltime_estimate(
+                        Duration::from_secs(rng.gen_range(1..=20_000u64) as f64),
+                    );
+                }
+                j
+            }).collect();
+            let original = WorkloadSpec::new(jobs);
+            let mut buf = Vec::new();
+            write_workload(&mut buf, &original).unwrap();
+            let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(32)).unwrap();
+            proptest::prop_assert_eq!(loaded.len(), original.len());
+            for (a, b) in original.jobs.iter().zip(&loaded.jobs) {
+                proptest::prop_assert_eq!(&a.name, &b.name);
+                proptest::prop_assert_eq!(a.arrival, b.arrival);
+                proptest::prop_assert_eq!(a.priority, b.priority);
+                proptest::prop_assert_eq!(a.min_replicas(), b.min_replicas());
+                proptest::prop_assert_eq!(a.max_replicas(), b.max_replicas());
+                proptest::prop_assert!((a.work() - b.work()).abs() < 1e-6);
+                match a.walltime_estimate {
+                    Some(est) => proptest::prop_assert_eq!(Some(est), b.walltime_estimate),
+                    // -1 sentinel: the loader fills the estimate from
+                    // the actual runtime.
+                    None => proptest::prop_assert_eq!(
+                        b.walltime_estimate.unwrap().as_secs(),
+                        a.work() / f64::from(a.max_replicas())
+                    ),
+                }
+            }
         }
     }
 }

@@ -26,6 +26,7 @@ fn jacobi_job(
         min_replicas: min,
         max_replicas: max,
         priority,
+        walltime_estimate: None,
         app: AppSpec::Jacobi {
             grid,
             blocks: 4,

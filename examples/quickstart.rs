@@ -18,6 +18,7 @@ fn job(name: &str, priority: u32, min: u32, max: u32, iters: u64) -> CharmJobSpe
         min_replicas: min,
         max_replicas: max,
         priority,
+        walltime_estimate: None,
         app: AppSpec::Modeled { total_iters: iters },
     }
 }

@@ -42,6 +42,7 @@ fn mini_actual_campaign_with_real_jobs() {
         min_replicas: min,
         max_replicas: max,
         priority: prio,
+        walltime_estimate: None,
         app: AppSpec::Jacobi {
             grid: 256,
             blocks: 4,
