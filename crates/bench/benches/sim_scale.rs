@@ -28,6 +28,12 @@
 //! emits the cases it measured to `target/bench_fresh/` for the CI
 //! bench gate (`bench_gate` compares them — matching cases only —
 //! against the committed baseline).
+//!
+//! Since PR 6 every replay here also exercises the fault layer with an
+//! empty `FaultSpec` (the workloads carry one by default), so the
+//! bench-gate comparison doubles as the fault layer's zero-cost check:
+//! a fault-free replay through the fault-threaded engine must stay
+//! within the gate's 25% tolerance of the committed pre-fault baseline.
 
 use std::path::PathBuf;
 use std::time::Instant;

@@ -1,9 +1,11 @@
 //! EASY vs conservative backfilling under rising trace load.
 //!
-//! Replays the bundled SWF trace through the DES under both rigid
+//! Replays the bundled SWF trace through the DES under three rigid
 //! backfilling baselines — `FcfsBackfill` (reservation-less, patience
-//! guard) and `EasyBackfill` (shadow reservations on walltime
-//! estimates) — at a sweep of arrival-compression factors
+//! guard), `EasyBackfill` (shadow reservations on walltime estimates,
+//! FCFS candidate order), and `EasyBackfill::sjbf()` (same reservation,
+//! shortest-job-first candidate order) — at a sweep of
+//! arrival-compression factors
 //! (`WorkloadSpec::compress_arrivals`): factor 1 is the archive's own
 //! timeline, larger factors squeeze the same jobs into less time, so
 //! the queue deepens and the backfilling discipline starts to matter.
@@ -73,17 +75,21 @@ fn main() {
         "weighted_completion_s",
         "bounded_slowdown",
     ]);
-    let mut curves: Vec<(&str, Vec<(f64, f64)>)> =
-        vec![("fcfs_backfill", Vec::new()), ("easy_backfill", Vec::new())];
+    let mut curves: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        ("fcfs_backfill", Vec::new()),
+        ("easy_backfill", Vec::new()),
+        ("easy_sjbf", Vec::new()),
+    ];
     let mut easy_wins = 0usize;
     for factor in FACTORS {
         let wl = base.clone().compress_arrivals(factor);
         let fcfs = replay(Box::new(FcfsBackfill::new()), capacity, &wl);
         let easy = replay(Box::new(EasyBackfill::new()), capacity, &wl);
+        let sjbf = replay(Box::new(EasyBackfill::sjbf()), capacity, &wl);
         if easy.mean_bounded_slowdown <= fcfs.mean_bounded_slowdown {
             easy_wins += 1;
         }
-        for m in [&fcfs, &easy] {
+        for m in [&fcfs, &easy, &sjbf] {
             println!("  x{factor:<4} {}", m.table_row());
             table.row([
                 format!("{factor}"),
@@ -97,6 +103,7 @@ fn main() {
         }
         curves[0].1.push((factor, fcfs.mean_bounded_slowdown));
         curves[1].1.push((factor, easy.mean_bounded_slowdown));
+        curves[2].1.push((factor, sjbf.mean_bounded_slowdown));
     }
     emit_csv(&table, "easy_vs_conservative.csv");
     println!(

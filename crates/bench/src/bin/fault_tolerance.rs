@@ -1,0 +1,173 @@
+//! Fault-tolerance sweep: recovery strategies under spot reclamation.
+//!
+//! Replays the bundled SWF trace (elastic malleability model) through
+//! the DES while a seeded reclamation schedule repeatedly takes a block
+//! of slots away and gives it back ([`FaultSpec::reclamation`]). Three
+//! recovery strategies wrap the same elastic policy:
+//!
+//! - `shrink` ([`RecoveryStrategy::ShrinkOnReclaim`]) — malleable jobs
+//!   give slots back by shrinking toward their minimum; nothing is
+//!   killed unless shrinking cannot cover the deficit. No work is lost
+//!   for deficits the shrink range absorbs.
+//! - `ckpt` ([`RecoveryStrategy::CheckpointRestart`]) — lowest-priority
+//!   running jobs are evicted and later restart from their last
+//!   periodic checkpoint, paying the measured restart overhead
+//!   ([`OverheadModel::recovery_total`], calibrated from
+//!   `BENCH_rescale.json`) plus the work since the checkpoint.
+//! - `kill` ([`RecoveryStrategy::KillRequeue`]) — lowest-priority
+//!   running jobs are killed outright and resubmitted from scratch
+//!   after an exponential backoff; the whole attempt is wasted.
+//!
+//! The sweep runs each strategy at increasing reclamation intensities
+//! (0, 1, 2, 4 reclaim/return pairs over the trace horizon) and emits
+//! `results/fault_tolerance.csv` with bounded slowdown, wasted
+//! core-seconds, and the recovery tallies. The shape worth reading off:
+//! shrink wastes (near) zero work but squeezes running jobs; ckpt
+//! wastes only the checkpoint remainder; kill wastes whole attempts and
+//! its bsld grows fastest with intensity.
+//!
+//! Usage: `fault_tolerance [--trace path.swf] [--capacity N] [--slots N]`
+
+use std::io::BufRead;
+
+use elastic_bench::{emit_csv, flag_u64, flag_value, CsvTable};
+use elastic_core::{Policy, PolicyConfig, RecoveryPolicy, RecoveryStrategy, RunMetrics};
+use hpc_metrics::{ascii, Duration};
+use sched_sim::{load_workload, FaultSpec, SwfLoadConfig, WorkloadSpec};
+use sched_sim::{simulate, OverheadModel, ScalingModel, SimConfig};
+
+/// Reclaim/return pairs injected over the trace horizon.
+const INTENSITIES: [u32; 4] = [0, 1, 2, 4];
+
+/// Seed for the deterministic reclamation schedule.
+const SEED: u64 = 7;
+
+fn bundled_trace_path() -> String {
+    // crates/bench -> workspace root.
+    format!("{}/../../tests/data/sample.swf", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load(path: &str, capacity: u32) -> WorkloadSpec {
+    let file = std::fs::File::open(path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+    let reader: Box<dyn BufRead> = Box::new(std::io::BufReader::new(file));
+    let wl = load_workload(reader, &SwfLoadConfig::elastic(capacity))
+        .unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    wl.validate().expect("trace is replayable");
+    wl
+}
+
+/// Last arrival plus the longest walltime estimate: a horizon that
+/// keeps every reclamation inside the busy part of the replay.
+fn horizon(wl: &WorkloadSpec) -> Duration {
+    let last = wl
+        .jobs
+        .iter()
+        .map(|j| j.arrival)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    let longest = wl
+        .jobs
+        .iter()
+        .filter_map(|j| j.walltime_estimate)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    last + longest
+}
+
+fn replay(strategy: RecoveryStrategy, capacity: u32, wl: &WorkloadSpec) -> RunMetrics {
+    let cfg = SimConfig {
+        capacity,
+        policy: Box::new(RecoveryPolicy::new(
+            Box::new(Policy::elastic(PolicyConfig::default())),
+            strategy,
+        )),
+        scaling: ScalingModel::default(),
+        overhead: OverheadModel::default(),
+        cancellations: Vec::new(),
+    };
+    simulate(&cfg, wl).metrics
+}
+
+fn label(strategy: RecoveryStrategy) -> &'static str {
+    match strategy {
+        RecoveryStrategy::ShrinkOnReclaim => "shrink",
+        RecoveryStrategy::CheckpointRestart => "ckpt",
+        RecoveryStrategy::KillRequeue => "kill",
+    }
+}
+
+fn main() {
+    let capacity = flag_u64("--capacity", 32) as u32;
+    let slots = flag_u64("--slots", (capacity / 4).max(1).into()) as u32;
+    let path = flag_value("--trace").unwrap_or_else(bundled_trace_path);
+    let base = load(&path, capacity);
+    let horizon = horizon(&base);
+    println!(
+        "== Fault tolerance: {} jobs from {path}, {capacity} slots, \
+         reclamations of {slots} slots over {:.0}s ==",
+        base.len(),
+        horizon.as_secs()
+    );
+
+    let strategies = [
+        RecoveryStrategy::ShrinkOnReclaim,
+        RecoveryStrategy::CheckpointRestart,
+        RecoveryStrategy::KillRequeue,
+    ];
+    let mut table = CsvTable::new([
+        "reclaim_pairs",
+        "strategy",
+        "utilization",
+        "total_time_s",
+        "bounded_slowdown",
+        "wasted_core_seconds",
+        "evictions",
+        "requeues",
+        "permanent_failures",
+    ]);
+    let mut curves: Vec<(&str, Vec<(f64, f64)>)> =
+        strategies.iter().map(|&s| (label(s), Vec::new())).collect();
+    for pairs in INTENSITIES {
+        let faults =
+            FaultSpec::reclamation(SEED, pairs, slots, horizon, Duration::from_secs(600.0));
+        let wl = base.clone().with_faults(faults);
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let m = replay(strategy, capacity, &wl);
+            println!(
+                "  pairs={pairs} {:<6} bsld={:<7.3} wasted={:<10.0} \
+                 evict={:<3} requeue={:<3} failed={}",
+                label(strategy),
+                m.mean_bounded_slowdown,
+                m.faults.wasted_core_seconds,
+                m.faults.evictions,
+                m.faults.requeues,
+                m.faults.permanent_failures,
+            );
+            table.row([
+                format!("{pairs}"),
+                label(strategy).to_string(),
+                format!("{:.4}", m.utilization),
+                format!("{:.2}", m.total_time),
+                format!("{:.3}", m.mean_bounded_slowdown),
+                format!("{:.1}", m.faults.wasted_core_seconds),
+                format!("{}", m.faults.evictions),
+                format!("{}", m.faults.requeues),
+                format!("{}", m.faults.permanent_failures),
+            ]);
+            curves[i]
+                .1
+                .push((f64::from(pairs), m.faults.wasted_core_seconds));
+        }
+    }
+    emit_csv(&table, "fault_tolerance.csv");
+    println!(
+        "{}",
+        ascii::line_chart(
+            "wasted core-seconds vs reclamation intensity",
+            &curves,
+            64,
+            12,
+            false,
+        )
+    );
+}

@@ -114,12 +114,18 @@ pub enum JobPhase {
     Completed,
     /// Cancelled by the client before finishing; resources released.
     Cancelled,
+    /// Permanently failed: killed-and-requeued until the fault layer's
+    /// retry budget ran out. Resources released; never rescheduled.
+    Failed,
 }
 
 impl JobPhase {
     /// `true` for the end-of-life phases a job never leaves.
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobPhase::Completed | JobPhase::Cancelled)
+        matches!(
+            self,
+            JobPhase::Completed | JobPhase::Cancelled | JobPhase::Failed
+        )
     }
 }
 
@@ -149,6 +155,13 @@ pub struct CharmJobStatus {
     ///
     /// [`SchedulerClient::cancel`]: crate::client::SchedulerClient::cancel
     pub cancel_requested: bool,
+    /// When the fault layer kill-and-requeued this job, the time its
+    /// backoff expires and it re-enters the scheduling queue. The
+    /// scheduler orders a requeued job by this time (it lost its
+    /// original place); metrics keep using `submitted_at`.
+    pub requeued_at: Option<SimTime>,
+    /// Kill-and-requeue attempts consumed from the retry budget.
+    pub attempts: u32,
 }
 
 impl CharmJobStatus {
@@ -163,6 +176,8 @@ impl CharmJobStatus {
             started_at: None,
             completed_at: None,
             cancel_requested: false,
+            requeued_at: None,
+            attempts: 0,
         }
     }
 
@@ -199,6 +214,29 @@ impl CharmJob {
 impl Resource for CharmJob {
     fn name(&self) -> &str {
         &self.spec.name
+    }
+}
+
+/// A fault notice posted to the control plane: the operator analogue of
+/// the DES fault events. The infrastructure layer (or the harness
+/// replaying a [`hpc_workload::FaultSpec`]) creates one per fault
+/// occurrence; the operator's watch picks it up and drives the policy's
+/// `on_fault` surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultNotice {
+    /// Unique notice name (e.g. `fault-0003`).
+    pub name: String,
+    /// When the fault occurred.
+    pub at: SimTime,
+    /// Worker slots lost (or, for returns, restored).
+    pub slots: u32,
+    /// What happened (failure, reclamation or capacity return).
+    pub kind: hpc_workload::FaultKind,
+}
+
+impl Resource for FaultNotice {
+    fn name(&self) -> &str {
+        &self.name
     }
 }
 
@@ -241,6 +279,7 @@ mod tests {
     fn terminal_phases() {
         assert!(JobPhase::Completed.is_terminal());
         assert!(JobPhase::Cancelled.is_terminal());
+        assert!(JobPhase::Failed.is_terminal());
         for phase in [JobPhase::Queued, JobPhase::Starting, JobPhase::Running] {
             assert!(!phase.is_terminal());
         }

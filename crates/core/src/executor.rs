@@ -50,6 +50,20 @@ pub trait ExecHandle: Send {
 
     /// Requests early termination and releases resources.
     fn stop(&mut self);
+
+    /// Iterations preserved by the job's most recent periodic
+    /// checkpoint, given checkpoints are cut every `interval` since
+    /// `started_at`. `None` means the executor cannot recover partial
+    /// progress (the fault layer then restarts the job from scratch).
+    fn checkpointed_iters(
+        &mut self,
+        started_at: SimTime,
+        now: SimTime,
+        interval: Duration,
+    ) -> Option<f64> {
+        let _ = (started_at, now, interval);
+        None
+    }
 }
 
 /// Launches jobs.
@@ -333,6 +347,24 @@ impl ExecHandle for ModelHandle {
     fn stop(&mut self) {
         self.stopped = true;
     }
+
+    fn checkpointed_iters(
+        &mut self,
+        started_at: SimTime,
+        now: SimTime,
+        interval: Duration,
+    ) -> Option<f64> {
+        self.advance(now);
+        // Last checkpoint boundary at or before `now`; progress since it
+        // is lost, so replay the modeled speed backwards over that tail.
+        let t = interval.as_secs();
+        assert!(t > 0.0, "checkpoint interval must be positive");
+        let elapsed = (now - started_at).as_secs().max(0.0);
+        let boundary = started_at + Duration::from_secs((elapsed / t).floor() * t);
+        let since = (now.max(boundary) - boundary).as_secs();
+        let lost = (self.speed)(&self.spec, self.replicas) * since;
+        Some((self.iters - lost).max(0.0))
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +412,20 @@ mod tests {
         assert_eq!(h.status(), ExecStatus::Running { iters: 40 });
         clock.advance(Duration::from_secs(10.0)); // 80 more at 8/s
         assert_eq!(h.status(), ExecStatus::Running { iters: 120 });
+    }
+
+    #[test]
+    fn model_checkpointed_iters_roll_back_to_the_boundary() {
+        let clock = VirtualClock::new();
+        let mut ex = ModelExecutor::ideal(Arc::new(clock.clone()));
+        let mut h = ex.launch(&spec(100_000), 4);
+        let start = clock.now();
+        clock.advance(Duration::from_secs(70.0)); // 280 iters at 4/s
+                                                  // Checkpoints every 30 s: last boundary at t=60 → 240 iters kept.
+        let kept = h
+            .checkpointed_iters(start, clock.now(), Duration::from_secs(30.0))
+            .unwrap();
+        assert!((kept - 240.0).abs() < 1e-9, "{kept}");
     }
 
     #[test]

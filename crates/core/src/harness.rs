@@ -35,7 +35,7 @@ use hpc_metrics::{Clock, Duration, VirtualClock};
 use hpc_workload::WorkloadSpec;
 
 use crate::client::SchedulerClient;
-use crate::crd::{AppSpec, CharmJobSpec};
+use crate::crd::{AppSpec, CharmJobSpec, FaultNotice};
 use crate::operator::CharmOperator;
 use crate::report::RunMetrics;
 
@@ -211,9 +211,16 @@ pub fn run_virtual(
 /// deleting pods (they hold node capacity until then), and drain 3
 /// binds and starts the admitted job's pods so it launches at the
 /// completion timestamp — not one to two ticks later. `tick` must
-/// divide the workload's arrival times for the submission timestamps
-/// to be exact.
+/// divide the workload's arrival times (and fault times) for the event
+/// timestamps to be exact.
 ///
+/// The workload's [`FaultSpec`] is installed on the operator and its
+/// events are replayed as [`FaultNotice`]s posted to the fault store as
+/// they fall due — the operator-side rendering of the DES's fault
+/// events. Fault instants must not collide with a policy-timer firing:
+/// the engines order those two differently within one instant.
+///
+/// [`FaultSpec`]: hpc_workload::FaultSpec
 /// [`SchedulerClient`]: crate::client::SchedulerClient
 pub fn run_workload_virtual(
     op: &mut CharmOperator,
@@ -224,10 +231,12 @@ pub fn run_workload_virtual(
 ) -> RunMetrics {
     assert!(tick.as_secs() > 0.0, "tick must be positive");
     let schedule = Schedule::from_workload(workload);
+    op.set_fault_spec(workload.faults.clone());
     let client = op.client();
     let start = clock.now();
     let mut next_submit = 0usize;
     let mut next_cancel = 0usize;
+    let mut next_fault = 0usize;
     loop {
         let now = clock.now();
         let elapsed = now - start;
@@ -238,6 +247,20 @@ pub fn run_workload_virtual(
             &mut next_submit,
             &mut next_cancel,
         );
+        while next_fault < workload.faults.events.len()
+            && elapsed >= workload.faults.events[next_fault].at
+        {
+            let e = workload.faults.events[next_fault];
+            op.faults
+                .create(FaultNotice {
+                    name: format!("fault-{next_fault:04}"),
+                    at: start + e.at,
+                    slots: e.slots,
+                    kind: e.kind,
+                })
+                .expect("fresh fault notice");
+            next_fault += 1;
+        }
         // Same-instant resolution of completion → free → admit → launch
         // chains (see the function docs for what each drain settles).
         op.tick();

@@ -125,6 +125,74 @@
 //! which wraps any inner policy with a periodic starvation-aging
 //! sweep.
 //!
+//! ## The fault layer: policies see capacity loss
+//!
+//! Node failures and spot reclamations reach the policy through a
+//! fourth surface, [`SchedulingPolicy::on_fault`]: the engine marks the
+//! lost slots failed in the view — opening a [`ClusterView::deficit`]
+//! when the fault landed on occupied slots — and the policy must answer
+//! with actions that cover the deficit: [`Action::Evict`]
+//! (checkpoint/restart preemption), [`Action::Requeue`] (kill and
+//! resubmit after a backoff, bounded by a retry budget) or ordinary
+//! `Shrink`s of malleable jobs. [`RecoveryPolicy`] packages the three
+//! classic disciplines as a decorator over any inner policy:
+//!
+//! ```
+//! use elastic_core::{
+//!     apply_action, Action, ClusterView, JobState, Policy, PolicyConfig, RecoveryPolicy,
+//!     RecoveryStrategy, SchedulingPolicy,
+//! };
+//! use hpc_metrics::{Duration, JobId, SimTime};
+//! use hpc_workload::{FaultEvent, FaultKind};
+//!
+//! let mut view = ClusterView::new(32);
+//! let running = |id: u32, prio: u32, min: u32, replicas: u32| JobState {
+//!     id: JobId(id),
+//!     min_replicas: min,
+//!     max_replicas: 16,
+//!     priority: prio,
+//!     submitted_at: SimTime::ZERO,
+//!     replicas,
+//!     last_action: SimTime::ZERO,
+//!     running: true,
+//!     walltime_estimate: None,
+//! };
+//! view.insert(running(0, 5, 2, 8), 1); // high priority, 8 workers + launcher
+//! view.insert(running(1, 1, 2, 8), 1); // low priority, 8 workers + launcher
+//! assert_eq!(view.free_slots(), 14);
+//!
+//! // A spot reclamation takes 20 slots: 14 were free, 6 were occupied.
+//! view.fail_slots(20);
+//! assert_eq!(view.deficit(), 6);
+//!
+//! let policy = RecoveryPolicy::new(
+//!     Box::new(Policy::elastic(PolicyConfig::default())),
+//!     RecoveryStrategy::ShrinkOnReclaim,
+//! );
+//! let now = SimTime::from_secs(100.0);
+//! let fault = FaultEvent {
+//!     at: Duration::from_secs(100.0),
+//!     slots: 20,
+//!     kind: FaultKind::Reclaim,
+//! };
+//! let actions = policy.on_fault(&view, &fault, now);
+//! // The elastic answer: shrink the low-priority job down to its
+//! // minimum — nobody is evicted and no work is lost.
+//! assert_eq!(actions, vec![Action::Shrink { job: JobId(1), to_replicas: 2 }]);
+//! for a in &actions {
+//!     apply_action(&mut view, a, now, 1);
+//! }
+//! assert_eq!(view.deficit(), 0, "the policy covered the deficit");
+//! ```
+//!
+//! Engines assert the deficit is zero after applying the plan, then run
+//! the usual `on_complete` redistribution. When the reclaimed capacity
+//! returns (a `FaultKind::Return` event), the slots rejoin the free
+//! pool and the policy may expand or admit into them. Both engines
+//! maintain [`FaultStats`] (wasted core-seconds, evictions, requeues,
+//! permanent failures) at the same event boundaries, so fault-laden
+//! replays still cross-validate bit-identically.
+//!
 //! ## Module layering
 //!
 //! * [`crd`] — the CharmJob custom resource (min/max replicas,
@@ -156,15 +224,15 @@ pub mod report;
 pub mod view;
 
 pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient};
-pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
+pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, FaultNotice, JobPhase};
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
 pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;
 pub use operator::CharmOperator;
 pub use policy::{
-    AgingSweep, EasyBackfill, FcfsBackfill, Policy, PolicyConfig, PolicyKind, Reservation,
-    SchedulingPolicy,
+    AgingSweep, EasyBackfill, FcfsBackfill, Policy, PolicyConfig, PolicyKind, RecoveryPolicy,
+    RecoveryStrategy, Reservation, SchedulingPolicy,
 };
 pub use registry::JobRegistry;
-pub use report::{JobOutcome, RunMetrics, BSLD_TAU_S};
+pub use report::{FaultStats, JobOutcome, RunMetrics, BSLD_TAU_S};
 pub use view::{apply_action, Action, ClusterView, JobState};

@@ -52,18 +52,19 @@
 //! [`Store::list_watch`]: kube_sim::Store::list_watch
 //! [`JobRegistry`]: crate::registry::JobRegistry
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use crossbeam::channel::Receiver;
-use hpc_metrics::{JobId, SimTime, UtilizationRecorder};
+use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
+use hpc_workload::{FaultEvent, FaultKind, FaultSpec};
 use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store, WatchEvent};
 
 use crate::client::SchedulerClient;
-use crate::crd::{CharmJob, CharmJobSpec, JobPhase};
+use crate::crd::{AppSpec, CharmJob, CharmJobSpec, FaultNotice, JobPhase};
 use crate::executor::{ExecHandle, ExecStatus, Executor};
 use crate::policy::SchedulingPolicy;
 use crate::registry::JobRegistry;
-use crate::report::{JobOutcome, RunMetrics};
+use crate::report::{FaultStats, JobOutcome, RunMetrics};
 use crate::view::{self, Action, ClusterView, JobState};
 
 /// In-flight rescale state machine per job.
@@ -93,6 +94,10 @@ pub struct CharmOperator {
     pub plane: ControlPlane,
     /// CharmJob CRD store.
     pub jobs: Store<CharmJob>,
+    /// Fault notices posted by the infrastructure layer (or the harness
+    /// replaying a [`FaultSpec`]); the operator watches this store the
+    /// same way it watches jobs and pods.
+    pub faults: Store<FaultNotice>,
     /// Operator event log.
     pub events: EventLog,
     policy: Box<dyn SchedulingPolicy>,
@@ -112,11 +117,27 @@ pub struct CharmOperator {
     jobs_rx: Receiver<WatchEvent<CharmJob>>,
     /// Watch stream over the pod store (launch/expand progress).
     pods_rx: Receiver<WatchEvent<Pod>>,
+    /// Watch stream over the fault-notice store.
+    faults_rx: Receiver<WatchEvent<FaultNotice>>,
     /// Jobs whose admission decision has already run — both drive modes
     /// consult it so a submission is planned exactly once.
     planned: HashSet<JobId>,
     /// Next policy-timer deadline, if the policy requested one.
     next_timer: Option<SimTime>,
+    /// Recovery parameters (checkpoint interval, retry budget, backoff).
+    fault_spec: FaultSpec,
+    /// Kill-and-requeued jobs waiting out their backoff, ordered by the
+    /// instant they re-enter the queue.
+    pending_requeues: BTreeSet<(SimTime, JobId)>,
+    /// Checkpointed iterations evicted jobs restart from.
+    retained_iters: HashMap<JobId, f64>,
+    /// Per-job (core-seconds already banked this attempt, time of the
+    /// last allocation change) — flushed into wasted work on requeue.
+    /// Updated only at allocation boundaries, mirroring the DES, so
+    /// wasted core-seconds cross-validate bit-identically.
+    attempt_ledger: HashMap<JobId, (f64, SimTime)>,
+    /// Fault-recovery tallies for [`RunMetrics`].
+    fault_stats: FaultStats,
 }
 
 impl CharmOperator {
@@ -129,6 +150,7 @@ impl CharmOperator {
     ) -> Self {
         let capacity = plane.capacity().max(1);
         let jobs: Store<CharmJob> = Store::new();
+        let faults: Store<FaultNotice> = Store::new();
         // list+watch atomically: nothing submitted between "now" and the
         // first reconcile can be missed (the jobs store is freshly
         // created, so the snapshot is empty by construction; the pods
@@ -136,11 +158,13 @@ impl CharmOperator {
         // creates them).
         let (_, jobs_rx) = jobs.list_watch();
         let (_, pods_rx) = plane.pods.list_watch();
+        let (_, faults_rx) = faults.list_watch();
         let next_timer = policy.timer_interval().map(|iv| plane.now() + iv);
         CharmOperator {
             view: ClusterView::new(plane.capacity()),
             plane,
             jobs,
+            faults,
             events: EventLog::new(),
             policy,
             executor,
@@ -153,9 +177,28 @@ impl CharmOperator {
             cancel_count: 0,
             jobs_rx,
             pods_rx,
+            faults_rx,
             planned: HashSet::new(),
             next_timer,
+            fault_spec: FaultSpec::default(),
+            pending_requeues: BTreeSet::new(),
+            retained_iters: HashMap::new(),
+            attempt_ledger: HashMap::new(),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Installs the recovery parameters (checkpoint interval, retry
+    /// budget, backoff base) the fault layer uses. The event schedule
+    /// inside `spec` is *not* replayed here — faults reach the operator
+    /// as [`FaultNotice`]s on [`CharmOperator::faults`].
+    pub fn set_fault_spec(&mut self, spec: FaultSpec) {
+        self.fault_spec = spec;
+    }
+
+    /// Fault-recovery tallies accumulated so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// The active policy.
@@ -214,6 +257,7 @@ impl CharmOperator {
     pub fn rebuild_view(&self) -> ClusterView {
         let capacity = self.plane.capacity();
         let launcher = self.policy.launcher_slots();
+        let now = self.plane.now();
         let mut view = ClusterView::new(capacity);
         let mut committed = 0u32;
         for stored in self.jobs.list() {
@@ -227,6 +271,13 @@ impl CharmOperator {
             let Some(id) = self.registry.id(&job.spec.name) else {
                 continue;
             };
+            // A kill-and-requeued job waiting out its backoff is alive
+            // but absent from the view until its re-entry instant.
+            if job.status.phase == JobPhase::Queued
+                && job.status.requeued_at.is_some_and(|due| due > now)
+            {
+                continue;
+            }
             let running = matches!(job.status.phase, JobPhase::Starting | JobPhase::Running);
             if running {
                 committed += job.status.desired_replicas + launcher;
@@ -237,7 +288,9 @@ impl CharmOperator {
                     min_replicas: job.spec.min_replicas,
                     max_replicas: job.spec.max_replicas,
                     priority: job.spec.priority,
-                    submitted_at: job.status.submitted_at,
+                    // A requeued job lost its original queue position:
+                    // the scheduler orders it by its re-entry time.
+                    submitted_at: job.status.requeued_at.unwrap_or(job.status.submitted_at),
                     replicas: if running {
                         job.status.desired_replicas
                     } else {
@@ -251,6 +304,11 @@ impl CharmOperator {
             );
         }
         view.set_free_slots(capacity.saturating_sub(committed));
+        // Replay the fault counters: `capacity - committed` is the
+        // pre-fault free count, and failing `failed` slots from there
+        // reproduces exactly (free, failed, deficit) because
+        // free > 0 implies deficit == 0.
+        view.fail_slots(self.view.failed_slots());
         view
     }
 
@@ -280,6 +338,14 @@ impl CharmOperator {
                 Action::Cancel { job } => {
                     let name = self.registry.name(job).to_string();
                     self.cancel_job(&name, now);
+                }
+                Action::Evict { job } => {
+                    view::apply_action(&mut self.view, action, now, launcher);
+                    self.evict_job(job, now);
+                }
+                Action::Requeue { job } => {
+                    view::apply_action(&mut self.view, action, now, launcher);
+                    self.requeue_job(job, now);
                 }
             }
         }
@@ -355,13 +421,32 @@ impl CharmOperator {
         self.create_workers(job, replicas, now);
         self.update_nodelist(&name);
         self.util.set(now, job, replicas);
+        // A fresh attempt: nothing banked yet, allocated from `now`.
+        self.attempt_ledger.insert(job, (0.0, now));
         self.events
             .record(now, &name, "Created", format!("{replicas} replicas"));
+    }
+
+    /// Banks the current allocation period into the job's attempt
+    /// ledger at an allocation change (`prev` replicas held since the
+    /// last boundary). Same instants as the DES's accounting, so wasted
+    /// core-seconds stay bit-identical across engines.
+    fn bank_allocation(&mut self, job: JobId, prev: u32, now: SimTime) {
+        if let Some((acc, since)) = self.attempt_ledger.get_mut(&job) {
+            *acc += f64::from(prev) * (now - *since).as_secs();
+            *since = now;
+        }
     }
 
     fn start_shrink(&mut self, job: JobId, target: u32, now: SimTime) {
         let name = self.registry.name(job).to_string();
         self.rescale_count += 1;
+        let prev = self
+            .jobs
+            .get(&name)
+            .map(|j| j.obj.status.desired_replicas)
+            .unwrap_or(0);
+        self.bank_allocation(job, prev, now);
         self.jobs
             .update(&name, |j| {
                 j.status.desired_replicas = target;
@@ -395,6 +480,12 @@ impl CharmOperator {
             .get(&name)
             .map(|j| j.obj.status.replicas)
             .unwrap_or(0);
+        let prev = self
+            .jobs
+            .get(&name)
+            .map(|j| j.obj.status.desired_replicas)
+            .unwrap_or(0);
+        self.bank_allocation(job, prev, now);
         self.jobs
             .update(&name, |j| {
                 j.status.desired_replicas = target;
@@ -483,6 +574,10 @@ impl CharmOperator {
             handle.stop(); // executor kill path
         }
         self.flows.remove(&id);
+        self.retained_iters.remove(&id);
+        self.attempt_ledger.remove(&id);
+        // Tolerant of jobs not in the view (e.g. cancelled while waiting
+        // out a requeue backoff): `remove` returns an Option.
         self.view.remove(id, self.policy.launcher_slots());
         for pod in self.plane.pods_of_job(name) {
             self.plane.delete_pod(&pod.name);
@@ -504,6 +599,219 @@ impl CharmOperator {
             // the policy reassigns them in the same reconcile.
             let actions = self.policy.on_complete(&self.view, now);
             self.apply_actions(&actions, now);
+        }
+    }
+
+    /// Checkpoint/restart preemption ([`Action::Evict`]): stop the
+    /// application, tear its pods down, and demote the job back to
+    /// `Queued` keeping the progress of its last periodic checkpoint.
+    /// Work since that checkpoint is wasted; the retained iterations are
+    /// replayed into the executor when the job relaunches. The caller
+    /// (`apply_actions`) has already applied the view-side demotion.
+    fn evict_job(&mut self, job: JobId, now: SimTime) {
+        let name = self.registry.name(job).to_string();
+        let stored = self.jobs.get(&name).expect("evicting job exists");
+        let replicas = stored.obj.status.desired_replicas;
+        let started = stored.obj.status.started_at;
+        self.fault_stats.evictions += 1;
+        let interval = self.fault_spec.checkpoint_interval;
+        let retained = match (self.handles.get_mut(&job), started) {
+            (Some(handle), Some(started_at)) => {
+                handle.checkpointed_iters(started_at, now, interval)
+            }
+            _ => None,
+        };
+        if let Some(started_at) = started {
+            // The tail since the last checkpoint boundary is lost.
+            let t = interval.as_secs();
+            let elapsed = (now - started_at).as_secs().max(0.0);
+            let since_ckpt = elapsed - (elapsed / t).floor() * t;
+            self.fault_stats.wasted_core_seconds += f64::from(replicas) * since_ckpt;
+        }
+        match retained {
+            Some(iters) if iters > 0.0 => {
+                self.retained_iters.insert(job, iters);
+            }
+            _ => {
+                self.retained_iters.remove(&job);
+            }
+        }
+        if let Some(mut handle) = self.handles.remove(&job) {
+            handle.stop();
+        }
+        self.flows.remove(&job);
+        for pod in self.plane.pods_of_job(&name) {
+            self.plane.delete_pod(&pod.name);
+        }
+        let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
+        self.jobs
+            .update(&name, |j| {
+                j.status.phase = JobPhase::Queued;
+                j.status.replicas = 0;
+                j.status.desired_replicas = 0;
+                j.status.last_action = now;
+            })
+            .expect("job exists");
+        self.util.set(now, job, 0);
+        self.events
+            .record(now, &name, "Evicted", "preempted; restart from checkpoint");
+    }
+
+    /// Kill-and-requeue preemption ([`Action::Requeue`]): the whole
+    /// attempt is wasted. The job resubmits from scratch after an
+    /// exponential backoff, or fails permanently once the retry budget
+    /// is spent. The caller has already removed the job from the view.
+    fn requeue_job(&mut self, job: JobId, now: SimTime) {
+        let name = self.registry.name(job).to_string();
+        let stored = self.jobs.get(&name).expect("requeueing job exists");
+        let replicas = stored.obj.status.desired_replicas;
+        let attempts = stored.obj.status.attempts + 1;
+        let (acc, since) = self.attempt_ledger.remove(&job).unwrap_or((0.0, now));
+        self.fault_stats.wasted_core_seconds += acc + f64::from(replicas) * (now - since).as_secs();
+        self.fault_stats.requeues += 1;
+        self.retained_iters.remove(&job);
+        if let Some(mut handle) = self.handles.remove(&job) {
+            handle.stop();
+        }
+        self.flows.remove(&job);
+        for pod in self.plane.pods_of_job(&name) {
+            self.plane.delete_pod(&pod.name);
+        }
+        let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
+        self.util.set(now, job, 0);
+        if attempts >= self.fault_spec.max_attempts {
+            self.fault_stats.permanent_failures += 1;
+            self.jobs
+                .update(&name, |j| {
+                    j.status.phase = JobPhase::Failed;
+                    j.status.replicas = 0;
+                    j.status.desired_replicas = 0;
+                    j.status.attempts = attempts;
+                    j.status.completed_at = Some(now);
+                })
+                .expect("job exists");
+            self.events.record(
+                now,
+                &name,
+                "Failed",
+                format!("retry budget exhausted after {attempts} attempts"),
+            );
+        } else {
+            let backoff = self.fault_spec.backoff_base.as_secs() * 2f64.powi(attempts as i32 - 1);
+            let due = now + Duration::from_secs(backoff);
+            self.jobs
+                .update(&name, |j| {
+                    j.status.phase = JobPhase::Queued;
+                    j.status.replicas = 0;
+                    j.status.desired_replicas = 0;
+                    j.status.attempts = attempts;
+                    j.status.requeued_at = Some(due);
+                    j.status.last_action = SimTime::NEG_INFINITY;
+                })
+                .expect("job exists");
+            self.pending_requeues.insert((due, job));
+            self.events.record(
+                now,
+                &name,
+                "Requeued",
+                format!("attempt {attempts}, back at t={}s", due.as_secs()),
+            );
+        }
+    }
+
+    /// Re-enters kill-and-requeued jobs whose backoff has expired: the
+    /// job rejoins the scheduler view ordered by its re-entry time and
+    /// the admission decision runs again.
+    fn process_due_requeues(&mut self) {
+        let now = self.plane.now();
+        while let Some(&(due, job)) = self.pending_requeues.iter().next() {
+            if due > now {
+                break;
+            }
+            self.pending_requeues.remove(&(due, job));
+            let name = self.registry.name(job).to_string();
+            let Some(stored) = self.jobs.get(&name) else {
+                continue;
+            };
+            // Cancelled (or otherwise finished) while waiting out the
+            // backoff: nothing to resubmit.
+            if stored.obj.status.phase != JobPhase::Queued {
+                continue;
+            }
+            self.view.insert(
+                JobState {
+                    id: job,
+                    min_replicas: stored.obj.spec.min_replicas,
+                    max_replicas: stored.obj.spec.max_replicas,
+                    priority: stored.obj.spec.priority,
+                    submitted_at: due,
+                    replicas: 0,
+                    last_action: SimTime::NEG_INFINITY,
+                    running: false,
+                    walltime_estimate: stored.obj.spec.walltime_estimate,
+                },
+                self.policy.launcher_slots(),
+            );
+            self.events
+                .record(now, &name, "Resubmitted", "requeue backoff expired");
+            let actions = self.policy.on_submit(&self.view, job, now);
+            self.apply_actions(&actions, now);
+        }
+    }
+
+    /// Drains the fault-notice watch stream: capacity losses mark slots
+    /// failed in the view and hand the deficit to the policy's
+    /// `on_fault` surface; capacity returns restore the slots and run
+    /// the completion redistribution over the regained room.
+    fn reconcile_fault_events(&mut self) {
+        let mut notices: Vec<FaultNotice> = Vec::new();
+        while let Ok(ev) = self.faults_rx.try_recv() {
+            if let WatchEvent::Added(s) = ev {
+                notices.push(s.obj);
+            }
+        }
+        notices.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.name.cmp(&b.name)));
+        let now = self.plane.now();
+        for n in notices {
+            match n.kind {
+                FaultKind::NodeFail | FaultKind::Reclaim => {
+                    self.view.fail_slots(n.slots);
+                    self.events.record(
+                        now,
+                        &n.name,
+                        "CapacityLost",
+                        format!("{} took {} slots", n.kind, n.slots),
+                    );
+                    let fault = FaultEvent {
+                        at: Duration::from_secs(n.at.as_secs()),
+                        slots: n.slots,
+                        kind: n.kind,
+                    };
+                    let actions = self.policy.on_fault(&self.view, &fault, now);
+                    self.apply_actions(&actions, now);
+                    assert_eq!(
+                        self.view.deficit(),
+                        0,
+                        "policy on_fault left an uncovered slot deficit"
+                    );
+                    // The fault reshaped the cluster; let the policy
+                    // redistribute whatever room is left (same surface a
+                    // completion uses).
+                    let actions = self.policy.on_complete(&self.view, now);
+                    self.apply_actions(&actions, now);
+                }
+                FaultKind::Return => {
+                    self.view.restore_slots(n.slots);
+                    self.events.record(
+                        now,
+                        &n.name,
+                        "CapacityReturned",
+                        format!("{} slots back", n.slots),
+                    );
+                    let actions = self.policy.on_complete(&self.view, now);
+                    self.apply_actions(&actions, now);
+                }
+            }
         }
     }
 
@@ -573,15 +881,30 @@ impl CharmOperator {
         {
             let now = self.plane.now();
             let id = self.registry.id(name).expect("starting job was admitted");
-            let handle = self.executor.launch(&job.spec, job.status.desired_replicas);
+            // A job relaunching after an eviction resumes from its last
+            // checkpoint: the executor runs only the remaining modeled
+            // iterations (real apps restart from their own state files).
+            let handle = match self.retained_iters.remove(&id) {
+                Some(done) if done > 0.0 => {
+                    let mut spec = job.spec.clone();
+                    if let AppSpec::Modeled { total_iters } = spec.app {
+                        let remaining = total_iters.saturating_sub(done.floor() as u64).max(1);
+                        spec.app = AppSpec::Modeled {
+                            total_iters: remaining,
+                        };
+                    }
+                    self.executor.launch(&spec, job.status.desired_replicas)
+                }
+                _ => self.executor.launch(&job.spec, job.status.desired_replicas),
+            };
             self.handles.insert(id, handle);
             self.jobs
                 .update(name, |j| {
                     j.status.phase = JobPhase::Running;
                     j.status.replicas = j.status.desired_replicas;
-                    if j.status.started_at.is_none() {
-                        j.status.started_at = Some(now);
-                    }
+                    // Deliberately overwritten on every (re)launch: the
+                    // DES does the same, and metrics must agree.
+                    j.status.started_at = Some(now);
                 })
                 .expect("job exists");
             self.events.record(now, name, "Started", "");
@@ -694,6 +1017,8 @@ impl CharmOperator {
     /// compatibility wrapper the pre-watch `tick()` callers keep using.
     pub fn tick(&mut self) {
         self.reconcile_job_events();
+        self.reconcile_fault_events();
+        self.process_due_requeues();
         self.plane.tick();
         self.reconcile_pod_events();
         self.timer_pass();
@@ -743,6 +1068,11 @@ impl CharmOperator {
             }
         }
 
+        // Faults have no polled analogue (notices only arrive through
+        // the store), so both drive modes share the watch-driven path.
+        self.reconcile_fault_events();
+        self.process_due_requeues();
+
         self.plane.tick();
 
         // Full-store launch scan.
@@ -777,6 +1107,8 @@ impl CharmOperator {
             handle.stop();
         }
         self.flows.remove(&id);
+        self.retained_iters.remove(&id);
+        self.attempt_ledger.remove(&id);
         self.view.remove(id, self.policy.launcher_slots());
         self.util.set(now, id, 0);
         self.events.record(now, name, "Completed", "");
@@ -832,9 +1164,10 @@ impl CharmOperator {
             });
         }
         if outcomes.is_empty() {
-            // Every job was cancelled: nothing completed, nothing to
-            // aggregate.
-            return RunMetrics::empty(self.policy.name(), self.rescale_count);
+            // Every job was cancelled or failed: nothing completed,
+            // nothing to aggregate.
+            return RunMetrics::empty(self.policy.name(), self.rescale_count)
+                .with_fault_stats(self.fault_stats);
         }
         // The store lists in hash order; sort so metrics (and the float
         // accumulation inside them) are reproducible run to run.
@@ -850,5 +1183,6 @@ impl CharmOperator {
             .unwrap_or(SimTime::ZERO);
         let util = self.util.average_utilization(first_submit, last_complete);
         RunMetrics::from_outcomes(self.policy.name(), outcomes, util, self.rescale_count)
+            .with_fault_stats(self.fault_stats)
     }
 }

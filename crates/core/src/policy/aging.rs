@@ -150,6 +150,19 @@ impl SchedulingPolicy for AgingSweep {
     fn timer_interval(&self) -> Option<Duration> {
         Some(self.interval)
     }
+
+    fn on_fault(
+        &self,
+        view: &ClusterView,
+        fault: &hpc_workload::FaultEvent,
+        now: SimTime,
+    ) -> Vec<Action> {
+        // Fault recovery is the inner policy's call (aging only boosts
+        // admission); without this forward the decorator would silently
+        // fall back to the trait default and mask a wrapped
+        // `RecoveryPolicy`'s strategy.
+        self.inner.on_fault(view, fault, now)
+    }
 }
 
 #[cfg(test)]

@@ -33,12 +33,15 @@ mod aging;
 mod easy;
 mod elastic;
 mod fcfs;
+mod recovery;
 
 pub use aging::AgingSweep;
 pub use easy::{EasyBackfill, Reservation};
 pub use fcfs::FcfsBackfill;
+pub use recovery::{RecoveryPolicy, RecoveryStrategy};
 
 use hpc_metrics::{Duration, JobId, SimTime};
+use hpc_workload::FaultEvent;
 
 use crate::view::{Action, ClusterView, JobState};
 
@@ -93,6 +96,33 @@ pub trait SchedulingPolicy: Send {
     /// `None` (the default) disables the timer entirely.
     fn timer_interval(&self) -> Option<Duration> {
         None
+    }
+
+    /// Recovery decision when capacity is lost — a node failed or spot
+    /// slots were reclaimed. The view already reflects the loss
+    /// ([`ClusterView::fail_slots`] has run), so
+    /// [`ClusterView::deficit`] says how many occupied slots the fault
+    /// landed on; the returned actions must release at least that many
+    /// (engines assert the deficit clears after applying them).
+    ///
+    /// The default preempts the lowest-priority running jobs with
+    /// [`Action::Requeue`] (kill-and-requeue) until the deficit is
+    /// covered. Override for checkpoint/restart eviction or elastic
+    /// shrinking — or wrap any policy in [`RecoveryPolicy`] to pick a
+    /// strategy without reimplementing it.
+    fn on_fault(&self, view: &ClusterView, fault: &FaultEvent, now: SimTime) -> Vec<Action> {
+        let _ = (fault, now);
+        let launcher = self.launcher_slots();
+        let mut deficit = view.deficit();
+        let mut actions = Vec::new();
+        for j in view.running_desc_priority().rev() {
+            if deficit == 0 {
+                break;
+            }
+            actions.push(Action::Requeue { job: j.id });
+            deficit = deficit.saturating_sub(j.replicas + launcher);
+        }
+        actions
     }
 }
 

@@ -39,6 +39,28 @@ impl JobOutcome {
     }
 }
 
+/// Fault-recovery tallies for one run — all zero on a fault-free
+/// replay. Both engines maintain them incrementally at the same event
+/// boundaries, so they cross-validate bit-identically like every other
+/// metric.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Core-seconds of lost progress: work a job had done that an
+    /// eviction rolled back to the last checkpoint, or that a
+    /// kill-and-requeue discarded entirely.
+    pub wasted_core_seconds: f64,
+    /// Checkpoint/restart preemptions ([`Action::Evict`]).
+    ///
+    /// [`Action::Evict`]: crate::view::Action::Evict
+    pub evictions: u32,
+    /// Kill-and-requeue preemptions ([`Action::Requeue`]).
+    ///
+    /// [`Action::Requeue`]: crate::view::Action::Requeue
+    pub requeues: u32,
+    /// Jobs that exhausted their retry budget and failed permanently.
+    pub permanent_failures: u32,
+}
+
 /// Aggregate metrics for one scheduler run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
@@ -57,6 +79,8 @@ pub struct RunMetrics {
     pub mean_bounded_slowdown: f64,
     /// Scheduling actions that rescaled a running job.
     pub rescales: u32,
+    /// Fault-recovery tallies (zero on fault-free runs).
+    pub faults: FaultStats,
     /// Per-job detail.
     pub jobs: Vec<JobOutcome>,
 }
@@ -74,8 +98,16 @@ impl RunMetrics {
             weighted_completion: 0.0,
             mean_bounded_slowdown: 0.0,
             rescales,
+            faults: FaultStats::default(),
             jobs: Vec::new(),
         }
+    }
+
+    /// Builder: attaches fault-recovery tallies (engines call this
+    /// after [`RunMetrics::from_outcomes`], which reports zeros).
+    pub fn with_fault_stats(mut self, faults: FaultStats) -> RunMetrics {
+        self.faults = faults;
+        self
     }
 
     /// Computes the aggregate metrics from per-job outcomes plus the
@@ -115,6 +147,7 @@ impl RunMetrics {
             weighted_completion: comp.mean_or_zero(),
             mean_bounded_slowdown: bsld / jobs.len() as f64,
             rescales,
+            faults: FaultStats::default(),
             jobs,
         }
     }
@@ -204,5 +237,21 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn empty_outcomes_rejected() {
         let _ = RunMetrics::from_outcomes("x", vec![], 0.0, 0);
+    }
+
+    #[test]
+    fn fault_stats_default_to_zero_and_attach_via_builder() {
+        let m = RunMetrics::from_outcomes("x", vec![outcome("a", 2, 0.0, 1.0, 2.0)], 0.5, 0);
+        assert_eq!(m.faults, FaultStats::default());
+        assert_eq!(m.faults.wasted_core_seconds, 0.0);
+        let stats = FaultStats {
+            wasted_core_seconds: 123.5,
+            evictions: 2,
+            requeues: 1,
+            permanent_failures: 0,
+        };
+        let m = m.with_fault_stats(stats);
+        assert_eq!(m.faults, stats);
+        assert_eq!(RunMetrics::empty("x", 0).faults, FaultStats::default());
     }
 }

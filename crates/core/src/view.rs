@@ -86,6 +86,14 @@ impl JobState {
 pub struct ClusterView {
     capacity: u32,
     free_slots: u32,
+    /// Slots currently lost to node failure or spot reclamation
+    /// ([`ClusterView::fail_slots`] / [`ClusterView::restore_slots`]).
+    failed_slots: u32,
+    /// Slots the cluster owes: committed + failed beyond capacity. A
+    /// fault that lands on occupied slots opens a deficit; evictions,
+    /// shrinks and completions pay it down before crediting `free`.
+    /// Invariant: `free_slots > 0` implies `deficit == 0`.
+    deficit: u32,
     /// Dense job storage indexed by `JobId`; `None` marks jobs that
     /// completed or were cancelled.
     slots: Vec<Option<JobState>>,
@@ -104,6 +112,8 @@ impl ClusterView {
         ClusterView {
             capacity,
             free_slots: capacity,
+            failed_slots: 0,
+            deficit: 0,
             slots: Vec::new(),
             all_order: BTreeSet::new(),
             running_order: BTreeSet::new(),
@@ -133,10 +143,58 @@ impl ClusterView {
         self.free_slots = free;
     }
 
+    /// Slots currently lost to node failure or reclamation.
+    pub fn failed_slots(&self) -> u32 {
+        self.failed_slots
+    }
+
+    /// Slots owed after a fault landed on occupied capacity: the policy
+    /// must evict/shrink/requeue running work until this reaches zero.
+    pub fn deficit(&self) -> u32 {
+        self.deficit
+    }
+
+    /// Marks `n` slots as failed/reclaimed. Free slots absorb the loss
+    /// first; whatever lands on occupied capacity opens a
+    /// [`ClusterView::deficit`] the policy's `on_fault` answer must pay
+    /// down (engines assert the deficit clears after applying it).
+    pub fn fail_slots(&mut self, n: u32) {
+        self.failed_slots += n;
+        let absorbed = n.min(self.free_slots);
+        self.free_slots -= absorbed;
+        self.deficit += n - absorbed;
+    }
+
+    /// Returns `n` previously failed/reclaimed slots to service. Any
+    /// outstanding deficit is paid first; the remainder becomes free.
+    ///
+    /// Panics if `n` exceeds the currently failed slots.
+    pub fn restore_slots(&mut self, n: u32) {
+        assert!(
+            n <= self.failed_slots,
+            "restore of {n} slots, only {} failed",
+            self.failed_slots
+        );
+        self.failed_slots -= n;
+        self.credit_slots(n);
+    }
+
+    /// Credits `n` released slots, paying down any deficit before
+    /// adding to the free counter — the single path every slot release
+    /// (completion, cancel, shrink, evict, requeue, restore) goes
+    /// through, which is what keeps the `free > 0 ⟹ deficit == 0`
+    /// invariant closed under all mutations.
+    fn credit_slots(&mut self, n: u32) {
+        let paid = n.min(self.deficit);
+        self.deficit -= paid;
+        self.free_slots += n - paid;
+    }
+
     /// Sanity invariant: committed slots (+launchers accounted by the
-    /// engine) never exceed capacity.
+    /// engine) never exceed the *serviceable* capacity (total minus
+    /// failed) except transiently, while a fault deficit is open.
     pub fn committed(&self) -> u32 {
-        self.capacity - self.free_slots
+        (self.capacity + self.deficit) - (self.failed_slots + self.free_slots)
     }
 
     /// Live jobs (running + queued).
@@ -199,7 +257,7 @@ impl ClusterView {
         if job.running {
             self.running_order.remove(&job.order_key());
             self.running_end_order.remove(&job.end_key());
-            self.free_slots += job.replicas + launcher_slots;
+            self.credit_slots(job.replicas + launcher_slots);
         } else {
             self.queued_order.remove(&(job.submitted_at, id));
         }
@@ -257,6 +315,8 @@ impl PartialEq for ClusterView {
     fn eq(&self, other: &Self) -> bool {
         self.capacity == other.capacity
             && self.free_slots == other.free_slots
+            && self.failed_slots == other.failed_slots
+            && self.deficit == other.deficit
             && self.live == other.live
             && self.all_order == other.all_order
             && self.running_order == other.running_order
@@ -303,6 +363,22 @@ pub enum Action {
         /// Target job.
         job: JobId,
     },
+    /// Preempt a running `job` back to the queue, keeping its
+    /// checkpointed progress (checkpoint/restart recovery). The job
+    /// releases everything it holds — paying any fault deficit first —
+    /// and requeues at its original submission position.
+    Evict {
+        /// Target job (must be running).
+        job: JobId,
+    },
+    /// Kill a running `job` and resubmit it from scratch after a
+    /// backoff (kill-and-requeue recovery). The job leaves the view
+    /// entirely; the engine re-inserts it when the requeue comes due
+    /// and fails it permanently once the retry budget is exhausted.
+    Requeue {
+        /// Target job (must be running).
+        job: JobId,
+    },
 }
 
 impl Action {
@@ -313,7 +389,9 @@ impl Action {
             | Action::Expand { job, .. }
             | Action::Shrink { job, .. }
             | Action::Enqueue { job }
-            | Action::Cancel { job } => job,
+            | Action::Cancel { job }
+            | Action::Evict { job }
+            | Action::Requeue { job } => job,
         }
     }
 }
@@ -394,7 +472,7 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
             j.replicas = to_replicas;
             j.last_action = now;
             let new_end = j.end_key();
-            view.free_slots += freed;
+            view.credit_slots(freed);
             view.running_end_order.remove(&old_end);
             view.running_end_order.insert(new_end);
         }
@@ -402,6 +480,31 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
         Action::Cancel { job } => {
             view.remove(job, launcher_slots)
                 .unwrap_or_else(|| panic!("cancel for unknown job {job}"));
+        }
+        Action::Evict { job } => {
+            let j = view.slots[job.index()]
+                .as_mut()
+                .unwrap_or_else(|| panic!("evict for unknown job {job}"));
+            assert!(j.running, "evict of non-running {job}");
+            let old_key = j.order_key();
+            let old_end = j.end_key();
+            let freed = j.replicas + launcher_slots;
+            j.running = false;
+            j.replicas = 0;
+            j.last_action = now;
+            let submitted_at = j.submitted_at;
+            view.credit_slots(freed);
+            view.running_order.remove(&old_key);
+            view.running_end_order.remove(&old_end);
+            view.queued_order.insert((submitted_at, job));
+        }
+        Action::Requeue { job } => {
+            let running = view
+                .job(job)
+                .unwrap_or_else(|| panic!("requeue for unknown job {job}"))
+                .running;
+            assert!(running, "requeue of non-running {job}");
+            view.remove(job, launcher_slots);
         }
     }
 }
@@ -678,6 +781,81 @@ pub(crate) mod tests {
         // Removal drops the index entry.
         view.remove(JobId(0), 1);
         assert_eq!(view.running_by_estimated_end().count(), 2);
+    }
+
+    #[test]
+    fn fault_accounting_pays_deficit_before_free() {
+        // 32 slots; job 0 runs 12 workers + 1 launcher, so 19 free.
+        let mut view = view_of(32, 19, vec![job(0, 3, 0.0, 12), job(1, 2, 1.0, 0)]);
+        view.fail_slots(8); // free capacity absorbs the loss
+        assert_eq!(view.free_slots(), 11);
+        assert_eq!(view.failed_slots(), 8);
+        assert_eq!(view.deficit(), 0);
+        view.fail_slots(16); // 11 free absorbed, 5 land on occupied slots
+        assert_eq!(view.free_slots(), 0);
+        assert_eq!(view.deficit(), 5);
+        assert_eq!(view.committed(), 13);
+        // Evicting the running job releases 12 + 1 slots: the 5-slot
+        // deficit is paid first, the remaining 8 become free.
+        apply_action(
+            &mut view,
+            &Action::Evict { job: JobId(0) },
+            SimTime::from_secs(5.0),
+            1,
+        );
+        assert_eq!(view.deficit(), 0);
+        assert_eq!(view.free_slots(), 8);
+        assert_eq!(view.committed(), 0);
+        let j = view.job(JobId(0)).unwrap();
+        assert!(!j.running, "evicted job is queued again");
+        assert_eq!(j.replicas, 0);
+        assert_eq!(view.running_count(), 0);
+        // ... at its original submission position, ahead of job 1.
+        let fcfs: Vec<JobId> = view.queued_submission_order().map(|j| j.id).collect();
+        assert_eq!(fcfs, vec![JobId(0), JobId(1)]);
+        // Returning the slots restores full capacity.
+        view.restore_slots(24);
+        assert_eq!(view.failed_slots(), 0);
+        assert_eq!(view.free_slots(), 32);
+    }
+
+    #[test]
+    fn requeue_removes_the_job_and_pays_the_deficit() {
+        let mut view = view_of(8, 0, vec![job(0, 3, 0.0, 7)]);
+        view.fail_slots(4);
+        assert_eq!(view.deficit(), 4);
+        apply_action(
+            &mut view,
+            &Action::Requeue { job: JobId(0) },
+            SimTime::from_secs(2.0),
+            1,
+        );
+        assert_eq!(view.deficit(), 0, "released slots pay the deficit first");
+        assert_eq!(view.free_slots(), 4);
+        assert!(view.job(JobId(0)).is_none(), "requeued job leaves the view");
+        view.restore_slots(4);
+        assert_eq!(view.free_slots(), 8);
+        assert_eq!(view.committed(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evict of non-running")]
+    fn evict_rejects_queued_jobs() {
+        let mut view = view_of(8, 8, vec![job(0, 3, 0.0, 0)]);
+        apply_action(
+            &mut view,
+            &Action::Evict { job: JobId(0) },
+            SimTime::ZERO,
+            1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "restore of")]
+    fn restore_rejects_more_than_failed() {
+        let mut view = ClusterView::new(8);
+        view.fail_slots(2);
+        view.restore_slots(3);
     }
 
     #[test]

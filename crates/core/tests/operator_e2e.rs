@@ -8,7 +8,7 @@ use elastic_core::{
     run_virtual, AppSpec, CharmJobSpec, CharmOperator, JobPhase, ModelExecutor, Policy,
     PolicyConfig, PolicyKind, Schedule,
 };
-use hpc_metrics::{Duration, VirtualClock};
+use hpc_metrics::{Clock, Duration, VirtualClock};
 use kube_sim::{ControlPlane, KubeletConfig, PodRole};
 
 fn spec(name: &str, prio: u32, min: u32, max: u32, iters: u64) -> CharmJobSpec {
@@ -232,6 +232,179 @@ fn rejects_invalid_spec_and_duplicate_names() {
     assert!(op.submit(spec("bad", 3, 8, 4, 10)).is_err());
     op.submit(spec("dup", 3, 2, 4, 1_000_000)).unwrap();
     assert!(op.submit(spec("dup", 3, 2, 4, 10)).is_err());
+}
+
+#[test]
+fn cancel_mid_shrink_with_fault_pending_leaks_no_slots() {
+    use elastic_core::FaultNotice;
+    use hpc_workload::FaultKind;
+    // A model executor whose rescales take 10 s keeps the ShrinkSignalled
+    // flow open across ticks, so the cancel and the fault land mid-flow.
+    let clock = VirtualClock::new();
+    let plane = ControlPlane::with_nodes(Arc::new(clock.clone()), KubeletConfig::instant(), 4, 16);
+    let executor = ModelExecutor::new(
+        plane.clock(),
+        Arc::new(|_, replicas| f64::from(replicas)),
+        Arc::new(|_, _, _| Duration::from_secs(10.0)),
+    );
+    let mut op = CharmOperator::new(
+        plane,
+        Box::new(Policy::elastic(cfg(1.0))),
+        Box::new(executor),
+    );
+    // A spared head plus a big low-priority job filling the cluster.
+    op.submit(spec("head", 5, 4, 8, 30_000)).unwrap();
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    op.submit(spec("low", 1, 4, 60, 1_000_000)).unwrap();
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert_eq!(op.jobs.get("low").unwrap().obj.status.replicas, 54);
+    // A high-priority arrival forces a shrink of "low": the flow stays
+    // in ShrinkSignalled for the 10 s executor overhead.
+    op.submit(spec("hot", 4, 16, 16, 50_000)).unwrap();
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert!(!op.events.of_kind("ShrinkSignalled").is_empty());
+    assert_eq!(op.view(), &op.rebuild_view(), "consistent mid-shrink");
+    // Fault pending + cancel of the mid-shrink job, delivered together:
+    // the tick reconciles the cancel first, then the capacity loss.
+    op.faults
+        .create(FaultNotice {
+            name: "fault-0000".into(),
+            at: clock.now() + Duration::from_secs(1.0),
+            slots: 50,
+            kind: FaultKind::Reclaim,
+        })
+        .unwrap();
+    op.client().cancel("low").unwrap();
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert_eq!(op.cancellations(), 1);
+    assert_eq!(op.view().deficit(), 0, "fault deficit fully covered");
+    assert_eq!(op.view().failed_slots(), 50);
+    assert_eq!(
+        op.view(),
+        &op.rebuild_view(),
+        "view consistent after cancel + fault interleaving"
+    );
+    // The capacity returns; the survivor (requeued by the default
+    // on_fault or still running) finishes on the restored cluster.
+    op.faults
+        .create(FaultNotice {
+            name: "fault-0001".into(),
+            at: clock.now() + Duration::from_secs(1.0),
+            slots: 50,
+            kind: FaultKind::Return,
+        })
+        .unwrap();
+    let mut guard = 0;
+    while !op.all_complete() {
+        clock.advance(Duration::from_secs(1.0));
+        op.tick();
+        guard += 1;
+        assert!(guard < 10_000, "hot never completed after the fault");
+    }
+    assert_eq!(
+        op.jobs.get("hot").unwrap().obj.status.phase,
+        JobPhase::Completed
+    );
+    // No slot leaks anywhere: the drained view holds full capacity and
+    // the control plane has no pods left consuming slots.
+    assert_eq!(op.view(), &op.rebuild_view());
+    assert_eq!(op.view().len(), 0);
+    assert_eq!(op.view().failed_slots(), 0);
+    assert_eq!(op.view().free_slots(), 64);
+    // One drain tick: pod deletion is asynchronous (the kubelet
+    // terminates `deleting` pods on the tick after `complete_job`).
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert_eq!(op.plane.committed(), 0, "no pod still holds slots");
+}
+
+#[test]
+fn evict_mid_expand_with_fault_pending_leaks_no_slots() {
+    use elastic_core::{FaultNotice, RecoveryPolicy, RecoveryStrategy};
+    use hpc_workload::FaultKind;
+    // A 5 s kubelet startup latency keeps the ExpandPodsPending flow
+    // open across ticks; the fault then evicts the expanding job.
+    let clock = VirtualClock::new();
+    let kubelet = KubeletConfig {
+        startup_latency: Duration::from_secs(5.0),
+        termination_grace: Duration::ZERO,
+    };
+    let plane = ControlPlane::with_nodes(Arc::new(clock.clone()), kubelet, 4, 16);
+    let executor = ModelExecutor::ideal(plane.clock());
+    let mut op = CharmOperator::new(
+        plane,
+        Box::new(RecoveryPolicy::new(
+            Box::new(Policy::elastic(cfg(1.0))),
+            RecoveryStrategy::CheckpointRestart,
+        )),
+        Box::new(executor),
+    );
+    // "b" first (16+1 slots), then "a" takes the rest (46 of max 60):
+    // when "b" completes, "a" expands into the freed slots.
+    op.submit(spec("b", 3, 8, 16, 200)).unwrap();
+    op.submit(spec("a", 3, 4, 60, 40_000)).unwrap();
+    // Let both launch (5 s pod startup) and "b" run to completion.
+    let mut guard = 0;
+    while op.jobs.get("b").unwrap().obj.status.phase != JobPhase::Completed {
+        clock.advance(Duration::from_secs(1.0));
+        op.tick();
+        guard += 1;
+        assert!(guard < 200, "b never completed");
+    }
+    // "b" completing expanded "a": new worker pods are pending for 5 s.
+    assert!(!op.events.of_kind("ExpandStarted").is_empty());
+    assert_eq!(op.view(), &op.rebuild_view(), "consistent mid-expand");
+    // Fault arrives while the expand pods are still pending: the
+    // checkpoint/restart policy evicts "a" mid-flow.
+    op.faults
+        .create(FaultNotice {
+            name: "fault-0000".into(),
+            at: clock.now() + Duration::from_secs(1.0),
+            slots: 60,
+            kind: FaultKind::Reclaim,
+        })
+        .unwrap();
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert_eq!(op.fault_stats().evictions, 1, "a evicted mid-expand");
+    assert_eq!(op.view().deficit(), 0);
+    assert_eq!(
+        op.view(),
+        &op.rebuild_view(),
+        "view consistent after evict-mid-expand + fault"
+    );
+    let a = op.jobs.get("a").unwrap().obj;
+    assert_eq!(a.status.phase, JobPhase::Queued, "a demoted to the queue");
+    // Capacity returns: "a" relaunches from its checkpoint and finishes.
+    op.faults
+        .create(FaultNotice {
+            name: "fault-0001".into(),
+            at: clock.now() + Duration::from_secs(1.0),
+            slots: 60,
+            kind: FaultKind::Return,
+        })
+        .unwrap();
+    let mut guard = 0;
+    while !op.all_complete() {
+        clock.advance(Duration::from_secs(1.0));
+        op.tick();
+        guard += 1;
+        assert!(guard < 10_000, "a never completed after eviction");
+    }
+    assert_eq!(op.view(), &op.rebuild_view());
+    assert_eq!(op.view().len(), 0);
+    assert_eq!(op.view().failed_slots(), 0);
+    assert_eq!(op.view().free_slots(), 64);
+    // One drain tick: pod deletion is asynchronous (the kubelet
+    // terminates `deleting` pods on the tick after `complete_job`).
+    clock.advance(Duration::from_secs(1.0));
+    op.tick();
+    assert_eq!(op.plane.committed(), 0, "no pod still holds slots");
+    assert!(op.fault_stats().wasted_core_seconds > 0.0);
 }
 
 #[test]

@@ -7,8 +7,11 @@
 //! dense job table, and all three priority/queue indexes — to a view
 //! rebuilt from scratch out of the surviving job states. This test
 //! drives long random sequences of submit / create / expand / shrink /
-//! complete / cancel operations against both representations and
-//! asserts exactly that, after every single step.
+//! complete / cancel / fail / restore / evict / requeue operations
+//! against both representations and asserts exactly that, after every
+//! single step — including the fault-layer `failed_slots`/`deficit`
+//! counters and the deficit-first crediting every slot release goes
+//! through.
 
 use elastic_core::{apply_action, Action, ClusterView, JobId, JobState};
 use hpc_metrics::{Duration, SimTime};
@@ -19,10 +22,13 @@ use rand_chacha::ChaCha8Rng;
 const CAPACITY: u32 = 64;
 const LAUNCHER: u32 = 1;
 
-/// The trivially-correct model: a flat list of live job states.
+/// The trivially-correct model: a flat list of live job states plus
+/// the fault counters.
 #[derive(Default)]
 struct Shadow {
     jobs: Vec<JobState>,
+    failed: u32,
+    deficit: u32,
 }
 
 impl Shadow {
@@ -34,13 +40,26 @@ impl Shadow {
             .sum()
     }
 
-    /// A from-scratch view of the current model state.
+    fn free(&self) -> u32 {
+        (CAPACITY + self.deficit) - (self.failed + self.committed())
+    }
+
+    /// Mirrors the view's deficit-first crediting of released slots.
+    fn release(&mut self, n: u32) {
+        self.deficit -= n.min(self.deficit);
+    }
+
+    /// A from-scratch view of the current model state. The fault
+    /// counters are replayed through `fail_slots`: starting from the
+    /// pre-fault free count, failing `failed` slots reproduces exactly
+    /// (free, failed, deficit) because free > 0 implies deficit == 0.
     fn rebuild(&self) -> ClusterView {
         let mut v = ClusterView::new(CAPACITY);
         for j in &self.jobs {
             v.insert(j.clone(), LAUNCHER);
         }
-        v.set_free_slots(CAPACITY - self.committed());
+        v.set_free_slots(self.free() + self.failed - self.deficit);
+        v.fail_slots(self.failed);
         v
     }
 
@@ -72,8 +91,8 @@ proptest! {
 
         for step in 0..steps {
             let now = SimTime::from_secs(step as f64);
-            let free = CAPACITY - shadow.committed();
-            let op = rng.gen_range(0..6u32);
+            let free = shadow.free();
+            let op = rng.gen_range(0..10u32);
             match op {
                 // Submit: a fresh queued job enters both worlds.
                 0 => {
@@ -140,10 +159,12 @@ proptest! {
                             let to = rng.gen_range(j.min_replicas..j.replicas);
                             let action = Action::Shrink { job: j.id, to_replicas: to };
                             let id = j.id;
+                            let freed = j.replicas - to;
                             apply_action(&mut view, &action, now, LAUNCHER);
                             let s = shadow.jobs.iter_mut().find(|s| s.id == id).unwrap();
                             s.replicas = to;
                             s.last_action = now;
+                            shadow.release(freed);
                         }
                     }
                 }
@@ -151,18 +172,68 @@ proptest! {
                 4 => {
                     if let Some(j) = shadow.pick(&mut rng, true) {
                         let id = j.id;
+                        let freed = j.replicas + LAUNCHER;
                         let removed = view.remove(id, LAUNCHER).expect("running job is live");
                         prop_assert!(removed.running);
                         shadow.jobs.retain(|s| s.id != id);
+                        shadow.release(freed);
                     }
                 }
                 // Cancel any live job (action-style removal).
-                _ => {
+                5 => {
                     let any: Vec<JobId> = shadow.jobs.iter().map(|j| j.id).collect();
                     if !any.is_empty() {
                         let id = any[rng.gen_range(0..any.len())];
+                        let j = shadow.jobs.iter().find(|j| j.id == id).unwrap();
+                        let freed = if j.running { j.replicas + LAUNCHER } else { 0 };
                         apply_action(&mut view, &Action::Cancel { job: id }, now, LAUNCHER);
                         shadow.jobs.retain(|s| s.id != id);
+                        shadow.release(freed);
+                    }
+                }
+                // Fault: fail slots (free absorbed first, the rest
+                // opens a deficit).
+                6 => {
+                    if shadow.failed < CAPACITY {
+                        let n = rng.gen_range(1..=(CAPACITY - shadow.failed).min(16));
+                        view.fail_slots(n);
+                        let absorbed = n.min(free);
+                        shadow.failed += n;
+                        shadow.deficit += n - absorbed;
+                    }
+                }
+                // Restore previously failed slots (deficit paid first).
+                7 => {
+                    if shadow.failed > 0 {
+                        let n = rng.gen_range(1..=shadow.failed);
+                        view.restore_slots(n);
+                        shadow.failed -= n;
+                        shadow.release(n);
+                    }
+                }
+                // Evict a running job: checkpoint/restart demotion back
+                // to the queue at its original submission time.
+                8 => {
+                    if let Some(j) = shadow.pick(&mut rng, true) {
+                        let id = j.id;
+                        let freed = j.replicas + LAUNCHER;
+                        apply_action(&mut view, &Action::Evict { job: id }, now, LAUNCHER);
+                        let s = shadow.jobs.iter_mut().find(|s| s.id == id).unwrap();
+                        s.running = false;
+                        s.replicas = 0;
+                        s.last_action = now;
+                        shadow.release(freed);
+                    }
+                }
+                // Kill-and-requeue a running job: it leaves the view
+                // entirely until its backoff re-submits it.
+                _ => {
+                    if let Some(j) = shadow.pick(&mut rng, true) {
+                        let id = j.id;
+                        let freed = j.replicas + LAUNCHER;
+                        apply_action(&mut view, &Action::Requeue { job: id }, now, LAUNCHER);
+                        shadow.jobs.retain(|s| s.id != id);
+                        shadow.release(freed);
                     }
                 }
             }
@@ -173,8 +244,11 @@ proptest! {
                 &view, &rebuilt,
                 "diverged after step {} (op {})", step, op
             );
-            prop_assert_eq!(view.free_slots(), CAPACITY - shadow.committed());
+            prop_assert_eq!(view.free_slots(), shadow.free());
+            prop_assert_eq!(view.failed_slots(), shadow.failed);
+            prop_assert_eq!(view.deficit(), shadow.deficit);
             prop_assert_eq!(view.len(), shadow.jobs.len());
+            prop_assert!(view.free_slots() == 0 || view.deficit() == 0);
         }
     }
 }

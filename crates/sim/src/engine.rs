@@ -16,6 +16,18 @@
 //! paper's simulator, operator/Kubernetes pod-startup overhead is not
 //! modeled (§4.3.1).
 //!
+//! The workload's `FaultSpec` injects capacity loss the same way:
+//! [`Event::NodeFail`]/[`Event::CapacityReclaim`] mark slots failed in
+//! the view and consult `SchedulingPolicy::on_fault`, whose plan must
+//! cover the deficit (evictions roll progress back to the last
+//! checkpoint boundary and relaunch behind a FullRestart recovery
+//! window; requeues lose the whole attempt and re-enter through
+//! [`Event::Requeue`] after an exponential backoff, permanently failing
+//! once the retry budget is spent); [`Event::CapacityReturn`] hands
+//! reclaimed slots back. Wasted core-seconds and recovery counts are
+//! banked at the exact decision instants the operator uses, so
+//! fault-laden replays still cross-validate bit-identically.
+//!
 //! ## Trace-scale throughput
 //!
 //! The engine replays multi-thousand-job traces (the Zojer et al.
@@ -35,13 +47,14 @@
 //!   high-water mark).
 
 use elastic_core::{
-    apply_action, Action, ClusterView, JobOutcome, JobState, RunMetrics, SchedulingPolicy,
+    apply_action, Action, ClusterView, FaultStats, JobOutcome, JobState, RunMetrics,
+    SchedulingPolicy,
 };
 use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
 
 use crate::events::{Event, EventQueue};
 use crate::model::{OverheadModel, ScalingModel};
-use crate::workload::{JobSpec, WorkloadSpec};
+use crate::workload::{FaultEvent, FaultKind, FaultSpec, JobSpec, WorkloadSpec};
 
 /// Simulation parameters. Submission times are *not* here: every job
 /// of the replayed [`WorkloadSpec`] carries its own arrival time
@@ -101,6 +114,8 @@ struct JobRt {
     running: bool,
     completed: bool,
     cancelled: bool,
+    /// Permanently failed: the retry budget ran out on a requeue.
+    failed: bool,
     replicas: u32,
     last_action: SimTime,
     started_at: Option<SimTime>,
@@ -109,6 +124,21 @@ struct JobRt {
     last_update: SimTime,
     pause_until: SimTime,
     generation: u64,
+    /// Effective re-submission instant of a requeued job (the backoff
+    /// deadline); the view orders the job by it, not by its original
+    /// arrival, exactly like the operator's `status.requeued_at`.
+    requeued_at: Option<SimTime>,
+    /// Kill-and-requeue attempts consumed so far.
+    attempts: u32,
+    /// The next launch restores from a checkpoint: pay the FullRestart
+    /// recovery overhead before progress resumes.
+    needs_recovery: bool,
+    /// Core-seconds of the current attempt, banked at every
+    /// allocation-change boundary (never per tick) so requeue waste is
+    /// bit-identical between engines.
+    attempt_core_acc: f64,
+    /// When the current allocation segment began.
+    alloc_since: SimTime,
 }
 
 impl JobRt {
@@ -120,6 +150,7 @@ impl JobRt {
             running: false,
             completed: false,
             cancelled: false,
+            failed: false,
             replicas: 0,
             last_action: SimTime::NEG_INFINITY,
             started_at: None,
@@ -128,6 +159,11 @@ impl JobRt {
             last_update: SimTime::ZERO,
             pause_until: SimTime::NEG_INFINITY,
             generation: 0,
+            requeued_at: None,
+            attempts: 0,
+            needs_recovery: false,
+            attempt_core_acc: 0.0,
+            alloc_since: SimTime::ZERO,
         }
     }
 
@@ -154,7 +190,7 @@ impl JobRt {
             min_replicas: self.spec.min_replicas(),
             max_replicas: self.spec.max_replicas(),
             priority: self.spec.priority,
-            submitted_at: self.submitted_at,
+            submitted_at: self.requeued_at.unwrap_or(self.submitted_at),
             replicas: if self.running { self.replicas } else { 0 },
             last_action: self.last_action,
             running: self.running,
@@ -168,27 +204,42 @@ impl JobRt {
 #[allow(clippy::too_many_arguments)]
 fn apply_runtime(
     cfg: &SimConfig,
+    fspec: &FaultSpec,
     jobs: &mut [JobRt],
     queue: &mut EventQueue,
     util: &mut UtilizationRecorder,
     rescales: &mut u32,
     cancels: &mut u32,
+    faults: &mut FaultStats,
     action: &Action,
     now: SimTime,
 ) {
     match *action {
         Action::Create { job, replicas } => {
             let j = &mut jobs[job.index()];
-            debug_assert!(!j.running && !j.completed);
+            debug_assert!(!j.running && !j.completed && !j.failed);
             j.running = true;
             j.replicas = replicas;
             j.last_action = now;
             j.started_at = Some(now);
             j.last_update = now;
+            // A fresh attempt ledger: waste on a later requeue charges
+            // only from this launch onward.
+            j.attempt_core_acc = 0.0;
+            j.alloc_since = now;
+            // A checkpoint/restart relaunch pays the FullRestart
+            // recovery window before any progress; a plain launch (or a
+            // kill-and-requeue restart from zero) starts immediately.
+            j.pause_until = if j.needs_recovery {
+                j.needs_recovery = false;
+                now + cfg.overhead.recovery_total(&j.spec.shape, replicas)
+            } else {
+                SimTime::NEG_INFINITY
+            };
             util.set(now, job, replicas);
             let rate = cfg.scaling.job_rate(&j.spec.shape, j.replicas);
-            let remaining = j.spec.work() - j.steps_done;
-            let finish = now + Duration::from_secs(remaining / rate);
+            let remaining = (j.spec.work() - j.steps_done).max(0.0);
+            let finish = j.pause_until.max(now) + Duration::from_secs(remaining / rate);
             queue.push(
                 finish,
                 Event::Completion {
@@ -201,6 +252,8 @@ fn apply_runtime(
             let j = &mut jobs[job.index()];
             debug_assert!(j.running && !j.completed);
             j.advance(now, &cfg.scaling);
+            j.attempt_core_acc += f64::from(j.replicas) * (now - j.alloc_since).as_secs();
+            j.alloc_since = now;
             let cost = cfg
                 .overhead
                 .job_total(&j.spec.shape, j.replicas, to_replicas);
@@ -223,9 +276,62 @@ fn apply_runtime(
             );
         }
         Action::Enqueue { .. } => {}
+        Action::Evict { job } => {
+            // Checkpoint/restart preemption: roll progress back to the
+            // last checkpoint-interval boundary of this attempt, keep
+            // what the checkpoint retained, and mark the job for a
+            // recovery-priced relaunch. Waste is only the rolled-back
+            // tail — the same ledger the operator keeps.
+            let j = &mut jobs[job.index()];
+            debug_assert!(j.running && !j.completed);
+            j.advance(now, &cfg.scaling);
+            let t = fspec.checkpoint_interval.as_secs();
+            let elapsed = (now - j.started_at.expect("running job has started")).as_secs();
+            let since_ckpt = elapsed - (elapsed / t).floor() * t;
+            let rate = cfg.scaling.job_rate(&j.spec.shape, j.replicas);
+            faults.wasted_core_seconds += f64::from(j.replicas) * since_ckpt;
+            faults.evictions += 1;
+            j.steps_done = (j.steps_done - rate * since_ckpt).max(0.0);
+            j.running = false;
+            j.needs_recovery = true;
+            j.last_action = now;
+            j.generation += 1;
+            queue.mark_stale(); // its scheduled completion died
+            util.set(now, job, 0);
+        }
+        Action::Requeue { job } => {
+            // Kill-and-requeue: the whole attempt is wasted; the job
+            // re-enters the queue after an exponential backoff, or
+            // fails permanently once the retry budget runs out.
+            let j = &mut jobs[job.index()];
+            debug_assert!(j.running && !j.completed);
+            j.advance(now, &cfg.scaling);
+            j.attempt_core_acc += f64::from(j.replicas) * (now - j.alloc_since).as_secs();
+            faults.wasted_core_seconds += j.attempt_core_acc;
+            faults.requeues += 1;
+            j.attempt_core_acc = 0.0;
+            j.steps_done = 0.0;
+            j.running = false;
+            j.needs_recovery = false;
+            j.last_action = SimTime::NEG_INFINITY;
+            j.attempts += 1;
+            j.generation += 1;
+            queue.mark_stale(); // its scheduled completion died
+            util.set(now, job, 0);
+            if j.attempts >= fspec.max_attempts {
+                j.failed = true;
+                j.completed_at = Some(now);
+                faults.permanent_failures += 1;
+            } else {
+                let backoff = fspec.backoff_base.as_secs() * 2f64.powi(j.attempts as i32 - 1);
+                let due = now + Duration::from_secs(backoff);
+                j.requeued_at = Some(due);
+                queue.push(due, Event::Requeue { job });
+            }
+        }
         Action::Cancel { job } => {
             let j = &mut jobs[job.index()];
-            if j.completed || j.cancelled || !j.submitted {
+            if j.completed || j.cancelled || j.failed || !j.submitted {
                 return;
             }
             j.advance(now, &cfg.scaling);
@@ -256,6 +362,7 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
     let mut rescales = 0u32;
     let mut cancelled_count = 0u32;
     let mut peak_queue_len = 0usize;
+    let mut fault_stats = FaultStats::default();
 
     // Submit coalescing: consecutive jobs whose arrival instants
     // coincide (zero gaps, or trace bursts) share one Submit event.
@@ -310,6 +417,18 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
             },
         );
     }
+    // Fault events are pushed last so at shared instants they sort
+    // after submissions/cancellations — the order the operator's tick
+    // reconciles them in. (Fault instants must not collide with policy
+    // timer firings: the engines order those two differently.)
+    for e in &workload.faults.events {
+        let ev = match e.kind {
+            FaultKind::NodeFail => Event::NodeFail { slots: e.slots },
+            FaultKind::Reclaim => Event::CapacityReclaim { slots: e.slots },
+            FaultKind::Return => Event::CapacityReturn { slots: e.slots },
+        };
+        queue.push(SimTime::ZERO + e.at, ev);
+    }
 
     macro_rules! apply_all {
         ($actions:expr, $now:expr) => {
@@ -317,11 +436,13 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                 apply_action(&mut view, a, $now, launcher);
                 apply_runtime(
                     cfg,
+                    &workload.faults,
                     &mut jobs,
                     &mut queue,
                     &mut util,
                     &mut rescales,
                     &mut cancelled_count,
+                    &mut fault_stats,
                     a,
                     $now,
                 );
@@ -369,7 +490,11 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
             }
             Event::Cancel { job } => {
                 let idx = job.index();
-                if jobs[idx].completed || jobs[idx].cancelled || !jobs[idx].submitted {
+                if jobs[idx].completed
+                    || jobs[idx].cancelled
+                    || jobs[idx].failed
+                    || !jobs[idx].submitted
+                {
                     // Terminal already, or a cancel timed before the
                     // job's arrival — a no-op, exactly like the client
                     // cancel of an unknown name in the operator path.
@@ -377,14 +502,20 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                 }
                 let held_slots = jobs[idx].running;
                 let cancel = Action::Cancel { job };
-                apply_action(&mut view, &cancel, now, launcher);
+                // A job waiting out a requeue backoff is alive but not
+                // in the view; the runtime cancel alone retires it.
+                if view.job(job).is_some() {
+                    apply_action(&mut view, &cancel, now, launcher);
+                }
                 apply_runtime(
                     cfg,
+                    &workload.faults,
                     &mut jobs,
                     &mut queue,
                     &mut util,
                     &mut rescales,
                     &mut cancelled_count,
+                    &mut fault_stats,
                     &cancel,
                     now,
                 );
@@ -395,10 +526,54 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                     apply_all!(actions, now);
                 }
             }
+            Event::NodeFail { slots } | Event::CapacityReclaim { slots } => {
+                // Capacity loss: mark the slots failed (opening a
+                // deficit when they were occupied), let the policy
+                // answer through on_fault, and insist the plan covers
+                // the deficit before the usual redistribution pass.
+                view.fail_slots(slots);
+                let kind = if matches!(event, Event::NodeFail { .. }) {
+                    FaultKind::NodeFail
+                } else {
+                    FaultKind::Reclaim
+                };
+                let fault = FaultEvent {
+                    at: Duration::from_secs(now.as_secs()),
+                    slots,
+                    kind,
+                };
+                let actions = cfg.policy.on_fault(&view, &fault, now);
+                apply_all!(actions, now);
+                assert_eq!(
+                    view.deficit(),
+                    0,
+                    "policy {} left a fault deficit uncovered",
+                    cfg.policy.name()
+                );
+                let actions = cfg.policy.on_complete(&view, now);
+                apply_all!(actions, now);
+            }
+            Event::CapacityReturn { slots } => {
+                // Reclaimed capacity comes back: restore it to the free
+                // pool and let the policy expand or admit into it.
+                view.restore_slots(slots);
+                let actions = cfg.policy.on_complete(&view, now);
+                apply_all!(actions, now);
+            }
+            Event::Requeue { job } => {
+                let idx = job.index();
+                if jobs[idx].completed || jobs[idx].cancelled || jobs[idx].failed {
+                    continue; // cancelled while waiting out the backoff
+                }
+                jobs[idx].last_update = now;
+                view.insert(jobs[idx].view_state(job), launcher);
+                let actions = cfg.policy.on_submit(&view, job, now);
+                apply_all!(actions, now);
+            }
             Event::Timer => {
                 // Stop the clock once every job is terminal — the run
                 // is over; an armed timer must not keep it alive.
-                if jobs.iter().all(|j| j.completed || j.cancelled) {
+                if jobs.iter().all(|j| j.completed || j.cancelled || j.failed) {
                     continue;
                 }
                 let actions = cfg.policy.on_timer(&view, now);
@@ -423,6 +598,10 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                     let j = &jobs[job.index()];
                     !j.completed && !j.cancelled && j.generation == *generation
                 }
+                Event::Requeue { job } => {
+                    let j = &jobs[job.index()];
+                    !j.completed && !j.cancelled && !j.failed
+                }
                 _ => true,
             });
         }
@@ -433,15 +612,18 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
     // mask it in debug builds).
     for j in &jobs {
         assert!(
-            j.completed || j.cancelled,
+            j.completed || j.cancelled || j.failed,
             "job {} never completed (starved in queue)",
             j.spec.name
         );
     }
 
     debug_assert!(
-        view.is_empty() && view.free_slots() == cfg.capacity,
-        "incremental view must drain to empty when every job is terminal"
+        view.is_empty()
+            && view.deficit() == 0
+            && view.free_slots() + view.failed_slots() == cfg.capacity,
+        "incremental view must drain to empty (minus still-failed slots) \
+         when every job is terminal"
     );
 
     let outcomes: Vec<JobOutcome> = jobs
@@ -458,12 +640,13 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
     let metrics = if outcomes.is_empty() {
         // Every job was cancelled: nothing completed, nothing to
         // aggregate.
-        RunMetrics::empty(cfg.policy.name(), rescales)
+        RunMetrics::empty(cfg.policy.name(), rescales).with_fault_stats(fault_stats)
     } else {
         let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
         let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
         let utilization = util.average_utilization(first_submit, last_complete);
         RunMetrics::from_outcomes(cfg.policy.name(), outcomes, utilization, rescales)
+            .with_fault_stats(fault_stats)
     };
     SimOutcome {
         metrics,
@@ -794,6 +977,189 @@ mod tests {
         );
         let cfg = SimConfig::paper_default(Box::new(policy));
         let _ = simulate(&cfg, &wl);
+    }
+
+    #[test]
+    fn empty_fault_spec_changes_nothing() {
+        let wl = spaced(generate_workload(11, 16), 90.0);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.faults, elastic_core::FaultStats::default());
+    }
+
+    fn recovery(strategy: elastic_core::RecoveryStrategy) -> Box<dyn SchedulingPolicy> {
+        Box::new(elastic_core::RecoveryPolicy::new(
+            policy(PolicyKind::Elastic, 10.0),
+            strategy,
+        ))
+    }
+
+    /// One malleable job holding most of the cluster, then a reclaim
+    /// bites into its allocation and later returns.
+    fn reclaim_workload() -> WorkloadSpec {
+        use crate::workload::{FaultEvent, FaultKind, FaultSpec};
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("big", 8, 56, 100_000.0, 3)]);
+        wl.with_faults(FaultSpec::new(vec![
+            FaultEvent {
+                at: Duration::from_secs(500.0),
+                slots: 40,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(900.0),
+                slots: 40,
+                kind: FaultKind::Return,
+            },
+        ]))
+    }
+
+    #[test]
+    fn shrink_on_reclaim_loses_no_work() {
+        let cfg =
+            SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::ShrinkOnReclaim));
+        let out = simulate(&cfg, &reclaim_workload());
+        assert_eq!(out.metrics.jobs.len(), 1);
+        let f = out.metrics.faults;
+        assert_eq!((f.evictions, f.requeues, f.permanent_failures), (0, 0, 0));
+        assert_eq!(f.wasted_core_seconds, 0.0, "shrinking wastes nothing");
+        assert!(out.rescales >= 2, "shrink on reclaim, expand on return");
+    }
+
+    #[test]
+    fn checkpoint_restart_rolls_back_to_the_boundary() {
+        let cfg =
+            SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::CheckpointRestart));
+        let wl = reclaim_workload();
+        // Default checkpoint interval 300 s; reclaim at 500 s => the
+        // 200 s tail past the 300 s checkpoint is wasted on all 56
+        // replicas the job held.
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 1);
+        let f = out.metrics.faults;
+        assert_eq!(f.evictions, 1);
+        assert_eq!(f.requeues, 0);
+        assert!(
+            (f.wasted_core_seconds - 56.0 * 200.0).abs() < 1e-6,
+            "wasted {} != 56 replicas x 200 s rollback",
+            f.wasted_core_seconds
+        );
+    }
+
+    #[test]
+    fn kill_requeue_wastes_the_whole_attempt_and_backs_off() {
+        let cfg = SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::KillRequeue));
+        let out = simulate(&cfg, &reclaim_workload());
+        assert_eq!(out.metrics.jobs.len(), 1, "retry succeeds within budget");
+        let f = out.metrics.faults;
+        assert_eq!(f.requeues, 1);
+        assert_eq!(f.evictions, 0);
+        assert_eq!(f.permanent_failures, 0);
+        assert!(
+            (f.wasted_core_seconds - 56.0 * 500.0).abs() < 1e-6,
+            "wasted {} != the whole 500 s x 56-replica attempt",
+            f.wasted_core_seconds
+        );
+        // The requeued job restarts from zero after the 30 s backoff.
+        let j = &out.metrics.jobs[0];
+        assert!(j.started_at >= SimTime::from_secs(530.0));
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_the_job_permanently() {
+        use crate::workload::{FaultEvent, FaultKind, FaultSpec};
+        // Three reclaims, each timed to catch the job's retry (backoffs
+        // 30/60 s), against a budget of 3 attempts: the third kill is
+        // permanent and the run still terminates cleanly.
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("doomed", 8, 56, 1e9, 3)]);
+        let mut spec = FaultSpec::new(vec![
+            FaultEvent {
+                at: Duration::from_secs(100.0),
+                slots: 60,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(200.0),
+                slots: 60,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(150.0),
+                slots: 60,
+                kind: FaultKind::Return,
+            },
+            FaultEvent {
+                at: Duration::from_secs(250.0),
+                slots: 60,
+                kind: FaultKind::Return,
+            },
+            FaultEvent {
+                at: Duration::from_secs(300.0),
+                slots: 60,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(350.0),
+                slots: 60,
+                kind: FaultKind::Return,
+            },
+        ]);
+        spec.events.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        let wl = wl.with_faults(spec);
+        let cfg = SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::KillRequeue));
+        let out = simulate(&cfg, &wl);
+        let f = out.metrics.faults;
+        assert_eq!(f.requeues, 3);
+        assert_eq!(f.permanent_failures, 1);
+        assert!(out.metrics.jobs.is_empty(), "the job never completed");
+        assert!(f.wasted_core_seconds > 0.0);
+    }
+
+    #[test]
+    fn cancel_during_requeue_backoff_retires_the_job() {
+        use crate::workload::{FaultEvent, FaultKind, FaultSpec};
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("victim", 8, 56, 1e9, 3)]);
+        let wl = wl.with_faults(FaultSpec::new(vec![
+            FaultEvent {
+                at: Duration::from_secs(100.0),
+                slots: 60,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(110.0),
+                slots: 60,
+                kind: FaultKind::Return,
+            },
+        ]));
+        let mut cfg =
+            SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::KillRequeue));
+        // The kill lands at t=100, backoff expires at t=130; cancel in
+        // between, while the job is alive but absent from the view.
+        cfg.cancellations = vec![(Duration::from_secs(115.0), "victim".into())];
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.cancelled, 1);
+        assert_eq!(out.metrics.faults.requeues, 1);
+        assert_eq!(out.metrics.faults.permanent_failures, 0);
+        assert!(out.metrics.jobs.is_empty());
+    }
+
+    #[test]
+    fn node_failure_capacity_never_comes_back() {
+        use crate::workload::{FaultEvent, FaultKind, FaultSpec};
+        // 40 slots die for good; the survivor finishes on what's left.
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("j", 8, 56, 50_000.0, 3)]);
+        let wl = wl.with_faults(FaultSpec::new(vec![FaultEvent {
+            at: Duration::from_secs(200.0),
+            slots: 40,
+            kind: FaultKind::NodeFail,
+        }]));
+        let cfg =
+            SimConfig::paper_default(recovery(elastic_core::RecoveryStrategy::ShrinkOnReclaim));
+        let out = simulate(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 1);
+        // After the failure at most 24 slots exist; the job must have
+        // shrunk below its original 56 workers.
+        assert!(out.rescales >= 1);
+        assert!(out.util.peak() <= 64);
     }
 
     #[test]

@@ -53,6 +53,29 @@ pub enum Event {
     /// `SchedulingPolicy::on_timer` and reschedules the next firing one
     /// `timer_interval` later while non-terminal jobs remain.
     Timer,
+    /// Permanent loss of `slots` worker slots (a node failure from the
+    /// workload's `FaultSpec`); never returns.
+    NodeFail {
+        /// Slots lost.
+        slots: u32,
+    },
+    /// Temporary loss of `slots` worker slots (a spot reclamation); a
+    /// matching [`Event::CapacityReturn`] gives them back later.
+    CapacityReclaim {
+        /// Slots reclaimed.
+        slots: u32,
+    },
+    /// Return of `slots` previously reclaimed worker slots.
+    CapacityReturn {
+        /// Slots restored.
+        slots: u32,
+    },
+    /// A kill-and-requeued job's backoff expired: it re-enters the
+    /// scheduling queue and the admission decision runs again.
+    Requeue {
+        /// The job.
+        job: JobId,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]

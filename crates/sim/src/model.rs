@@ -231,6 +231,20 @@ impl OverheadModel {
     pub fn job_total(&self, shape: &JobShape, from: u32, to: u32) -> Duration {
         Duration::from_secs(self.job_breakdown(shape, from, to).total())
     }
+
+    /// Cost of restarting an evicted job from its last in-memory
+    /// checkpoint on `to` replicas — the FullRestart recovery path of
+    /// the fault layer: a full relaunch plus restoring the job's state
+    /// from the checkpoint (no LB stage — placement is fresh, and no
+    /// checkpoint stage — it was cut before the eviction).
+    pub fn recovery_total(&self, shape: &JobShape, to: u32) -> Duration {
+        assert!(to >= 1);
+        let bytes = shape.state_bytes();
+        let secs = self.restart_base
+            + self.restart_per_pe * f64::from(to)
+            + bytes / (self.ckpt_bw_per_replica * f64::from(to));
+        Duration::from_secs(secs)
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +461,19 @@ mod tests {
         let ts = o.job_total(&small, 8, 4).as_secs();
         let tb = o.job_total(&big, 8, 4).as_secs();
         assert!(ts > 0.0 && tb > ts, "{ts} vs {tb}");
+    }
+
+    #[test]
+    fn recovery_cost_is_restart_plus_restore() {
+        let o = OverheadModel::default();
+        let shape = JobShape::Class(SizeClass::Large);
+        let t = o.recovery_total(&shape, 16).as_secs();
+        let expected = o.restart_base
+            + o.restart_per_pe * 16.0
+            + shape.state_bytes() / (o.ckpt_bw_per_replica * 16.0);
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+        // Seconds-scale, like every other overhead in the model.
+        assert!(t > 0.0 && t < 15.0);
     }
 
     #[test]

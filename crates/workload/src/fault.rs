@@ -1,0 +1,368 @@
+//! The fault layer of a workload: node failures and spot reclamation.
+//!
+//! Cloud capacity is not stable — nodes die and spot/preemptible slots
+//! get reclaimed (and later returned) by the provider. A [`FaultSpec`]
+//! makes those events part of the replayable workload, exactly like
+//! arrivals and cancellations: a deterministic, time-ordered list of
+//! capacity changes plus the recovery parameters every engine shares
+//! (checkpoint interval, retry budget, requeue backoff).
+//!
+//! Both engines surface each [`FaultEvent`] to the scheduling policy
+//! via `SchedulingPolicy::on_fault`, which answers with eviction /
+//! requeue / shrink actions until the capacity deficit clears. An empty
+//! `FaultSpec` (the default) injects nothing and costs nothing on the
+//! replay hot path.
+
+use hpc_metrics::Duration;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What kind of capacity change a [`FaultEvent`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Permanent loss of slots (a node died). Never comes back.
+    NodeFail,
+    /// Spot reclamation: the provider takes slots away, to be handed
+    /// back by a later [`FaultKind::Return`].
+    Reclaim,
+    /// Reclaimed slots come back (spot capacity returned).
+    Return,
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::NodeFail => write!(f, "node_fail"),
+            FaultKind::Reclaim => write!(f, "reclaim"),
+            FaultKind::Return => write!(f, "return"),
+        }
+    }
+}
+
+/// One capacity-change event on the workload timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// When the event fires, relative to the workload epoch (like
+    /// `JobSpec::arrival`).
+    pub at: Duration,
+    /// How many slots the event removes (or returns).
+    pub slots: u32,
+    /// Loss, reclamation, or return.
+    pub kind: FaultKind,
+}
+
+/// Why a [`FaultSpec`] is not replayable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultError {
+    /// Events are not sorted by time.
+    UnsortedEvents {
+        /// 0-based index of the first event observed out of order.
+        index: usize,
+    },
+    /// An event has zero slots or a non-finite/negative time.
+    BadEvent {
+        /// 0-based index of the offending event.
+        index: usize,
+    },
+    /// A return hands back more slots than are currently reclaimed.
+    ReturnExceedsReclaimed {
+        /// 0-based index of the offending return event.
+        index: usize,
+    },
+    /// A recovery parameter is out of range (zero checkpoint interval
+    /// or backoff, zero retry budget).
+    BadRecoveryParams,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::UnsortedEvents { index } => {
+                write!(f, "fault event {index} fires earlier than its predecessor")
+            }
+            FaultError::BadEvent { index } => {
+                write!(f, "fault event {index} has zero slots or a bad time")
+            }
+            FaultError::ReturnExceedsReclaimed { index } => {
+                write!(
+                    f,
+                    "fault event {index} returns more slots than are reclaimed"
+                )
+            }
+            FaultError::BadRecoveryParams => {
+                write!(
+                    f,
+                    "recovery parameters must be positive (interval, backoff, attempts)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// The fault layer of a workload: capacity events plus the recovery
+/// parameters both engines honor. The [`Default`] spec has no events
+/// and is zero-cost to replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Capacity-change events in time order.
+    pub events: Vec<FaultEvent>,
+    /// Wall-clock interval between a running job's checkpoints. On a
+    /// checkpoint/restart eviction the job resumes from its last
+    /// checkpoint instant; work since then is wasted.
+    pub checkpoint_interval: Duration,
+    /// How many times a job may be killed-and-requeued before it is
+    /// marked permanently failed.
+    pub max_attempts: u32,
+    /// Base delay before a killed job is resubmitted; attempt `k`
+    /// (1-based) waits `backoff_base × 2^(k-1)`.
+    pub backoff_base: Duration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            events: Vec::new(),
+            checkpoint_interval: Duration::from_secs(300.0),
+            max_attempts: 3,
+            backoff_base: Duration::from_secs(30.0),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec with the given events and default recovery parameters.
+    pub fn new(events: Vec<FaultEvent>) -> Self {
+        FaultSpec {
+            events,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// `true` when no fault events are scheduled (replay is fault-free
+    /// and pays nothing for the fault layer).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builder: sets the checkpoint interval.
+    pub fn with_checkpoint_interval(mut self, interval: Duration) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Builder: sets the kill-and-requeue retry budget.
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Builder: sets the base requeue backoff.
+    pub fn with_backoff_base(mut self, backoff: Duration) -> Self {
+        self.backoff_base = backoff;
+        self
+    }
+
+    /// A deterministic seeded spot-reclamation trace: `pairs`
+    /// drop/return pairs of `slots` slots each, spread over `horizon`
+    /// with seeded jitter, each outage lasting `outage`. Event times
+    /// are whole seconds so tick-driven replays hit them exactly.
+    pub fn reclamation(
+        seed: u64,
+        pairs: u32,
+        slots: u32,
+        horizon: Duration,
+        outage: Duration,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(2 * pairs as usize);
+        let horizon_s = horizon.as_secs().max(1.0);
+        let outage_s = outage.as_secs().max(1.0).round();
+        let spacing = horizon_s / (f64::from(pairs) + 1.0);
+        for i in 0..pairs {
+            let base = spacing * f64::from(i + 1);
+            let jitter = rng.gen_range(-0.25..0.25) * spacing;
+            let at = (base + jitter).max(1.0).round();
+            events.push(FaultEvent {
+                at: Duration::from_secs(at),
+                slots,
+                kind: FaultKind::Reclaim,
+            });
+            events.push(FaultEvent {
+                at: Duration::from_secs(at + outage_s),
+                slots,
+                kind: FaultKind::Return,
+            });
+        }
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite fault times"));
+        FaultSpec {
+            events,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Builder: divides every event time by `factor` (rounding to whole
+    /// seconds) — the fault-layer side of
+    /// `WorkloadSpec::compress_arrivals`.
+    ///
+    /// # Panics
+    /// If `factor` is not finite and positive.
+    pub fn compress(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression factor must be finite and > 0, got {factor}"
+        );
+        for e in &mut self.events {
+            e.at = Duration::from_secs((e.at.as_secs() / factor).round());
+        }
+        self
+    }
+
+    /// Checks the engine contract: events sorted by time with positive
+    /// slots and finite nonnegative times, every return covered by
+    /// outstanding reclaimed slots, positive recovery parameters.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let ok = |d: Duration| d.as_secs().is_finite() && d.as_secs() > 0.0;
+        if !ok(self.checkpoint_interval) || !ok(self.backoff_base) || self.max_attempts == 0 {
+            return Err(FaultError::BadRecoveryParams);
+        }
+        let mut prev = Duration::ZERO;
+        let mut reclaimed: u64 = 0;
+        for (index, e) in self.events.iter().enumerate() {
+            if e.slots == 0 || !e.at.as_secs().is_finite() || e.at.as_secs() < 0.0 {
+                return Err(FaultError::BadEvent { index });
+            }
+            if e.at < prev {
+                return Err(FaultError::UnsortedEvents { index });
+            }
+            prev = e.at;
+            match e.kind {
+                FaultKind::Reclaim => reclaimed += u64::from(e.slots),
+                FaultKind::Return => {
+                    if u64::from(e.slots) > reclaimed {
+                        return Err(FaultError::ReturnExceedsReclaimed { index });
+                    }
+                    reclaimed -= u64::from(e.slots);
+                }
+                FaultKind::NodeFail => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: f64, slots: u32, kind: FaultKind) -> FaultEvent {
+        FaultEvent {
+            at: Duration::from_secs(at),
+            slots,
+            kind,
+        }
+    }
+
+    #[test]
+    fn default_spec_is_empty_and_valid() {
+        let spec = FaultSpec::default();
+        assert!(spec.is_empty());
+        assert!(spec.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_each_contract_violation() {
+        let unsorted = FaultSpec {
+            events: vec![
+                ev(100.0, 4, FaultKind::Reclaim),
+                ev(50.0, 4, FaultKind::Return),
+            ],
+            ..FaultSpec::default()
+        };
+        assert_eq!(
+            unsorted.validate(),
+            Err(FaultError::UnsortedEvents { index: 1 })
+        );
+
+        let zero = FaultSpec {
+            events: vec![ev(10.0, 0, FaultKind::NodeFail)],
+            ..FaultSpec::default()
+        };
+        assert_eq!(zero.validate(), Err(FaultError::BadEvent { index: 0 }));
+
+        let uncovered = FaultSpec {
+            events: vec![
+                ev(10.0, 4, FaultKind::Reclaim),
+                ev(20.0, 8, FaultKind::Return),
+            ],
+            ..FaultSpec::default()
+        };
+        assert_eq!(
+            uncovered.validate(),
+            Err(FaultError::ReturnExceedsReclaimed { index: 1 })
+        );
+
+        // Node failures never come back, so they do not fund returns.
+        let nodefail = FaultSpec {
+            events: vec![
+                ev(10.0, 4, FaultKind::NodeFail),
+                ev(20.0, 4, FaultKind::Return),
+            ],
+            ..FaultSpec::default()
+        };
+        assert_eq!(
+            nodefail.validate(),
+            Err(FaultError::ReturnExceedsReclaimed { index: 1 })
+        );
+
+        let bad_params = FaultSpec {
+            max_attempts: 0,
+            ..FaultSpec::default()
+        };
+        assert_eq!(bad_params.validate(), Err(FaultError::BadRecoveryParams));
+    }
+
+    #[test]
+    fn reclamation_generator_is_deterministic_and_valid() {
+        let horizon = Duration::from_secs(10_000.0);
+        let outage = Duration::from_secs(600.0);
+        let a = FaultSpec::reclamation(7, 4, 8, horizon, outage);
+        let b = FaultSpec::reclamation(7, 4, 8, horizon, outage);
+        assert_eq!(a, b, "same seed, same trace");
+        assert_eq!(a.events.len(), 8);
+        assert!(a.validate().is_ok());
+        // Whole-second event times (tick-grid friendly).
+        for e in &a.events {
+            assert_eq!(e.at.as_secs().fract(), 0.0);
+        }
+        // Every drop is eventually returned.
+        let net: i64 = a
+            .events
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::Reclaim => -i64::from(e.slots),
+                FaultKind::Return => i64::from(e.slots),
+                FaultKind::NodeFail => 0,
+            })
+            .sum();
+        assert_eq!(net, 0);
+        let c = FaultSpec::reclamation(8, 4, 8, horizon, outage);
+        assert_ne!(a, c, "different seed, different trace");
+    }
+
+    #[test]
+    fn compress_divides_event_times() {
+        let spec = FaultSpec {
+            events: vec![
+                ev(600.0, 8, FaultKind::Reclaim),
+                ev(1200.0, 8, FaultKind::Return),
+            ],
+            ..FaultSpec::default()
+        }
+        .compress(10.0);
+        assert_eq!(spec.events[0].at.as_secs(), 60.0);
+        assert_eq!(spec.events[1].at.as_secs(), 120.0);
+        assert!(spec.validate().is_ok());
+    }
+}

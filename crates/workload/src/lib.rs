@@ -60,11 +60,13 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod generator;
 pub mod malleability;
 pub mod spec;
 pub mod swf;
 
+pub use fault::{FaultError, FaultEvent, FaultKind, FaultSpec};
 pub use generator::{generate_workload, poisson_workload};
 pub use malleability::MalleabilityModel;
 pub use spec::{JobShape, JobSpec, SizeClass, WorkloadError, WorkloadSpec};

@@ -8,6 +8,8 @@
 
 use hpc_metrics::Duration;
 
+use crate::fault::{FaultError, FaultSpec};
+
 /// The four job size classes of the paper's §4.3.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SizeClass {
@@ -284,6 +286,8 @@ pub enum WorkloadError {
         /// First job observed out of order.
         name: String,
     },
+    /// The fault layer violates its contract (see [`FaultError`]).
+    BadFaults(FaultError),
 }
 
 impl std::fmt::Display for WorkloadError {
@@ -303,6 +307,7 @@ impl std::fmt::Display for WorkloadError {
             WorkloadError::UnsortedArrivals { name } => {
                 write!(f, "{name}: arrival earlier than its predecessor")
             }
+            WorkloadError::BadFaults(e) => write!(f, "fault layer: {e}"),
         }
     }
 }
@@ -315,13 +320,26 @@ impl std::error::Error for WorkloadError {}
 pub struct WorkloadSpec {
     /// Jobs in submission (arrival) order.
     pub jobs: Vec<JobSpec>,
+    /// The fault layer: capacity-change events and recovery parameters
+    /// (empty by default — fault-free replay pays nothing for it).
+    pub faults: FaultSpec,
 }
 
 impl WorkloadSpec {
     /// A workload over `jobs` (assumed already in arrival order; call
-    /// [`WorkloadSpec::validate`] to check).
+    /// [`WorkloadSpec::validate`] to check) with an empty fault layer.
     pub fn new(jobs: Vec<JobSpec>) -> Self {
-        WorkloadSpec { jobs }
+        WorkloadSpec {
+            jobs,
+            faults: FaultSpec::default(),
+        }
+    }
+
+    /// Builder: attaches a fault layer (capacity events + recovery
+    /// parameters) to the workload.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Number of jobs.
@@ -345,7 +363,8 @@ impl WorkloadSpec {
     }
 
     /// Builder: compresses the arrival timeline by `factor` — every
-    /// arrival *and* cancellation instant is divided by it, so a
+    /// arrival, cancellation *and* fault-event instant is divided by
+    /// it, so a
     /// multi-week archive trace replays in bounded simulation time
     /// while the relative order of all timeline events (and each job's
     /// cancellation offset, proportionally) is preserved. A factor
@@ -366,6 +385,9 @@ impl WorkloadSpec {
             if let Some(c) = job.cancel_at {
                 job.cancel_at = Some(Duration::from_secs(c.as_secs() / factor));
             }
+        }
+        for e in &mut self.faults.events {
+            e.at = Duration::from_secs((e.at.as_secs() / factor).round());
         }
         self
     }
@@ -440,6 +462,7 @@ impl WorkloadSpec {
             }
             prev = job.arrival;
         }
+        self.faults.validate().map_err(WorkloadError::BadFaults)?;
         Ok(())
     }
 }
@@ -591,6 +614,45 @@ mod tests {
         // scales.
         assert_eq!(wl.jobs[1].work(), 40_000.0);
         assert_eq!(wl.jobs[1].walltime_estimate.unwrap().as_secs(), 25.0);
+    }
+
+    #[test]
+    fn fault_layer_rides_the_workload() {
+        use crate::fault::{FaultEvent, FaultKind, FaultSpec};
+        let faults = FaultSpec {
+            events: vec![
+                FaultEvent {
+                    at: Duration::from_secs(600.0),
+                    slots: 8,
+                    kind: FaultKind::Reclaim,
+                },
+                FaultEvent {
+                    at: Duration::from_secs(1200.0),
+                    slots: 8,
+                    kind: FaultKind::Return,
+                },
+            ],
+            ..FaultSpec::default()
+        };
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("a", 1, 4, 100.0, 1)])
+            .with_faults(faults)
+            .compress_arrivals(10.0);
+        assert_eq!(wl.faults.events[0].at.as_secs(), 60.0);
+        assert_eq!(wl.faults.events[1].at.as_secs(), 120.0);
+        assert!(wl.validate().is_ok());
+
+        // An invalid fault layer fails workload validation.
+        let bad = WorkloadSpec::new(vec![JobSpec::malleable("a", 1, 4, 100.0, 1)]).with_faults(
+            FaultSpec {
+                events: vec![FaultEvent {
+                    at: Duration::from_secs(10.0),
+                    slots: 8,
+                    kind: FaultKind::Return,
+                }],
+                ..FaultSpec::default()
+            },
+        );
+        assert!(matches!(bad.validate(), Err(WorkloadError::BadFaults(_))));
     }
 
     #[test]

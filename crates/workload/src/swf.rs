@@ -433,17 +433,24 @@ pub fn load_workload<R: BufRead>(reader: R, cfg: &SwfLoadConfig) -> Result<Workl
         let (min_replicas, max_replicas) = cfg.malleability.bounds(procs);
         let min_replicas = min_replicas.min(schedulable);
         let max_replicas = max_replicas.max(min_replicas);
-        jobs.push(
-            JobSpec::malleable(
-                format!("swf{:07}", r.job_id),
-                min_replicas,
-                max_replicas,
-                runtime_s * f64::from(procs),
-                priority_of(&r),
-            )
-            .at(Duration::from_secs(r.submit_s))
-            .with_walltime_estimate(Duration::from_secs(walltime_s)),
-        );
+        let mut job = JobSpec::malleable(
+            format!("swf{:07}", r.job_id),
+            min_replicas,
+            max_replicas,
+            runtime_s * f64::from(procs),
+            priority_of(&r),
+        )
+        .at(Duration::from_secs(r.submit_s))
+        .with_walltime_estimate(Duration::from_secs(walltime_s));
+        // Status 5 is SWF's cancellation code: the record stopped at
+        // submit + wait + run (queue time plus whatever it ran — either
+        // may be missing, reading as zero), which becomes the job's
+        // `cancel_at` instant on the replay timeline.
+        if r.status == 5 {
+            let offset = r.wait_s.max(0.0) + r.run_s.max(0.0);
+            job = job.cancelled_at(Duration::from_secs(r.submit_s + offset));
+        }
+        jobs.push(job);
     }
     Ok(WorkloadSpec::new(jobs))
 }
@@ -475,8 +482,16 @@ pub fn write_swf<W: std::io::Write>(
 /// so a load → write → load round trip preserves names; any other
 /// naming uses 1-based positions throughout — mixing the two schemes
 /// could collide ids and produce a stream the loader rejects.
-/// Priorities 1–5 round-trip through the queue field; cancellations
-/// have no SWF field and are dropped.
+/// Priorities 1–5 round-trip through the queue field.
+///
+/// Cancellations round-trip through SWF's status-5 code: a cancelled
+/// job writes `status = 5` with `wait + run` encoding the cancellation
+/// offset (`cancel_at - arrival`), exactly what the loader reads back.
+/// A job cancelled before its full runtime writes the *partial* run
+/// time — what a real archive would have recorded — so its `cancel_at`
+/// is preserved exactly while the full intended work is unknowable from
+/// the record (work reloads as `partial_run × procs`). A cancellation
+/// before arrival is a no-op in every engine and is dropped.
 pub fn workload_records(workload: &WorkloadSpec) -> Vec<SwfRecord> {
     let parsed_ids: Option<Vec<u64>> = workload
         .jobs
@@ -499,19 +514,41 @@ pub fn workload_records(workload: &WorkloadSpec) -> Vec<SwfRecord> {
         .map(|(i, job)| {
             let job_id = parsed_ids.as_ref().map_or(i as u64 + 1, |ids| ids[i]);
             let procs = i64::from(job.max_replicas());
-            let run_s = job.work() / procs as f64;
+            let full_run = job.work() / procs as f64;
+            // Cancelled jobs encode their cancellation offset as
+            // wait + run (see the function docs); everyone else writes
+            // the full runtime with no wait.
+            let (status, wait_s, run_s) = match job.cancel_at {
+                Some(c) if c >= job.arrival => {
+                    let offset = (c - job.arrival).as_secs();
+                    if offset >= full_run {
+                        (5, offset - full_run, full_run)
+                    } else {
+                        (5, 0.0, offset)
+                    }
+                }
+                _ => (1, -1.0, full_run),
+            };
+            // A record whose run time came out zero (cancelled at
+            // arrival) still needs a loadable runtime: fall back to the
+            // requested-time field, exactly the pair the loader reads.
+            let requested_s = match job.walltime_estimate {
+                Some(d) => d.as_secs(),
+                None if run_s <= 0.0 => full_run,
+                None => -1.0,
+            };
             SwfRecord {
                 job_id,
                 submit_s: job.arrival.as_secs(),
-                wait_s: -1.0,
+                wait_s,
                 run_s,
                 allocated_procs: procs,
                 avg_cpu_s: -1.0,
                 used_memory_kb: -1.0,
                 requested_procs: procs,
-                requested_s: job.walltime_estimate.map_or(-1.0, |d| d.as_secs()),
+                requested_s,
                 requested_memory_kb: -1.0,
-                status: 1,
+                status,
                 user: -1,
                 group: -1,
                 executable: -1,
@@ -819,6 +856,67 @@ mod tests {
         );
     }
 
+    #[test]
+    fn status_5_records_load_with_a_cancellation() {
+        // wait 30 + run 50: cancelled at submit(100) + 80 = 180.
+        let text = "1 100 30 50 4 -1 -1 4 -1 -1 5 -1 -1 -1 1 -1 -1 -1\n";
+        let wl = load_workload(text.as_bytes(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(wl.jobs[0].cancel_at.unwrap().as_secs(), 180.0);
+        // Missing wait reads as zero: cancelled at submit + run.
+        let text = "1 100 -1 50 4 -1 -1 4 -1 -1 5 -1 -1 -1 1 -1 -1 -1\n";
+        let wl = load_workload(text.as_bytes(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(wl.jobs[0].cancel_at.unwrap().as_secs(), 150.0);
+        // Completed records stay cancellation-free.
+        let text = "1 100 30 50 4 -1 -1 4 -1 -1 1 -1 -1 -1 1 -1 -1 -1\n";
+        let wl = load_workload(text.as_bytes(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert!(wl.jobs[0].cancel_at.is_none());
+    }
+
+    #[test]
+    fn cancelled_jobs_round_trip_through_the_writer() {
+        // Cancel after the full runtime: everything round-trips.
+        let after = WorkloadSpec::new(vec![JobSpec::malleable("swf0000001", 4, 4, 400.0, 2)
+            .at(Duration::from_secs(10.0))
+            .cancelled_at(Duration::from_secs(500.0))]);
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &after).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(loaded.jobs[0].cancel_at.unwrap().as_secs(), 500.0);
+        assert_eq!(loaded.jobs[0].work(), 400.0);
+
+        // Mid-run cancel: cancel_at exact, work clamps to the partial
+        // runtime the archive record captures.
+        let mid = WorkloadSpec::new(vec![JobSpec::malleable("swf0000001", 4, 4, 400.0, 2)
+            .at(Duration::from_secs(10.0))
+            .cancelled_at(Duration::from_secs(40.0))]);
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &mid).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(loaded.jobs[0].cancel_at.unwrap().as_secs(), 40.0);
+        assert_eq!(loaded.jobs[0].work(), 30.0 * 4.0);
+
+        // Cancel at arrival (estimate-less): runtime falls back through
+        // the requested-time field, so the record stays loadable and
+        // work survives exactly.
+        let at_arrival = WorkloadSpec::new(vec![JobSpec::malleable("swf0000001", 4, 4, 400.0, 2)
+            .at(Duration::from_secs(10.0))
+            .cancelled_at(Duration::from_secs(10.0))]);
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &at_arrival).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert_eq!(loaded.jobs[0].cancel_at.unwrap().as_secs(), 10.0);
+        assert_eq!(loaded.jobs[0].work(), 400.0);
+
+        // Cancel before arrival is a no-op and is dropped.
+        let noop = WorkloadSpec::new(vec![JobSpec::malleable("swf0000001", 4, 4, 400.0, 2)
+            .at(Duration::from_secs(10.0))
+            .cancelled_at(Duration::from_secs(5.0))]);
+        let mut buf = Vec::new();
+        write_workload(&mut buf, &noop).unwrap();
+        let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+        assert!(loaded.jobs[0].cancel_at.is_none());
+    }
+
     proptest::proptest! {
         /// parse(serialize(parse(serialize(r)))) == parse(serialize(r)):
         /// the textual form is a fixed point after one round trip, for
@@ -873,6 +971,44 @@ mod tests {
                 wl.jobs[0].walltime_estimate.unwrap().as_secs(),
                 expect
             );
+        }
+
+        /// Status-5 round trip: for any cancellation offset ≥ 0 the
+        /// loaded `cancel_at` is exactly the written one, and work
+        /// survives exactly whenever the cancellation falls at or after
+        /// the job's full runtime (the only lossless regime an archive
+        /// record allows — earlier cancels record the partial run).
+        #[test]
+        fn cancel_at_round_trips_through_status_5(
+            submit in 0u64..1_000_000,
+            run in 1u64..10_000,
+            procs in 1i64..32,
+            offset in 0u64..50_000,
+        ) {
+            let work = run as f64 * procs as f64;
+            let cancel = (submit + offset) as f64;
+            let original = WorkloadSpec::new(vec![JobSpec::malleable(
+                "swf0000001",
+                procs as u32,
+                procs as u32,
+                work,
+                1,
+            )
+            .at(Duration::from_secs(submit as f64))
+            .cancelled_at(Duration::from_secs(cancel))]);
+            let recs = workload_records(&original);
+            proptest::prop_assert_eq!(recs[0].status, 5);
+            let mut buf = Vec::new();
+            write_workload(&mut buf, &original).unwrap();
+            let loaded = load_workload(buf.as_slice(), &SwfLoadConfig::rigid(64)).unwrap();
+            proptest::prop_assert_eq!(
+                loaded.jobs[0].cancel_at.unwrap().as_secs(),
+                cancel
+            );
+            if offset >= run {
+                proptest::prop_assert!((loaded.jobs[0].work() - work).abs() < 1e-9);
+            }
+            proptest::prop_assert!(loaded.validate().is_ok());
         }
 
         /// Workload-level round trip: write → load under a rigid config
