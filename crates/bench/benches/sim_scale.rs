@@ -39,6 +39,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use elastic_bench::json::{parse_json, Json};
 use elastic_core::{FcfsBackfill, Policy, PolicyConfig, SchedulingPolicy};
 use hpc_metrics::Duration;
 use sched_sim::experiments::{
@@ -155,66 +156,80 @@ fn workspace_root() -> PathBuf {
         .expect("workspace root resolves")
 }
 
-fn emit_json(cases: &[Case], per_event_ratio: f64, full_run: bool) {
-    let mut body = String::from("{\n");
-    body.push_str(&format!(
-        "  \"capacity\": {SCALE_CAPACITY},\n  \"submission_gap_s\": {SCALE_SUBMISSION_GAP_S},\n  \"workload_seed\": {SEED},\n"
-    ));
-    body.push_str(
-        "  \"baseline\": \"pre-refactor engine (per-event view rebuild + linear name scans), same host & scenario\",\n",
+fn round_to(x: f64, decimals: i32) -> f64 {
+    let scale = 10f64.powi(decimals);
+    (x * scale).round() / scale
+}
+
+fn case_json(c: &Case) -> Json {
+    let mut j = Json::obj();
+    j.set("policy", Json::Str(c.policy.to_string()));
+    j.set("n_jobs", Json::Num(c.n_jobs as f64));
+    j.set("events", Json::Num(c.events as f64));
+    j.set("wall_secs", Json::Num(round_to(c.wall_secs, 4)));
+    j.set("events_per_sec", Json::Num(c.events_per_sec.round()));
+    j.set("per_event_us", Json::Num(round_to(c.per_event_us(), 3)));
+    j.set("rescales", Json::Num(f64::from(c.rescales)));
+    j.set("peak_queue_len", Json::Num(c.peak_queue_len as f64));
+    j.set("utilization", Json::Num(round_to(c.utilization, 4)));
+    j.set(
+        "baseline_wall_secs",
+        Json::Num(round_to(c.baseline_wall_secs, 4)),
     );
-    body.push_str(&format!(
-        "  \"per_event_cost_ratio_100k_vs_1k_elastic\": {per_event_ratio:.2},\n  \"meets_olog_per_event\": {},\n  \"cases\": [\n",
-        per_event_ratio <= 4.0
-    ));
-    for (i, c) in cases.iter().enumerate() {
-        let comma = if i + 1 < cases.len() { "," } else { "" };
-        body.push_str(&format!(
-            concat!(
-                "    {{\n",
-                "      \"policy\": \"{}\",\n",
-                "      \"n_jobs\": {},\n",
-                "      \"events\": {},\n",
-                "      \"wall_secs\": {:.4},\n",
-                "      \"events_per_sec\": {:.0},\n",
-                "      \"per_event_us\": {:.3},\n",
-                "      \"rescales\": {},\n",
-                "      \"peak_queue_len\": {},\n",
-                "      \"utilization\": {:.4},\n",
-                "      \"baseline_wall_secs\": {:.4},\n",
-                "      \"baseline_events_per_sec\": {:.0},\n",
-                "      \"speedup\": {:.1},\n",
-                "      \"meets_10x_at_10k\": {}\n",
-                "    }}{}\n",
-            ),
-            c.policy,
-            c.n_jobs,
-            c.events,
-            c.wall_secs,
-            c.events_per_sec,
-            c.per_event_us(),
-            c.rescales,
-            c.peak_queue_len,
-            c.utilization,
-            c.baseline_wall_secs,
-            c.baseline_events_per_sec,
-            c.speedup(),
-            c.n_jobs != 10_000 || c.speedup() >= 10.0,
-            comma,
-        ));
+    j.set(
+        "baseline_events_per_sec",
+        Json::Num(c.baseline_events_per_sec.round()),
+    );
+    j.set("speedup", Json::Num(round_to(c.speedup(), 1)));
+    j.set(
+        "meets_10x_at_10k",
+        Json::Bool(c.n_jobs != 10_000 || c.speedup() >= 10.0),
+    );
+    j
+}
+
+/// Writes `doc` to `path`, preserving an existing document's
+/// `federation` section (owned by the `federation_scale` bench, which
+/// co-writes the same file and symmetrically preserves `cases`).
+fn write_preserving_federation(path: &std::path::Path, mut doc: Json) {
+    if let Some(fed) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse_json(&text).ok())
+        .and_then(|old| old.get("federation").cloned())
+    {
+        doc.set("federation", fed);
     }
-    body.push_str("  ]\n}\n");
+    std::fs::write(path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn emit_json(cases: &[Case], per_event_ratio: f64, full_run: bool) {
+    let mut doc = Json::obj();
+    doc.set("capacity", Json::Num(f64::from(SCALE_CAPACITY)));
+    doc.set("submission_gap_s", Json::Num(SCALE_SUBMISSION_GAP_S));
+    doc.set("workload_seed", Json::Num(SEED as f64));
+    doc.set(
+        "baseline",
+        Json::Str(
+            "pre-refactor engine (per-event view rebuild + linear name scans), same host & scenario"
+                .into(),
+        ),
+    );
+    doc.set(
+        "per_event_cost_ratio_100k_vs_1k_elastic",
+        Json::Num(round_to(per_event_ratio, 2)),
+    );
+    doc.set("meets_olog_per_event", Json::Bool(per_event_ratio <= 4.0));
+    doc.set("cases", Json::Arr(cases.iter().map(case_json).collect()));
+
     // Fresh copy for the CI bench gate: always written, with whatever
     // cases this (possibly capped) run measured.
     let fresh_dir = workspace_root().join("target/bench_fresh");
     std::fs::create_dir_all(&fresh_dir).expect("create bench_fresh dir");
-    let fresh = fresh_dir.join("BENCH_sim_scale.json");
-    std::fs::write(&fresh, &body).expect("write fresh BENCH_sim_scale.json");
-    println!("wrote {}", fresh.display());
+    write_preserving_federation(&fresh_dir.join("BENCH_sim_scale.json"), doc.clone());
     if full_run {
-        let path = workspace_root().join("BENCH_sim_scale.json");
-        std::fs::write(&path, body).expect("write BENCH_sim_scale.json");
-        println!("wrote {}", path.display());
+        write_preserving_federation(&workspace_root().join("BENCH_sim_scale.json"), doc);
     } else {
         println!("capped run (SIM_SCALE_MAX_JOBS): skipping BENCH_sim_scale.json");
     }

@@ -4,11 +4,18 @@
 //! baselines and **fails the build** when a tracked performance win
 //! regresses:
 //!
-//! * `BENCH_sim_scale.json` — any matching `(policy, n_jobs)` case
-//!   whose `events_per_sec` dropped more than the tolerance (default
-//!   25%, `BENCH_GATE_TOLERANCE` to override) fails. Cases are matched
-//!   by key, so a capped CI run (fewer sizes) gates only what it
-//!   measured.
+//! * `BENCH_sim_scale.json` `cases` — any matching `(policy, n_jobs)`
+//!   case whose `events_per_sec` dropped more than the tolerance
+//!   (default 25%, `BENCH_GATE_TOLERANCE` to override) fails. Cases
+//!   are matched by key, so a capped CI run (fewer sizes) gates only
+//!   what it measured.
+//! * `BENCH_sim_scale.json` `federation` — same per-case
+//!   `events_per_sec` floor, matched by `(shards, n_jobs)`; and on a
+//!   multi-core host (fresh `host_cores > 1`) the best multi-shard
+//!   configuration must not lose its speedup over the 1-shard baseline
+//!   at any measured size. On a 1-core runner the speedup check
+//!   disarms — parallel speedup is not a property such a host can
+//!   measure — while the throughput floors still gate.
 //! * `BENCH_rescale.json` — the incremental-vs-full-restart `speedup`
 //!   per direction must neither collapse versus the baseline (less
 //!   than `tolerance × baseline`) nor fall below the absolute 5×
@@ -26,228 +33,10 @@
 //! default absorbs runner jitter; loosen per-invocation rather than
 //! weakening the default.
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-// ---------------------------------------------------------------------
-// Minimal JSON parsing (the vendored workspace has no serde_json; the
-// bench files are machine-written, so a small strict parser suffices).
-// ---------------------------------------------------------------------
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (always f64).
-    Num(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object (ordered for determinism).
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn num(&self, key: &str) -> Option<f64> {
-        match self.get(key)? {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn str_of(&self, key: &str) -> Option<&str> {
-        match self.get(key)? {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn arr(&self, key: &str) -> &[Json] {
-        match self.get(key) {
-            Some(Json::Arr(v)) => v,
-            _ => &[],
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".into())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        let got = self.peek()?;
-        if got != b {
-            return Err(format!(
-                "expected {:?} at byte {}, got {:?}",
-                b as char, self.pos, got as char
-            ));
-        }
-        self.pos += 1;
-        Ok(())
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-
-    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Json::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self
-                .bytes
-                .get(self.pos)
-                .ok_or("unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or("unterminated escape".to_string())?;
-                    self.pos += 1;
-                    out.push(match esc {
-                        b'n' => '\n',
-                        b't' => '\t',
-                        b'"' => '"',
-                        b'\\' => '\\',
-                        b'/' => '/',
-                        other => other as char,
-                    });
-                }
-                other => out.push(other as char),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut map = BTreeMap::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Ok(Json::Obj(map));
-        }
-        loop {
-            let key = self.string()?;
-            self.expect(b':')?;
-            map.insert(key, self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(map));
-                }
-                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
-            }
-        }
-    }
-}
-
-/// Parses one JSON document.
-pub fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
-// ---------------------------------------------------------------------
-// The gate itself.
-// ---------------------------------------------------------------------
+use elastic_bench::json::{parse_json, Json};
 
 fn load(path: &Path) -> Option<Json> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -295,6 +84,108 @@ fn gate_sim_scale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut 
     }
     if matched == 0 {
         failures.push("sim_scale: no matching cases between baseline and fresh JSON".into());
+    }
+}
+
+/// Federation gate over the `federation` section of
+/// `BENCH_sim_scale.json`: per-case aggregate-throughput floor matched
+/// by `(shards, n_jobs)`, plus — on multi-core hosts — the multi-shard
+/// speedup-over-1-shard invariant.
+fn gate_federation(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    let (base_fed, fresh_fed) = (baseline.get("federation"), fresh.get("federation"));
+    let Some(base_fed) = base_fed else {
+        println!("federation: baseline has no federation section; skipping");
+        return;
+    };
+    let Some(fresh_fed) = fresh_fed else {
+        failures.push(
+            "federation: baseline has a federation section but the fresh JSON does not — \
+             did the federation_scale step run?"
+                .into(),
+        );
+        return;
+    };
+
+    let mut matched = 0;
+    for b in base_fed.arr("cases") {
+        let (Some(shards), Some(n)) = (b.num("shards"), b.num("n_jobs")) else {
+            continue;
+        };
+        let Some(f) = fresh_fed
+            .arr("cases")
+            .iter()
+            .find(|f| f.num("shards") == Some(shards) && f.num("n_jobs") == Some(n))
+        else {
+            continue; // capped fresh run: only gate what was measured
+        };
+        matched += 1;
+        let (Some(base_eps), Some(fresh_eps)) = (b.num("events_per_sec"), f.num("events_per_sec"))
+        else {
+            continue;
+        };
+        let floor = base_eps * (1.0 - tolerance);
+        println!(
+            "federation shards={:<2} n={:<8} baseline {base_eps:>10.0} ev/s  fresh {fresh_eps:>10.0} ev/s  (floor {floor:.0})",
+            shards as u64, n as u64
+        );
+        if fresh_eps < floor {
+            failures.push(format!(
+                "federation {} shards at {} jobs: {fresh_eps:.0} ev/s is a >{:.0}% regression from {base_eps:.0} ev/s",
+                shards as u64,
+                n as u64,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("federation: no matching cases between baseline and fresh JSON".into());
+    }
+
+    // Multi-shard speedup: only meaningful where parallelism exists.
+    let host_cores = fresh_fed.num("host_cores").unwrap_or(1.0);
+    if host_cores <= 1.0 {
+        println!("federation: fresh host has 1 core — speedup-vs-single check disarmed");
+        return;
+    }
+    let sizes: Vec<f64> = {
+        let mut v: Vec<f64> = fresh_fed
+            .arr("cases")
+            .iter()
+            .filter_map(|c| c.num("n_jobs"))
+            .collect();
+        v.sort_by(f64::total_cmp);
+        v.dedup();
+        v
+    };
+    for n in sizes {
+        let eps_of = |shards: f64| {
+            fresh_fed
+                .arr("cases")
+                .iter()
+                .find(|c| c.num("n_jobs") == Some(n) && c.num("shards") == Some(shards))
+                .and_then(|c| c.num("events_per_sec"))
+        };
+        let Some(single) = eps_of(1.0) else { continue };
+        let best_multi = fresh_fed
+            .arr("cases")
+            .iter()
+            .filter(|c| c.num("n_jobs") == Some(n) && c.num("shards").is_some_and(|s| s > 1.0))
+            .filter_map(|c| c.num("events_per_sec"))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best_multi.is_finite() {
+            continue; // capped to 1 shard: nothing to compare
+        }
+        println!(
+            "federation n={:<8} best multi-shard {best_multi:>10.0} ev/s vs single-shard {single:>10.0} ev/s",
+            n as u64
+        );
+        if best_multi < single {
+            failures.push(format!(
+                "federation at {} jobs on a {host_cores:.0}-core host: best multi-shard \
+                 throughput {best_multi:.0} ev/s lost its speedup over the 1-shard {single:.0} ev/s",
+                n as u64
+            ));
+        }
     }
 }
 
@@ -351,6 +242,12 @@ fn gate_rescale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Ve
     }
 }
 
+/// Both sim-scale gates run over the one shared file.
+fn gate_sim_scale_file(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    gate_sim_scale(baseline, fresh, tolerance, failures);
+    gate_federation(baseline, fresh, tolerance, failures);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let baseline_dir = args
@@ -381,7 +278,7 @@ fn main() {
     for (file, gate) in [
         (
             "BENCH_sim_scale.json",
-            gate_sim_scale as fn(&Json, &Json, f64, &mut Vec<String>),
+            gate_sim_scale_file as fn(&Json, &Json, f64, &mut Vec<String>),
         ),
         ("BENCH_rescale.json", gate_rescale),
     ] {
@@ -416,34 +313,7 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn parses_the_bench_json_shape() {
-        let text = r#"{
-  "capacity": 4096,
-  "baseline": "pre-refactor engine, same host",
-  "meets_olog_per_event": true,
-  "cases": [
-    { "policy": "elastic", "n_jobs": 1000, "events_per_sec": 929000, "wall_secs": 0.01 },
-    { "policy": "fcfs_backfill", "n_jobs": 1000, "events_per_sec": 1680000.5, "wall_secs": -0.5 }
-  ]
-}"#;
-        let v = parse_json(text).unwrap();
-        assert_eq!(v.num("capacity"), Some(4096.0));
-        assert_eq!(v.get("meets_olog_per_event"), Some(&Json::Bool(true)));
-        assert_eq!(v.arr("cases").len(), 2);
-        assert_eq!(v.arr("cases")[0].str_of("policy"), Some("elastic"));
-        assert_eq!(v.arr("cases")[1].num("events_per_sec"), Some(1_680_000.5));
-        assert_eq!(v.arr("cases")[1].num("wall_secs"), Some(-0.5));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        assert!(parse_json("{").is_err());
-        assert!(parse_json(r#"{"a": }"#).is_err());
-        assert!(parse_json("[1, 2,]").is_err());
-        assert!(parse_json("{} trailing").is_err());
-    }
+    use std::collections::BTreeMap;
 
     fn scale(cases: &[(&str, f64, f64)]) -> Json {
         let arr = cases
@@ -488,6 +358,92 @@ mod tests {
         let fresh = scale(&[("elastic", 1000.0, 99_000.0)]);
         let mut failures = Vec::new();
         gate_sim_scale(&baseline, &fresh, 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    /// `(shards, n_jobs, events_per_sec)` cases plus the host-core
+    /// stamp, wrapped as a document with a `federation` section.
+    fn federation(host_cores: f64, cases: &[(f64, f64, f64)]) -> Json {
+        let arr = cases
+            .iter()
+            .map(|(shards, n, eps)| {
+                let mut m = BTreeMap::new();
+                m.insert("shards".into(), Json::Num(*shards));
+                m.insert("n_jobs".into(), Json::Num(*n));
+                m.insert("events_per_sec".into(), Json::Num(*eps));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut fed = BTreeMap::new();
+        fed.insert("host_cores".into(), Json::Num(host_cores));
+        fed.insert("cases".into(), Json::Arr(arr));
+        let mut root = BTreeMap::new();
+        root.insert("federation".into(), Json::Obj(fed));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn federation_gate_flags_per_case_regressions() {
+        let baseline = federation(
+            4.0,
+            &[(1.0, 20_000.0, 100_000.0), (8.0, 20_000.0, 300_000.0)],
+        );
+        // 1-shard fine, 8-shard down 50%.
+        let fresh = federation(
+            4.0,
+            &[(1.0, 20_000.0, 95_000.0), (8.0, 20_000.0, 150_000.0)],
+        );
+        let mut failures = Vec::new();
+        gate_federation(&baseline, &fresh, 0.25, &mut failures);
+        // One failure: the 8-shard throughput floor. The speedup check
+        // passes (150k multi-shard still beats 95k single-shard).
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("8 shards"), "{failures:?}");
+    }
+
+    #[test]
+    fn federation_gate_speedup_check_arms_only_on_multicore_hosts() {
+        let baseline = federation(
+            4.0,
+            &[(1.0, 20_000.0, 100_000.0), (8.0, 20_000.0, 300_000.0)],
+        );
+        // Multi-shard lost its edge: 8 shards slower than 1.
+        let losing = federation(
+            4.0,
+            &[(1.0, 20_000.0, 100_000.0), (8.0, 20_000.0, 90_000.0)],
+        );
+        let mut failures = Vec::new();
+        gate_federation(&baseline, &losing, 0.99, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("lost its speedup"), "{failures:?}");
+
+        // Same numbers from a 1-core host: the speedup check disarms
+        // (throughput floors still apply, passed here via tolerance).
+        let single_core = federation(
+            1.0,
+            &[(1.0, 20_000.0, 100_000.0), (8.0, 20_000.0, 90_000.0)],
+        );
+        let mut failures = Vec::new();
+        gate_federation(&baseline, &single_core, 0.99, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn federation_gate_requires_the_fresh_section_when_baselined() {
+        let baseline = federation(4.0, &[(1.0, 20_000.0, 100_000.0)]);
+        let fresh = scale(&[("elastic", 1000.0, 1.0)]); // no federation key
+        let mut failures = Vec::new();
+        gate_federation(&baseline, &fresh, 0.25, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("federation_scale step"),
+            "{failures:?}"
+        );
+
+        // No federation baseline at all: nothing to gate, no failure.
+        let no_baseline = scale(&[]);
+        let mut failures = Vec::new();
+        gate_federation(&no_baseline, &fresh, 0.25, &mut failures);
         assert!(failures.is_empty(), "{failures:?}");
     }
 

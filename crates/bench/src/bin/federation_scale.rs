@@ -1,0 +1,258 @@
+//! Federation throughput at trace scale: aggregate events/sec across
+//! 1/2/4/8 shards.
+//!
+//! Replays the heavy-traffic scale scenario (the same generator,
+//! seed, submission gap and total capacity as the `sim_scale` bench)
+//! through `hpc_federation`: the [`SCALE_CAPACITY`]-slot cluster is
+//! split into `shards` equal clusters, jobs are routed round-robin,
+//! and the work-queue scheduler drives all shards with
+//! `min(host cores, shards)` workers. The 1-shard row *is* the
+//! single-cluster DES (bit-identical by the federation equivalence
+//! tests), so `speedup_vs_single` reads directly as the federation
+//! win: thread-parallel shard replay on multi-core hosts, plus the
+//! serial algorithmic gain of policy decisions scanning a 1/N-sized
+//! cluster view.
+//!
+//! Results land in the `federation` section of
+//! `BENCH_sim_scale.json` — co-owned with the `sim_scale` bench; each
+//! emitter preserves the other's section through
+//! `elastic_bench::json`. Set `FED_MAX_JOBS` / `FED_MAX_SHARDS` to cap
+//! the sweep (CI smoke); capped runs emit to `target/bench_fresh/`
+//! only, so the committed trajectory is only ever (re)written by a
+//! full run. `FED_STRICT=1` arms the ≥3× aggregate-throughput assert
+//! at the top rung — a property of multi-core hosts, reported but not
+//! asserted elsewhere (a 1-core host can only bank the algorithmic
+//! part).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use elastic_bench::json::{parse_json, Json};
+use elastic_core::{Policy, PolicyConfig, SchedulingPolicy};
+use hpc_federation::{FederationConfig, FederationRuntime, RoundRobin};
+use hpc_metrics::Duration;
+use sched_sim::experiments::{heavy_traffic_workload, SCALE_CAPACITY, SCALE_SUBMISSION_GAP_S};
+use sched_sim::{OverheadModel, ScalingModel, SimConfig};
+
+/// Workload seed (same generator as every other experiment).
+const SEED: u64 = 0;
+/// Full sweep sizes: the CI smoke point and the 1M+-job scale point.
+const SIZES: [usize; 2] = [20_000, 1_000_000];
+/// Shard ladder; 1 is the single-cluster baseline.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn elastic() -> Box<dyn SchedulingPolicy> {
+    Box::new(Policy::elastic(PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    }))
+}
+
+struct FedCase {
+    shards: usize,
+    n_jobs: usize,
+    workers: usize,
+    shard_capacity: u32,
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    speedup_vs_single: f64,
+}
+
+fn run_case(workload: &sched_sim::WorkloadSpec, n: usize, shards: usize) -> FedCase {
+    let shard_capacity = SCALE_CAPACITY / shards as u32;
+    let run_once = || {
+        let cfg = FederationConfig::new(shards);
+        let workers = cfg.workers;
+        let mut fed = FederationRuntime::new(cfg, |_| SimConfig {
+            capacity: shard_capacity,
+            policy: elastic(),
+            scaling: ScalingModel::default(),
+            overhead: OverheadModel::default(),
+            cancellations: Vec::new(),
+        });
+        // The measured span covers the whole federation lifecycle:
+        // placement + partition + event-queue seeding + parallel drain
+        // + merge — the end-to-end replay cost a user pays.
+        let started = Instant::now();
+        fed.handle().submit(workload, &mut RoundRobin::new());
+        fed.start();
+        let out = fed.join();
+        let wall = started.elapsed().as_secs_f64();
+        assert_eq!(
+            out.merged.jobs.len(),
+            n,
+            "every job of the trace must complete ({shards} shards)"
+        );
+        (out, wall, workers)
+    };
+    // Median-of-3 with a warmup at the smoke size; the 1M point
+    // amortizes noise over seconds on its own.
+    let reps = if n <= 100_000 { 3 } else { 1 };
+    if reps > 1 {
+        let _ = run_once();
+    }
+    let mut runs: Vec<(u64, f64, usize)> = (0..reps)
+        .map(|_| {
+            let (out, wall, workers) = run_once();
+            (out.total_events(), wall, workers)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let (events, wall_secs, workers) = runs[runs.len() / 2];
+    FedCase {
+        shards,
+        n_jobs: n,
+        workers,
+        shard_capacity,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        speedup_vs_single: f64::NAN, // filled once the 1-shard row exists
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn round_to(x: f64, decimals: i32) -> f64 {
+    let scale = 10f64.powi(decimals);
+    (x * scale).round() / scale
+}
+
+fn case_json(c: &FedCase) -> Json {
+    let mut j = Json::obj();
+    j.set("shards", Json::Num(c.shards as f64));
+    j.set("n_jobs", Json::Num(c.n_jobs as f64));
+    j.set("workers", Json::Num(c.workers as f64));
+    j.set("shard_capacity", Json::Num(f64::from(c.shard_capacity)));
+    j.set("events", Json::Num(c.events as f64));
+    j.set("wall_secs", Json::Num(round_to(c.wall_secs, 4)));
+    j.set("events_per_sec", Json::Num(c.events_per_sec.round()));
+    j.set(
+        "speedup_vs_single",
+        Json::Num(round_to(c.speedup_vs_single, 2)),
+    );
+    j
+}
+
+/// Writes the `federation` section into `path`'s document, preserving
+/// every other key (`cases` etc. belong to the `sim_scale` bench).
+fn write_preserving_rest(path: &std::path::Path, section: &Json) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse_json(&text).ok())
+        .unwrap_or_else(Json::obj);
+    doc.set("federation", section.clone());
+    std::fs::write(path, doc.to_pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let max_jobs: Option<usize> = std::env::var("FED_MAX_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let max_shards: Option<usize> = std::env::var("FED_MAX_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let sizes: Vec<usize> = SIZES
+        .into_iter()
+        .filter(|&n| max_jobs.is_none_or(|cap| n <= cap))
+        .collect();
+    let shard_counts: Vec<usize> = SHARD_COUNTS
+        .into_iter()
+        .filter(|&s| max_shards.is_none_or(|cap| s <= cap))
+        .collect();
+    let full_run = sizes.len() == SIZES.len() && shard_counts.len() == SHARD_COUNTS.len();
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    assert!(
+        !sizes.is_empty() && !shard_counts.is_empty(),
+        "FED_MAX_JOBS/FED_MAX_SHARDS capped the sweep to nothing"
+    );
+
+    let mut cases: Vec<FedCase> = Vec::new();
+    for &n in &sizes {
+        let workload = heavy_traffic_workload(SEED, n);
+        for &shards in &shard_counts {
+            let mut case = run_case(&workload, n, shards);
+            let single = cases
+                .iter()
+                .find(|c| c.n_jobs == n && c.shards == 1)
+                .map(|c| c.events_per_sec);
+            case.speedup_vs_single = match single {
+                Some(eps) => case.events_per_sec / eps,
+                None => 1.0, // shard ladder capped below 1? impossible: 1 is first
+            };
+            println!(
+                "federation_scale shards={:<2} n={:<8} workers={} wall={:>8.3}s  {:>9.0} ev/s  ({:.2}x vs single-shard)",
+                case.shards,
+                case.n_jobs,
+                case.workers,
+                case.wall_secs,
+                case.events_per_sec,
+                case.speedup_vs_single,
+            );
+            cases.push(case);
+        }
+    }
+
+    // Acceptance: ≥3x aggregate events/sec at the top shard rung on a
+    // multi-core host. Thread-parallel speedup is a host property, so
+    // the hard assert only arms under FED_STRICT=1 (set where the
+    // committed numbers were recorded); elsewhere a shortfall is
+    // reported. The JSON records the verdict either way.
+    let strict = std::env::var("FED_STRICT").is_ok_and(|v| v == "1");
+    let top = *shard_counts.last().expect("at least one shard count");
+    let mut meets_3x = top > 1;
+    for &n in &sizes {
+        let speedup = cases
+            .iter()
+            .find(|c| c.n_jobs == n && c.shards == top)
+            .map(|c| c.speedup_vs_single)
+            .unwrap_or(f64::NAN);
+        // NaN (missing row) must count as a miss, hence no plain `<`.
+        if speedup.is_nan() || speedup < 3.0 {
+            meets_3x = false;
+            let msg = format!(
+                "{top}-shard aggregate throughput at {n} jobs: {speedup:.2}x vs single-cluster \
+                 (< the 3x multi-core acceptance mark; host has {host_cores} core(s))"
+            );
+            assert!(!strict, "{msg}");
+            println!("NOTE: {msg}");
+        }
+    }
+
+    let mut section = Json::obj();
+    section.set("capacity_total", Json::Num(f64::from(SCALE_CAPACITY)));
+    section.set("submission_gap_s", Json::Num(SCALE_SUBMISSION_GAP_S));
+    section.set("workload_seed", Json::Num(SEED as f64));
+    section.set("policy", Json::Str("elastic".into()));
+    section.set("placement", Json::Str("round_robin".into()));
+    section.set(
+        "quantum",
+        Json::Num(FederationConfig::DEFAULT_QUANTUM as f64),
+    );
+    section.set("host_cores", Json::Num(host_cores as f64));
+    section.set("meets_3x_on_multicore", Json::Bool(meets_3x));
+    section.set("cases", Json::Arr(cases.iter().map(case_json).collect()));
+
+    // Fresh copy for the CI bench gate: always written. The committed
+    // trajectory only moves on a full (uncapped) sweep.
+    let fresh_dir = workspace_root().join("target/bench_fresh");
+    std::fs::create_dir_all(&fresh_dir).expect("create bench_fresh dir");
+    write_preserving_rest(&fresh_dir.join("BENCH_sim_scale.json"), &section);
+    if full_run {
+        write_preserving_rest(&workspace_root().join("BENCH_sim_scale.json"), &section);
+    } else {
+        println!("capped run (FED_MAX_JOBS/FED_MAX_SHARDS): skipping BENCH_sim_scale.json");
+    }
+}

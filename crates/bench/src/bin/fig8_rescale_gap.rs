@@ -6,12 +6,44 @@
 //! monotonically with the gap because overhead is cheap relative to the
 //! utilization recovered by rescaling.
 //!
+//! A companion sweep re-runs the same grid under
+//! `OverheadModel::incremental()` (the in-place rescale protocol):
+//! cheaper rescales mean the elastic policy keeps more of its
+//! utilization edge as the gap grows, and its total-time penalty vs
+//! the full-restart protocol shrinks at every gap.
+//!
 //! Usage: `fig8_rescale_gap [--seeds N] [--jobs N]`
 
 use elastic_bench::{emit_csv, flag_u64, CsvTable};
 use elastic_core::PolicyKind;
 use hpc_metrics::ascii;
-use sched_sim::{sweep_rescale_gap, SweepPoint};
+use sched_sim::{sweep_rescale_gap, sweep_rescale_gap_with_overhead, OverheadModel, SweepPoint};
+
+fn emit_points_csv(points: &[SweepPoint], name: &str) {
+    let mut table = CsvTable::new([
+        "rescale_gap_s",
+        "policy",
+        "utilization",
+        "total_time_s",
+        "weighted_response_s",
+        "weighted_completion_s",
+        "bounded_slowdown",
+        "total_time_std",
+    ]);
+    for p in points {
+        table.row([
+            format!("{}", p.x),
+            p.policy.to_string(),
+            format!("{:.4}", p.utilization),
+            format!("{:.2}", p.total_time),
+            format!("{:.2}", p.weighted_response),
+            format!("{:.2}", p.weighted_completion),
+            format!("{:.3}", p.bounded_slowdown),
+            format!("{:.2}", p.total_time_std),
+        ]);
+    }
+    emit_csv(&table, name);
+}
 
 fn chart(points: &[SweepPoint], metric: fn(&SweepPoint) -> f64, title: &str) {
     let series: Vec<(&str, Vec<(f64, f64)>)> = PolicyKind::ALL
@@ -44,30 +76,7 @@ fn main() {
     );
 
     let points = sweep_rescale_gap(&gaps, 180.0, seeds, jobs);
-
-    let mut table = CsvTable::new([
-        "rescale_gap_s",
-        "policy",
-        "utilization",
-        "total_time_s",
-        "weighted_response_s",
-        "weighted_completion_s",
-        "bounded_slowdown",
-        "total_time_std",
-    ]);
-    for p in &points {
-        table.row([
-            format!("{}", p.x),
-            p.policy.to_string(),
-            format!("{:.4}", p.utilization),
-            format!("{:.2}", p.total_time),
-            format!("{:.2}", p.weighted_response),
-            format!("{:.2}", p.weighted_completion),
-            format!("{:.3}", p.bounded_slowdown),
-            format!("{:.2}", p.total_time_std),
-        ]);
-    }
-    emit_csv(&table, "fig8_rescale_gap.csv");
+    emit_points_csv(&points, "fig8_rescale_gap.csv");
 
     chart(
         &points,
@@ -110,5 +119,69 @@ fn main() {
         "  elastic -> moldable at large gap: |Δutil|={:.4} |Δtotal|={:.1}",
         (e.utilization - m.utilization).abs(),
         (e.total_time - m.total_time).abs()
+    );
+
+    // Companion: the same grid under the in-place (incremental) rescale
+    // protocol. Rescales cost bytes-moved instead of a full
+    // checkpoint/restart cycle, so elastic pays less for every rescale
+    // it performs.
+    println!("\n== Fig. 8 companion: incremental (in-place) rescale protocol, same grid ==");
+    let inc_points =
+        sweep_rescale_gap_with_overhead(&gaps, 180.0, seeds, jobs, OverheadModel::incremental());
+    emit_points_csv(&inc_points, "fig8_rescale_gap_incremental.csv");
+
+    let inc_at = |x: f64, k: PolicyKind| {
+        inc_points
+            .iter()
+            .find(|p| p.x == x && p.policy == k)
+            .unwrap()
+    };
+    let full_vs_inc: Vec<(&str, Vec<(f64, f64)>)> = vec![
+        (
+            "elastic/full-restart",
+            points
+                .iter()
+                .filter(|p| p.policy == PolicyKind::Elastic)
+                .map(|p| (p.x, p.total_time))
+                .collect(),
+        ),
+        (
+            "elastic/incremental",
+            inc_points
+                .iter()
+                .filter(|p| p.policy == PolicyKind::Elastic)
+                .map(|p| (p.x, p.total_time))
+                .collect(),
+        ),
+    ];
+    println!(
+        "{}",
+        ascii::line_chart(
+            "Fig 8 companion: elastic total time (s), full restart vs incremental",
+            &full_vs_inc,
+            64,
+            12,
+            false
+        )
+    );
+    println!("protocol comparison (elastic):");
+    let mut inc_never_worse = true;
+    for &gap in &gaps {
+        let full = at(gap, PolicyKind::Elastic);
+        let inc = inc_at(gap, PolicyKind::Elastic);
+        inc_never_worse &= inc.total_time <= full.total_time + 1e-9;
+        println!(
+            "  gap={:>6.0}s  total {:.0}s -> {:.0}s ({:+.1}%)  util {:.3} -> {:.3}",
+            gap,
+            full.total_time,
+            inc.total_time,
+            100.0 * (inc.total_time - full.total_time) / full.total_time,
+            full.utilization,
+            inc.utilization,
+        );
+    }
+    println!(
+        "  incremental total time never exceeds full restart: {}",
+        inc_never_worse
     );
 }

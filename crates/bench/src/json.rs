@@ -1,0 +1,399 @@
+//! Minimal JSON parsing and serialization for the bench artifacts.
+//!
+//! The vendored workspace has no `serde_json`; the bench files
+//! (`BENCH_*.json`) are machine-written, so a small strict parser plus
+//! a deterministic pretty-printer suffice. Shared by every emitter
+//! (`sim_scale`, `federation_scale`) and by the `bench_gate` CI
+//! binary, so two benches can co-own one file: each parses the current
+//! document, replaces only its own section, and rewrites the whole
+//! thing.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always f64).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (ordered for determinism).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
+    /// Member lookup on an object; `None` on anything else.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Inserts/replaces `key` on an object (panics on non-objects —
+    /// emitters build documents, they don't guess).
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(m) => {
+                m.insert(key.to_string(), value);
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+    }
+
+    /// Numeric member of an object.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String member of an object.
+    pub fn str_of(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array member of an object (empty slice when absent/mistyped).
+    pub fn arr(&self, key: &str) -> &[Json] {
+        match self.get(key) {
+            Some(Json::Arr(v)) => v,
+            _ => &[],
+        }
+    }
+
+    /// Pretty-prints with 2-space indentation and a trailing newline —
+    /// the layout every `BENCH_*.json` in the repository uses.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&fmt_num(*n)),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in map.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                    if i + 1 < map.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Integral values print without a fraction; everything else uses
+/// Rust's shortest round-trip formatting (re-parses to the same f64).
+fn fmt_num(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; emitters must not produce them.
+        panic!("non-finite number {n} in a bench JSON");
+    }
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || b"+-.eE".contains(b))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string".to_string())?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                other => return Err(format!("expected ',' or '}}', got {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected ',' or ']', got {:?}", other as char)),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_bench_json_shape() {
+        let text = r#"{
+  "capacity": 4096,
+  "baseline": "pre-refactor engine, same host",
+  "meets_olog_per_event": true,
+  "cases": [
+    { "policy": "elastic", "n_jobs": 1000, "events_per_sec": 929000, "wall_secs": 0.01 },
+    { "policy": "fcfs_backfill", "n_jobs": 1000, "events_per_sec": 1680000.5, "wall_secs": -0.5 }
+  ]
+}"#;
+        let v = parse_json(text).unwrap();
+        assert_eq!(v.num("capacity"), Some(4096.0));
+        assert_eq!(v.get("meets_olog_per_event"), Some(&Json::Bool(true)));
+        assert_eq!(v.arr("cases").len(), 2);
+        assert_eq!(v.arr("cases")[0].str_of("policy"), Some("elastic"));
+        assert_eq!(v.arr("cases")[1].num("events_per_sec"), Some(1_680_000.5));
+        assert_eq!(v.arr("cases")[1].num("wall_secs"), Some(-0.5));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a": }"#).is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn pretty_printing_round_trips() {
+        let mut doc = Json::obj();
+        doc.set("capacity", Json::Num(4096.0));
+        doc.set("ratio", Json::Num(1.6700000000000002));
+        doc.set("label", Json::Str("a \"quoted\"\nline".into()));
+        doc.set("flag", Json::Bool(true));
+        doc.set("nothing", Json::Null);
+        doc.set(
+            "cases",
+            Json::Arr(vec![Json::Num(-0.5), Json::obj(), Json::Arr(vec![])]),
+        );
+        let text = doc.to_pretty();
+        assert_eq!(parse_json(&text).unwrap(), doc, "{text}");
+        assert!(text.ends_with('\n'));
+        assert!(text.contains("\"capacity\": 4096,"), "{text}");
+    }
+
+    #[test]
+    fn section_replacement_preserves_the_rest_of_the_document() {
+        // The co-ownership contract: one bench rewrites only its own
+        // top-level key, everything else survives byte-identically
+        // through parse -> set -> to_pretty.
+        let original =
+            r#"{ "cases": [ {"policy": "elastic", "n_jobs": 1000} ], "capacity": 4096 }"#;
+        let mut doc = parse_json(original).unwrap();
+        let mut fed = Json::obj();
+        fed.set("shards", Json::Num(8.0));
+        doc.set("federation", fed);
+        let text = doc.to_pretty();
+        let back = parse_json(&text).unwrap();
+        assert_eq!(back.num("capacity"), Some(4096.0));
+        assert_eq!(back.arr("cases").len(), 1);
+        assert_eq!(back.get("federation").unwrap().num("shards"), Some(8.0));
+    }
+}

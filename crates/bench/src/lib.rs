@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod actual;
+pub mod json;
 
 use std::path::PathBuf;
 

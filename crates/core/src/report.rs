@@ -152,6 +152,84 @@ impl RunMetrics {
         }
     }
 
+    /// Merges per-shard run metrics — each produced by an independent
+    /// cluster of the paired slot `capacity` — into one federation-wide
+    /// aggregate.
+    ///
+    /// Job outcomes concatenate in shard order and every time aggregate
+    /// is recomputed from the union (so `total_time` spans the global
+    /// first submit → last complete, and the weighted means re-weight
+    /// over all jobs, not over shard means). Utilization is the
+    /// busy-core-seconds ratio: each shard contributes
+    /// `utilization × capacity × total_time` busy core-seconds against
+    /// `capacity × total_time` available ones, which makes the merge
+    /// *conservative* — summed busy core-seconds are preserved exactly,
+    /// whatever the partition. Rescales and fault tallies sum.
+    ///
+    /// Merging a single shard is the identity (bit-exact), which is
+    /// what lets a 1-shard federation cross-validate against the
+    /// single-cluster engines with `==`.
+    ///
+    /// # Panics
+    /// If `shards` is empty.
+    pub fn merge(shards: &[(u32, &RunMetrics)]) -> RunMetrics {
+        assert!(!shards.is_empty(), "merge needs at least one shard");
+        if shards.len() == 1 {
+            return shards[0].1.clone();
+        }
+        // Policy label: shared when homogeneous, else joined in shard
+        // order (placement may route across differently configured
+        // clusters).
+        let first = shards[0].1.policy.clone();
+        let policy = if shards.iter().all(|(_, m)| m.policy == first) {
+            first
+        } else {
+            let labels: Vec<&str> = shards.iter().map(|(_, m)| m.policy.as_str()).collect();
+            labels.join("+")
+        };
+        let rescales = shards.iter().map(|(_, m)| m.rescales).sum();
+        let faults = FaultStats {
+            wasted_core_seconds: shards
+                .iter()
+                .map(|(_, m)| m.faults.wasted_core_seconds)
+                .sum(),
+            evictions: shards.iter().map(|(_, m)| m.faults.evictions).sum(),
+            requeues: shards.iter().map(|(_, m)| m.faults.requeues).sum(),
+            permanent_failures: shards
+                .iter()
+                .map(|(_, m)| m.faults.permanent_failures)
+                .sum(),
+        };
+        let jobs: Vec<JobOutcome> = shards
+            .iter()
+            .flat_map(|(_, m)| m.jobs.iter().cloned())
+            .collect();
+        if jobs.is_empty() {
+            return RunMetrics::empty(policy, rescales).with_fault_stats(faults);
+        }
+        let busy: f64 = shards
+            .iter()
+            .map(|(cap, m)| m.utilization * f64::from(*cap) * m.total_time)
+            .sum();
+        let available: f64 = shards
+            .iter()
+            .map(|(cap, m)| f64::from(*cap) * m.total_time)
+            .sum();
+        let utilization = if available > 0.0 {
+            busy / available
+        } else {
+            0.0
+        };
+        RunMetrics::from_outcomes(policy, jobs, utilization, rescales).with_fault_stats(faults)
+    }
+
+    /// Total busy core-seconds this run banked on a cluster of
+    /// `capacity` slots — the conserved quantity of
+    /// [`RunMetrics::merge`].
+    pub fn busy_core_seconds(&self, capacity: u32) -> f64 {
+        self.utilization * f64::from(capacity) * self.total_time
+    }
+
     /// One-line summary in the style of Table 1.
     pub fn table_row(&self) -> String {
         format!(
@@ -237,6 +315,97 @@ mod tests {
     #[should_panic(expected = "at least one job")]
     fn empty_outcomes_rejected() {
         let _ = RunMetrics::from_outcomes("x", vec![], 0.0, 0);
+    }
+
+    #[test]
+    fn merge_of_a_single_shard_is_the_identity() {
+        let m = RunMetrics::from_outcomes(
+            "elastic",
+            vec![outcome("a", 5, 0.0, 10.0, 110.0)],
+            0.7321,
+            4,
+        )
+        .with_fault_stats(FaultStats {
+            wasted_core_seconds: 12.5,
+            evictions: 1,
+            requeues: 0,
+            permanent_failures: 0,
+        });
+        assert_eq!(RunMetrics::merge(&[(64, &m)]), m);
+    }
+
+    #[test]
+    fn merge_recomputes_aggregates_over_the_union() {
+        // Shard 0: one job, span 0..110; shard 1: one job, span 50..350.
+        let s0 = RunMetrics::from_outcomes("x", vec![outcome("a", 5, 0.0, 10.0, 110.0)], 0.5, 1);
+        let s1 = RunMetrics::from_outcomes("x", vec![outcome("b", 1, 50.0, 250.0, 350.0)], 0.25, 2);
+        let merged = RunMetrics::merge(&[(32, &s0), (32, &s1)]);
+        // The union must equal from_outcomes over both jobs directly.
+        let direct = RunMetrics::from_outcomes(
+            "x",
+            vec![
+                outcome("a", 5, 0.0, 10.0, 110.0),
+                outcome("b", 1, 50.0, 250.0, 350.0),
+            ],
+            merged.utilization,
+            3,
+        );
+        assert_eq!(merged, direct);
+        assert_eq!(merged.total_time, 350.0);
+        assert_eq!(merged.rescales, 3);
+        // Busy core-seconds conserve: 0.5*32*110 + 0.25*32*300 against
+        // the summed per-shard availability 32*110 + 32*300.
+        let busy = s0.busy_core_seconds(32) + s1.busy_core_seconds(32);
+        let available = 32.0 * 110.0 + 32.0 * 300.0;
+        assert!((merged.utilization - busy / available).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fault_tallies_and_handles_empty_shards() {
+        let s0 = RunMetrics::from_outcomes("x", vec![outcome("a", 1, 0.0, 1.0, 2.0)], 0.5, 0)
+            .with_fault_stats(FaultStats {
+                wasted_core_seconds: 10.0,
+                evictions: 2,
+                requeues: 1,
+                permanent_failures: 0,
+            });
+        let empty = RunMetrics::empty("x", 5).with_fault_stats(FaultStats {
+            wasted_core_seconds: 3.0,
+            evictions: 0,
+            requeues: 2,
+            permanent_failures: 1,
+        });
+        let merged = RunMetrics::merge(&[(16, &s0), (16, &empty)]);
+        assert_eq!(merged.jobs.len(), 1);
+        assert_eq!(merged.rescales, 5);
+        assert_eq!(merged.faults.wasted_core_seconds, 13.0);
+        assert_eq!(merged.faults.evictions, 2);
+        assert_eq!(merged.faults.requeues, 3);
+        assert_eq!(merged.faults.permanent_failures, 1);
+        // An empty shard has zero span, so utilization is s0's alone.
+        assert!((merged.utilization - 0.5).abs() < 1e-12);
+        // All shards empty: still no panic, tallies survive.
+        let all_empty = RunMetrics::merge(&[(16, &empty), (16, &empty)]);
+        assert!(all_empty.jobs.is_empty());
+        assert_eq!(all_empty.rescales, 10);
+        assert_eq!(all_empty.faults.requeues, 4);
+    }
+
+    #[test]
+    fn merge_labels_heterogeneous_policies_in_shard_order() {
+        let a = RunMetrics::from_outcomes("elastic", vec![outcome("a", 1, 0.0, 1.0, 2.0)], 0.5, 0);
+        let b = RunMetrics::from_outcomes("fcfs", vec![outcome("b", 1, 0.0, 1.0, 2.0)], 0.5, 0);
+        assert_eq!(
+            RunMetrics::merge(&[(8, &a), (8, &b)]).policy,
+            "elastic+fcfs"
+        );
+        assert_eq!(RunMetrics::merge(&[(8, &a), (8, &a)]).policy, "elastic");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn merge_rejects_zero_shards() {
+        let _ = RunMetrics::merge(&[]);
     }
 
     #[test]

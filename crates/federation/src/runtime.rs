@@ -1,0 +1,580 @@
+//! The federation runtime: N sharded clusters, M worker threads, one
+//! work queue.
+//!
+//! The runtime/handle split follows the async-runtime idiom: the
+//! non-cloneable [`FederationRuntime`] *owns* the worker OS threads and
+//! the shard cells, while the cheap, cloneable [`FederationHandle`] is
+//! the submission surface — hand copies to whoever produces work, keep
+//! the runtime where the threads must eventually be joined.
+//!
+//! Each shard is a complete single-cluster simulation (its own
+//! `SimConfig`, its own policy instance, its own event queue), stepped
+//! a *quantum* of events at a time by whichever worker pops it off the
+//! [work queue](crate::scheduler). Determinism holds by construction:
+//! shards share no mutable state, a shard is only ever held by one
+//! worker (the `Idle → Pending → Running` CAS), and `SimState::step`
+//! is bit-identical to a monolithic drain regardless of how the event
+//! stream is sliced into quanta — so worker count and pop interleaving
+//! cannot change any shard's outcome.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use elastic_core::RunMetrics;
+use hpc_metrics::UtilizationRecorder;
+use hpc_workload::WorkloadSpec;
+use sched_sim::{SimConfig, SimOutcome, SimState};
+
+use crate::placement::{LoadTracker, PlacementPolicy};
+use crate::scheduler::{ShardState, WorkQueue};
+
+/// Shape of a federation: how many shards, how many workers drive
+/// them, and how many events one worker drains per shard turn.
+#[derive(Debug, Clone)]
+pub struct FederationConfig {
+    /// Number of shards (single-cluster simulations).
+    pub shards: usize,
+    /// Worker OS threads. More workers than shards is wasted; the
+    /// constructor clamps to `min(available_parallelism, shards)`.
+    pub workers: usize,
+    /// Time quantum: events drained per shard turn before the worker
+    /// yields the shard back to the queue tail. This is the fairness
+    /// knob — a hot shard gets at most `quantum` events ahead of a
+    /// cold one per round.
+    pub quantum: usize,
+}
+
+impl FederationConfig {
+    /// Default quantum: large enough to amortize a queue round-trip,
+    /// small enough that an interactive shard waits at most a few
+    /// thousand events behind a hot one.
+    pub const DEFAULT_QUANTUM: usize = 512;
+
+    /// A federation of `shards` clusters with as many workers as the
+    /// host offers (capped at one per shard) and the default quantum.
+    pub fn new(shards: usize) -> FederationConfig {
+        assert!(shards > 0, "a federation needs at least one shard");
+        let host = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        FederationConfig {
+            shards,
+            workers: host.min(shards),
+            quantum: Self::DEFAULT_QUANTUM,
+        }
+    }
+
+    /// Builder: pins the worker count (still capped at one per shard).
+    pub fn with_workers(mut self, workers: usize) -> FederationConfig {
+        assert!(workers > 0, "at least one worker");
+        self.workers = workers.min(self.shards);
+        self
+    }
+
+    /// Builder: sets the per-turn event quantum.
+    pub fn with_quantum(mut self, quantum: usize) -> FederationConfig {
+        assert!(quantum > 0, "a zero quantum would never make progress");
+        self.quantum = quantum;
+        self
+    }
+}
+
+/// One shard's simulation: its config (policy instance included), its
+/// slice of the workload, and — once submission happened — its live
+/// DES state. A cell is only ever touched by the worker currently
+/// Running its shard, so the mutex is uncontended in steady state.
+struct ShardCell {
+    cfg: SimConfig,
+    workload: WorkloadSpec,
+    state: Option<SimState>,
+}
+
+/// State shared between the runtime, its handles and its workers.
+struct Core {
+    wq: WorkQueue,
+    cells: Vec<Mutex<Option<ShardCell>>>,
+    capacities: Vec<u32>,
+    quantum: usize,
+    /// Shards still holding events; guarded so `join` can sleep on it.
+    remaining: Mutex<usize>,
+    all_drained: Condvar,
+    /// Shard indices in the order they ran dry (fairness diagnostics).
+    drain_order: Mutex<Vec<usize>>,
+    /// Work-queue turns each shard was granted.
+    turns: Vec<AtomicU64>,
+    /// Latch per shard so the drain is counted exactly once.
+    drained: Vec<AtomicBool>,
+    loaded: AtomicBool,
+    started: AtomicBool,
+}
+
+/// Cheap, cloneable submission surface of a federation. All clones
+/// point at the same runtime; a federation accepts exactly one
+/// submission (a `WorkloadSpec` *is* the whole trace).
+#[derive(Clone)]
+pub struct FederationHandle {
+    core: Arc<Core>,
+}
+
+impl FederationHandle {
+    /// Routes every job of `workload` to a shard via `placement`,
+    /// partitions the trace and seeds each non-empty shard's event
+    /// queue. Returns the per-job shard assignment (workload order).
+    ///
+    /// The placement pre-pass is single-threaded and deterministic —
+    /// the partition is fixed before any worker thread observes it, so
+    /// replay results cannot depend on worker count.
+    ///
+    /// # Panics
+    /// If called after [`FederationRuntime::start`], called twice, or
+    /// if `placement` routes a job out of range.
+    pub fn submit(
+        &self,
+        workload: &WorkloadSpec,
+        placement: &mut dyn PlacementPolicy,
+    ) -> Vec<usize> {
+        assert!(
+            !self.core.started.load(Ordering::Acquire),
+            "submit after start: the workload must be routed before workers run"
+        );
+        assert!(
+            !self.core.loaded.swap(true, Ordering::AcqRel),
+            "a federation accepts exactly one submission"
+        );
+        let shards = self.core.capacities.len();
+        let mut tracker = LoadTracker::new(&self.core.capacities);
+        let mut assignment = Vec::with_capacity(workload.jobs.len());
+        for job in &workload.jobs {
+            let now_s = job.arrival.as_secs();
+            tracker.advance_to(now_s);
+            let shard = placement.place(job, tracker.loads());
+            assert!(
+                shard < shards,
+                "placement routed job {} to shard {shard} of a {shards}-shard federation",
+                job.name
+            );
+            tracker.commit(shard, job, now_s);
+            assignment.push(shard);
+        }
+        for (shard, part) in workload
+            .partition(&assignment, shards)
+            .into_iter()
+            .enumerate()
+        {
+            let mut guard = self.core.cells[shard].lock().unwrap();
+            let cell = guard.as_mut().expect("cells live until join");
+            if !part.jobs.is_empty() {
+                cell.state = Some(SimState::new(&cell.cfg, &part));
+            }
+            cell.workload = part;
+        }
+        assignment
+    }
+
+    /// Current scheduler state of `shard`.
+    pub fn shard_state(&self, shard: usize) -> ShardState {
+        self.core.wq.state(shard)
+    }
+
+    /// Shards whose event queues have not drained yet.
+    pub fn shards_remaining(&self) -> usize {
+        *self.core.remaining.lock().unwrap()
+    }
+}
+
+/// Everything a finished federation replay produced.
+pub struct FederationOutcome {
+    /// Shard metrics merged into one federation-level [`RunMetrics`]
+    /// (see `RunMetrics::merge` for the aggregation semantics). With a
+    /// single shard this is bit-identical to that shard's metrics.
+    pub merged: RunMetrics,
+    /// Per-shard outcomes, indexed by shard. Shards the placement left
+    /// empty carry empty metrics and an untouched recorder.
+    pub shards: Vec<SimOutcome>,
+    /// Per-shard cluster capacities (slots), indexed by shard.
+    pub capacities: Vec<u32>,
+    /// Events each shard processed.
+    pub events: Vec<u64>,
+    /// Work-queue turns each shard was granted.
+    pub turns: Vec<u64>,
+    /// Shard indices in drain order — under a small quantum, light
+    /// shards finish before heavy ones regardless of index order.
+    pub drain_order: Vec<usize>,
+}
+
+impl FederationOutcome {
+    /// Total events processed across all shards.
+    pub fn total_events(&self) -> u64 {
+        self.events.iter().sum()
+    }
+}
+
+/// The federation runtime: owns the shard cells and the worker OS
+/// threads. Not cloneable — dropping it (or calling
+/// [`FederationRuntime::join`]) is what shuts the workers down.
+pub struct FederationRuntime {
+    core: Arc<Core>,
+    workers: Vec<JoinHandle<()>>,
+    cfg: FederationConfig,
+}
+
+impl FederationRuntime {
+    /// Builds a federation whose shard `i` runs the `SimConfig`
+    /// returned by `make_sim(i)` — each shard gets its *own* policy
+    /// instance; nothing is shared across shards.
+    pub fn new(cfg: FederationConfig, make_sim: impl Fn(usize) -> SimConfig) -> FederationRuntime {
+        let cells: Vec<Mutex<Option<ShardCell>>> = (0..cfg.shards)
+            .map(|shard| {
+                Mutex::new(Some(ShardCell {
+                    cfg: make_sim(shard),
+                    workload: WorkloadSpec::new(Vec::new()),
+                    state: None,
+                }))
+            })
+            .collect();
+        let capacities: Vec<u32> = cells
+            .iter()
+            .map(|c| c.lock().unwrap().as_ref().expect("fresh cell").cfg.capacity)
+            .collect();
+        FederationRuntime {
+            core: Arc::new(Core {
+                wq: WorkQueue::new(cfg.shards),
+                cells,
+                capacities,
+                quantum: cfg.quantum,
+                remaining: Mutex::new(0),
+                all_drained: Condvar::new(),
+                drain_order: Mutex::new(Vec::with_capacity(cfg.shards)),
+                turns: (0..cfg.shards).map(|_| AtomicU64::new(0)).collect(),
+                drained: (0..cfg.shards).map(|_| AtomicBool::new(false)).collect(),
+                loaded: AtomicBool::new(false),
+                started: AtomicBool::new(false),
+            }),
+            workers: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> FederationHandle {
+        FederationHandle {
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// The configuration this runtime was built with (workers already
+    /// clamped).
+    pub fn config(&self) -> &FederationConfig {
+        &self.cfg
+    }
+
+    /// Spawns the worker threads and schedules every loaded shard (in
+    /// index order, for a deterministic initial queue).
+    ///
+    /// # Panics
+    /// If no workload was submitted, or if called twice.
+    pub fn start(&mut self) {
+        assert!(
+            self.core.loaded.load(Ordering::Acquire),
+            "start before submit: nothing to replay"
+        );
+        assert!(
+            !self.core.started.swap(true, Ordering::AcqRel),
+            "a federation starts exactly once"
+        );
+        let mut loaded_shards = Vec::new();
+        for (shard, cell) in self.core.cells.iter().enumerate() {
+            let has_events = cell
+                .lock()
+                .unwrap()
+                .as_ref()
+                .expect("cells live until join")
+                .state
+                .is_some();
+            if has_events {
+                loaded_shards.push(shard);
+            } else {
+                // Placement left this shard empty: born drained.
+                self.core.drained[shard].store(true, Ordering::Release);
+            }
+        }
+        *self.core.remaining.lock().unwrap() = loaded_shards.len();
+        if loaded_shards.is_empty() {
+            self.core.all_drained.notify_all();
+        }
+        for shard in loaded_shards {
+            self.core.wq.schedule(shard);
+        }
+        for w in 0..self.cfg.workers {
+            let core = Arc::clone(&self.core);
+            let handle = std::thread::Builder::new()
+                .name(format!("fed-worker-{w}"))
+                .spawn(move || worker_loop(&core))
+                .expect("spawn federation worker");
+            self.workers.push(handle);
+        }
+    }
+
+    /// Blocks until every shard drains, stops the workers and merges
+    /// the shard outcomes.
+    ///
+    /// # Panics
+    /// If called before [`FederationRuntime::start`], or if a worker
+    /// thread panicked (the panic is propagated).
+    pub fn join(mut self) -> FederationOutcome {
+        assert!(
+            self.core.started.load(Ordering::Acquire),
+            "join before start"
+        );
+        {
+            let mut remaining = self.core.remaining.lock().unwrap();
+            while *remaining > 0 {
+                remaining = self.core.all_drained.wait(remaining).unwrap();
+            }
+        }
+        self.core.wq.shutdown();
+        for w in std::mem::take(&mut self.workers) {
+            if let Err(panic) = w.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+
+        let mut shards = Vec::with_capacity(self.core.cells.len());
+        let mut events = Vec::with_capacity(self.core.cells.len());
+        for cell in &self.core.cells {
+            let cell = cell
+                .lock()
+                .unwrap()
+                .take()
+                .expect("join consumes each cell once");
+            match cell.state {
+                Some(state) => {
+                    events.push(state.events_processed());
+                    shards.push(state.finish(&cell.cfg, &cell.workload));
+                }
+                None => {
+                    // Never loaded: an empty single-cluster outcome.
+                    events.push(0);
+                    shards.push(SimOutcome {
+                        metrics: RunMetrics::empty(cell.cfg.policy.name(), 0),
+                        util: UtilizationRecorder::new(cell.cfg.capacity),
+                        rescales: 0,
+                        cancelled: 0,
+                        names: Vec::new(),
+                        peak_queue_len: 0,
+                    });
+                }
+            }
+        }
+        let merged = RunMetrics::merge(
+            &self
+                .core
+                .capacities
+                .iter()
+                .zip(&shards)
+                .map(|(&cap, outcome)| (cap, &outcome.metrics))
+                .collect::<Vec<_>>(),
+        );
+        FederationOutcome {
+            merged,
+            shards,
+            capacities: self.core.capacities.clone(),
+            events,
+            turns: self
+                .core
+                .turns
+                .iter()
+                .map(|t| t.load(Ordering::Acquire))
+                .collect(),
+            drain_order: self.core.drain_order.lock().unwrap().clone(),
+        }
+    }
+}
+
+impl Drop for FederationRuntime {
+    fn drop(&mut self) {
+        // join() took the workers; an early drop (panic unwind, test
+        // teardown) still stops and reaps them.
+        if !self.workers.is_empty() {
+            self.core.wq.shutdown();
+            for w in std::mem::take(&mut self.workers) {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// One worker: pop a shard, drain one quantum, report a drain exactly
+/// once, yield the shard back. Exits when the queue shuts down.
+fn worker_loop(core: &Core) {
+    while let Some(shard) = core.wq.next() {
+        core.turns[shard].fetch_add(1, Ordering::Relaxed);
+        let more = {
+            let mut guard = core.cells[shard].lock().unwrap();
+            let cell = guard.as_mut().expect("cells live until join");
+            let state = cell.state.as_mut().expect("scheduled shards are loaded");
+            state.step(&cell.cfg, &cell.workload, core.quantum)
+        };
+        if !more && !core.drained[shard].swap(true, Ordering::AcqRel) {
+            let mut remaining = core.remaining.lock().unwrap();
+            *remaining -= 1;
+            core.drain_order.lock().unwrap().push(shard);
+            if *remaining == 0 {
+                core.all_drained.notify_all();
+            }
+        }
+        core.wq.yield_back(shard, more);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::RoundRobin;
+    use elastic_core::{Policy, PolicyConfig};
+    use hpc_metrics::Duration;
+    use hpc_workload::JobSpec;
+    use sched_sim::{OverheadModel, ScalingModel};
+
+    fn sim_cfg(capacity: u32) -> SimConfig {
+        SimConfig {
+            capacity,
+            policy: Box::new(Policy::rigid_max(PolicyConfig::default())),
+            scaling: ScalingModel::default(),
+            overhead: OverheadModel::default(),
+            cancellations: Vec::new(),
+        }
+    }
+
+    fn burst(n: usize, work: f64) -> Vec<JobSpec> {
+        (0..n)
+            .map(|i| {
+                JobSpec::malleable(format!("j{i:03}"), 1, 2, work, 1)
+                    .at(Duration::from_secs(i as f64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_submission_is_enforced() {
+        let rt = FederationRuntime::new(FederationConfig::new(2).with_workers(1), |_| sim_cfg(8));
+        let handle = rt.handle();
+        let wl = WorkloadSpec::new(burst(4, 10.0));
+        handle.submit(&wl, &mut RoundRobin::new());
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle.submit(&wl, &mut RoundRobin::new())
+        }));
+        assert!(second.is_err(), "second submission must panic");
+    }
+
+    #[test]
+    fn empty_shards_are_born_drained() {
+        // 3 shards, all jobs forced onto shard 0.
+        struct Pin;
+        impl PlacementPolicy for Pin {
+            fn name(&self) -> String {
+                "pin".into()
+            }
+            fn place(&mut self, _: &JobSpec, _: &[crate::placement::ShardLoad]) -> usize {
+                0
+            }
+        }
+        let mut rt =
+            FederationRuntime::new(FederationConfig::new(3).with_workers(2), |_| sim_cfg(8));
+        rt.handle()
+            .submit(&WorkloadSpec::new(burst(6, 5.0)), &mut Pin);
+        rt.start();
+        let out = rt.join();
+        assert_eq!(out.events[1], 0);
+        assert_eq!(out.events[2], 0);
+        assert!(out.events[0] > 0);
+        assert_eq!(out.shards[1].metrics.jobs.len(), 0);
+        assert_eq!(out.merged.jobs.len(), 6);
+        assert_eq!(out.turns[1], 0, "unloaded shards never get a turn");
+    }
+
+    #[test]
+    fn small_quantum_lets_light_shards_drain_first() {
+        // One worker so turn order is the queue order; a tiny quantum
+        // forces round-robin between the heavy shard 0 and light shard 1.
+        struct ByIndex(usize);
+        impl PlacementPolicy for ByIndex {
+            fn name(&self) -> String {
+                "by_index".into()
+            }
+            fn place(&mut self, _: &JobSpec, _: &[crate::placement::ShardLoad]) -> usize {
+                let s = if self.0 < 40 { 0 } else { 1 };
+                self.0 += 1;
+                s
+            }
+        }
+        // Heavy shard: 40 jobs; light shard: 2 jobs.
+        let jobs = burst(42, 5.0);
+        let wl = WorkloadSpec::new(jobs);
+
+        let run = |quantum: usize| {
+            let mut rt = FederationRuntime::new(
+                FederationConfig::new(2)
+                    .with_workers(1)
+                    .with_quantum(quantum),
+                |_| sim_cfg(8),
+            );
+            rt.handle().submit(&wl, &mut ByIndex(0));
+            rt.start();
+            rt.join()
+        };
+
+        let fair = run(2);
+        assert_eq!(
+            fair.drain_order,
+            vec![1, 0],
+            "under a small quantum the light shard finishes first"
+        );
+        assert!(fair.turns[0] > fair.turns[1]);
+
+        let hog = run(usize::MAX);
+        assert_eq!(
+            hog.drain_order,
+            vec![0, 1],
+            "an unbounded quantum drains shards in schedule order"
+        );
+        assert_eq!(hog.turns[0], 1, "one turn drains everything");
+
+        // Fairness is a latency property; outcomes stay identical.
+        assert_eq!(fair.merged, hog.merged);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_outcome() {
+        let wl = WorkloadSpec::new(burst(60, 12.0));
+        let run = |workers: usize| {
+            let mut rt = FederationRuntime::new(
+                FederationConfig::new(4)
+                    .with_workers(workers)
+                    .with_quantum(8),
+                |_| sim_cfg(8),
+            );
+            rt.handle().submit(&wl, &mut RoundRobin::new());
+            rt.start();
+            rt.join()
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.merged, four.merged);
+        assert_eq!(one.events, four.events);
+        for (a, b) in one.shards.iter().zip(&four.shards) {
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn drop_without_join_reaps_workers() {
+        let mut rt =
+            FederationRuntime::new(FederationConfig::new(2).with_workers(2), |_| sim_cfg(8));
+        rt.handle()
+            .submit(&WorkloadSpec::new(burst(8, 5.0)), &mut RoundRobin::new());
+        rt.start();
+        drop(rt); // must not hang or leak threads
+    }
+}

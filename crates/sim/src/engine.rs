@@ -348,109 +348,208 @@ fn apply_runtime(
     }
 }
 
-/// Runs one simulation to completion, replaying the workload's own
-/// arrival (and cancellation) times.
-pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
-    workload
-        .validate()
-        .unwrap_or_else(|e| panic!("workload not replayable: {e}"));
-    let launcher = cfg.policy.launcher_slots();
-    let mut jobs: Vec<JobRt> = workload.jobs.iter().cloned().map(JobRt::new).collect();
-    let mut queue = EventQueue::new();
-    let mut view = ClusterView::new(cfg.capacity);
-    let mut util = UtilizationRecorder::new(cfg.capacity);
-    let mut rescales = 0u32;
-    let mut cancelled_count = 0u32;
-    let mut peak_queue_len = 0usize;
-    let mut fault_stats = FaultStats::default();
+/// Resumable simulation state — the per-shard DES drive.
+///
+/// [`simulate`] builds one of these and drains it in a single call. The
+/// federation layer (`hpc-federation`) instead keeps one `SimState` per
+/// shard and drains each a bounded number of events at a time (its
+/// work-queue *time quantum*), interleaving many shards over a small
+/// pool of worker threads. Stepping in any quantum size is
+/// **bit-identical** to one monolithic run: events pop in the same
+/// deterministic order regardless of where the drain pauses.
+///
+/// The state does not own the [`SimConfig`] or [`WorkloadSpec`] it was
+/// built from (the policy box is not cloneable; owners keep both next
+/// to the state); every [`SimState::step`]/[`SimState::finish`] call
+/// must receive the *same* pair passed to [`SimState::new`].
+pub struct SimState {
+    jobs: Vec<JobRt>,
+    queue: EventQueue,
+    view: ClusterView,
+    util: UtilizationRecorder,
+    rescales: u32,
+    cancelled_count: u32,
+    peak_queue_len: usize,
+    fault_stats: FaultStats,
+    launcher: u32,
+    timer_interval: Option<Duration>,
+    events_processed: u64,
+}
 
-    // Submit coalescing: consecutive jobs whose arrival instants
-    // coincide (zero gaps, or trace bursts) share one Submit event.
-    let submit_at = |i: usize| SimTime::ZERO + workload.jobs[i].arrival;
-    let mut i = 0usize;
-    while i < jobs.len() {
-        let at = submit_at(i);
-        let mut count = 1usize;
-        while i + count < jobs.len() && submit_at(i + count) == at {
-            count += 1;
-        }
-        queue.push(
-            at,
-            Event::Submit {
-                first: JobId::from_index(i),
-                count: count as u32,
-            },
-        );
-        i += count;
-    }
-    for (i, job) in workload.jobs.iter().enumerate() {
-        if let Some(at) = job.cancel_at {
+impl SimState {
+    /// Validates `workload` and seeds the event queue (submissions
+    /// coalesced per timestamp, cancellations, the policy timer, fault
+    /// events last) exactly as a monolithic [`simulate`] run does.
+    pub fn new(cfg: &SimConfig, workload: &WorkloadSpec) -> SimState {
+        workload
+            .validate()
+            .unwrap_or_else(|e| panic!("workload not replayable: {e}"));
+        let launcher = cfg.policy.launcher_slots();
+        let jobs: Vec<JobRt> = workload.jobs.iter().cloned().map(JobRt::new).collect();
+        let mut queue = EventQueue::new();
+
+        // Submit coalescing: consecutive jobs whose arrival instants
+        // coincide (zero gaps, or trace bursts) share one Submit event.
+        let submit_at = |i: usize| SimTime::ZERO + workload.jobs[i].arrival;
+        let mut i = 0usize;
+        while i < jobs.len() {
+            let at = submit_at(i);
+            let mut count = 1usize;
+            while i + count < jobs.len() && submit_at(i + count) == at {
+                count += 1;
+            }
             queue.push(
-                SimTime::ZERO + at,
+                at,
+                Event::Submit {
+                    first: JobId::from_index(i),
+                    count: count as u32,
+                },
+            );
+            i += count;
+        }
+        for (i, job) in workload.jobs.iter().enumerate() {
+            if let Some(at) = job.cancel_at {
+                queue.push(
+                    SimTime::ZERO + at,
+                    Event::Cancel {
+                        job: JobId::from_index(i),
+                    },
+                );
+            }
+        }
+        // Policy timer: the DES analogue of the operator's periodic
+        // timer pass. First firing one interval past the epoch; each
+        // firing reschedules the next while any job is still
+        // non-terminal.
+        let timer_interval = cfg.policy.timer_interval();
+        if let Some(iv) = timer_interval {
+            assert!(
+                iv.as_secs().is_finite() && iv.as_secs() > 0.0,
+                "timer_interval must be finite and positive"
+            );
+            queue.push(SimTime::ZERO + iv, Event::Timer);
+        }
+        for (at, name) in &cfg.cancellations {
+            let i = workload
+                .jobs
+                .iter()
+                .position(|j| j.name == *name)
+                .unwrap_or_else(|| panic!("cancellation for unknown job {name}"));
+            queue.push(
+                SimTime::ZERO + *at,
                 Event::Cancel {
                     job: JobId::from_index(i),
                 },
             );
         }
-    }
-    // Policy timer: the DES analogue of the operator's periodic timer
-    // pass. First firing one interval past the epoch; each firing
-    // reschedules the next while any job is still non-terminal.
-    let timer_interval = cfg.policy.timer_interval();
-    if let Some(iv) = timer_interval {
-        assert!(
-            iv.as_secs().is_finite() && iv.as_secs() > 0.0,
-            "timer_interval must be finite and positive"
-        );
-        queue.push(SimTime::ZERO + iv, Event::Timer);
-    }
-    for (at, name) in &cfg.cancellations {
-        let i = workload
-            .jobs
-            .iter()
-            .position(|j| j.name == *name)
-            .unwrap_or_else(|| panic!("cancellation for unknown job {name}"));
-        queue.push(
-            SimTime::ZERO + *at,
-            Event::Cancel {
-                job: JobId::from_index(i),
-            },
-        );
-    }
-    // Fault events are pushed last so at shared instants they sort
-    // after submissions/cancellations — the order the operator's tick
-    // reconciles them in. (Fault instants must not collide with policy
-    // timer firings: the engines order those two differently.)
-    for e in &workload.faults.events {
-        let ev = match e.kind {
-            FaultKind::NodeFail => Event::NodeFail { slots: e.slots },
-            FaultKind::Reclaim => Event::CapacityReclaim { slots: e.slots },
-            FaultKind::Return => Event::CapacityReturn { slots: e.slots },
-        };
-        queue.push(SimTime::ZERO + e.at, ev);
+        // Fault events are pushed last so at shared instants they sort
+        // after submissions/cancellations — the order the operator's
+        // tick reconciles them in. (Fault instants must not collide
+        // with policy timer firings: the engines order those two
+        // differently.)
+        for e in &workload.faults.events {
+            let ev = match e.kind {
+                FaultKind::NodeFail => Event::NodeFail { slots: e.slots },
+                FaultKind::Reclaim => Event::CapacityReclaim { slots: e.slots },
+                FaultKind::Return => Event::CapacityReturn { slots: e.slots },
+            };
+            queue.push(SimTime::ZERO + e.at, ev);
+        }
+
+        SimState {
+            jobs,
+            queue,
+            view: ClusterView::new(cfg.capacity),
+            util: UtilizationRecorder::new(cfg.capacity),
+            rescales: 0,
+            cancelled_count: 0,
+            peak_queue_len: 0,
+            fault_stats: FaultStats::default(),
+            launcher,
+            timer_interval,
+            events_processed: 0,
+        }
     }
 
-    macro_rules! apply_all {
-        ($actions:expr, $now:expr) => {
-            for a in &$actions {
-                apply_action(&mut view, a, $now, launcher);
-                apply_runtime(
-                    cfg,
-                    &workload.faults,
-                    &mut jobs,
-                    &mut queue,
-                    &mut util,
-                    &mut rescales,
-                    &mut cancelled_count,
-                    &mut fault_stats,
-                    a,
-                    $now,
-                );
+    /// Pending events (including stale completions awaiting compaction).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Events popped so far across all [`SimState::step`] calls.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    fn apply_all(&mut self, cfg: &SimConfig, fspec: &FaultSpec, actions: &[Action], now: SimTime) {
+        for a in actions {
+            apply_action(&mut self.view, a, now, self.launcher);
+            apply_runtime(
+                cfg,
+                fspec,
+                &mut self.jobs,
+                &mut self.queue,
+                &mut self.util,
+                &mut self.rescales,
+                &mut self.cancelled_count,
+                &mut self.fault_stats,
+                a,
+                now,
+            );
+        }
+    }
+
+    /// Pops and processes at most `max_events` events; returns `true`
+    /// while events remain afterwards. `step(cfg, wl, usize::MAX)`
+    /// drains the run in one call; the federation scheduler passes its
+    /// quantum and re-queues the shard while this returns `true`.
+    pub fn step(&mut self, cfg: &SimConfig, workload: &WorkloadSpec, max_events: usize) -> bool {
+        debug_assert_eq!(
+            self.jobs.len(),
+            workload.jobs.len(),
+            "step must receive the workload the state was built from"
+        );
+        let mut popped = 0usize;
+        while popped < max_events {
+            let Some((now, event)) = self.queue.pop() else {
+                return false;
+            };
+            popped += 1;
+            self.events_processed += 1;
+            // An event retired early (stale completion, terminal-state
+            // no-op) skips the bookkeeping below, exactly like the
+            // historical loop's `continue`.
+            if !self.process_event(cfg, workload, now, event) {
+                continue;
             }
-        };
+            self.peak_queue_len = self.peak_queue_len.max(self.queue.len());
+            if self.queue.should_compact() {
+                let jobs = &self.jobs;
+                self.queue.compact(|e| match e {
+                    Event::Completion { job, generation } => {
+                        let j = &jobs[job.index()];
+                        !j.completed && !j.cancelled && j.generation == *generation
+                    }
+                    Event::Requeue { job } => {
+                        let j = &jobs[job.index()];
+                        !j.completed && !j.cancelled && !j.failed
+                    }
+                    _ => true,
+                });
+            }
+        }
+        !self.queue.is_empty()
     }
 
-    while let Some((now, event)) = queue.pop() {
+    /// Processes one event; `false` means it was retired early (the
+    /// post-event bookkeeping must be skipped).
+    fn process_event(
+        &mut self,
+        cfg: &SimConfig,
+        workload: &WorkloadSpec,
+        now: SimTime,
+        event: Event,
+    ) -> bool {
         match event {
             Event::Submit { first, count } => {
                 // One pop admits the whole same-timestamp burst; each
@@ -459,71 +558,74 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                 for k in 0..count as usize {
                     let idx = first.index() + k;
                     let id = JobId::from_index(idx);
-                    jobs[idx].submitted = true;
-                    jobs[idx].submitted_at = now;
-                    jobs[idx].last_update = now;
-                    view.insert(jobs[idx].view_state(id), launcher);
-                    let actions = cfg.policy.on_submit(&view, id, now);
-                    apply_all!(actions, now);
+                    self.jobs[idx].submitted = true;
+                    self.jobs[idx].submitted_at = now;
+                    self.jobs[idx].last_update = now;
+                    self.view
+                        .insert(self.jobs[idx].view_state(id), self.launcher);
+                    let actions = cfg.policy.on_submit(&self.view, id, now);
+                    self.apply_all(cfg, &workload.faults, &actions, now);
                 }
             }
             Event::Completion { job, generation } => {
                 let idx = job.index();
-                if jobs[idx].generation != generation || jobs[idx].completed || jobs[idx].cancelled
+                if self.jobs[idx].generation != generation
+                    || self.jobs[idx].completed
+                    || self.jobs[idx].cancelled
                 {
-                    queue.note_stale_popped();
-                    continue; // stale: the job was rescaled or cancelled meanwhile
+                    self.queue.note_stale_popped();
+                    return false; // stale: the job was rescaled or cancelled meanwhile
                 }
-                jobs[idx].advance(now, &cfg.scaling);
+                self.jobs[idx].advance(now, &cfg.scaling);
                 debug_assert!(
-                    jobs[idx].steps_done >= jobs[idx].spec.work() - 1e-3,
+                    self.jobs[idx].steps_done >= self.jobs[idx].spec.work() - 1e-3,
                     "completion fired early for {}",
-                    jobs[idx].spec.name
+                    self.jobs[idx].spec.name
                 );
-                jobs[idx].completed = true;
-                jobs[idx].running = false;
-                jobs[idx].completed_at = Some(now);
-                util.set(now, job, 0);
-                view.remove(job, launcher);
-                let actions = cfg.policy.on_complete(&view, now);
-                apply_all!(actions, now);
+                self.jobs[idx].completed = true;
+                self.jobs[idx].running = false;
+                self.jobs[idx].completed_at = Some(now);
+                self.util.set(now, job, 0);
+                self.view.remove(job, self.launcher);
+                let actions = cfg.policy.on_complete(&self.view, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
             }
             Event::Cancel { job } => {
                 let idx = job.index();
-                if jobs[idx].completed
-                    || jobs[idx].cancelled
-                    || jobs[idx].failed
-                    || !jobs[idx].submitted
+                if self.jobs[idx].completed
+                    || self.jobs[idx].cancelled
+                    || self.jobs[idx].failed
+                    || !self.jobs[idx].submitted
                 {
                     // Terminal already, or a cancel timed before the
                     // job's arrival — a no-op, exactly like the client
                     // cancel of an unknown name in the operator path.
-                    continue;
+                    return false;
                 }
-                let held_slots = jobs[idx].running;
+                let held_slots = self.jobs[idx].running;
                 let cancel = Action::Cancel { job };
                 // A job waiting out a requeue backoff is alive but not
                 // in the view; the runtime cancel alone retires it.
-                if view.job(job).is_some() {
-                    apply_action(&mut view, &cancel, now, launcher);
+                if self.view.job(job).is_some() {
+                    apply_action(&mut self.view, &cancel, now, self.launcher);
                 }
                 apply_runtime(
                     cfg,
                     &workload.faults,
-                    &mut jobs,
-                    &mut queue,
-                    &mut util,
-                    &mut rescales,
-                    &mut cancelled_count,
-                    &mut fault_stats,
+                    &mut self.jobs,
+                    &mut self.queue,
+                    &mut self.util,
+                    &mut self.rescales,
+                    &mut self.cancelled_count,
+                    &mut self.fault_stats,
                     &cancel,
                     now,
                 );
                 if held_slots {
                     // Freed capacity: the policy redistributes exactly
                     // as after a completion.
-                    let actions = cfg.policy.on_complete(&view, now);
-                    apply_all!(actions, now);
+                    let actions = cfg.policy.on_complete(&self.view, now);
+                    self.apply_all(cfg, &workload.faults, &actions, now);
                 }
             }
             Event::NodeFail { slots } | Event::CapacityReclaim { slots } => {
@@ -531,7 +633,7 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                 // deficit when they were occupied), let the policy
                 // answer through on_fault, and insist the plan covers
                 // the deficit before the usual redistribution pass.
-                view.fail_slots(slots);
+                self.view.fail_slots(slots);
                 let kind = if matches!(event, Event::NodeFail { .. }) {
                     FaultKind::NodeFail
                 } else {
@@ -542,120 +644,136 @@ pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
                     slots,
                     kind,
                 };
-                let actions = cfg.policy.on_fault(&view, &fault, now);
-                apply_all!(actions, now);
+                let actions = cfg.policy.on_fault(&self.view, &fault, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
                 assert_eq!(
-                    view.deficit(),
+                    self.view.deficit(),
                     0,
                     "policy {} left a fault deficit uncovered",
                     cfg.policy.name()
                 );
-                let actions = cfg.policy.on_complete(&view, now);
-                apply_all!(actions, now);
+                let actions = cfg.policy.on_complete(&self.view, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
             }
             Event::CapacityReturn { slots } => {
                 // Reclaimed capacity comes back: restore it to the free
                 // pool and let the policy expand or admit into it.
-                view.restore_slots(slots);
-                let actions = cfg.policy.on_complete(&view, now);
-                apply_all!(actions, now);
+                self.view.restore_slots(slots);
+                let actions = cfg.policy.on_complete(&self.view, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
             }
             Event::Requeue { job } => {
                 let idx = job.index();
-                if jobs[idx].completed || jobs[idx].cancelled || jobs[idx].failed {
-                    continue; // cancelled while waiting out the backoff
+                if self.jobs[idx].completed || self.jobs[idx].cancelled || self.jobs[idx].failed {
+                    return false; // cancelled while waiting out the backoff
                 }
-                jobs[idx].last_update = now;
-                view.insert(jobs[idx].view_state(job), launcher);
-                let actions = cfg.policy.on_submit(&view, job, now);
-                apply_all!(actions, now);
+                self.jobs[idx].last_update = now;
+                self.view
+                    .insert(self.jobs[idx].view_state(job), self.launcher);
+                let actions = cfg.policy.on_submit(&self.view, job, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
             }
             Event::Timer => {
                 // Stop the clock once every job is terminal — the run
                 // is over; an armed timer must not keep it alive.
-                if jobs.iter().all(|j| j.completed || j.cancelled || j.failed) {
-                    continue;
+                if self
+                    .jobs
+                    .iter()
+                    .all(|j| j.completed || j.cancelled || j.failed)
+                {
+                    return false;
                 }
-                let actions = cfg.policy.on_timer(&view, now);
-                apply_all!(actions, now);
+                let actions = cfg.policy.on_timer(&self.view, now);
+                self.apply_all(cfg, &workload.faults, &actions, now);
                 // Re-arm only while some *other* event is pending: a
                 // policy is a pure function of the view, so with no
                 // submissions/completions/cancellations left, every
                 // future firing would see the same view and decide the
                 // same nothing — re-arming would hang the simulation
                 // forever on a permanently starved job instead of
-                // letting it reach the diagnostic assert below.
-                if !queue.is_empty() {
-                    let iv = timer_interval.expect("timer event implies an interval");
-                    queue.push(now + iv, Event::Timer);
+                // letting it reach the diagnostic starvation assert.
+                if !self.queue.is_empty() {
+                    let iv = self
+                        .timer_interval
+                        .expect("timer event implies an interval");
+                    self.queue.push(now + iv, Event::Timer);
                 }
             }
         }
-        peak_queue_len = peak_queue_len.max(queue.len());
-        if queue.should_compact() {
-            queue.compact(|e| match e {
-                Event::Completion { job, generation } => {
-                    let j = &jobs[job.index()];
-                    !j.completed && !j.cancelled && j.generation == *generation
-                }
-                Event::Requeue { job } => {
-                    let j = &jobs[job.index()];
-                    !j.completed && !j.cancelled && !j.failed
-                }
-                _ => true,
-            });
+        true
+    }
+
+    /// Consumes the drained state into a [`SimOutcome`].
+    ///
+    /// # Panics
+    /// If events are still pending, or (diagnostically) if a job
+    /// starved in the queue forever.
+    pub fn finish(self, cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
+        assert!(
+            self.queue.is_empty(),
+            "finish called with {} events pending",
+            self.queue.len()
+        );
+        // Starvation first: it is the *cause* of a non-drained view, so
+        // it must own the diagnostic (the drain assert below would
+        // otherwise mask it in debug builds).
+        for j in &self.jobs {
+            assert!(
+                j.completed || j.cancelled || j.failed,
+                "job {} never completed (starved in queue)",
+                j.spec.name
+            );
+        }
+
+        debug_assert!(
+            self.view.is_empty()
+                && self.view.deficit() == 0
+                && self.view.free_slots() + self.view.failed_slots() == cfg.capacity,
+            "incremental view must drain to empty (minus still-failed slots) \
+             when every job is terminal"
+        );
+
+        let outcomes: Vec<JobOutcome> = self
+            .jobs
+            .iter()
+            .filter(|j| j.completed)
+            .map(|j| JobOutcome {
+                name: j.spec.name.clone(),
+                priority: j.spec.priority,
+                submitted_at: j.submitted_at,
+                started_at: j.started_at.expect("started"),
+                completed_at: j.completed_at.expect("completed"),
+            })
+            .collect();
+        let metrics = if outcomes.is_empty() {
+            // Every job was cancelled: nothing completed, nothing to
+            // aggregate.
+            RunMetrics::empty(cfg.policy.name(), self.rescales).with_fault_stats(self.fault_stats)
+        } else {
+            let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
+            let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
+            let utilization = self.util.average_utilization(first_submit, last_complete);
+            RunMetrics::from_outcomes(cfg.policy.name(), outcomes, utilization, self.rescales)
+                .with_fault_stats(self.fault_stats)
+        };
+        SimOutcome {
+            metrics,
+            util: self.util,
+            rescales: self.rescales,
+            cancelled: self.cancelled_count,
+            names: workload.jobs.iter().map(|j| j.name.clone()).collect(),
+            peak_queue_len: self.peak_queue_len,
         }
     }
+}
 
-    // Starvation first: it is the *cause* of a non-drained view, so it
-    // must own the diagnostic (the drain assert below would otherwise
-    // mask it in debug builds).
-    for j in &jobs {
-        assert!(
-            j.completed || j.cancelled || j.failed,
-            "job {} never completed (starved in queue)",
-            j.spec.name
-        );
-    }
-
-    debug_assert!(
-        view.is_empty()
-            && view.deficit() == 0
-            && view.free_slots() + view.failed_slots() == cfg.capacity,
-        "incremental view must drain to empty (minus still-failed slots) \
-         when every job is terminal"
-    );
-
-    let outcomes: Vec<JobOutcome> = jobs
-        .iter()
-        .filter(|j| j.completed)
-        .map(|j| JobOutcome {
-            name: j.spec.name.clone(),
-            priority: j.spec.priority,
-            submitted_at: j.submitted_at,
-            started_at: j.started_at.expect("started"),
-            completed_at: j.completed_at.expect("completed"),
-        })
-        .collect();
-    let metrics = if outcomes.is_empty() {
-        // Every job was cancelled: nothing completed, nothing to
-        // aggregate.
-        RunMetrics::empty(cfg.policy.name(), rescales).with_fault_stats(fault_stats)
-    } else {
-        let first_submit = outcomes.iter().map(|o| o.submitted_at).min().expect("jobs");
-        let last_complete = outcomes.iter().map(|o| o.completed_at).max().expect("jobs");
-        let utilization = util.average_utilization(first_submit, last_complete);
-        RunMetrics::from_outcomes(cfg.policy.name(), outcomes, utilization, rescales)
-            .with_fault_stats(fault_stats)
-    };
-    SimOutcome {
-        metrics,
-        util,
-        rescales,
-        cancelled: cancelled_count,
-        names: workload.jobs.iter().map(|j| j.name.clone()).collect(),
-        peak_queue_len,
-    }
+/// Runs one simulation to completion, replaying the workload's own
+/// arrival (and cancellation) times. Equivalent to draining a
+/// [`SimState`] in a single unbounded step.
+pub fn simulate(cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
+    let mut state = SimState::new(cfg, workload);
+    while state.step(cfg, workload, usize::MAX) {}
+    state.finish(cfg, workload)
 }
 
 #[cfg(test)]
@@ -977,6 +1095,46 @@ mod tests {
         );
         let cfg = SimConfig::paper_default(Box::new(policy));
         let _ = simulate(&cfg, &wl);
+    }
+
+    #[test]
+    fn quantum_stepping_is_bit_identical_to_monolithic_drain() {
+        // The federation scheduler drains shards a few events at a
+        // time; any quantum size must reproduce the monolithic run
+        // exactly — metrics, rescales, peaks, everything.
+        let wl = spaced(generate_workload(11, 16), 30.0);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 60.0));
+        let whole = simulate(&cfg, &wl);
+        for quantum in [1usize, 3, 7, 64] {
+            let cfg_q = SimConfig::paper_default(policy(PolicyKind::Elastic, 60.0));
+            let mut st = SimState::new(&cfg_q, &wl);
+            let mut turns = 0u32;
+            while st.step(&cfg_q, &wl, quantum) {
+                turns += 1;
+            }
+            let out = st.finish(&cfg_q, &wl);
+            assert_eq!(out.metrics, whole.metrics, "quantum {quantum} diverged");
+            assert_eq!(out.rescales, whole.rescales);
+            assert_eq!(out.peak_queue_len, whole.peak_queue_len);
+            assert_eq!(out.cancelled, whole.cancelled);
+            assert!(quantum >= 64 || turns > 1, "tiny quantum must yield");
+        }
+    }
+
+    #[test]
+    fn sim_state_exposes_progress_counters() {
+        let wl = one_job(SizeClass::Small);
+        let cfg = SimConfig::paper_default(policy(PolicyKind::Elastic, 180.0));
+        let mut st = SimState::new(&cfg, &wl);
+        assert_eq!(st.pending_events(), 1, "one coalesced submit seeded");
+        assert_eq!(st.events_processed(), 0);
+        let more = st.step(&cfg, &wl, 1);
+        assert!(more, "completion still pending");
+        assert_eq!(st.events_processed(), 1);
+        while st.step(&cfg, &wl, 1) {}
+        assert_eq!(st.pending_events(), 0);
+        let out = st.finish(&cfg, &wl);
+        assert_eq!(out.metrics.jobs.len(), 1);
     }
 
     #[test]

@@ -57,6 +57,28 @@ pub fn averaged_point(
     n_jobs: usize,
     x: f64,
 ) -> SweepPoint {
+    averaged_point_with_overhead(
+        kind,
+        submission_gap_s,
+        rescale_gap_s,
+        seeds,
+        n_jobs,
+        x,
+        OverheadModel::default(),
+    )
+}
+
+/// [`averaged_point`] under a caller-chosen rescale [`OverheadModel`]
+/// — the knob behind the Fig. 8 incremental-protocol companion sweep.
+pub fn averaged_point_with_overhead(
+    kind: PolicyKind,
+    submission_gap_s: f64,
+    rescale_gap_s: f64,
+    seeds: u64,
+    n_jobs: usize,
+    x: f64,
+    overhead: OverheadModel,
+) -> SweepPoint {
     let mut util = Vec::with_capacity(seeds as usize);
     let mut total = Vec::with_capacity(seeds as usize);
     let mut resp = Vec::with_capacity(seeds as usize);
@@ -65,7 +87,10 @@ pub fn averaged_point(
     for seed in 0..seeds {
         let workload =
             generate_workload(seed, n_jobs).spaced_every(Duration::from_secs(submission_gap_s));
-        let cfg = SimConfig::paper_default(Box::new(policy_of(kind, rescale_gap_s)));
+        let cfg = SimConfig {
+            overhead,
+            ..SimConfig::paper_default(Box::new(policy_of(kind, rescale_gap_s)))
+        };
         let out = simulate(&cfg, &workload);
         util.push(out.metrics.utilization);
         total.push(out.metrics.total_time);
@@ -109,16 +134,39 @@ pub fn sweep_rescale_gap(
     seeds: u64,
     n_jobs: usize,
 ) -> Vec<SweepPoint> {
+    sweep_rescale_gap_with_overhead(
+        rescale_gaps_s,
+        submission_gap_s,
+        seeds,
+        n_jobs,
+        OverheadModel::default(),
+    )
+}
+
+/// [`sweep_rescale_gap`] under a caller-chosen [`OverheadModel`].
+///
+/// Passing [`OverheadModel::incremental`] produces the Fig. 8
+/// companion: the same `T_rescale_gap` sweep with the in-place rescale
+/// protocol, where cheaper rescales flatten elastic's total-time
+/// penalty and keep its utilization edge at larger gaps.
+pub fn sweep_rescale_gap_with_overhead(
+    rescale_gaps_s: &[f64],
+    submission_gap_s: f64,
+    seeds: u64,
+    n_jobs: usize,
+    overhead: OverheadModel,
+) -> Vec<SweepPoint> {
     let mut out = Vec::new();
     for &rgap in rescale_gaps_s {
         for kind in PolicyKind::ALL {
-            out.push(averaged_point(
+            out.push(averaged_point_with_overhead(
                 kind,
                 submission_gap_s,
                 rgap,
                 seeds,
                 n_jobs,
                 rgap,
+                overhead,
             ));
         }
     }

@@ -27,11 +27,11 @@ pub mod experiments;
 pub mod model;
 pub mod workload;
 
-pub use engine::{simulate, SimConfig, SimOutcome};
+pub use engine::{simulate, SimConfig, SimOutcome, SimState};
 pub use experiments::{
-    averaged_point, heavy_traffic_replay, heavy_traffic_run, heavy_traffic_workload,
-    sweep_rescale_gap, sweep_submission_gap, table1_simulation, SweepPoint, DEFAULT_JOBS,
-    DEFAULT_SEEDS,
+    averaged_point, averaged_point_with_overhead, heavy_traffic_replay, heavy_traffic_run,
+    heavy_traffic_workload, sweep_rescale_gap, sweep_rescale_gap_with_overhead,
+    sweep_submission_gap, table1_simulation, SweepPoint, DEFAULT_JOBS, DEFAULT_SEEDS,
 };
 pub use model::{JobShape, OverheadBreakdown, OverheadModel, ScalingModel, SizeClass};
 pub use workload::{

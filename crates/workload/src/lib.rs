@@ -69,7 +69,7 @@ pub mod swf;
 pub use fault::{FaultError, FaultEvent, FaultKind, FaultSpec};
 pub use generator::{generate_workload, poisson_workload};
 pub use malleability::MalleabilityModel;
-pub use spec::{JobShape, JobSpec, SizeClass, WorkloadError, WorkloadSpec};
+pub use spec::{shard_seed, JobShape, JobSpec, SizeClass, WorkloadError, WorkloadSpec};
 pub use swf::{
     load_workload, workload_records, write_swf, write_workload, SwfError, SwfLoadConfig, SwfRecord,
 };

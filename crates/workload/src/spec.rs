@@ -418,6 +418,41 @@ impl WorkloadSpec {
         self
     }
 
+    /// Splits the workload into `n` per-shard workloads according to
+    /// `assignment` (one shard index per job, in job order) — the
+    /// replay-side half of cross-cluster placement: a federation's
+    /// `PlacementPolicy` produces the assignment, this builds the
+    /// per-shard replay inputs.
+    ///
+    /// Jobs keep their arrival times, cancellation instants and
+    /// relative order, so each part is itself a valid arrival-sorted
+    /// workload. The fault layer is **replicated** into every
+    /// non-empty part: each shard models an independent cluster
+    /// experiencing the same capacity timeline (a reclamation hits
+    /// every cluster of the fleet, as with a zone-wide spot event).
+    /// Parts may come back empty when no job routed to that shard.
+    ///
+    /// # Panics
+    /// If `assignment.len() != self.jobs.len()` or any index is `>= n`.
+    pub fn partition(&self, assignment: &[usize], n: usize) -> Vec<WorkloadSpec> {
+        assert_eq!(
+            assignment.len(),
+            self.jobs.len(),
+            "one shard index per job required"
+        );
+        let mut parts: Vec<WorkloadSpec> = (0..n).map(|_| WorkloadSpec::default()).collect();
+        for (job, &shard) in self.jobs.iter().zip(assignment) {
+            assert!(shard < n, "job {} routed to shard {shard} of {n}", job.name);
+            parts[shard].jobs.push(job.clone());
+        }
+        for part in &mut parts {
+            if !part.jobs.is_empty() {
+                part.faults = self.faults.clone();
+            }
+        }
+        parts
+    }
+
     /// Checks the engine contract: at least one job, unique names, sane
     /// bounds, work and walltime estimates, nondecreasing arrivals.
     pub fn validate(&self) -> Result<(), WorkloadError> {
@@ -465,6 +500,18 @@ impl WorkloadSpec {
         self.faults.validate().map_err(WorkloadError::BadFaults)?;
         Ok(())
     }
+}
+
+/// Deterministic per-shard seed: mixes a base workload seed with a
+/// shard index (SplitMix64 finalizer) so a federation generates
+/// statistically independent per-shard workloads that are reproducible
+/// regardless of worker-thread count or interleaving — the seed depends
+/// only on `(base, shard)`, never on wall-clock or scheduling order.
+pub fn shard_seed(base: u64, shard: usize) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -653,6 +700,64 @@ mod tests {
             },
         );
         assert!(matches!(bad.validate(), Err(WorkloadError::BadFaults(_))));
+    }
+
+    #[test]
+    fn partition_splits_by_assignment_and_replicates_faults() {
+        use crate::fault::{FaultEvent, FaultKind, FaultSpec};
+        let wl = WorkloadSpec::new(vec![
+            JobSpec::malleable("a", 1, 4, 100.0, 1).at(Duration::from_secs(0.0)),
+            JobSpec::malleable("b", 1, 4, 100.0, 1).at(Duration::from_secs(10.0)),
+            JobSpec::malleable("c", 1, 4, 100.0, 1).at(Duration::from_secs(20.0)),
+            JobSpec::malleable("d", 1, 4, 100.0, 1).at(Duration::from_secs(30.0)),
+        ])
+        .with_faults(FaultSpec::new(vec![
+            FaultEvent {
+                at: Duration::from_secs(5.0),
+                slots: 2,
+                kind: FaultKind::Reclaim,
+            },
+            FaultEvent {
+                at: Duration::from_secs(50.0),
+                slots: 2,
+                kind: FaultKind::Return,
+            },
+        ]));
+        let parts = wl.partition(&[0, 1, 0, 1], 3);
+        assert_eq!(parts.len(), 3);
+        let names = |p: &WorkloadSpec| p.jobs.iter().map(|j| j.name.clone()).collect::<Vec<_>>();
+        assert_eq!(names(&parts[0]), vec!["a", "c"]);
+        assert_eq!(names(&parts[1]), vec!["b", "d"]);
+        assert!(parts[2].is_empty());
+        // Arrival order survives per part, so each part validates.
+        assert!(parts[0].validate().is_ok());
+        assert!(parts[1].validate().is_ok());
+        // The fault timeline replicates into non-empty parts only.
+        assert_eq!(parts[0].faults.events.len(), 2);
+        assert_eq!(parts[1].faults.events.len(), 2);
+        assert!(parts[2].faults.events.is_empty());
+        // Job counts conserve across the partition.
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, wl.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "routed to shard")]
+    fn partition_rejects_out_of_range_assignment() {
+        let wl = WorkloadSpec::new(vec![JobSpec::malleable("a", 1, 2, 10.0, 1)]);
+        let _ = wl.partition(&[2], 2);
+    }
+
+    #[test]
+    fn shard_seeds_are_deterministic_and_distinct() {
+        let seeds: Vec<u64> = (0..64).map(|s| shard_seed(42, s)).collect();
+        let again: Vec<u64> = (0..64).map(|s| shard_seed(42, s)).collect();
+        assert_eq!(seeds, again, "pure function of (base, shard)");
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "no shard seed collisions");
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0), "base matters");
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`core`] — the CharmJob operator and the four scheduling policies
 //!   (elastic, moldable, rigid-min, rigid-max) — contribution C2.
 //! * [`sim`] — the discrete-event scheduling simulator — contribution C3.
+//! * [`federation`] — sharded multi-cluster federation: cross-shard
+//!   job placement plus a work-queue shard scheduler that replays one
+//!   workload across N cluster simulations on M worker threads.
 //! * [`workload`] — the unified workload layer: one `WorkloadSpec`
 //!   model with SWF trace replay, the paper's seeded generator and
 //!   Poisson heavy-traffic arrivals, consumed identically by the DES
@@ -27,6 +30,7 @@
 pub use charm_apps as apps;
 pub use charm_rt as charm;
 pub use elastic_core as core;
+pub use hpc_federation as federation;
 pub use hpc_metrics as metrics;
 pub use hpc_workload as workload;
 pub use kube_sim as kube;

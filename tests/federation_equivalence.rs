@@ -1,0 +1,213 @@
+//! Federation equivalence and conservation properties.
+//!
+//! * A 1-shard federation is **bit-identical** to the single-cluster
+//!   DES: same trace, same policy instance type, `RunMetrics ==` —
+//!   quantum-sliced parallel stepping must not perturb a single bit.
+//! * Worker count is invisible: the same workload sharded the same way
+//!   yields identical per-shard and merged metrics whether one worker
+//!   or as many as there are shards drive the queue.
+//! * `RunMetrics::merge` conserves the physical quantities — job
+//!   counts, busy core-seconds, rescales and fault tallies — over any
+//!   randomly generated shard partition (proptest).
+
+use std::path::PathBuf;
+
+use elastic_hpc::core::{
+    EasyBackfill, FaultStats, FcfsBackfill, JobOutcome, Policy, PolicyConfig, RunMetrics,
+    SchedulingPolicy,
+};
+use elastic_hpc::federation::{FederationConfig, FederationOutcome, FederationRuntime, RoundRobin};
+use elastic_hpc::metrics::SimTime;
+use elastic_hpc::sim::{simulate, OverheadModel, ScalingModel, SimConfig};
+use elastic_hpc::workload::{load_workload, SwfLoadConfig, WorkloadSpec};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The replay cluster: 32 slots (the bundled trace's machine size).
+const CAPACITY: u32 = 32;
+
+fn bundled_trace(load_cfg: &SwfLoadConfig) -> WorkloadSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/data/sample.swf");
+    let file = std::fs::File::open(&path).expect("bundled trace exists");
+    load_workload(std::io::BufReader::new(file), load_cfg).expect("bundled trace parses")
+}
+
+fn sim_cfg(policy: Box<dyn SchedulingPolicy>) -> SimConfig {
+    SimConfig {
+        capacity: CAPACITY,
+        policy,
+        scaling: ScalingModel::default(),
+        overhead: OverheadModel::default(),
+        cancellations: Vec::new(),
+    }
+}
+
+fn federate(
+    workload: &WorkloadSpec,
+    shards: usize,
+    workers: usize,
+    quantum: usize,
+    make_policy: impl Fn() -> Box<dyn SchedulingPolicy>,
+) -> FederationOutcome {
+    let mut fed = FederationRuntime::new(
+        FederationConfig::new(shards)
+            .with_workers(workers)
+            .with_quantum(quantum),
+        |_| sim_cfg(make_policy()),
+    );
+    fed.handle().submit(workload, &mut RoundRobin::new());
+    fed.start();
+    fed.join()
+}
+
+/// The tentpole acceptance criterion: a 1-shard, 1-worker federation
+/// replaying the bundled trace produces the *exact* `RunMetrics` the
+/// single-cluster DES produces — for the rigid FCFS baseline and for
+/// EASY backfilling — even under a tiny quantum that slices the event
+/// stream into many turns.
+#[test]
+fn single_shard_federation_is_bit_identical_to_the_des() {
+    type PolicyMaker = fn() -> Box<dyn SchedulingPolicy>;
+    let rigid = bundled_trace(&SwfLoadConfig::rigid(CAPACITY));
+    let policies: [(&str, PolicyMaker); 2] = [
+        ("fcfs", || Box::new(FcfsBackfill::new())),
+        ("easy", || Box::new(EasyBackfill::new())),
+    ];
+    for (label, make_policy) in policies {
+        let des = simulate(&sim_cfg(make_policy()), &rigid);
+        let fed = federate(&rigid, 1, 1, 7, make_policy);
+        assert_eq!(
+            fed.merged, des.metrics,
+            "{label}: merged metrics must be bit-identical to the DES"
+        );
+        assert_eq!(fed.shards[0].metrics, des.metrics, "{label}: shard metrics");
+        assert_eq!(fed.shards[0].rescales, des.rescales, "{label}: rescales");
+        assert_eq!(fed.shards[0].cancelled, des.cancelled, "{label}: cancelled");
+        assert!(
+            fed.turns[0] > 1,
+            "{label}: a quantum of 7 must take several turns, got {}",
+            fed.turns[0]
+        );
+    }
+
+    // The elastic annotation exercises rescale events through the same
+    // quantum-sliced path.
+    let open = bundled_trace(&SwfLoadConfig::elastic(CAPACITY));
+    let elastic =
+        || -> Box<dyn SchedulingPolicy> { Box::new(Policy::elastic(PolicyConfig::default())) };
+    let des = simulate(&sim_cfg(elastic()), &open);
+    let fed = federate(&open, 1, 1, 7, elastic);
+    assert_eq!(
+        fed.merged, des.metrics,
+        "elastic annotation, elastic policy"
+    );
+}
+
+/// Determinism regression: the same workload and shard count replayed
+/// with 1 worker and with one worker per shard yields identical
+/// per-shard and merged metrics — thread interleaving is invisible.
+#[test]
+fn worker_count_is_invisible_in_federation_results() {
+    let trace = bundled_trace(&SwfLoadConfig::elastic(CAPACITY));
+    let elastic =
+        || -> Box<dyn SchedulingPolicy> { Box::new(Policy::elastic(PolicyConfig::default())) };
+    let serial = federate(&trace, 4, 1, 16, elastic);
+    let parallel = federate(&trace, 4, 4, 16, elastic);
+    assert_eq!(serial.merged, parallel.merged, "merged metrics");
+    assert_eq!(serial.events, parallel.events, "per-shard event counts");
+    for (shard, (a, b)) in serial.shards.iter().zip(&parallel.shards).enumerate() {
+        assert_eq!(a.metrics, b.metrics, "shard {shard} metrics");
+        assert_eq!(a.peak_queue_len, b.peak_queue_len, "shard {shard} queue");
+    }
+}
+
+/// A randomly generated shard's metrics: either a completed-jobs run
+/// built through `from_outcomes` or (sometimes) an all-cancelled empty
+/// run, each with random fault tallies.
+fn random_shard(rng: &mut ChaCha8Rng, shard: usize) -> (u32, RunMetrics) {
+    let capacity = rng.gen_range(8u32..=64);
+    let rescales = rng.gen_range(0u32..10);
+    let faults = FaultStats {
+        wasted_core_seconds: rng.gen_range(0.0..500.0),
+        evictions: rng.gen_range(0u32..5),
+        requeues: rng.gen_range(0u32..5),
+        permanent_failures: rng.gen_range(0u32..3),
+    };
+    let n_jobs = rng.gen_range(0usize..6);
+    let metrics = if n_jobs == 0 {
+        RunMetrics::empty("p", rescales).with_fault_stats(faults)
+    } else {
+        let jobs: Vec<JobOutcome> = (0..n_jobs)
+            .map(|j| {
+                let submitted = rng.gen_range(0.0..1000.0);
+                let started = submitted + rng.gen_range(0.0..500.0);
+                let completed = started + rng.gen_range(1.0..2000.0);
+                JobOutcome {
+                    name: format!("s{shard}-j{j}"),
+                    priority: rng.gen_range(1u32..=5),
+                    submitted_at: SimTime::from_secs(submitted),
+                    started_at: SimTime::from_secs(started),
+                    completed_at: SimTime::from_secs(completed),
+                }
+            })
+            .collect();
+        RunMetrics::from_outcomes("p", jobs, rng.gen_range(0.0..=1.0), rescales)
+            .with_fault_stats(faults)
+    };
+    (capacity, metrics)
+}
+
+proptest! {
+    /// Over any shard partition, `RunMetrics::merge` conserves job
+    /// counts, busy core-seconds, rescale counts and fault tallies.
+    #[test]
+    fn merge_conserves_jobs_core_seconds_and_fault_tallies(seed in 0u64..512) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n_shards = rng.gen_range(1usize..6);
+        let shards: Vec<(u32, RunMetrics)> =
+            (0..n_shards).map(|s| random_shard(&mut rng, s)).collect();
+        let by_ref: Vec<(u32, &RunMetrics)> =
+            shards.iter().map(|(cap, m)| (*cap, m)).collect();
+        let merged = RunMetrics::merge(&by_ref);
+
+        // Job count conservation.
+        let total_jobs: usize = shards.iter().map(|(_, m)| m.jobs.len()).sum();
+        prop_assert_eq!(merged.jobs.len(), total_jobs);
+
+        // Rescale and fault-tally conservation (exact: u32 sums).
+        prop_assert_eq!(merged.rescales, shards.iter().map(|(_, m)| m.rescales).sum::<u32>());
+        prop_assert_eq!(
+            merged.faults.evictions,
+            shards.iter().map(|(_, m)| m.faults.evictions).sum::<u32>()
+        );
+        prop_assert_eq!(
+            merged.faults.requeues,
+            shards.iter().map(|(_, m)| m.faults.requeues).sum::<u32>()
+        );
+        prop_assert_eq!(
+            merged.faults.permanent_failures,
+            shards.iter().map(|(_, m)| m.faults.permanent_failures).sum::<u32>()
+        );
+        let wasted: f64 = shards.iter().map(|(_, m)| m.faults.wasted_core_seconds).sum();
+        prop_assert!((merged.faults.wasted_core_seconds - wasted).abs() < 1e-9);
+
+        // Busy-core-second conservation: the merged utilization over the
+        // summed per-shard availability reproduces the summed per-shard
+        // busy core-seconds, whatever the partition.
+        let busy: f64 = shards.iter().map(|(cap, m)| m.busy_core_seconds(*cap)).sum();
+        let available: f64 = shards
+            .iter()
+            .map(|(cap, m)| f64::from(*cap) * m.total_time)
+            .sum();
+        if total_jobs > 0 && available > 0.0 {
+            prop_assert!(
+                (merged.utilization * available - busy).abs() <= 1e-9 * busy.max(1.0),
+                "merged util {} over {available} core-s must bank {busy} busy core-s",
+                merged.utilization
+            );
+        } else {
+            prop_assert_eq!(merged.utilization, 0.0);
+        }
+    }
+}
