@@ -16,6 +16,11 @@
 //!   at any measured size. On a 1-core runner the speedup check
 //!   disarms — parallel speedup is not a property such a host can
 //!   measure — while the throughput floors still gate.
+//! * `BENCH_sim_scale.json` `resilience` — the fresh
+//!   `disabled_over_plain_ratio` (replay throughput with a disabled
+//!   `FlakySpec` over throughput with no fault machinery, measured by
+//!   `resilience_sweep`) must stay above `1 - tolerance`: the unused
+//!   resilience layer is required to be zero-cost.
 //! * `BENCH_rescale.json` — the incremental-vs-full-restart `speedup`
 //!   per direction must neither collapse versus the baseline (less
 //!   than `tolerance × baseline`) nor fall below the absolute 5×
@@ -189,6 +194,41 @@ fn gate_federation(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut
     }
 }
 
+/// Resilience gate over the `resilience` section of
+/// `BENCH_sim_scale.json`: a run carrying a disabled (default, empty)
+/// `FlakySpec` must replay at the same throughput as a run with no
+/// fault machinery at all — the resilience layer is zero-cost when
+/// unused. The ratio is measured fresh by `resilience_sweep`, so the
+/// check is host-local: a fresh ratio below `1 - tolerance` fails.
+fn gate_resilience(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    let Some(base_res) = baseline.get("resilience") else {
+        println!("resilience: baseline has no resilience section; skipping");
+        return;
+    };
+    let _ = base_res; // presence arms the gate; the ratio is host-local
+    let Some(fresh_res) = fresh.get("resilience") else {
+        failures.push(
+            "resilience: baseline has a resilience section but the fresh JSON does not — \
+             did the resilience_sweep step run?"
+                .into(),
+        );
+        return;
+    };
+    let Some(ratio) = fresh_res.num("disabled_over_plain_ratio") else {
+        failures.push("resilience: fresh section lacks disabled_over_plain_ratio".into());
+        return;
+    };
+    let floor = 1.0 - tolerance;
+    println!("resilience disabled-flaky / plain throughput ratio {ratio:.3}  (floor {floor:.2})");
+    if ratio < floor {
+        failures.push(format!(
+            "resilience: a disabled FlakySpec taxes the replay {:.0}% — \
+             the unused resilience layer must be zero-cost (ratio {ratio:.3} < {floor:.2})",
+            (1.0 - ratio) * 100.0
+        ));
+    }
+}
+
 /// Rescale gate: per direction, fresh incremental-vs-full speedup must
 /// stay above both `tolerance × baseline speedup` (collapse check) and
 /// the absolute 5× acceptance floor. Speedups are host-local ratios but
@@ -242,10 +282,11 @@ fn gate_rescale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Ve
     }
 }
 
-/// Both sim-scale gates run over the one shared file.
+/// All three sim-scale gates run over the one shared file.
 fn gate_sim_scale_file(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
     gate_sim_scale(baseline, fresh, tolerance, failures);
     gate_federation(baseline, fresh, tolerance, failures);
+    gate_resilience(baseline, fresh, tolerance, failures);
 }
 
 fn main() {
@@ -444,6 +485,48 @@ mod tests {
         let no_baseline = scale(&[]);
         let mut failures = Vec::new();
         gate_federation(&no_baseline, &fresh, 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    /// A document whose `resilience` section carries the given
+    /// disabled-over-plain throughput ratio.
+    fn resilience(ratio: f64) -> Json {
+        let mut res = BTreeMap::new();
+        res.insert("disabled_over_plain_ratio".into(), Json::Num(ratio));
+        let mut root = BTreeMap::new();
+        root.insert("resilience".into(), Json::Obj(res));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn resilience_gate_fails_when_a_disabled_flaky_spec_costs() {
+        let baseline = resilience(1.0);
+        // 10% tax passes at the default 25% tolerance; 40% fails.
+        let mut failures = Vec::new();
+        gate_resilience(&baseline, &resilience(0.9), 0.25, &mut failures);
+        assert!(failures.is_empty(), "{failures:?}");
+        let mut failures = Vec::new();
+        gate_resilience(&baseline, &resilience(0.6), 0.25, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("zero-cost"), "{failures:?}");
+    }
+
+    #[test]
+    fn resilience_gate_requires_the_fresh_section_when_baselined() {
+        let baseline = resilience(1.0);
+        let fresh = scale(&[("elastic", 1000.0, 1.0)]); // no resilience key
+        let mut failures = Vec::new();
+        gate_resilience(&baseline, &fresh, 0.25, &mut failures);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("resilience_sweep step"),
+            "{failures:?}"
+        );
+
+        // No resilience baseline at all: nothing to gate, no failure.
+        let no_baseline = scale(&[]);
+        let mut failures = Vec::new();
+        gate_resilience(&no_baseline, &fresh, 0.25, &mut failures);
         assert!(failures.is_empty(), "{failures:?}");
     }
 

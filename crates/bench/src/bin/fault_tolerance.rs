@@ -17,6 +17,10 @@
 //! - `kill` ([`RecoveryStrategy::KillRequeue`]) — lowest-priority
 //!   running jobs are killed outright and resubmitted from scratch
 //!   after an exponential backoff; the whole attempt is wasted.
+//! - `tuned` — checkpoint/restart again, but with the interval set to
+//!   the Young/Daly optimum ([`FaultSpec::tuned_checkpoint_interval`]):
+//!   δ from the overhead model's measured recovery cost, MTBF from the
+//!   injected reclamation schedule itself.
 //!
 //! The sweep runs each strategy at increasing reclamation intensities
 //! (0, 1, 2, 4 reclaim/return pairs over the trace horizon) and emits
@@ -88,12 +92,20 @@ fn replay(strategy: RecoveryStrategy, capacity: u32, wl: &WorkloadSpec) -> RunMe
     simulate(&cfg, wl).metrics
 }
 
-fn label(strategy: RecoveryStrategy) -> &'static str {
-    match strategy {
-        RecoveryStrategy::ShrinkOnReclaim => "shrink",
-        RecoveryStrategy::CheckpointRestart => "ckpt",
-        RecoveryStrategy::KillRequeue => "kill",
-    }
+/// The measured per-eviction recovery cost δ feeding the Young/Daly
+/// interval: the overhead model's restart-plus-state-reload total,
+/// averaged over the trace's jobs at their maximum sizes.
+fn mean_recovery_cost(wl: &WorkloadSpec, overhead: &OverheadModel) -> Duration {
+    let total: f64 = wl
+        .jobs
+        .iter()
+        .map(|j| {
+            overhead
+                .recovery_total(&j.shape, j.shape.max_replicas())
+                .as_secs()
+        })
+        .sum();
+    Duration::from_secs(total / wl.len().max(1) as f64)
 }
 
 fn main() {
@@ -109,14 +121,21 @@ fn main() {
         horizon.as_secs()
     );
 
-    let strategies = [
-        RecoveryStrategy::ShrinkOnReclaim,
-        RecoveryStrategy::CheckpointRestart,
-        RecoveryStrategy::KillRequeue,
+    // The fourth column re-runs checkpoint/restart with the interval
+    // auto-tuned to the Young/Daly optimum: δ from the overhead
+    // model's measured recovery cost, MTBF from the reclamation
+    // schedule itself (horizon / pairs).
+    let delta = mean_recovery_cost(&base, &OverheadModel::default());
+    let rows: [(&str, RecoveryStrategy, bool); 4] = [
+        ("shrink", RecoveryStrategy::ShrinkOnReclaim, false),
+        ("ckpt", RecoveryStrategy::CheckpointRestart, false),
+        ("kill", RecoveryStrategy::KillRequeue, false),
+        ("tuned", RecoveryStrategy::CheckpointRestart, true),
     ];
     let mut table = CsvTable::new([
         "reclaim_pairs",
         "strategy",
+        "ckpt_interval_s",
         "utilization",
         "total_time_s",
         "bounded_slowdown",
@@ -126,17 +145,24 @@ fn main() {
         "permanent_failures",
     ]);
     let mut curves: Vec<(&str, Vec<(f64, f64)>)> =
-        strategies.iter().map(|&s| (label(s), Vec::new())).collect();
+        rows.iter().map(|&(l, _, _)| (l, Vec::new())).collect();
     for pairs in INTENSITIES {
-        let faults =
-            FaultSpec::reclamation(SEED, pairs, slots, horizon, Duration::from_secs(600.0));
-        let wl = base.clone().with_faults(faults);
-        for (i, &strategy) in strategies.iter().enumerate() {
+        for (i, &(label, strategy, tuned)) in rows.iter().enumerate() {
+            let mut faults =
+                FaultSpec::reclamation(SEED, pairs, slots, horizon, Duration::from_secs(600.0));
+            if tuned {
+                // MTBF of the injected schedule; a fault-free row has
+                // no faults to tune for, so any interval is optimal.
+                let mtbf = Duration::from_secs(horizon.as_secs() / f64::from(pairs.max(1)));
+                faults = faults.tuned_checkpoint_interval(delta, mtbf);
+            }
+            let interval = faults.checkpoint_interval;
+            let wl = base.clone().with_faults(faults);
             let m = replay(strategy, capacity, &wl);
             println!(
-                "  pairs={pairs} {:<6} bsld={:<7.3} wasted={:<10.0} \
+                "  pairs={pairs} {label:<6} tau={:<5.0} bsld={:<7.3} wasted={:<10.0} \
                  evict={:<3} requeue={:<3} failed={}",
-                label(strategy),
+                interval.as_secs(),
                 m.mean_bounded_slowdown,
                 m.faults.wasted_core_seconds,
                 m.faults.evictions,
@@ -145,7 +171,8 @@ fn main() {
             );
             table.row([
                 format!("{pairs}"),
-                label(strategy).to_string(),
+                label.to_string(),
+                format!("{:.0}", interval.as_secs()),
                 format!("{:.4}", m.utilization),
                 format!("{:.2}", m.total_time),
                 format!("{:.3}", m.mean_bounded_slowdown),

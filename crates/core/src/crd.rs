@@ -240,6 +240,28 @@ impl Resource for FaultNotice {
     }
 }
 
+/// A transient control-plane fault posted to the operator: the analogue
+/// of the DES's flaky events, exactly as [`FaultNotice`] mirrors its
+/// capacity events. The harness replaying a
+/// [`hpc_workload::FlakySpec`] creates one per scheduled occurrence;
+/// the operator's watch picks it up and routes the resilience layer's
+/// decision through the existing requeue/evict machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlakyNotice {
+    /// Unique notice name (e.g. `flaky-0003`).
+    pub name: String,
+    /// When the transient fault occurred.
+    pub at: SimTime,
+    /// Which control-plane operation failed.
+    pub op: hpc_workload::FlakyOp,
+}
+
+impl Resource for FlakyNotice {
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -35,7 +35,7 @@ use hpc_metrics::{Clock, Duration, VirtualClock};
 use hpc_workload::WorkloadSpec;
 
 use crate::client::SchedulerClient;
-use crate::crd::{AppSpec, CharmJobSpec, FaultNotice};
+use crate::crd::{AppSpec, CharmJobSpec, FaultNotice, FlakyNotice};
 use crate::operator::CharmOperator;
 use crate::report::RunMetrics;
 
@@ -237,6 +237,7 @@ pub fn run_workload_virtual(
     let mut next_submit = 0usize;
     let mut next_cancel = 0usize;
     let mut next_fault = 0usize;
+    let mut next_flaky = 0usize;
     loop {
         let now = clock.now();
         let elapsed = now - start;
@@ -261,12 +262,35 @@ pub fn run_workload_virtual(
                 .expect("fresh fault notice");
             next_fault += 1;
         }
+        // Transient faults post as FlakyNotices the same way — after
+        // the capacity faults at a shared instant, matching the DES's
+        // event seeding order and the operator's tick order.
+        while next_flaky < workload.faults.flaky.events.len()
+            && elapsed >= workload.faults.flaky.events[next_flaky].at
+        {
+            let e = &workload.faults.flaky.events[next_flaky];
+            op.flakies
+                .create(FlakyNotice {
+                    name: format!("flaky-{next_flaky:04}"),
+                    at: start + e.at,
+                    op: e.op,
+                })
+                .expect("fresh flaky notice");
+            next_flaky += 1;
+        }
         // Same-instant resolution of completion → free → admit → launch
         // chains (see the function docs for what each drain settles).
         op.tick();
         op.tick();
         op.tick();
-        if next_submit >= schedule.jobs.len() && op.all_complete() {
+        // Tail fault/flaky events past the last completion still count:
+        // the DES drains its whole queue, so the run only ends once
+        // every scheduled notice was posted and reconciled.
+        if next_submit >= schedule.jobs.len()
+            && next_fault >= workload.faults.events.len()
+            && next_flaky >= workload.faults.flaky.events.len()
+            && op.all_complete()
+        {
             return op.metrics();
         }
         assert!(

@@ -224,7 +224,10 @@ pub mod report;
 pub mod view;
 
 pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient};
-pub use crd::{AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, FaultNotice, JobPhase};
+pub use crd::{
+    AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, FaultNotice, FlakyNotice, JobPhase,
+};
+pub use elastic_resilience::ShutdownPhase;
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
 pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;

@@ -59,8 +59,13 @@ use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
 use hpc_workload::{FaultEvent, FaultKind, FaultSpec};
 use kube_sim::{ControlPlane, EventLog, Pod, PodRole, Store, WatchEvent};
 
+use elastic_resilience::{
+    FlakyOutcome, LeasePool, Lifecycle, ResilienceState, ShutdownPhase, SlotLease,
+};
+use hpc_workload::FlakyOp;
+
 use crate::client::SchedulerClient;
-use crate::crd::{AppSpec, CharmJob, CharmJobSpec, FaultNotice, JobPhase};
+use crate::crd::{AppSpec, CharmJob, CharmJobSpec, FaultNotice, FlakyNotice, JobPhase};
 use crate::executor::{ExecHandle, ExecStatus, Executor};
 use crate::policy::SchedulingPolicy;
 use crate::registry::JobRegistry;
@@ -98,6 +103,9 @@ pub struct CharmOperator {
     /// replaying a [`FaultSpec`]); the operator watches this store the
     /// same way it watches jobs and pods.
     pub faults: Store<FaultNotice>,
+    /// Transient control-plane fault notices (the operator rendering of
+    /// the workload's `FlakySpec`), watched like every other store.
+    pub flakies: Store<FlakyNotice>,
     /// Operator event log.
     pub events: EventLog,
     policy: Box<dyn SchedulingPolicy>,
@@ -119,6 +127,8 @@ pub struct CharmOperator {
     pods_rx: Receiver<WatchEvent<Pod>>,
     /// Watch stream over the fault-notice store.
     faults_rx: Receiver<WatchEvent<FaultNotice>>,
+    /// Watch stream over the flaky-notice store.
+    flakies_rx: Receiver<WatchEvent<FlakyNotice>>,
     /// Jobs whose admission decision has already run — both drive modes
     /// consult it so a submission is planned exactly once.
     planned: HashSet<JobId>,
@@ -138,6 +148,18 @@ pub struct CharmOperator {
     attempt_ledger: HashMap<JobId, (f64, SimTime)>,
     /// Fault-recovery tallies for [`RunMetrics`].
     fault_stats: FaultStats,
+    /// The shared breaker/budget/health decision core for the installed
+    /// `FlakySpec` (idle while the spec is empty).
+    resilience: ResilienceState,
+    /// Shutdown phase of the executor pool (Running until
+    /// [`CharmOperator::begin_drain`]).
+    lifecycle: Lifecycle,
+    /// RAII slot accounting for live executors: every launched executor
+    /// holds one leased slot until its handle is torn down, so an
+    /// evicted executor structurally cannot leak its slot.
+    exec_pool: LeasePool,
+    /// The per-executor leases (dropped wherever the handle is removed).
+    exec_leases: HashMap<JobId, SlotLease>,
 }
 
 impl CharmOperator {
@@ -151,6 +173,7 @@ impl CharmOperator {
         let capacity = plane.capacity().max(1);
         let jobs: Store<CharmJob> = Store::new();
         let faults: Store<FaultNotice> = Store::new();
+        let flakies: Store<FlakyNotice> = Store::new();
         // list+watch atomically: nothing submitted between "now" and the
         // first reconcile can be missed (the jobs store is freshly
         // created, so the snapshot is empty by construction; the pods
@@ -159,12 +182,14 @@ impl CharmOperator {
         let (_, jobs_rx) = jobs.list_watch();
         let (_, pods_rx) = plane.pods.list_watch();
         let (_, faults_rx) = faults.list_watch();
+        let (_, flakies_rx) = flakies.list_watch();
         let next_timer = policy.timer_interval().map(|iv| plane.now() + iv);
         CharmOperator {
             view: ClusterView::new(plane.capacity()),
             plane,
             jobs,
             faults,
+            flakies,
             events: EventLog::new(),
             policy,
             executor,
@@ -178,6 +203,7 @@ impl CharmOperator {
             jobs_rx,
             pods_rx,
             faults_rx,
+            flakies_rx,
             planned: HashSet::new(),
             next_timer,
             fault_spec: FaultSpec::default(),
@@ -185,20 +211,33 @@ impl CharmOperator {
             retained_iters: HashMap::new(),
             attempt_ledger: HashMap::new(),
             fault_stats: FaultStats::default(),
+            resilience: ResilienceState::new(&FaultSpec::default().flaky),
+            lifecycle: Lifecycle::new(),
+            exec_pool: LeasePool::new(),
+            exec_leases: HashMap::new(),
         }
     }
 
     /// Installs the recovery parameters (checkpoint interval, retry
-    /// budget, backoff base) the fault layer uses. The event schedule
-    /// inside `spec` is *not* replayed here — faults reach the operator
-    /// as [`FaultNotice`]s on [`CharmOperator::faults`].
+    /// budget, backoff base) the fault layer uses, and rebuilds the
+    /// resilience decision core from the spec's `FlakySpec`. The event
+    /// schedules inside `spec` are *not* replayed here — faults reach
+    /// the operator as [`FaultNotice`]s on [`CharmOperator::faults`]
+    /// and transient faults as [`FlakyNotice`]s on
+    /// [`CharmOperator::flakies`].
     pub fn set_fault_spec(&mut self, spec: FaultSpec) {
+        self.resilience = ResilienceState::new(&spec.flaky);
         self.fault_spec = spec;
     }
 
-    /// Fault-recovery tallies accumulated so far.
+    /// Fault-recovery tallies accumulated so far (including the
+    /// resilience layer's transient-fault counters).
     pub fn fault_stats(&self) -> FaultStats {
-        self.fault_stats
+        let mut stats = self.fault_stats;
+        stats.transient_faults = self.resilience.transient_faults();
+        stats.retries = self.resilience.retries();
+        stats.breaker_trips = self.resilience.breaker_trips();
+        stats
     }
 
     /// The active policy.
@@ -521,6 +560,11 @@ impl CharmOperator {
     /// id, inserts the queued job into the maintained view, and asks
     /// the policy.
     fn plan_admission(&mut self, name: &str) {
+        // A draining (or further shut down) operator admits nothing:
+        // the job stays queued for a future operator generation.
+        if !self.lifecycle.is_accepting() {
+            return;
+        }
         let id = self.registry.intern(name);
         if !self.planned.insert(id) {
             return;
@@ -573,6 +617,7 @@ impl CharmOperator {
         if let Some(mut handle) = self.handles.remove(&id) {
             handle.stop(); // executor kill path
         }
+        self.exec_leases.remove(&id);
         self.flows.remove(&id);
         self.retained_iters.remove(&id);
         self.attempt_ledger.remove(&id);
@@ -628,20 +673,29 @@ impl CharmOperator {
             let since_ckpt = elapsed - (elapsed / t).floor() * t;
             self.fault_stats.wasted_core_seconds += f64::from(replicas) * since_ckpt;
         }
-        match retained {
-            Some(iters) if iters > 0.0 => {
-                self.retained_iters.insert(job, iters);
-            }
-            _ => {
-                self.retained_iters.remove(&job);
-            }
+        // Cumulative across attempts: the relaunch handle only models
+        // the *remaining* iterations, so its checkpoint count is
+        // relative to the previous attempt's floor. A second eviction
+        // must add onto that floor, not replace it — forgetting it
+        // would relaunch the job from scratch.
+        let prior = self.retained_iters.get(&job).copied().unwrap_or(0.0);
+        let banked = prior + retained.unwrap_or(0.0);
+        if banked > 0.0 {
+            self.retained_iters.insert(job, banked);
+        } else {
+            self.retained_iters.remove(&job);
         }
         if let Some(mut handle) = self.handles.remove(&job) {
             handle.stop();
         }
+        self.exec_leases.remove(&job);
         self.flows.remove(&job);
+        // Hard-delete rather than graceful: an evicted job may be
+        // relaunched in the same reconcile instant (a transient-fault
+        // eviction frees its own slots with capacity unchanged), so the
+        // fixed-name launcher pod must leave the store synchronously.
         for pod in self.plane.pods_of_job(&name) {
-            self.plane.delete_pod(&pod.name);
+            let _ = self.plane.pods.delete(&pod.name);
         }
         let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
         self.jobs
@@ -673,6 +727,7 @@ impl CharmOperator {
         if let Some(mut handle) = self.handles.remove(&job) {
             handle.stop();
         }
+        self.exec_leases.remove(&job);
         self.flows.remove(&job);
         for pod in self.plane.pods_of_job(&name) {
             self.plane.delete_pod(&pod.name);
@@ -697,8 +752,7 @@ impl CharmOperator {
                 format!("retry budget exhausted after {attempts} attempts"),
             );
         } else {
-            let backoff = self.fault_spec.backoff_base.as_secs() * 2f64.powi(attempts as i32 - 1);
-            let due = now + Duration::from_secs(backoff);
+            let due = now + self.fault_spec.backoff_for(attempts);
             self.jobs
                 .update(&name, |j| {
                     j.status.phase = JobPhase::Queued;
@@ -815,6 +869,91 @@ impl CharmOperator {
         }
     }
 
+    /// Deterministic victim selection for a transient fault: the
+    /// *oldest* executor (lowest admitted [`JobId`] holding capacity)
+    /// for launch failures, stuck rescales and heartbeat misses; the
+    /// *youngest* for crash-on-start. `Starting` counts — the DES
+    /// launches instantaneously, so a job admitted at the fault instant
+    /// is already a candidate there.
+    fn flaky_victim(&self, op: FlakyOp) -> Option<JobId> {
+        let mut ids: Vec<JobId> = self
+            .jobs
+            .list()
+            .into_iter()
+            .filter(|s| matches!(s.obj.status.phase, JobPhase::Starting | JobPhase::Running))
+            .map(|s| {
+                self.registry
+                    .id(&s.obj.spec.name)
+                    .expect("non-queued job was admitted")
+            })
+            .collect();
+        ids.sort();
+        match op {
+            FlakyOp::CrashOnStart => ids.last().copied(),
+            FlakyOp::LaunchFail | FlakyOp::StuckRescale | FlakyOp::HeartbeatMiss => {
+                ids.first().copied()
+            }
+        }
+    }
+
+    /// Drains the flaky-notice watch stream: each transient fault picks
+    /// its deterministic victim, asks the shared [`ResilienceState`]
+    /// for the outcome, and routes it through the existing
+    /// requeue/evict machinery — the exact translation the DES applies,
+    /// which is what keeps flaky replays bit-identical across engines.
+    fn reconcile_flaky_events(&mut self) {
+        let mut notices: Vec<FlakyNotice> = Vec::new();
+        while let Ok(ev) = self.flakies_rx.try_recv() {
+            if let WatchEvent::Added(s) = ev {
+                notices.push(s.obj);
+            }
+        }
+        notices.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.name.cmp(&b.name)));
+        let now = self.plane.now();
+        for n in notices {
+            let victim = self.flaky_victim(n.op);
+            let outcome = self.resilience.on_flaky(n.op, victim, now);
+            self.events.record(
+                now,
+                &n.name,
+                "TransientFault",
+                format!("{} -> {outcome:?}", n.op),
+            );
+            match outcome {
+                FlakyOutcome::Observed | FlakyOutcome::Absorbed => {}
+                FlakyOutcome::Retry => {
+                    let job = victim.expect("retry outcome implies a victim");
+                    self.apply_actions(&[Action::Requeue { job }], now);
+                    let actions = self.policy.on_complete(&self.view, now);
+                    self.apply_actions(&actions, now);
+                }
+                FlakyOutcome::Deny => {
+                    // Retry budget dry: force the attempt counter to
+                    // the retry ceiling so the existing requeue path
+                    // fails the job permanently — identically to the
+                    // DES.
+                    let job = victim.expect("deny outcome implies a victim");
+                    let name = self.registry.name(job).to_string();
+                    let ceiling = self.fault_spec.max_attempts.saturating_sub(1);
+                    self.jobs
+                        .update(&name, |j| {
+                            j.status.attempts = j.status.attempts.max(ceiling);
+                        })
+                        .expect("denied job exists");
+                    self.apply_actions(&[Action::Requeue { job }], now);
+                    let actions = self.policy.on_complete(&self.view, now);
+                    self.apply_actions(&actions, now);
+                }
+                FlakyOutcome::Evict => {
+                    let job = victim.expect("evict outcome implies a victim");
+                    self.apply_actions(&[Action::Evict { job }], now);
+                    let actions = self.policy.on_complete(&self.view, now);
+                    self.apply_actions(&actions, now);
+                }
+            }
+        }
+    }
+
     /// Drains the CharmJob watch stream: plans new submissions (in
     /// submission order) and executes cancellation requests. This is
     /// the *batched admission* path: a burst of submissions is
@@ -884,7 +1023,9 @@ impl CharmOperator {
             // A job relaunching after an eviction resumes from its last
             // checkpoint: the executor runs only the remaining modeled
             // iterations (real apps restart from their own state files).
-            let handle = match self.retained_iters.remove(&id) {
+            // The ledger entry stays — a later eviction of this attempt
+            // accumulates its own retained progress on top of it.
+            let handle = match self.retained_iters.get(&id).copied() {
                 Some(done) if done > 0.0 => {
                     let mut spec = job.spec.clone();
                     if let AppSpec::Modeled { total_iters } = spec.app {
@@ -898,6 +1039,7 @@ impl CharmOperator {
                 _ => self.executor.launch(&job.spec, job.status.desired_replicas),
             };
             self.handles.insert(id, handle);
+            self.exec_leases.insert(id, self.exec_pool.lease(1));
             self.jobs
                 .update(name, |j| {
                     j.status.phase = JobPhase::Running;
@@ -1018,6 +1160,7 @@ impl CharmOperator {
     pub fn tick(&mut self) {
         self.reconcile_job_events();
         self.reconcile_fault_events();
+        self.reconcile_flaky_events();
         self.process_due_requeues();
         self.plane.tick();
         self.reconcile_pod_events();
@@ -1071,6 +1214,7 @@ impl CharmOperator {
         // Faults have no polled analogue (notices only arrive through
         // the store), so both drive modes share the watch-driven path.
         self.reconcile_fault_events();
+        self.reconcile_flaky_events();
         self.process_due_requeues();
 
         self.plane.tick();
@@ -1106,12 +1250,19 @@ impl CharmOperator {
         if let Some(mut handle) = self.handles.remove(&id) {
             handle.stop();
         }
+        self.exec_leases.remove(&id);
         self.flows.remove(&id);
         self.retained_iters.remove(&id);
         self.attempt_ledger.remove(&id);
         self.view.remove(id, self.policy.launcher_slots());
         self.util.set(now, id, 0);
         self.events.record(now, name, "Completed", "");
+        // A successful retirement feeds the resilience layer (breaker
+        // reset, budget deposit, health forgiveness) at the same
+        // boundary the DES's completion event uses.
+        if !self.fault_spec.flaky.is_empty() {
+            self.resilience.on_success(id, now);
+        }
 
         // Fig. 3: redistribute the freed slots.
         let actions = self.policy.on_complete(&self.view, now);
@@ -1167,7 +1318,7 @@ impl CharmOperator {
             // Every job was cancelled or failed: nothing completed,
             // nothing to aggregate.
             return RunMetrics::empty(self.policy.name(), self.rescale_count)
-                .with_fault_stats(self.fault_stats);
+                .with_fault_stats(self.fault_stats());
         }
         // The store lists in hash order; sort so metrics (and the float
         // accumulation inside them) are reproducible run to run.
@@ -1183,6 +1334,89 @@ impl CharmOperator {
             .unwrap_or(SimTime::ZERO);
         let util = self.util.average_utilization(first_submit, last_complete);
         RunMetrics::from_outcomes(self.policy.name(), outcomes, util, self.rescale_count)
-            .with_fault_stats(self.fault_stats)
+            .with_fault_stats(self.fault_stats())
+    }
+
+    /// Shutdown phase of the executor pool ([`ShutdownPhase::Running`]
+    /// until [`CharmOperator::begin_drain`]).
+    pub fn shutdown_phase(&self) -> ShutdownPhase {
+        self.lifecycle.phase()
+    }
+
+    /// Executor slots currently held by live RAII leases (one per
+    /// launched executor).
+    pub fn leased_executors(&self) -> u32 {
+        self.exec_pool.leased()
+    }
+
+    /// Phase 1 of shutdown: stop admitting. Jobs already queued stay
+    /// queued (their admission decisions no longer run); executors
+    /// already launched keep running until
+    /// [`CharmOperator::begin_cleanup`].
+    ///
+    /// # Panics
+    /// If shutdown already began.
+    pub fn begin_drain(&mut self) {
+        self.lifecycle.begin_drain();
+        let now = self.plane.now();
+        self.events
+            .record(now, "operator", "Draining", "admissions stopped");
+    }
+
+    /// Phase 2 of shutdown: tear down every live executor — kill
+    /// signal, pod deletion, lease return — and demote its job back to
+    /// `Queued` (progress is lost; a later operator may resubmit).
+    ///
+    /// # Panics
+    /// If called before [`CharmOperator::begin_drain`].
+    pub fn begin_cleanup(&mut self) {
+        self.lifecycle.begin_cleanup();
+        let now = self.plane.now();
+        let mut live: Vec<JobId> = self.handles.keys().copied().collect();
+        live.sort();
+        for id in live {
+            let name = self.registry.name(id).to_string();
+            if let Some(mut handle) = self.handles.remove(&id) {
+                handle.stop();
+            }
+            self.exec_leases.remove(&id);
+            self.flows.remove(&id);
+            for pod in self.plane.pods_of_job(&name) {
+                self.plane.delete_pod(&pod.name);
+            }
+            let _ = self.plane.configmaps.delete(&format!("{name}-nodelist"));
+            self.jobs
+                .update(&name, |j| {
+                    j.status.phase = JobPhase::Queued;
+                    j.status.replicas = 0;
+                    j.status.desired_replicas = 0;
+                })
+                .expect("job exists");
+            self.view.remove(id, self.policy.launcher_slots());
+            self.util.set(now, id, 0);
+            self.events
+                .record(now, &name, "Stopped", "executor pool cleanup");
+        }
+        self.plane.reap_finished();
+    }
+
+    /// Phase 3 of shutdown: verify the pool is structurally drained —
+    /// every executor lease returned — and terminate.
+    ///
+    /// # Panics
+    /// If called before [`CharmOperator::begin_cleanup`], or if any
+    /// executor leaked its slot lease past cleanup.
+    pub fn terminate(&mut self) {
+        self.exec_pool.assert_drained();
+        self.lifecycle.terminate();
+        let now = self.plane.now();
+        self.events.record(now, "operator", "Terminated", "");
+    }
+
+    /// Runs the full phased shutdown: drain → cleanup → terminate.
+    pub fn shutdown(&mut self) {
+        self.begin_drain();
+        self.begin_cleanup();
+        self.terminate();
     }
 }

@@ -59,6 +59,13 @@ pub struct FaultStats {
     pub requeues: u32,
     /// Jobs that exhausted their retry budget and failed permanently.
     pub permanent_failures: u32,
+    /// Transient control-plane faults observed (every scheduled flaky
+    /// event that fired, whether or not it found a victim).
+    pub transient_faults: u32,
+    /// Transient-fault retries the token-bucket retry budget approved.
+    pub retries: u32,
+    /// Times the control-plane circuit breaker tripped open.
+    pub breaker_trips: u32,
 }
 
 /// Aggregate metrics for one scheduler run.
@@ -199,6 +206,9 @@ impl RunMetrics {
                 .iter()
                 .map(|(_, m)| m.faults.permanent_failures)
                 .sum(),
+            transient_faults: shards.iter().map(|(_, m)| m.faults.transient_faults).sum(),
+            retries: shards.iter().map(|(_, m)| m.faults.retries).sum(),
+            breaker_trips: shards.iter().map(|(_, m)| m.faults.breaker_trips).sum(),
         };
         let jobs: Vec<JobOutcome> = shards
             .iter()
@@ -330,6 +340,9 @@ mod tests {
             evictions: 1,
             requeues: 0,
             permanent_failures: 0,
+            transient_faults: 4,
+            retries: 2,
+            breaker_trips: 1,
         });
         assert_eq!(RunMetrics::merge(&[(64, &m)]), m);
     }
@@ -368,12 +381,18 @@ mod tests {
                 evictions: 2,
                 requeues: 1,
                 permanent_failures: 0,
+                transient_faults: 7,
+                retries: 3,
+                breaker_trips: 1,
             });
         let empty = RunMetrics::empty("x", 5).with_fault_stats(FaultStats {
             wasted_core_seconds: 3.0,
             evictions: 0,
             requeues: 2,
             permanent_failures: 1,
+            transient_faults: 5,
+            retries: 2,
+            breaker_trips: 2,
         });
         let merged = RunMetrics::merge(&[(16, &s0), (16, &empty)]);
         assert_eq!(merged.jobs.len(), 1);
@@ -382,6 +401,9 @@ mod tests {
         assert_eq!(merged.faults.evictions, 2);
         assert_eq!(merged.faults.requeues, 3);
         assert_eq!(merged.faults.permanent_failures, 1);
+        assert_eq!(merged.faults.transient_faults, 12);
+        assert_eq!(merged.faults.retries, 5);
+        assert_eq!(merged.faults.breaker_trips, 3);
         // An empty shard has zero span, so utilization is s0's alone.
         assert!((merged.utilization - 0.5).abs() < 1e-12);
         // All shards empty: still no panic, tallies survive.
@@ -418,6 +440,9 @@ mod tests {
             evictions: 2,
             requeues: 1,
             permanent_failures: 0,
+            transient_faults: 6,
+            retries: 2,
+            breaker_trips: 1,
         };
         let m = m.with_fault_stats(stats);
         assert_eq!(m.faults, stats);

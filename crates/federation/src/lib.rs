@@ -19,6 +19,13 @@
 //!   atomic CAS, and a worker drains at most one *quantum* of events
 //!   per turn before re-queueing the shard at the tail, so a hot shard
 //!   cannot starve the rest.
+//! * **Resilience** ([`ShardBreakerBoard`]) — one circuit breaker per
+//!   shard, fed by that shard's transient-fault schedule. Routed via
+//!   [`FederationHandle::submit_resilient`], an open-breaker shard
+//!   advertises worst-case load so [`LeastLoaded`] (and any other
+//!   load-sensitive policy) stops sending it submits until the breaker
+//!   half-opens; `join()` runs the drain → cleanup → terminate phased
+//!   shutdown observable through `shutdown_phase()`.
 //!
 //! Determinism is the design invariant: placement is a single-threaded
 //! pre-pass, shards share no mutable state, and quantum-sliced
@@ -100,9 +107,12 @@
 #![warn(missing_docs)]
 
 mod placement;
+mod resilience;
 mod runtime;
 mod scheduler;
 
+pub use elastic_resilience::{BreakerState, ShutdownPhase};
 pub use placement::{HashByUser, LeastLoaded, PlacementPolicy, RoundRobin, ShardLoad};
+pub use resilience::ShardBreakerBoard;
 pub use runtime::{FederationConfig, FederationHandle, FederationOutcome, FederationRuntime};
 pub use scheduler::ShardState;

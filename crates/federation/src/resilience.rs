@@ -1,0 +1,222 @@
+//! Breaker-aware placement: per-shard circuit breakers fed by each
+//! shard's transient-fault schedule.
+//!
+//! A federation front-end should stop routing work at a sick member
+//! cluster long before that cluster's own retry machinery gives up.
+//! The [`ShardBreakerBoard`] is that front-end view: one
+//! [`CircuitBreaker`] per shard, fed deterministically from the shard's
+//! [`FlakySpec`] schedule as the submission pass walks the arrival
+//! cursor — every scheduled transient fault at or before the current
+//! arrival instant counts as a failure against that shard's breaker.
+//!
+//! During routing the board *masks* the [`ShardLoad`] snapshot: a shard
+//! whose breaker is open advertises worst-case load (`usize::MAX` queue
+//! depth, infinite committed work), so any load-sensitive policy —
+//! [`LeastLoaded`](crate::LeastLoaded) foremost — steers around it
+//! without the policy knowing breakers exist. Once the cooldown
+//! half-opens the breaker the shard advertises its true load again; the
+//! first job committed to a half-open shard is the probe whose success
+//! closes the breaker. If *every* breaker is open the board stops
+//! masking entirely (routing somewhere beats routing nowhere), exactly
+//! like a front-end with no healthy member left.
+//!
+//! Everything is driven by workload time ([`SimTime`] derived from
+//! arrival offsets), never a wall clock, so a replay's routing is a
+//! pure function of (workload, schedules) — the same determinism
+//! contract as the rest of the federation layer.
+
+use elastic_resilience::{BreakerState, CircuitBreaker};
+use hpc_metrics::SimTime;
+use hpc_workload::FlakySpec;
+
+use crate::placement::ShardLoad;
+
+/// Per-shard circuit breakers plus the flaky schedules that feed them.
+///
+/// Build one with [`ShardBreakerBoard::new`] (replicating one spec to
+/// every shard) and override individual shards with
+/// [`ShardBreakerBoard::with_shard_spec`], then pass it to
+/// [`FederationHandle::submit_resilient`](crate::FederationHandle::submit_resilient).
+/// The per-shard specs also override the partitioned workloads' flaky
+/// schedules, so each shard's *simulation* replays the same faults its
+/// *breaker* was fed.
+#[derive(Debug, Clone)]
+pub struct ShardBreakerBoard {
+    breakers: Vec<CircuitBreaker>,
+    schedules: Vec<FlakySpec>,
+    cursors: Vec<usize>,
+}
+
+impl ShardBreakerBoard {
+    /// A board of `shards` breakers, each parameterized and fed by (a
+    /// copy of) `spec`. The breaker threshold and cooldown come from
+    /// the spec's `breaker_threshold` / `breaker_cooldown`.
+    pub fn new(shards: usize, spec: &FlakySpec) -> ShardBreakerBoard {
+        assert!(shards > 0, "a board needs at least one shard");
+        ShardBreakerBoard {
+            breakers: (0..shards)
+                .map(|_| CircuitBreaker::new(spec.breaker_threshold, spec.breaker_cooldown))
+                .collect(),
+            schedules: vec![spec.clone(); shards],
+            cursors: vec![0; shards],
+        }
+    }
+
+    /// Builder: gives `shard` its own flaky schedule (and breaker
+    /// parameters), replacing the replicated one.
+    ///
+    /// # Panics
+    /// If `shard` is out of range or routing already began.
+    pub fn with_shard_spec(mut self, shard: usize, spec: FlakySpec) -> ShardBreakerBoard {
+        assert!(
+            self.cursors.iter().all(|&c| c == 0),
+            "shard specs must be set before routing begins"
+        );
+        self.breakers[shard] = CircuitBreaker::new(spec.breaker_threshold, spec.breaker_cooldown);
+        self.schedules[shard] = spec;
+        self
+    }
+
+    /// Number of shards on the board.
+    pub fn shards(&self) -> usize {
+        self.breakers.len()
+    }
+
+    /// The flaky schedule feeding `shard`'s breaker.
+    pub fn spec(&self, shard: usize) -> &FlakySpec {
+        &self.schedules[shard]
+    }
+
+    /// `shard`'s breaker state as of `now`.
+    pub fn state(&self, shard: usize, now: SimTime) -> BreakerState {
+        self.breakers[shard].state(now)
+    }
+
+    /// Times `shard`'s breaker has tripped open so far.
+    pub fn trips(&self, shard: usize) -> u32 {
+        self.breakers[shard].trips()
+    }
+
+    /// Feeds every scheduled flaky event at or before `now` into its
+    /// shard's breaker (each event is a failure at its own instant).
+    pub fn advance_to(&mut self, now: SimTime) {
+        for shard in 0..self.breakers.len() {
+            while let Some(e) = self.schedules[shard].events.get(self.cursors[shard]) {
+                let at = SimTime::ZERO + e.at;
+                if at > now {
+                    break;
+                }
+                self.breakers[shard].record_failure(at);
+                self.cursors[shard] += 1;
+            }
+        }
+    }
+
+    /// The load snapshot the placement policy should see at `now`:
+    /// open-breaker shards advertise worst-case load so load-sensitive
+    /// policies steer around them. Falls back to the unmasked snapshot
+    /// when every breaker is open — routing somewhere beats nowhere.
+    pub fn masked_loads(&mut self, loads: &[ShardLoad], now: SimTime) -> Vec<ShardLoad> {
+        assert_eq!(
+            loads.len(),
+            self.breakers.len(),
+            "board/shard count mismatch"
+        );
+        let any_healthy = (0..self.breakers.len()).any(|s| self.breakers[s].allows(now));
+        loads
+            .iter()
+            .map(|load| {
+                let mut load = load.clone();
+                if any_healthy && !self.breakers[load.shard].allows(now) {
+                    load.queue_depth = usize::MAX;
+                    load.committed_work = f64::INFINITY;
+                }
+                load
+            })
+            .collect()
+    }
+
+    /// Records that a job was committed to `shard` at `now`. For a
+    /// half-open breaker this is the successful probe that closes it.
+    pub fn on_commit(&mut self, shard: usize, now: SimTime) {
+        if self.breakers[shard].state(now) == BreakerState::HalfOpen {
+            self.breakers[shard].record_success(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpc_metrics::Duration;
+    use hpc_workload::{FlakyEvent, FlakyOp};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn loads(n: usize) -> Vec<ShardLoad> {
+        (0..n)
+            .map(|shard| ShardLoad {
+                shard,
+                capacity: 8,
+                queue_depth: shard, // shard 0 lightest
+                committed_work: shard as f64,
+            })
+            .collect()
+    }
+
+    fn flaky_at(times: &[f64]) -> FlakySpec {
+        FlakySpec::new(
+            times
+                .iter()
+                .map(|&s| FlakyEvent {
+                    at: Duration::from_secs(s),
+                    op: FlakyOp::LaunchFail,
+                })
+                .collect(),
+        )
+        .with_breaker(1, Duration::from_secs(100.0))
+    }
+
+    #[test]
+    fn schedule_trips_only_its_own_shard() {
+        let mut board = ShardBreakerBoard::new(2, &FlakySpec::new(Vec::new()))
+            .with_shard_spec(1, flaky_at(&[5.0]));
+        board.advance_to(t(4.0));
+        assert_eq!(board.state(1, t(4.0)), BreakerState::Closed);
+        board.advance_to(t(5.0));
+        assert_eq!(board.state(0, t(5.0)), BreakerState::Closed);
+        assert_eq!(board.state(1, t(5.0)), BreakerState::Open);
+        assert_eq!(board.trips(1), 1);
+        // Cooldown over: half-open, and a committed probe closes it.
+        assert_eq!(board.state(1, t(105.0)), BreakerState::HalfOpen);
+        board.on_commit(1, t(105.0));
+        assert_eq!(board.state(1, t(105.0)), BreakerState::Closed);
+    }
+
+    #[test]
+    fn masking_hides_open_shards_until_half_open() {
+        let mut board = ShardBreakerBoard::new(3, &FlakySpec::new(Vec::new()))
+            .with_shard_spec(0, flaky_at(&[0.0]));
+        board.advance_to(t(0.0));
+        let masked = board.masked_loads(&loads(3), t(0.0));
+        assert_eq!(masked[0].queue_depth, usize::MAX);
+        assert!(masked[0].committed_work.is_infinite());
+        assert_eq!(masked[1], loads(3)[1]);
+        assert_eq!(masked[2], loads(3)[2]);
+        // Half-open at t=100: true load is visible again.
+        let probe = board.masked_loads(&loads(3), t(100.0));
+        assert_eq!(probe[0], loads(3)[0]);
+    }
+
+    #[test]
+    fn all_breakers_open_falls_back_to_unmasked_loads() {
+        let mut board = ShardBreakerBoard::new(2, &flaky_at(&[0.0]));
+        board.advance_to(t(0.0));
+        assert_eq!(board.state(0, t(0.0)), BreakerState::Open);
+        assert_eq!(board.state(1, t(0.0)), BreakerState::Open);
+        let masked = board.masked_loads(&loads(2), t(0.0));
+        assert_eq!(masked, loads(2), "no healthy shard: mask nothing");
+    }
+}

@@ -22,11 +22,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use elastic_core::RunMetrics;
-use hpc_metrics::UtilizationRecorder;
+use elastic_resilience::{Lifecycle, ShutdownPhase};
+use hpc_metrics::{SimTime, UtilizationRecorder};
 use hpc_workload::WorkloadSpec;
 use sched_sim::{SimConfig, SimOutcome, SimState};
 
 use crate::placement::{LoadTracker, PlacementPolicy};
+use crate::resilience::ShardBreakerBoard;
 use crate::scheduler::{ShardState, WorkQueue};
 
 /// Shape of a federation: how many shards, how many workers drive
@@ -107,6 +109,9 @@ struct Core {
     drained: Vec<AtomicBool>,
     loaded: AtomicBool,
     started: AtomicBool,
+    /// Drain → cleanup → terminate phase tracker, observable from any
+    /// handle while `join` tears the runtime down.
+    lifecycle: Mutex<Lifecycle>,
 }
 
 /// Cheap, cloneable submission surface of a federation. All clones
@@ -134,6 +139,43 @@ impl FederationHandle {
         workload: &WorkloadSpec,
         placement: &mut dyn PlacementPolicy,
     ) -> Vec<usize> {
+        self.route(workload, placement, None)
+    }
+
+    /// [`FederationHandle::submit`] with breaker-aware routing: each
+    /// shard's [`ShardBreakerBoard`] breaker is fed that shard's flaky
+    /// schedule along the arrival cursor, and while a breaker is open
+    /// the shard advertises worst-case load, so load-sensitive policies
+    /// ([`LeastLoaded`](crate::LeastLoaded) foremost) stop routing
+    /// submits there until the cooldown half-opens it. If every breaker
+    /// is open, routing falls back to the true loads. The board's
+    /// per-shard flaky specs also replace the partitioned shard
+    /// workloads' schedules, so each shard simulates the same faults
+    /// its breaker saw.
+    ///
+    /// # Panics
+    /// As [`FederationHandle::submit`], or if the board's shard count
+    /// differs from the federation's.
+    pub fn submit_resilient(
+        &self,
+        workload: &WorkloadSpec,
+        placement: &mut dyn PlacementPolicy,
+        board: &mut ShardBreakerBoard,
+    ) -> Vec<usize> {
+        assert_eq!(
+            board.shards(),
+            self.core.capacities.len(),
+            "breaker board shard count must match the federation"
+        );
+        self.route(workload, placement, Some(board))
+    }
+
+    fn route(
+        &self,
+        workload: &WorkloadSpec,
+        placement: &mut dyn PlacementPolicy,
+        mut board: Option<&mut ShardBreakerBoard>,
+    ) -> Vec<usize> {
         assert!(
             !self.core.started.load(Ordering::Acquire),
             "submit after start: the workload must be routed before workers run"
@@ -148,7 +190,19 @@ impl FederationHandle {
         for job in &workload.jobs {
             let now_s = job.arrival.as_secs();
             tracker.advance_to(now_s);
-            let shard = placement.place(job, tracker.loads());
+            let shard = match board.as_deref_mut() {
+                Some(b) => {
+                    let now = SimTime::ZERO + job.arrival;
+                    b.advance_to(now);
+                    let masked = b.masked_loads(tracker.loads(), now);
+                    let shard = placement.place(job, &masked);
+                    if shard < shards {
+                        b.on_commit(shard, now);
+                    }
+                    shard
+                }
+                None => placement.place(job, tracker.loads()),
+            };
             assert!(
                 shard < shards,
                 "placement routed job {} to shard {shard} of a {shards}-shard federation",
@@ -157,11 +211,14 @@ impl FederationHandle {
             tracker.commit(shard, job, now_s);
             assignment.push(shard);
         }
-        for (shard, part) in workload
+        for (shard, mut part) in workload
             .partition(&assignment, shards)
             .into_iter()
             .enumerate()
         {
+            if let Some(b) = board.as_deref() {
+                part.faults.flaky = b.spec(shard).clone();
+            }
             let mut guard = self.core.cells[shard].lock().unwrap();
             let cell = guard.as_mut().expect("cells live until join");
             if !part.jobs.is_empty() {
@@ -180,6 +237,12 @@ impl FederationHandle {
     /// Shards whose event queues have not drained yet.
     pub fn shards_remaining(&self) -> usize {
         *self.core.remaining.lock().unwrap()
+    }
+
+    /// The runtime's shutdown phase. Handles outlive `join`, so a clone
+    /// kept aside still observes the final `Terminated`.
+    pub fn shutdown_phase(&self) -> ShutdownPhase {
+        self.core.lifecycle.lock().unwrap().phase()
     }
 }
 
@@ -250,6 +313,7 @@ impl FederationRuntime {
                 drained: (0..cfg.shards).map(|_| AtomicBool::new(false)).collect(),
                 loaded: AtomicBool::new(false),
                 started: AtomicBool::new(false),
+                lifecycle: Mutex::new(Lifecycle::new()),
             }),
             workers: Vec::new(),
             cfg,
@@ -267,6 +331,12 @@ impl FederationRuntime {
     /// clamped).
     pub fn config(&self) -> &FederationConfig {
         &self.cfg
+    }
+
+    /// The runtime's shutdown phase (Running until `join` begins its
+    /// drain; Terminated once `join` has reaped the workers).
+    pub fn shutdown_phase(&self) -> ShutdownPhase {
+        self.core.lifecycle.lock().unwrap().phase()
     }
 
     /// Spawns the worker threads and schedules every loaded shard (in
@@ -317,7 +387,13 @@ impl FederationRuntime {
     }
 
     /// Blocks until every shard drains, stops the workers and merges
-    /// the shard outcomes.
+    /// the shard outcomes — the phased shutdown of the federation:
+    /// **drain** (wait for every shard's event queue to run dry),
+    /// **cleanup** (shut the work queue down and reap the worker
+    /// threads), **terminate** (collect and merge the shard outcomes).
+    /// [`FederationRuntime::shutdown_phase`] — and any
+    /// [`FederationHandle::shutdown_phase`] clone — observes the
+    /// transitions.
     ///
     /// # Panics
     /// If called before [`FederationRuntime::start`], or if a worker
@@ -327,19 +403,36 @@ impl FederationRuntime {
             self.core.started.load(Ordering::Acquire),
             "join before start"
         );
-        {
-            let mut remaining = self.core.remaining.lock().unwrap();
-            while *remaining > 0 {
-                remaining = self.core.all_drained.wait(remaining).unwrap();
-            }
+        self.drain_shards();
+        self.cleanup_workers();
+        self.core.lifecycle.lock().unwrap().terminate();
+        self.collect()
+    }
+
+    /// Drain phase: no further submissions (enforced since `start`),
+    /// block until every loaded shard's event queue runs dry.
+    fn drain_shards(&self) {
+        self.core.lifecycle.lock().unwrap().begin_drain();
+        let mut remaining = self.core.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = self.core.all_drained.wait(remaining).unwrap();
         }
+    }
+
+    /// Cleanup phase: stop the work queue and reap every worker thread,
+    /// propagating the first worker panic.
+    fn cleanup_workers(&mut self) {
+        self.core.lifecycle.lock().unwrap().begin_cleanup();
         self.core.wq.shutdown();
         for w in std::mem::take(&mut self.workers) {
             if let Err(panic) = w.join() {
                 std::panic::resume_unwind(panic);
             }
         }
+    }
 
+    /// Post-terminate: consume the cells and merge the outcomes.
+    fn collect(self) -> FederationOutcome {
         let mut shards = Vec::with_capacity(self.core.cells.len());
         let mut events = Vec::with_capacity(self.core.cells.len());
         for cell in &self.core.cells {
@@ -566,6 +659,122 @@ mod tests {
         for (a, b) in one.shards.iter().zip(&four.shards) {
             assert_eq!(a.metrics, b.metrics);
         }
+    }
+
+    #[test]
+    fn least_loaded_skips_open_breaker_shards() {
+        use crate::placement::LeastLoaded;
+        use hpc_workload::{FlakyEvent, FlakyOp, FlakySpec};
+
+        // Shard 1's schedule trips its breaker at t = 0 (threshold 1);
+        // the cooldown half-opens it at t = 300.
+        let flaky = FlakySpec::new(vec![FlakyEvent {
+            at: Duration::from_secs(0.0),
+            op: FlakyOp::LaunchFail,
+        }])
+        .with_breaker(1, Duration::from_secs(300.0));
+        let mut board =
+            ShardBreakerBoard::new(2, &FlakySpec::new(Vec::new())).with_shard_spec(1, flaky);
+
+        // Long-estimated jobs so shard 0's committed load keeps
+        // growing — an unmasked LeastLoaded would alternate shards.
+        let jobs: Vec<JobSpec> = (0..8)
+            .map(|i| {
+                JobSpec::malleable(format!("j{i:02}"), 1, 2, 20.0, 1)
+                    .at(Duration::from_secs(i as f64 * 50.0))
+                    .with_walltime_estimate(Duration::from_secs(10_000.0))
+            })
+            .collect();
+        let wl = WorkloadSpec::new(jobs);
+
+        let rt = FederationRuntime::new(FederationConfig::new(2).with_workers(1), |_| sim_cfg(8));
+        let assignment = rt
+            .handle()
+            .submit_resilient(&wl, &mut LeastLoaded::new(), &mut board);
+
+        // Arrivals before the t = 300 half-open all avoid shard 1, even
+        // though shard 0 grows ever more loaded; the first arrival at
+        // or past 300 is the probe that lands on (and closes) shard 1.
+        for (i, &shard) in assignment.iter().enumerate() {
+            let at = i as f64 * 50.0;
+            if at < 300.0 {
+                assert_eq!(shard, 0, "open breaker must mask shard 1 at t={at}");
+            }
+        }
+        assert_eq!(
+            assignment[6], 1,
+            "half-open probe at t=300 routes to the now-least-loaded shard 1"
+        );
+        assert!(
+            assignment[7] == 1,
+            "probe success closed the breaker; shard 1 is least loaded"
+        );
+        assert_eq!(board.trips(1), 1);
+    }
+
+    #[test]
+    fn all_open_breakers_still_route_somewhere() {
+        use crate::placement::LeastLoaded;
+        use hpc_workload::{FlakyEvent, FlakyOp, FlakySpec};
+
+        let flaky = FlakySpec::new(vec![FlakyEvent {
+            at: Duration::from_secs(0.0),
+            op: FlakyOp::LaunchFail,
+        }])
+        .with_breaker(1, Duration::from_secs(1e6));
+        let mut board = ShardBreakerBoard::new(2, &flaky);
+        let wl = WorkloadSpec::new(burst(4, 10.0));
+        let mut rt =
+            FederationRuntime::new(FederationConfig::new(2).with_workers(1), |_| sim_cfg(8));
+        let assignment = rt
+            .handle()
+            .submit_resilient(&wl, &mut LeastLoaded::new(), &mut board);
+        assert_eq!(assignment.len(), 4, "every job still routed");
+        rt.start();
+        assert_eq!(rt.join().merged.jobs.len(), 4);
+    }
+
+    #[test]
+    fn board_specs_override_partitioned_flaky_schedules() {
+        use crate::placement::RoundRobin;
+        use hpc_workload::FlakySpec;
+
+        // The workload itself carries no flaky schedule; the board
+        // does (threshold high enough never to trip during routing).
+        let storm = FlakySpec::storm(7, 6, Duration::from_secs(400.0))
+            .with_breaker(u32::MAX, Duration::from_secs(120.0));
+        let mut board = ShardBreakerBoard::new(1, &storm);
+        let wl = WorkloadSpec::new(burst(12, 40.0));
+        assert!(wl.faults.flaky.is_empty());
+
+        let mut rt =
+            FederationRuntime::new(FederationConfig::new(1).with_workers(1), |_| sim_cfg(4));
+        rt.handle()
+            .submit_resilient(&wl, &mut RoundRobin::new(), &mut board);
+        rt.start();
+        let out = rt.join();
+        assert!(
+            out.merged.faults.transient_faults > 0,
+            "the shard replayed the board's flaky schedule"
+        );
+    }
+
+    #[test]
+    fn join_runs_the_phased_shutdown() {
+        let mut rt =
+            FederationRuntime::new(FederationConfig::new(2).with_workers(2), |_| sim_cfg(8));
+        let handle = rt.handle();
+        assert_eq!(handle.shutdown_phase(), ShutdownPhase::Running);
+        handle.submit(&WorkloadSpec::new(burst(8, 5.0)), &mut RoundRobin::new());
+        rt.start();
+        assert_eq!(rt.shutdown_phase(), ShutdownPhase::Running);
+        let out = rt.join();
+        assert_eq!(out.merged.jobs.len(), 8);
+        assert_eq!(
+            handle.shutdown_phase(),
+            ShutdownPhase::Terminated,
+            "a surviving handle observes the terminal phase"
+        );
     }
 
     #[test]

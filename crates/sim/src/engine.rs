@@ -50,11 +50,12 @@ use elastic_core::{
     apply_action, Action, ClusterView, FaultStats, JobOutcome, JobState, RunMetrics,
     SchedulingPolicy,
 };
+use elastic_resilience::{FlakyOutcome, ResilienceState};
 use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
 
 use crate::events::{Event, EventQueue};
 use crate::model::{OverheadModel, ScalingModel};
-use crate::workload::{FaultEvent, FaultKind, FaultSpec, JobSpec, WorkloadSpec};
+use crate::workload::{FaultEvent, FaultKind, FaultSpec, FlakyOp, JobSpec, WorkloadSpec};
 
 /// Simulation parameters. Submission times are *not* here: every job
 /// of the replayed [`WorkloadSpec`] carries its own arrival time
@@ -323,8 +324,7 @@ fn apply_runtime(
                 j.completed_at = Some(now);
                 faults.permanent_failures += 1;
             } else {
-                let backoff = fspec.backoff_base.as_secs() * 2f64.powi(j.attempts as i32 - 1);
-                let due = now + Duration::from_secs(backoff);
+                let due = now + fspec.backoff_for(j.attempts);
                 j.requeued_at = Some(due);
                 queue.push(due, Event::Requeue { job });
             }
@@ -371,6 +371,9 @@ pub struct SimState {
     cancelled_count: u32,
     peak_queue_len: usize,
     fault_stats: FaultStats,
+    /// The shared breaker/budget/health decision core for the
+    /// workload's `FlakySpec` (idle when the spec is empty).
+    resilience: ResilienceState,
     launcher: u32,
     timer_interval: Option<Duration>,
     events_processed: u64,
@@ -455,6 +458,14 @@ impl SimState {
             };
             queue.push(SimTime::ZERO + e.at, ev);
         }
+        // Flaky (transient control-plane) events seed after the
+        // capacity faults: at shared instants they sort last, matching
+        // the operator's tick, which reconciles flaky notices after
+        // capacity notices. (`FlakySpec::storm` keeps flaky instants
+        // off the policy-timer grid for the same reason as above.)
+        for (i, e) in workload.faults.flaky.events.iter().enumerate() {
+            queue.push(SimTime::ZERO + e.at, Event::Flaky { index: i as u32 });
+        }
 
         SimState {
             jobs,
@@ -465,6 +476,7 @@ impl SimState {
             cancelled_count: 0,
             peak_queue_len: 0,
             fault_stats: FaultStats::default(),
+            resilience: ResilienceState::new(&workload.faults.flaky),
             launcher,
             timer_interval,
             events_processed: 0,
@@ -496,6 +508,25 @@ impl SimState {
                 a,
                 now,
             );
+        }
+    }
+
+    /// Deterministic victim selection for a transient fault: the
+    /// *oldest* executor (lowest running [`JobId`]) for launch
+    /// failures, stuck rescales and heartbeat misses; the *youngest*
+    /// (highest running id) for crash-on-start — the job most recently
+    /// through the launch path. Identical in the operator, which scans
+    /// its store over the same admission-ordered ids.
+    fn flaky_victim(&self, op: FlakyOp) -> Option<JobId> {
+        let mut running = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.running)
+            .map(|(i, _)| JobId::from_index(i));
+        match op {
+            FlakyOp::CrashOnStart => running.next_back(),
+            FlakyOp::LaunchFail | FlakyOp::StuckRescale | FlakyOp::HeartbeatMiss => running.next(),
         }
     }
 
@@ -587,6 +618,12 @@ impl SimState {
                 self.jobs[idx].completed_at = Some(now);
                 self.util.set(now, job, 0);
                 self.view.remove(job, self.launcher);
+                // A successful retirement feeds the resilience layer
+                // (breaker reset, budget deposit, health forgiveness)
+                // at the same boundary the operator's complete_job uses.
+                if !workload.faults.flaky.is_empty() {
+                    self.resilience.on_success(job, now);
+                }
                 let actions = cfg.policy.on_complete(&self.view, now);
                 self.apply_all(cfg, &workload.faults, &actions, now);
             }
@@ -673,6 +710,44 @@ impl SimState {
                 let actions = cfg.policy.on_submit(&self.view, job, now);
                 self.apply_all(cfg, &workload.faults, &actions, now);
             }
+            Event::Flaky { index } => {
+                let op = workload.faults.flaky.events[index as usize].op;
+                let victim = self.flaky_victim(op);
+                match self.resilience.on_flaky(op, victim, now) {
+                    // No running victim, a sub-threshold heartbeat
+                    // miss, or an open breaker fast-failing the
+                    // operation: nothing happens to any job.
+                    FlakyOutcome::Observed | FlakyOutcome::Absorbed => {}
+                    FlakyOutcome::Retry => {
+                        let job = victim.expect("retry outcome implies a victim");
+                        self.apply_all(cfg, &workload.faults, &[Action::Requeue { job }], now);
+                        let actions = cfg.policy.on_complete(&self.view, now);
+                        self.apply_all(cfg, &workload.faults, &actions, now);
+                    }
+                    FlakyOutcome::Deny => {
+                        // Retry budget dry: the victim fails
+                        // permanently. Forcing the attempt counter to
+                        // the retry ceiling routes the failure through
+                        // the same requeue path as every other
+                        // permanent failure — identically in both
+                        // engines.
+                        let job = victim.expect("deny outcome implies a victim");
+                        let j = &mut self.jobs[job.index()];
+                        j.attempts = j
+                            .attempts
+                            .max(workload.faults.max_attempts.saturating_sub(1));
+                        self.apply_all(cfg, &workload.faults, &[Action::Requeue { job }], now);
+                        let actions = cfg.policy.on_complete(&self.view, now);
+                        self.apply_all(cfg, &workload.faults, &actions, now);
+                    }
+                    FlakyOutcome::Evict => {
+                        let job = victim.expect("evict outcome implies a victim");
+                        self.apply_all(cfg, &workload.faults, &[Action::Evict { job }], now);
+                        let actions = cfg.policy.on_complete(&self.view, now);
+                        self.apply_all(cfg, &workload.faults, &actions, now);
+                    }
+                }
+            }
             Event::Timer => {
                 // Stop the clock once every job is terminal — the run
                 // is over; an armed timer must not keep it alive.
@@ -708,12 +783,17 @@ impl SimState {
     /// # Panics
     /// If events are still pending, or (diagnostically) if a job
     /// starved in the queue forever.
-    pub fn finish(self, cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
+    pub fn finish(mut self, cfg: &SimConfig, workload: &WorkloadSpec) -> SimOutcome {
         assert!(
             self.queue.is_empty(),
             "finish called with {} events pending",
             self.queue.len()
         );
+        // Bank the resilience tallies next to the capacity-fault ones;
+        // the operator copies the same three counters in `metrics()`.
+        self.fault_stats.transient_faults = self.resilience.transient_faults();
+        self.fault_stats.retries = self.resilience.retries();
+        self.fault_stats.breaker_trips = self.resilience.breaker_trips();
         // Starvation first: it is the *cause* of a non-drained view, so
         // it must own the diagnostic (the drain assert below would
         // otherwise mask it in debug builds).

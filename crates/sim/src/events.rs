@@ -76,6 +76,14 @@ pub enum Event {
         /// The job.
         job: JobId,
     },
+    /// A scheduled transient control-plane fault (the workload's
+    /// `FlakySpec`): the engine selects the deterministic victim, asks
+    /// the shared resilience core for the outcome, and routes it
+    /// through the existing requeue/evict machinery. Never stale.
+    Flaky {
+        /// Index into `FlakySpec::events`.
+        index: u32,
+    },
 }
 
 #[derive(Debug, PartialEq, Eq)]

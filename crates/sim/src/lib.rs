@@ -35,6 +35,7 @@ pub use experiments::{
 };
 pub use model::{JobShape, OverheadBreakdown, OverheadModel, ScalingModel, SizeClass};
 pub use workload::{
-    generate_workload, load_workload, poisson_workload, FaultEvent, FaultKind, FaultSpec, JobSpec,
-    MalleabilityModel, SwfError, SwfLoadConfig, WorkloadError, WorkloadSpec,
+    generate_workload, load_workload, poisson_workload, FaultEvent, FaultKind, FaultSpec,
+    FlakyEvent, FlakyOp, FlakySpec, JobSpec, MalleabilityModel, SwfError, SwfLoadConfig,
+    WorkloadError, WorkloadSpec,
 };

@@ -168,6 +168,22 @@ impl OverheadModel {
         }
     }
 
+    /// A model where every rescale and recovery costs nothing — the DES
+    /// counterpart of `ModelExecutor::ideal`, for cross-engine replays
+    /// that must keep all timestamps on the operator's tick grid even
+    /// through checkpoint-evict relaunches.
+    pub fn zero() -> Self {
+        OverheadModel {
+            restart_base: 0.0,
+            restart_per_pe: 0.0,
+            // Infinite checkpoint bandwidth: state moves for free.
+            ckpt_bw_per_replica: f64::INFINITY,
+            lb_base: 0.0,
+            lb_per_byte: 0.0,
+            incremental: false,
+        }
+    }
+
     /// Overhead of rescaling a `class` job `from → to` replicas.
     pub fn breakdown(&self, class: SizeClass, from: u32, to: u32) -> OverheadBreakdown {
         self.breakdown_bytes(class.state_bytes(), from, to)

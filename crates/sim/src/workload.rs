@@ -10,6 +10,6 @@
 
 pub use hpc_workload::{
     generate_workload, load_workload, poisson_workload, workload_records, write_swf,
-    write_workload, FaultError, FaultEvent, FaultKind, FaultSpec, JobShape, JobSpec,
-    MalleabilityModel, SwfError, SwfLoadConfig, WorkloadError, WorkloadSpec,
+    write_workload, FaultError, FaultEvent, FaultKind, FaultSpec, FlakyEvent, FlakyOp, FlakySpec,
+    JobShape, JobSpec, MalleabilityModel, SwfError, SwfLoadConfig, WorkloadError, WorkloadSpec,
 };

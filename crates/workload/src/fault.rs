@@ -101,6 +101,219 @@ impl std::fmt::Display for FaultError {
 
 impl std::error::Error for FaultError {}
 
+/// What kind of operation-level transient fault a [`FlakyEvent`] is.
+///
+/// Where [`FaultKind`] models *capacity* loss (nodes and slots), a
+/// `FlakyOp` models the control plane's own operations failing — the
+/// flakiest part of a real cloud deployment: launches that bounce,
+/// executors that crash right after starting, rescales that wedge, and
+/// heartbeats that go missing. Each op names a deterministic target so
+/// both engines pick the same victim:
+///
+/// * [`LaunchFail`](FlakyOp::LaunchFail) / [`HeartbeatMiss`](FlakyOp::HeartbeatMiss)
+///   / [`StuckRescale`](FlakyOp::StuckRescale) hit the *oldest* running
+///   executor (lowest `JobId`).
+/// * [`CrashOnStart`](FlakyOp::CrashOnStart) hits the *youngest*
+///   running executor (highest `JobId`) — the one most recently
+///   admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlakyOp {
+    /// The launcher of the oldest running executor fails transiently;
+    /// the job is killed and re-queued (a retry, budget permitting).
+    LaunchFail,
+    /// The youngest running executor crashes right after starting; the
+    /// job is killed and re-queued (a retry, budget permitting).
+    CrashOnStart,
+    /// A rescale of the oldest running executor wedges; the operation
+    /// is aborted and the job checkpoint-evicted (rolls back to its
+    /// last checkpoint boundary and relaunches).
+    StuckRescale,
+    /// The oldest running executor misses a heartbeat. Misses accrue in
+    /// the health checker; at `health_threshold` consecutive misses the
+    /// executor is declared unhealthy and killed-and-requeued.
+    HeartbeatMiss,
+}
+
+impl std::fmt::Display for FlakyOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlakyOp::LaunchFail => write!(f, "launch_fail"),
+            FlakyOp::CrashOnStart => write!(f, "crash_on_start"),
+            FlakyOp::StuckRescale => write!(f, "stuck_rescale"),
+            FlakyOp::HeartbeatMiss => write!(f, "heartbeat_miss"),
+        }
+    }
+}
+
+/// One operation-level transient fault on the workload timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlakyEvent {
+    /// When the fault fires, relative to the workload epoch.
+    pub at: Duration,
+    /// Which operation fails.
+    pub op: FlakyOp,
+}
+
+/// The operation-level transient-fault layer: a deterministic schedule
+/// of [`FlakyEvent`]s plus the resilience parameters both engines feed
+/// to `elastic-resilience` (circuit breaker, retry budget, health
+/// checker). The [`Default`] spec has no events and is zero-cost to
+/// replay — engines seed nothing and consult nothing when
+/// [`FlakySpec::is_empty`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlakySpec {
+    /// Transient faults in time order.
+    pub events: Vec<FlakyEvent>,
+    /// Consecutive transient faults that trip the cluster circuit
+    /// breaker open. While open, flaky operations are not attempted
+    /// (the fault is absorbed without killing anyone) until the
+    /// cooldown half-opens the breaker. `u32::MAX` effectively
+    /// disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Initial retry-budget tokens. Every budget-approved retry
+    /// withdraws one token; a dry budget denies the retry and the
+    /// victim fails permanently — this is what bounds retry storms.
+    pub retry_budget: f64,
+    /// Tokens deposited per successful job completion.
+    pub retry_deposit: f64,
+    /// Consecutive heartbeat misses per executor before the health
+    /// checker evicts it.
+    pub health_threshold: u32,
+}
+
+impl Default for FlakySpec {
+    fn default() -> Self {
+        FlakySpec {
+            events: Vec::new(),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(120.0),
+            retry_budget: 10.0,
+            retry_deposit: 0.1,
+            health_threshold: 3,
+        }
+    }
+}
+
+impl FlakySpec {
+    /// A spec with the given events and default resilience parameters.
+    pub fn new(events: Vec<FlakyEvent>) -> Self {
+        FlakySpec {
+            events,
+            ..FlakySpec::default()
+        }
+    }
+
+    /// `true` when no transient faults are scheduled (replay pays
+    /// nothing for the resilience layer).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Builder: sets the breaker trip threshold and cooldown.
+    pub fn with_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.breaker_threshold = threshold;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Builder: sets the retry-budget initial balance and per-success
+    /// deposit.
+    pub fn with_retry_budget(mut self, initial: f64, deposit: f64) -> Self {
+        self.retry_budget = initial;
+        self.retry_deposit = deposit;
+        self
+    }
+
+    /// Builder: sets the consecutive-miss health-eviction threshold.
+    pub fn with_health_threshold(mut self, threshold: u32) -> Self {
+        self.health_threshold = threshold;
+        self
+    }
+
+    /// A deterministic seeded storm of `count` transient faults spread
+    /// uniformly over `horizon`, cycling through the four operation
+    /// kinds with seeded jitter. Event times are whole seconds (so
+    /// tick-driven replays hit them exactly) and are nudged off
+    /// multiples of 30 s — the conventional policy-timer grid — because
+    /// the engines order timer firings and fault events differently at
+    /// shared instants (same contract as [`FaultSpec::reclamation`]).
+    pub fn storm(seed: u64, count: u32, horizon: Duration) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let horizon_s = horizon.as_secs().max(1.0);
+        let ops = [
+            FlakyOp::LaunchFail,
+            FlakyOp::CrashOnStart,
+            FlakyOp::StuckRescale,
+            FlakyOp::HeartbeatMiss,
+        ];
+        let mut events: Vec<FlakyEvent> = (0..count)
+            .map(|i| {
+                let mut at = rng.gen_range(1.0..horizon_s).round().max(1.0);
+                if (at as u64).is_multiple_of(30) {
+                    at += 1.0;
+                }
+                FlakyEvent {
+                    at: Duration::from_secs(at),
+                    op: ops[(i as usize) % ops.len()],
+                }
+            })
+            .collect();
+        events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite fault times"));
+        FlakySpec {
+            events,
+            ..FlakySpec::default()
+        }
+    }
+
+    /// Builder: divides every event time by `factor` (rounding to whole
+    /// seconds) — the flaky-layer side of
+    /// `WorkloadSpec::compress_arrivals`.
+    ///
+    /// # Panics
+    /// If `factor` is not finite and positive.
+    pub fn compress(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "compression factor must be finite and > 0, got {factor}"
+        );
+        for e in &mut self.events {
+            e.at = Duration::from_secs((e.at.as_secs() / factor).round());
+        }
+        self
+    }
+
+    /// Checks the engine contract: events sorted by time with finite
+    /// nonnegative times, positive thresholds, finite nonnegative
+    /// budget parameters, positive cooldown.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        let cooldown = self.breaker_cooldown.as_secs();
+        if self.breaker_threshold == 0
+            || self.health_threshold == 0
+            || !cooldown.is_finite()
+            || cooldown <= 0.0
+            || !self.retry_budget.is_finite()
+            || self.retry_budget < 0.0
+            || !self.retry_deposit.is_finite()
+            || self.retry_deposit < 0.0
+        {
+            return Err(FaultError::BadRecoveryParams);
+        }
+        let mut prev = Duration::ZERO;
+        for (index, e) in self.events.iter().enumerate() {
+            if !e.at.as_secs().is_finite() || e.at.as_secs() < 0.0 {
+                return Err(FaultError::BadEvent { index });
+            }
+            if e.at < prev {
+                return Err(FaultError::UnsortedEvents { index });
+            }
+            prev = e.at;
+        }
+        Ok(())
+    }
+}
+
 /// The fault layer of a workload: capacity events plus the recovery
 /// parameters both engines honor. The [`Default`] spec has no events
 /// and is zero-cost to replay.
@@ -108,6 +321,10 @@ impl std::error::Error for FaultError {}
 pub struct FaultSpec {
     /// Capacity-change events in time order.
     pub events: Vec<FaultEvent>,
+    /// Operation-level transient faults (flaky launches, crashes,
+    /// wedged rescales, missed heartbeats) plus the resilience
+    /// parameters that govern how they are retried.
+    pub flaky: FlakySpec,
     /// Wall-clock interval between a running job's checkpoints. On a
     /// checkpoint/restart eviction the job resumes from its last
     /// checkpoint instant; work since then is wasted.
@@ -116,7 +333,9 @@ pub struct FaultSpec {
     /// marked permanently failed.
     pub max_attempts: u32,
     /// Base delay before a killed job is resubmitted; attempt `k`
-    /// (1-based) waits `backoff_base × 2^(k-1)`.
+    /// (1-based) waits `backoff_base × 2^(min(k, 20)-1)` — the shift
+    /// saturates at 20 doublings so pathological attempt counts cannot
+    /// overflow to an infinite backoff (see [`FaultSpec::backoff_for`]).
     pub backoff_base: Duration,
 }
 
@@ -124,6 +343,7 @@ impl Default for FaultSpec {
     fn default() -> Self {
         FaultSpec {
             events: Vec::new(),
+            flaky: FlakySpec::default(),
             checkpoint_interval: Duration::from_secs(300.0),
             max_attempts: 3,
             backoff_base: Duration::from_secs(30.0),
@@ -141,9 +361,54 @@ impl FaultSpec {
     }
 
     /// `true` when no fault events are scheduled (replay is fault-free
-    /// and pays nothing for the fault layer).
+    /// and pays nothing for the fault layer). Operation-level transient
+    /// faults count: a spec with flaky events is not empty.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.events.is_empty() && self.flaky.is_empty()
+    }
+
+    /// Builder: attaches an operation-level transient-fault schedule.
+    pub fn with_flaky(mut self, flaky: FlakySpec) -> Self {
+        self.flaky = flaky;
+        self
+    }
+
+    /// The requeue backoff before attempt `attempt` (1-based) re-enters
+    /// the queue: `backoff_base × 2^(attempt-1)`, with the shift
+    /// saturated at [`FaultSpec::MAX_BACKOFF_SHIFT`] doublings so the
+    /// delay stays finite for any attempt count. Both engines call this
+    /// one function, so replays cannot diverge on the cap.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(Self::MAX_BACKOFF_SHIFT);
+        Duration::from_secs(self.backoff_base.as_secs() * 2f64.powi(shift as i32))
+    }
+
+    /// Cap on the exponential-backoff shift: 2^20 × base ≈ 1 year at
+    /// the 30 s default — long past any replay horizon, far short of
+    /// `f64` overflow.
+    pub const MAX_BACKOFF_SHIFT: u32 = 20;
+
+    /// The Young/Daly optimal checkpoint interval
+    /// `τ_opt ≈ sqrt(2 × δ × MTBF)` for a per-checkpoint (equivalently,
+    /// per-recovery) cost `δ` and a mean time between failures `MTBF`,
+    /// rounded to whole seconds (tick-grid friendly) with a 1 s floor.
+    ///
+    /// Feed `δ` from the measured `OverheadModel::recovery_total` curve
+    /// (the `BENCH_rescale.json` calibration) and `MTBF` from the fault
+    /// schedule's observed event rate.
+    pub fn young_daly_interval(recovery_cost: Duration, mtbf: Duration) -> Duration {
+        let delta = recovery_cost.as_secs().max(0.0);
+        let mtbf_s = mtbf.as_secs().max(0.0);
+        Duration::from_secs((2.0 * delta * mtbf_s).sqrt().round().max(1.0))
+    }
+
+    /// Builder: sets the checkpoint interval to the Young/Daly optimum
+    /// for the given measured recovery cost and fault MTBF — the
+    /// auto-tuned alternative to hand-picking
+    /// [`FaultSpec::with_checkpoint_interval`].
+    pub fn tuned_checkpoint_interval(self, recovery_cost: Duration, mtbf: Duration) -> Self {
+        let interval = Self::young_daly_interval(recovery_cost, mtbf);
+        self.with_checkpoint_interval(interval)
     }
 
     /// Builder: sets the checkpoint interval.
@@ -202,8 +467,8 @@ impl FaultSpec {
         }
     }
 
-    /// Builder: divides every event time by `factor` (rounding to whole
-    /// seconds) — the fault-layer side of
+    /// Builder: divides every event time (capacity and flaky) by
+    /// `factor` (rounding to whole seconds) — the fault-layer side of
     /// `WorkloadSpec::compress_arrivals`.
     ///
     /// # Panics
@@ -216,6 +481,7 @@ impl FaultSpec {
         for e in &mut self.events {
             e.at = Duration::from_secs((e.at.as_secs() / factor).round());
         }
+        self.flaky = self.flaky.compress(factor);
         self
     }
 
@@ -248,7 +514,7 @@ impl FaultSpec {
                 FaultKind::NodeFail => {}
             }
         }
-        Ok(())
+        self.flaky.validate()
     }
 }
 
@@ -352,6 +618,97 @@ mod tests {
     }
 
     #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let spec = FaultSpec::default(); // 30 s base
+        assert_eq!(spec.backoff_for(1).as_secs(), 30.0);
+        assert_eq!(spec.backoff_for(2).as_secs(), 60.0);
+        assert_eq!(spec.backoff_for(3).as_secs(), 120.0);
+        // The shift caps at MAX_BACKOFF_SHIFT doublings...
+        let cap = 30.0 * 2f64.powi(FaultSpec::MAX_BACKOFF_SHIFT as i32);
+        assert_eq!(spec.backoff_for(21).as_secs(), cap);
+        assert_eq!(spec.backoff_for(22).as_secs(), cap);
+        // ...so even absurd attempt counts stay finite (the old
+        // `base × 2^(k-1)` overflowed to infinity here).
+        assert_eq!(spec.backoff_for(u32::MAX).as_secs(), cap);
+        assert!(spec.backoff_for(u32::MAX).as_secs().is_finite());
+    }
+
+    #[test]
+    fn young_daly_interval_matches_the_formula() {
+        // δ = 50 s, MTBF = 10 000 s → sqrt(2·50·10000) = 1000 s.
+        let tau = FaultSpec::young_daly_interval(
+            Duration::from_secs(50.0),
+            Duration::from_secs(10_000.0),
+        );
+        assert_eq!(tau.as_secs(), 1000.0);
+        // Degenerate inputs floor at 1 s instead of producing 0.
+        let floor = FaultSpec::young_daly_interval(Duration::ZERO, Duration::from_secs(100.0));
+        assert_eq!(floor.as_secs(), 1.0);
+        let tuned = FaultSpec::default()
+            .tuned_checkpoint_interval(Duration::from_secs(50.0), Duration::from_secs(10_000.0));
+        assert_eq!(tuned.checkpoint_interval.as_secs(), 1000.0);
+        assert!(tuned.validate().is_ok());
+    }
+
+    #[test]
+    fn flaky_storm_is_deterministic_valid_and_off_the_timer_grid() {
+        let horizon = Duration::from_secs(5_000.0);
+        let a = FlakySpec::storm(3, 16, horizon);
+        let b = FlakySpec::storm(3, 16, horizon);
+        assert_eq!(a, b, "same seed, same storm");
+        assert_eq!(a.events.len(), 16);
+        assert!(a.validate().is_ok());
+        for e in &a.events {
+            assert_eq!(e.at.as_secs().fract(), 0.0, "whole-second times");
+            assert_ne!(e.at.as_secs() as u64 % 30, 0, "off the 30 s timer grid");
+        }
+        // All four operation kinds appear in a 16-event storm.
+        for op in [
+            FlakyOp::LaunchFail,
+            FlakyOp::CrashOnStart,
+            FlakyOp::StuckRescale,
+            FlakyOp::HeartbeatMiss,
+        ] {
+            assert!(a.events.iter().any(|e| e.op == op), "missing {op}");
+        }
+        let c = FlakySpec::storm(4, 16, horizon);
+        assert_ne!(a, c, "different seed, different storm");
+    }
+
+    #[test]
+    fn flaky_validate_catches_bad_params_and_unsorted_events() {
+        let unsorted = FlakySpec::new(vec![
+            FlakyEvent {
+                at: Duration::from_secs(100.0),
+                op: FlakyOp::LaunchFail,
+            },
+            FlakyEvent {
+                at: Duration::from_secs(50.0),
+                op: FlakyOp::CrashOnStart,
+            },
+        ]);
+        assert_eq!(
+            unsorted.validate(),
+            Err(FaultError::UnsortedEvents { index: 1 })
+        );
+        let bad = FlakySpec::default().with_breaker(0, Duration::from_secs(60.0));
+        assert_eq!(bad.validate(), Err(FaultError::BadRecoveryParams));
+        let bad = FlakySpec::default().with_retry_budget(-1.0, 0.1);
+        assert_eq!(bad.validate(), Err(FaultError::BadRecoveryParams));
+        let bad = FlakySpec::default().with_health_threshold(0);
+        assert_eq!(bad.validate(), Err(FaultError::BadRecoveryParams));
+        // A FaultSpec carrying an invalid flaky layer fails validation.
+        let carrier = FaultSpec::default()
+            .with_flaky(FlakySpec::default().with_breaker(0, Duration::from_secs(60.0)));
+        assert_eq!(carrier.validate(), Err(FaultError::BadRecoveryParams));
+        assert!(!carrier.is_empty() || carrier.flaky.is_empty());
+        // A spec with only flaky events is not empty.
+        let flaky_only =
+            FaultSpec::default().with_flaky(FlakySpec::storm(1, 2, Duration::from_secs(100.0)));
+        assert!(!flaky_only.is_empty());
+    }
+
+    #[test]
     fn compress_divides_event_times() {
         let spec = FaultSpec {
             events: vec![
@@ -360,9 +717,14 @@ mod tests {
             ],
             ..FaultSpec::default()
         }
+        .with_flaky(FlakySpec::new(vec![FlakyEvent {
+            at: Duration::from_secs(900.0),
+            op: FlakyOp::HeartbeatMiss,
+        }]))
         .compress(10.0);
         assert_eq!(spec.events[0].at.as_secs(), 60.0);
         assert_eq!(spec.events[1].at.as_secs(), 120.0);
+        assert_eq!(spec.flaky.events[0].at.as_secs(), 90.0);
         assert!(spec.validate().is_ok());
     }
 }

@@ -66,7 +66,7 @@ pub mod malleability;
 pub mod spec;
 pub mod swf;
 
-pub use fault::{FaultError, FaultEvent, FaultKind, FaultSpec};
+pub use fault::{FaultError, FaultEvent, FaultKind, FaultSpec, FlakyEvent, FlakyOp, FlakySpec};
 pub use generator::{generate_workload, poisson_workload};
 pub use malleability::MalleabilityModel;
 pub use spec::{shard_seed, JobShape, JobSpec, SizeClass, WorkloadError, WorkloadSpec};

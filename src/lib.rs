@@ -30,6 +30,7 @@
 pub use charm_apps as apps;
 pub use charm_rt as charm;
 pub use elastic_core as core;
+pub use elastic_resilience as resilience;
 pub use hpc_federation as federation;
 pub use hpc_metrics as metrics;
 pub use hpc_workload as workload;

@@ -133,6 +133,9 @@ fn random_shard(rng: &mut ChaCha8Rng, shard: usize) -> (u32, RunMetrics) {
         evictions: rng.gen_range(0u32..5),
         requeues: rng.gen_range(0u32..5),
         permanent_failures: rng.gen_range(0u32..3),
+        transient_faults: rng.gen_range(0u32..8),
+        retries: rng.gen_range(0u32..6),
+        breaker_trips: rng.gen_range(0u32..3),
     };
     let n_jobs = rng.gen_range(0usize..6);
     let metrics = if n_jobs == 0 {
@@ -188,6 +191,18 @@ proptest! {
         prop_assert_eq!(
             merged.faults.permanent_failures,
             shards.iter().map(|(_, m)| m.faults.permanent_failures).sum::<u32>()
+        );
+        prop_assert_eq!(
+            merged.faults.transient_faults,
+            shards.iter().map(|(_, m)| m.faults.transient_faults).sum::<u32>()
+        );
+        prop_assert_eq!(
+            merged.faults.retries,
+            shards.iter().map(|(_, m)| m.faults.retries).sum::<u32>()
+        );
+        prop_assert_eq!(
+            merged.faults.breaker_trips,
+            shards.iter().map(|(_, m)| m.faults.breaker_trips).sum::<u32>()
         );
         let wasted: f64 = shards.iter().map(|(_, m)| m.faults.wasted_core_seconds).sum();
         prop_assert!((merged.faults.wasted_core_seconds - wasted).abs() < 1e-9);
