@@ -282,9 +282,101 @@ fn gate_rescale(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Ve
     }
 }
 
-/// All three sim-scale gates run over the one shared file.
+/// DES-core gate over the `sim_core` section of
+/// `BENCH_sim_scale.json` (the raw-speed swap's own baseline): per
+/// matching `(policy, n_jobs)` case the fresh `events_per_sec` must
+/// stay within the tolerance of the committed number, and under
+/// `SIM_CORE_STRICT=1` (the host that recorded the section — mirrors
+/// `FED_STRICT`) the aggregate throughput at the headline size must
+/// also clear the absolute 5M ev/s floor.
+fn gate_sim_core(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    gate_sim_core_with(baseline, fresh, tolerance, failures, sim_core_strict());
+}
+
+fn sim_core_strict() -> bool {
+    std::env::var("SIM_CORE_STRICT").is_ok_and(|v| v == "1")
+}
+
+/// Absolute aggregate-throughput floor (events/sec) armed by
+/// `SIM_CORE_STRICT=1`.
+const SIM_CORE_FLOOR_EPS: f64 = 5_000_000.0;
+
+fn gate_sim_core_with(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+    strict: bool,
+) {
+    let Some(base_core) = baseline.get("sim_core") else {
+        println!("sim_core: baseline has no sim_core section; skipping");
+        return;
+    };
+    let Some(fresh_core) = fresh.get("sim_core") else {
+        failures.push(
+            "sim_core: baseline has a sim_core section but the fresh JSON does not — \
+             did the sim_scale bench run at 100k+?"
+                .into(),
+        );
+        return;
+    };
+    let mut matched = 0;
+    for b in base_core.arr("cases") {
+        let (Some(policy), Some(n)) = (b.str_of("policy"), b.num("n_jobs")) else {
+            continue;
+        };
+        let Some(f) = fresh_core
+            .arr("cases")
+            .iter()
+            .find(|f| f.str_of("policy") == Some(policy) && f.num("n_jobs") == Some(n))
+        else {
+            continue; // capped fresh run: only gate what was measured
+        };
+        matched += 1;
+        let (Some(base_eps), Some(fresh_eps)) = (b.num("events_per_sec"), f.num("events_per_sec"))
+        else {
+            continue;
+        };
+        let floor = base_eps * (1.0 - tolerance);
+        println!(
+            "sim_core   {policy:<14} n={:<8} baseline {base_eps:>10.0} ev/s  fresh {fresh_eps:>10.0} ev/s  (floor {floor:.0})",
+            n as u64
+        );
+        if fresh_eps < floor {
+            failures.push(format!(
+                "sim_core {policy} at {} jobs: {fresh_eps:.0} ev/s is a >{:.0}% regression from {base_eps:.0} ev/s",
+                n as u64,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("sim_core: no matching cases between baseline and fresh JSON".into());
+    }
+    if let Some(agg) = fresh_core.num("aggregate_events_per_sec") {
+        let verdict = if agg >= SIM_CORE_FLOOR_EPS {
+            "meets"
+        } else {
+            "below"
+        };
+        println!(
+            "sim_core   aggregate {agg:.0} ev/s {verdict} the {SIM_CORE_FLOOR_EPS:.0} ev/s strict floor (strict={strict})"
+        );
+        if strict && agg < SIM_CORE_FLOOR_EPS {
+            failures.push(format!(
+                "sim_core aggregate {agg:.0} ev/s is below the {SIM_CORE_FLOOR_EPS:.0} ev/s SIM_CORE_STRICT floor"
+            ));
+        }
+    } else if strict {
+        failures
+            .push("sim_core: SIM_CORE_STRICT=1 but fresh aggregate_events_per_sec missing".into());
+    }
+}
+
+/// All four sim-scale gates run over the one shared file.
 fn gate_sim_scale_file(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
     gate_sim_scale(baseline, fresh, tolerance, failures);
+    gate_sim_core(baseline, fresh, tolerance, failures);
     gate_federation(baseline, fresh, tolerance, failures);
     gate_resilience(baseline, fresh, tolerance, failures);
 }
@@ -370,6 +462,69 @@ mod tests {
         let mut root = BTreeMap::new();
         root.insert("cases".into(), Json::Arr(arr));
         Json::Obj(root)
+    }
+
+    fn sim_core(cases: &[(&str, f64, f64)], aggregate: Option<f64>) -> Json {
+        let mut core = scale(cases);
+        if let Some(agg) = aggregate {
+            core.set("aggregate_events_per_sec", Json::Num(agg));
+        }
+        let mut root = BTreeMap::new();
+        root.insert("sim_core".into(), Json::Obj(BTreeMap::new()));
+        let mut doc = Json::Obj(root);
+        doc.set("sim_core", core);
+        doc
+    }
+
+    #[test]
+    fn sim_core_gate_flags_per_case_regressions() {
+        let baseline = sim_core(&[("elastic", 1e6, 800_000.0)], None);
+        let ok = sim_core(&[("elastic", 1e6, 700_000.0)], None);
+        let bad = sim_core(&[("elastic", 1e6, 500_000.0)], None);
+        let mut failures = Vec::new();
+        gate_sim_core_with(&baseline, &ok, 0.25, &mut failures, false);
+        assert!(
+            failures.is_empty(),
+            "12% drop within tolerance: {failures:?}"
+        );
+        gate_sim_core_with(&baseline, &bad, 0.25, &mut failures, false);
+        assert_eq!(failures.len(), 1, "37% drop must fail");
+        assert!(failures[0].contains("sim_core elastic"));
+    }
+
+    #[test]
+    fn sim_core_gate_strict_arms_absolute_floor() {
+        let baseline = sim_core(&[("elastic", 1e6, 800_000.0)], None);
+        let fresh = sim_core(&[("elastic", 1e6, 800_000.0)], Some(800_000.0));
+        let mut failures = Vec::new();
+        // Non-strict: below the 5M ev/s floor is reported, not failed.
+        gate_sim_core_with(&baseline, &fresh, 0.25, &mut failures, false);
+        assert!(
+            failures.is_empty(),
+            "floor must not arm without strict: {failures:?}"
+        );
+        // Strict: the absolute floor gates.
+        gate_sim_core_with(&baseline, &fresh, 0.25, &mut failures, true);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("SIM_CORE_STRICT floor"));
+        // Strict with a clearing aggregate passes.
+        let fast = sim_core(&[("elastic", 1e6, 6e6)], Some(6e6));
+        let mut none = Vec::new();
+        gate_sim_core_with(&baseline, &fast, 0.25, &mut none, true);
+        assert!(none.is_empty(), "{none:?}");
+    }
+
+    #[test]
+    fn sim_core_gate_requires_fresh_section_when_baselined() {
+        let baseline = sim_core(&[("elastic", 1e6, 800_000.0)], None);
+        let fresh = scale(&[("elastic", 1e6, 800_000.0)]);
+        let mut failures = Vec::new();
+        gate_sim_core_with(&baseline, &fresh, 0.25, &mut failures, false);
+        assert_eq!(failures.len(), 1, "missing fresh section must fail");
+        // No baseline section: nothing to gate, skip silently.
+        let mut none = Vec::new();
+        gate_sim_core_with(&fresh, &baseline, 0.25, &mut none, false);
+        assert!(none.is_empty(), "{none:?}");
     }
 
     #[test]

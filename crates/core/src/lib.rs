@@ -55,10 +55,12 @@
 //!   submission-order tie-breaker that keeps operator and simulator
 //!   ordering identical even for equal `(priority, submitted_at)`.
 //! * The **[`ClusterView`]** is *persistent and incrementally
-//!   maintained*: a dense `Vec<JobState>` indexed by id, a carried
-//!   `free_slots` counter, and `BTreeSet` indexes over
-//!   `(Reverse(priority), submitted_at, JobId)` serving
-//!   `running_desc_priority` / `all_desc_priority` /
+//!   maintained*: a hot/cold packed job arena indexed by id (one
+//!   32-byte hot row per job holds everything policy scans read — one
+//!   cache line per visited job — with submission time and walltime
+//!   estimate in cold columns), a carried `free_slots` counter, and
+//!   `BTreeSet` indexes over `(Reverse(priority), submitted_at,
+//!   JobId)` serving `running_desc_priority` / `all_desc_priority` /
 //!   `queued_submission_order` in O(k) and `job(id)` in O(1). Engines
 //!   mutate it through `insert` / `remove` / [`apply_action`]
 //!   (O(log n) each) — one view per run, zero rebuilds, zero `String`s.
@@ -68,9 +70,12 @@
 //!   alive for the operator-side assertion.
 //! * Submissions are **batched**: the operator drains its watch queue
 //!   once and decides every pending admission against the shared
-//!   maintained view; the DES coalesces same-timestamp submit events
-//!   into one batch event. A burst of n submissions costs n O(log n)
-//!   decisions, not n view rebuilds.
+//!   maintained view; the DES drains all events at one instant into a
+//!   burst and drives the policy through the [`SubmitBurst`] /
+//!   [`CompleteBurst`] traits — one dispatch per instant per kind,
+//!   with the default impls replaying the per-event decision sequence
+//!   exactly. A burst of n submissions costs n O(log n) decisions,
+//!   not n view rebuilds or n dispatches.
 //!
 //! ## Plugging in a fifth policy: how `EasyBackfill` was built
 //!
@@ -233,9 +238,9 @@ pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;
 pub use operator::CharmOperator;
 pub use policy::{
-    AgingSweep, EasyBackfill, FcfsBackfill, Policy, PolicyConfig, PolicyKind, RecoveryPolicy,
-    RecoveryStrategy, Reservation, SchedulingPolicy,
+    AgingSweep, CompleteBurst, EasyBackfill, FcfsBackfill, Policy, PolicyConfig, PolicyKind,
+    RecoveryPolicy, RecoveryStrategy, Reservation, SchedulingPolicy, SubmitBurst,
 };
 pub use registry::JobRegistry;
 pub use report::{FaultStats, JobOutcome, RunMetrics, BSLD_TAU_S};
-pub use view::{apply_action, Action, ClusterView, JobState};
+pub use view::{apply_action, Action, ClusterView, JobFields, JobRef, JobState};

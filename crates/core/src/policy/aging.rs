@@ -89,7 +89,7 @@ impl AgingSweep {
         let launcher = self.inner.launcher_slots();
         let mut boosted = ClusterView::new(capacity);
         for j in view.jobs() {
-            let mut j = j.clone();
+            let mut j = j;
             if !j.running {
                 let waited = now - j.submitted_at;
                 j.priority = self.effective_priority(j.priority, waited);

@@ -118,7 +118,7 @@ impl EasyBackfill {
                 free -= (free - launcher).min(mx) + launcher;
                 continue;
             }
-            return Some(self.plan_reservation(view, j, free));
+            return Some(self.plan_reservation(view, &j, free));
         }
         None
     }
@@ -164,7 +164,7 @@ impl EasyBackfill {
         let mut free = i64::from(view.free_slots());
         let mut actions = Vec::new();
         let mut reservation: Option<Reservation> = None;
-        let mut candidates: Vec<&JobState> = Vec::new();
+        let mut candidates: Vec<JobState> = Vec::new();
         for j in view.queued_submission_order() {
             let mn = i64::from(j.min_replicas);
             let mx = i64::from(j.max_replicas).min(cap_workers);
@@ -191,7 +191,7 @@ impl EasyBackfill {
                 // irrelevant — they only consumed slots that were
                 // free now, which `free` already reflects, and the
                 // frontier walk needs only additional releases).
-                reservation = Some(self.plan_reservation(view, j, free));
+                reservation = Some(self.plan_reservation(view, &j, free));
             }
         }
         let Some(mut res) = reservation else {

@@ -27,7 +27,7 @@
 
 use hpc_metrics::{JobId, SimTime};
 
-use crate::view::{Action, ClusterView, JobState};
+use crate::view::{Action, ClusterView, JobFields, JobState};
 
 use super::Policy;
 
@@ -37,13 +37,13 @@ use super::Policy;
 /// can never coexist with its launcher on a 64-slot cluster (on the
 /// paper's EKS testbed the launcher pod is not CPU-bound, so their
 /// emulation still fit; see DESIGN.md §4).
-fn effective_bounds(policy: &Policy, capacity: u32, job: &JobState) -> (u32, u32) {
+fn effective_bounds<J: JobFields>(policy: &Policy, capacity: u32, job: &J) -> (u32, u32) {
     let cap_workers = capacity.saturating_sub(policy.cfg.launcher_slots).max(1);
     match policy.kind {
         // The rigid-max *emulation* pinned the minimum; clamping it is
         // an emulation detail, not a spec violation.
         super::PolicyKind::RigidMax => {
-            let m = job.max_replicas.min(cap_workers);
+            let m = job.max_replicas().min(cap_workers);
             (m, m)
         }
         // A user-specified minimum is never silently lowered — a job
@@ -66,7 +66,7 @@ pub(super) fn plan_submit(
         .job(job_id)
         .unwrap_or_else(|| panic!("on_submit for unknown job {job_id}"));
     assert!(!job.running, "on_submit for already-running {job_id}");
-    let (jmin, jmax) = effective_bounds(policy, view.capacity(), job);
+    let (jmin, jmax) = effective_bounds(policy, view.capacity(), &job);
     let launcher = i64::from(policy.cfg.launcher_slots);
     let free = i64::from(view.free_slots());
 
@@ -97,20 +97,20 @@ pub(super) fn plan_submit(
     // slots to start at the *minimum* configuration?
     let mut num_to_free = i64::from(jmin) + launcher - free;
     debug_assert!(num_to_free > 0);
-    for j in view.running_desc_priority().rev().take(shrinkable) {
+    for j in view.running_scan().rev().take(shrinkable) {
         if num_to_free <= 0 {
             break;
         }
-        if policy.gap_blocked(j, now) {
+        if policy.gap_blocked(&j, now) {
             continue;
         }
-        if j.priority > job.priority {
+        if j.priority() > job.priority {
             break;
         }
-        let (mn, _) = effective_bounds(policy, view.capacity(), j);
-        if j.replicas > mn {
-            let new_replicas = i64::from(mn).max(i64::from(j.replicas) - num_to_free);
-            num_to_free -= i64::from(j.replicas) - new_replicas;
+        let (mn, _) = effective_bounds(policy, view.capacity(), &j);
+        if j.replicas() > mn {
+            let new_replicas = i64::from(mn).max(i64::from(j.replicas()) - num_to_free);
+            num_to_free -= i64::from(j.replicas()) - new_replicas;
         }
     }
     if num_to_free > 0 {
@@ -122,23 +122,23 @@ pub(super) fn plan_submit(
     let mut min_to_free = i64::from(jmin) + launcher - free;
     let mut max_to_free = i64::from(jmax) + launcher - free;
     let mut freed_total: i64 = 0;
-    for j in view.running_desc_priority().rev().take(shrinkable) {
+    for j in view.running_scan().rev().take(shrinkable) {
         if max_to_free <= 0 {
             break;
         }
-        if policy.gap_blocked(j, now) {
+        if policy.gap_blocked(&j, now) {
             continue;
         }
-        if j.priority > job.priority {
+        if j.priority() > job.priority {
             break;
         }
-        let (mn, _) = effective_bounds(policy, view.capacity(), j);
-        if j.replicas > mn {
-            let new_replicas = i64::from(mn).max(i64::from(j.replicas) - max_to_free) as u32;
-            let freed = i64::from(j.replicas) - i64::from(new_replicas);
+        let (mn, _) = effective_bounds(policy, view.capacity(), &j);
+        if j.replicas() > mn {
+            let new_replicas = i64::from(mn).max(i64::from(j.replicas()) - max_to_free) as u32;
+            let freed = i64::from(j.replicas()) - i64::from(new_replicas);
             debug_assert!(freed > 0);
             actions.push(Action::Shrink {
-                job: j.id,
+                job: j.id(),
                 to_replicas: new_replicas,
             });
             min_to_free -= freed;
@@ -163,11 +163,11 @@ pub(super) fn plan_submit(
 
 /// One Fig. 3 distribution step for `j`; updates the remaining-worker
 /// budget and the action list.
-fn distribute_to(
+fn distribute_to<J: JobFields>(
     policy: &Policy,
     capacity: u32,
     launcher: i64,
-    j: &JobState,
+    j: &J,
     now: SimTime,
     num_workers: &mut i64,
     actions: &mut Vec<Action>,
@@ -176,12 +176,12 @@ fn distribute_to(
         return;
     }
     let (mn, mx) = effective_bounds(policy, capacity, j);
-    if j.running {
-        if j.replicas < mx {
-            let add = (*num_workers).min(i64::from(mx) - i64::from(j.replicas));
+    if j.running() {
+        if j.replicas() < mx {
+            let add = (*num_workers).min(i64::from(mx) - i64::from(j.replicas()));
             actions.push(Action::Expand {
-                job: j.id,
-                to_replicas: j.replicas + add as u32,
+                job: j.id(),
+                to_replicas: j.replicas() + add as u32,
             });
             *num_workers -= add;
         }
@@ -193,7 +193,7 @@ fn distribute_to(
         let add = (*num_workers - launcher).min(i64::from(mx));
         if add >= i64::from(mn) {
             actions.push(Action::Create {
-                job: j.id,
+                job: j.id(),
                 replicas: add as u32,
             });
             *num_workers -= add + launcher;
@@ -218,7 +218,7 @@ pub(super) fn plan_complete(policy: &Policy, view: &ClusterView, now: SimTime) -
     if policy.aging_rate > 0.0 {
         // Aging slow path: effective priorities depend on `now`, so no
         // static index can serve this order.
-        let mut ordered: Vec<&JobState> = view.jobs().collect();
+        let mut ordered: Vec<JobState> = view.jobs().collect();
         ordered.sort_by(|a, b| {
             policy
                 .effective_priority(b, now)
@@ -234,14 +234,14 @@ pub(super) fn plan_complete(policy: &Policy, view: &ClusterView, now: SimTime) -
                 policy,
                 view.capacity(),
                 launcher,
-                j,
+                &j,
                 now,
                 &mut num_workers,
                 &mut actions,
             );
         }
     } else {
-        for j in view.all_desc_priority() {
+        for j in view.all_scan() {
             if num_workers <= 0 {
                 break;
             }
@@ -249,7 +249,7 @@ pub(super) fn plan_complete(policy: &Policy, view: &ClusterView, now: SimTime) -
                 policy,
                 view.capacity(),
                 launcher,
-                j,
+                &j,
                 now,
                 &mut num_workers,
                 &mut actions,
@@ -666,7 +666,7 @@ mod tests {
     fn rigid_max_all_or_nothing() {
         let pol = Policy::rigid_max(cfg(180.0));
         let new = job(0, 3, 0.0, 4, 16);
-        let fits = view(17, vec![new.clone()]);
+        let fits = view(17, vec![new]);
         assert_eq!(
             pol.on_submit(&fits, JobId(0), t(0.0)),
             vec![Action::Create {
@@ -712,7 +712,7 @@ mod tests {
     fn moldable_sizes_at_admission_but_never_rescales() {
         let pol = Policy::moldable(cfg(180.0));
         let new = job(0, 3, 0.0, 4, 16);
-        let v = view(10, vec![new.clone()]);
+        let v = view(10, vec![new]);
         assert_eq!(
             pol.on_submit(&v, JobId(0), t(0.0)),
             vec![Action::Create {
@@ -789,7 +789,7 @@ mod tests {
                     // actionable.
                     if let Action::Shrink { job, .. } | Action::Expand { job, .. } = a {
                         let before = v.job(*job).unwrap();
-                        prop_assert!(!pol.gap_blocked(before, now));
+                        prop_assert!(!pol.gap_blocked(&before, now));
                     }
                 }
                 // At most one action per job.

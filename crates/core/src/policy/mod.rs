@@ -43,7 +43,50 @@ pub use recovery::{RecoveryPolicy, RecoveryStrategy};
 use hpc_metrics::{Duration, JobId, SimTime};
 use hpc_workload::FaultEvent;
 
-use crate::view::{Action, ClusterView, JobState};
+use crate::view::{Action, ClusterView, JobFields, JobState};
+
+/// Driver handed to [`SchedulingPolicy::on_submit_burst`]: the engine
+/// side of a same-instant submission burst. The policy pulls jobs out
+/// one at a time with [`admit_next`](SubmitBurst::admit_next) — each
+/// call interns the next job of the burst into the view as a queued
+/// entry — and answers each with [`apply`](SubmitBurst::apply).
+///
+/// Contract: after every `Some` from `admit_next`, call `apply` exactly
+/// once (with an empty slice when the decision is "nothing"), *then*
+/// pull the next job. The engine applies the actions and performs its
+/// per-event bookkeeping inside `apply`, so skipping it desynchronises
+/// the run.
+pub trait SubmitBurst {
+    /// The cluster view (already contains every job admitted so far).
+    fn view(&self) -> &ClusterView;
+    /// The burst instant — one timestamp for the whole batch.
+    fn now(&self) -> SimTime;
+    /// Admits the next job of the burst into the view; `None` when the
+    /// burst is exhausted.
+    fn admit_next(&mut self) -> Option<JobId>;
+    /// Applies the decision for the most recently admitted job.
+    fn apply(&mut self, actions: &[Action]);
+}
+
+/// Driver handed to [`SchedulingPolicy::on_complete_burst`]: the engine
+/// side of a same-instant completion burst (slots freed by jobs
+/// finishing or being cancelled at one timestamp). Same pull/answer
+/// contract as [`SubmitBurst`], with
+/// [`retire_next`](CompleteBurst::retire_next) retiring the next
+/// completed job out of the view (stale completion events are consumed
+/// and skipped internally).
+pub trait CompleteBurst {
+    /// The cluster view (the retired job is already gone).
+    fn view(&self) -> &ClusterView;
+    /// The burst instant.
+    fn now(&self) -> SimTime;
+    /// Retires the next completed job of the burst; `false` when the
+    /// burst is exhausted.
+    fn retire_next(&mut self) -> bool;
+    /// Applies the redistribution decision for the most recent
+    /// retirement. Call exactly once per `true` from `retire_next`.
+    fn apply(&mut self, actions: &[Action]);
+}
 
 /// A pluggable scheduling policy.
 ///
@@ -123,6 +166,31 @@ pub trait SchedulingPolicy: Send {
             deficit = deficit.saturating_sub(j.replicas + launcher);
         }
         actions
+    }
+
+    /// Decides a whole same-instant submission burst in one policy
+    /// invocation. The default pulls each job and answers it with
+    /// [`on_submit`](SchedulingPolicy::on_submit) — i.e. exactly the
+    /// per-event semantics, one dynamic dispatch per *instant* instead
+    /// of per event. Policies that can plan a burst jointly (one
+    /// capacity scan for k arrivals) may override; the engine's replay
+    /// bit-identity suite pins the observable behaviour either way.
+    fn on_submit_burst(&self, burst: &mut dyn SubmitBurst) {
+        while let Some(id) = burst.admit_next() {
+            let actions = self.on_submit(burst.view(), id, burst.now());
+            burst.apply(&actions);
+        }
+    }
+
+    /// Decides a whole same-instant completion burst in one policy
+    /// invocation; the default answers each retirement with
+    /// [`on_complete`](SchedulingPolicy::on_complete), preserving
+    /// per-event semantics exactly.
+    fn on_complete_burst(&self, burst: &mut dyn CompleteBurst) {
+        while burst.retire_next() {
+            let actions = self.on_complete(burst.view(), burst.now());
+            burst.apply(&actions);
+        }
     }
 }
 
@@ -253,12 +321,14 @@ impl Policy {
     }
 
     /// The `(min, max)` replica bounds this policy treats `job` as
-    /// having — rigid variants pin both ends (paper §4.3.2).
-    pub fn bounds(&self, job: &JobState) -> (u32, u32) {
+    /// having — rigid variants pin both ends (paper §4.3.2). Generic
+    /// over [`JobFields`] so the lazy scan cursors avoid assembling a
+    /// full snapshot per job.
+    pub fn bounds<J: JobFields>(&self, job: &J) -> (u32, u32) {
         match self.kind {
-            PolicyKind::RigidMin => (job.min_replicas, job.min_replicas),
-            PolicyKind::RigidMax => (job.max_replicas, job.max_replicas),
-            _ => (job.min_replicas, job.max_replicas),
+            PolicyKind::RigidMin => (job.min_replicas(), job.min_replicas()),
+            PolicyKind::RigidMax => (job.max_replicas(), job.max_replicas()),
+            _ => (job.min_replicas(), job.max_replicas()),
         }
     }
 
@@ -274,8 +344,8 @@ impl Policy {
     /// `true` if the `T_rescale_gap` criterion forbids acting on `job`
     /// at `now`. Queued jobs carry `last_action = −∞` and are never
     /// blocked (DESIGN.md §4.3).
-    pub fn gap_blocked(&self, job: &JobState, now: SimTime) -> bool {
-        now - job.last_action < self.gap()
+    pub fn gap_blocked<J: JobFields>(&self, job: &J, now: SimTime) -> bool {
+        now - job.last_action() < self.gap()
     }
 
     /// Scheduling decision when `job` is submitted (Fig. 2).

@@ -111,12 +111,12 @@ impl RecoveryPolicy {
             return Vec::new();
         }
         // Lowest priority first (reverse of the descending index).
-        let running: Vec<&JobState> = view.running_desc_priority().rev().collect();
+        let running: Vec<JobState> = view.running_desc_priority().rev().collect();
         let mut shrinkable: u32 = running.iter().map(|j| j.replicas - j.min_replicas).sum();
         let mut actions = Vec::new();
         let mut idx = 0;
         while deficit > shrinkable && idx < running.len() {
-            let j = running[idx];
+            let j = &running[idx];
             actions.push(Action::Evict { job: j.id });
             deficit = deficit.saturating_sub(j.replicas + launcher);
             shrinkable -= j.replicas - j.min_replicas;

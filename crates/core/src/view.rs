@@ -9,12 +9,22 @@
 //! The view is *incrementally maintained*: engines create it once per
 //! run and mutate it through [`ClusterView::insert`],
 //! [`ClusterView::remove`] and [`apply_action`], never rebuilding it.
-//! Jobs live in a dense `Vec` indexed by their interned
-//! [`JobId`], the `free_slots` counter is carried across events, and
-//! three ordered indexes (all jobs and running jobs by descending
-//! priority, queued jobs by submission) are kept in `BTreeSet`s keyed
-//! by `(Reverse(priority), submitted_at, JobId)` — so a policy reads
-//! its priority order in O(k) and resolves a job in O(1), with zero
+//! Job attributes live in a hot/cold arena (`JobArena`) indexed by
+//! the interned [`JobId`]: one packed 32-byte hot row per job
+//! (`HotJob`: replica bounds, priority, live replicas, last action,
+//! liveness flags) holds everything the hot policy scans (priority
+//! walks, gap checks, footprint sums) and per-action updates touch —
+//! one cache line per visited job even when the `BTreeSet` priority
+//! order is random in index space — while the cold columns
+//! (`submitted_at`, `walltime_estimate`) stay off the scan path.
+//! [`JobState`] is a plain `Copy` value *assembled from* the arena on
+//! read; policies keep receiving whole-job snapshots while the storage
+//! stays packed. The `free_slots` counter is carried
+//! across events, and the ordered indexes (all jobs and running jobs by
+//! descending priority, queued jobs by submission, running jobs by
+//! estimated end) are kept in `BTreeSet`s keyed by
+//! `(Reverse(priority), submitted_at, JobId)` — so a policy reads its
+//! priority order in O(k) and resolves a job in O(1), with zero
 //! `String`s anywhere on the path. Every mutation is O(log n).
 
 use std::cmp::Reverse;
@@ -29,8 +39,9 @@ use hpc_metrics::{Duration, JobId, SimTime};
 /// admission order in both).
 type OrderKey = (Reverse<u32>, SimTime, JobId);
 
-/// A job as the policy sees it.
-#[derive(Debug, Clone, PartialEq)]
+/// A job as the policy sees it: a by-value snapshot assembled from the
+/// view's columnar arena (everything is `Copy`, ~70 bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JobState {
     /// Interned job identity (resolve to a name via the engine's
     /// `JobRegistry` — only ever needed at the reporting edges).
@@ -80,6 +91,214 @@ impl JobState {
     }
 }
 
+/// Field-level job access shared by [`JobState`] (a by-value snapshot)
+/// and [`JobRef`] (a lazy arena cursor). Hot policy loops are generic
+/// over this trait, so a scan driven by [`ClusterView::running_scan`] /
+/// [`ClusterView::all_scan`] reads only the columns it actually
+/// touches, while slow paths keep passing assembled snapshots.
+pub trait JobFields {
+    /// Interned job identity.
+    fn id(&self) -> JobId;
+    /// User priority (larger = more important).
+    fn priority(&self) -> u32;
+    /// Spec minimum workers.
+    fn min_replicas(&self) -> u32;
+    /// Spec maximum workers.
+    fn max_replicas(&self) -> u32;
+    /// Current workers (0 when queued).
+    fn replicas(&self) -> u32;
+    /// Last scheduling action; `NEG_INFINITY` if none yet.
+    fn last_action(&self) -> SimTime;
+    /// `true` once the job holds resources.
+    fn running(&self) -> bool;
+}
+
+impl JobFields for JobState {
+    fn id(&self) -> JobId {
+        self.id
+    }
+    fn priority(&self) -> u32 {
+        self.priority
+    }
+    fn min_replicas(&self) -> u32 {
+        self.min_replicas
+    }
+    fn max_replicas(&self) -> u32 {
+        self.max_replicas
+    }
+    fn replicas(&self) -> u32 {
+        self.replicas
+    }
+    fn last_action(&self) -> SimTime {
+        self.last_action
+    }
+    fn running(&self) -> bool {
+        self.running
+    }
+}
+
+/// A borrowed cursor into one arena slot: every accessor is a single
+/// column load, so scans that look at two or three fields per job (gap
+/// checks, priority breaks) skip the full [`JobState`] assembly.
+#[derive(Clone, Copy)]
+pub struct JobRef<'a> {
+    arena: &'a JobArena,
+    idx: usize,
+}
+
+impl JobFields for JobRef<'_> {
+    #[inline]
+    fn id(&self) -> JobId {
+        JobId(self.idx as u32)
+    }
+    #[inline]
+    fn priority(&self) -> u32 {
+        self.arena.hot[self.idx].priority
+    }
+    #[inline]
+    fn min_replicas(&self) -> u32 {
+        self.arena.hot[self.idx].min_replicas
+    }
+    #[inline]
+    fn max_replicas(&self) -> u32 {
+        self.arena.hot[self.idx].max_replicas
+    }
+    #[inline]
+    fn replicas(&self) -> u32 {
+        self.arena.hot[self.idx].replicas
+    }
+    #[inline]
+    fn last_action(&self) -> SimTime {
+        self.arena.hot[self.idx].last_action
+    }
+    #[inline]
+    fn running(&self) -> bool {
+        self.arena.is_running(self.idx)
+    }
+}
+
+/// Arena flag: the slot holds a live job (not a tombstone).
+const LIVE: u32 = 1;
+/// Arena flag: the job currently holds resources.
+const RUNNING: u32 = 1 << 1;
+
+/// The fields every hot policy loop touches (priority walks, gap
+/// checks, bound clamps, footprint sums), packed into one 32-byte slot
+/// so a scan visiting a job in index-random priority order costs a
+/// single cache line. The ordered indexes dictate *which* slots a scan
+/// visits — index order is not id order — so grouping the hot fields
+/// matters more than splitting them into per-field columns would.
+#[derive(Debug, Clone, Copy)]
+struct HotJob {
+    min_replicas: u32,
+    max_replicas: u32,
+    priority: u32,
+    replicas: u32,
+    last_action: SimTime,
+    /// `LIVE` / `RUNNING` bits; `0` is a tombstone or never-used slot.
+    flags: u32,
+}
+
+/// An unoccupied arena slot (tombstone / never used).
+const EMPTY_SLOT: HotJob = HotJob {
+    min_replicas: 0,
+    max_replicas: 0,
+    priority: 0,
+    replicas: 0,
+    last_action: SimTime::NEG_INFINITY,
+    flags: 0,
+};
+
+/// Struct-of-arrays job storage indexed by the interned `JobId`: one
+/// packed [`HotJob`] column for the fields scans read, plus cold
+/// columns (`submitted_at`, `walltime_estimate`) that only index
+/// maintenance and full-snapshot assembly touch. Tombstones
+/// (completed/cancelled jobs) keep their slot with the `LIVE` flag
+/// cleared, exactly like the old `Vec<Option<JobState>>` kept a `None`.
+#[derive(Debug, Clone, Default)]
+struct JobArena {
+    hot: Vec<HotJob>,
+    submitted_at: Vec<SimTime>,
+    walltime_estimate: Vec<Option<Duration>>,
+}
+
+impl JobArena {
+    fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Grows every column so `idx` is addressable.
+    fn ensure(&mut self, idx: usize) {
+        if idx >= self.hot.len() {
+            let n = idx + 1;
+            self.hot.resize(n, EMPTY_SLOT);
+            self.submitted_at.resize(n, SimTime::ZERO);
+            self.walltime_estimate.resize(n, None);
+        }
+    }
+
+    fn is_live(&self, idx: usize) -> bool {
+        self.hot.get(idx).is_some_and(|h| h.flags & LIVE != 0)
+    }
+
+    fn is_running(&self, idx: usize) -> bool {
+        self.hot[idx].flags & RUNNING != 0
+    }
+
+    /// Assembles the job snapshot at `idx`; the caller has checked
+    /// liveness.
+    fn get(&self, idx: usize) -> JobState {
+        debug_assert!(self.is_live(idx));
+        let h = &self.hot[idx];
+        JobState {
+            id: JobId(idx as u32),
+            min_replicas: h.min_replicas,
+            max_replicas: h.max_replicas,
+            priority: h.priority,
+            submitted_at: self.submitted_at[idx],
+            replicas: h.replicas,
+            last_action: h.last_action,
+            running: h.flags & RUNNING != 0,
+            walltime_estimate: self.walltime_estimate[idx],
+        }
+    }
+
+    /// Scatters a job snapshot into the columns.
+    fn set(&mut self, job: &JobState) {
+        let idx = job.id.index();
+        self.hot[idx] = HotJob {
+            min_replicas: job.min_replicas,
+            max_replicas: job.max_replicas,
+            priority: job.priority,
+            replicas: job.replicas,
+            last_action: job.last_action,
+            flags: LIVE | if job.running { RUNNING } else { 0 },
+        };
+        self.submitted_at[idx] = job.submitted_at;
+        self.walltime_estimate[idx] = job.walltime_estimate;
+    }
+
+    fn order_key(&self, idx: usize) -> OrderKey {
+        (
+            Reverse(self.hot[idx].priority),
+            self.submitted_at[idx],
+            JobId(idx as u32),
+        )
+    }
+
+    /// Column-level [`JobState::estimated_end`].
+    fn estimated_end(&self, idx: usize) -> SimTime {
+        match (self.is_running(idx), self.walltime_estimate[idx]) {
+            (true, Some(est)) => self.hot[idx].last_action + est,
+            _ => SimTime::INFINITY,
+        }
+    }
+
+    fn end_key(&self, idx: usize) -> (SimTime, JobId) {
+        (self.estimated_end(idx), JobId(idx as u32))
+    }
+}
+
 /// Schedulable cluster state, incrementally maintained (see the module
 /// docs for the data-structure layout and complexity contract).
 #[derive(Debug, Clone)]
@@ -94,9 +313,9 @@ pub struct ClusterView {
     /// shrinks and completions pay it down before crediting `free`.
     /// Invariant: `free_slots > 0` implies `deficit == 0`.
     deficit: u32,
-    /// Dense job storage indexed by `JobId`; `None` marks jobs that
-    /// completed or were cancelled.
-    slots: Vec<Option<JobState>>,
+    /// Columnar job storage indexed by `JobId`; cleared flags mark jobs
+    /// that completed or were cancelled.
+    arena: JobArena,
     all_order: BTreeSet<OrderKey>,
     running_order: BTreeSet<OrderKey>,
     queued_order: BTreeSet<(SimTime, JobId)>,
@@ -114,7 +333,7 @@ impl ClusterView {
             free_slots: capacity,
             failed_slots: 0,
             deficit: 0,
-            slots: Vec::new(),
+            arena: JobArena::default(),
             all_order: BTreeSet::new(),
             running_order: BTreeSet::new(),
             queued_order: BTreeSet::new(),
@@ -212,9 +431,11 @@ impl ClusterView {
         self.running_order.len()
     }
 
-    /// The job behind `id`, if live. O(1).
-    pub fn job(&self, id: JobId) -> Option<&JobState> {
-        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    /// The job behind `id`, if live. O(1) — assembled by value from the
+    /// arena columns.
+    pub fn job(&self, id: JobId) -> Option<JobState> {
+        let idx = id.index();
+        self.arena.is_live(idx).then(|| self.arena.get(idx))
     }
 
     /// Adds a job to the view. A running job debits
@@ -225,10 +446,8 @@ impl ClusterView {
     /// free slots.
     pub fn insert(&mut self, job: JobState, launcher_slots: u32) {
         let idx = job.id.index();
-        if idx >= self.slots.len() {
-            self.slots.resize(idx + 1, None);
-        }
-        assert!(self.slots[idx].is_none(), "job {} already live", job.id);
+        self.arena.ensure(idx);
+        assert!(!self.arena.is_live(idx), "job {} already live", job.id);
         if job.running {
             let need = job.replicas + launcher_slots;
             assert!(
@@ -245,14 +464,19 @@ impl ClusterView {
         }
         self.all_order.insert(job.order_key());
         self.live += 1;
-        self.slots[idx] = Some(job);
+        self.arena.set(&job);
     }
 
     /// Removes a job (completion or cancellation), crediting
     /// `replicas + launcher_slots` back if it was running. Returns the
     /// removed state, or `None` if the id is not live.
     pub fn remove(&mut self, id: JobId, launcher_slots: u32) -> Option<JobState> {
-        let job = self.slots.get_mut(id.index())?.take()?;
+        let idx = id.index();
+        if !self.arena.is_live(idx) {
+            return None;
+        }
+        let job = self.arena.get(idx);
+        self.arena.hot[idx].flags = 0;
         self.all_order.remove(&job.order_key());
         if job.running {
             self.running_order.remove(&job.order_key());
@@ -266,33 +490,54 @@ impl ClusterView {
     }
 
     /// Live jobs in dense id (= admission) order.
-    pub fn jobs(&self) -> impl Iterator<Item = &JobState> {
-        self.slots.iter().filter_map(|s| s.as_ref())
+    pub fn jobs(&self) -> impl Iterator<Item = JobState> + '_ {
+        (0..self.arena.len())
+            .filter(|&i| self.arena.is_live(i))
+            .map(|i| self.arena.get(i))
     }
 
     /// Running jobs in *decreasing* priority order (the paper's
     /// `runningJobs` list). O(k) — read straight off the maintained
     /// index, no sort.
-    pub fn running_desc_priority(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+    pub fn running_desc_priority(&self) -> impl DoubleEndedIterator<Item = JobState> + '_ {
         self.running_order
             .iter()
-            .map(|&(_, _, id)| self.job(id).expect("running index entry is live"))
+            .map(|&(_, _, id)| self.arena.get(id.index()))
     }
 
     /// All jobs (running and queued) in decreasing priority order (the
     /// paper's `allJobs` list). O(k), no sort.
-    pub fn all_desc_priority(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+    pub fn all_desc_priority(&self) -> impl DoubleEndedIterator<Item = JobState> + '_ {
         self.all_order
             .iter()
-            .map(|&(_, _, id)| self.job(id).expect("priority index entry is live"))
+            .map(|&(_, _, id)| self.arena.get(id.index()))
     }
 
     /// Queued jobs in submission order (earliest first, id-tie-broken) —
     /// the FCFS queue. O(k), no sort.
-    pub fn queued_submission_order(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+    pub fn queued_submission_order(&self) -> impl DoubleEndedIterator<Item = JobState> + '_ {
         self.queued_order
             .iter()
-            .map(|&(_, id)| self.job(id).expect("queue index entry is live"))
+            .map(|&(_, id)| self.arena.get(id.index()))
+    }
+
+    /// Lazy-cursor variant of [`ClusterView::running_desc_priority`]:
+    /// same index, same order, but each item is a [`JobRef`] reading
+    /// columns on demand — the fast lane for the elastic shrink scans.
+    pub fn running_scan(&self) -> impl DoubleEndedIterator<Item = JobRef<'_>> {
+        self.running_order.iter().map(|&(_, _, id)| JobRef {
+            arena: &self.arena,
+            idx: id.index(),
+        })
+    }
+
+    /// Lazy-cursor variant of [`ClusterView::all_desc_priority`] — the
+    /// fast lane for the elastic redistribution walk.
+    pub fn all_scan(&self) -> impl DoubleEndedIterator<Item = JobRef<'_>> {
+        self.all_order.iter().map(|&(_, _, id)| JobRef {
+            arena: &self.arena,
+            idx: id.index(),
+        })
     }
 
     /// Running jobs by increasing [`JobState::estimated_end`] — the
@@ -300,10 +545,10 @@ impl ClusterView {
     /// to find the queue head's shadow start time. Jobs without a
     /// walltime estimate sort last (their end is `INFINITY`). O(k), no
     /// sort: read straight off a maintained index.
-    pub fn running_by_estimated_end(&self) -> impl DoubleEndedIterator<Item = &JobState> {
+    pub fn running_by_estimated_end(&self) -> impl DoubleEndedIterator<Item = JobState> + '_ {
         self.running_end_order
             .iter()
-            .map(|&(_, id)| self.job(id).expect("end index entry is live"))
+            .map(|&(_, id)| self.arena.get(id.index()))
     }
 }
 
@@ -398,7 +643,8 @@ impl Action {
 
 /// Applies `action` to a view in place — this is how engines carry the
 /// persistent view across events (and how tests replay decision
-/// sequences). O(log n): index maintenance only, no rebuild.
+/// sequences). O(log n): index maintenance only, no rebuild — the field
+/// updates write straight into the arena columns.
 /// `launcher_slots` is the per-running-job launcher overhead.
 ///
 /// Panics if the action violates capacity or job invariants — a policy
@@ -412,69 +658,79 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
                 "create {job} needs {need} slots, only {} free",
                 view.free_slots
             );
-            let j = view.slots[job.index()]
-                .as_mut()
-                .unwrap_or_else(|| panic!("create for unknown job {job}"));
-            assert!(!j.running, "create for already-running {job}");
+            let idx = job.index();
+            assert!(view.arena.is_live(idx), "create for unknown job {job}");
             assert!(
-                replicas >= j.min_replicas && replicas <= j.max_replicas,
-                "create {job} at {replicas} outside [{}, {}]",
-                j.min_replicas,
-                j.max_replicas
+                !view.arena.is_running(idx),
+                "create for already-running {job}"
             );
-            j.running = true;
-            j.replicas = replicas;
-            j.last_action = now;
-            let key = j.order_key();
-            let end_key = j.end_key();
-            let submitted_at = j.submitted_at;
+            assert!(
+                replicas >= view.arena.hot[idx].min_replicas
+                    && replicas <= view.arena.hot[idx].max_replicas,
+                "create {job} at {replicas} outside [{}, {}]",
+                view.arena.hot[idx].min_replicas,
+                view.arena.hot[idx].max_replicas
+            );
+            view.arena.hot[idx].flags |= RUNNING;
+            view.arena.hot[idx].replicas = replicas;
+            view.arena.hot[idx].last_action = now;
+            let key = view.arena.order_key(idx);
+            let end_key = view.arena.end_key(idx);
+            let submitted_at = view.arena.submitted_at[idx];
             view.free_slots -= need;
             view.queued_order.remove(&(submitted_at, job));
             view.running_order.insert(key);
             view.running_end_order.insert(end_key);
         }
         Action::Expand { job, to_replicas } => {
-            let free = view.free_slots;
-            let j = view.slots[job.index()]
-                .as_mut()
-                .unwrap_or_else(|| panic!("expand for unknown job {job}"));
-            assert!(j.running, "expand of non-running {job}");
+            let idx = job.index();
+            assert!(view.arena.is_live(idx), "expand for unknown job {job}");
+            assert!(view.arena.is_running(idx), "expand of non-running {job}");
+            let from = view.arena.hot[idx].replicas;
             assert!(
-                to_replicas > j.replicas && to_replicas <= j.max_replicas,
-                "expand {job} {} -> {to_replicas} invalid (max {})",
-                j.replicas,
-                j.max_replicas
+                to_replicas > from && to_replicas <= view.arena.hot[idx].max_replicas,
+                "expand {job} {from} -> {to_replicas} invalid (max {})",
+                view.arena.hot[idx].max_replicas
             );
-            let grow = to_replicas - j.replicas;
-            assert!(free >= grow, "expand {job} needs {grow}, only {free} free");
-            let old_end = j.end_key();
-            j.replicas = to_replicas;
-            j.last_action = now;
-            let new_end = j.end_key();
+            let grow = to_replicas - from;
+            assert!(
+                view.free_slots >= grow,
+                "expand {job} needs {grow}, only {} free",
+                view.free_slots
+            );
+            let old_end = view.arena.end_key(idx);
+            view.arena.hot[idx].replicas = to_replicas;
+            view.arena.hot[idx].last_action = now;
+            let new_end = view.arena.end_key(idx);
             view.free_slots -= grow;
             // A rescale restarts the estimate clock (last_action moved).
-            view.running_end_order.remove(&old_end);
-            view.running_end_order.insert(new_end);
+            // Estimate-less jobs key at `(INFINITY, id)` forever, so the
+            // churn is skipped when the key cannot have moved.
+            if new_end != old_end {
+                view.running_end_order.remove(&old_end);
+                view.running_end_order.insert(new_end);
+            }
         }
         Action::Shrink { job, to_replicas } => {
-            let j = view.slots[job.index()]
-                .as_mut()
-                .unwrap_or_else(|| panic!("shrink for unknown job {job}"));
-            assert!(j.running, "shrink of non-running {job}");
+            let idx = job.index();
+            assert!(view.arena.is_live(idx), "shrink for unknown job {job}");
+            assert!(view.arena.is_running(idx), "shrink of non-running {job}");
+            let from = view.arena.hot[idx].replicas;
             assert!(
-                to_replicas < j.replicas && to_replicas >= j.min_replicas,
-                "shrink {job} {} -> {to_replicas} invalid (min {})",
-                j.replicas,
-                j.min_replicas
+                to_replicas < from && to_replicas >= view.arena.hot[idx].min_replicas,
+                "shrink {job} {from} -> {to_replicas} invalid (min {})",
+                view.arena.hot[idx].min_replicas
             );
-            let freed = j.replicas - to_replicas;
-            let old_end = j.end_key();
-            j.replicas = to_replicas;
-            j.last_action = now;
-            let new_end = j.end_key();
+            let freed = from - to_replicas;
+            let old_end = view.arena.end_key(idx);
+            view.arena.hot[idx].replicas = to_replicas;
+            view.arena.hot[idx].last_action = now;
+            let new_end = view.arena.end_key(idx);
             view.credit_slots(freed);
-            view.running_end_order.remove(&old_end);
-            view.running_end_order.insert(new_end);
+            if new_end != old_end {
+                view.running_end_order.remove(&old_end);
+                view.running_end_order.insert(new_end);
+            }
         }
         Action::Enqueue { .. } => {}
         Action::Cancel { job } => {
@@ -482,28 +738,25 @@ pub fn apply_action(view: &mut ClusterView, action: &Action, now: SimTime, launc
                 .unwrap_or_else(|| panic!("cancel for unknown job {job}"));
         }
         Action::Evict { job } => {
-            let j = view.slots[job.index()]
-                .as_mut()
-                .unwrap_or_else(|| panic!("evict for unknown job {job}"));
-            assert!(j.running, "evict of non-running {job}");
-            let old_key = j.order_key();
-            let old_end = j.end_key();
-            let freed = j.replicas + launcher_slots;
-            j.running = false;
-            j.replicas = 0;
-            j.last_action = now;
-            let submitted_at = j.submitted_at;
+            let idx = job.index();
+            assert!(view.arena.is_live(idx), "evict for unknown job {job}");
+            assert!(view.arena.is_running(idx), "evict of non-running {job}");
+            let old_key = view.arena.order_key(idx);
+            let old_end = view.arena.end_key(idx);
+            let freed = view.arena.hot[idx].replicas + launcher_slots;
+            view.arena.hot[idx].flags &= !RUNNING;
+            view.arena.hot[idx].replicas = 0;
+            view.arena.hot[idx].last_action = now;
+            let submitted_at = view.arena.submitted_at[idx];
             view.credit_slots(freed);
             view.running_order.remove(&old_key);
             view.running_end_order.remove(&old_end);
             view.queued_order.insert((submitted_at, job));
         }
         Action::Requeue { job } => {
-            let running = view
-                .job(job)
-                .unwrap_or_else(|| panic!("requeue for unknown job {job}"))
-                .running;
-            assert!(running, "requeue of non-running {job}");
+            let idx = job.index();
+            assert!(view.arena.is_live(idx), "requeue for unknown job {job}");
+            assert!(view.arena.is_running(idx), "requeue of non-running {job}");
             view.remove(job, launcher_slots);
         }
     }

@@ -56,7 +56,7 @@ impl Shadow {
     fn rebuild(&self) -> ClusterView {
         let mut v = ClusterView::new(CAPACITY);
         for j in &self.jobs {
-            v.insert(j.clone(), LAUNCHER);
+            v.insert(*j, LAUNCHER);
         }
         v.set_free_slots(self.free() + self.failed - self.deficit);
         v.fail_slots(self.failed);
@@ -118,7 +118,7 @@ proptest! {
                         },
                     };
                     next_id += 1;
-                    view.insert(job.clone(), LAUNCHER);
+                    view.insert(job, LAUNCHER);
                     shadow.jobs.push(job);
                 }
                 // Create a queued job at a fitting size.

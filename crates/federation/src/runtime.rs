@@ -456,6 +456,7 @@ impl FederationRuntime {
                         cancelled: 0,
                         names: Vec::new(),
                         peak_queue_len: 0,
+                        peak_queue_len_raw: 0,
                     });
                 }
             }
@@ -636,6 +637,39 @@ mod tests {
 
         // Fairness is a latency property; outcomes stay identical.
         assert_eq!(fair.merged, hog.merged);
+    }
+
+    #[test]
+    fn one_shard_quantum_replay_is_bit_identical_to_single_cluster() {
+        // The one-shard federation must be indistinguishable from a
+        // monolithic single-cluster drain even when the work-queue
+        // scheduler slices the replay into tiny `step(max_events)`
+        // quanta — and the arrival span here is wide enough that those
+        // quantum boundaries repeatedly land across the calendar
+        // queue's bucket-epoch rebuilds (the far list re-bucketizes
+        // several times as the run advances).
+        let wl = WorkloadSpec::new(burst(120, 15.0));
+        let mono = sched_sim::simulate(&sim_cfg(8), &wl);
+        for quantum in [3usize, 17, 1000] {
+            let mut rt = FederationRuntime::new(
+                FederationConfig::new(1)
+                    .with_workers(1)
+                    .with_quantum(quantum),
+                |_| sim_cfg(8),
+            );
+            rt.handle().submit(&wl, &mut RoundRobin::new());
+            rt.start();
+            let out = rt.join();
+            assert_eq!(out.shards.len(), 1);
+            assert_eq!(
+                out.shards[0].metrics, mono.metrics,
+                "quantum {quantum} diverged from the monolithic replay"
+            );
+            assert_eq!(out.merged, mono.metrics);
+            assert_eq!(out.shards[0].rescales, mono.rescales);
+            assert_eq!(out.shards[0].peak_queue_len, mono.peak_queue_len);
+            assert_eq!(out.shards[0].peak_queue_len_raw, mono.peak_queue_len_raw);
+        }
     }
 
     #[test]

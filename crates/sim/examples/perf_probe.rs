@@ -1,0 +1,54 @@
+//! One-off throughput probe for the DES core: replay-only timing
+//! (workload generation excluded), per-policy filtering, best-of-N.
+//!
+//! Usage: `perf_probe [N_JOBS]... [elastic|fcfs]`
+use elastic_core::{FcfsBackfill, Policy, PolicyConfig, SchedulingPolicy};
+use hpc_metrics::Duration;
+use sched_sim::{heavy_traffic_replay, heavy_traffic_workload};
+use std::time::Instant;
+
+fn elastic() -> Box<dyn SchedulingPolicy> {
+    Box::new(Policy::elastic(PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    }))
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut only: Option<String> = None;
+    for a in std::env::args().skip(1) {
+        match a.parse() {
+            Ok(n) => sizes.push(n),
+            Err(_) => only = Some(a),
+        }
+    }
+    if sizes.is_empty() {
+        sizes = vec![100_000, 1_000_000];
+    }
+    for &n in &sizes {
+        let t = Instant::now();
+        let wl = heavy_traffic_workload(0, n);
+        eprintln!("workload gen n={n}: {:.3}s", t.elapsed().as_secs_f64());
+        for name in ["elastic", "fcfs_backfill"] {
+            if only.as_deref().is_some_and(|o| !name.starts_with(o)) {
+                continue;
+            }
+            let pol: Box<dyn SchedulingPolicy> = match name {
+                "elastic" => elastic(),
+                _ => Box::new(FcfsBackfill::new()),
+            };
+            let t = Instant::now();
+            let out = heavy_traffic_replay(pol, &wl);
+            let wall = t.elapsed().as_secs_f64();
+            let events = 2 * n as u64 + u64::from(out.rescales);
+            println!(
+                "{name:<14} n={n:<8} wall={wall:>8.3}s  {:>10.0} ev/s  rescales={} peak_q={}",
+                events as f64 / wall,
+                out.rescales,
+                out.peak_queue_len
+            );
+        }
+    }
+}

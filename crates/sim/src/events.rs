@@ -1,24 +1,50 @@
 //! The discrete-event queue.
 //!
-//! A deterministic time-ordered heap: ties in time break by insertion
-//! sequence, so simulation runs are exactly reproducible. Completion
-//! events carry a per-job generation number; rescaling a job bumps its
-//! generation, turning any previously scheduled completion into a
-//! harmless stale event (the standard DES invalidation idiom).
+//! A deterministic **calendar (ladder) queue**: events are spread over
+//! an array of time buckets so that push and pop are O(1) amortized
+//! instead of the O(log n) of a binary heap — at trace scale the heap
+//! holds millions of entries and every sift walks ~20 cache-missing
+//! levels, which made it the hottest structure in the engine. Ties in
+//! time break by insertion sequence, so simulation runs are exactly
+//! reproducible: the pop order is identical to the old heap's
+//! `(timestamp, seq)` order, entry for entry.
+//!
+//! Structure:
+//!
+//! * **Current bucket** (`cur`) — the bucket being drained, sorted by
+//!   `(at, seq)` and consumed through a cursor. Pushes that land inside
+//!   its time window (the common "completion scheduled soon" case, and
+//!   the only-correctness case of a push at or before `now`) are
+//!   binary-inserted behind the cursor.
+//! * **Epoch piles** (`piles`) — the rest of the near horizon, split
+//!   into equal-width windows. A push appends to its pile unsorted in
+//!   O(1); a pile is sorted once, when it becomes the current bucket.
+//! * **Far list** (`far`) — everything beyond the horizon (or with a
+//!   non-finite timestamp), kept unsorted with O(1) appends. When the
+//!   epoch's piles are exhausted the far list is re-bucketized into a
+//!   fresh epoch spanning its own min..max; a degenerate span (all one
+//!   instant, or non-finite) falls back to sorting the whole list as a
+//!   single terminal bucket, which is always correct.
+//!
+//! Bucket assignment is a monotone function of the timestamp and every
+//! same-instant entry carries a strictly increasing `seq`, so no
+//! routing choice can invert the `(at, seq)` total order.
+//!
+//! Completion events carry a per-job generation number; rescaling a job
+//! bumps its generation, turning any previously scheduled completion
+//! into a harmless stale event (the standard DES invalidation idiom).
 //!
 //! Two scale features keep the queue O(live jobs) on trace-scale runs:
 //!
 //! * **Submit coalescing** — a burst of submissions at one timestamp is
 //!   a single [`Event::Submit`] carrying a contiguous id range, not n
-//!   heap entries.
+//!   queue entries.
 //! * **Stale compaction** — the engine reports each invalidated
 //!   completion via [`EventQueue::mark_stale`]; once more than half the
-//!   heap is stale the engine sweeps it with
-//!   [`EventQueue::compact`], so rescale-heavy runs cannot accumulate
-//!   dead entries without bound.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!   queue is stale the engine sweeps it with [`EventQueue::compact`],
+//!   which filters each bucket in place (order within a bucket is
+//!   already `(at, seq)` or about to be sorted into it), so
+//!   rescale-heavy runs cannot accumulate dead entries without bound.
 
 use hpc_metrics::{JobId, SimTime};
 
@@ -86,7 +112,7 @@ pub enum Event {
     },
 }
 
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Entry {
     at: SimTime,
     seq: u64,
@@ -107,19 +133,78 @@ impl Ord for Entry {
     }
 }
 
-/// How full of stale entries the heap may get (numerator/denominator)
+/// How full of stale entries the queue may get (numerator/denominator)
 /// before [`EventQueue::should_compact`] asks for a sweep.
 const COMPACT_STALE_FRACTION: (usize, usize) = (1, 2);
-/// No compaction below this heap size — sweeping a tiny heap is more
+/// No compaction below this queue size — sweeping a tiny queue is more
 /// work than letting the stale entries pop out naturally.
 const COMPACT_MIN_LEN: usize = 64;
+/// An epoch with fewer far-list entries than this is not worth
+/// bucketizing: sorting it once as a single terminal bucket is cheaper.
+const MIN_BUCKETIZE: usize = 32;
+/// Epoch pile-count bounds; the count scales with the far-list size so
+/// piles stay around [`PILE_TARGET`] entries.
+const MIN_PILES: usize = 16;
+const MAX_PILES: usize = 1 << 16;
+/// Aimed-for entries per pile at re-bucketize time.
+const PILE_TARGET: usize = 16;
 
-/// Deterministic event queue with stale-entry accounting.
-#[derive(Debug, Default)]
+/// Deterministic calendar event queue with stale-entry accounting.
+///
+/// Drop-in replacement for the former `BinaryHeap<Reverse<Entry>>`:
+/// identical pop order (time, then insertion sequence), identical
+/// compaction accounting, plus O(1) [`EventQueue::next_at`] peeking
+/// that the engine's same-instant batch drain builds on.
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Entry>>,
+    /// The bucket currently being drained: sorted by `(at, seq)`,
+    /// `cur[cur_head..]` still pending.
+    cur: Vec<Entry>,
+    cur_head: usize,
+    /// Exclusive upper edge of `cur`'s time window.
+    cur_end: f64,
+    /// The current bucket is the epoch's last: it additionally owns
+    /// every timestamp up to and including `epoch_max`.
+    cur_last: bool,
+    /// Future piles of the current epoch (unsorted append piles).
+    piles: Vec<Vec<Entry>>,
+    /// Next pile to promote; piles before it are empty (drained).
+    pile_idx: usize,
+    /// Low edge of pile 0's window.
+    epoch_lo: f64,
+    /// Pile window width (seconds).
+    width: f64,
+    /// Largest timestamp the epoch covers (inclusive).
+    epoch_max: SimTime,
+    /// Everything beyond the epoch horizon, unsorted.
+    far: Vec<Entry>,
+    /// Whether an epoch is materialized (false until the first pop
+    /// after seeding, and again whenever the queue fully drains).
+    active: bool,
+    len: usize,
     next_seq: u64,
     stale: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            cur: Vec::new(),
+            cur_head: 0,
+            cur_end: f64::NEG_INFINITY,
+            cur_last: false,
+            piles: Vec::new(),
+            pile_idx: 0,
+            epoch_lo: 0.0,
+            width: 0.0,
+            epoch_max: SimTime::NEG_INFINITY,
+            far: Vec::new(),
+            active: false,
+            len: 0,
+            next_seq: 0,
+            stale: 0,
+        }
+    }
 }
 
 impl EventQueue {
@@ -132,22 +217,176 @@ impl EventQueue {
     pub fn push(&mut self, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, event }));
+        let e = Entry { at, seq, event };
+        self.len += 1;
+        if !self.active {
+            // Seeding phase (or fully drained): accumulate unsorted;
+            // the first pop bucketizes everything at once.
+            self.far.push(e);
+            return;
+        }
+        if at.as_secs() < self.cur_end || (self.cur_last && at <= self.epoch_max) {
+            // Lands in the bucket being drained: binary-insert behind
+            // the cursor. A push at or before the last popped instant
+            // (never from the engine, but legal here) degenerates to
+            // position `cur_head`, i.e. it pops next — exactly the
+            // heap's behavior.
+            let pos = self.cur_head + self.cur[self.cur_head..].partition_point(|p| p.at <= at);
+            self.cur.insert(pos, e);
+        } else if self.pile_idx < self.piles.len() && at <= self.epoch_max {
+            let idx =
+                pile_of(self.epoch_lo, self.width, at).clamp(self.pile_idx, self.piles.len() - 1);
+            self.piles[idx].push(e);
+        } else {
+            self.far.push(e);
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+        self.ensure_front();
+        let e = *self.cur.get(self.cur_head)?;
+        self.cur_head += 1;
+        self.len -= 1;
+        if self.len == 0 {
+            self.reset_empty();
+        }
+        Some((e.at, e.event))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    /// O(1) except when it has to promote the next bucket — the same
+    /// work an immediate [`EventQueue::pop`] would do anyway.
+    pub fn next_at(&mut self) -> Option<SimTime> {
+        self.ensure_front();
+        self.cur.get(self.cur_head).map(|e| e.at)
+    }
+
+    /// Kind of the earliest pending event (with its timestamp), without
+    /// removing it. Drives the engine's same-instant batch drain.
+    pub fn peek(&mut self) -> Option<(SimTime, Event)> {
+        self.ensure_front();
+        self.cur.get(self.cur_head).map(|e| (e.at, e.event))
+    }
+
+    /// Makes `cur[cur_head]` the global minimum entry, promoting piles
+    /// and re-bucketizing the far list as needed.
+    fn ensure_front(&mut self) {
+        while self.cur_head >= self.cur.len() {
+            if self.active {
+                // Promote the next non-empty pile of this epoch.
+                while self.pile_idx < self.piles.len() {
+                    let idx = self.pile_idx;
+                    self.pile_idx += 1;
+                    if !self.piles[idx].is_empty() {
+                        self.cur = std::mem::take(&mut self.piles[idx]);
+                        self.cur.sort_unstable();
+                        self.cur_head = 0;
+                        self.cur_end = self.epoch_lo + self.pile_idx as f64 * self.width;
+                        self.cur_last = self.pile_idx == self.piles.len();
+                        break;
+                    }
+                }
+                if self.cur_head < self.cur.len() {
+                    continue; // re-check the loop condition (promoted)
+                }
+                if self.pile_idx < self.piles.len() {
+                    continue; // promoted an empty tail? (unreachable)
+                }
+            }
+            if self.far.is_empty() {
+                return; // genuinely empty
+            }
+            self.rebuild_epoch();
+        }
+    }
+
+    /// Spreads the far list over a fresh epoch of piles and promotes
+    /// the first bucket. Degenerate spans (single instant, non-finite
+    /// bounds) sort the whole list as one terminal bucket instead —
+    /// always correct, just unbucketed.
+    fn rebuild_epoch(&mut self) {
+        debug_assert!(!self.far.is_empty());
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for e in &self.far {
+            let t = e.at.as_secs();
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        let span = hi - lo;
+        let n = self.far.len();
+        self.active = true;
+        if n < MIN_BUCKETIZE || !span.is_finite() || span <= 0.0 {
+            // Terminal single bucket covering everything seen so far.
+            self.cur = std::mem::take(&mut self.far);
+            self.cur.sort_unstable();
+            self.cur_head = 0;
+            self.cur_end = hi;
+            self.cur_last = true;
+            self.epoch_max = self.cur.last().expect("non-empty").at;
+            self.piles.clear();
+            self.pile_idx = 0;
+            return;
+        }
+        let nb = (n / PILE_TARGET).clamp(MIN_PILES, MAX_PILES);
+        let width = span / nb as f64;
+        if !width.is_normal() {
+            // Subnormal width: indistinguishable instants — fall back.
+            self.cur = std::mem::take(&mut self.far);
+            self.cur.sort_unstable();
+            self.cur_head = 0;
+            self.cur_end = hi;
+            self.cur_last = true;
+            self.epoch_max = self.cur.last().expect("non-empty").at;
+            self.piles.clear();
+            self.pile_idx = 0;
+            return;
+        }
+        self.piles.clear();
+        self.piles.resize_with(nb, Vec::new);
+        self.epoch_lo = lo;
+        self.width = width;
+        self.epoch_max = SimTime::from_secs(hi);
+        for e in self.far.drain(..) {
+            let idx = pile_of(lo, width, e.at).min(nb - 1);
+            self.piles[idx].push(e);
+        }
+        self.pile_idx = 0;
+        self.cur.clear();
+        self.cur_head = 0;
+        self.cur_end = lo;
+        self.cur_last = false;
+        // The outer ensure_front loop promotes the first pile.
+    }
+
+    /// Drops drained storage once the queue is fully empty so the next
+    /// seeding phase starts clean.
+    fn reset_empty(&mut self) {
+        self.cur.clear();
+        self.cur_head = 0;
+        self.cur_end = f64::NEG_INFINITY;
+        self.cur_last = false;
+        self.piles.clear();
+        self.pile_idx = 0;
+        self.epoch_max = SimTime::NEG_INFINITY;
+        self.active = false;
     }
 
     /// Number of pending events (including stale completions).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
+    }
+
+    /// Pending events not known to be stale — the live backlog the
+    /// engine's `peak_queue_len` high-water mark tracks.
+    pub fn live_len(&self) -> usize {
+        self.len - self.stale.min(self.len)
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Records that one pending completion was invalidated (its job
@@ -157,38 +396,64 @@ impl EventQueue {
         self.stale += 1;
     }
 
-    /// Records that a stale entry left the heap by being popped (the
+    /// Records that a stale entry left the queue by being popped (the
     /// engine noticed its generation mismatch).
     pub fn note_stale_popped(&mut self) {
         self.stale = self.stale.saturating_sub(1);
     }
 
-    /// Known-stale entries still in the heap.
+    /// Known-stale entries still in the queue.
     pub fn stale_len(&self) -> usize {
         self.stale
     }
 
-    /// `true` once more than half the (non-trivial) heap is stale.
+    /// `true` once more than half the (non-trivial) queue is stale.
     pub fn should_compact(&self) -> bool {
         let (num, den) = COMPACT_STALE_FRACTION;
-        self.heap.len() >= COMPACT_MIN_LEN && self.stale * den > self.heap.len() * num
+        self.len >= COMPACT_MIN_LEN && self.stale * den > self.len * num
     }
 
-    /// Sweeps the heap, keeping only entries for which `is_live`
-    /// returns true. Entries keep their insertion sequence, so the
-    /// deterministic pop order is unchanged. Resets the stale counter.
+    /// Sweeps the queue, keeping only entries for which `is_live`
+    /// returns true. Each bucket filters in place — the current bucket
+    /// keeps its sorted order, piles and far list their insertion
+    /// order — so the deterministic pop order is unchanged. Resets the
+    /// stale counter.
     pub fn compact(&mut self, mut is_live: impl FnMut(&Event) -> bool) {
-        let entries = std::mem::take(&mut self.heap).into_vec();
-        self.heap = entries
-            .into_iter()
-            .filter(|Reverse(e)| is_live(&e.event))
-            .collect();
+        if self.cur_head > 0 {
+            self.cur.drain(..self.cur_head);
+            self.cur_head = 0;
+        }
+        self.cur.retain(|e| is_live(&e.event));
+        let first_pending = self.pile_idx.min(self.piles.len());
+        for pile in &mut self.piles[first_pending..] {
+            pile.retain(|e| is_live(&e.event));
+        }
+        self.far.retain(|e| is_live(&e.event));
+        self.len = self.cur.len() + self.piles.iter().map(Vec::len).sum::<usize>() + self.far.len();
         self.stale = 0;
+        if self.len == 0 {
+            self.reset_empty();
+        }
+    }
+}
+
+/// Pile index of `at` in an epoch anchored at `lo` with the given
+/// width. Monotone in `at` (IEEE subtraction, division and floor are
+/// monotone for a fixed `lo`/`width`), which is what makes the bucket
+/// routing order-safe.
+fn pile_of(lo: f64, width: f64, at: SimTime) -> usize {
+    let rel = (at.as_secs() - lo) / width;
+    if rel <= 0.0 {
+        0
+    } else {
+        rel as usize // saturates at usize::MAX for huge/overflowed rel
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use proptest::{any, prop_assert, prop_assert_eq, proptest};
+
     use super::*;
 
     fn t(s: f64) -> SimTime {
@@ -315,6 +580,23 @@ mod tests {
     }
 
     #[test]
+    fn compact_mid_drain_keeps_cursor_position_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(t(f64::from(i)), submit(i));
+        }
+        // Drain a prefix so the current bucket cursor is mid-flight.
+        for i in 0..10u32 {
+            assert_eq!(first_of(q.pop().unwrap().1), i);
+        }
+        q.compact(|e| first_of(*e).is_multiple_of(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| first_of(e))
+            .collect();
+        assert_eq!(order, (10..100).filter(|i| i % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn popped_stale_entries_decrement_the_counter() {
         let mut q = EventQueue::new();
         q.push(
@@ -331,5 +613,189 @@ mod tests {
         assert_eq!(q.stale_len(), 0);
         q.note_stale_popped(); // saturates, never underflows
         assert_eq!(q.stale_len(), 0);
+    }
+
+    #[test]
+    fn live_len_excludes_stale_entries() {
+        let mut q = EventQueue::new();
+        for g in 0..4 {
+            q.push(
+                t(1.0),
+                Event::Completion {
+                    job: JobId(0),
+                    generation: g,
+                },
+            );
+        }
+        assert_eq!(q.live_len(), 4);
+        q.mark_stale();
+        q.mark_stale();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.live_len(), 2);
+    }
+
+    #[test]
+    fn interleaved_push_pop_across_epochs() {
+        // Seeds a wide horizon, then keeps pushing near-future events
+        // while draining — exercising cur-window inserts, pile routing
+        // and at least one far-list re-bucketize.
+        let mut q = EventQueue::new();
+        for i in 0..1000u32 {
+            q.push(t(f64::from(i) * 10.0), submit(i));
+        }
+        let mut popped = Vec::new();
+        let mut extra = 1000u32;
+        while let Some((at, e)) = q.pop() {
+            popped.push((at, first_of(e)));
+            // Push a trailer event shortly after `now` for a while.
+            if extra < 1500 {
+                q.push(SimTime::from_secs(at.as_secs() + 3.0), submit(extra));
+                extra += 1;
+            }
+        }
+        assert_eq!(popped.len(), 1500);
+        let mut sorted = popped.clone();
+        sorted.sort_by_key(|a| a.0);
+        // Same multiset order by time (ties impossible here by construction).
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn event_exactly_at_bucket_horizon_rollover() {
+        // Satellite: an event scheduled exactly at the epoch horizon
+        // (== max of the seeded span) and one just past it must pop in
+        // timestamp order across the epoch boundary.
+        let mut q = EventQueue::new();
+        for i in 0..64u32 {
+            q.push(t(f64::from(i)), submit(i));
+        }
+        // Trigger epoch build (horizon becomes [0, 63]).
+        assert_eq!(first_of(q.pop().unwrap().1), 0);
+        // Exactly at the inclusive horizon edge → last pile; just past
+        // it → far list; re-bucketized later but still in order.
+        q.push(t(63.0), submit(1000));
+        q.push(t(63.0 + f64::EPSILON * 64.0), submit(1001));
+        q.push(t(70.0), submit(1002));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| first_of(e))
+            .collect();
+        let mut expect: Vec<u32> = (1..64).collect();
+        expect.extend([1000, 1001, 1002]);
+        assert_eq!(order, expect);
+    }
+
+    /// Reference model for the calendar queue: the pre-calendar
+    /// `BinaryHeap` semantics — pop strictly by `(timestamp, push
+    /// sequence)` — implemented as an O(n^2) sorted-drain Vec so the
+    /// model itself is too simple to be wrong.
+    struct RefQueue {
+        entries: Vec<(SimTime, u64, Event)>,
+        seq: u64,
+    }
+
+    impl RefQueue {
+        fn new() -> Self {
+            RefQueue {
+                entries: Vec::new(),
+                seq: 0,
+            }
+        }
+
+        fn push(&mut self, at: SimTime, event: Event) {
+            self.entries.push((at, self.seq, event));
+            self.seq += 1;
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, Event)> {
+            let best = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| (a.0, a.1).cmp(&(b.0, b.1)))
+                .map(|(i, _)| i)?;
+            let (at, _, e) = self.entries.remove(best);
+            Some((at, e))
+        }
+
+        fn compact(&mut self, mut is_live: impl FnMut(&Event) -> bool) {
+            self.entries.retain(|(_, _, e)| is_live(e));
+        }
+    }
+
+    proptest! {
+        /// The calendar queue pops in exactly the reference heap order —
+        /// including same-timestamp ties resolved by push sequence —
+        /// under arbitrary interleavings of pushes (with deliberately
+        /// repeated timestamps), pops, stale marks and compaction
+        /// sweeps crossing bucket epochs.
+        #[test]
+        fn calendar_queue_matches_reference_heap(seed in any::<u64>()) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut q = EventQueue::new();
+            let mut r = RefQueue::new();
+            let mut dead: std::collections::HashSet<u32> = std::collections::HashSet::new();
+            let mut times: Vec<f64> = Vec::new();
+            let mut next_id = 0u32;
+            for _ in 0..rng.gen_range(1..60) {
+                match rng.gen_range(0u32..10) {
+                    // Push a burst (often reusing an earlier timestamp so
+                    // same-instant ties are common, sometimes far in the
+                    // future so the far list and epoch rebuilds engage).
+                    0..=5 => {
+                        for _ in 0..rng.gen_range(1usize..8) {
+                            let at = if !times.is_empty() && rng.gen_bool(0.3) {
+                                times[rng.gen_range(0..times.len())]
+                            } else if rng.gen_bool(0.15) {
+                                rng.gen_range(0.0..1e6)
+                            } else {
+                                rng.gen_range(0.0..500.0)
+                            };
+                            times.push(at);
+                            let e = submit(next_id);
+                            next_id += 1;
+                            q.push(t(at), e);
+                            r.push(t(at), e);
+                        }
+                    }
+                    // Pop a few; each pop must agree exactly. Popped
+                    // dead entries feed the stale-pop bookkeeping.
+                    6..=8 => {
+                        for _ in 0..rng.gen_range(1usize..6) {
+                            let got = q.pop();
+                            prop_assert_eq!(got, r.pop());
+                            if let Some((_, e)) = got {
+                                if dead.contains(&first_of(e)) {
+                                    q.note_stale_popped();
+                                }
+                            }
+                        }
+                    }
+                    // Kill a random live id and compact both sides.
+                    _ => {
+                        if next_id > 0 {
+                            let victim = rng.gen_range(0..next_id);
+                            if dead.insert(victim) {
+                                q.mark_stale();
+                            }
+                        }
+                        let d = dead.clone();
+                        q.compact(|e| !d.contains(&first_of(*e)));
+                        let d = dead.clone();
+                        r.compact(|e| !d.contains(&first_of(*e)));
+                    }
+                }
+                prop_assert_eq!(q.len(), r.entries.len(), "length diverged");
+            }
+            // Drain: the tails must be identical too.
+            loop {
+                let (a, b) = (q.pop(), r.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(q.is_empty());
+        }
     }
 }

@@ -8,14 +8,51 @@
 //! live operator** (`elastic_core::Policy`), so the Simulation and
 //! Actual columns of Table 1 exercise the same decision code.
 //!
-//! * [`events`] — deterministic event queue with stale-completion
-//!   invalidation.
+//! ## The raw-speed DES core
+//!
+//! The replay loop is built for million-job traces; three layers keep
+//! the per-event cost flat as traces grow:
+//!
+//! * **Calendar event queue** ([`events`]) — events live in a sorted
+//!   current bucket (drained by cursor), an array of unsorted future
+//!   piles, and a far list beyond the current epoch; `push` and `pop`
+//!   are O(1) amortized, with the far list re-bucketized lazily on
+//!   epoch advance. Pop order is *exactly* the old binary heap's
+//!   `(timestamp, insertion seq)` order, so replays stay
+//!   bit-identical. Stale completions (superseded by a rescale) are
+//!   tombstoned in place and swept by per-bucket compaction once they
+//!   dominate the queue.
+//! * **Struct-of-arrays job storage** (`elastic_core::view`) — the
+//!   `ClusterView` behind every policy decision stores jobs as a
+//!   packed arena: one 32-byte hot row per job (replica bounds,
+//!   priority, live replicas, last action, flags) that policy scans
+//!   touch with a single cache line, and cold columns (submission
+//!   time, walltime estimate) off the scan path.
+//! * **Batched policy invocation** ([`engine`]) — all events at one
+//!   instant drain into a burst: the engine hands the policy a
+//!   `SubmitBurst`/`CompleteBurst` driver and the policy consumes the
+//!   whole same-timestamp batch through one dispatch, with actions
+//!   applied per admission so decision state is identical to the
+//!   one-event-at-a-time sequence.
+//!
+//! Throughput is tracked in the `sim_core` section of
+//! `BENCH_sim_scale.json` (written by the `sim_scale` bench) and
+//! gated by `bench_gate`: a >25% events/sec regression per case fails
+//! CI, and `SIM_CORE_STRICT=1` additionally arms an absolute
+//! aggregate floor.
+//!
+//! ## Modules
+//!
+//! * [`events`] — calendar event queue with stale-completion
+//!   invalidation and epoch re-bucketizing.
 //! * [`model`] — strong-scaling curves and overhead stages over the
-//!   workload layer's size classes and job shapes.
+//!   workload layer's size classes and job shapes, with a memoized
+//!   per-class rate cache on the replay hot path.
 //! * [`workload`] — re-exports of the unified `hpc-workload` layer
 //!   (the paper generator, SWF trace replay, Poisson arrivals).
 //! * [`engine`] — the simulation loop, replaying a `WorkloadSpec`'s
-//!   own per-job arrival and cancellation times.
+//!   own per-job arrival and cancellation times through the burst
+//!   drivers.
 //! * [`experiments`] — the Fig. 7 / Fig. 8 sweeps, Table 1 rows and
 //!   the parameterized heavy-traffic replay.
 

@@ -16,6 +16,11 @@ use hpc_metrics::{Duration, PiecewiseLinear};
 // stay here with the engine.
 pub use hpc_workload::{JobShape, SizeClass};
 
+/// Memoized replica counts per class: covers every class job (spec
+/// maxima top out at 64) with a few KiB; larger counts fall back to the
+/// curve.
+const RATE_CACHE_MAX: usize = 256;
+
 /// Strong-scaling model: seconds per iteration as a function of replica
 /// count, one curve per size class.
 #[derive(Debug, Clone)]
@@ -24,6 +29,13 @@ pub struct ScalingModel {
     medium: PiecewiseLinear,
     large: PiecewiseLinear,
     xlarge: PiecewiseLinear,
+    /// Per-class `time_per_iter` memo for replicas `1..=RATE_CACHE_MAX`
+    /// (index 0 unused). The curve evaluation sits on the engine's
+    /// per-event hot path — every completion and rescale re-derives a
+    /// rate — and the log–log interpolation costs two `ln` + one `exp`
+    /// per call; the table stores the exact same `f64`s, so replays are
+    /// bit-identical with or without it.
+    cache: [Vec<f64>; 4],
 }
 
 impl Default for ScalingModel {
@@ -46,7 +58,9 @@ impl ScalingModel {
                 (32.0, 39.0e-3),
                 (64.0, 23.4e-3),
             ]),
+            cache: Default::default(),
         }
+        .warmed()
     }
 
     /// Builds a model from measured anchors (replicas, secs/iter) per
@@ -62,7 +76,28 @@ impl ScalingModel {
             medium: PiecewiseLinear::log_log(medium),
             large: PiecewiseLinear::log_log(large),
             xlarge: PiecewiseLinear::log_log(xlarge),
+            cache: Default::default(),
         }
+        .warmed()
+    }
+
+    /// Fills the memo table from the curves (index 0 is a `NAN` pad so
+    /// replica counts index directly).
+    fn warmed(mut self) -> Self {
+        for (ci, class) in [
+            SizeClass::Small,
+            SizeClass::Medium,
+            SizeClass::Large,
+            SizeClass::XLarge,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            self.cache[ci] = std::iter::once(f64::NAN)
+                .chain((1..=RATE_CACHE_MAX).map(|r| self.curve(class).eval_clamped(r as f64, 1e-9)))
+                .collect();
+        }
+        self
     }
 
     fn curve(&self, class: SizeClass) -> &PiecewiseLinear {
@@ -74,9 +109,21 @@ impl ScalingModel {
         }
     }
 
+    fn class_index(class: SizeClass) -> usize {
+        match class {
+            SizeClass::Small => 0,
+            SizeClass::Medium => 1,
+            SizeClass::Large => 2,
+            SizeClass::XLarge => 3,
+        }
+    }
+
     /// Seconds per iteration of `class` on `replicas` PEs.
     pub fn time_per_iter(&self, class: SizeClass, replicas: u32) -> f64 {
         assert!(replicas >= 1);
+        if let Some(&memo) = self.cache[Self::class_index(class)].get(replicas as usize) {
+            return memo;
+        }
         self.curve(class).eval_clamped(f64::from(replicas), 1e-9)
     }
 
