@@ -25,6 +25,10 @@
 //!   per direction must neither collapse versus the baseline (less
 //!   than `tolerance × baseline`) nor fall below the absolute 5×
 //!   acceptance floor the bench has carried since PR 1.
+//! * `BENCH_serving.json` — any matching `(shards, n_jobs)` case whose
+//!   `sustained_submits_per_sec` dropped more than the tolerance
+//!   fails; `SERVING_STRICT=1` additionally arms the absolute 100k
+//!   submits/sec floor and 50ms p99 ceiling at the headline case.
 //!
 //! Usage: `bench_gate [baseline_dir] [fresh_dir]` — defaults to the
 //! workspace root (the committed files) and `target/bench_fresh` (what
@@ -373,6 +377,112 @@ fn gate_sim_core_with(
     }
 }
 
+/// Serving gate over `BENCH_serving.json` (the batched-ingest
+/// front-end's own baseline): per matching `(shards, n_jobs)` case the
+/// fresh `sustained_submits_per_sec` must stay within the tolerance of
+/// the committed number, and under `SERVING_STRICT=1` (the host that
+/// recorded the baseline — mirrors `FED_STRICT`/`SIM_CORE_STRICT`) the
+/// headline case must also clear the absolute 100k submits/sec floor
+/// and the p99 submit→admit ceiling.
+fn gate_serving(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
+    gate_serving_with(baseline, fresh, tolerance, failures, serving_strict());
+}
+
+fn serving_strict() -> bool {
+    std::env::var("SERVING_STRICT").is_ok_and(|v| v == "1")
+}
+
+/// Absolute sustained-throughput floor (submits/sec) armed by
+/// `SERVING_STRICT=1`.
+const SERVING_FLOOR_SPS: f64 = 100_000.0;
+/// Absolute p99 submit→admit ceiling (milliseconds) armed by
+/// `SERVING_STRICT=1`.
+const SERVING_P99_CEILING_MS: f64 = 50.0;
+
+fn gate_serving_with(
+    baseline: &Json,
+    fresh: &Json,
+    tolerance: f64,
+    failures: &mut Vec<String>,
+    strict: bool,
+) {
+    let mut matched = 0;
+    for b in baseline.arr("cases") {
+        let (Some(shards), Some(n)) = (b.num("shards"), b.num("n_jobs")) else {
+            continue;
+        };
+        let Some(f) = fresh
+            .arr("cases")
+            .iter()
+            .find(|f| f.num("shards") == Some(shards) && f.num("n_jobs") == Some(n))
+        else {
+            continue; // capped fresh run: only gate what was measured
+        };
+        matched += 1;
+        let (Some(base_sps), Some(fresh_sps)) = (
+            b.num("sustained_submits_per_sec"),
+            f.num("sustained_submits_per_sec"),
+        ) else {
+            continue;
+        };
+        let floor = base_sps * (1.0 - tolerance);
+        println!(
+            "serving    shards={:<2} n={:<7} baseline {base_sps:>9.0} sub/s  fresh {fresh_sps:>9.0} sub/s  (floor {floor:.0})",
+            shards as u64, n as u64
+        );
+        if fresh_sps < floor {
+            failures.push(format!(
+                "serving {} shards at {} jobs: {fresh_sps:.0} submits/s is a >{:.0}% regression from {base_sps:.0} submits/s",
+                shards as u64,
+                n as u64,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if matched == 0 {
+        failures.push("serving: no matching cases between baseline and fresh JSON".into());
+        return;
+    }
+    // Headline case = the best-performing shard config at the largest
+    // size the fresh run measured (matching `serving_load`'s own
+    // selection); the absolute floors only arm under SERVING_STRICT=1.
+    let top_n = fresh
+        .arr("cases")
+        .iter()
+        .filter_map(|c| c.num("n_jobs"))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let headline = fresh
+        .arr("cases")
+        .iter()
+        .filter(|c| c.num("n_jobs") == Some(top_n))
+        .max_by(|a, b| {
+            let sps = |c: &&Json| c.num("sustained_submits_per_sec").unwrap_or(0.0);
+            sps(a).total_cmp(&sps(b))
+        })
+        .cloned();
+    let Some(headline) = headline else { return };
+    let (sps, p99) = (
+        headline.num("sustained_submits_per_sec").unwrap_or(0.0),
+        headline
+            .num("p99_submit_to_admit_ms")
+            .unwrap_or(f64::INFINITY),
+    );
+    println!(
+        "serving    headline {sps:.0} sub/s / p99 {p99:.3}ms vs strict floors \
+         {SERVING_FLOOR_SPS:.0} sub/s / {SERVING_P99_CEILING_MS:.0}ms (strict={strict})"
+    );
+    if strict && sps < SERVING_FLOOR_SPS {
+        failures.push(format!(
+            "serving headline {sps:.0} submits/s is below the {SERVING_FLOOR_SPS:.0}/s SERVING_STRICT floor"
+        ));
+    }
+    if strict && p99 > SERVING_P99_CEILING_MS {
+        failures.push(format!(
+            "serving headline p99 submit→admit {p99:.3}ms exceeds the {SERVING_P99_CEILING_MS:.0}ms SERVING_STRICT ceiling"
+        ));
+    }
+}
+
 /// All four sim-scale gates run over the one shared file.
 fn gate_sim_scale_file(baseline: &Json, fresh: &Json, tolerance: f64, failures: &mut Vec<String>) {
     gate_sim_scale(baseline, fresh, tolerance, failures);
@@ -414,6 +524,7 @@ fn main() {
             gate_sim_scale_file as fn(&Json, &Json, f64, &mut Vec<String>),
         ),
         ("BENCH_rescale.json", gate_rescale),
+        ("BENCH_serving.json", gate_serving),
     ] {
         let baseline = load(&baseline_dir.join(file));
         let fresh = load(&fresh_dir.join(file));
@@ -741,6 +852,78 @@ mod tests {
         let mut failures = Vec::new();
         gate_rescale(&baseline, &too_slow, 0.25, &mut failures);
         assert_eq!(failures.len(), 1, "{failures:?}");
+    }
+
+    /// `(shards, n_jobs, sustained_submits_per_sec, p99_ms)` cases
+    /// wrapped as a `BENCH_serving.json` document.
+    fn serving(cases: &[(f64, f64, f64, f64)]) -> Json {
+        let arr = cases
+            .iter()
+            .map(|(shards, n, sps, p99)| {
+                let mut m = BTreeMap::new();
+                m.insert("shards".into(), Json::Num(*shards));
+                m.insert("n_jobs".into(), Json::Num(*n));
+                m.insert("sustained_submits_per_sec".into(), Json::Num(*sps));
+                m.insert("p99_submit_to_admit_ms".into(), Json::Num(*p99));
+                Json::Obj(m)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("cases".into(), Json::Arr(arr));
+        Json::Obj(root)
+    }
+
+    #[test]
+    fn serving_gate_flags_per_case_regressions() {
+        let baseline = serving(&[
+            (1.0, 20_000.0, 200_000.0, 3.0),
+            (4.0, 200_000.0, 400_000.0, 5.0),
+        ]);
+        // 1-shard down 10% (fine), headline down 50% (regression).
+        let fresh = serving(&[
+            (1.0, 20_000.0, 180_000.0, 3.0),
+            (4.0, 200_000.0, 200_000.0, 5.0),
+        ]);
+        let mut failures = Vec::new();
+        gate_serving_with(&baseline, &fresh, 0.25, &mut failures, false);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("4 shards"), "{failures:?}");
+    }
+
+    #[test]
+    fn serving_gate_matches_capped_fresh_runs_by_case() {
+        let baseline = serving(&[
+            (1.0, 20_000.0, 200_000.0, 3.0),
+            (4.0, 200_000.0, 400_000.0, 5.0),
+        ]);
+        // Capped CI smoke measured only the small 1-shard point.
+        let fresh = serving(&[(1.0, 20_000.0, 190_000.0, 3.0)]);
+        let mut failures = Vec::new();
+        gate_serving_with(&baseline, &fresh, 0.25, &mut failures, false);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn serving_gate_strict_arms_absolute_floors() {
+        let baseline = serving(&[(4.0, 200_000.0, 120_000.0, 3.0)]);
+        // Below the 100k floor and above the p99 ceiling — but only
+        // strict runs fail on the absolute marks.
+        let slow = serving(&[(4.0, 200_000.0, 95_000.0, 80.0)]);
+        let mut failures = Vec::new();
+        gate_serving_with(&baseline, &slow, 0.25, &mut failures, false);
+        assert!(failures.is_empty(), "floors must not arm: {failures:?}");
+        gate_serving_with(&baseline, &slow, 0.25, &mut failures, true);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("SERVING_STRICT floor"), "{failures:?}");
+        assert!(
+            failures[1].contains("SERVING_STRICT ceiling"),
+            "{failures:?}"
+        );
+        // Strict with clearing numbers passes.
+        let fast = serving(&[(4.0, 200_000.0, 150_000.0, 4.0)]);
+        let mut none = Vec::new();
+        gate_serving_with(&baseline, &fast, 0.25, &mut none, true);
+        assert!(none.is_empty(), "{none:?}");
     }
 
     #[test]

@@ -1,0 +1,309 @@
+//! Serving front-end under sustained overload: submits/sec through the
+//! batched ingest queue, p99 submit→admit latency, and the policy
+//! amortization the batching buys.
+//!
+//! A Poisson-generated job mix is slammed through an [`IngestQueue`]
+//! fronting a live `CharmOperator` on a real (wall) clock — the drive
+//! loop never paces, so the queue sees a permanent overload and the
+//! measured rate is the pipeline's own ceiling: route → buffer → size-K
+//! inline flush (plus a deadline pump every [`PUMP_EVERY`] submissions)
+//! → store creates → operator watch drain → **one**
+//! `on_submit_burst` policy dispatch per drain. [`InstrumentedPolicy`]
+//! counts those dispatches, and every run asserts the tentpole claim:
+//! a burst of tens of thousands of submissions costs O(batches) policy
+//! dispatches, not O(jobs).
+//!
+//! Results land in `BENCH_serving.json`. Set `SERVING_MAX_JOBS` /
+//! `SERVING_MAX_SHARDS` to cap the sweep (CI smoke); capped runs emit
+//! to `target/bench_fresh/` only, so the committed trajectory is only
+//! ever (re)written by a full run. `SERVING_STRICT=1` (set where the
+//! committed numbers were recorded) arms the ≥100k sustained
+//! submits/sec floor at the headline case; elsewhere a shortfall is
+//! reported, and `gate_serving` in `bench_gate` holds every matched
+//! case to the committed throughput within tolerance.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use elastic_bench::json::Json;
+use elastic_core::{
+    CharmOperator, ModelExecutor, Policy, PolicyConfig, Schedule, SchedulingPolicy, SubmitRequest,
+};
+use elastic_serving::{IngestConfig, IngestQueue, InstrumentedPolicy, ShardRouter};
+use hpc_metrics::{Clock, Duration, RealClock};
+use hpc_workload::poisson_workload;
+use kube_sim::{ControlPlane, KubeletConfig};
+use std::sync::Arc;
+
+/// Workload seed (same generator family as every other experiment).
+const SEED: u64 = 0;
+/// Full sweep sizes: the CI smoke point and the sustained-load point.
+const SIZES: [usize; 2] = [20_000, 200_000];
+/// Ingest shard ladder; 1 is the single-queue baseline.
+const SHARD_COUNTS: [usize; 2] = [1, 4];
+/// Jobs per size-K inline flush.
+const BATCH_SIZE: usize = 512;
+/// Drive-loop cadence: pump deadline-due shards and run one operator
+/// reconcile every this many submissions.
+const PUMP_EVERY: usize = 4096;
+/// The sustained-throughput acceptance floor armed by
+/// `SERVING_STRICT=1`.
+const FLOOR_SUBMITS_PER_SEC: f64 = 100_000.0;
+/// Every run, strict or not, must show real batch amortization: a
+/// dispatch covering fewer queued admissions than this is a sign the
+/// burst path degraded to per-job calls.
+const MIN_JOBS_PER_DISPATCH: f64 = 64.0;
+
+fn elastic() -> Box<dyn SchedulingPolicy> {
+    Box::new(Policy::elastic(PolicyConfig {
+        rescale_gap: Duration::from_secs(180.0),
+        launcher_slots: 1,
+        shrink_spares_head: true,
+    }))
+}
+
+struct ServingCase {
+    shards: usize,
+    n_jobs: usize,
+    accepted: u64,
+    shed: u64,
+    batches: u64,
+    jobs_per_batch: f64,
+    policy_dispatches: u64,
+    jobs_per_dispatch: f64,
+    wall_secs: f64,
+    sustained_submits_per_sec: f64,
+    p99_submit_to_admit_ms: f64,
+}
+
+fn run_once(requests: &[SubmitRequest], shards: usize) -> ServingCase {
+    let clock = Arc::new(RealClock::new());
+    let plane = ControlPlane::with_nodes(clock.clone(), KubeletConfig::instant(), 4, 16);
+    let executor = ModelExecutor::ideal(plane.clock());
+    let (policy, counters) = InstrumentedPolicy::wrap(elastic());
+    let mut op = CharmOperator::new(plane, policy, Box::new(executor));
+    let queue = IngestQueue::new(
+        op.client(),
+        IngestConfig {
+            shards,
+            shard_capacity: 4 * BATCH_SIZE,
+            batch_size: BATCH_SIZE,
+            max_delay: Duration::from_millis(1.0),
+            retry_after: Duration::from_millis(10.0),
+            router: ShardRouter::RoundRobin,
+        },
+    );
+
+    // The measured span is the whole pipeline: ingest, flushes, store
+    // creates, watch drains and policy bursts — the end-to-end cost a
+    // serving tier pays per submission.
+    let started = Instant::now();
+    for (i, req) in requests.iter().enumerate() {
+        let resp = queue.submit(req.clone()).expect("queue open");
+        if resp.is_shed() {
+            // Capacity is 4 batches deep and flushes are inline at
+            // size K, so shedding here means the config is broken.
+            panic!("ingest shed under its own batch flushing (shard {shards})");
+        }
+        if (i + 1) % PUMP_EVERY == 0 {
+            queue.pump(clock.now());
+            op.tick();
+        }
+    }
+    queue.flush_all();
+    op.tick();
+    op.tick();
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stats = queue.stats();
+    let n = requests.len() as u64;
+    assert_eq!(stats.flushed, n, "every submission must reach the store");
+    assert_eq!(stats.rejected, 0, "rejects: {:?}", queue.take_errors());
+    assert_eq!(
+        counters.submit_calls(),
+        n,
+        "the policy must see every admission exactly once"
+    );
+    let jobs_per_dispatch = counters.jobs_per_submit_dispatch();
+    assert!(
+        jobs_per_dispatch >= MIN_JOBS_PER_DISPATCH,
+        "batch amortization collapsed: {jobs_per_dispatch:.0} jobs/dispatch \
+         ({} dispatches for {n} jobs)",
+        counters.submit_bursts()
+    );
+    let p99 = queue
+        .latency_quantile(0.99)
+        .expect("latencies recorded")
+        .as_secs()
+        * 1e3;
+    ServingCase {
+        shards,
+        n_jobs: requests.len(),
+        accepted: stats.accepted,
+        shed: stats.shed,
+        batches: stats.batches,
+        jobs_per_batch: stats.jobs_per_batch(),
+        policy_dispatches: counters.submit_bursts(),
+        jobs_per_dispatch,
+        wall_secs,
+        sustained_submits_per_sec: stats.accepted as f64 / wall_secs,
+        p99_submit_to_admit_ms: p99,
+    }
+}
+
+fn run_case(requests: &[SubmitRequest], shards: usize) -> ServingCase {
+    // Median-of-3 with a warmup at the smoke size; the sustained-load
+    // point amortizes noise over seconds on its own.
+    let reps = if requests.len() <= 100_000 { 3 } else { 1 };
+    if reps > 1 {
+        let _ = run_once(requests, shards);
+    }
+    let mut runs: Vec<ServingCase> = (0..reps).map(|_| run_once(requests, shards)).collect();
+    runs.sort_by(|a, b| a.wall_secs.total_cmp(&b.wall_secs));
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn round_to(x: f64, decimals: i32) -> f64 {
+    let scale = 10f64.powi(decimals);
+    (x * scale).round() / scale
+}
+
+fn case_json(c: &ServingCase) -> Json {
+    let mut j = Json::obj();
+    j.set("shards", Json::Num(c.shards as f64));
+    j.set("n_jobs", Json::Num(c.n_jobs as f64));
+    j.set("accepted", Json::Num(c.accepted as f64));
+    j.set("shed", Json::Num(c.shed as f64));
+    j.set("batches", Json::Num(c.batches as f64));
+    j.set("jobs_per_batch", Json::Num(round_to(c.jobs_per_batch, 1)));
+    j.set("policy_dispatches", Json::Num(c.policy_dispatches as f64));
+    j.set(
+        "jobs_per_dispatch",
+        Json::Num(round_to(c.jobs_per_dispatch, 1)),
+    );
+    j.set("wall_secs", Json::Num(round_to(c.wall_secs, 4)));
+    j.set(
+        "sustained_submits_per_sec",
+        Json::Num(c.sustained_submits_per_sec.round()),
+    );
+    j.set(
+        "p99_submit_to_admit_ms",
+        Json::Num(round_to(c.p99_submit_to_admit_ms, 3)),
+    );
+    j
+}
+
+fn main() {
+    let max_jobs: Option<usize> = std::env::var("SERVING_MAX_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let max_shards: Option<usize> = std::env::var("SERVING_MAX_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let sizes: Vec<usize> = SIZES
+        .into_iter()
+        .filter(|&n| max_jobs.is_none_or(|cap| n <= cap))
+        .collect();
+    let shard_counts: Vec<usize> = SHARD_COUNTS
+        .into_iter()
+        .filter(|&s| max_shards.is_none_or(|cap| s <= cap))
+        .collect();
+    let full_run = sizes.len() == SIZES.len() && shard_counts.len() == SHARD_COUNTS.len();
+    let host_cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    assert!(
+        !sizes.is_empty() && !shard_counts.is_empty(),
+        "SERVING_MAX_JOBS/SERVING_MAX_SHARDS capped the sweep to nothing"
+    );
+
+    let mut cases: Vec<ServingCase> = Vec::new();
+    for &n in &sizes {
+        // The Poisson workload fixes the job mix; the drive loop
+        // ignores the arrival times on purpose — never pacing is what
+        // makes the run a sustained overload.
+        let workload = poisson_workload(SEED, n, Duration::from_millis(1.0));
+        let requests: Vec<SubmitRequest> = Schedule::from_workload(&workload)
+            .jobs
+            .into_iter()
+            .map(|spec| SubmitRequest::v1(spec).expect("generated specs are valid"))
+            .collect();
+        for &shards in &shard_counts {
+            let case = run_case(&requests, shards);
+            println!(
+                "serving_load shards={:<2} n={:<7} wall={:>7.3}s  {:>9.0} submits/s  p99 {:>7.3}ms  {:>4.0} jobs/dispatch",
+                case.shards,
+                case.n_jobs,
+                case.wall_secs,
+                case.sustained_submits_per_sec,
+                case.p99_submit_to_admit_ms,
+                case.jobs_per_dispatch,
+            );
+            cases.push(case);
+        }
+    }
+
+    // Acceptance: ≥100k sustained submits/sec at the headline case —
+    // the best-performing shard config at the largest measured size
+    // (shard count is a concurrency knob; its win needs parallel
+    // submitters, so a serving tier picks the config that is fastest
+    // on its host, and the floor gates that ceiling). Wall throughput
+    // is a host property, so the hard assert only arms under
+    // SERVING_STRICT=1 (set where the committed numbers were
+    // recorded); elsewhere a shortfall is reported. The JSON records
+    // the verdict either way.
+    let strict = std::env::var("SERVING_STRICT").is_ok_and(|v| v == "1");
+    let top_n = cases.iter().map(|c| c.n_jobs).max().expect("cases");
+    let headline = cases
+        .iter()
+        .filter(|c| c.n_jobs == top_n)
+        .max_by(|a, b| {
+            a.sustained_submits_per_sec
+                .total_cmp(&b.sustained_submits_per_sec)
+        })
+        .expect("at least one case");
+    let meets_floor = headline.sustained_submits_per_sec >= FLOOR_SUBMITS_PER_SEC;
+    if !meets_floor {
+        let msg = format!(
+            "headline case ({} shards, {} jobs) sustained {:.0} submits/s \
+             (< the {FLOOR_SUBMITS_PER_SEC:.0}/s acceptance floor; host has {host_cores} core(s))",
+            headline.shards, headline.n_jobs, headline.sustained_submits_per_sec
+        );
+        assert!(!strict, "{msg}");
+        println!("NOTE: {msg}");
+    }
+
+    let mut doc = Json::obj();
+    doc.set("generator", Json::Str("poisson".into()));
+    doc.set("workload_seed", Json::Num(SEED as f64));
+    doc.set("policy", Json::Str("elastic".into()));
+    doc.set("batch_size", Json::Num(BATCH_SIZE as f64));
+    doc.set("pump_every", Json::Num(PUMP_EVERY as f64));
+    doc.set("host_cores", Json::Num(host_cores as f64));
+    doc.set("meets_100k_floor", Json::Bool(meets_floor));
+    doc.set("cases", Json::Arr(cases.iter().map(case_json).collect()));
+
+    // Fresh copy for the CI bench gate: always written. The committed
+    // trajectory only moves on a full (uncapped) sweep.
+    let fresh_dir = workspace_root().join("target/bench_fresh");
+    std::fs::create_dir_all(&fresh_dir).expect("create bench_fresh dir");
+    let write = |path: &std::path::Path| {
+        std::fs::write(path, doc.to_pretty())
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote {}", path.display());
+    };
+    write(&fresh_dir.join("BENCH_serving.json"));
+    if full_run {
+        write(&workspace_root().join("BENCH_serving.json"));
+    } else {
+        println!("capped run (SERVING_MAX_JOBS/SERVING_MAX_SHARDS): skipping BENCH_serving.json");
+    }
+}

@@ -1,4 +1,4 @@
-//! The typed scheduler client.
+//! The typed scheduler client and the versioned request/response API.
 //!
 //! [`SchedulerClient`] is the public control-plane API: everything a
 //! user-facing front end needs — submit, query, cancel, observe — and
@@ -10,28 +10,75 @@
 //! expose remotely later: the client is a thin handle over API calls,
 //! not a reference into scheduler internals.
 //!
-//! Obtain one with [`CharmOperator::client`]; handles are cheap to
+//! ## The request/response surface
+//!
+//! Submission is a *versioned* exchange: build a spec with
+//! [`CharmJobSpec::builder`], wrap it in a [`SubmitRequest`] (validation
+//! happens at construction, so an in-flight request is valid by type),
+//! and pass it to [`SchedulerClient::submit_request`], which answers
+//! with a [`SubmitResponse`]. The direct client path always answers
+//! [`SubmitResponse::Admitted`]; the batched serving front-end
+//! (`elastic-serving`) answers [`SubmitResponse::Queued`] while a
+//! submission waits in an ingest shard and [`SubmitResponse::Shed`]
+//! when backpressure rejects it. Every error is the one
+//! [`SchedulerError`] enum.
+//!
+//! ```
+//! use elastic_core::{CharmJobSpec, SubmitRequest, SubmitResponse};
+//! # use elastic_core::crd::CharmJob;
+//! # use std::sync::Arc;
+//! let spec = CharmJobSpec::builder("j1")
+//!     .replicas(2, 8)
+//!     .priority(4)
+//!     .modeled_iters(1_000)
+//!     .build()
+//!     .unwrap();
+//! let client = elastic_core::SchedulerClient::new(
+//!     kube_sim::Store::<CharmJob>::new(),
+//!     Arc::new(hpc_metrics::VirtualClock::new()),
+//! );
+//! let resp = client.submit_request(SubmitRequest::v1(spec).unwrap()).unwrap();
+//! let SubmitResponse::Admitted { ticket } = resp else {
+//!     panic!("direct submission always admits");
+//! };
+//! assert_eq!(ticket.name, "j1");
+//! ```
+//!
+//! ## Lookup by name vs lookup by ticket
+//!
+//! Jobs have two identities. The **name** is the client's vocabulary:
+//! every getter ([`job_status`], [`phase`], [`cancel`]) looks up by
+//! name, and names are unique among *live* objects in the store. The
+//! **ticket** returned at admission additionally carries the
+//! server-assigned uid, which is stable for the lifetime of the object
+//! and never reused — hold the [`JobTicket`] when you must distinguish
+//! "the job I submitted" from "whatever currently owns that name"
+//! (compare `ticket.uid` against the stored uid). The scheduler's
+//! interned [`JobId`](hpc_metrics::JobId) is a third, internal identity
+//! that never crosses this API.
+//!
+//! Obtain a client with [`CharmOperator::client`]; handles are cheap to
 //! clone and thread-safe (they share the underlying store).
 //!
+//! [`job_status`]: SchedulerClient::job_status
+//! [`phase`]: SchedulerClient::phase
+//! [`cancel`]: SchedulerClient::cancel
 //! [`CharmOperator::client`]: crate::operator::CharmOperator::client
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
-use hpc_metrics::{Clock, SimTime};
+use hpc_metrics::{Clock, Duration, SimTime};
 use kube_sim::{ApiError, Store, WatchEvent};
 
 use crate::crd::{CharmJob, CharmJobSpec, CharmJobStatus, JobPhase};
+use crate::error::SchedulerError;
 
-/// A validated submission receipt returned by
-/// [`SchedulerClient::submit`]: the unique name plus the
-/// server-assigned uid (stable across status updates, never reused).
-///
-/// Not to be confused with the scheduler-internal interned
-/// [`JobId`](hpc_metrics::JobId): the ticket is the *client-facing*
-/// identity (names are the client's vocabulary); the interned id exists
-/// only inside an engine's decision path.
+/// A validated submission receipt returned at admission: the unique
+/// name plus the server-assigned uid (stable across status updates,
+/// never reused). See the module docs for when to prefer the ticket
+/// over the bare name.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct JobTicket {
     /// The job's unique name.
@@ -46,32 +93,94 @@ impl std::fmt::Display for JobTicket {
     }
 }
 
-/// Errors surfaced by the client API.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ClientError {
-    /// The spec failed validation (bad replica bounds, …).
-    InvalidSpec(String),
-    /// A job with this name already exists.
-    AlreadyExists(String),
-    /// No such job.
-    NotFound(String),
-    /// The job already reached a terminal phase; cancelling it is
-    /// meaningless.
-    AlreadyTerminal(String),
+/// A versioned, validated submission. Constructing one runs the full
+/// spec validation, so any `SubmitRequest` in flight is valid by type —
+/// the ingest queues and the client trust it without re-checking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitRequest {
+    version: u32,
+    spec: CharmJobSpec,
 }
 
-impl std::fmt::Display for ClientError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ClientError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
-            ClientError::AlreadyExists(n) => write!(f, "job {n:?} already exists"),
-            ClientError::NotFound(n) => write!(f, "job {n:?} not found"),
-            ClientError::AlreadyTerminal(n) => write!(f, "job {n:?} already finished"),
+impl SubmitRequest {
+    /// The current (and only) submit API version.
+    pub const V1: u32 = 1;
+
+    /// A version-1 request around `spec`; fails with
+    /// [`SchedulerError::InvalidSpec`] if the spec is malformed.
+    pub fn v1(spec: CharmJobSpec) -> Result<Self, SchedulerError> {
+        Self::with_version(Self::V1, spec)
+    }
+
+    /// A request at an explicit `version` (wire-compatibility surface);
+    /// rejects versions this control plane does not speak.
+    pub fn with_version(version: u32, spec: CharmJobSpec) -> Result<Self, SchedulerError> {
+        if version != Self::V1 {
+            return Err(SchedulerError::UnsupportedVersion(version));
         }
+        spec.validate().map_err(SchedulerError::InvalidSpec)?;
+        Ok(SubmitRequest { version, spec })
+    }
+
+    /// The request's API version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// The validated spec.
+    pub fn spec(&self) -> &CharmJobSpec {
+        &self.spec
+    }
+
+    /// The job name (unique submission key).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// Unwraps the validated spec.
+    pub fn into_spec(self) -> CharmJobSpec {
+        self.spec
     }
 }
 
-impl std::error::Error for ClientError {}
+/// The answer to a [`SubmitRequest`]: what the serving path did with
+/// the submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitResponse {
+    /// The job was created in the store; the reconciler will run its
+    /// admission decision. The direct client path always answers this.
+    Admitted {
+        /// The submission receipt.
+        ticket: JobTicket,
+    },
+    /// The job is buffered in an ingest shard awaiting a batch flush
+    /// (size K or deadline T); no ticket exists yet.
+    Queued {
+        /// Jobs buffered in the accepting shard, this one included.
+        depth: usize,
+    },
+    /// Backpressure: the shard's bounded buffer is full and the
+    /// submission was rejected. Retry no sooner than `retry_after`.
+    Shed {
+        /// Suggested client backoff.
+        retry_after: Duration,
+    },
+}
+
+impl SubmitResponse {
+    /// The admission ticket, if the job was admitted synchronously.
+    pub fn ticket(&self) -> Option<&JobTicket> {
+        match self {
+            SubmitResponse::Admitted { ticket } => Some(ticket),
+            _ => None,
+        }
+    }
+
+    /// `true` if the submission was rejected by backpressure.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, SubmitResponse::Shed { .. })
+    }
+}
 
 /// The typed client handle (see the module docs).
 #[derive(Clone)]
@@ -86,33 +195,79 @@ impl SchedulerClient {
         SchedulerClient { jobs, clock }
     }
 
-    /// Submits `spec`: validates it, creates the CRD in the store, and
-    /// returns the job's identity. The reconciler picks the submission
-    /// up from the watch stream and runs the admission decision.
-    pub fn submit(&self, spec: CharmJobSpec) -> Result<JobTicket, ClientError> {
-        spec.validate().map_err(ClientError::InvalidSpec)?;
+    /// The clock this client stamps submissions with (shared with the
+    /// operator; the serving ingest queue times its flush deadlines and
+    /// submit→admit latencies off the same clock).
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Submits a validated request: creates the CRD in the store and
+    /// answers [`SubmitResponse::Admitted`]. The reconciler picks the
+    /// submission up from the watch stream and runs the admission
+    /// decision. (Queued/Shed responses only arise on the batched
+    /// ingest path of `elastic-serving`, which fronts this call.)
+    pub fn submit_request(&self, req: SubmitRequest) -> Result<SubmitResponse, SchedulerError> {
+        let spec = req.into_spec();
         let name = spec.name.clone();
         let stored = self
             .jobs
             .create(CharmJob::submitted(spec, self.clock.now()))
             .map_err(|e| match e {
-                ApiError::AlreadyExists(n) => ClientError::AlreadyExists(n),
-                ApiError::NotFound(n) => ClientError::NotFound(n),
+                ApiError::AlreadyExists(n) => SchedulerError::AlreadyExists(n),
+                ApiError::NotFound(n) => SchedulerError::UnknownJob(n),
             })?;
-        Ok(JobTicket {
-            name,
-            uid: stored.uid,
+        Ok(SubmitResponse::Admitted {
+            ticket: JobTicket {
+                name,
+                uid: stored.uid,
+            },
         })
     }
 
-    /// The job's current status, or `None` if it does not exist.
+    /// Pre-redesign submission shim: validates and submits in one call.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a SubmitRequest (validation at construction) and call submit_request"
+    )]
+    pub fn submit(&self, spec: CharmJobSpec) -> Result<JobTicket, SchedulerError> {
+        let req = SubmitRequest::v1(spec)?;
+        match self.submit_request(req)? {
+            SubmitResponse::Admitted { ticket } => Ok(ticket),
+            resp => unreachable!("direct submission cannot answer {resp:?}"),
+        }
+    }
+
+    /// The job's current status, or [`SchedulerError::UnknownJob`] —
+    /// the typed counterpart of the old `Option`-returning `status`.
+    pub fn job_status(&self, name: &str) -> Result<CharmJobStatus, SchedulerError> {
+        self.jobs
+            .get(name)
+            .map(|s| s.obj.status)
+            .ok_or_else(|| SchedulerError::UnknownJob(name.to_string()))
+    }
+
+    /// Pre-redesign status shim: `None` when the job does not exist.
+    #[deprecated(since = "0.2.0", note = "use job_status (typed UnknownJob error)")]
     pub fn status(&self, name: &str) -> Option<CharmJobStatus> {
         self.jobs.get(name).map(|s| s.obj.status)
     }
 
-    /// The job's lifecycle phase, or `None` if it does not exist.
+    /// The job's lifecycle phase, or `None` if it does not exist — the
+    /// infallible convenience getter (poll loops prefer it).
     pub fn phase(&self, name: &str) -> Option<JobPhase> {
-        self.status(name).map(|s| s.phase)
+        self.jobs.get(name).map(|s| s.obj.status.phase)
+    }
+
+    /// Every job's `(name, status)`, in unspecified order — the
+    /// snapshot half of a lagging-subscriber re-sync (see
+    /// `elastic-serving`'s event bus).
+    pub fn list_status(&self) -> Vec<(String, CharmJobStatus)> {
+        self.jobs
+            .list()
+            .into_iter()
+            .map(|s| (s.obj.spec.name.clone(), s.obj.status))
+            .collect()
     }
 
     /// Requests cancellation. The reconciler performs the actual
@@ -122,17 +277,17 @@ impl SchedulerClient {
     ///
     /// [`watch_events`]: SchedulerClient::watch_events
     /// [`phase`]: SchedulerClient::phase
-    pub fn cancel(&self, name: &str) -> Result<(), ClientError> {
+    pub fn cancel(&self, name: &str) -> Result<(), SchedulerError> {
         let stored = self
             .jobs
             .get(name)
-            .ok_or_else(|| ClientError::NotFound(name.to_string()))?;
+            .ok_or_else(|| SchedulerError::UnknownJob(name.to_string()))?;
         if stored.obj.status.phase.is_terminal() {
-            return Err(ClientError::AlreadyTerminal(name.to_string()));
+            return Err(SchedulerError::AlreadyTerminal(name.to_string()));
         }
         self.jobs
             .update(name, |j| j.status.cancel_requested = true)
-            .map_err(|_| ClientError::NotFound(name.to_string()))?;
+            .map_err(|_| SchedulerError::UnknownJob(name.to_string()))?;
         Ok(())
     }
 
@@ -140,6 +295,11 @@ impl SchedulerClient {
     /// every job (submissions, starts, rescales, completions,
     /// cancellations). Uses the store's atomic `list_watch`, so no
     /// transition between "now" and the first poll can be missed.
+    ///
+    /// This is the *single-consumer* primitive: each stream owns its
+    /// receiver. For many subscribers with lag detection and
+    /// store-snapshot recovery, pump one stream into
+    /// `elastic-serving`'s `EventBus` instead.
     pub fn watch_events(&self) -> JobEventStream {
         let (snapshot, rx) = self.jobs.list_watch();
         let known = snapshot
@@ -277,23 +437,68 @@ mod tests {
         }
     }
 
+    fn submit(client: &SchedulerClient, spec: CharmJobSpec) -> Result<JobTicket, SchedulerError> {
+        let resp = client.submit_request(SubmitRequest::v1(spec)?)?;
+        Ok(resp.ticket().expect("direct path admits").clone())
+    }
+
     #[test]
-    fn submit_returns_validated_ticket() {
+    fn submit_request_returns_validated_ticket() {
         let (client, jobs, _) = client();
-        let id = client.submit(spec("j1", 2, 8)).unwrap();
+        let id = submit(&client, spec("j1", 2, 8)).unwrap();
         assert_eq!(id.name, "j1");
         assert_eq!(jobs.get("j1").unwrap().uid, id.uid);
         assert_eq!(id.to_string(), format!("j1#{}", id.uid));
         assert!(matches!(
-            client.submit(spec("j1", 2, 8)),
-            Err(ClientError::AlreadyExists(_))
+            submit(&client, spec("j1", 2, 8)),
+            Err(SchedulerError::AlreadyExists(_))
         ));
         assert!(matches!(
-            client.submit(spec("bad", 8, 2)),
-            Err(ClientError::InvalidSpec(_))
+            SubmitRequest::v1(spec("bad", 8, 2)),
+            Err(SchedulerError::InvalidSpec(_))
         ));
         assert_eq!(client.phase("j1"), Some(JobPhase::Queued));
         assert_eq!(client.phase("zzz"), None);
+    }
+
+    #[test]
+    fn request_versioning_is_enforced() {
+        let req = SubmitRequest::v1(spec("j1", 2, 8)).unwrap();
+        assert_eq!(req.version(), SubmitRequest::V1);
+        assert_eq!(req.name(), "j1");
+        assert_eq!(req.spec().max_replicas, 8);
+        assert!(matches!(
+            SubmitRequest::with_version(2, spec("j2", 1, 1)),
+            Err(SchedulerError::UnsupportedVersion(2))
+        ));
+    }
+
+    #[test]
+    fn job_status_has_a_typed_unknown_path() {
+        let (client, _, _) = client();
+        assert!(matches!(
+            client.job_status("ghost"),
+            Err(SchedulerError::UnknownJob(_))
+        ));
+        submit(&client, spec("j1", 2, 8)).unwrap();
+        assert_eq!(client.job_status("j1").unwrap().phase, JobPhase::Queued);
+        assert_eq!(client.list_status().len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_preserve_behavior() {
+        // Pins the pre-redesign surface: `submit` validates and returns
+        // a ticket; `status` answers None for unknown names.
+        let (client, jobs, _) = client();
+        let id = client.submit(spec("j1", 2, 8)).unwrap();
+        assert_eq!(jobs.get("j1").unwrap().uid, id.uid);
+        assert!(matches!(
+            client.submit(spec("bad", 8, 2)),
+            Err(SchedulerError::InvalidSpec(_))
+        ));
+        assert_eq!(client.status("j1").unwrap().phase, JobPhase::Queued);
+        assert!(client.status("ghost").is_none());
     }
 
     #[test]
@@ -301,29 +506,29 @@ mod tests {
         let (client, jobs, _) = client();
         assert!(matches!(
             client.cancel("ghost"),
-            Err(ClientError::NotFound(_))
+            Err(SchedulerError::UnknownJob(_))
         ));
-        client.submit(spec("j1", 2, 8)).unwrap();
+        submit(&client, spec("j1", 2, 8)).unwrap();
         client.cancel("j1").unwrap();
         assert!(jobs.get("j1").unwrap().obj.status.cancel_requested);
         jobs.update("j1", |j| j.status.phase = JobPhase::Cancelled)
             .unwrap();
         assert!(matches!(
             client.cancel("j1"),
-            Err(ClientError::AlreadyTerminal(_))
+            Err(SchedulerError::AlreadyTerminal(_))
         ));
     }
 
     #[test]
     fn watch_events_folds_store_events_into_lifecycle() {
         let (client, jobs, clock) = client();
-        client.submit(spec("old", 1, 4)).unwrap();
+        submit(&client, spec("old", 1, 4)).unwrap();
         let mut stream = client.watch_events();
         // Pre-existing jobs produce no replayed events.
         assert!(stream.try_next().is_none());
 
         clock.advance(hpc_metrics::Duration::from_secs(5.0));
-        client.submit(spec("j1", 2, 8)).unwrap();
+        submit(&client, spec("j1", 2, 8)).unwrap();
         jobs.update("j1", |j| {
             j.status.phase = JobPhase::Starting;
             j.status.replicas = 8;
@@ -360,7 +565,7 @@ mod tests {
     fn cancellation_appears_on_the_stream() {
         let (client, jobs, _) = client();
         let mut stream = client.watch_events();
-        client.submit(spec("j1", 2, 8)).unwrap();
+        submit(&client, spec("j1", 2, 8)).unwrap();
         client.cancel("j1").unwrap();
         jobs.update("j1", |j| {
             j.status.phase = JobPhase::Cancelled;

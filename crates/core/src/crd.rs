@@ -10,6 +10,8 @@
 use hpc_metrics::{Duration, SimTime};
 use kube_sim::Resource;
 
+use crate::error::SchedulerError;
+
 /// Which application a job runs, with its problem parameters.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AppSpec {
@@ -77,6 +79,24 @@ pub struct CharmJobSpec {
 }
 
 impl CharmJobSpec {
+    /// A builder for `name` with conservative defaults: a rigid
+    /// single-replica, priority-3 job running one modeled iteration.
+    /// Validation happens once, at [`JobSpecBuilder::build`] — every
+    /// entry point (client, harness, federation handle) goes through
+    /// the same [`CharmJobSpec::validate`] rules.
+    pub fn builder(name: impl Into<String>) -> JobSpecBuilder {
+        JobSpecBuilder {
+            spec: CharmJobSpec {
+                name: name.into(),
+                min_replicas: 1,
+                max_replicas: 1,
+                priority: 3,
+                walltime_estimate: None,
+                app: AppSpec::Modeled { total_iters: 1 },
+            },
+        }
+    }
+
     /// Validates invariants (min ≤ max, min ≥ 1, positive estimate).
     pub fn validate(&self) -> Result<(), String> {
         if self.min_replicas == 0 {
@@ -98,6 +118,77 @@ impl CharmJobSpec {
             }
         }
         Ok(())
+    }
+}
+
+/// Builds a [`CharmJobSpec`] with validation deferred to
+/// [`build`](JobSpecBuilder::build), so a successfully built spec is
+/// valid by construction:
+///
+/// ```
+/// use elastic_core::CharmJobSpec;
+/// use hpc_metrics::Duration;
+///
+/// let spec = CharmJobSpec::builder("jacobi-17")
+///     .replicas(2, 8)
+///     .priority(5)
+///     .walltime_estimate(Duration::from_secs(3_600.0))
+///     .modeled_iters(10_000)
+///     .build()
+///     .unwrap();
+/// assert_eq!((spec.min_replicas, spec.max_replicas), (2, 8));
+///
+/// // Invalid bounds surface at build(), not at submission time.
+/// assert!(CharmJobSpec::builder("bad").replicas(8, 2).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobSpecBuilder {
+    spec: CharmJobSpec,
+}
+
+impl JobSpecBuilder {
+    /// Elastic replica bounds `[min, max]`.
+    pub fn replicas(mut self, min: u32, max: u32) -> Self {
+        self.spec.min_replicas = min;
+        self.spec.max_replicas = max;
+        self
+    }
+
+    /// A rigid job: exactly `n` replicas (min = max = n).
+    pub fn rigid(self, n: u32) -> Self {
+        self.replicas(n, n)
+    }
+
+    /// User priority (the paper uses 1–5; larger is more important).
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.spec.priority = priority;
+        self
+    }
+
+    /// User walltime estimate (feeds reservation-based backfilling).
+    pub fn walltime_estimate(mut self, estimate: Duration) -> Self {
+        self.spec.walltime_estimate = Some(estimate);
+        self
+    }
+
+    /// The application to execute.
+    pub fn app(mut self, app: AppSpec) -> Self {
+        self.spec.app = app;
+        self
+    }
+
+    /// Shorthand for a modeled app of `total_iters` iterations (the
+    /// virtual-time executor's workload shape).
+    pub fn modeled_iters(self, total_iters: u64) -> Self {
+        self.app(AppSpec::Modeled { total_iters })
+    }
+
+    /// Validates and returns the spec; all invariant violations
+    /// (replica bounds, walltime positivity) surface here as
+    /// [`SchedulerError::InvalidSpec`].
+    pub fn build(self) -> Result<CharmJobSpec, SchedulerError> {
+        self.spec.validate().map_err(SchedulerError::InvalidSpec)?;
+        Ok(self.spec)
     }
 }
 
@@ -283,6 +374,39 @@ mod tests {
         assert!(spec("a", 0, 8).validate().is_err());
         assert!(spec("a", 9, 8).validate().is_err());
         assert!(spec("a", 8, 8).validate().is_ok(), "rigid jobs allowed");
+    }
+
+    #[test]
+    fn builder_validates_at_build() {
+        let spec = CharmJobSpec::builder("j1")
+            .replicas(2, 8)
+            .priority(5)
+            .walltime_estimate(Duration::from_secs(60.0))
+            .modeled_iters(400)
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "j1");
+        assert_eq!((spec.min_replicas, spec.max_replicas), (2, 8));
+        assert_eq!(spec.priority, 5);
+        assert_eq!(spec.app.total_iters(), 400);
+
+        let rigid = CharmJobSpec::builder("r").rigid(4).build().unwrap();
+        assert_eq!((rigid.min_replicas, rigid.max_replicas), (4, 4));
+
+        assert!(matches!(
+            CharmJobSpec::builder("bad").replicas(8, 2).build(),
+            Err(SchedulerError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            CharmJobSpec::builder("bad").replicas(0, 2).build(),
+            Err(SchedulerError::InvalidSpec(_))
+        ));
+        assert!(matches!(
+            CharmJobSpec::builder("bad")
+                .walltime_estimate(Duration::from_secs(-1.0))
+                .build(),
+            Err(SchedulerError::InvalidSpec(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! The unified control-plane error type.
+//!
+//! Before the serving front-end landed, the client surface mixed three
+//! error shapes: `ClientError` from [`SchedulerClient`], bare
+//! `Result<(), String>` from [`CharmOperator::submit`], and `Option`
+//! returns from the status getters. [`SchedulerError`] unifies them:
+//! every fallible control-plane call — client, operator, ingest queue,
+//! federation handle — speaks this one enum, and [`ClientError`] remains
+//! as a variant-compatible alias so existing callers migrate without
+//! churn.
+//!
+//! [`SchedulerClient`]: crate::client::SchedulerClient
+//! [`CharmOperator::submit`]: crate::operator::CharmOperator::submit
+
+/// Errors surfaced by the control-plane API (client, operator and the
+/// serving ingest path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The spec failed validation (bad replica bounds, non-positive
+    /// walltime estimate, …).
+    InvalidSpec(String),
+    /// A job with this name already exists.
+    AlreadyExists(String),
+    /// No job with this name is known to the control plane.
+    ///
+    /// (Formerly `ClientError::NotFound`; renamed so the lookup-by-name
+    /// getters and `cancel` agree on one vocabulary.)
+    UnknownJob(String),
+    /// The job already reached a terminal phase; cancelling it is
+    /// meaningless.
+    AlreadyTerminal(String),
+    /// The request carried an API version this control plane does not
+    /// speak (the only supported version today is
+    /// [`SubmitRequest::V1`](crate::client::SubmitRequest::V1)).
+    UnsupportedVersion(u32),
+    /// The serving front-end is shutting down (or the operator stopped
+    /// accepting); the submission was not enqueued.
+    QueueClosed,
+}
+
+/// Deprecated alias for [`SchedulerError`] — the pre-redesign client
+/// error type. Variant-compatible except for the `NotFound` →
+/// [`SchedulerError::UnknownJob`] rename; new code should name
+/// `SchedulerError` directly.
+pub type ClientError = SchedulerError;
+
+impl std::fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerError::InvalidSpec(m) => write!(f, "invalid spec: {m}"),
+            SchedulerError::AlreadyExists(n) => write!(f, "job {n:?} already exists"),
+            SchedulerError::UnknownJob(n) => write!(f, "job {n:?} not found"),
+            SchedulerError::AlreadyTerminal(n) => write!(f, "job {n:?} already finished"),
+            SchedulerError::UnsupportedVersion(v) => {
+                write!(f, "unsupported submit API version {v}")
+            }
+            SchedulerError::QueueClosed => write!(f, "submission queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            SchedulerError::InvalidSpec("min > max".into()).to_string(),
+            "invalid spec: min > max"
+        );
+        assert_eq!(
+            SchedulerError::UnknownJob("j1".into()).to_string(),
+            "job \"j1\" not found"
+        );
+        assert_eq!(
+            SchedulerError::UnsupportedVersion(9).to_string(),
+            "unsupported submit API version 9"
+        );
+        assert_eq!(
+            SchedulerError::QueueClosed.to_string(),
+            "submission queue closed"
+        );
+    }
+
+    #[test]
+    fn alias_is_variant_compatible() {
+        // Old code naming `ClientError` variants keeps compiling.
+        let e: ClientError = ClientError::AlreadyExists("j1".into());
+        assert!(matches!(e, SchedulerError::AlreadyExists(_)));
+    }
+}

@@ -34,7 +34,7 @@
 use hpc_metrics::{Clock, Duration, VirtualClock};
 use hpc_workload::WorkloadSpec;
 
-use crate::client::SchedulerClient;
+use crate::client::{SchedulerClient, SubmitRequest};
 use crate::crd::{AppSpec, CharmJobSpec, FaultNotice, FlakyNotice};
 use crate::operator::CharmOperator;
 use crate::report::RunMetrics;
@@ -146,9 +146,8 @@ fn pump_due(
     next_cancel: &mut usize,
 ) {
     while *next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(*next_submit) {
-        client
-            .submit(schedule.jobs[*next_submit].clone())
-            .expect("valid spec");
+        let req = SubmitRequest::v1(schedule.jobs[*next_submit].clone()).expect("valid spec");
+        client.submit_request(req).expect("unique job name");
         *next_submit += 1;
     }
     while *next_cancel < schedule.cancellations.len()

@@ -34,12 +34,41 @@
 //!   acknowledgements, completions). `tick()` is a thin wrapper that
 //!   drains the event queues; `tick_polled()` keeps the legacy
 //!   full-scan drive so equivalence stays testable.
-//! * **[`SchedulerClient`]** — the typed client handle: `submit` →
-//!   validated [`JobTicket`], `status`/`phase`, `cancel`, and
-//!   `watch_events` (a lifecycle stream folded from raw store events).
-//!   The client talks *only* through the kube-style stores, exactly
-//!   like `kubectl` against a real API server, so the reconciler picks
-//!   its requests up from the same watch streams it already consumes.
+//! * **[`SchedulerClient`]** — the typed client handle, speaking the
+//!   versioned request/response API: build a spec with
+//!   [`CharmJobSpec::builder`] (validation at `build()`), wrap it in a
+//!   [`SubmitRequest`], and `submit_request` answers with a
+//!   [`SubmitResponse`] (`Admitted` with a [`JobTicket`] on the direct
+//!   path; `Queued`/`Shed` arise on the batched `elastic-serving`
+//!   ingest path). Queries are `job_status`/`phase`, teardown is
+//!   `cancel`, observation is `watch_events` (a lifecycle stream
+//!   folded from raw store events) — and every fallible call returns
+//!   the one [`SchedulerError`] enum. The client talks *only* through
+//!   the kube-style stores, exactly like `kubectl` against a real API
+//!   server, so the reconciler picks its requests up from the same
+//!   watch streams it already consumes:
+//!
+//!   ```
+//!   use elastic_core::{CharmJobSpec, SubmitRequest, SubmitResponse};
+//!   use hpc_metrics::Duration;
+//!
+//!   # use std::sync::Arc;
+//!   # let client = elastic_core::SchedulerClient::new(
+//!   #     kube_sim::Store::<elastic_core::crd::CharmJob>::new(),
+//!   #     Arc::new(hpc_metrics::VirtualClock::new()),
+//!   # );
+//!   let spec = CharmJobSpec::builder("jacobi-17")
+//!       .replicas(2, 8)
+//!       .priority(5)
+//!       .walltime_estimate(Duration::from_secs(3_600.0))
+//!       .modeled_iters(10_000)
+//!       .build()?;
+//!   let response = client.submit_request(SubmitRequest::v1(spec)?)?;
+//!   let ticket = response.ticket().expect("direct path admits").clone();
+//!   assert_eq!(ticket.name, "jacobi-17");
+//!   assert!(client.job_status("jacobi-17").is_ok());
+//!   # Ok::<(), elastic_core::SchedulerError>(())
+//!   ```
 //!
 //! ## The hot path: interned ids, incremental view
 //!
@@ -201,7 +230,9 @@
 //! ## Module layering
 //!
 //! * [`crd`] — the CharmJob custom resource (min/max replicas,
-//!   priority, app template, lifecycle status incl. cancellation).
+//!   priority, app template, lifecycle status incl. cancellation) and
+//!   the [`JobSpecBuilder`].
+//! * [`error`] — the unified [`SchedulerError`] enum.
 //! * [`view`] — the [`ClusterView`]/[`Action`] policy interface.
 //! * [`registry`] — the [`JobRegistry`] name ↔ [`JobId`] interner.
 //! * [`policy`] — [`SchedulingPolicy`] and the built-in policies.
@@ -220,6 +251,7 @@
 
 pub mod client;
 pub mod crd;
+pub mod error;
 pub mod executor;
 pub mod harness;
 pub mod operator;
@@ -228,11 +260,16 @@ pub mod registry;
 pub mod report;
 pub mod view;
 
-pub use client::{ClientError, JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient};
+pub use client::{
+    JobEvent, JobEventKind, JobEventStream, JobTicket, SchedulerClient, SubmitRequest,
+    SubmitResponse,
+};
 pub use crd::{
     AppSpec, CharmJob, CharmJobSpec, CharmJobStatus, FaultNotice, FlakyNotice, JobPhase,
+    JobSpecBuilder,
 };
 pub use elastic_resilience::ShutdownPhase;
+pub use error::{ClientError, SchedulerError};
 pub use executor::{CharmExecutor, ExecHandle, ExecStatus, Executor, ModelExecutor};
 pub use harness::{run_real, run_virtual, run_workload_virtual, Schedule};
 pub use hpc_metrics::JobId;

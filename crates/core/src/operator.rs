@@ -53,6 +53,7 @@
 //! [`JobRegistry`]: crate::registry::JobRegistry
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use crossbeam::channel::Receiver;
 use hpc_metrics::{Duration, JobId, SimTime, UtilizationRecorder};
@@ -64,10 +65,11 @@ use elastic_resilience::{
 };
 use hpc_workload::FlakyOp;
 
-use crate::client::SchedulerClient;
+use crate::client::{SchedulerClient, SubmitRequest};
 use crate::crd::{AppSpec, CharmJob, CharmJobSpec, FaultNotice, FlakyNotice, JobPhase};
+use crate::error::SchedulerError;
 use crate::executor::{ExecHandle, ExecStatus, Executor};
-use crate::policy::SchedulingPolicy;
+use crate::policy::{SchedulingPolicy, SubmitBurst};
 use crate::registry::JobRegistry;
 use crate::report::{FaultStats, JobOutcome, RunMetrics};
 use crate::view::{self, Action, ClusterView, JobState};
@@ -108,7 +110,9 @@ pub struct CharmOperator {
     pub flakies: Store<FlakyNotice>,
     /// Operator event log.
     pub events: EventLog,
-    policy: Box<dyn SchedulingPolicy>,
+    /// Shared so the submit-burst driver can hold `&mut self` while the
+    /// policy (behind its own refcount) decides the burst.
+    policy: Arc<dyn SchedulingPolicy>,
     executor: Box<dyn Executor>,
     handles: HashMap<JobId, Box<dyn ExecHandle>>,
     flows: BTreeMap<JobId, RescaleFlow>,
@@ -191,7 +195,7 @@ impl CharmOperator {
             faults,
             flakies,
             events: EventLog::new(),
-            policy,
+            policy: Arc::from(policy),
             executor,
             handles: HashMap::new(),
             flows: BTreeMap::new(),
@@ -282,9 +286,10 @@ impl CharmOperator {
     /// Submits a job through the client API and reconciles the
     /// resulting watch event immediately, so the admission decision
     /// runs at submission time (the behaviour scripts and tests relied
-    /// on before the client existed).
-    pub fn submit(&mut self, spec: CharmJobSpec) -> Result<(), String> {
-        self.client().submit(spec).map_err(|e| e.to_string())?;
+    /// on before the client existed). Fails with the same typed
+    /// [`SchedulerError`] the client returns.
+    pub fn submit(&mut self, spec: CharmJobSpec) -> Result<(), SchedulerError> {
+        self.client().submit_request(SubmitRequest::v1(spec)?)?;
         self.reconcile_job_events();
         Ok(())
     }
@@ -556,24 +561,24 @@ impl CharmOperator {
     // Watch-driven reconciliation
     // -----------------------------------------------------------------
 
-    /// Runs the admission decision for `name` exactly once: interns the
-    /// id, inserts the queued job into the maintained view, and asks
-    /// the policy.
-    fn plan_admission(&mut self, name: &str) {
+    /// Stages the admission of `name` exactly once: interns the id and
+    /// inserts the queued job into the maintained view. Returns the id
+    /// iff the policy should now decide it (`None` for duplicates,
+    /// vanished/non-queued jobs, pre-cancelled jobs, or while the
+    /// operator is draining).
+    fn stage_admission(&mut self, name: &str) -> Option<JobId> {
         // A draining (or further shut down) operator admits nothing:
         // the job stays queued for a future operator generation.
         if !self.lifecycle.is_accepting() {
-            return;
+            return None;
         }
         let id = self.registry.intern(name);
         if !self.planned.insert(id) {
-            return;
+            return None;
         }
-        let Some(stored) = self.jobs.get(name) else {
-            return;
-        };
+        let stored = self.jobs.get(name)?;
         if stored.obj.status.phase != JobPhase::Queued {
-            return;
+            return None;
         }
         let now = self.plane.now();
         self.view.insert(
@@ -594,8 +599,20 @@ impl CharmOperator {
         if stored.obj.status.cancel_requested {
             // Cancelled before the reconciler ever saw it.
             self.cancel_job(name, now);
-            return;
+            return None;
         }
+        Some(id)
+    }
+
+    /// Runs the admission decision for `name` exactly once — the
+    /// per-event path (`tick_polled` and the requeue re-entry use it;
+    /// the watch drive decides whole bursts through
+    /// [`SchedulingPolicy::on_submit_burst`]).
+    fn plan_admission(&mut self, name: &str) {
+        let Some(id) = self.stage_admission(name) else {
+            return;
+        };
+        let now = self.plane.now();
         let actions = self.policy.on_submit(&self.view, id, now);
         self.apply_actions(&actions, now);
     }
@@ -957,8 +974,11 @@ impl CharmOperator {
     /// Drains the CharmJob watch stream: plans new submissions (in
     /// submission order) and executes cancellation requests. This is
     /// the *batched admission* path: a burst of submissions is
-    /// collected in one drain, sorted once, and decided back-to-back
-    /// against the shared maintained view.
+    /// collected in one drain, sorted once, and handed to the policy as
+    /// a single [`SchedulingPolicy::on_submit_burst`] invocation — one
+    /// policy dispatch per drain, not per job. The default burst impl
+    /// replays the per-event `on_submit` sequence exactly, so replay
+    /// bit-identity is preserved.
     fn reconcile_job_events(&mut self) {
         let mut admissions: Vec<(SimTime, String)> = Vec::new();
         let mut cancels: Vec<String> = Vec::new();
@@ -977,9 +997,17 @@ impl CharmOperator {
                 WatchEvent::Deleted(_) => {}
             }
         }
-        admissions.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-        for (_, name) in admissions {
-            self.plan_admission(&name);
+        if !admissions.is_empty() {
+            admissions.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let pending = admissions.into_iter().map(|(_, name)| name).collect();
+            let policy = Arc::clone(&self.policy);
+            let mut burst = OpSubmitBurst {
+                now: self.plane.now(),
+                op: self,
+                pending,
+                cursor: 0,
+            };
+            policy.on_submit_burst(&mut burst);
         }
         let now = self.plane.now();
         for name in cancels {
@@ -1418,5 +1446,46 @@ impl CharmOperator {
         self.begin_drain();
         self.begin_cleanup();
         self.terminate();
+    }
+}
+
+/// The operator side of a submission burst: the engine driver handed to
+/// [`SchedulingPolicy::on_submit_burst`] by `reconcile_job_events`.
+/// Pulls pending admissions (already sorted by `(submitted_at, name)`)
+/// through [`CharmOperator::stage_admission`] and applies each decision
+/// via the operator's ordinary action path — the mirror of the DES's
+/// `SubmitDriver`.
+struct OpSubmitBurst<'a> {
+    op: &'a mut CharmOperator,
+    pending: Vec<String>,
+    cursor: usize,
+    now: SimTime,
+}
+
+impl SubmitBurst for OpSubmitBurst<'_> {
+    fn view(&self) -> &ClusterView {
+        &self.op.view
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn admit_next(&mut self) -> Option<JobId> {
+        while self.cursor < self.pending.len() {
+            let name = std::mem::take(&mut self.pending[self.cursor]);
+            self.cursor += 1;
+            // Duplicates, vanished jobs and pre-cancelled submissions
+            // are consumed here (their bookkeeping already ran); the
+            // policy only ever sees decidable admissions.
+            if let Some(id) = self.op.stage_admission(&name) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn apply(&mut self, actions: &[Action]) {
+        self.op.apply_actions(actions, self.now);
     }
 }

@@ -108,7 +108,7 @@ pub trait CompleteBurst {
 /// every job's replica bounds, and emit at most one action per job.
 /// `view::apply_action` panics on violations, and the property tests in
 /// this module enforce the contract for the built-ins.
-pub trait SchedulingPolicy: Send {
+pub trait SchedulingPolicy: Send + Sync {
     /// Label used for metrics rows and event logs (e.g. `"elastic"`).
     fn name(&self) -> String;
 

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use elastic_core::{
     run_virtual, Action, AppSpec, CharmJobSpec, CharmOperator, ClusterView, FcfsBackfill,
     JobEventKind, JobId, JobPhase, ModelExecutor, Policy, PolicyConfig, PolicyKind, RunMetrics,
-    Schedule, SchedulingPolicy,
+    Schedule, SchedulingPolicy, SubmitRequest,
 };
 use hpc_metrics::{Clock, Duration, SimTime, VirtualClock};
 use kube_sim::{ControlPlane, KubeletConfig};
@@ -78,9 +78,8 @@ fn run_polled(
     loop {
         let elapsed = clock.now() - start;
         while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            client
-                .submit(schedule.jobs[next_submit].clone())
-                .expect("valid spec");
+            let req = SubmitRequest::v1(schedule.jobs[next_submit].clone()).expect("valid spec");
+            client.submit_request(req).expect("unique job name");
             next_submit += 1;
         }
         op.tick_polled();
@@ -142,9 +141,8 @@ fn maintained_view_equals_store_rebuild_every_tick() {
     loop {
         let elapsed = clock.now() - start;
         while next_submit < schedule.jobs.len() && elapsed >= schedule.submit_at(next_submit) {
-            client
-                .submit(schedule.jobs[next_submit].clone())
-                .expect("valid spec");
+            let req = SubmitRequest::v1(schedule.jobs[next_submit].clone()).expect("valid spec");
+            client.submit_request(req).expect("unique job name");
             next_submit += 1;
         }
         if !cancelled && elapsed >= Duration::from_secs(200.0) {
@@ -288,7 +286,13 @@ fn client_lifecycle_submit_watch_complete() {
     let client = op.client();
     let mut stream = client.watch_events();
 
-    let id = client.submit(spec("j1", 3, 4, 16, 160)).unwrap();
+    let req = SubmitRequest::v1(spec("j1", 3, 4, 16, 160)).unwrap();
+    let id = client
+        .submit_request(req)
+        .unwrap()
+        .ticket()
+        .expect("direct path admits")
+        .clone();
     assert_eq!(id.name, "j1");
     assert_eq!(client.phase("j1"), Some(JobPhase::Queued));
 
@@ -304,7 +308,7 @@ fn client_lifecycle_submit_watch_complete() {
     assert_eq!(kinds.first(), Some(&JobEventKind::Submitted));
     assert!(kinds.contains(&JobEventKind::Started));
     assert_eq!(kinds.last(), Some(&JobEventKind::Completed));
-    let status = client.status("j1").unwrap();
+    let status = client.job_status("j1").unwrap();
     assert!(status.completed_at.unwrap() > status.started_at.unwrap());
 }
 

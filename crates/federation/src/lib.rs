@@ -114,5 +114,7 @@ mod scheduler;
 pub use elastic_resilience::{BreakerState, ShutdownPhase};
 pub use placement::{HashByUser, LeastLoaded, PlacementPolicy, RoundRobin, ShardLoad};
 pub use resilience::ShardBreakerBoard;
-pub use runtime::{FederationConfig, FederationHandle, FederationOutcome, FederationRuntime};
+pub use runtime::{
+    BatchedSubmission, FederationConfig, FederationHandle, FederationOutcome, FederationRuntime,
+};
 pub use scheduler::ShardState;

@@ -39,7 +39,7 @@
 //! cluster.
 //!
 //! ```
-//! use std::cell::RefCell;
+//! use std::sync::Mutex;
 //!
 //! use elastic_core::{Action, ClusterView, FcfsBackfill, SchedulingPolicy};
 //! use elastic_resilience::{BreakerState, CircuitBreaker};
@@ -49,7 +49,7 @@
 //! /// Holds admissions while the cluster's breaker is open.
 //! struct BreakerGated {
 //!     inner: FcfsBackfill,
-//!     breaker: RefCell<CircuitBreaker>,
+//!     breaker: Mutex<CircuitBreaker>,
 //! }
 //!
 //! impl SchedulingPolicy for BreakerGated {
@@ -62,33 +62,33 @@
 //!     }
 //!
 //!     fn on_submit(&self, view: &ClusterView, job: JobId, now: SimTime) -> Vec<Action> {
-//!         if !self.breaker.borrow_mut().allows(now) {
+//!         if !self.breaker.lock().unwrap().allows(now) {
 //!             return Vec::new(); // open: hold the job in the queue
 //!         }
 //!         self.inner.on_submit(view, job, now)
 //!     }
 //!
 //!     fn on_complete(&self, view: &ClusterView, now: SimTime) -> Vec<Action> {
-//!         self.breaker.borrow_mut().record_success(now);
+//!         self.breaker.lock().unwrap().record_success(now);
 //!         self.inner.on_complete(view, now)
 //!     }
 //!
 //!     fn on_fault(&self, view: &ClusterView, fault: &FaultEvent, now: SimTime) -> Vec<Action> {
-//!         self.breaker.borrow_mut().record_failure(now);
+//!         self.breaker.lock().unwrap().record_failure(now);
 //!         self.inner.on_fault(view, fault, now)
 //!     }
 //! }
 //!
 //! let policy = BreakerGated {
 //!     inner: FcfsBackfill::new(),
-//!     breaker: RefCell::new(CircuitBreaker::new(2, Duration::from_secs(120.0))),
+//!     breaker: Mutex::new(CircuitBreaker::new(2, Duration::from_secs(120.0))),
 //! };
 //!
 //! // Two faults trip the breaker...
 //! let t1 = SimTime::from_secs(10.0);
-//! policy.breaker.borrow_mut().record_failure(t1);
-//! policy.breaker.borrow_mut().record_failure(t1);
-//! assert_eq!(policy.breaker.borrow().state(t1), BreakerState::Open);
+//! policy.breaker.lock().unwrap().record_failure(t1);
+//! policy.breaker.lock().unwrap().record_failure(t1);
+//! assert_eq!(policy.breaker.lock().unwrap().state(t1), BreakerState::Open);
 //!
 //! // ...so a submission at t=11 is held in the queue (no actions)...
 //! let mut view = ClusterView::new(8);

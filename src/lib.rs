@@ -13,6 +13,9 @@
 //! * [`core`] — the CharmJob operator and the four scheduling policies
 //!   (elastic, moldable, rigid-min, rigid-max) — contribution C2.
 //! * [`sim`] — the discrete-event scheduling simulator — contribution C3.
+//! * [`serving`] — the production submission front-end: sharded
+//!   batched ingest queues with explicit backpressure and a bounded
+//!   lifecycle event bus over the core client API.
 //! * [`federation`] — sharded multi-cluster federation: cross-shard
 //!   job placement plus a work-queue shard scheduler that replays one
 //!   workload across N cluster simulations on M worker threads.
@@ -31,6 +34,7 @@ pub use charm_apps as apps;
 pub use charm_rt as charm;
 pub use elastic_core as core;
 pub use elastic_resilience as resilience;
+pub use elastic_serving as serving;
 pub use hpc_federation as federation;
 pub use hpc_metrics as metrics;
 pub use hpc_workload as workload;
